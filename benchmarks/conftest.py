@@ -1,0 +1,17 @@
+"""Benchmark bootstrap: make ``src/`` importable without installation
+and share the exhibit-printing helper."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
+
+
+def print_exhibit(title: str, body: str) -> None:
+    """Print a regenerated paper exhibit with a recognisable banner.
+
+    pytest-benchmark captures stdout per test; run with ``-s`` to see
+    the exhibits inline.
+    """
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,100 @@
+"""Exhibit T4-5: Delta Consortium partners and network connections.
+
+The figure annotates the consortium graph with link classes:
+NSFnet T1 (1.5 Mbps), NSFnet T3 (45 Mbps), ESnet T1, CASA HIPPI/SONET
+(800 Mbps), regional T1 and 56 kbps.  Regenerated as (a) the link-class
+table with a 1 GB transfer-time column, and (b) per-partner reachability
+of the Delta.  Shape: HIPPI ~533x T1 and ~17.8x T3; a gigabyte is
+seconds on HIPPI, hours on T1, days on 56k.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.network import (
+    DELTA_SITE,
+    HIPPI_SONET,
+    LINK_CLASSES,
+    REGIONAL_56K,
+    T1,
+    T3,
+    delta_consortium,
+    transfer_time,
+)
+from repro.util.tables import render_table
+from repro.util.units import format_time
+
+GIGABYTE = 1e9
+
+
+def build_link_table() -> str:
+    rows = []
+    for key in ("56k", "t1", "t3", "hippi", "gigabit"):
+        cls = LINK_CLASSES[key]
+        seconds = GIGABYTE / cls.throughput_bytes_per_s
+        rows.append([
+            cls.name,
+            cls.rate_bps / 1e6,
+            cls.rate_bps / T1.rate_bps,
+            format_time(seconds),
+        ])
+    return render_table(
+        ["Service", "Mbps", "x T1", "1 GB transfer"],
+        rows,
+        title="Consortium link classes (paper annotations)",
+        float_fmt=",.3f",
+    )
+
+
+def build_reachability() -> str:
+    net = delta_consortium()
+    rows = []
+    for site in net.sites:
+        if site.name == DELTA_SITE:
+            continue
+        est = transfer_time(net, DELTA_SITE, site.name, GIGABYTE)
+        rows.append([
+            site.name,
+            site.kind,
+            len(est.path) - 1,
+            est.effective_mbps,
+            format_time(est.time_s),
+        ])
+    rows.sort(key=lambda r: r[3], reverse=True)
+    return render_table(
+        ["Partner", "Sector", "Hops", "Eff. Mbps", "1 GB from Delta"],
+        rows,
+        title="Partner reachability of the Delta (widest-path routing)",
+        float_fmt=",.2f",
+    )
+
+
+def test_bench_consortium_network(benchmark):
+    text = benchmark(lambda: build_link_table() + "\n\n" + build_reachability())
+    print_exhibit("T4-5  DELTA CONSORTIUM PARTNERS / NETWORK CONNECTIONS", text)
+
+    # The paper's link-speed ratios.
+    assert HIPPI_SONET.rate_bps / T1.rate_bps == pytest.approx(533.3, rel=0.01)
+    assert HIPPI_SONET.rate_bps / T3.rate_bps == pytest.approx(17.8, rel=0.01)
+    # Transfer-time shape: seconds vs hours vs days.
+    net = delta_consortium()
+    hippi = transfer_time(net, DELTA_SITE, "JPL", GIGABYTE).time_s
+    t1 = transfer_time(net, DELTA_SITE, "DOE laboratories", GIGABYTE).time_s
+    slow = transfer_time(net, DELTA_SITE, "Regional members", GIGABYTE).time_s
+    assert hippi < 60
+    assert 3600 < t1 < 24 * 3600
+    assert slow > 24 * 3600
+
+
+def test_bench_routing_queries(benchmark):
+    net = delta_consortium()
+    partners = [s.name for s in net.sites if s.name != DELTA_SITE]
+
+    def route_all():
+        return {
+            p: (net.widest_path(DELTA_SITE, p), net.shortest_path(DELTA_SITE, p))
+            for p in partners
+        }
+
+    routes = benchmark(route_all)
+    assert all(w[0] == DELTA_SITE for w, _ in routes.values())

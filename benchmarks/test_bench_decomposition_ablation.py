@@ -1,0 +1,191 @@
+"""Ablation A-5: decomposition and algorithm choices in the ASTA layer.
+
+Four design decisions the era's application notes argued over, each
+measured rather than asserted:
+
+* strips vs 2-D blocks for grid codes (halo volume vs message count);
+* Jacobi vs red-black Gauss-Seidel (convergence vs halos per sweep);
+* SUMMA vs Cannon for matrix multiply (generality vs message economy);
+* factor vs solve latency balance in the full LINPACK (the triangular
+  solve's scalar fan-in reductions).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.apps.cfd import CFDConfig, distributed_run, distributed_run_2d, gaussian_blob
+from repro.apps.poisson import PoissonConfig, distributed_solve, smooth_source
+from repro.linalg import (
+    ProcessGrid2D,
+    cannon,
+    linpack_benchmark,
+    make_test_matrix,
+    summa,
+)
+from repro.machine import touchstone_delta
+from repro.util.tables import render_table
+
+
+def build_strips_vs_blocks() -> str:
+    cfg = CFDConfig(nx=64, ny=64, dt=0.05)
+    u0 = gaussian_blob(cfg)
+    machine = touchstone_delta().subset(16)
+    strips = distributed_run(machine, 16, u0, cfg, 4)
+    blocks = distributed_run_2d(machine, ProcessGrid2D(4, 4), u0, cfg, 4)
+    rows = [
+        ["strips (16x1)", strips.sim.total_messages,
+         strips.sim.total_bytes / 1e3, strips.virtual_time * 1e3],
+        ["blocks (4x4)", blocks.sim.total_messages,
+         blocks.sim.total_bytes / 1e3, blocks.virtual_time * 1e3],
+    ]
+    return render_table(
+        ["Decomposition", "Messages", "Halo kB", "Time (ms)"],
+        rows,
+        title="CFD 64x64, 16 ranks, 4 steps: strips vs 2-D blocks",
+        float_fmt=",.2f",
+    )
+
+
+def build_jacobi_vs_redblack() -> str:
+    cfg = PoissonConfig(nx=24, ny=24, h=1.0 / 25)
+    f = smooth_source(cfg)
+    machine = touchstone_delta().subset(4)
+    rows = []
+    for method in ("jacobi", "redblack"):
+        out = distributed_solve(machine, 4, f, cfg, method=method, tol=1e-5)
+        rows.append([
+            method, out.sweeps, out.sim.total_messages,
+            out.virtual_time * 1e3,
+        ])
+    return render_table(
+        ["Method", "Sweeps", "Messages", "Time (ms)"],
+        rows,
+        title="Poisson 24x24, 4 ranks: relaxation method trade",
+        float_fmt=",.2f",
+    )
+
+
+def build_summa_vs_cannon() -> str:
+    n, q = 32, 2
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    machine = touchstone_delta().subset(q * q)
+    s = summa(machine, ProcessGrid2D(q, q), a, b, panel=8)
+    c = cannon(machine, q, a, b)
+    rows = [
+        ["SUMMA (panel=8)", s.sim.total_messages,
+         s.sim.total_bytes / 1e3, s.virtual_time * 1e3],
+        ["Cannon", c.sim.total_messages,
+         c.sim.total_bytes / 1e3, c.virtual_time * 1e3],
+    ]
+    return render_table(
+        ["Algorithm", "Messages", "Bytes kB", "Time (ms)"],
+        rows,
+        title=f"Matmul n={n} on a {q}x{q} grid",
+        float_fmt=",.2f",
+    )
+
+
+def build_1d_vs_2d_lu() -> str:
+    from repro.linalg import distributed_lu, lu2d
+
+    a = make_test_matrix(32, seed=1)
+    machine = touchstone_delta().subset(4)
+    one_d = distributed_lu(machine, 4, a)
+    two_d = lu2d(machine, ProcessGrid2D(2, 2), a, nb=2)
+    rows = [
+        ["1-D column-cyclic (pivoted)", one_d.sim.total_messages,
+         one_d.sim.total_bytes / 1e3, one_d.virtual_time * 1e3],
+        ["2-D block-cyclic (no pivot)", two_d.sim.total_messages,
+         two_d.sim.total_bytes / 1e3, two_d.virtual_time * 1e3],
+    ]
+    return render_table(
+        ["Distribution", "Messages", "Bytes kB", "Time (ms)"],
+        rows,
+        title="LU n=32 on 4 ranks: 1-D vs 2-D data distribution",
+        float_fmt=",.2f",
+    )
+
+
+def build_linpack_phases() -> str:
+    machine = touchstone_delta().subset(4)
+    run = linpack_benchmark(machine, 4, 48, seed=0)
+    rows = [[
+        48, run.sim.total_messages, run.sim.total_comm_time * 1e3,
+        run.sim.total_compute_time * 1e3, f"{run.residual:.1e}",
+    ]]
+    return render_table(
+        ["Order", "Messages", "Comm (ms)", "Compute (ms)", "Residual"],
+        rows,
+        title="Executable LINPACK (factor + fan-in solves), 4 ranks",
+        float_fmt=",.2f",
+    )
+
+
+def test_bench_strips_vs_blocks(benchmark):
+    text = benchmark.pedantic(build_strips_vs_blocks, rounds=1, iterations=1)
+    print_exhibit("A-5  STRIPS vs 2-D BLOCKS", text)
+
+    cfg = CFDConfig(nx=64, ny=64, dt=0.05)
+    u0 = gaussian_blob(cfg)
+    machine = touchstone_delta().subset(16)
+    strips = distributed_run(machine, 16, u0, cfg, 2)
+    blocks = distributed_run_2d(machine, ProcessGrid2D(4, 4), u0, cfg, 2)
+    assert blocks.sim.total_bytes < strips.sim.total_bytes
+    assert blocks.sim.total_messages > strips.sim.total_messages
+    assert np.array_equal(blocks.field, strips.field)
+
+
+def test_bench_jacobi_vs_redblack(benchmark):
+    text = benchmark.pedantic(build_jacobi_vs_redblack, rounds=1, iterations=1)
+    print_exhibit("A-5  JACOBI vs RED-BLACK", text)
+
+    cfg = PoissonConfig(nx=24, ny=24, h=1.0 / 25)
+    f = smooth_source(cfg)
+    machine = touchstone_delta().subset(4)
+    jac = distributed_solve(machine, 4, f, cfg, method="jacobi", tol=1e-5)
+    rb = distributed_solve(machine, 4, f, cfg, method="redblack", tol=1e-5)
+    assert rb.sweeps < 0.7 * jac.sweeps          # convergence win
+    assert rb.sim.total_messages / rb.sweeps > jac.sim.total_messages / jac.sweeps
+
+
+def test_bench_summa_vs_cannon(benchmark):
+    text = benchmark.pedantic(build_summa_vs_cannon, rounds=1, iterations=1)
+    print_exhibit("A-5  SUMMA vs CANNON", text)
+
+    n, q = 32, 2
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    machine = touchstone_delta().subset(q * q)
+    s = summa(machine, ProcessGrid2D(q, q), a, b, panel=8)
+    c = cannon(machine, q, a, b)
+    assert np.allclose(s.c, c.c, atol=1e-10)
+    assert c.sim.total_messages < s.sim.total_messages
+
+
+def test_bench_1d_vs_2d_lu(benchmark):
+    text = benchmark.pedantic(build_1d_vs_2d_lu, rounds=1, iterations=1)
+    print_exhibit("A-5  1-D vs 2-D LU DISTRIBUTION", text)
+
+    from repro.linalg import distributed_lu, lu2d
+
+    a = make_test_matrix(32, seed=1)
+    machine = touchstone_delta().subset(4)
+    one_d = distributed_lu(machine, 4, a)
+    two_d = lu2d(machine, ProcessGrid2D(2, 2), a, nb=2)
+    # The 2-D layout's point: traffic confined to process rows/columns.
+    assert two_d.sim.total_bytes < one_d.sim.total_bytes
+
+
+def test_bench_linpack_solve_latency(benchmark):
+    text = benchmark.pedantic(build_linpack_phases, rounds=1, iterations=1)
+    print_exhibit("A-5  LINPACK FACTOR+SOLVE BALANCE", text)
+
+    machine = touchstone_delta().subset(4)
+    run = linpack_benchmark(machine, 4, 48, seed=0)
+    assert np.allclose(run.x, 1.0, atol=1e-7)
+    # At small order the fan-in solve's scalar reductions dominate.
+    assert run.sim.total_comm_time > run.sim.total_compute_time

@@ -1,0 +1,88 @@
+"""Exhibit T4-4a: the Concurrent Supercomputing Consortium Delta claims.
+
+    "PEAK SPEED OF 32 GFLOPS USING THE 528 NUMERIC PROCESSORS"
+    "13 GFLOPS SPEED OBTAINED ON A LINPAC BENCHMARK CODE OF ORDER
+     25,000 BY 25,000"
+
+Regenerated two ways:
+
+* the calibrated analytic HPL model at full scale (the headline point
+  plus the rate-vs-order sweep), and
+* the *executable* distributed LU on a small partition, verified
+  bit-identical to the serial reference, demonstrating the algorithm
+  the model abstracts.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.linalg import (
+    HPLModel,
+    delta_linpack,
+    distributed_lu,
+    make_test_matrix,
+    serial_lu,
+)
+from repro.machine import touchstone_delta
+from repro.util.tables import render_table
+
+
+def build_exhibit() -> str:
+    delta = touchstone_delta()
+    model = HPLModel(delta)
+    headline = delta_linpack()
+    sweep = model.sweep([1000, 2000, 5000, 10000, 15000, 20000, 25000])
+    rows = [
+        [p.n, f"{p.grid[0]}x{p.grid[1]}", p.time_s, p.gflops,
+         100.0 * p.fraction_of_peak]
+        for p in sweep
+    ]
+    table = render_table(
+        ["Order n", "Grid", "Time (s)", "GFLOPS", "% of 32 GF peak"],
+        rows,
+        title="Modelled LINPACK rate vs problem order (Touchstone Delta)",
+        float_fmt=",.2f",
+    )
+    summary = (
+        f"Machine: {delta.describe()}\n"
+        f"Headline point: n={headline['order']:.0f} -> "
+        f"{headline['linpack_gflops']:.2f} GFLOPS "
+        f"({100 * headline['fraction_of_peak']:.1f}% of peak) "
+        f"[paper: 13 of 32 GFLOPS]"
+    )
+    return summary + "\n\n" + table
+
+
+def test_bench_delta_linpack_model(benchmark):
+    text = benchmark(build_exhibit)
+    print_exhibit("T4-4a  DELTA LINPACK: 13 GFLOPS OF 32 GFLOPS PEAK", text)
+
+    headline = delta_linpack()
+    # The paper's numbers, reproduced.
+    assert headline["peak_gflops"] == pytest.approx(32.0, rel=0.01)
+    assert headline["linpack_gflops"] == pytest.approx(13.0, abs=0.3)
+    # Shape: efficiency grows with order (scaled speedup).
+    model = HPLModel(touchstone_delta())
+    rates = [model.gflops(n) for n in (1000, 5000, 25000)]
+    assert rates == sorted(rates)
+
+
+def test_bench_executable_lu(benchmark):
+    """The algorithm behind the model, actually run (8 ranks, n=48)."""
+    machine = touchstone_delta().subset(8)
+    a = make_test_matrix(48, seed=42)
+
+    result = benchmark.pedantic(
+        lambda: distributed_lu(machine, 8, a), rounds=3, iterations=1
+    )
+    lu_ref, piv_ref = serial_lu(a)
+    assert np.array_equal(result.lu, lu_ref)
+    assert np.array_equal(result.piv, piv_ref)
+    assert result.virtual_time > 0
+    print_exhibit(
+        "T4-4a (executable)  DISTRIBUTED LU, 8-NODE DELTA SUBMESH",
+        f"n=48 column-cyclic LU: virtual time {result.virtual_time * 1e3:.2f} ms, "
+        f"{result.sim.total_messages} messages, "
+        f"bit-identical to serial reference: True",
+    )

@@ -1,0 +1,51 @@
+"""Exhibit T4-3: Federal HPCC Program funding FY 92-93.
+
+Regenerates the dollar table exactly and checks its shape: totals of
+654.8 and 802.9 $M, ~22.6% growth, DARPA the largest line both years.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.program import (
+    AGENCIES,
+    agency_share,
+    growth_rate,
+    largest_agency,
+    total_budget,
+    validate_totals,
+)
+from repro.program.budget import render, render_component_estimate
+
+
+def build_exhibit() -> str:
+    validate_totals()
+    return "\n\n".join([render(), render_component_estimate(1993)])
+
+
+def test_bench_funding_table(benchmark):
+    text = benchmark(build_exhibit)
+    print_exhibit("T4-3  FEDERAL HPCC PROGRAM FUNDING FY 92-93", text)
+
+    # The paper's exact totals.
+    assert total_budget(1992) == pytest.approx(654.8)
+    assert total_budget(1993) == pytest.approx(802.9)
+    # Shape: >22% program growth, DARPA-led, DARPA+NSF a majority.
+    assert growth_rate() == pytest.approx(0.226, abs=0.005)
+    assert largest_agency(1992) == largest_agency(1993) == "DARPA"
+    assert agency_share("DARPA", 1992) + agency_share("NSF", 1992) > 0.6
+
+
+def test_bench_growth_analytics(benchmark):
+    def analytics():
+        return {
+            a.code: {
+                "growth": growth_rate(a.code),
+                "share92": agency_share(a.code, 1992),
+                "share93": agency_share(a.code, 1993),
+            }
+            for a in AGENCIES
+        }
+
+    stats = benchmark(analytics)
+    assert all(v["growth"] > 0 for v in stats.values())

@@ -1,0 +1,82 @@
+"""Ablation A-3: grand-challenge workload scaling on the Delta model.
+
+The program's thesis was that Grand Challenge codes scale on MPP
+testbeds.  Regenerates strong-scaling curves for the three kernel
+classes on the Delta model and checks the textbook shape:
+
+* N-body (O(N^2) compute over O(N) data) scales nearly perfectly;
+* halo-exchange grid codes scale while strips stay fat, then flatten;
+* CG (latency-bound inner products) shows the worst efficiency.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.core import (
+    CFDWorkload,
+    CGWorkload,
+    NBodyWorkload,
+    amdahl_summary,
+    scaling_study,
+    scaling_table,
+)
+from repro.machine import touchstone_delta
+
+RANKS = [1, 2, 4, 8, 16]
+
+
+def studies():
+    machine = touchstone_delta()
+    return [
+        scaling_study(NBodyWorkload(n_bodies=512, steps=1), machine, RANKS),
+        scaling_study(CFDWorkload(nx=128, ny=128, steps=3), machine, RANKS),
+        scaling_study(CGWorkload(n=128), machine, RANKS),
+    ]
+
+
+def build_exhibit() -> str:
+    parts = []
+    for study in studies():
+        parts.append(scaling_table(study))
+        parts.append(amdahl_summary(study))
+    return "\n\n".join(parts)
+
+
+def test_bench_grand_challenge_scaling(benchmark):
+    text = benchmark.pedantic(build_exhibit, rounds=1, iterations=1)
+    print_exhibit("A-3  GRAND CHALLENGE SCALING ON THE DELTA MODEL", text)
+
+    nbody, cfd, cg = studies()
+
+    # N-body: near-perfect at 16 ranks.
+    assert nbody.best_speedup().speedup > 12
+    # CFD: real speedup, below N-body's.
+    assert 2 < cfd.best_speedup().speedup < nbody.best_speedup().speedup
+    # CG at this size is latency-dominated: the worst of the three.
+    assert cg.points[-1].efficiency < cfd.points[-1].efficiency
+    # Efficiency ordering across the full sweep.
+    assert nbody.points[-1].efficiency > 0.75
+
+
+def test_bench_weak_vs_strong_shape(benchmark):
+    """Scaled (weak) speedup: growing the grid with the machine holds
+    efficiency far better than fixed-size strong scaling -- Gustafson's
+    answer to Amdahl, the era's methodological argument."""
+    machine = touchstone_delta()
+
+    def measure():
+        strong = scaling_study(CFDWorkload(nx=64, ny=64, steps=3), machine, [1, 16])
+        # Weak scaling: rows per rank held at 64 as ranks grow 1 -> 16.
+        t1 = CFDWorkload(nx=64, ny=64, steps=3).run(machine.subset(1), 1).virtual_time
+        t16 = CFDWorkload(nx=64, ny=1024, steps=3).run(machine.subset(16), 16).virtual_time
+        return strong.points[-1].efficiency, t1 / t16
+
+    strong_eff, weak_eff = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_exhibit(
+        "A-3  WEAK vs STRONG SCALING (CFD, 16 ranks)",
+        f"strong-scaling efficiency: {100 * strong_eff:.1f}%\n"
+        f"weak-scaling efficiency:   {100 * weak_eff:.1f}%",
+    )
+    assert weak_eff > strong_eff
+    assert weak_eff > 0.9

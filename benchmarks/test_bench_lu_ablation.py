@@ -1,0 +1,108 @@
+"""Ablation A-1: LU distribution and HPL-model parameter sensitivity.
+
+Two studies behind the T4-4a exhibit:
+
+* executable LU at varying rank counts on the Delta model (the cyclic
+  layout's strong-scaling behaviour at small order), and
+* the analytic model's sensitivity to block size and grid shape, the
+  two knobs HPL tuning guides sweep.
+
+Shape: square-ish grids beat degenerate 1 x P grids; moderate block
+sizes beat tiny ones.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.linalg import (
+    HPLModel,
+    ProcessGrid2D,
+    distributed_lu,
+    make_test_matrix,
+    serial_lu,
+)
+from repro.machine import touchstone_delta
+from repro.util.tables import render_table
+
+ORDER = 25_000
+
+
+def build_grid_sweep() -> str:
+    model = HPLModel(touchstone_delta())
+    grids = [(1, 512), (2, 256), (4, 128), (8, 64), (16, 32), (32, 16)]
+    rows = [
+        [f"{pr}x{pc}", model.gflops(ORDER, ProcessGrid2D(pr, pc))]
+        for pr, pc in grids
+    ]
+    return render_table(
+        ["Grid", "GFLOPS @ n=25000"],
+        rows,
+        title="HPL model: process-grid shape sweep (512 nodes)",
+        float_fmt=",.2f",
+    )
+
+
+def build_nb_sweep() -> str:
+    rows = []
+    for nb in (8, 16, 32, 64, 128, 256):
+        model = HPLModel(touchstone_delta(), nb=nb)
+        rows.append([nb, model.gflops(ORDER)])
+    return render_table(
+        ["Block nb", "GFLOPS @ n=25000"],
+        rows,
+        title="HPL model: block-size sweep",
+        float_fmt=",.2f",
+    )
+
+
+def test_bench_hpl_parameter_sweeps(benchmark):
+    text = benchmark(lambda: build_grid_sweep() + "\n\n" + build_nb_sweep())
+    print_exhibit("A-1  LU ABLATION: GRID SHAPE AND BLOCK SIZE", text)
+
+    model = HPLModel(touchstone_delta())
+    # Squarer grids win over the degenerate row.
+    flat = model.gflops(ORDER, ProcessGrid2D(1, 512))
+    square = model.gflops(ORDER, ProcessGrid2D(16, 32))
+    assert square > flat
+    # Tiny blocks pay latency; moderate blocks recover it.
+    small_nb = HPLModel(touchstone_delta(), nb=8).gflops(ORDER)
+    good_nb = HPLModel(touchstone_delta(), nb=64).gflops(ORDER)
+    assert good_nb > small_nb
+
+
+@pytest.mark.parametrize("p", [2, 8])
+def test_bench_executable_lu_scaling(benchmark, p):
+    """Executable LU at n=40: correctness at every width, timing scaling."""
+    a = make_test_matrix(40, seed=0)
+    machine = touchstone_delta().subset(p)
+
+    result = benchmark.pedantic(
+        lambda: distributed_lu(machine, p, a), rounds=2, iterations=1
+    )
+    lu_ref, piv_ref = serial_lu(a)
+    assert np.array_equal(result.lu, lu_ref)
+    assert np.array_equal(result.piv, piv_ref)
+
+
+def test_bench_lu_strong_scaling_virtual_time(benchmark):
+    """At tiny order the Delta's 72 us latency swamps the update work:
+    adding ranks *slows the virtual machine down* -- exactly the
+    too-small-problem regime the scaled-speedup methodology warned
+    about.  (The analytic model covers the large-n regime where scaling
+    pays; see test_bench_delta_linpack.)"""
+    a = make_test_matrix(48, seed=3)
+
+    def sweep():
+        out = {}
+        for p in (1, 4, 16):
+            machine = touchstone_delta().subset(p)
+            out[p] = distributed_lu(machine, p, a).virtual_time
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_exhibit(
+        "A-1  EXECUTABLE LU VIRTUAL TIMES (n=48, latency-bound regime)",
+        "\n".join(f"p={p:3d}: {t * 1e3:8.2f} ms" for p, t in times.items()),
+    )
+    assert times[16] > times[1], "latency-bound: more ranks, more startups"

@@ -1,0 +1,79 @@
+"""Exhibit T4-4b: "Intel Touchstone Delta is one of a series of DARPA
+developed massively parallel computers."
+
+Regenerates the series progression -- iPSC/860 Gamma -> Delta ->
+Paragon -- with peak rate, LINPACK projection, and interconnect summary
+per generation.  Shape: each generation's peak and modelled LINPACK
+beat its predecessor's; the Delta's peak matches the paper's 32 GFLOPS.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.linalg import HPLModel
+from repro.machine import cray_ymp, darpa_mpp_series, touchstone_delta
+from repro.util.tables import render_table
+
+
+def build_exhibit() -> str:
+    rows = []
+    for machine in darpa_mpp_series() + [cray_ymp()]:
+        model = HPLModel(machine)
+        n = min(25_000, model.max_order())
+        rows.append([
+            machine.name,
+            machine.year,
+            machine.n_nodes,
+            machine.topology.kind,
+            machine.peak_gflops,
+            model.gflops(n),
+            n,
+        ])
+    return render_table(
+        ["Machine", "Year", "Nodes", "Topology", "Peak GF", "LINPACK GF", "at n"],
+        rows,
+        title="The DARPA MPP series (and the vector baseline)",
+        float_fmt=",.2f",
+    )
+
+
+def test_bench_mpp_series(benchmark):
+    text = benchmark(build_exhibit)
+    print_exhibit("T4-4b  DARPA MASSIVELY PARALLEL COMPUTER SERIES", text)
+
+    series = darpa_mpp_series()
+    peaks = [m.peak_flops for m in series]
+    assert peaks == sorted(peaks), "each generation raises peak"
+
+    linpacks = [HPLModel(m).gflops(20_000) for m in series]
+    assert linpacks == sorted(linpacks), "each generation raises LINPACK"
+
+    # The Delta slide's claim: world's fastest installed machine --
+    # its peak clears the 16-CPU vector flagship by ~6x.
+    delta = touchstone_delta()
+    ymp = cray_ymp()
+    assert delta.peak_flops > 5 * ymp.peak_flops
+
+
+def test_bench_interconnect_metrics(benchmark):
+    """Mesh-vs-hypercube structural numbers behind the series choice."""
+
+    def metrics():
+        out = {}
+        for machine in darpa_mpp_series():
+            topo = machine.topology
+            out[machine.name] = {
+                "diameter": topo.diameter(),
+                "bisection": topo.bisection_width(),
+                "nodes": topo.n_nodes,
+            }
+        return out
+
+    stats = benchmark(metrics)
+    gamma = stats["Intel iPSC/860 (Touchstone Gamma)"]
+    delta = stats["Intel Touchstone Delta"]
+    # The debate of 1991: the hypercube has log diameter, the mesh
+    # accepts a longer diameter to scale past 2^k nodes.
+    assert gamma["diameter"] == 7
+    assert delta["diameter"] == 47
+    assert delta["nodes"] > gamma["nodes"]

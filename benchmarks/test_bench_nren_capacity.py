@@ -1,0 +1,96 @@
+"""Ablation A-4: NREN congestion and capacity planning.
+
+Extends exhibit T4-5 from dedicated-link transfer times to the shared
+reality: the M/M/1 hockey stick of delay vs utilisation, the routed
+demand matrix's bottleneck link, and the best single upgrade --
+quantifying the program's claim that network investment gates the
+consortium model.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.network import (
+    DELTA_SITE,
+    GIGABIT,
+    best_single_upgrade,
+    bottleneck,
+    congestion_sweep,
+    delta_consortium,
+    route_demands,
+)
+from repro.util.tables import render_table
+from repro.util.units import format_time
+
+#: A plausible day-average demand matrix: Grand Challenge teams pulling
+#: results, JPL's visualisation stream, routine mail-scale traffic.
+DEMANDS = {
+    (DELTA_SITE, "JPL"): 4.0e6,               # visualisation stream
+    (DELTA_SITE, "CRPC (Rice)"): 8.0e4,       # result sets
+    (DELTA_SITE, "DOE laboratories"): 6.0e4,
+    (DELTA_SITE, "NASA centers"): 5.0e4,
+    (DELTA_SITE, "Industry partners"): 4.0e4,
+    (DELTA_SITE, "Regional members"): 3.0e3,
+    ("NSF", "CRPC (Rice)"): 2.0e4,
+}
+
+
+def build_congestion_table() -> str:
+    net = delta_consortium()
+    rows = [
+        [f"{pt.utilisation:.0%}", format_time(pt.time_s), pt.slowdown]
+        for pt in congestion_sweep(net, DELTA_SITE, "CRPC (Rice)", 1e8)
+    ]
+    return render_table(
+        ["Background load", "100 MB to Rice", "Slowdown"],
+        rows,
+        title="Shared-link congestion (M/M/1): the hockey stick",
+        float_fmt=",.1f",
+    )
+
+
+def build_capacity_table() -> str:
+    net = delta_consortium()
+    loads = route_demands(net, DEMANDS)
+    rows = [
+        [f"{l.a} -- {l.b}", l.offered_bytes_per_s / 1e3,
+         l.capacity_bytes_per_s / 1e3, f"{l.utilisation:.1%}"]
+        for l in loads[:8]
+    ]
+    table = render_table(
+        ["Link", "Offered kB/s", "Capacity kB/s", "Utilisation"],
+        rows,
+        title="Routed demand matrix: hottest links",
+        float_fmt=",.1f",
+    )
+    plan = best_single_upgrade(net, DEMANDS, GIGABIT)
+    summary = (
+        f"Best single upgrade: {plan.link[0]} -- {plan.link[1]} to "
+        f"{plan.new_class_name}; peak utilisation "
+        f"{plan.before_peak_utilisation:.1%} -> {plan.after_peak_utilisation:.1%}"
+    )
+    return table + "\n\n" + summary
+
+
+def test_bench_congestion_hockey_stick(benchmark):
+    text = benchmark(build_congestion_table)
+    print_exhibit("A-4  NREN CONGESTION (M/M/1)", text)
+
+    net = delta_consortium()
+    sweep = congestion_sweep(net, DELTA_SITE, "CRPC (Rice)", 1e8,
+                             (0.0, 0.5, 0.9, 0.95))
+    assert sweep[-1].slowdown == pytest.approx(20.0, rel=0.01)
+    slowdowns = [pt.slowdown for pt in sweep]
+    assert slowdowns == sorted(slowdowns)
+
+
+def test_bench_capacity_planning(benchmark):
+    text = benchmark(build_capacity_table)
+    print_exhibit("A-4  NREN CAPACITY PLANNING", text)
+
+    net = delta_consortium()
+    hot = bottleneck(net, DEMANDS)
+    # The T1 tails, not HIPPI, saturate first.
+    assert hot.capacity_bytes_per_s < 1e6
+    plan = best_single_upgrade(net, DEMANDS, GIGABIT)
+    assert plan.after_peak_utilisation <= plan.before_peak_utilisation

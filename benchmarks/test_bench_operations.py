@@ -1,0 +1,151 @@
+"""Ablation A-6: operating the testbed.
+
+"ESTABLISH HIGH PERFORMANCE COMPUTING TESTBEDS" came with two
+operational problems the paper's audience lived daily, both reproduced
+here quantitatively:
+
+* **space sharing** -- FCFS submesh allocation on the 16 x 33 Delta
+  grid, with head-of-line blocking and external fragmentation;
+* **resilience** -- Young-interval checkpointing economics for a
+  week-long Grand Challenge run on 512 failure-prone nodes.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.core import CheckpointPlan
+from repro.machine import Job, SubmeshAllocator, simulate_backfill, simulate_fcfs
+from repro.util.tables import render_table
+from repro.util.units import format_time
+
+DAY = 86_400.0
+
+#: A plausible day on the Delta: two half-machine Grand Challenge runs,
+#: a full-machine LINPACK window, and a stream of development jobs.
+WORKLOAD = [
+    Job("gc-ocean", 16, 16, 4 * 3600, arrival_s=0),
+    Job("gc-qcd", 16, 16, 6 * 3600, arrival_s=0),
+    Job("linpack-window", 16, 32, 2 * 3600, arrival_s=3600),
+    Job("dev-1", 4, 4, 1800, arrival_s=1800),
+    Job("dev-2", 4, 8, 900, arrival_s=2000),
+    Job("dev-3", 2, 2, 600, arrival_s=2200),
+    Job("viz", 8, 8, 3600, arrival_s=7200),
+]
+
+
+def build_schedule_exhibit() -> str:
+    result = simulate_fcfs(16, 33, WORKLOAD)
+    rows = [
+        [r.job.name, f"{r.job.rows}x{r.job.cols}",
+         format_time(r.job.arrival_s), format_time(r.start_s),
+         format_time(r.wait_s)]
+        for r in sorted(result.records, key=lambda r: r.start_s)
+    ]
+    table = render_table(
+        ["Job", "Submesh", "Arrives", "Starts", "Waits"],
+        rows,
+        title="FCFS space-sharing on the 16x33 Delta grid",
+        align_right_from=2,
+    )
+    return (
+        f"{table}\n\nmakespan {format_time(result.makespan_s)}, "
+        f"utilisation {result.utilisation:.1%}, "
+        f"mean wait {format_time(result.mean_wait_s())}"
+    )
+
+
+def build_checkpoint_exhibit() -> str:
+    rows = []
+    for label, io_bw in (("10 MB/s (one I/O node)", 10e6),
+                         ("80 MB/s (striped I/O)", 80e6),
+                         ("400 MB/s (parallel FS)", 400e6)):
+        plan = CheckpointPlan(
+            work_s=7 * DAY,
+            state_bytes=4e9,
+            io_bandwidth_bytes_per_s=io_bw,
+            node_mtbf_s=30 * DAY,
+            n_nodes=512,
+        )
+        rows.append([
+            label,
+            plan.cost_s,
+            plan.interval_s / 60.0,
+            100.0 * plan.overhead_fraction,
+        ])
+    return render_table(
+        ["Checkpoint path", "Cost (s)", "Young interval (min)", "Overhead %"],
+        rows,
+        title="Week-long run, 512 nodes, 30-day node MTBF, 4 GB state",
+        float_fmt=",.1f",
+    )
+
+
+def test_bench_space_sharing(benchmark):
+    text = benchmark(build_schedule_exhibit)
+    print_exhibit("A-6  SPACE-SHARING THE DELTA (FCFS SUBMESH)", text)
+
+    result = simulate_fcfs(16, 33, WORKLOAD)
+    # Head-of-line blocking: the full-machine LINPACK window stalls the
+    # small development jobs behind it.
+    linpack_start = result.record_for("linpack-window").start_s
+    assert result.record_for("viz").start_s >= linpack_start
+    assert 0.3 < result.utilisation <= 1.0
+
+
+def build_policy_comparison() -> str:
+    rows = []
+    for label, sim in (("FCFS", simulate_fcfs), ("no-harm backfill", simulate_backfill)):
+        result = sim(16, 33, WORKLOAD)
+        rows.append([
+            label,
+            format_time(result.makespan_s),
+            f"{result.utilisation:.1%}",
+            format_time(result.mean_wait_s()),
+        ])
+    return render_table(
+        ["Policy", "Makespan", "Utilisation", "Mean wait"],
+        rows,
+        title="Scheduling policy comparison on the same workload",
+        align_right_from=1,
+    )
+
+
+def test_bench_scheduling_policies(benchmark):
+    text = benchmark(build_policy_comparison)
+    print_exhibit("A-6  FCFS vs NO-HARM BACKFILL", text)
+
+    fcfs = simulate_fcfs(16, 33, WORKLOAD)
+    backfill = simulate_backfill(16, 33, WORKLOAD)
+    # Backfilling lets the small jobs slip past the LINPACK window.
+    assert backfill.mean_wait_s() <= fcfs.mean_wait_s()
+    assert backfill.makespan_s <= fcfs.makespan_s + 1e-9
+
+
+def test_bench_fragmentation(benchmark):
+    def measure():
+        alloc = SubmeshAllocator(16, 33)
+        alloc.allocate(16, 16)
+        alloc.allocate(8, 8)
+        alloc.allocate(4, 8)
+        return alloc.external_fragmentation(), alloc.utilisation
+
+    frag, util = benchmark(measure)
+    print_exhibit(
+        "A-6  EXTERNAL FRAGMENTATION",
+        f"after three awkward allocations: utilisation {util:.1%}, "
+        f"external fragmentation {frag:.1%}",
+    )
+    assert 0.0 <= frag < 1.0
+
+
+def test_bench_checkpoint_economics(benchmark):
+    text = benchmark(build_checkpoint_exhibit)
+    print_exhibit("A-6  CHECKPOINT/RESTART ECONOMICS", text)
+
+    slow = CheckpointPlan(7 * DAY, 4e9, 10e6, 30 * DAY, 512)
+    fast = CheckpointPlan(7 * DAY, 4e9, 400e6, 30 * DAY, 512)
+    # Striped I/O turns checkpointing from a half-again overhead into
+    # noise: the paper-era argument for parallel file systems.
+    assert slow.overhead_fraction > 0.3
+    assert fast.overhead_fraction < 0.15
+    assert not slow.naive_no_checkpoint_feasible()

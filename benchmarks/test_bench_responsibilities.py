@@ -1,0 +1,49 @@
+"""Exhibit T4-2: the Federal HPCC Program responsibilities matrix.
+
+Regenerates the agency x component matrix and times the model queries.
+Shape checks: all eight agencies appear, ASTA is the universally-covered
+component, HPCS is the selective one.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.program import (
+    AGENCIES,
+    COMPONENTS,
+    agencies_covering,
+    coverage_matrix,
+    responsibilities_of,
+    validate_matrix,
+)
+from repro.program.responsibilities import render
+
+
+def build_exhibit() -> str:
+    validate_matrix()
+    lines = [render(), ""]
+    for comp in COMPONENTS:
+        covering = agencies_covering(comp.code)
+        lines.append(f"{comp.code}: covered by {len(covering)} agencies "
+                     f"({', '.join(covering)})")
+    return "\n".join(lines)
+
+
+def test_bench_responsibilities_matrix(benchmark):
+    text = benchmark(build_exhibit)
+    print_exhibit("T4-2  FEDERAL HPCC PROGRAM RESPONSIBILITIES", text)
+
+    # Shape assertions: the exhibit's structure.
+    assert len(AGENCIES) == 8
+    assert len(agencies_covering("ASTA")) == 8
+    assert 0 < len(agencies_covering("HPCS")) < 8
+    matrix = coverage_matrix()
+    assert sum(sum(row) for row in matrix) >= 30  # a dense program
+
+
+def test_bench_agency_queries(benchmark):
+    def query_all():
+        return {a.code: responsibilities_of(a.code) for a in AGENCIES}
+
+    per_agency = benchmark(query_all)
+    assert all(any(per_agency[a.code].values()) for a in AGENCIES)

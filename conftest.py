@@ -1,0 +1,11 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The benchmarks and tests import ``repro`` directly; inserting ``src``
+keeps the suite runnable in environments where the editable install is
+unavailable (e.g. offline images missing the ``wheel`` package).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

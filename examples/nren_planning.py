@@ -1,0 +1,81 @@
+"""NREN planning scenario: what does the gigabit upgrade buy?
+
+Walks the consortium network of exhibit T4-5: who can reach the Delta
+at what effective rate, which partners can steer remote visualisation,
+and how the picture changes when the T1/56k tails are upgraded to
+gigabit service -- the National Research and Education Network pitch,
+quantified.
+
+Run:  python examples/nren_planning.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.network import (
+    DELTA_SITE,
+    GIGABIT,
+    T3,
+    compare_transfer,
+    delta_consortium,
+    feasibility_frontier,
+    remote_session,
+    transfer_time,
+    upgrade_all_below,
+)
+from repro.util.units import format_bytes, format_time
+
+DATASET = 1e9  # a 1 GB Delta result
+
+
+def main() -> None:
+    net = delta_consortium()
+
+    print("=" * 70)
+    print("1. Today's consortium network (T4-5): 1 GB from the Delta")
+    print("=" * 70)
+    partners = [s.name for s in net.sites if s.name != DELTA_SITE]
+    for partner in sorted(partners):
+        est = transfer_time(net, DELTA_SITE, partner, DATASET)
+        print(f"   {partner:22s} {format_time(est.time_s):>10s} "
+              f"({est.effective_mbps:8.2f} Mbps effective)")
+
+    print()
+    print("=" * 70)
+    print("2. Remote visualisation feasibility (1 MB frames, 10 fps)")
+    print("=" * 70)
+    for partner in ("JPL", "CRPC (Rice)", "Regional members"):
+        session = remote_session(net, DELTA_SITE, partner)
+        verdict = "INTERACTIVE" if session.interactive else "batch only"
+        print(f"   {partner:22s} {session.achievable_fps:8.2f} fps, "
+              f"RTT {format_time(session.round_trip_s):>8s}  -> {verdict}")
+
+    print()
+    print("=" * 70)
+    print("3. The NREN upgrade: every sub-T3 tail to gigabit")
+    print("=" * 70)
+    upgraded = upgrade_all_below(net, T3.rate_bps, GIGABIT)
+    for partner in ("DOE laboratories", "CRPC (Rice)", "Regional members"):
+        cmp = compare_transfer(net, upgraded, DELTA_SITE, partner, DATASET)
+        print(f"   {partner:22s} {format_time(cmp.before.time_s):>10s} -> "
+              f"{format_time(cmp.after.time_s):>10s}   ({cmp.speedup:7.1f}x)")
+
+    print()
+    print("=" * 70)
+    print("4. The overnight-dataset frontier (what fits in an hour)")
+    print("=" * 70)
+    for label, network in (("today", net), ("gigabit NREN", upgraded)):
+        frontier = feasibility_frontier(
+            network, DELTA_SITE, "CRPC (Rice)", deadline_s=3600
+        )
+        print(f"   {label:15s} {format_bytes(frontier):>10s} to Rice in one hour")
+    print()
+    print("   A Grand Challenge team's working set moves from 'mail a")
+    print("   tape' to 'pull it over the network' -- the program's case")
+    print("   for funding NREN alongside the machines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Program-office scenario: the HPCC portfolio in numbers.
+
+Regenerates the paper's programmatic exhibits as a planning brief: the
+FY92-93 funding crosscut, the responsibilities matrix, the consortium
+rosters, and the technology-transfer trajectory the consortium
+mechanism is supposed to buy.
+
+Run:  python examples/program_portfolio.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.program import (
+    AGENCIES,
+    acceleration,
+    agency_share,
+    cas_consortium,
+    delta_csc,
+    growth_rate,
+    total_budget,
+    transfer_with_consortium,
+    transfer_without_consortium,
+)
+from repro.program.budget import render as render_funding
+from repro.program.budget import render_component_estimate
+from repro.program.responsibilities import render as render_matrix
+
+
+def main() -> None:
+    print("=" * 70)
+    print("1. The crosscut (exhibit T4-3)")
+    print("=" * 70)
+    print(render_funding())
+    print()
+    print(f"   Program growth FY92 -> FY93: {100 * growth_rate():.1f}% "
+          f"(${total_budget(1992):.1f}M -> ${total_budget(1993):.1f}M)")
+    darpa_nsf = agency_share("DARPA", 1993) + agency_share("NSF", 1993)
+    print(f"   DARPA + NSF carry {100 * darpa_nsf:.0f}% of FY93.")
+    print()
+    print(render_component_estimate(1993))
+
+    print()
+    print("=" * 70)
+    print("2. Who does what (exhibit T4-2)")
+    print("=" * 70)
+    print(render_matrix())
+    fastest = max(AGENCIES, key=lambda a: growth_rate(a.code))
+    print(f"\n   Fastest-growing line: {fastest.code} "
+          f"(+{100 * growth_rate(fastest.code):.0f}%) -- the standards "
+          f"and interfaces push.")
+
+    print()
+    print("=" * 70)
+    print("3. The consortium mechanism (exhibits T4-4..T4-6)")
+    print("=" * 70)
+    for consortium in (delta_csc(), cas_consortium()):
+        counts = consortium.sector_counts()
+        print(f"   {consortium.name}: {consortium.n_members} members "
+              f"({counts['government']} gov / {counts['industry']} ind / "
+              f"{counts['academia']} acad)")
+        print(f"      lead purpose: {consortium.purposes[0]}")
+
+    print()
+    print("=" * 70)
+    print("4. Technology transfer through direct participation")
+    print("=" * 70)
+    cas = cas_consortium()
+    market = 200
+    with_c = transfer_with_consortium(cas, market)
+    without = transfer_without_consortium(market)
+    print(f"   Bass diffusion over {market} potential adopters "
+          f"(quarterly periods):")
+    print(f"   {'period':>8} {'with consortium':>16} {'without':>10}")
+    wc = with_c.trajectory(24)
+    wo = without.trajectory(24)
+    for t in range(0, 25, 4):
+        print(f"   {t:>8} {wc[t]:>16.1f} {wo[t]:>10.1f}")
+    saved = acceleration(cas, market, fraction=0.5)
+    print(f"\n   Periods saved to 50% adoption: {saved} "
+          f"(~{saved / 4:.1f} years at quarterly cadence)")
+    print("   'Technology transfer is through direct participation.'")
+
+
+if __name__ == "__main__":
+    main()

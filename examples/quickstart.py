@@ -1,0 +1,80 @@
+"""Quickstart: the Touchstone Delta in five minutes.
+
+Builds the paper's flagship machine model, reproduces its headline
+numbers (32 GFLOPS peak / 13 GFLOPS LINPACK at n = 25 000), runs a real
+distributed LU factorisation on the message-passing simulator, and
+prints the program's funding table.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.linalg import (
+    HPLModel,
+    delta_linpack,
+    distributed_lu,
+    make_test_matrix,
+    serial_lu,
+)
+from repro.machine import touchstone_delta
+from repro.program.budget import render as render_funding
+from repro.util.units import format_time
+
+
+def main() -> None:
+    print("=" * 70)
+    print("1. The machine (exhibit T4-4)")
+    print("=" * 70)
+    delta = touchstone_delta()
+    print(delta.describe())
+    print(f"   topology diameter: {delta.topology.diameter()} hops, "
+          f"bisection {delta.bisection_bandwidth_bytes_per_s / 1e6:.0f} MB/s")
+
+    print()
+    print("=" * 70)
+    print("2. The headline claim: LINPACK 13 of 32 GFLOPS")
+    print("=" * 70)
+    point = delta_linpack()
+    print(f"   peak:            {point['peak_gflops']:.1f} GFLOPS "
+          f"(528 numeric processors)")
+    print(f"   LINPACK n=25000: {point['linpack_gflops']:.2f} GFLOPS "
+          f"on a {point['grid_rows']:.0f}x{point['grid_cols']:.0f} partition "
+          f"({100 * point['fraction_of_peak']:.1f}% of peak)")
+    print(f"   modelled run time: {format_time(point['time_s'])}")
+
+    model = HPLModel(delta)
+    print("   rate vs order (the scaled-speedup curve):")
+    for n in (1000, 5000, 10000, 25000):
+        print(f"      n={n:>6}: {model.gflops(n):6.2f} GFLOPS")
+
+    print()
+    print("=" * 70)
+    print("3. The algorithm, actually running (8-node submesh, n=64)")
+    print("=" * 70)
+    a = make_test_matrix(64, seed=7)
+    result = distributed_lu(delta.subset(8), 8, a)
+    lu_ref, piv_ref = serial_lu(a)
+    identical = np.array_equal(result.lu, lu_ref) and np.array_equal(
+        result.piv, piv_ref
+    )
+    print(f"   column-cyclic LU on the discrete-event simulator:")
+    print(f"      virtual time    {format_time(result.virtual_time)}")
+    print(f"      messages        {result.sim.total_messages}")
+    print(f"      bytes moved     {result.sim.total_bytes / 1e3:.1f} kB")
+    print(f"      bit-identical to serial reference: {identical}")
+
+    print()
+    print("=" * 70)
+    print("4. The program behind the machine (exhibit T4-3)")
+    print("=" * 70)
+    print(render_funding())
+
+
+if __name__ == "__main__":
+    main()

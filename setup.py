@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install
+-e .`` cannot build a PEP 660 editable wheel.  ``python setup.py
+develop`` installs an egg-link editable without needing wheel; metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

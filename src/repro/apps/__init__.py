@@ -1,0 +1,35 @@
+"""Grand-challenge application kernels (serial references + distributed
+versions running on the simulator)."""
+
+from repro.apps import cfd, md, nbody, ocean, poisson
+from repro.apps.cfd import CFDConfig, CFDRun, gaussian_blob
+from repro.apps.md import MDConfig, MDRun, Particles, lattice_fluid
+from repro.apps.nbody import Bodies, NBodyRun, random_cluster
+from repro.apps.ocean import OceanConfig, OceanRun, OceanState, gaussian_bump
+from repro.apps.poisson import PoissonConfig, PoissonResult, point_source, smooth_source
+
+__all__ = [
+    "cfd",
+    "md",
+    "MDConfig",
+    "MDRun",
+    "Particles",
+    "lattice_fluid",
+    "nbody",
+    "ocean",
+    "poisson",
+    "PoissonConfig",
+    "PoissonResult",
+    "point_source",
+    "smooth_source",
+    "CFDConfig",
+    "CFDRun",
+    "gaussian_blob",
+    "Bodies",
+    "NBodyRun",
+    "random_cluster",
+    "OceanConfig",
+    "OceanRun",
+    "OceanState",
+    "gaussian_bump",
+]

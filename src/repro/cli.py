@@ -1,0 +1,233 @@
+"""Command-line interface: regenerate any paper exhibit from a shell.
+
+Installed as ``python -m repro``.  Subcommands map one-to-one onto the
+exhibits and evaluation tools::
+
+    python -m repro machines                 # the testbed roster
+    python -m repro linpack --order 25000    # exhibit T4-4a
+    python -m repro funding                  # exhibit T4-3
+    python -m repro responsibilities         # exhibit T4-2
+    python -m repro network --gigabytes 1    # exhibit T4-5
+    python -m repro trajectory               # the teraops projection
+    python -m repro scaling --workload cfd --ranks 1,2,4,8
+    python -m repro challenges               # Grand Challenge registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.util.errors import ReproError
+
+
+def _cmd_machines(args) -> str:
+    from repro.machine import PRESETS, get_machine
+
+    lines = []
+    for name in sorted(PRESETS):
+        lines.append(f"[{name}] {get_machine(name).describe()}")
+    return "\n".join(lines)
+
+
+def _cmd_linpack(args) -> str:
+    from repro.linalg import HPLModel, delta_linpack
+    from repro.machine import touchstone_delta
+    from repro.util.tables import render_table
+
+    point = delta_linpack(args.order)
+    model = HPLModel(touchstone_delta())
+    sweep = model.sweep(sorted({1000, 5000, 10000, args.order}))
+    table = render_table(
+        ["Order", "GFLOPS", "% of peak", "Time (s)"],
+        [[p.n, p.gflops, 100 * p.fraction_of_peak, p.time_s] for p in sweep],
+        title="Touchstone Delta LINPACK model",
+        float_fmt=",.2f",
+    )
+    return (
+        f"peak {point['peak_gflops']:.1f} GFLOPS; LINPACK at n={args.order}: "
+        f"{point['linpack_gflops']:.2f} GFLOPS\n\n{table}"
+    )
+
+
+def _cmd_funding(args) -> str:
+    from repro.program.budget import render
+
+    return render()
+
+
+def _cmd_responsibilities(args) -> str:
+    from repro.program.responsibilities import render, validate_matrix
+
+    validate_matrix()
+    return render()
+
+
+def _cmd_network(args) -> str:
+    from repro.network import DELTA_SITE, delta_consortium, transfer_time
+    from repro.util.tables import render_table
+    from repro.util.units import format_time
+
+    net = delta_consortium()
+    nbytes = args.gigabytes * 1e9
+    rows = []
+    for site in net.sites:
+        if site.name == DELTA_SITE:
+            continue
+        est = transfer_time(net, DELTA_SITE, site.name, nbytes)
+        rows.append([site.name, est.effective_mbps, format_time(est.time_s)])
+    rows.sort(key=lambda r: -r[1])
+    return render_table(
+        ["Partner", "Eff. Mbps", f"{args.gigabytes:g} GB transfer"],
+        rows,
+        title="Consortium reachability of the Delta",
+        float_fmt=",.2f",
+    )
+
+
+def _cmd_trajectory(args) -> str:
+    from repro.machine import darpa_mpp_series
+    from repro.program import fit_machines, teraflops_year, trajectory_table
+    from repro.util.tables import render_table
+
+    series = darpa_mpp_series()
+    fit = fit_machines(series)
+    table = render_table(
+        ["Year", "Projected GF", "Installed GF"],
+        [[y, proj, inst if inst else ""] for y, proj, inst in
+         trajectory_table(series, horizon=args.horizon)],
+        title="Teraops trajectory",
+        float_fmt=",.1f",
+    )
+    return (
+        f"{table}\n\ngrowth {fit.annual_growth:.2f}x/yr; "
+        f"1 TFLOPS projected {teraflops_year(series):.1f}"
+    )
+
+
+def _cmd_scaling(args) -> str:
+    from repro.core import WORKLOADS, scaling_study, scaling_table, amdahl_summary
+    from repro.machine import get_machine
+
+    try:
+        factory = WORKLOADS[args.workload]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload {args.workload!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    ranks = [int(x) for x in args.ranks.split(",")]
+    study = scaling_study(factory(), get_machine(args.machine), ranks,
+                          seed=args.seed)
+    return scaling_table(study) + "\n\n" + amdahl_summary(study)
+
+
+def _cmd_goals(args) -> str:
+    from repro.program.goals import render
+
+    return render()
+
+
+def _cmd_challenges(args) -> str:
+    from repro.program import GRAND_CHALLENGES, validate_registry
+    from repro.util.tables import render_table
+
+    validate_registry()
+    return render_table(
+        ["Grand Challenge", "Agencies", "Proxy", "Pattern"],
+        [[gc.name, ", ".join(gc.agencies), gc.proxy_workload, gc.pattern]
+         for gc in GRAND_CHALLENGES],
+        title="Grand Challenge registry",
+        align_right_from=99,
+    )
+
+
+def _cmd_all(args) -> str:
+    """Every exhibit, in paper order, as one report."""
+    sections = [
+        ("T4-1  GOALS AND APPROACH", _cmd_goals),
+        ("T4-2  RESPONSIBILITIES", _cmd_responsibilities),
+        ("T4-3  FUNDING FY 92-93", _cmd_funding),
+        ("T4-4  MACHINES AND LINPACK", _cmd_machines),
+        ("", _cmd_linpack),
+        ("T4-5  CONSORTIUM NETWORK", _cmd_network),
+        ("TERAOPS TRAJECTORY", _cmd_trajectory),
+        ("GRAND CHALLENGES", _cmd_challenges),
+    ]
+    out = []
+    for title, fn in sections:
+        if title:
+            out.append("=" * 72)
+            out.append(title)
+            out.append("=" * 72)
+        out.append(fn(args))
+        out.append("")
+    return "\n".join(out)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the HPCC paper's exhibits from the "
+                    "simulation library.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="testbed machine roster").set_defaults(
+        func=_cmd_machines
+    )
+
+    linpack = sub.add_parser("linpack", help="exhibit T4-4a (Delta LINPACK)")
+    linpack.add_argument("--order", type=int, default=25_000)
+    linpack.set_defaults(func=_cmd_linpack)
+
+    sub.add_parser("funding", help="exhibit T4-3 (FY92-93 table)").set_defaults(
+        func=_cmd_funding
+    )
+    sub.add_parser(
+        "responsibilities", help="exhibit T4-2 (agency matrix)"
+    ).set_defaults(func=_cmd_responsibilities)
+
+    network = sub.add_parser("network", help="exhibit T4-5 (consortium WAN)")
+    network.add_argument("--gigabytes", type=float, default=1.0)
+    network.set_defaults(func=_cmd_network)
+
+    trajectory = sub.add_parser("trajectory", help="teraops projection")
+    trajectory.add_argument("--horizon", type=int, default=1996)
+    trajectory.set_defaults(func=_cmd_trajectory)
+
+    scaling = sub.add_parser("scaling", help="run a scaling study")
+    scaling.add_argument("--workload", default="cfd")
+    scaling.add_argument("--machine", default="delta")
+    scaling.add_argument("--ranks", default="1,2,4,8")
+    scaling.add_argument("--seed", type=int, default=0)
+    scaling.set_defaults(func=_cmd_scaling)
+
+    sub.add_parser("challenges", help="Grand Challenge registry").set_defaults(
+        func=_cmd_challenges
+    )
+    sub.add_parser(
+        "goals", help="exhibit T4-1 (goals, quotes, approach)"
+    ).set_defaults(func=_cmd_goals)
+
+    everything = sub.add_parser("all", help="every exhibit as one report")
+    everything.add_argument("--order", type=int, default=25_000)
+    everything.add_argument("--gigabytes", type=float, default=1.0)
+    everything.add_argument("--horizon", type=int, default=1996)
+    everything.set_defaults(func=_cmd_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Evaluation campaigns: scaling studies and machine comparisons.
+
+This is the HPCC "approach" in executable form: take a workload, run it
+across partition sizes and machines, and report speedup, efficiency,
+and the Amdahl serial-fraction estimate -- the numbers the application
+software teams produced when they "utilized and evaluated" the
+testbeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload, WorkloadResult
+from repro.machine.machine import Machine
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One rank count of a scaling study."""
+
+    n_ranks: int
+    result: WorkloadResult
+    speedup: float
+    efficiency: float
+
+
+@dataclass
+class ScalingStudy:
+    """Strong-scaling sweep of one workload on one machine."""
+
+    workload: str
+    machine: str
+    points: List[ScalingPoint]
+
+    @property
+    def baseline_time(self) -> float:
+        return self.points[0].result.virtual_time * self.points[0].speedup
+
+    def best_speedup(self) -> ScalingPoint:
+        return max(self.points, key=lambda pt: pt.speedup)
+
+    def amdahl_serial_fraction(self) -> float:
+        """Least-squares fit of 1/S = f + (1-f)/p over the sweep.
+
+        Returns the estimated serial fraction ``f`` (clamped to [0, 1]).
+        With one point the fit is undefined; returns 0.
+        """
+        if len(self.points) < 2:
+            return 0.0
+        ps = np.array([pt.n_ranks for pt in self.points], dtype=float)
+        inv_s = np.array([1.0 / pt.speedup for pt in self.points])
+        # 1/S = f*(1 - 1/p) + 1/p  =>  y = f*x with
+        # y = 1/S - 1/p, x = 1 - 1/p.
+        x = 1.0 - 1.0 / ps
+        y = inv_s - 1.0 / ps
+        denom = float(x @ x)
+        if denom == 0.0:
+            return 0.0
+        f = float(x @ y) / denom
+        return min(max(f, 0.0), 1.0)
+
+
+def scaling_study(
+    workload: Workload,
+    machine: Machine,
+    rank_counts: Sequence[int],
+    *,
+    seed: int = 0,
+) -> ScalingStudy:
+    """Run ``workload`` at each rank count; speedups are relative to the
+    smallest count in the sweep (include 1 for true strong scaling)."""
+    counts = sorted(set(rank_counts))
+    if not counts:
+        raise ConfigurationError("rank_counts must be non-empty")
+    if counts[0] < 1:
+        raise ConfigurationError(f"rank counts must be >= 1, got {counts[0]}")
+    results = [workload.run(machine.subset(p) if p < machine.n_nodes else machine,
+                            p, seed=seed) for p in counts]
+    base_p = counts[0]
+    base_time = results[0].virtual_time
+    points = []
+    for p, res in zip(counts, results):
+        speedup = base_p * base_time / res.virtual_time if res.virtual_time > 0 else float("inf")
+        points.append(
+            ScalingPoint(
+                n_ranks=p,
+                result=res,
+                speedup=speedup,
+                efficiency=speedup / p,
+            )
+        )
+    return ScalingStudy(workload=workload.name, machine=machine.name, points=points)
+
+
+@dataclass(frozen=True)
+class WeakScalingPoint:
+    """One rank count of a weak-scaling (scaled-speedup) study."""
+
+    n_ranks: int
+    result: WorkloadResult
+    #: t_base / t_p -- ideal weak scaling keeps time constant (1.0).
+    efficiency: float
+
+
+@dataclass
+class WeakScalingStudy:
+    """Gustafson-style sweep: the problem grows with the machine."""
+
+    workload_family: str
+    machine: str
+    points: List[WeakScalingPoint]
+
+    def final_efficiency(self) -> float:
+        return self.points[-1].efficiency
+
+
+def weak_scaling_study(
+    workload_factory,
+    machine: Machine,
+    rank_counts: Sequence[int],
+    *,
+    seed: int = 0,
+) -> WeakScalingStudy:
+    """Run ``workload_factory(p)`` at each rank count ``p``.
+
+    The factory must scale the problem proportionally to ``p`` (e.g.
+    rows = base_rows * p); efficiency is base time over each time, so a
+    perfectly-scaling code holds 1.0 -- Gustafson's scaled speedup, the
+    methodology the Delta's Grand Challenge results were reported in.
+    """
+    counts = sorted(set(rank_counts))
+    if not counts:
+        raise ConfigurationError("rank_counts must be non-empty")
+    if counts[0] < 1:
+        raise ConfigurationError(f"rank counts must be >= 1, got {counts[0]}")
+    points = []
+    base_time = None
+    family = None
+    for p in counts:
+        workload = workload_factory(p)
+        family = family or workload.name
+        target = machine.subset(p) if p < machine.n_nodes else machine
+        result = workload.run(target, p, seed=seed)
+        if base_time is None:
+            base_time = result.virtual_time
+        eff = base_time / result.virtual_time if result.virtual_time > 0 else 1.0
+        points.append(WeakScalingPoint(n_ranks=p, result=result, efficiency=eff))
+    return WeakScalingStudy(
+        workload_family=family, machine=machine.name, points=points
+    )
+
+
+@dataclass(frozen=True)
+class MachineComparison:
+    """One workload run on several machines at a fixed rank count."""
+
+    workload: str
+    n_ranks: int
+    results: List[WorkloadResult]
+
+    def winner(self) -> WorkloadResult:
+        return min(self.results, key=lambda r: r.virtual_time)
+
+    def speedup_over(self, baseline_machine: str) -> dict:
+        """Each machine's speedup relative to the named baseline."""
+        base = next(
+            (r for r in self.results if r.machine == baseline_machine), None
+        )
+        if base is None:
+            raise ConfigurationError(
+                f"baseline {baseline_machine!r} not among "
+                f"{[r.machine for r in self.results]}"
+            )
+        return {
+            r.machine: base.virtual_time / r.virtual_time for r in self.results
+        }
+
+
+def compare_machines(
+    workload: Workload,
+    machines: Sequence[Machine],
+    n_ranks: int,
+    *,
+    seed: int = 0,
+) -> MachineComparison:
+    """Run the same workload and rank count on each machine."""
+    if not machines:
+        raise ConfigurationError("machines must be non-empty")
+    results = []
+    for machine in machines:
+        target = machine.subset(n_ranks) if n_ranks < machine.n_nodes else machine
+        results.append(workload.run(target, n_ranks, seed=seed))
+    return MachineComparison(
+        workload=workload.name, n_ranks=n_ranks, results=results
+    )

@@ -1,0 +1,103 @@
+"""Speedup laws: the analytic backbone of 1992 scalability arguments.
+
+Amdahl's law bounded fixed-size speedup and was the stock argument
+*against* massive parallelism; Gustafson's scaled speedup (from Sandia,
+1988) was the program's counter.  The Karp-Flatt metric turns measured
+speedups back into an experimentally-determined serial fraction, which
+is how application teams diagnosed their codes.
+
+These closed forms complement the measured studies in
+:mod:`repro.core.evaluation`: tests cross-check the simulator's scaling
+output against them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.errors import ConfigurationError
+
+
+def _check_fraction(f: float) -> None:
+    if not 0.0 <= f <= 1.0:
+        raise ConfigurationError(f"serial fraction must be in [0, 1], got {f}")
+
+
+def _check_ranks(p: int) -> None:
+    if p < 1:
+        raise ConfigurationError(f"rank count must be >= 1, got {p}")
+
+
+def amdahl_speedup(serial_fraction: float, p: int) -> float:
+    """Fixed-size speedup bound: 1 / (f + (1-f)/p)."""
+    _check_fraction(serial_fraction)
+    _check_ranks(p)
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+
+
+def amdahl_limit(serial_fraction: float) -> float:
+    """Asymptotic speedup ceiling 1/f (infinite for f = 0)."""
+    _check_fraction(serial_fraction)
+    if serial_fraction == 0.0:
+        return float("inf")
+    return 1.0 / serial_fraction
+
+
+def gustafson_speedup(serial_fraction: float, p: int) -> float:
+    """Scaled speedup: f + (1-f) * p.
+
+    The problem grows with the machine so the parallel part stays a
+    constant share of wall time -- the Delta's Grand Challenge results
+    were reported this way.
+    """
+    _check_fraction(serial_fraction)
+    _check_ranks(p)
+    return serial_fraction + (1.0 - serial_fraction) * p
+
+
+def karp_flatt(speedup: float, p: int) -> float:
+    """Experimentally-determined serial fraction.
+
+        e = (1/S - 1/p) / (1 - 1/p)
+
+    Rising e with p indicates communication overhead, not just inherent
+    serial work -- the diagnostic the metric was invented for.
+    """
+    _check_ranks(p)
+    if p == 1:
+        raise ConfigurationError("Karp-Flatt is undefined at p = 1")
+    if speedup <= 0:
+        raise ConfigurationError(f"speedup must be positive, got {speedup}")
+    return (1.0 / speedup - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+def efficiency(speedup: float, p: int) -> float:
+    """Parallel efficiency S/p."""
+    _check_ranks(p)
+    if speedup < 0:
+        raise ConfigurationError(f"speedup must be >= 0, got {speedup}")
+    return speedup / p
+
+
+def isoefficiency_problem_growth(
+    efficiencies: Sequence[float],
+    problem_sizes: Sequence[float],
+    target: float,
+) -> float:
+    """Crude isoefficiency estimate: smallest measured problem size
+    whose efficiency meets ``target`` (inf if none does).
+
+    A full isoefficiency function needs the overhead model; given only
+    a sweep of (size, efficiency) pairs this returns the empirical
+    threshold, which is what teams actually read off their plots.
+    """
+    if len(efficiencies) != len(problem_sizes):
+        raise ConfigurationError(
+            f"{len(efficiencies)} efficiencies vs {len(problem_sizes)} sizes"
+        )
+    if not 0.0 < target <= 1.0:
+        raise ConfigurationError(f"target must be in (0, 1], got {target}")
+    qualifying = [
+        size for size, eff in zip(problem_sizes, efficiencies) if eff >= target
+    ]
+    return min(qualifying) if qualifying else float("inf")

@@ -1,0 +1,99 @@
+"""ASCII charts for terminal reports.
+
+Scaling studies read better as pictures even in a terminal; these
+renderers keep the library dependency-free while giving examples and
+benchmarks a visual channel (the 1992 equivalent was a pen plotter).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.evaluation import ScalingStudy
+from repro.util.errors import ConfigurationError
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 50,
+    height: int = 12,
+    title: Optional[str] = None,
+    marker: str = "*",
+    y_label: str = "",
+) -> str:
+    """Scatter ``ys`` against ``xs`` on a character grid.
+
+    Axes are linear; the y range is padded to include zero so bar-like
+    quantities read intuitively.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError(f"{len(xs)} xs vs {len(ys)} ys")
+    if not xs:
+        raise ConfigurationError("nothing to plot")
+    if width < 8 or height < 3:
+        raise ConfigurationError("chart must be at least 8x3 characters")
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row_chars in enumerate(grid):
+        label = top_label if i == 0 else (bottom_label if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |{''.join(row_chars)}")
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    x_axis = f"{x_lo:.3g}"
+    x_end = f"{x_hi:.3g}"
+    gap = max(1, width - len(x_axis) - len(x_end))
+    lines.append(f"{'':>{pad}}  {x_axis}{' ' * gap}{x_end}")
+    if y_label:
+        lines.append(f"{'':>{pad}}  ({y_label})")
+    return "\n".join(lines)
+
+
+def speedup_chart(study: ScalingStudy, *, width: int = 50, height: int = 12) -> str:
+    """Measured speedup (``*``) against the ideal line (``.``)."""
+    xs = [float(pt.n_ranks) for pt in study.points]
+    measured = [pt.speedup for pt in study.points]
+    chart = ascii_chart(
+        xs, measured,
+        width=width, height=height,
+        title=f"Speedup: {study.workload} on {study.machine}",
+        marker="*",
+        y_label="speedup; '.' = ideal",
+    )
+    # Overlay the ideal (y = x) line with dots on the chart's own
+    # scale, clipping ideal points that exceed the measured range.
+    lines = chart.split("\n")
+    y_hi = max(0.0, max(measured))
+    x_lo, x_hi = xs[0], xs[-1]
+    grid_top = 1  # after the title line
+    for x in xs:
+        if x > y_hi or y_hi == 0.0:
+            continue
+        col = int((x - x_lo) / (x_hi - x_lo or 1.0) * (width - 1))
+        row = int(x / y_hi * (height - 1))
+        line_idx = grid_top + (height - 1 - row)
+        if 0 <= line_idx < len(lines):
+            line = lines[line_idx]
+            bar = line.index("|") + 1
+            pos = bar + col
+            if pos < len(line) and line[pos] == " ":
+                lines[line_idx] = line[:pos] + "." + line[pos + 1:]
+    return "\n".join(lines)

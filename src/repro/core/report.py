@@ -1,0 +1,78 @@
+"""Text reports for evaluation results (used by examples and benches)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.evaluation import MachineComparison, ScalingStudy, WeakScalingStudy
+from repro.util.tables import render_table
+from repro.util.units import format_time
+
+
+def scaling_table(study: ScalingStudy) -> str:
+    """Render a strong-scaling sweep."""
+    rows = []
+    for pt in study.points:
+        rows.append([
+            pt.n_ranks,
+            format_time(pt.result.virtual_time),
+            pt.speedup,
+            100.0 * pt.efficiency,
+            100.0 * pt.result.comm_fraction,
+        ])
+    return render_table(
+        ["Ranks", "Time", "Speedup", "Efficiency %", "Comm %"],
+        rows,
+        title=f"Scaling: {study.workload} on {study.machine}",
+        float_fmt=",.2f",
+    )
+
+
+def weak_scaling_table(study: WeakScalingStudy) -> str:
+    """Render a scaled-speedup sweep."""
+    rows = []
+    for pt in study.points:
+        rows.append([
+            pt.n_ranks,
+            pt.result.workload,
+            format_time(pt.result.virtual_time),
+            100.0 * pt.efficiency,
+            100.0 * pt.result.comm_fraction,
+        ])
+    return render_table(
+        ["Ranks", "Problem", "Time", "Weak eff. %", "Comm %"],
+        rows,
+        title=f"Weak scaling: {study.workload_family} family on {study.machine}",
+        float_fmt=",.2f",
+    )
+
+
+def comparison_table(cmp: MachineComparison) -> str:
+    """Render a machine shoot-out at fixed rank count."""
+    fastest = cmp.winner().virtual_time
+    rows = []
+    for res in sorted(cmp.results, key=lambda r: r.virtual_time):
+        rows.append([
+            res.machine,
+            format_time(res.virtual_time),
+            res.virtual_time / fastest,
+            100.0 * res.comm_fraction,
+        ])
+    return render_table(
+        ["Machine", "Time", "Slowdown vs best", "Comm %"],
+        rows,
+        title=f"{cmp.workload} at {cmp.n_ranks} ranks",
+        float_fmt=",.2f",
+    )
+
+
+def amdahl_summary(study: ScalingStudy) -> str:
+    """One-line Amdahl diagnosis for a study."""
+    f = study.amdahl_serial_fraction()
+    best = study.best_speedup()
+    limit = "unbounded" if f == 0 else f"{1.0 / f:,.0f}x"
+    return (
+        f"{study.workload}: serial fraction ~{100 * f:.2f}% "
+        f"(Amdahl ceiling {limit}); best observed {best.speedup:.1f}x "
+        f"at {best.n_ranks} ranks"
+    )

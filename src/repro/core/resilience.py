@@ -1,0 +1,164 @@
+"""Checkpoint/restart economics: running long jobs on failing nodes.
+
+A 528-node machine built from workstation-class parts fails daily;
+Grand Challenge runs lasted weeks.  The operational answer was
+checkpoint/restart, and its planning mathematics is Young's classic
+first-order analysis:
+
+* a machine of N nodes with per-node MTBF ``m`` fails about every
+  ``m / N`` hours;
+* checkpointing costs ``C`` (state size over I/O bandwidth);
+* the optimal checkpoint interval is ``tau* = sqrt(2 * C * MTBF)``;
+* expected completion time inflates by the checkpoint overhead plus
+  expected rework after each failure.
+
+The fault-injection hooks in :mod:`repro.simmpi.engine` demonstrate the
+failure mechanics; this module quantifies the policy response.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+def system_mtbf(node_mtbf_s: float, n_nodes: int) -> float:
+    """Aggregate mean time between failures of an N-node machine
+    (independent exponential node failures)."""
+    if node_mtbf_s <= 0:
+        raise ConfigurationError(f"node MTBF must be positive, got {node_mtbf_s}")
+    if n_nodes < 1:
+        raise ConfigurationError(f"need at least one node, got {n_nodes}")
+    return node_mtbf_s / n_nodes
+
+
+def checkpoint_cost(state_bytes: float, io_bandwidth_bytes_per_s: float) -> float:
+    """Seconds to write one checkpoint."""
+    if state_bytes < 0:
+        raise ConfigurationError(f"state size must be >= 0, got {state_bytes}")
+    if io_bandwidth_bytes_per_s <= 0:
+        raise ConfigurationError(
+            f"I/O bandwidth must be positive, got {io_bandwidth_bytes_per_s}"
+        )
+    return state_bytes / io_bandwidth_bytes_per_s
+
+
+def young_interval(cost_s: float, mtbf_s: float) -> float:
+    """Young's optimal checkpoint interval sqrt(2 * C * MTBF)."""
+    if cost_s <= 0:
+        raise ConfigurationError(f"checkpoint cost must be positive, got {cost_s}")
+    if mtbf_s <= 0:
+        raise ConfigurationError(f"MTBF must be positive, got {mtbf_s}")
+    return math.sqrt(2.0 * cost_s * mtbf_s)
+
+
+def expected_runtime(
+    work_s: float,
+    interval_s: float,
+    cost_s: float,
+    mtbf_s: float,
+    *,
+    restart_s: float = 0.0,
+) -> float:
+    """Expected wall time for ``work_s`` of useful computation.
+
+    First-order model: each interval carries its checkpoint cost; a
+    failure (rate 1/MTBF) loses on average half an interval plus the
+    restart, and the run repeats the loss.
+
+        T = (work / tau) * (tau + C)
+            + (T / MTBF) * (tau / 2 + restart)
+
+    solved for T.  Valid while the failure-loss factor stays below one
+    (raise otherwise: the job never finishes at this interval).
+    """
+    if work_s < 0:
+        raise ConfigurationError(f"work must be >= 0, got {work_s}")
+    if interval_s <= 0:
+        raise ConfigurationError(f"interval must be positive, got {interval_s}")
+    if cost_s < 0 or restart_s < 0:
+        raise ConfigurationError("costs must be >= 0")
+    if mtbf_s <= 0:
+        raise ConfigurationError(f"MTBF must be positive, got {mtbf_s}")
+    base = work_s * (interval_s + cost_s) / interval_s
+    loss_factor = (interval_s / 2.0 + restart_s) / mtbf_s
+    if loss_factor >= 1.0:
+        raise ConfigurationError(
+            f"failure loss factor {loss_factor:.2f} >= 1: the machine fails "
+            "faster than it recovers at this interval"
+        )
+    return base / (1.0 - loss_factor)
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """A complete checkpoint policy for one job on one machine."""
+
+    work_s: float
+    state_bytes: float
+    io_bandwidth_bytes_per_s: float
+    node_mtbf_s: float
+    n_nodes: int
+    restart_s: float = 60.0
+
+    @property
+    def mtbf_s(self) -> float:
+        return system_mtbf(self.node_mtbf_s, self.n_nodes)
+
+    @property
+    def cost_s(self) -> float:
+        return checkpoint_cost(self.state_bytes, self.io_bandwidth_bytes_per_s)
+
+    @property
+    def interval_s(self) -> float:
+        return young_interval(self.cost_s, self.mtbf_s)
+
+    @property
+    def expected_s(self) -> float:
+        return expected_runtime(
+            self.work_s, self.interval_s, self.cost_s, self.mtbf_s,
+            restart_s=self.restart_s,
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Wall-time inflation over failure-free, checkpoint-free work."""
+        if self.work_s == 0:
+            return 0.0
+        return self.expected_s / self.work_s - 1.0
+
+    def naive_no_checkpoint_feasible(self) -> bool:
+        """Could the job plausibly finish with no checkpoints at all?
+        (Rule of thumb: work must fit well inside one MTBF.)"""
+        return self.work_s < 0.5 * self.mtbf_s
+
+    @classmethod
+    def for_machine(
+        cls,
+        machine,
+        io,
+        *,
+        work_s: float,
+        state_fraction: float = 0.5,
+        node_mtbf_s: float = 30 * 24 * 3600.0,
+        restart_s: float = 60.0,
+    ) -> "CheckpointPlan":
+        """Build a plan from a machine model and an I/O subsystem.
+
+        ``state_fraction`` is the share of aggregate memory that must be
+        checkpointed (a halo code's live field, not every byte).
+        """
+        if not 0 < state_fraction <= 1:
+            raise ConfigurationError(
+                f"state_fraction must be in (0, 1], got {state_fraction}"
+            )
+        return cls(
+            work_s=work_s,
+            state_bytes=machine.total_memory_bytes * state_fraction,
+            io_bandwidth_bytes_per_s=io.aggregate_bandwidth_bytes_per_s,
+            node_mtbf_s=node_mtbf_s,
+            n_nodes=machine.n_nodes,
+            restart_s=restart_s,
+        )

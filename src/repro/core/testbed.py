@@ -1,0 +1,109 @@
+"""Testbeds: machine + network + home site, the program's deliverable.
+
+"ESTABLISH HIGH PERFORMANCE COMPUTING TESTBEDS" is the first line of
+the paper's approach slide.  A :class:`Testbed` binds a simulated
+machine to its consortium network location so campaigns can answer the
+full user-experience question: run time on the machine *plus* the time
+for a remote partner to move results home -- the end-to-end number that
+motivated pairing HPCS with NREN in one program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.workload import Workload, WorkloadResult
+from repro.machine.machine import Machine
+from repro.network.graph import WideAreaNetwork
+from repro.network.transfer import TransferEstimate, transfer_time
+from repro.util.errors import ConfigurationError, NetworkError
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """A workload execution plus the result-retrieval transfer."""
+
+    run: WorkloadResult
+    transfer: Optional[TransferEstimate]
+
+    @property
+    def end_to_end_s(self) -> float:
+        """Machine time plus (if remote) network time."""
+        total = self.run.virtual_time
+        if self.transfer is not None:
+            total += self.transfer.time_s
+        return total
+
+    @property
+    def network_fraction(self) -> float:
+        """Share of end-to-end time spent on the wide-area network."""
+        if self.transfer is None or self.end_to_end_s == 0:
+            return 0.0
+        return self.transfer.time_s / self.end_to_end_s
+
+
+class Testbed:
+    """A machine installed at a site on a consortium network."""
+
+    # Not a test case despite the Test* name (silences pytest collection).
+    __test__ = False
+
+    def __init__(
+        self,
+        machine: Machine,
+        network: Optional[WideAreaNetwork] = None,
+        home_site: Optional[str] = None,
+    ):
+        if (network is None) != (home_site is None):
+            raise ConfigurationError(
+                "network and home_site must be given together"
+            )
+        if network is not None:
+            network.site(home_site)  # validates
+        self.machine = machine
+        self.network = network
+        self.home_site = home_site
+
+    @classmethod
+    def delta_at_caltech(cls) -> "Testbed":
+        """The flagship: Touchstone Delta on the consortium network."""
+        from repro.machine.presets import touchstone_delta
+        from repro.network.consortium_net import DELTA_SITE, delta_consortium
+
+        return cls(touchstone_delta(), delta_consortium(), DELTA_SITE)
+
+    def campaign(
+        self,
+        workload: Workload,
+        n_ranks: int,
+        *,
+        user_site: Optional[str] = None,
+        result_bytes: float = 0.0,
+        seed: int = 0,
+    ) -> CampaignResult:
+        """Run a workload for a (possibly remote) user.
+
+        ``user_site`` of None (or the home site) means a local user; a
+        remote user pays the transfer of ``result_bytes`` home.
+        """
+        if result_bytes < 0:
+            raise ConfigurationError(
+                f"result_bytes must be >= 0, got {result_bytes}"
+            )
+        target = (
+            self.machine.subset(n_ranks)
+            if n_ranks < self.machine.n_nodes
+            else self.machine
+        )
+        run = workload.run(target, n_ranks, seed=seed)
+        transfer = None
+        if user_site is not None and user_site != self.home_site:
+            if self.network is None:
+                raise NetworkError(
+                    "testbed has no network; cannot serve remote users"
+                )
+            transfer = transfer_time(
+                self.network, self.home_site, user_site, result_bytes
+            )
+        return CampaignResult(run=run, transfer=transfer)

@@ -1,0 +1,320 @@
+"""Workload descriptors: uniform interface over the application kernels.
+
+The program's approach slide calls for "application software teams ...
+to utilize and evaluate testbeds".  A :class:`Workload` is the unit of
+that evaluation: a named, parameterised problem that can be run on any
+simulated machine at any rank count, returning uniform metrics.
+
+Concrete workloads wrap the grand-challenge kernels
+(:mod:`repro.apps`) and the ASTA algorithms (:mod:`repro.linalg`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.machine.machine import Machine
+from repro.simmpi.engine import SimResult
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Uniform metrics from one workload execution."""
+
+    workload: str
+    machine: str
+    n_ranks: int
+    virtual_time: float
+    total_messages: int
+    total_bytes: float
+    compute_time: float
+    comm_time: float
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of aggregate busy time spent communicating."""
+        busy = self.compute_time + self.comm_time
+        return self.comm_time / busy if busy > 0 else 0.0
+
+
+def _from_sim(workload: str, machine: Machine, n_ranks: int, sim: SimResult) -> WorkloadResult:
+    return WorkloadResult(
+        workload=workload,
+        machine=machine.name,
+        n_ranks=n_ranks,
+        virtual_time=sim.time,
+        total_messages=sim.total_messages,
+        total_bytes=sim.total_bytes,
+        compute_time=sim.total_compute_time,
+        comm_time=sim.total_comm_time,
+    )
+
+
+class Workload(ABC):
+    """A named problem runnable at any rank count on any machine."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        """Execute on a simulated machine and return uniform metrics."""
+
+    @abstractmethod
+    def max_ranks(self) -> int:
+        """Largest rank count the problem decomposes over."""
+
+    def check_ranks(self, machine: Machine, n_ranks: int) -> None:
+        if not 1 <= n_ranks <= machine.n_nodes:
+            raise ConfigurationError(
+                f"{n_ranks} ranks outside machine of {machine.n_nodes} nodes"
+            )
+        if n_ranks > self.max_ranks():
+            raise ConfigurationError(
+                f"{self.name}: {n_ranks} ranks exceeds decomposition limit "
+                f"{self.max_ranks()}"
+            )
+
+
+class CFDWorkload(Workload):
+    """Structured-grid advection-diffusion (CAS aerosciences proxy)."""
+
+    def __init__(self, nx: int = 64, ny: int = 64, steps: int = 10):
+        from repro.apps.cfd import CFDConfig
+
+        self.config = CFDConfig(nx=nx, ny=ny, dt=0.05)
+        self.steps = steps
+        self.name = f"cfd-{nx}x{ny}x{steps}"
+
+    def max_ranks(self) -> int:
+        return self.config.ny
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.apps.cfd import distributed_run, gaussian_blob
+
+        self.check_ranks(machine, n_ranks)
+        u0 = gaussian_blob(self.config)
+        out = distributed_run(machine, n_ranks, u0, self.config, self.steps, seed=seed)
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+class OceanWorkload(Workload):
+    """Shallow-water basin (NOAA ocean/atmosphere proxy)."""
+
+    def __init__(self, nx: int = 64, ny: int = 64, steps: int = 10):
+        from repro.apps.ocean import OceanConfig
+
+        self.config = OceanConfig(nx=nx, ny=ny, dt=10.0)
+        self.steps = steps
+        self.name = f"ocean-{nx}x{ny}x{steps}"
+
+    def max_ranks(self) -> int:
+        return self.config.ny
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.apps.ocean import distributed_run, gaussian_bump
+
+        self.check_ranks(machine, n_ranks)
+        state = gaussian_bump(self.config)
+        out = distributed_run(machine, n_ranks, state, self.config, self.steps, seed=seed)
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+class NBodyWorkload(Workload):
+    """Direct-sum gravity (space-sciences proxy)."""
+
+    def __init__(self, n_bodies: int = 128, steps: int = 2):
+        if n_bodies < 1:
+            raise ConfigurationError(f"need bodies, got {n_bodies}")
+        self.n_bodies = n_bodies
+        self.steps = steps
+        self.name = f"nbody-{n_bodies}x{steps}"
+
+    def max_ranks(self) -> int:
+        return self.n_bodies
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.apps.nbody import distributed_run, random_cluster
+
+        self.check_ranks(machine, n_ranks)
+        bodies = random_cluster(self.n_bodies, seed=seed)
+        out = distributed_run(
+            machine, n_ranks, bodies, dt=0.01, steps=self.steps, seed=seed
+        )
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+class LUWorkload(Workload):
+    """Executable column-cyclic LU (small-order LINPACK)."""
+
+    def __init__(self, n: int = 64):
+        if n < 1:
+            raise ConfigurationError(f"order must be >= 1, got {n}")
+        self.n = n
+        self.name = f"lu-{n}"
+
+    def max_ranks(self) -> int:
+        return self.n
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.linalg.blocklu import distributed_lu, make_test_matrix
+
+        self.check_ranks(machine, n_ranks)
+        a = make_test_matrix(self.n, seed=seed)
+        out = distributed_lu(machine, n_ranks, a, seed=seed)
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+class FFTWorkload(Workload):
+    """Transpose FFT (signal/spectral proxy; bisection stress)."""
+
+    def __init__(self, n: int = 4096):
+        # Power-of-two keeps every rank count in the sweep valid.
+        if n < 4 or n & (n - 1):
+            raise ConfigurationError(f"FFT size must be a power of two >= 4, got {n}")
+        self.n = n
+        self.name = f"fft-{n}"
+        self._n1 = 1
+        while self._n1 * self._n1 < n:
+            self._n1 *= 2
+
+    def max_ranks(self) -> int:
+        return min(self._n1, self.n // self._n1)
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.linalg.fft import distributed_fft
+
+        self.check_ranks(machine, n_ranks)
+        if self._n1 % n_ranks or (self.n // self._n1) % n_ranks:
+            raise ConfigurationError(
+                f"{self.name}: rank count {n_ranks} must divide both FFT "
+                f"factors ({self._n1}, {self.n // self._n1})"
+            )
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(self.n)
+        out = distributed_fft(machine, n_ranks, x, n1=self._n1, seed=seed)
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+class CGWorkload(Workload):
+    """Distributed conjugate gradient (implicit-solver proxy)."""
+
+    def __init__(self, n: int = 96, tol: float = 1e-8):
+        if n < 2:
+            raise ConfigurationError(f"order must be >= 2, got {n}")
+        self.n = n
+        self.tol = tol
+        self.name = f"cg-{n}"
+
+    def max_ranks(self) -> int:
+        return self.n
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.linalg.cg import distributed_cg, make_spd_matrix
+
+        self.check_ranks(machine, n_ranks)
+        a = make_spd_matrix(self.n, seed=seed)
+        b = np.ones(self.n)
+        out = distributed_cg(machine, n_ranks, a, b, tol=self.tol, seed=seed)
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+class PoissonWorkload(Workload):
+    """Relaxation Poisson solve (energy grand-challenge proxy).
+
+    ``method`` selects Jacobi or red-black Gauss-Seidel; the two differ
+    in convergence rate *and* halo cost, which is the point.
+    """
+
+    def __init__(self, nx: int = 32, ny: int = 32, method: str = "jacobi",
+                 tol: float = 1e-4):
+        from repro.apps.poisson import PoissonConfig
+
+        if method not in ("jacobi", "redblack"):
+            raise ConfigurationError(f"unknown method {method!r}")
+        self.config = PoissonConfig(nx=nx, ny=ny, h=1.0 / (ny + 1))
+        self.method = method
+        self.tol = tol
+        self.name = f"poisson-{method}-{nx}x{ny}"
+
+    def max_ranks(self) -> int:
+        return self.config.ny
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.apps.poisson import distributed_solve, smooth_source
+
+        self.check_ranks(machine, n_ranks)
+        f = smooth_source(self.config)
+        out = distributed_solve(
+            machine, n_ranks, f, self.config, method=self.method,
+            tol=self.tol, seed=seed,
+        )
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+class LinpackWorkload(Workload):
+    """End-to-end executable LINPACK: factor + triangular solves."""
+
+    def __init__(self, n: int = 48):
+        if n < 1:
+            raise ConfigurationError(f"order must be >= 1, got {n}")
+        self.n = n
+        self.name = f"linpack-{n}"
+
+    def max_ranks(self) -> int:
+        return self.n
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.linalg.trisolve import linpack_benchmark
+
+        self.check_ranks(machine, n_ranks)
+        out = linpack_benchmark(machine, n_ranks, self.n, seed=seed)
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+class MDWorkload(Workload):
+    """Slab-decomposed molecular dynamics (chemistry/materials proxy).
+
+    Rank count is capped by the slab-width-vs-cutoff constraint, which
+    is itself an instructive limit: short-range MD needs a big box (or
+    2-D/3-D decomposition) before it can use many nodes.
+    """
+
+    def __init__(self, n_side: int = 8, steps: int = 4, box: float = 10.0):
+        from repro.apps.md import MDConfig
+
+        self.config = MDConfig(box=box)
+        self.n_side = n_side
+        self.steps = steps
+        self.name = f"md-{n_side * n_side}x{steps}"
+
+    def max_ranks(self) -> int:
+        return max(1, int(self.config.box / self.config.cutoff))
+
+    def run(self, machine: Machine, n_ranks: int, *, seed: int = 0) -> WorkloadResult:
+        from repro.apps.md import distributed_run, lattice_fluid
+
+        self.check_ranks(machine, n_ranks)
+        particles = lattice_fluid(self.n_side, self.config, seed=seed)
+        out = distributed_run(
+            machine, n_ranks, particles, self.config, self.steps, seed=seed
+        )
+        return _from_sim(self.name, machine, n_ranks, out.sim)
+
+
+#: Registry of workload factories for CLI-ish use in examples/benches.
+WORKLOADS: Dict[str, type] = {
+    "cfd": CFDWorkload,
+    "ocean": OceanWorkload,
+    "nbody": NBodyWorkload,
+    "lu": LUWorkload,
+    "fft": FFTWorkload,
+    "cg": CGWorkload,
+    "poisson": PoissonWorkload,
+    "linpack": LinpackWorkload,
+    "md": MDWorkload,
+}

@@ -1,0 +1,115 @@
+"""Scalable parallel linear algebra: the ASTA algorithm layer.
+
+Executable distributed algorithms (run on :mod:`repro.simmpi`, verified
+against serial NumPy references) plus the analytic HPL model used for
+machine-scale LINPACK projections.
+"""
+
+from repro.linalg.blocklu import (
+    DistributedLU,
+    apply_pivots,
+    distributed_lu,
+    lu_flops,
+    lu_program,
+    lu_solve,
+    make_test_matrix,
+    residual_norm,
+    serial_lu,
+    split_lu,
+)
+from repro.linalg.cg import (
+    CGResult,
+    cg_program,
+    distributed_cg,
+    make_spd_matrix,
+    serial_cg,
+)
+from repro.linalg.decomp import (
+    ProcessGrid2D,
+    block_cyclic_indices,
+    block_cyclic_owner,
+    block_owner,
+    block_range,
+    block_ranges,
+    cyclic_indices,
+    cyclic_local_index,
+    cyclic_owner,
+    near_square_grid,
+)
+from repro.linalg.fft import DistributedFFT, distributed_fft, fft_flops, fft_program
+from repro.linalg.hpl_model import (
+    DELTA_KAPPA,
+    DELTA_LU_EFFICIENCY,
+    HPLModel,
+    HPLPoint,
+    delta_linpack,
+)
+from repro.linalg.cannon import CannonResult, cannon, cannon_program
+from repro.linalg.lu2d import LU2DResult, lu2d, lu2d_program, serial_lu_nopivot
+from repro.linalg.summa import DistributedMatmul, matmul_flops, summa, summa_program
+from repro.linalg.tsqr import TSQRResult, implicit_q, normalize_r, tsqr, tsqr_program
+from repro.linalg.trisolve import (
+    LinpackRun,
+    backward_sweep,
+    forward_sweep,
+    linpack_benchmark,
+    linpack_program,
+)
+
+__all__ = [
+    "DistributedLU",
+    "apply_pivots",
+    "distributed_lu",
+    "lu_flops",
+    "lu_program",
+    "lu_solve",
+    "make_test_matrix",
+    "residual_norm",
+    "serial_lu",
+    "split_lu",
+    "CGResult",
+    "cg_program",
+    "distributed_cg",
+    "make_spd_matrix",
+    "serial_cg",
+    "ProcessGrid2D",
+    "block_cyclic_indices",
+    "block_cyclic_owner",
+    "block_owner",
+    "block_range",
+    "block_ranges",
+    "cyclic_indices",
+    "cyclic_local_index",
+    "cyclic_owner",
+    "near_square_grid",
+    "DistributedFFT",
+    "distributed_fft",
+    "fft_flops",
+    "fft_program",
+    "DELTA_KAPPA",
+    "DELTA_LU_EFFICIENCY",
+    "HPLModel",
+    "HPLPoint",
+    "delta_linpack",
+    "DistributedMatmul",
+    "matmul_flops",
+    "summa",
+    "summa_program",
+    "LU2DResult",
+    "lu2d",
+    "lu2d_program",
+    "serial_lu_nopivot",
+    "CannonResult",
+    "cannon",
+    "cannon_program",
+    "TSQRResult",
+    "implicit_q",
+    "normalize_r",
+    "tsqr",
+    "tsqr_program",
+    "LinpackRun",
+    "backward_sweep",
+    "forward_sweep",
+    "linpack_benchmark",
+    "linpack_program",
+]

@@ -1,0 +1,161 @@
+"""Distributed conjugate gradient for SPD systems.
+
+Row-block layout: each rank owns a contiguous block of rows of A and of
+every vector.  One iteration needs:
+
+* a local mat-vec on the owned rows (needs the full search direction,
+  refreshed by an allgather),
+* two global dot products (allreduce).
+
+This inner-product-bound structure is exactly why CG latency costs were
+a standing complaint on 1992 MPPs -- visible directly in the simulator's
+comm/compute split, and the reason the iterative-methods community
+developed communication-avoiding variants later.
+
+Numerics are real: the distributed iteration produces the same iterates
+as the serial reference, validated against ``np.linalg.solve``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.decomp import block_range
+from repro.simmpi.engine import Engine, SimResult
+from repro.util.errors import ConvergenceError, DecompositionError
+from repro.util.rng import resolve_rng
+
+
+@dataclass
+class CGResult:
+    """Solution with iteration and simulation accounting."""
+
+    x: np.ndarray
+    iterations: int
+    residual: float
+    sim: Optional[SimResult] = None
+
+    @property
+    def virtual_time(self) -> float:
+        return self.sim.time if self.sim else 0.0
+
+
+def serial_cg(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: Optional[int] = None,
+) -> CGResult:
+    """Reference conjugate gradient (no preconditioning)."""
+    n = len(b)
+    max_iter = 2 * n if max_iter is None else max_iter
+    x = np.zeros(n)
+    r = b.astype(float).copy()
+    p = r.copy()
+    rs = float(r @ r)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    for it in range(1, max_iter + 1):
+        ap = a @ p
+        alpha = rs / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        if np.sqrt(rs_new) / bnorm < tol:
+            return CGResult(x=x, iterations=it, residual=np.sqrt(rs_new) / bnorm)
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    raise ConvergenceError(
+        f"CG did not reach tol={tol} in {max_iter} iterations "
+        f"(residual {np.sqrt(rs) / bnorm:.3e})"
+    )
+
+
+def cg_program(
+    comm,
+    a_full: np.ndarray,
+    b_full: np.ndarray,
+    tol: float,
+    max_iter: int,
+) -> Generator:
+    """Rank program: block-row CG over the simulator.
+
+    Returns ``(row_range, x_local, iterations, residual)``; raising
+    inside a rank program propagates out of the engine, so convergence
+    failure surfaces exactly as in the serial code.
+    """
+    n = len(b_full)
+    lo, hi = block_range(n, comm.size, comm.rank)
+    a_loc = np.array(a_full[lo:hi, :], copy=True)
+    b_loc = np.array(b_full[lo:hi], dtype=float, copy=True)
+
+    x_loc = np.zeros(hi - lo)
+    r_loc = b_loc.copy()
+    p_loc = r_loc.copy()
+
+    rs = yield from comm.allreduce(float(r_loc @ r_loc))
+    bnorm2 = yield from comm.allreduce(float(b_loc @ b_loc))
+    bnorm = np.sqrt(bnorm2) or 1.0
+
+    for it in range(1, max_iter + 1):
+        # Refresh the full search direction, then local mat-vec.
+        parts = yield from comm.allgather(p_loc)
+        p_full = np.concatenate(parts)
+        ap_loc = a_loc @ p_full
+        yield from comm.compute(flops=2.0 * a_loc.shape[0] * a_loc.shape[1])
+
+        pap = yield from comm.allreduce(float(p_loc @ ap_loc))
+        alpha = rs / pap
+        x_loc += alpha * p_loc
+        r_loc -= alpha * ap_loc
+        yield from comm.compute(flops=6.0 * (hi - lo))
+
+        rs_new = yield from comm.allreduce(float(r_loc @ r_loc))
+        if np.sqrt(rs_new) / bnorm < tol:
+            return ((lo, hi), x_loc, it, np.sqrt(rs_new) / bnorm)
+        p_loc = r_loc + (rs_new / rs) * p_loc
+        rs = rs_new
+
+    raise ConvergenceError(
+        f"distributed CG did not reach tol={tol} in {max_iter} iterations"
+    )
+
+
+def distributed_cg(
+    machine,
+    n_ranks: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: Optional[int] = None,
+    seed: int = 0,
+) -> CGResult:
+    """Solve A x = b on a simulated machine; reassemble x."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    n = len(b)
+    if a.shape != (n, n):
+        raise DecompositionError(f"A shape {a.shape} does not match b of length {n}")
+    max_iter = 2 * n if max_iter is None else max_iter
+    engine = Engine(machine, n_ranks, seed=seed)
+    sim = engine.run(cg_program, a, b, tol, max_iter)
+    x = np.zeros(n)
+    iterations = 0
+    residual = 0.0
+    for (lo, hi), x_loc, it, res in sim.returns:
+        x[lo:hi] = x_loc
+        iterations, residual = it, res
+    return CGResult(x=x, iterations=iterations, residual=residual, sim=sim)
+
+
+def make_spd_matrix(n: int, seed: int = 0, *, condition_boost: float = 1.0) -> np.ndarray:
+    """Random symmetric positive-definite test matrix."""
+    rng = resolve_rng(seed)
+    m = rng.standard_normal((n, n))
+    a = m @ m.T / n
+    a[np.diag_indices(n)] += condition_boost
+    return a

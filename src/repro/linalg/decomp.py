@@ -1,0 +1,157 @@
+"""Data decompositions for distributed arrays.
+
+The three classic layouts the parallel-algorithms (ASTA) literature of
+the period ran on:
+
+* **block** -- contiguous chunks, sizes differing by at most one;
+* **cyclic** -- element ``i`` on rank ``i mod p`` (perfect load balance
+  for triangular work like LU);
+* **block-cyclic** -- blocks of size ``b`` dealt round-robin, the
+  compromise ScaLAPACK standardised.
+
+Plus :class:`ProcessGrid2D`, the 2-D rank arrangement used by SUMMA and
+the HPL model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util.errors import DecompositionError
+
+
+def block_ranges(n: int, p: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``p`` contiguous [start, stop) chunks.
+
+    The first ``n % p`` chunks get the extra element, so sizes differ by
+    at most one.  Works for p > n (empty trailing chunks).
+    """
+    if n < 0:
+        raise DecompositionError(f"n must be >= 0, got {n}")
+    if p < 1:
+        raise DecompositionError(f"p must be >= 1, got {p}")
+    base, extra = divmod(n, p)
+    ranges = []
+    start = 0
+    for r in range(p):
+        size = base + (1 if r < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def block_range(n: int, p: int, rank: int) -> Tuple[int, int]:
+    """The [start, stop) chunk owned by ``rank`` under block layout."""
+    if not 0 <= rank < p:
+        raise DecompositionError(f"rank {rank} out of range for p={p}")
+    return block_ranges(n, p)[rank]
+
+
+def block_owner(n: int, p: int, index: int) -> int:
+    """Rank owning ``index`` under block layout."""
+    if not 0 <= index < n:
+        raise DecompositionError(f"index {index} out of range for n={n}")
+    for rank, (start, stop) in enumerate(block_ranges(n, p)):
+        if start <= index < stop:
+            return rank
+    raise DecompositionError(f"index {index} unowned (n={n}, p={p})")  # pragma: no cover
+
+
+def cyclic_indices(n: int, p: int, rank: int) -> np.ndarray:
+    """Global indices owned by ``rank`` under element-cyclic layout."""
+    if not 0 <= rank < p:
+        raise DecompositionError(f"rank {rank} out of range for p={p}")
+    if n < 0:
+        raise DecompositionError(f"n must be >= 0, got {n}")
+    return np.arange(rank, n, p)
+
+
+def cyclic_owner(index: int, p: int) -> int:
+    """Rank owning ``index`` under element-cyclic layout."""
+    if index < 0:
+        raise DecompositionError(f"index must be >= 0, got {index}")
+    return index % p
+
+
+def cyclic_local_index(index: int, p: int) -> int:
+    """Local position of global ``index`` on its cyclic owner."""
+    if index < 0:
+        raise DecompositionError(f"index must be >= 0, got {index}")
+    return index // p
+
+
+def block_cyclic_indices(n: int, p: int, rank: int, block: int) -> np.ndarray:
+    """Global indices owned by ``rank`` under block-cyclic layout with
+    block size ``block``."""
+    if block < 1:
+        raise DecompositionError(f"block size must be >= 1, got {block}")
+    if not 0 <= rank < p:
+        raise DecompositionError(f"rank {rank} out of range for p={p}")
+    idx = np.arange(n)
+    return idx[(idx // block) % p == rank]
+
+
+def block_cyclic_owner(index: int, p: int, block: int) -> int:
+    """Rank owning ``index`` under block-cyclic layout."""
+    if block < 1:
+        raise DecompositionError(f"block size must be >= 1, got {block}")
+    if index < 0:
+        raise DecompositionError(f"index must be >= 0, got {index}")
+    return (index // block) % p
+
+
+@dataclass(frozen=True)
+class ProcessGrid2D:
+    """A ``prows x pcols`` arrangement of ranks, row-major.
+
+    Rank ``r`` sits at ``(r // pcols, r % pcols)``.  Provides the member
+    lists used to build row/column :class:`~repro.simmpi.group.GroupComm`
+    sub-communicators.
+    """
+
+    prows: int
+    pcols: int
+
+    def __post_init__(self) -> None:
+        if self.prows < 1 or self.pcols < 1:
+            raise DecompositionError(
+                f"grid must be >= 1x1, got {self.prows}x{self.pcols}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.prows * self.pcols
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """(row, col) of a rank."""
+        if not 0 <= rank < self.size:
+            raise DecompositionError(f"rank {rank} outside {self.prows}x{self.pcols} grid")
+        return divmod(rank, self.pcols)
+
+    def rank_at(self, prow: int, pcol: int) -> int:
+        if not (0 <= prow < self.prows and 0 <= pcol < self.pcols):
+            raise DecompositionError(
+                f"({prow},{pcol}) outside {self.prows}x{self.pcols} grid"
+            )
+        return prow * self.pcols + pcol
+
+    def row_members(self, prow: int) -> List[int]:
+        """Ranks forming grid row ``prow``."""
+        return [self.rank_at(prow, j) for j in range(self.pcols)]
+
+    def col_members(self, pcol: int) -> List[int]:
+        """Ranks forming grid column ``pcol``."""
+        return [self.rank_at(i, pcol) for i in range(self.prows)]
+
+
+def near_square_grid(p: int) -> ProcessGrid2D:
+    """Most-square factorisation of ``p`` (prows <= pcols)."""
+    if p < 1:
+        raise DecompositionError(f"p must be >= 1, got {p}")
+    for r in range(int(p**0.5), 0, -1):
+        if p % r == 0:
+            return ProcessGrid2D(r, p // r)
+    raise DecompositionError(f"unreachable for p={p}")  # pragma: no cover

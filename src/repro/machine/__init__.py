@@ -1,0 +1,91 @@
+"""Distributed-memory machine models: nodes, topologies, links, presets."""
+
+from repro.machine.allocator import (
+    Allocation,
+    Job,
+    JobRecord,
+    ScheduleResult,
+    SubmeshAllocator,
+    simulate_backfill,
+    simulate_fcfs,
+)
+from repro.machine.contention import (
+    ContentionReport,
+    all_to_all_pattern,
+    analyse,
+    link_byte_loads,
+    ring_shift_pattern,
+    transpose_pattern,
+)
+from repro.machine.io import IOSubsystem, delta_cfs, paragon_pfs
+from repro.machine.links import LinkModel
+from repro.machine.machine import Machine
+from repro.machine.mapping import (
+    blocked,
+    neighbour_hop_cost,
+    random_placement,
+    row_major,
+    snake,
+)
+from repro.machine.node import NodeSpec
+from repro.machine.presets import (
+    PRESETS,
+    cm5,
+    cray_ymp,
+    darpa_mpp_series,
+    get_machine,
+    intel_ipsc860,
+    intel_paragon,
+    touchstone_delta,
+)
+from repro.machine.topology import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Topology,
+    Torus2D,
+    link_loads,
+)
+
+__all__ = [
+    "Allocation",
+    "Job",
+    "JobRecord",
+    "ScheduleResult",
+    "SubmeshAllocator",
+    "simulate_backfill",
+    "simulate_fcfs",
+    "IOSubsystem",
+    "delta_cfs",
+    "paragon_pfs",
+    "ContentionReport",
+    "all_to_all_pattern",
+    "analyse",
+    "link_byte_loads",
+    "ring_shift_pattern",
+    "transpose_pattern",
+    "LinkModel",
+    "Machine",
+    "NodeSpec",
+    "blocked",
+    "neighbour_hop_cost",
+    "random_placement",
+    "row_major",
+    "snake",
+    "PRESETS",
+    "cm5",
+    "cray_ymp",
+    "darpa_mpp_series",
+    "get_machine",
+    "intel_ipsc860",
+    "intel_paragon",
+    "touchstone_delta",
+    "FullyConnected",
+    "Hypercube",
+    "Mesh2D",
+    "Ring",
+    "Topology",
+    "Torus2D",
+    "link_loads",
+]

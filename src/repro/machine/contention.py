@@ -1,0 +1,119 @@
+"""Static contention analysis of communication patterns.
+
+The alpha-beta simulator charges each message independently; this
+module answers the complementary question real mesh machines forced:
+when a pattern's routed paths pile onto the same wire, what does the
+*shared* wire impose?  For a pattern (a list of (src, dst, nbytes)
+messages assumed concurrent):
+
+* per-link byte loads along deterministic routes,
+* the serialisation lower bound -- the hottest link's bytes over its
+  bandwidth (no schedule can beat it),
+* the bisection lower bound for patterns that move B bytes across the
+  machine's bisection.
+
+Comparing the bounds across topologies reproduces the mesh-vs-hypercube
+table that decided the Touchstone series' wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.machine.machine import Machine
+from repro.machine.topology import Topology
+from repro.util.errors import ConfigurationError
+
+#: A concurrent communication pattern.
+Pattern = Sequence[Tuple[int, int, float]]
+
+
+def link_byte_loads(topology: Topology, pattern: Pattern) -> Dict[tuple, float]:
+    """Bytes traversing each undirected link under deterministic routing."""
+    loads: Dict[tuple, float] = {}
+    for src, dst, nbytes in pattern:
+        if nbytes < 0:
+            raise ConfigurationError(f"negative message size {nbytes}")
+        if src == dst:
+            continue
+        path = topology.route(src, dst)
+        for u, v in zip(path, path[1:]):
+            key = (u, v) if u < v else (v, u)
+            loads[key] = loads.get(key, 0.0) + nbytes
+    return loads
+
+
+@dataclass(frozen=True)
+class ContentionReport:
+    """Bounds for one pattern on one machine."""
+
+    machine: str
+    topology_kind: str
+    n_messages: int
+    total_bytes: float
+    max_link_bytes: float
+    serialisation_bound_s: float
+    bisection_bound_s: float
+
+    @property
+    def binding_bound_s(self) -> float:
+        return max(self.serialisation_bound_s, self.bisection_bound_s)
+
+
+def analyse(machine: Machine, pattern: Pattern) -> ContentionReport:
+    """Compute contention lower bounds for a concurrent pattern."""
+    loads = link_byte_loads(machine.topology, pattern)
+    max_link = max(loads.values()) if loads else 0.0
+    bw = machine.link.bandwidth_bytes_per_s
+
+    total = sum(n for _, _, n in pattern)
+    # Bisection bound: bytes that *must* cross a balanced cut.  We use
+    # the node-index cut (first half vs second half), which matches the
+    # bisection_width convention of the topologies here.
+    half = machine.n_nodes // 2
+    crossing = sum(
+        n for s, d, n in pattern if (s < half) != (d < half)
+    )
+    bis_width = machine.topology.bisection_width()
+    bis_bw = bis_width * bw if bis_width else float("inf")
+
+    return ContentionReport(
+        machine=machine.name,
+        topology_kind=machine.topology.kind,
+        n_messages=len(pattern),
+        total_bytes=total,
+        max_link_bytes=max_link,
+        serialisation_bound_s=max_link / bw,
+        bisection_bound_s=crossing / bis_bw if crossing else 0.0,
+    )
+
+
+def all_to_all_pattern(p: int, nbytes: float) -> List[Tuple[int, int, float]]:
+    """Every rank sends ``nbytes`` to every other rank (FFT transpose)."""
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    return [(s, d, nbytes) for s in range(p) for d in range(p) if s != d]
+
+
+def ring_shift_pattern(p: int, nbytes: float) -> List[Tuple[int, int, float]]:
+    """Rank i sends to rank (i+1) mod p (halo/pipeline step)."""
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return []
+    return [(i, (i + 1) % p, nbytes) for i in range(p)]
+
+
+def transpose_pattern(prows: int, pcols: int, nbytes: float) -> List[Tuple[int, int, float]]:
+    """Grid transpose: rank (i, j) sends to rank (j, i) (square grids)."""
+    if prows != pcols:
+        raise ConfigurationError(
+            f"transpose pattern needs a square grid, got {prows}x{pcols}"
+        )
+    out = []
+    for i in range(prows):
+        for j in range(pcols):
+            if i != j:
+                out.append((i * pcols + j, j * pcols + i, nbytes))
+    return out

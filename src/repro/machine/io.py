@@ -1,0 +1,83 @@
+"""Parallel I/O subsystem model.
+
+The Delta's mesh had dedicated I/O nodes on its edges running the
+Concurrent File System; aggregate bandwidth came from striping across
+them.  Checkpointing economics (:mod:`repro.core.resilience`) and any
+output-bound workload hinge on this number, so it gets its own model:
+
+    write_time(bytes) = startup + bytes / (n_io_nodes * per_node_bw)
+
+with an efficiency factor for striping overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IOSubsystem:
+    """Striped I/O array attached to a machine."""
+
+    n_io_nodes: int
+    per_node_bandwidth_bytes_per_s: float
+    startup_s: float = 0.05
+    striping_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.n_io_nodes < 1:
+            raise ConfigurationError(
+                f"need at least one I/O node, got {self.n_io_nodes}"
+            )
+        if self.per_node_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("per-node bandwidth must be positive")
+        if self.startup_s < 0:
+            raise ConfigurationError("startup must be >= 0")
+        if not 0 < self.striping_efficiency <= 1:
+            raise ConfigurationError(
+                f"striping efficiency must be in (0, 1], got "
+                f"{self.striping_efficiency}"
+            )
+
+    @property
+    def aggregate_bandwidth_bytes_per_s(self) -> float:
+        """Achievable striped throughput."""
+        return (
+            self.n_io_nodes
+            * self.per_node_bandwidth_bytes_per_s
+            * self.striping_efficiency
+        )
+
+    def write_time(self, nbytes: float) -> float:
+        """Seconds to write ``nbytes`` striped across the array."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        return self.startup_s + nbytes / self.aggregate_bandwidth_bytes_per_s
+
+    def read_time(self, nbytes: float) -> float:
+        """Symmetric read model."""
+        return self.write_time(nbytes)
+
+
+def delta_cfs() -> IOSubsystem:
+    """The Delta's Concurrent File System: 16 I/O nodes delivering
+    roughly 10 MB/s aggregate in practice."""
+    return IOSubsystem(
+        n_io_nodes=16,
+        per_node_bandwidth_bytes_per_s=0.75e6,
+        startup_s=0.1,
+        striping_efficiency=0.85,
+    )
+
+
+def paragon_pfs() -> IOSubsystem:
+    """Paragon-generation parallel file system: wider stripe, faster
+    nodes."""
+    return IOSubsystem(
+        n_io_nodes=64,
+        per_node_bandwidth_bytes_per_s=3.0e6,
+        startup_s=0.05,
+        striping_efficiency=0.85,
+    )

@@ -1,0 +1,76 @@
+"""Hockney alpha-beta model for interconnect links.
+
+Message time between two nodes ``h`` hops apart carrying ``n`` bytes:
+
+    t(n, h) = alpha + h * tau + n / beta_bw
+
+where ``alpha`` is the software startup latency (dominant on 1992
+machines: ~72 us on the Touchstone Delta's NX layer), ``tau`` the
+per-hop wormhole routing delay (tens of nanoseconds -- wormhole routing
+made distance almost free, which is why the Delta could use a 2-D mesh
+at all), and ``beta_bw`` the link bandwidth in bytes/s.
+
+The model also exposes ``n_half``, Hockney's half-performance message
+length: the message size at which half of asymptotic bandwidth is
+achieved.  It is a standard single-number summary of how
+latency-dominated an interconnect is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Alpha-beta (Hockney) point-to-point cost model.
+
+    Attributes
+    ----------
+    latency_s:
+        Software + hardware startup cost per message, seconds.
+    bandwidth_bytes_per_s:
+        Asymptotic per-link bandwidth, bytes/s.
+    per_hop_s:
+        Additional delay per routed hop (wormhole header latency).
+    """
+
+    latency_s: float
+    bandwidth_bytes_per_s: float
+    per_hop_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency_s}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes_per_s}"
+            )
+        if self.per_hop_s < 0:
+            raise ConfigurationError(f"per-hop delay must be >= 0, got {self.per_hop_s}")
+
+    def message_time(self, nbytes: float, hops: int = 1) -> float:
+        """Seconds to deliver ``nbytes`` across ``hops`` links."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if hops < 0:
+            raise ConfigurationError(f"hops must be >= 0, got {hops}")
+        if hops == 0:
+            # Self-send: modelled as a memcpy at link bandwidth with no
+            # network startup; a small constant keeps times monotone.
+            return nbytes / self.bandwidth_bytes_per_s
+        return self.latency_s + hops * self.per_hop_s + nbytes / self.bandwidth_bytes_per_s
+
+    @property
+    def n_half(self) -> float:
+        """Half-performance message length in bytes (Hockney n_1/2)."""
+        return self.latency_s * self.bandwidth_bytes_per_s
+
+    def effective_bandwidth(self, nbytes: float, hops: int = 1) -> float:
+        """Achieved bytes/s for a message of ``nbytes`` (reporting aid)."""
+        t = self.message_time(nbytes, hops)
+        if t == 0:
+            return float("inf")
+        return nbytes / t

@@ -1,0 +1,138 @@
+"""Machine assembly: nodes + topology + link model.
+
+A :class:`Machine` is the static description the simulator and every
+analytic performance model consume.  It answers the questions the
+paper's Delta slide answers -- peak rate, node count -- plus the derived
+quantities (bisection bandwidth, message times) that determine how the
+grand-challenge codes scale on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.links import LinkModel
+from repro.machine.node import NodeSpec
+from repro.machine.topology import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.units import as_gflops, format_rate
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A homogeneous distributed-memory machine.
+
+    Attributes
+    ----------
+    name:
+        Marketing/series designation, e.g. ``"Intel Touchstone Delta"``.
+    node:
+        Per-node compute/memory description.
+    topology:
+        Interconnect graph with deterministic routing.
+    link:
+        Alpha-beta cost model applied along routed paths.
+    year:
+        Installation year, used by the MPP-series exhibit.
+    """
+
+    name: str
+    node: NodeSpec
+    topology: Topology
+    link: LinkModel
+    year: int = 1991
+
+    def __post_init__(self) -> None:
+        if self.topology.n_nodes < 1:
+            raise ConfigurationError("machine must have at least one node")
+
+    # -- aggregate capability -------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of compute nodes."""
+        return self.topology.n_nodes
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak rate in flop/s (paper quotes 32 GFLOPS for Delta)."""
+        return self.n_nodes * self.node.peak_flops
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak in GFLOPS, for reporting."""
+        return as_gflops(self.peak_flops)
+
+    @property
+    def total_memory_bytes(self) -> float:
+        """Aggregate memory in bytes."""
+        return self.n_nodes * self.node.memory_bytes
+
+    @property
+    def bisection_bandwidth_bytes_per_s(self) -> float:
+        """Bisection bandwidth: cut width times per-link bandwidth."""
+        return self.topology.bisection_width() * self.link.bandwidth_bytes_per_s
+
+    # -- cost primitives (consumed by simmpi and analytic models) --------
+
+    def compute_time(self, flops: float, efficiency: Optional[float] = None) -> float:
+        """Seconds for one node to execute ``flops`` operations."""
+        return self.node.compute_time(flops, efficiency)
+
+    def ptp_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` from rank ``src`` to rank ``dst``
+        along the routed path."""
+        self.topology.check_node(src)
+        self.topology.check_node(dst)
+        return self.link.message_time(nbytes, self.topology.hops(src, dst))
+
+    def neighbor_time(self, nbytes: float) -> float:
+        """Seconds for a single-hop (nearest-neighbour) message."""
+        return self.link.message_time(nbytes, 1)
+
+    # -- derived convenience ---------------------------------------------
+
+    def subset(self, n: int, topology: Optional[Topology] = None) -> "Machine":
+        """A machine using only ``n`` of this machine's nodes.
+
+        The Delta was routinely space-shared into submeshes; scaling
+        studies run the same node/link parameters at varying n.  If
+        ``topology`` is not given, a best-effort near-square mesh (or
+        the original topology class when it fits exactly) is built.
+        """
+        if not 1 <= n <= self.n_nodes:
+            raise ConfigurationError(
+                f"subset size {n} not in [1, {self.n_nodes}]"
+            )
+        if topology is None:
+            from repro.machine.topology import Mesh2D
+
+            rows = 1
+            for r in range(int(n**0.5), 0, -1):
+                if n % r == 0:
+                    rows = r
+                    break
+            topology = Mesh2D(rows, n // rows)
+        if topology.n_nodes != n:
+            raise ConfigurationError(
+                f"replacement topology has {topology.n_nodes} nodes, wanted {n}"
+            )
+        return Machine(
+            name=self.name,  # identity preserved; n_nodes carries the size
+            node=self.node,
+            topology=topology,
+            link=self.link,
+            year=self.year,
+        )
+
+    def describe(self) -> str:
+        """One-paragraph text summary used by reports and examples."""
+        return (
+            f"{self.name} ({self.year}): {self.n_nodes} x {self.node.name} "
+            f"on a {self.topology.kind} interconnect; "
+            f"peak {format_rate(self.peak_flops)}, "
+            f"{self.total_memory_bytes / 2**20:.0f} MiB total memory, "
+            f"link {self.link.bandwidth_bytes_per_s / 1e6:.1f} MB/s at "
+            f"{self.link.latency_s * 1e6:.0f} us latency."
+        )

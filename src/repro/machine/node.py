@@ -1,0 +1,69 @@
+"""Compute-node model.
+
+A node is characterised by the three numbers that drive every
+performance estimate in this library: peak floating-point rate, local
+memory, and a sustained-fraction describing how much of peak a tuned
+dense kernel (DGEMM-class) actually achieves.  The Intel i860 nodes of
+the Touchstone Delta are the reference point: 60.6 MFLOPS peak double
+precision, 16 MB memory, and roughly 60-70 % of peak on tuned BLAS-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node.
+
+    Attributes
+    ----------
+    name:
+        Processor designation, e.g. ``"Intel i860 XR"``.
+    peak_flops:
+        Peak double-precision rate in flop/s.
+    memory_bytes:
+        Local memory per node in bytes.
+    sustained_fraction:
+        Fraction of peak achieved by tuned dense kernels (0 < f <= 1).
+        Used as the default efficiency when charging compute time.
+    clock_hz:
+        Processor clock, informational.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    sustained_fraction: float = 0.65
+    clock_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ConfigurationError(f"peak_flops must be positive, got {self.peak_flops}")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(f"memory_bytes must be positive, got {self.memory_bytes}")
+        if not 0 < self.sustained_fraction <= 1:
+            raise ConfigurationError(
+                f"sustained_fraction must be in (0, 1], got {self.sustained_fraction}"
+            )
+
+    @property
+    def sustained_flops(self) -> float:
+        """Sustained dense-kernel rate in flop/s."""
+        return self.peak_flops * self.sustained_fraction
+
+    def compute_time(self, flops: float, efficiency: float = None) -> float:
+        """Seconds to execute ``flops`` operations on this node.
+
+        ``efficiency`` overrides the node's sustained fraction; pass 1.0
+        to charge at theoretical peak.
+        """
+        if flops < 0:
+            raise ConfigurationError(f"flops must be non-negative, got {flops}")
+        frac = self.sustained_fraction if efficiency is None else efficiency
+        if not 0 < frac <= 1:
+            raise ConfigurationError(f"efficiency must be in (0, 1], got {frac}")
+        return flops / (self.peak_flops * frac)

@@ -1,0 +1,381 @@
+"""Interconnect topologies with deterministic routing.
+
+Every topology numbers its nodes ``0 .. n_nodes-1`` and provides:
+
+* ``neighbors(node)`` -- directly connected nodes,
+* ``route(src, dst)`` -- the deterministic path the hardware router
+  would take (dimension-ordered for meshes/tori, e-cube for
+  hypercubes), returned as the full node sequence including endpoints,
+* ``hops(src, dst)`` -- path length in links,
+* ``diameter()`` and ``bisection_width()`` -- the two aggregate numbers
+  that distinguish the DARPA MPP series designs (mesh vs hypercube was
+  the live architectural argument of 1991-92; wormhole routing is what
+  let the Delta pick the mesh).
+
+Routes are what the message-passing simulator charges hop latency for,
+and what contention analysis counts link load over.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.util.errors import TopologyError
+
+
+class Topology(ABC):
+    """Abstract interconnect: a named graph over ranks 0..n-1."""
+
+    #: human-readable kind, e.g. "mesh2d"
+    kind: str = "abstract"
+
+    @property
+    @abstractmethod
+    def n_nodes(self) -> int:
+        """Number of nodes in the topology."""
+
+    @abstractmethod
+    def neighbors(self, node: int) -> List[int]:
+        """Nodes one link away from ``node``."""
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> List[int]:
+        """Deterministic routed path from ``src`` to ``dst`` inclusive."""
+
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum hop count between any node pair."""
+
+    @abstractmethod
+    def bisection_width(self) -> int:
+        """Number of links cut by a balanced bisection."""
+
+    # -- derived helpers ----------------------------------------------------
+
+    def check_node(self, node: int) -> None:
+        """Raise :class:`TopologyError` unless ``node`` is in range."""
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(
+                f"node {node} outside topology of {self.n_nodes} nodes"
+            )
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of links on the routed path (0 for self)."""
+        return len(self.route(src, dst)) - 1
+
+    def links(self) -> Iterator[Tuple[int, int]]:
+        """All undirected links, each reported once as (low, high)."""
+        for u in range(self.n_nodes):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, v)
+
+    def average_hops(self) -> float:
+        """Mean routed hop count over all ordered pairs of distinct nodes.
+
+        O(n^2) -- fine for the machine sizes simulated here; aggregate
+        reporting only.
+        """
+        n = self.n_nodes
+        if n < 2:
+            return 0.0
+        total = 0
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    total += self.hops(s, d)
+        return total / (n * (n - 1))
+
+
+class Mesh2D(Topology):
+    """2-D mesh with dimension-ordered (X-then-Y) routing.
+
+    The Touchstone Delta's topology: node ``(r, c)`` has id
+    ``r * cols + c``; messages route along the row first, then the
+    column, matching the Delta's Mesh Routing Chips.
+    """
+
+    kind = "mesh2d"
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise TopologyError(f"mesh shape must be >= 1x1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def n_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(row, col) of a node id."""
+        self.check_node(node)
+        return divmod(node, self.cols)
+
+    def node_at(self, row: int, col: int) -> int:
+        """Node id at (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise TopologyError(
+                f"({row}, {col}) outside {self.rows}x{self.cols} mesh"
+            )
+        return row * self.cols + col
+
+    def neighbors(self, node: int) -> List[int]:
+        r, c = self.coords(node)
+        out = []
+        if c > 0:
+            out.append(self.node_at(r, c - 1))
+        if c < self.cols - 1:
+            out.append(self.node_at(r, c + 1))
+        if r > 0:
+            out.append(self.node_at(r - 1, c))
+        if r < self.rows - 1:
+            out.append(self.node_at(r + 1, c))
+        return out
+
+    def route(self, src: int, dst: int) -> List[int]:
+        r0, c0 = self.coords(src)
+        r1, c1 = self.coords(dst)
+        path = [src]
+        c = c0
+        step = 1 if c1 > c0 else -1
+        while c != c1:
+            c += step
+            path.append(self.node_at(r0, c))
+        r = r0
+        step = 1 if r1 > r0 else -1
+        while r != r1:
+            r += step
+            path.append(self.node_at(r, c1))
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        # Manhattan distance; cheaper than materialising the route.
+        r0, c0 = self.coords(src)
+        r1, c1 = self.coords(dst)
+        return abs(r0 - r1) + abs(c0 - c1)
+
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)
+
+    def bisection_width(self) -> int:
+        # Cut across the longer dimension's midline.
+        if self.cols >= self.rows:
+            return self.rows if self.cols > 1 else 0
+        return self.cols
+
+
+class Torus2D(Mesh2D):
+    """2-D torus: mesh plus wraparound links, dimension-ordered routing
+    taking the shorter way around each ring."""
+
+    kind = "torus2d"
+
+    def __init__(self, rows: int, cols: int):
+        super().__init__(rows, cols)
+
+    def neighbors(self, node: int) -> List[int]:
+        r, c = self.coords(node)
+        out = {
+            self.node_at(r, (c - 1) % self.cols),
+            self.node_at(r, (c + 1) % self.cols),
+            self.node_at((r - 1) % self.rows, c),
+            self.node_at((r + 1) % self.rows, c),
+        }
+        out.discard(node)  # degenerate 1-wide dimensions self-loop
+        return sorted(out)
+
+    @staticmethod
+    def _ring_step(frm: int, to: int, size: int) -> int:
+        """+1/-1 step along the shorter arc of a ring (ties go +1)."""
+        forward = (to - frm) % size
+        backward = (frm - to) % size
+        return 1 if forward <= backward else -1
+
+    def route(self, src: int, dst: int) -> List[int]:
+        r0, c0 = self.coords(src)
+        r1, c1 = self.coords(dst)
+        path = [src]
+        c = c0
+        if c0 != c1:
+            step = self._ring_step(c0, c1, self.cols)
+            while c != c1:
+                c = (c + step) % self.cols
+                path.append(self.node_at(r0, c))
+        r = r0
+        if r0 != r1:
+            step = self._ring_step(r0, r1, self.rows)
+            while r != r1:
+                r = (r + step) % self.rows
+                path.append(self.node_at(r, c1))
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        r0, c0 = self.coords(src)
+        r1, c1 = self.coords(dst)
+        dc = min((c1 - c0) % self.cols, (c0 - c1) % self.cols)
+        dr = min((r1 - r0) % self.rows, (r0 - r1) % self.rows)
+        return dc + dr
+
+    def diameter(self) -> int:
+        return self.rows // 2 + self.cols // 2
+
+    def bisection_width(self) -> int:
+        # Wraparound doubles the cut relative to the mesh.
+        if self.cols >= self.rows:
+            return 2 * self.rows if self.cols > 2 else self.rows
+        return 2 * self.cols if self.rows > 2 else self.cols
+
+
+class Hypercube(Topology):
+    """Binary hypercube with e-cube (ascending-dimension) routing.
+
+    The iPSC/860 "Gamma" topology, the Delta's predecessor in the DARPA
+    Touchstone series.
+    """
+
+    kind = "hypercube"
+
+    def __init__(self, dimension: int):
+        if dimension < 0:
+            raise TopologyError(f"hypercube dimension must be >= 0, got {dimension}")
+        if dimension > 20:
+            raise TopologyError(f"hypercube dimension {dimension} unreasonably large")
+        self.dimension = dimension
+
+    @property
+    def n_nodes(self) -> int:
+        return 1 << self.dimension
+
+    def neighbors(self, node: int) -> List[int]:
+        self.check_node(node)
+        return [node ^ (1 << d) for d in range(self.dimension)]
+
+    def route(self, src: int, dst: int) -> List[int]:
+        self.check_node(src)
+        self.check_node(dst)
+        path = [src]
+        cur = src
+        diff = src ^ dst
+        for d in range(self.dimension):
+            if diff & (1 << d):
+                cur ^= 1 << d
+                path.append(cur)
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        self.check_node(src)
+        self.check_node(dst)
+        return bin(src ^ dst).count("1")
+
+    def diameter(self) -> int:
+        return self.dimension
+
+    def bisection_width(self) -> int:
+        return self.n_nodes // 2 if self.dimension > 0 else 0
+
+
+class Ring(Topology):
+    """1-D ring, shorter-arc routing.  Degenerates to a single node."""
+
+    kind = "ring"
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise TopologyError(f"ring size must be >= 1, got {n}")
+        self._n = n
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbors(self, node: int) -> List[int]:
+        self.check_node(node)
+        if self._n == 1:
+            return []
+        if self._n == 2:
+            return [1 - node]
+        return sorted({(node - 1) % self._n, (node + 1) % self._n})
+
+    def route(self, src: int, dst: int) -> List[int]:
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return [src]
+        step = Torus2D._ring_step(src, dst, self._n)
+        path = [src]
+        cur = src
+        while cur != dst:
+            cur = (cur + step) % self._n
+            path.append(cur)
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        self.check_node(src)
+        self.check_node(dst)
+        d = abs(src - dst)
+        return min(d, self._n - d)
+
+    def diameter(self) -> int:
+        return self._n // 2
+
+    def bisection_width(self) -> int:
+        return 2 if self._n > 2 else max(self._n - 1, 0)
+
+
+class FullyConnected(Topology):
+    """Idealised crossbar: every pair one hop apart.
+
+    Used as the "zero network cost structure" baseline in ablations and
+    as the model for shared-memory vector machines (Cray Y-MP class)
+    where the interconnect is the memory system.
+    """
+
+    kind = "full"
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise TopologyError(f"size must be >= 1, got {n}")
+        self._n = n
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbors(self, node: int) -> List[int]:
+        self.check_node(node)
+        return [i for i in range(self._n) if i != node]
+
+    def route(self, src: int, dst: int) -> List[int]:
+        self.check_node(src)
+        self.check_node(dst)
+        return [src] if src == dst else [src, dst]
+
+    def hops(self, src: int, dst: int) -> int:
+        self.check_node(src)
+        self.check_node(dst)
+        return 0 if src == dst else 1
+
+    def diameter(self) -> int:
+        return 1 if self._n > 1 else 0
+
+    def bisection_width(self) -> int:
+        half = self._n // 2
+        return half * (self._n - half)
+
+
+def link_loads(topology: Topology, pairs: Sequence[Tuple[int, int]]) -> dict:
+    """Count how many routed paths traverse each undirected link.
+
+    ``pairs`` is a sequence of (src, dst) messages; the return maps
+    (low, high) links to message counts.  Used for contention analysis
+    in the collectives ablation.
+    """
+    loads: dict = {}
+    for src, dst in pairs:
+        path = topology.route(src, dst)
+        for u, v in zip(path, path[1:]):
+            key = (u, v) if u < v else (v, u)
+            loads[key] = loads.get(key, 0) + 1
+    return loads

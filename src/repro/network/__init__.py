@@ -1,0 +1,82 @@
+"""Wide-area (NREN / consortium) network simulator."""
+
+from repro.network.capacity import (
+    DemandMatrix,
+    LinkLoad,
+    UpgradePlan,
+    best_single_upgrade,
+    bottleneck,
+    route_demands,
+)
+from repro.network.consortium_net import (
+    DELTA_SITE,
+    PAPER_LINK_SPEEDS_MBPS,
+    delta_consortium,
+)
+from repro.network.graph import FIBRE_KM_PER_S, Site, WanLink, WideAreaNetwork
+from repro.network.links import (
+    GIGABIT,
+    HIPPI_SONET,
+    LINK_CLASSES,
+    REGIONAL_56K,
+    T1,
+    T3,
+    LinkClass,
+    get_link_class,
+)
+from repro.network.queueing import (
+    CongestionPoint,
+    congestion_sweep,
+    loaded_transfer_time,
+    mm1_delay_factor,
+)
+from repro.network.transfer import (
+    SessionEstimate,
+    TransferEstimate,
+    remote_session,
+    transfer_time,
+)
+from repro.network.whatif import (
+    UpgradeComparison,
+    compare_transfer,
+    feasibility_frontier,
+    upgrade_all_below,
+    upgraded_network,
+)
+
+__all__ = [
+    "DemandMatrix",
+    "LinkLoad",
+    "UpgradePlan",
+    "best_single_upgrade",
+    "bottleneck",
+    "route_demands",
+    "CongestionPoint",
+    "congestion_sweep",
+    "loaded_transfer_time",
+    "mm1_delay_factor",
+    "DELTA_SITE",
+    "PAPER_LINK_SPEEDS_MBPS",
+    "delta_consortium",
+    "FIBRE_KM_PER_S",
+    "Site",
+    "WanLink",
+    "WideAreaNetwork",
+    "GIGABIT",
+    "HIPPI_SONET",
+    "LINK_CLASSES",
+    "REGIONAL_56K",
+    "T1",
+    "T3",
+    "LinkClass",
+    "get_link_class",
+    "SessionEstimate",
+    "TransferEstimate",
+    "remote_session",
+    "transfer_time",
+    "UpgradeComparison",
+    "compare_transfer",
+    "feasibility_frontier",
+    "upgrade_all_below",
+    "upgraded_network",
+]

@@ -1,0 +1,134 @@
+"""Capacity planning: route a demand matrix, find the bottleneck link.
+
+The NREN build-out question in operational form: given expected traffic
+between consortium sites (bytes/s averaged over the day), which link
+saturates first, and what single upgrade buys the most headroom?
+
+Demands are routed on widest paths (bulk traffic); per-link utilisation
+is offered load over payload throughput.  The planner then ranks links
+by utilisation and can re-evaluate after a candidate upgrade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.graph import WanLink, WideAreaNetwork
+from repro.network.links import LinkClass
+from repro.network.whatif import upgraded_network
+from repro.util.errors import NetworkError
+
+#: A demand matrix: (src site, dst site) -> offered bytes/s.
+DemandMatrix = Dict[Tuple[str, str], float]
+
+
+def _link_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Utilisation of one link under a demand matrix."""
+
+    a: str
+    b: str
+    offered_bytes_per_s: float
+    capacity_bytes_per_s: float
+
+    @property
+    def utilisation(self) -> float:
+        return self.offered_bytes_per_s / self.capacity_bytes_per_s
+
+    @property
+    def saturated(self) -> bool:
+        return self.utilisation >= 1.0
+
+
+def route_demands(
+    network: WideAreaNetwork, demands: DemandMatrix
+) -> List[LinkLoad]:
+    """Accumulate per-link offered load, widest-path routing.
+
+    Returns loads sorted by utilisation, hottest first.
+    """
+    offered: Dict[Tuple[str, str], float] = {}
+    for (src, dst), rate in demands.items():
+        if rate < 0:
+            raise NetworkError(f"negative demand {rate} for {src}->{dst}")
+        if rate == 0 or src == dst:
+            continue
+        path = network.widest_path(src, dst)
+        for u, v in zip(path, path[1:]):
+            key = _link_key(u, v)
+            offered[key] = offered.get(key, 0.0) + rate
+
+    loads = []
+    for link in network.links:
+        key = _link_key(link.a, link.b)
+        loads.append(
+            LinkLoad(
+                a=key[0],
+                b=key[1],
+                offered_bytes_per_s=offered.get(key, 0.0),
+                capacity_bytes_per_s=link.link_class.throughput_bytes_per_s,
+            )
+        )
+    loads.sort(key=lambda l: l.utilisation, reverse=True)
+    return loads
+
+
+def bottleneck(network: WideAreaNetwork, demands: DemandMatrix) -> LinkLoad:
+    """The hottest link under the demand matrix."""
+    loads = route_demands(network, demands)
+    if not loads:
+        raise NetworkError("network has no links")
+    return loads[0]
+
+
+@dataclass(frozen=True)
+class UpgradePlan:
+    """Outcome of a single-link upgrade evaluation."""
+
+    link: Tuple[str, str]
+    new_class_name: str
+    before_peak_utilisation: float
+    after_peak_utilisation: float
+
+    @property
+    def headroom_gain(self) -> float:
+        return self.before_peak_utilisation - self.after_peak_utilisation
+
+
+def best_single_upgrade(
+    network: WideAreaNetwork,
+    demands: DemandMatrix,
+    new_class: LinkClass,
+) -> UpgradePlan:
+    """Try upgrading each link in turn; keep the one that most reduces
+    the network's peak utilisation.
+
+    Demands are re-routed after each candidate upgrade (a faster link
+    attracts traffic), so the answer accounts for induced shifts.
+    """
+    before = bottleneck(network, demands).utilisation
+    best: UpgradePlan = None
+    for link in network.links:
+        target = (link.a, link.b)
+
+        def is_target(l: WanLink, target=target) -> bool:
+            return {l.a, l.b} == set(target)
+
+        candidate = upgraded_network(network, is_target, new_class)
+        after = bottleneck(candidate, demands).utilisation
+        plan = UpgradePlan(
+            link=_link_key(*target),
+            new_class_name=new_class.name,
+            before_peak_utilisation=before,
+            after_peak_utilisation=after,
+        )
+        if best is None or plan.after_peak_utilisation < best.after_peak_utilisation:
+            best = plan
+    if best is None:
+        raise NetworkError("network has no links to upgrade")
+    return best

@@ -1,0 +1,79 @@
+"""The Concurrent Supercomputing Consortium site network (exhibit T4-5).
+
+The paper's figure shows the Delta at Caltech reached over: NSFnet T1
+(1.5 Mbps) and T3 (45 Mbps), ESnet T1, the CASA gigabit testbed's
+HIPPI/SONET at 800 Mbps, regional T1s and a 56 kbps regional tail.  The
+partner list names DARPA, NSF, NASA, JPL, Caltech, and the Center for
+Research on Parallel Computation (Rice, lead institution), among "over
+14 government, industry and academia organizations".
+
+Topology details beyond the figure are simplified exactly as the figure
+itself says it is ("topologies of represented networks have been
+simplified to better illustrate connectivity between CSC sites").
+"""
+
+from __future__ import annotations
+
+from repro.network.graph import Site, WanLink, WideAreaNetwork
+from repro.network.links import HIPPI_SONET, REGIONAL_56K, T1, T3
+
+#: The machine's home site.
+DELTA_SITE = "Caltech (Delta)"
+
+
+def delta_consortium() -> WideAreaNetwork:
+    """Build the consortium network of the T4-5 figure."""
+    net = WideAreaNetwork(name="Concurrent Supercomputing Consortium")
+
+    sites = [
+        Site(DELTA_SITE, kind="academia"),
+        Site("JPL", kind="center"),
+        Site("NSFnet backbone", kind="backbone"),
+        Site("ESnet backbone", kind="backbone"),
+        Site("Regional network", kind="backbone"),
+        Site("NSF", kind="government"),
+        Site("DARPA", kind="government"),
+        Site("NASA centers", kind="government"),
+        Site("CRPC (Rice)", kind="academia"),
+        Site("DOE laboratories", kind="government"),
+        Site("Purdue", kind="academia"),
+        Site("Intel SSD", kind="industry"),
+        Site("Industry partners", kind="industry"),
+        Site("Regional members", kind="academia"),
+    ]
+    for site in sites:
+        net.add_site(site)
+
+    links = [
+        # CASA gigabit testbed: the 800 Mbps HIPPI/SONET run to JPL.
+        WanLink(DELTA_SITE, "JPL", HIPPI_SONET, distance_km=20),
+        # NSFnet attachment, T3 era backbone with T1 tails.
+        WanLink(DELTA_SITE, "NSFnet backbone", T3, distance_km=200),
+        WanLink("NSFnet backbone", "NSF", T3, distance_km=3700),
+        WanLink("NSFnet backbone", "DARPA", T1, distance_km=3700),
+        WanLink("NSFnet backbone", "NASA centers", T1, distance_km=600),
+        WanLink("NSFnet backbone", "CRPC (Rice)", T1, distance_km=2200),
+        WanLink("NSFnet backbone", "Purdue", T1, distance_km=2900),
+        # ESnet attachment for the DOE partners.
+        WanLink(DELTA_SITE, "ESnet backbone", T1, distance_km=600),
+        WanLink("ESnet backbone", "DOE laboratories", T1, distance_km=1500),
+        # Regional network tails.
+        WanLink(DELTA_SITE, "Regional network", T1, distance_km=50),
+        WanLink("Regional network", "Intel SSD", T1, distance_km=1500),
+        WanLink("Regional network", "Industry partners", T1, distance_km=300),
+        WanLink("Regional network", "Regional members", REGIONAL_56K, distance_km=300),
+    ]
+    for link in links:
+        net.add_link(link)
+    return net
+
+
+#: Paper-quoted link speeds for the funding/benchmark exhibit, Mbps.
+PAPER_LINK_SPEEDS_MBPS = {
+    "NSFnet T1": 1.5,
+    "NSFnet T3": 45.0,
+    "ESnet T1": 1.5,
+    "CASA HIPPI/SONET": 800.0,
+    "Regional T1": 1.5,
+    "Regional": 0.056,
+}

@@ -1,0 +1,180 @@
+"""Site graph for wide-area network simulation.
+
+A :class:`WideAreaNetwork` is a set of named sites joined by typed links
+(:mod:`repro.network.links`), with propagation delay per link.  Routing
+offers the two classic objectives:
+
+* ``shortest_path`` -- minimise total one-way latency (propagation +
+  per-link setup), the interactive-traffic objective;
+* ``widest_path`` -- maximise the bottleneck throughput, the
+  bulk-transfer objective.
+
+Built on :mod:`networkx` for the graph algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.network.links import LinkClass
+from repro.util.errors import NetworkError
+
+#: Speed of light in fibre, used to turn distances into delays.
+FIBRE_KM_PER_S = 2.0e5
+
+
+@dataclass(frozen=True)
+class Site:
+    """A consortium member site."""
+
+    name: str
+    kind: str = "center"  # government | industry | academia | center | backbone
+
+    def __post_init__(self) -> None:
+        allowed = {"government", "industry", "academia", "center", "backbone"}
+        if self.kind not in allowed:
+            raise NetworkError(f"unknown site kind {self.kind!r}; allowed: {sorted(allowed)}")
+
+
+@dataclass(frozen=True)
+class WanLink:
+    """One edge of the site graph."""
+
+    a: str
+    b: str
+    link_class: LinkClass
+    distance_km: float = 100.0
+
+    @property
+    def propagation_s(self) -> float:
+        return self.distance_km / FIBRE_KM_PER_S
+
+    @property
+    def latency_s(self) -> float:
+        """One-way latency contribution: setup plus propagation."""
+        return self.link_class.setup_latency_s + self.propagation_s
+
+
+class WideAreaNetwork:
+    """Named site graph with typed links and routing queries."""
+
+    def __init__(self, name: str = "wan"):
+        self.name = name
+        self._graph = nx.Graph()
+        self._sites: Dict[str, Site] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_site(self, site: Site) -> None:
+        if site.name in self._sites:
+            raise NetworkError(f"duplicate site {site.name!r}")
+        self._sites[site.name] = site
+        self._graph.add_node(site.name)
+
+    def add_link(self, link: WanLink) -> None:
+        for end in (link.a, link.b):
+            if end not in self._sites:
+                raise NetworkError(f"link endpoint {end!r} is not a site")
+        if link.a == link.b:
+            raise NetworkError(f"self-link at {link.a!r}")
+        if self._graph.has_edge(link.a, link.b):
+            raise NetworkError(f"duplicate link {link.a!r} -- {link.b!r}")
+        self._graph.add_edge(link.a, link.b, link=link)
+
+    def connect(
+        self, a: str, b: str, link_class: LinkClass, distance_km: float = 100.0
+    ) -> None:
+        """Convenience wrapper around :meth:`add_link`."""
+        self.add_link(WanLink(a, b, link_class, distance_km))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def sites(self) -> List[Site]:
+        return list(self._sites.values())
+
+    def site(self, name: str) -> Site:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise NetworkError(f"unknown site {name!r}") from None
+
+    @property
+    def links(self) -> List[WanLink]:
+        return [data["link"] for _, _, data in self._graph.edges(data=True)]
+
+    def link_between(self, a: str, b: str) -> WanLink:
+        self.site(a), self.site(b)
+        data = self._graph.get_edge_data(a, b)
+        if data is None:
+            raise NetworkError(f"no direct link {a!r} -- {b!r}")
+        return data["link"]
+
+    def degree(self, name: str) -> int:
+        self.site(name)
+        return self._graph.degree[name]
+
+    def is_connected(self) -> bool:
+        if len(self._sites) == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    # -- routing ---------------------------------------------------------------
+
+    def _check_endpoints(self, src: str, dst: str) -> None:
+        self.site(src)
+        self.site(dst)
+        if not nx.has_path(self._graph, src, dst):
+            raise NetworkError(f"no route from {src!r} to {dst!r}")
+
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """Minimum-latency route (site names, endpoints included)."""
+        self._check_endpoints(src, dst)
+        return nx.shortest_path(
+            self._graph, src, dst,
+            weight=lambda u, v, d: d["link"].latency_s,
+        )
+
+    def widest_path(self, src: str, dst: str) -> List[str]:
+        """Maximum-bottleneck-throughput route.
+
+        Computed by binary search over throughput thresholds (the graphs
+        here are small).
+        """
+        self._check_endpoints(src, dst)
+        rates = sorted(
+            {data["link"].link_class.throughput_bytes_per_s
+             for _, _, data in self._graph.edges(data=True)},
+            reverse=True,
+        )
+        best: Optional[List[str]] = None
+        for threshold in rates:
+            sub = nx.Graph(
+                (u, v, d)
+                for u, v, d in self._graph.edges(data=True)
+                if d["link"].link_class.throughput_bytes_per_s >= threshold
+            )
+            if sub.has_node(src) and sub.has_node(dst) and nx.has_path(sub, src, dst):
+                best = nx.shortest_path(sub, src, dst)
+                break
+        if best is None:
+            raise NetworkError(f"no route from {src!r} to {dst!r}")  # pragma: no cover
+        return best
+
+    def path_links(self, path: List[str]) -> List[WanLink]:
+        """The links along a site path."""
+        return [self.link_between(u, v) for u, v in zip(path, path[1:])]
+
+    def bottleneck_throughput(self, path: List[str]) -> float:
+        """Payload bytes/s of the slowest link on the path."""
+        links = self.path_links(path)
+        if not links:
+            return float("inf")
+        return min(l.link_class.throughput_bytes_per_s for l in links)
+
+    def path_latency(self, path: List[str]) -> float:
+        """One-way latency along the path."""
+        return sum(l.latency_s for l in self.path_links(path))

@@ -1,0 +1,84 @@
+"""Wide-area link classes of the 1992 NREN era.
+
+The Delta consortium figure (exhibit T4-5) annotates its site graph with
+exactly these classes; the NREN program's goal was the jump from the
+T1/T3 backbone to gigabit research networks (CASA's HIPPI-over-SONET at
+800 Mbps being the flagship testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import format_bandwidth, kbps, mbps
+
+
+@dataclass(frozen=True)
+class LinkClass:
+    """A WAN service class.
+
+    Attributes
+    ----------
+    name:
+        Service designation as the paper writes it.
+    rate_bps:
+        Line rate in bits/s.
+    setup_latency_s:
+        Per-transfer protocol setup cost (connection establishment,
+        routing); charged once per link on a path.
+    efficiency:
+        Fraction of line rate achievable by a bulk transfer (protocol
+        overheads, window limits of period TCP stacks).
+    """
+
+    name: str
+    rate_bps: float
+    setup_latency_s: float = 0.010
+    efficiency: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate_bps}")
+        if self.setup_latency_s < 0:
+            raise ConfigurationError("setup latency must be >= 0")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigurationError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Achievable payload bytes/s."""
+        return self.rate_bps * self.efficiency / 8.0
+
+    def describe(self) -> str:
+        return f"{self.name} ({format_bandwidth(self.rate_bps)})"
+
+
+# The classes named on the consortium figure.
+REGIONAL_56K = LinkClass("Regional 56 kbps", kbps(56), setup_latency_s=0.050, efficiency=0.70)
+T1 = LinkClass("T1", mbps(1.5), setup_latency_s=0.020, efficiency=0.80)
+T3 = LinkClass("T3", mbps(45.0), setup_latency_s=0.015, efficiency=0.80)
+HIPPI_SONET = LinkClass("HIPPI/SONET", mbps(800.0), setup_latency_s=0.002, efficiency=0.90)
+#: The NREN objective: a full gigabit service.
+GIGABIT = LinkClass("Gigabit NREN", mbps(1000.0), setup_latency_s=0.002, efficiency=0.90)
+
+#: Registry used by benches and the what-if analysis.
+LINK_CLASSES = {
+    "56k": REGIONAL_56K,
+    "t1": T1,
+    "t3": T3,
+    "hippi": HIPPI_SONET,
+    "gigabit": GIGABIT,
+}
+
+
+def get_link_class(name: str) -> LinkClass:
+    """Look up a link class by registry key."""
+    try:
+        return LINK_CLASSES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown link class {name!r}; available: {sorted(LINK_CLASSES)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Utilisation-dependent delay: the M/M/1 view of a shared link.
+
+Transfer estimates elsewhere assume a dedicated link; real NREN links
+were shared, and the argument for upgrading was congestion as much as
+raw rate.  The standard first-order model treats a link as an M/M/1
+queue: with offered load ``rho`` (utilisation in [0, 1)), the expected
+sojourn time of a packet of service time ``s`` is
+
+    w(s, rho) = s / (1 - rho)
+
+so latency blows up as utilisation approaches one -- the hockey-stick
+curve every capacity-planning memo of the era drew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.network.graph import WideAreaNetwork
+from repro.util.errors import NetworkError
+
+
+def mm1_delay_factor(utilisation: float) -> float:
+    """Queueing multiplier 1 / (1 - rho); requires rho in [0, 1)."""
+    if not 0.0 <= utilisation < 1.0:
+        raise NetworkError(
+            f"utilisation must be in [0, 1), got {utilisation}"
+        )
+    return 1.0 / (1.0 - utilisation)
+
+
+def loaded_transfer_time(
+    network: WideAreaNetwork,
+    src: str,
+    dst: str,
+    nbytes: float,
+    utilisation: float,
+    *,
+    path: Sequence[str] = None,
+) -> float:
+    """Cut-through transfer time with every link at ``utilisation``.
+
+    A uniform background load is the planning-memo simplification; the
+    per-link demand model in :mod:`repro.network.capacity` refines it.
+    """
+    if nbytes < 0:
+        raise NetworkError(f"nbytes must be >= 0, got {nbytes}")
+    factor = mm1_delay_factor(utilisation)
+    if path is None:
+        path = network.widest_path(src, dst)
+    links = network.path_links(list(path))
+    if not links:
+        return 0.0
+    latency = sum(l.latency_s for l in links)
+    bottleneck = min(l.link_class.throughput_bytes_per_s for l in links)
+    return latency * factor + nbytes / (bottleneck / factor)
+
+
+@dataclass(frozen=True)
+class CongestionPoint:
+    """One point of a congestion sweep."""
+
+    utilisation: float
+    time_s: float
+    slowdown: float
+
+
+def congestion_sweep(
+    network: WideAreaNetwork,
+    src: str,
+    dst: str,
+    nbytes: float,
+    utilisations: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 0.95),
+) -> list:
+    """Transfer time vs background utilisation (the hockey stick)."""
+    base = loaded_transfer_time(network, src, dst, nbytes, 0.0)
+    out = []
+    for rho in utilisations:
+        t = loaded_transfer_time(network, src, dst, nbytes, rho)
+        out.append(CongestionPoint(utilisation=rho, time_s=t,
+                                   slowdown=t / base if base > 0 else 1.0))
+    return out

@@ -1,0 +1,139 @@
+"""Transfer-time and remote-session models over the WAN graph.
+
+These answer the questions the consortium network existed for: how long
+does it take a remote partner to move a Delta-sized dataset home, and
+can they steer a visualisation interactively?  The models are the
+standard first-order ones:
+
+* store-and-forward: each link is traversed completely before the next
+  begins -- ``sum(latency_i + bytes / throughput_i)``;
+* cut-through (pipelined): the stream flows concurrently on all links,
+  limited by the bottleneck -- ``sum(latency_i) + bytes / min(throughput)``.
+
+Cut-through is what packet networks actually approximate, and the gap
+between the two is itself instructive output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.network.graph import WideAreaNetwork
+from repro.util.errors import NetworkError
+from repro.util.units import format_bytes, format_time
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Outcome of a transfer query."""
+
+    src: str
+    dst: str
+    nbytes: float
+    path: List[str]
+    time_s: float
+    bottleneck_bytes_per_s: float
+    mode: str
+
+    @property
+    def effective_mbps(self) -> float:
+        """Achieved payload rate in Mbit/s."""
+        if self.time_s <= 0:
+            return float("inf")
+        return self.nbytes * 8.0 / self.time_s / 1e6
+
+    def describe(self) -> str:
+        return (
+            f"{format_bytes(self.nbytes)} {self.src} -> {self.dst} "
+            f"via {' / '.join(self.path)}: {format_time(self.time_s)} "
+            f"({self.effective_mbps:.2f} Mbps effective, {self.mode})"
+        )
+
+
+def transfer_time(
+    network: WideAreaNetwork,
+    src: str,
+    dst: str,
+    nbytes: float,
+    *,
+    mode: str = "cut_through",
+    path: Optional[List[str]] = None,
+) -> TransferEstimate:
+    """Estimate a bulk transfer.
+
+    Routes on the widest path by default (bulk objective); pass ``path``
+    to pin a specific route.
+    """
+    if nbytes < 0:
+        raise NetworkError(f"nbytes must be >= 0, got {nbytes}")
+    if mode not in ("cut_through", "store_and_forward"):
+        raise NetworkError(f"unknown transfer mode {mode!r}")
+    if path is None:
+        path = network.widest_path(src, dst)
+    else:
+        network.path_links(path)  # validates
+        if path[0] != src or path[-1] != dst:
+            raise NetworkError(
+                f"pinned path {path} does not join {src!r} to {dst!r}"
+            )
+
+    links = network.path_links(path)
+    if not links:
+        return TransferEstimate(src, dst, nbytes, path, 0.0, float("inf"), mode)
+
+    if mode == "store_and_forward":
+        time_s = sum(
+            l.latency_s + nbytes / l.link_class.throughput_bytes_per_s for l in links
+        )
+    else:
+        bottleneck = min(l.link_class.throughput_bytes_per_s for l in links)
+        time_s = sum(l.latency_s for l in links) + nbytes / bottleneck
+    return TransferEstimate(
+        src=src,
+        dst=dst,
+        nbytes=nbytes,
+        path=path,
+        time_s=time_s,
+        bottleneck_bytes_per_s=min(
+            l.link_class.throughput_bytes_per_s for l in links
+        ),
+        mode=mode,
+    )
+
+
+@dataclass(frozen=True)
+class SessionEstimate:
+    """Interactive remote-visualisation feasibility."""
+
+    frame_bytes: float
+    achievable_fps: float
+    round_trip_s: float
+    interactive: bool
+
+
+def remote_session(
+    network: WideAreaNetwork,
+    src: str,
+    dst: str,
+    *,
+    frame_bytes: float = 1.0e6,
+    required_fps: float = 10.0,
+) -> SessionEstimate:
+    """Can a partner at ``dst`` steer a visualisation served from ``src``?
+
+    A frame stream needs ``frame_bytes * fps`` of bottleneck throughput;
+    interactivity additionally wants a sub-200 ms round trip.
+    """
+    if frame_bytes <= 0 or required_fps <= 0:
+        raise NetworkError("frame_bytes and required_fps must be positive")
+    path = network.widest_path(src, dst)
+    bottleneck = network.bottleneck_throughput(path)
+    latency = network.path_latency(path)
+    fps = bottleneck / frame_bytes
+    return SessionEstimate(
+        frame_bytes=frame_bytes,
+        achievable_fps=fps,
+        round_trip_s=2.0 * latency,
+        interactive=(fps >= required_fps and 2.0 * latency <= 0.2),
+    )

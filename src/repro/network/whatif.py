@@ -1,0 +1,95 @@
+"""Upgrade what-if analysis: the NREN investment argument.
+
+The NREN component's pitch was quantitative: moving the community from
+T1 tails to T3 and then gigabit service changes which collaborations are
+feasible.  This module rebuilds a network with selected links upgraded
+and compares transfer estimates before and after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.network.graph import WanLink, WideAreaNetwork
+from repro.network.links import LinkClass
+from repro.network.transfer import TransferEstimate, transfer_time
+from repro.util.errors import NetworkError
+
+
+def upgraded_network(
+    network: WideAreaNetwork,
+    should_upgrade: Callable[[WanLink], bool],
+    new_class: LinkClass,
+) -> WideAreaNetwork:
+    """Copy ``network`` with every link passing the predicate re-typed.
+
+    The original network is untouched.
+    """
+    out = WideAreaNetwork(name=f"{network.name} (upgraded to {new_class.name})")
+    for site in network.sites:
+        out.add_site(site)
+    for link in network.links:
+        cls = new_class if should_upgrade(link) else link.link_class
+        out.add_link(WanLink(link.a, link.b, cls, link.distance_km))
+    return out
+
+
+def upgrade_all_below(
+    network: WideAreaNetwork, threshold_bps: float, new_class: LinkClass
+) -> WideAreaNetwork:
+    """Upgrade every link slower than ``threshold_bps``."""
+    if threshold_bps <= 0:
+        raise NetworkError(f"threshold must be positive, got {threshold_bps}")
+    return upgraded_network(
+        network,
+        lambda link: link.link_class.rate_bps < threshold_bps,
+        new_class,
+    )
+
+
+@dataclass(frozen=True)
+class UpgradeComparison:
+    """Before/after for one transfer."""
+
+    before: TransferEstimate
+    after: TransferEstimate
+
+    @property
+    def speedup(self) -> float:
+        if self.after.time_s <= 0:
+            return float("inf")
+        return self.before.time_s / self.after.time_s
+
+
+def compare_transfer(
+    before: WideAreaNetwork,
+    after: WideAreaNetwork,
+    src: str,
+    dst: str,
+    nbytes: float,
+) -> UpgradeComparison:
+    """Same transfer on two network generations."""
+    return UpgradeComparison(
+        before=transfer_time(before, src, dst, nbytes),
+        after=transfer_time(after, src, dst, nbytes),
+    )
+
+
+def feasibility_frontier(
+    network: WideAreaNetwork,
+    src: str,
+    dst: str,
+    *,
+    deadline_s: float = 3600.0,
+) -> float:
+    """Largest dataset (bytes) movable from src to dst within the
+    deadline -- the 'overnight dataset' metric used to argue for NREN.
+    """
+    if deadline_s <= 0:
+        raise NetworkError(f"deadline must be positive, got {deadline_s}")
+    path = network.widest_path(src, dst)
+    latency = network.path_latency(path)
+    if latency >= deadline_s:
+        return 0.0
+    return (deadline_s - latency) * network.bottleneck_throughput(path)

@@ -1,0 +1,48 @@
+"""The eight agencies of the FY92-93 HPCC crosscut.
+
+The funding exhibit (T4-3) lists exactly these, in descending FY92
+budget order; the responsibilities exhibit (T4-2) assigns each a role
+per program component.  The paper also notes Department of Education
+participation was expected in FY 1993.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util.errors import ProgramModelError
+
+
+@dataclass(frozen=True)
+class Agency:
+    """A participating federal agency."""
+
+    code: str
+    name: str
+    department: str = ""
+
+
+DARPA = Agency("DARPA", "Defense Advanced Research Projects Agency", "DOD")
+NSF = Agency("NSF", "National Science Foundation")
+DOE = Agency("DOE", "Department of Energy")
+NASA = Agency("NASA", "National Aeronautics and Space Administration")
+NIH = Agency("HHS/NIH", "National Institutes of Health", "HHS")
+NOAA = Agency("DOC/NOAA", "National Oceanic and Atmospheric Administration", "DOC")
+EPA = Agency("EPA", "Environmental Protection Agency")
+NIST = Agency("DOC/NIST", "National Institute of Standards and Technology", "DOC")
+
+#: Funding-table order (descending FY92 budget).
+AGENCIES: List[Agency] = [DARPA, NSF, DOE, NASA, NIH, NOAA, EPA, NIST]
+
+_BY_CODE: Dict[str, Agency] = {a.code: a for a in AGENCIES}
+
+
+def get_agency(code: str) -> Agency:
+    """Look up an agency by the code used in the paper's tables."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise ProgramModelError(
+            f"unknown agency {code!r}; expected one of {sorted(_BY_CODE)}"
+        ) from None

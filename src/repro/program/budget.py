@@ -1,0 +1,165 @@
+"""Exhibit T4-3: Federal HPCC Program funding, FY 1992-93.
+
+The dollar figures (millions) are exactly the paper's table; the model
+validates that agency lines sum to the printed totals (654.8 and 802.9)
+and derives the analytics a program office would: growth rates, agency
+shares, and an estimated split across the four components.
+
+The per-component split is **not** in the paper (its pie chart carries
+no numbers), so the shares here are modelled, flagged as estimates, and
+kept separate from the exact agency table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.program.agencies import AGENCIES, get_agency
+from repro.program.components import COMPONENTS
+from repro.util.errors import ProgramModelError
+from repro.util.tables import render_table
+
+#: Paper table, $M: agency code -> {fiscal year -> budget}.
+FUNDING_MUSD: Dict[str, Dict[int, float]] = {
+    "DARPA":    {1992: 232.2, 1993: 275.0},
+    "NSF":      {1992: 200.9, 1993: 261.9},
+    "DOE":      {1992: 92.3,  1993: 109.1},
+    "NASA":     {1992: 71.2,  1993: 89.1},
+    "HHS/NIH":  {1992: 41.3,  1993: 44.9},
+    "DOC/NOAA": {1992: 9.8,   1993: 10.8},
+    "EPA":      {1992: 5.0,   1993: 8.0},
+    "DOC/NIST": {1992: 2.1,   1993: 4.1},
+}
+
+#: Printed totals the table must reproduce.
+PRINTED_TOTALS_MUSD: Dict[int, float] = {1992: 654.8, 1993: 802.9}
+
+FISCAL_YEARS = (1992, 1993)
+
+#: Modelled component shares (estimate -- see module docstring).
+COMPONENT_SHARE_ESTIMATE: Dict[str, float] = {
+    "HPCS": 0.30,
+    "ASTA": 0.40,
+    "NREN": 0.14,
+    "BRHR": 0.16,
+}
+
+
+def _check_year(fy: int) -> None:
+    if fy not in FISCAL_YEARS:
+        raise ProgramModelError(
+            f"fiscal year {fy} not in the paper's table; have {FISCAL_YEARS}"
+        )
+
+
+def agency_budget(agency_code: str, fy: int) -> float:
+    """One cell of the table, $M."""
+    get_agency(agency_code)
+    _check_year(fy)
+    return FUNDING_MUSD[agency_code][fy]
+
+
+def total_budget(fy: int) -> float:
+    """Column sum, $M (equals the printed total; validated below)."""
+    _check_year(fy)
+    return round(sum(rows[fy] for rows in FUNDING_MUSD.values()), 10)
+
+
+def validate_totals(tolerance: float = 0.05) -> None:
+    """The table's internal consistency check: lines sum to the printed
+    totals within rounding."""
+    for fy in FISCAL_YEARS:
+        computed = total_budget(fy)
+        printed = PRINTED_TOTALS_MUSD[fy]
+        if abs(computed - printed) > tolerance:
+            raise ProgramModelError(
+                f"FY{fy} lines sum to {computed}, table prints {printed}"
+            )
+
+
+def growth_rate(agency_code: str = None) -> float:
+    """FY93/FY92 - 1, for one agency or the whole program."""
+    if agency_code is None:
+        return total_budget(1993) / total_budget(1992) - 1.0
+    return agency_budget(agency_code, 1993) / agency_budget(agency_code, 1992) - 1.0
+
+
+def agency_share(agency_code: str, fy: int) -> float:
+    """Agency fraction of the fiscal-year total."""
+    return agency_budget(agency_code, fy) / total_budget(fy)
+
+
+def largest_agency(fy: int) -> str:
+    """Biggest line of the table (DARPA in both years)."""
+    _check_year(fy)
+    return max(FUNDING_MUSD, key=lambda code: FUNDING_MUSD[code][fy])
+
+
+def component_budget_estimate(component_code: str, fy: int) -> float:
+    """Estimated $M for one component (modelled share of the total)."""
+    _check_year(fy)
+    try:
+        share = COMPONENT_SHARE_ESTIMATE[component_code.upper()]
+    except KeyError:
+        raise ProgramModelError(
+            f"unknown component {component_code!r}"
+        ) from None
+    return share * total_budget(fy)
+
+
+@dataclass(frozen=True)
+class BudgetLine:
+    """One row of the rendered exhibit."""
+
+    agency: str
+    fy1992: float
+    fy1993: float
+
+    @property
+    def growth(self) -> float:
+        return self.fy1993 / self.fy1992 - 1.0
+
+
+def budget_lines() -> List[BudgetLine]:
+    """Rows in the paper's (descending FY92) order."""
+    return [
+        BudgetLine(a.code, FUNDING_MUSD[a.code][1992], FUNDING_MUSD[a.code][1993])
+        for a in AGENCIES
+    ]
+
+
+def render(include_growth: bool = True) -> str:
+    """The funding exhibit as text, with the totals row."""
+    validate_totals()
+    if include_growth:
+        headers = ["Agency", "FY 1992", "FY 1993", "Growth %"]
+        rows = [
+            [l.agency, l.fy1992, l.fy1993, 100.0 * l.growth] for l in budget_lines()
+        ]
+        rows.append(
+            ["Total", total_budget(1992), total_budget(1993), 100.0 * growth_rate()]
+        )
+    else:
+        headers = ["Agency", "FY 1992", "FY 1993"]
+        rows = [[l.agency, l.fy1992, l.fy1993] for l in budget_lines()]
+        rows.append(["Total", total_budget(1992), total_budget(1993)])
+    return render_table(
+        headers,
+        rows,
+        title="Federal HPCC Program Funding FY 92-93 (dollars in millions)",
+    )
+
+
+def render_component_estimate(fy: int) -> str:
+    """The modelled component split as text (clearly labelled estimate)."""
+    rows = [
+        [c.code, component_budget_estimate(c.code, fy),
+         100.0 * COMPONENT_SHARE_ESTIMATE[c.code]]
+        for c in COMPONENTS
+    ]
+    return render_table(
+        ["Component", f"FY {fy} est. $M", "Share %"],
+        rows,
+        title=f"Estimated component split, FY {fy} (modelled shares)",
+    )

@@ -1,0 +1,68 @@
+"""The four components of the Federal HPCC Program.
+
+Every HPCC budget and responsibility in the paper is organised under
+these four lines (the acronyms appear on the funding exhibit):
+
+* HPCS -- High Performance Computing Systems (the teraops hardware push)
+* ASTA -- Advanced Software Technology and Algorithms
+* NREN -- National Research and Education Network
+* BRHR -- Basic Research and Human Resources
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util.errors import ProgramModelError
+
+
+@dataclass(frozen=True)
+class Component:
+    """One of the program's four technology lines."""
+
+    code: str
+    title: str
+    goal: str
+
+
+HPCS = Component(
+    code="HPCS",
+    title="High Performance Computing Systems",
+    goal="Develop the underlying technology for scalable teraops "
+         "computing systems and provide early experimental systems.",
+)
+ASTA = Component(
+    code="ASTA",
+    title="Advanced Software Technology and Algorithms",
+    goal="Develop the parallel algorithms, software tools, and Grand "
+         "Challenge applications that make the systems usable.",
+)
+NREN = Component(
+    code="NREN",
+    title="National Research and Education Network",
+    goal="Upgrade and extend the research internet toward gigabit "
+         "service connecting laboratories, universities, and industry.",
+)
+BRHR = Component(
+    code="BRHR",
+    title="Basic Research and Human Resources",
+    goal="Fund the basic research, education, training, and "
+         "infrastructure that sustain the field.",
+)
+
+#: Canonical ordering used by every exhibit.
+COMPONENTS: List[Component] = [HPCS, ASTA, NREN, BRHR]
+
+_BY_CODE: Dict[str, Component] = {c.code: c for c in COMPONENTS}
+
+
+def get_component(code: str) -> Component:
+    """Look up a component by its acronym."""
+    try:
+        return _BY_CODE[code.upper()]
+    except KeyError:
+        raise ProgramModelError(
+            f"unknown component {code!r}; expected one of "
+            f"{[c.code for c in COMPONENTS]}"
+        ) from None

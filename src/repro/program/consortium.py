@@ -1,0 +1,140 @@
+"""Consortium models: the CSC (Delta) and CAS partnerships.
+
+The paper devotes two exhibits to consortia as the program's
+technology-transfer mechanism: the Concurrent Supercomputing Consortium
+that acquired the Delta, and the Computational Aerosciences consortium
+giving aerospace industry a seat in NASA's CAS project.  Member rosters
+here follow the slides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.util.errors import ProgramModelError
+
+SECTORS = ("government", "industry", "academia")
+
+
+@dataclass(frozen=True)
+class Member:
+    """A consortium participant."""
+
+    name: str
+    sector: str
+
+    def __post_init__(self) -> None:
+        if self.sector not in SECTORS:
+            raise ProgramModelError(
+                f"unknown sector {self.sector!r}; allowed: {SECTORS}"
+            )
+
+
+@dataclass
+class Consortium:
+    """A named partnership with purposes and a member roster."""
+
+    name: str
+    purposes: List[str]
+    members: List[Member] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for m in self.members:
+            if m.name in seen:
+                raise ProgramModelError(f"duplicate member {m.name!r}")
+            seen.add(m.name)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    def by_sector(self, sector: str) -> List[Member]:
+        if sector not in SECTORS:
+            raise ProgramModelError(f"unknown sector {sector!r}")
+        return [m for m in self.members if m.sector == sector]
+
+    def sector_counts(self) -> Dict[str, int]:
+        return {s: len(self.by_sector(s)) for s in SECTORS}
+
+    def spans_all_sectors(self) -> bool:
+        """The paper's selling point: government + industry + academia."""
+        return all(self.by_sector(s) for s in SECTORS)
+
+
+def delta_csc() -> Consortium:
+    """The Concurrent Supercomputing Consortium (exhibits T4-4/T4-5).
+
+    "Partners include over 14 government, industry and academia
+    organizations"; the network figure names the core set.
+    """
+    return Consortium(
+        name="Concurrent Supercomputing Consortium",
+        purposes=[
+            "Acquire and utilize the Intel Touchstone Delta supercomputer",
+            "Operate the world's fastest installed supercomputer "
+            "(32 GFLOPS peak, 13 GFLOPS LINPACK of order 25 000)",
+            "Provide a shared massively parallel testbed for Grand "
+            "Challenge application teams",
+        ],
+        members=[
+            Member("California Institute of Technology", "academia"),
+            Member("Jet Propulsion Laboratory", "government"),
+            Member("Defense Advanced Research Projects Agency", "government"),
+            Member("National Aeronautics and Space Administration", "government"),
+            Member("National Science Foundation", "government"),
+            Member("Department of Energy", "government"),
+            Member("Intel Corporation", "industry"),
+            Member("Center for Research on Parallel Computation (Rice)", "academia"),
+            Member("Argonne National Laboratory", "government"),
+            Member("Los Alamos National Laboratory", "government"),
+            Member("Sandia National Laboratories", "government"),
+            Member("Purdue University", "academia"),
+            Member("University of Southern California", "academia"),
+            Member("Pacific Northwest Laboratory", "government"),
+            Member("Cray Research user exchange", "industry"),
+        ],
+    )
+
+
+def cas_consortium() -> Consortium:
+    """The Computational Aerosciences consortium (exhibits T4-5/T4-6),
+    with the private-sector participant roster the paper lists."""
+    industry = [
+        "Boeing",
+        "General Electric",
+        "Grumman",
+        "McDonnell Douglas",
+        "Northrop",
+        "Lockheed",
+        "United Technologies",
+        "TRW",
+        "Rockwell",
+        "General Motors",
+        "General Dynamics",
+        "Motorola",
+    ]
+    academia = [
+        "Syracuse University",
+        "Mississippi State University",
+        "Universities Space Research Association",
+        "University of California, Davis",
+    ]
+    return Consortium(
+        name="Computational Aerosciences Consortium",
+        purposes=[
+            "Allow aerospace industry to influence the requirements, "
+            "standards, and direction of NASA's CAS project",
+            "Enable industry participation in developing generic CAS "
+            "applications and systems software",
+            "Facilitate transfer of CAS technology to aerospace users",
+            "Provide industry access to high performance computing resources",
+            "Allow industry to commercialize appropriate products",
+        ],
+        members=(
+            [Member("NASA", "government")]
+            + [Member(name, "industry") for name in industry]
+            + [Member(name, "academia") for name in academia]
+        ),
+    )

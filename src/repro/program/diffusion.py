@@ -1,0 +1,154 @@
+"""Technology-transfer diffusion model.
+
+The paper's approach slides claim consortium participation accelerates
+technology transfer ("technology transfer is through direct
+participation").  We make that claim quantitative with the standard Bass
+diffusion model: cumulative adopters A(t) in a population of M evolve as
+
+    A(t+1) = A(t) + (p + q * A(t)/M) * (M - A(t))
+
+where ``p`` is the innovation (external influence) coefficient and ``q``
+the imitation (word-of-mouth) coefficient.  Direct participation in a
+consortium is modelled two ways, matching the slide's argument:
+
+* members are *seed adopters* at t=0, and
+* membership raises the external coefficient ``p`` (members see the
+  technology demonstrated on their own workloads).
+
+The ablation benchmark (T4-6) compares adoption trajectories with and
+without the consortium mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.program.consortium import Consortium
+from repro.util.errors import ProgramModelError
+
+
+@dataclass(frozen=True)
+class BassDiffusion:
+    """Discrete-time Bass model.
+
+    Attributes
+    ----------
+    market_size:
+        Total potential adopters M.
+    p:
+        Innovation coefficient per period (external influence).
+    q:
+        Imitation coefficient per period (internal influence).
+    seed_adopters:
+        Adopters already on board at t = 0.
+    """
+
+    market_size: int
+    p: float = 0.01
+    q: float = 0.35
+    seed_adopters: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.market_size < 1:
+            raise ProgramModelError(
+                f"market size must be >= 1, got {self.market_size}"
+            )
+        if not 0 <= self.p <= 1 or not 0 <= self.q <= 1:
+            raise ProgramModelError(
+                f"coefficients must lie in [0, 1]; got p={self.p}, q={self.q}"
+            )
+        if not 0 <= self.seed_adopters <= self.market_size:
+            raise ProgramModelError(
+                f"seed adopters {self.seed_adopters} outside [0, {self.market_size}]"
+            )
+
+    def trajectory(self, periods: int) -> np.ndarray:
+        """Cumulative adopters A(0..periods), length periods+1."""
+        if periods < 0:
+            raise ProgramModelError(f"periods must be >= 0, got {periods}")
+        out = np.empty(periods + 1)
+        a = float(self.seed_adopters)
+        m = float(self.market_size)
+        out[0] = a
+        for t in range(1, periods + 1):
+            a = a + (self.p + self.q * a / m) * (m - a)
+            out[t] = a
+        return out
+
+    def adoption_rate(self, periods: int) -> np.ndarray:
+        """New adopters per period (the classic Bass bell)."""
+        return np.diff(self.trajectory(periods))
+
+    def time_to_fraction(self, fraction: float, max_periods: int = 10_000) -> int:
+        """First period at which A(t) >= fraction * M."""
+        if not 0 < fraction <= 1:
+            raise ProgramModelError(f"fraction must be in (0, 1], got {fraction}")
+        target = fraction * self.market_size
+        a = float(self.seed_adopters)
+        if a >= target:
+            return 0
+        m = float(self.market_size)
+        for t in range(1, max_periods + 1):
+            a = a + (self.p + self.q * a / m) * (m - a)
+            if a >= target:
+                return t
+        raise ProgramModelError(
+            f"adoption never reached {fraction:.0%} within {max_periods} periods "
+            f"(p={self.p}, q={self.q})"
+        )
+
+
+def transfer_with_consortium(
+    consortium: Consortium,
+    market_size: int,
+    *,
+    base_p: float = 0.005,
+    q: float = 0.35,
+    participation_boost: float = 4.0,
+) -> BassDiffusion:
+    """Diffusion model with the consortium mechanism engaged.
+
+    Members seed the adopter pool and direct participation multiplies
+    the external coefficient by ``participation_boost``.
+    """
+    if market_size < consortium.n_members:
+        raise ProgramModelError(
+            f"market of {market_size} smaller than the consortium "
+            f"({consortium.n_members} members)"
+        )
+    if participation_boost < 1.0:
+        raise ProgramModelError(
+            f"participation boost must be >= 1, got {participation_boost}"
+        )
+    return BassDiffusion(
+        market_size=market_size,
+        p=min(1.0, base_p * participation_boost),
+        q=q,
+        seed_adopters=consortium.n_members,
+    )
+
+
+def transfer_without_consortium(
+    market_size: int, *, base_p: float = 0.005, q: float = 0.35
+) -> BassDiffusion:
+    """Counterfactual: same market, no seeding, no boost."""
+    return BassDiffusion(market_size=market_size, p=base_p, q=q, seed_adopters=0.0)
+
+
+def acceleration(
+    consortium: Consortium,
+    market_size: int,
+    *,
+    fraction: float = 0.5,
+    **kwargs,
+) -> float:
+    """Periods saved reaching ``fraction`` adoption thanks to the
+    consortium mechanism (the exhibit's quantitative claim)."""
+    with_c = transfer_with_consortium(consortium, market_size, **kwargs)
+    base_p = kwargs.get("base_p", 0.005)
+    q = kwargs.get("q", 0.35)
+    without = transfer_without_consortium(market_size, base_p=base_p, q=q)
+    return without.time_to_fraction(fraction) - with_c.time_to_fraction(fraction)

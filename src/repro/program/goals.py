@@ -1,0 +1,101 @@
+"""Exhibit T4-1: the Federal HPCC Program goals and approach, verbatim.
+
+The paper's opening slides are text: the three program objectives, the
+Presidential commitment quotes (the 1991 Caltech commencement speech and
+the High Performance Computing Act of 1991, P.L. 102-194), and the
+four-line approach.  They are encoded as data so the goal exhibit
+regenerates alongside the quantitative ones, and so tests can pin the
+program-model modules back to the stated objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.errors import ProgramModelError
+
+#: The three goals on the "Federal Program Goal and Objectives" slide.
+PROGRAM_GOALS: List[str] = [
+    "Extend U.S. leadership in high performance computing and computer "
+    "communications",
+    "Disseminate the technologies to speed innovation and to serve "
+    "national goals",
+    "Spur gains in industrial competitiveness by making high performance "
+    "computing integral to design and production",
+]
+
+#: The "Presidential Commitment" slide.
+HPC_ACT_CITATION = "High Performance Computing Act of 1991 (P.L. 102-194)"
+
+HPC_ACT_QUOTE = (
+    "The development of high performance computing and communications "
+    "technology offers the potential to transform radically the way in "
+    "which all Americans will work, learn and communicate in the future. "
+    "It holds the promise of changing society as much as the other great "
+    "inventions of the 20th century, including the telephone, air travel "
+    "and radio and TV."
+)
+
+CALTECH_SPEECH_QUOTE = (
+    "...we must invest now in a brighter future. That's why our "
+    "administration fully supports high-performance computing, and math "
+    "and science education."
+)
+
+#: The "Approach" slide.
+APPROACH: List[str] = [
+    "Establish high performance computing testbeds",
+    "Constitute application software teams composed of discipline and "
+    "computational scientists to utilize and evaluate testbeds",
+    "Promote collaboration, exchange of ideas and sharing of software "
+    "among HPCC software developers",
+    "Promote technology transfer",
+]
+
+
+@dataclass(frozen=True)
+class ApproachMapping:
+    """Which library subsystem makes each approach line executable."""
+
+    approach: str
+    subsystem: str
+
+
+#: The approach, cross-referenced to the modules that implement it.
+APPROACH_IMPLEMENTATION: List[ApproachMapping] = [
+    ApproachMapping(APPROACH[0], "repro.machine presets + repro.core.Testbed"),
+    ApproachMapping(APPROACH[1], "repro.core workloads + evaluation campaigns"),
+    ApproachMapping(APPROACH[2], "repro.program consortium models"),
+    ApproachMapping(APPROACH[3], "repro.program.diffusion (Bass model)"),
+]
+
+
+def validate_goals() -> None:
+    """Structural checks used by tests and the goal exhibit."""
+    if len(PROGRAM_GOALS) != 3:
+        raise ProgramModelError("the goals slide lists exactly three goals")
+    if len(APPROACH) != len(APPROACH_IMPLEMENTATION):
+        raise ProgramModelError("every approach line needs an implementation")
+    for mapping in APPROACH_IMPLEMENTATION:
+        if mapping.approach not in APPROACH:
+            raise ProgramModelError(
+                f"mapping references unknown approach line: {mapping.approach!r}"
+            )
+
+
+def render() -> str:
+    """The goal exhibit as text."""
+    validate_goals()
+    lines = ["FEDERAL PROGRAM GOAL AND OBJECTIVES", "=" * 36]
+    for goal in PROGRAM_GOALS:
+        lines.append(f"  o {goal}")
+    lines.append("")
+    lines.append(f'{HPC_ACT_CITATION}: "{HPC_ACT_QUOTE}"')
+    lines.append("")
+    lines.append("APPROACH (and where this library implements it)")
+    lines.append("-" * 47)
+    for mapping in APPROACH_IMPLEMENTATION:
+        lines.append(f"  o {mapping.approach}")
+        lines.append(f"      -> {mapping.subsystem}")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""The Grand Challenge problem registry.
+
+The HPCC program organised its applications agenda around the "Grand
+Challenges" -- the canonical 1991-92 OSTP list.  Each entry here records
+the sponsoring agencies (cross-referenced against the responsibilities
+matrix) and the **proxy workload** in this library that exercises the
+same computational pattern, tying the paper's programmatic content to
+the executable kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.program.agencies import get_agency
+from repro.util.errors import ProgramModelError
+
+
+@dataclass(frozen=True)
+class GrandChallenge:
+    """One Grand Challenge problem area."""
+
+    name: str
+    description: str
+    agencies: tuple
+    #: Key into repro.core.workload.WORKLOADS exercising the same
+    #: computational pattern.
+    proxy_workload: str
+    pattern: str  # dominant parallel pattern
+
+
+GRAND_CHALLENGES: List[GrandChallenge] = [
+    GrandChallenge(
+        name="Computational aerosciences",
+        description="High-lift and high-speed aerodynamics for aerospace "
+                    "design (NASA's CAS project).",
+        agencies=("NASA", "DARPA"),
+        proxy_workload="cfd",
+        pattern="structured-grid halo exchange",
+    ),
+    GrandChallenge(
+        name="Climate and global change",
+        description="Coupled ocean-atmosphere circulation over decadal "
+                    "scales.",
+        agencies=("DOC/NOAA", "DOE", "NASA"),
+        proxy_workload="ocean",
+        pattern="structured-grid halo exchange (multi-field)",
+    ),
+    GrandChallenge(
+        name="Structure of matter and materials",
+        description="Molecular dynamics and electronic structure of new "
+                    "materials.",
+        agencies=("DOE", "NSF"),
+        proxy_workload="md",
+        pattern="spatial decomposition + particle migration",
+    ),
+    GrandChallenge(
+        name="Structural biology and drug design",
+        description="Macromolecular simulation for NIH/NLM medical "
+                    "computation research.",
+        agencies=("HHS/NIH", "NSF"),
+        proxy_workload="md",
+        pattern="spatial decomposition + particle migration",
+    ),
+    GrandChallenge(
+        name="Cosmology and astrophysics",
+        description="Galaxy formation and large-scale structure.",
+        agencies=("NASA", "NSF"),
+        proxy_workload="nbody",
+        pattern="all-pairs ring pipeline",
+    ),
+    GrandChallenge(
+        name="Quantum chromodynamics",
+        description="Lattice gauge theory on regular 4-D grids.",
+        agencies=("DOE", "NSF"),
+        proxy_workload="poisson",
+        pattern="stencil relaxation",
+    ),
+    GrandChallenge(
+        name="Environmental modeling",
+        description="Pollution transport and groundwater remediation "
+                    "testbeds.",
+        agencies=("EPA", "DOE"),
+        proxy_workload="cfd",
+        pattern="structured-grid halo exchange",
+    ),
+    GrandChallenge(
+        name="Seismology and oil reservoir modeling",
+        description="Wave propagation and porous-media flow for energy "
+                    "exploration.",
+        agencies=("DOE",),
+        proxy_workload="poisson",
+        pattern="stencil relaxation / implicit solves",
+    ),
+    GrandChallenge(
+        name="Speech, vision and signal processing",
+        description="Real-time transforms over sensor streams.",
+        agencies=("DARPA", "NSF"),
+        proxy_workload="fft",
+        pattern="all-to-all transpose",
+    ),
+]
+
+
+def validate_registry() -> None:
+    """Cross-checks: agencies exist; proxies exist in the workload
+    registry; names unique."""
+    from repro.core.workload import WORKLOADS
+
+    seen = set()
+    for gc in GRAND_CHALLENGES:
+        if gc.name in seen:
+            raise ProgramModelError(f"duplicate grand challenge {gc.name!r}")
+        seen.add(gc.name)
+        if not gc.agencies:
+            raise ProgramModelError(f"{gc.name!r} has no sponsoring agency")
+        for code in gc.agencies:
+            get_agency(code)
+        if gc.proxy_workload not in WORKLOADS:
+            raise ProgramModelError(
+                f"{gc.name!r} proxy {gc.proxy_workload!r} not in WORKLOADS"
+            )
+
+
+def challenges_for_agency(agency_code: str) -> List[GrandChallenge]:
+    """Grand Challenges an agency sponsors."""
+    get_agency(agency_code)
+    return [gc for gc in GRAND_CHALLENGES if agency_code in gc.agencies]
+
+
+def proxy_coverage() -> Dict[str, int]:
+    """How many Grand Challenges each proxy workload stands in for."""
+    out: Dict[str, int] = {}
+    for gc in GRAND_CHALLENGES:
+        out[gc.proxy_workload] = out.get(gc.proxy_workload, 0) + 1
+    return out

@@ -1,0 +1,196 @@
+"""Exhibit T4-2: the agency x component responsibilities matrix.
+
+Entries are transcribed from the paper's slide (normalising its OCR
+artifacts); each is a short role statement.  An empty cell means the
+slide assigns that agency no role in that component.
+
+The queryable form supports the two directions the exhibit is read in:
+what does agency X do, and who covers component Y.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.program.agencies import AGENCIES, get_agency
+from repro.program.components import COMPONENTS, get_component
+from repro.util.errors import ProgramModelError
+from repro.util.tables import render_matrix
+
+#: (agency code, component code) -> responsibility entries.
+RESPONSIBILITIES: Dict[Tuple[str, str], List[str]] = {
+    # --- DARPA: lead technology developer ---------------------------------
+    ("DARPA", "HPCS"): [
+        "Technology development and coordination for teraops systems",
+    ],
+    ("DARPA", "ASTA"): [
+        "Technology development for parallel algorithms and software tools",
+    ],
+    ("DARPA", "NREN"): [
+        "Technology development and coordination for gigabit networks",
+        "Gigabit research",
+    ],
+    ("DARPA", "BRHR"): [
+        "University programs",
+    ],
+    # --- NSF: research base and network operator ---------------------------
+    ("NSF", "HPCS"): [
+        "Basic architecture research",
+        "Prototype experimental systems",
+        "Research in systems instrumentation and performance measurement",
+    ],
+    ("NSF", "ASTA"): [
+        "Research in software tools and databases",
+        "Grand Challenges",
+        "Computer access",
+    ],
+    ("NSF", "NREN"): [
+        "Facilities coordination and deployment",
+        "Gigabit applications research",
+    ],
+    ("NSF", "BRHR"): [
+        "Programs in basic research",
+        "Education, training and curricula",
+        "Infrastructure",
+    ],
+    # --- DOE: energy grand challenges and facilities ------------------------
+    ("DOE", "HPCS"): [
+        "Systems evaluation",
+    ],
+    ("DOE", "ASTA"): [
+        "Energy grand challenge and computation research",
+        "Software tools",
+        "Software coordination",
+    ],
+    ("DOE", "NREN"): [
+        "Access to energy research facilities and databases",
+    ],
+    ("DOE", "BRHR"): [
+        "Basic research and education programs",
+        "Research institutes and university block grants",
+    ],
+    # --- NASA: aerosciences testbeds ---------------------------------------
+    ("NASA", "HPCS"): [
+        "Aeronautics and space application testbeds",
+    ],
+    ("NASA", "ASTA"): [
+        "Computational research in aerosciences",
+        "Computational research in earth and space sciences",
+    ],
+    ("NASA", "NREN"): [
+        "Access to aeronautics and spaceflight research centers",
+    ],
+    ("NASA", "BRHR"): [
+        "University programs",
+        "Basic research",
+    ],
+    # --- NIH: medical computation ------------------------------------------
+    ("HHS/NIH", "ASTA"): [
+        "Medical application testbeds for NIH/NLM medical computation research",
+    ],
+    ("HHS/NIH", "NREN"): [
+        "Access for academic medical centers",
+        "Technology transfer to states",
+    ],
+    ("HHS/NIH", "BRHR"): [
+        "Internships for parallel algorithm development",
+        "Training and career development",
+    ],
+    # --- NOAA: ocean and atmosphere -----------------------------------------
+    ("DOC/NOAA", "ASTA"): [
+        "Ocean and atmospheric computation research",
+        "Software tools",
+    ],
+    ("DOC/NOAA", "NREN"): [
+        "Ocean and atmospheric mission facilities",
+        "Access to environmental databases",
+    ],
+    # --- EPA: environmental applications -------------------------------------
+    ("EPA", "ASTA"): [
+        "Computational techniques",
+        "Research in environmental computations, databases, and application testbeds",
+    ],
+    ("EPA", "NREN"): [
+        "Environmental mission connectivity by the states",
+        "Development of intelligent gateways",
+    ],
+    # --- NIST: standards and interfaces ---------------------------------------
+    ("DOC/NIST", "HPCS"): [
+        "Research in interfaces and standards",
+    ],
+    ("DOC/NIST", "ASTA"): [
+        "Research in software indexing and exchange",
+        "Scalable parallel algorithms",
+    ],
+    ("DOC/NIST", "NREN"): [
+        "Coordinate performance measurement and standards",
+        "Programs in protocols and security",
+    ],
+}
+
+
+def responsibilities_of(agency_code: str) -> Dict[str, List[str]]:
+    """Component -> entries for one agency (validates the code)."""
+    get_agency(agency_code)
+    return {
+        comp.code: RESPONSIBILITIES.get((agency_code, comp.code), [])
+        for comp in COMPONENTS
+    }
+
+
+def agencies_covering(component_code: str) -> List[str]:
+    """Agency codes with at least one entry in the component."""
+    comp = get_component(component_code)
+    return [
+        agency.code
+        for agency in AGENCIES
+        if RESPONSIBILITIES.get((agency.code, comp.code))
+    ]
+
+
+def coverage_matrix() -> List[List[int]]:
+    """Entry counts, agencies (rows, table order) x components (cols)."""
+    return [
+        [
+            len(RESPONSIBILITIES.get((agency.code, comp.code), []))
+            for comp in COMPONENTS
+        ]
+        for agency in AGENCIES
+    ]
+
+
+def validate_matrix() -> None:
+    """Structural invariants of the exhibit.
+
+    Raises :class:`ProgramModelError` on violation; used by tests and
+    the benchmark before rendering.
+    """
+    for (agency_code, comp_code), entries in RESPONSIBILITIES.items():
+        get_agency(agency_code)
+        get_component(comp_code)
+        if not entries:
+            raise ProgramModelError(
+                f"empty responsibility list for ({agency_code}, {comp_code}); "
+                "omit the key instead"
+            )
+    # Every agency participates somewhere; every component is covered.
+    for agency in AGENCIES:
+        if not any(RESPONSIBILITIES.get((agency.code, c.code)) for c in COMPONENTS):
+            raise ProgramModelError(f"{agency.code} has no responsibilities")
+    for comp in COMPONENTS:
+        if not agencies_covering(comp.code):
+            raise ProgramModelError(f"{comp.code} has no covering agency")
+
+
+def render() -> str:
+    """The exhibit as a text matrix of entry counts (x = none)."""
+    cells = [
+        [str(n) if n else "-" for n in row] for row in coverage_matrix()
+    ]
+    return render_matrix(
+        [a.code for a in AGENCIES],
+        [c.code for c in COMPONENTS],
+        cells,
+        title="Federal HPCC Program Responsibilities (entry counts)",
+        corner="Agency",
+    )

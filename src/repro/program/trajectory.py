@@ -1,0 +1,102 @@
+"""The teraops trajectory: when does the HPCS goal arrive?
+
+The responsibilities matrix opens with DARPA's charge: "technology
+development and coordination for **teraops systems**."  In 1992 that was
+a projection exercise: fit the growth of installed peak performance
+across machine generations and extrapolate to 1 TFLOPS.
+
+This module fits an exponential (straight line in log space, least
+squares) to any machine series and reports the projected crossing year.
+On the DARPA series shipped with :mod:`repro.machine.presets`, the
+projection lands mid-decade -- historically right: ASCI Red crossed
+1 TFLOPS LINPACK in 1996-97.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.machine.machine import Machine
+from repro.util.errors import ProgramModelError
+from repro.util.units import tflops
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Exponential fit peak(year) = a * growth^(year - year0)."""
+
+    year0: int
+    a_flops: float
+    annual_growth: float
+
+    def peak_at(self, year: float) -> float:
+        """Projected peak flop/s in ``year``."""
+        return self.a_flops * self.annual_growth ** (year - self.year0)
+
+    def year_reaching(self, target_flops: float) -> float:
+        """Fractional year at which the projection crosses ``target``."""
+        if target_flops <= 0:
+            raise ProgramModelError(
+                f"target must be positive, got {target_flops}"
+            )
+        if self.annual_growth <= 1.0:
+            raise ProgramModelError(
+                f"growth {self.annual_growth:.3f} <= 1: target never reached"
+            )
+        return self.year0 + math.log(target_flops / self.a_flops) / math.log(
+            self.annual_growth
+        )
+
+
+def fit_peak_growth(points: Sequence[Tuple[int, float]]) -> GrowthFit:
+    """Least-squares exponential fit to (year, peak flop/s) points."""
+    if len(points) < 2:
+        raise ProgramModelError(
+            f"need at least two (year, peak) points, got {len(points)}"
+        )
+    for year, peak in points:
+        if peak <= 0:
+            raise ProgramModelError(f"peak must be positive, got {peak} ({year})")
+    years = [float(y) for y, _ in points]
+    logs = [math.log(p) for _, p in points]
+    n = len(points)
+    ymean = sum(years) / n
+    lmean = sum(logs) / n
+    sxx = sum((y - ymean) ** 2 for y in years)
+    if sxx == 0:
+        raise ProgramModelError("all points share one year; cannot fit growth")
+    slope = sum((y - ymean) * (l - lmean) for y, l in zip(years, logs)) / sxx
+    year0 = int(min(years))
+    a = math.exp(lmean + slope * (year0 - ymean))
+    return GrowthFit(year0=year0, a_flops=a, annual_growth=math.exp(slope))
+
+
+def fit_machines(machines: Sequence[Machine]) -> GrowthFit:
+    """Fit the trajectory of a machine series' peak rates."""
+    return fit_peak_growth([(m.year, m.peak_flops) for m in machines])
+
+
+def teraflops_year(machines: Sequence[Machine]) -> float:
+    """Projected year the series crosses 1 TFLOPS peak."""
+    return fit_machines(machines).year_reaching(tflops(1.0))
+
+
+def trajectory_table(
+    machines: Sequence[Machine], horizon: int = 1997
+) -> List[Tuple[int, float, float]]:
+    """(year, projected peak GFLOPS, installed peak GFLOPS or 0) rows
+    from the first machine's year through ``horizon``."""
+    fit = fit_machines(machines)
+    installed = {m.year: m.peak_flops for m in machines}
+    rows = []
+    for year in range(fit.year0, horizon + 1):
+        rows.append(
+            (
+                year,
+                fit.peak_at(year) / 1e9,
+                installed.get(year, 0.0) / 1e9,
+            )
+        )
+    return rows

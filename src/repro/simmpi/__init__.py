@@ -1,0 +1,82 @@
+"""Discrete-event message-passing simulator (MPI-like, generator-based).
+
+Typical use::
+
+    from repro.machine import touchstone_delta
+    from repro.simmpi import Engine
+
+    def program(comm):
+        part = yield from comm.scatter(list(range(comm.size)) if comm.rank == 0 else None)
+        total = yield from comm.allreduce(part)
+        return total
+
+    result = Engine(touchstone_delta(), n_ranks=16).run(program)
+    result.returns   # per-rank values
+    result.time      # virtual seconds
+"""
+
+from repro.simmpi.comm import Comm
+from repro.simmpi.engine import Engine, SimResult, run_program
+from repro.simmpi.group import GroupComm
+from repro.simmpi.requests import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ComputeReq,
+    Message,
+    RecvReq,
+    SendReq,
+    payload_nbytes,
+)
+from repro.simmpi.cost_models import (
+    MODELS,
+    ModelValidation,
+    allgather_ring_time,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    reduce_time,
+    validate_model,
+)
+from repro.simmpi.timeline import (
+    RankUtilisation,
+    hottest_pairs,
+    load_balance,
+    message_timeline,
+    utilisation,
+    utilisation_table,
+)
+from repro.simmpi.trace import MessageRecord, RankStats, Tracer
+
+__all__ = [
+    "Comm",
+    "GroupComm",
+    "Engine",
+    "SimResult",
+    "run_program",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ComputeReq",
+    "Message",
+    "RecvReq",
+    "SendReq",
+    "payload_nbytes",
+    "MODELS",
+    "ModelValidation",
+    "allgather_ring_time",
+    "allreduce_time",
+    "alltoall_time",
+    "barrier_time",
+    "bcast_time",
+    "reduce_time",
+    "validate_model",
+    "RankUtilisation",
+    "hottest_pairs",
+    "load_balance",
+    "message_timeline",
+    "utilisation",
+    "utilisation_table",
+    "MessageRecord",
+    "RankStats",
+    "Tracer",
+]

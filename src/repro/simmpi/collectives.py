@@ -1,0 +1,435 @@
+"""Collective operations built from point-to-point messages.
+
+Nothing here is costed analytically: the collectives are real message
+algorithms (binomial trees, recursive doubling, dissemination, rings)
+whose virtual-time cost *emerges* from the engine's alpha-beta link
+model.  This is what makes the tree-vs-ring and mesh-vs-hypercube
+ablation benchmarks meaningful.
+
+Every invocation draws a fresh tag block from the communicator so two
+consecutive collectives can never cross-match, even when fast ranks
+race ahead (the generalised sense-reversal trick).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.simmpi.requests import COLLECTIVE_TAG_BASE
+from repro.util.errors import CommunicationError
+
+#: Rounds within one collective get distinct tags below the block tag.
+_TAG_STRIDE = 64
+
+
+def _block_tag(comm, round_: int = 0) -> int:
+    return comm.next_tag_block() - round_
+
+
+def resolve_op(op: Union[str, Callable]) -> Callable[[Any, Any], Any]:
+    """Map an op name to a commutative combiner working on scalars and
+    NumPy arrays alike."""
+    if callable(op):
+        return op
+    try:
+        return {
+            "sum": lambda a, b: a + b,
+            "prod": lambda a, b: a * b,
+            "max": np.maximum,
+            "min": np.minimum,
+        }[op]
+    except KeyError:
+        raise CommunicationError(
+            f"unknown reduce op {op!r}; expected sum/prod/max/min or a callable"
+        ) from None
+
+
+def _ceil_pow2(p: int) -> int:
+    n = 1
+    while n < p:
+        n <<= 1
+    return n
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+
+def barrier(comm) -> Generator:
+    """Dissemination barrier: ceil(log2 p) rounds of shifted tokens."""
+    p = comm.size
+    if p == 1:
+        return
+    tag0 = _block_tag(comm)
+    k = 0
+    dist = 1
+    while dist < p:
+        dest = (comm.rank + dist) % p
+        source = (comm.rank - dist) % p
+        yield from comm.send(None, dest, tag=tag0 - k)
+        yield from comm.recv(source=source, tag=tag0 - k)
+        dist <<= 1
+        k += 1
+
+
+# ---------------------------------------------------------------------------
+# broadcast
+# ---------------------------------------------------------------------------
+
+def bcast(comm, value: Any, root: int = 0, algorithm: str = "tree") -> Generator:
+    """Broadcast from ``root``; all ranks return the value."""
+    if not 0 <= root < comm.size:
+        raise CommunicationError(f"bcast root {root} out of range")
+    if algorithm == "tree":
+        return (yield from _bcast_binomial(comm, value, root))
+    if algorithm == "ring":
+        return (yield from _bcast_ring(comm, value, root))
+    if algorithm == "flat":
+        return (yield from _bcast_flat(comm, value, root))
+    raise CommunicationError(f"unknown bcast algorithm {algorithm!r}")
+
+
+def _bcast_binomial(comm, value: Any, root: int) -> Generator:
+    """Binomial tree: latency-optimal ceil(log2 p) depth."""
+    p = comm.size
+    if p == 1:
+        return value
+    tag = _block_tag(comm)
+    vr = (comm.rank - root) % p
+    mask = 1
+    while mask < p:
+        if vr < mask:
+            partner = vr + mask
+            if partner < p:
+                yield from comm.send(value, (partner + root) % p, tag=tag)
+        elif vr < 2 * mask:
+            msg = yield from comm.recv(source=(vr - mask + root) % p, tag=tag)
+            value = msg.payload
+        mask <<= 1
+    return value
+
+
+def _bcast_ring(comm, value: Any, root: int) -> Generator:
+    """Store-and-forward ring pass: p-1 sequential hops.  Latency O(p);
+    the ablation baseline showing why trees matter."""
+    p = comm.size
+    if p == 1:
+        return value
+    tag = _block_tag(comm)
+    vr = (comm.rank - root) % p
+    if vr > 0:
+        msg = yield from comm.recv(source=(comm.rank - 1) % p, tag=tag)
+        value = msg.payload
+    if vr < p - 1:
+        yield from comm.send(value, (comm.rank + 1) % p, tag=tag)
+    return value
+
+
+def _bcast_flat(comm, value: Any, root: int) -> Generator:
+    """Root sends to everyone directly: p-1 serialized startups at the
+    root.  The naive baseline."""
+    p = comm.size
+    tag = _block_tag(comm)
+    if comm.rank == root:
+        for dst in range(p):
+            if dst != root:
+                yield from comm.send(value, dst, tag=tag)
+        return value
+    msg = yield from comm.recv(source=root, tag=tag)
+    return msg.payload
+
+
+# ---------------------------------------------------------------------------
+# reduce / allreduce
+# ---------------------------------------------------------------------------
+
+def reduce(comm, value: Any, op: Union[str, Callable] = "sum", root: int = 0) -> Generator:
+    """Binomial-tree reduction onto ``root``; other ranks return None.
+
+    The combiner must be commutative and associative (floating-point
+    reassociation applies, as on any real machine).
+    """
+    if not 0 <= root < comm.size:
+        raise CommunicationError(f"reduce root {root} out of range")
+    combiner = resolve_op(op)
+    p = comm.size
+    if p == 1:
+        return value
+    tag = _block_tag(comm)
+    vr = (comm.rank - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            yield from comm.send(acc, ((vr - mask) + root) % p, tag=tag)
+            return None
+        partner = vr + mask
+        if partner < p:
+            msg = yield from comm.recv(source=(partner + root) % p, tag=tag)
+            acc = combiner(acc, msg.payload)
+        mask <<= 1
+    return acc if comm.rank == root else None
+
+
+def allreduce(
+    comm,
+    value: Any,
+    op: Union[str, Callable] = "sum",
+    algorithm: str = "reduce_bcast",
+) -> Generator:
+    """All ranks obtain the reduction of everyone's value."""
+    if algorithm == "reduce_bcast":
+        partial = yield from reduce(comm, value, op, root=0)
+        return (yield from bcast(comm, partial, root=0))
+    if algorithm == "recursive_doubling":
+        return (yield from _allreduce_recursive_doubling(comm, value, op))
+    raise CommunicationError(f"unknown allreduce algorithm {algorithm!r}")
+
+
+def _allreduce_recursive_doubling(comm, value: Any, op) -> Generator:
+    """Butterfly exchange; log2 p rounds when p is a power of two.
+
+    For non-power-of-two sizes the extra ranks fold into the lower
+    power-of-two block first, then receive the result (the standard
+    MPICH construction).
+    """
+    combiner = resolve_op(op)
+    p = comm.size
+    if p == 1:
+        return value
+    pof2 = 1
+    while pof2 * 2 <= p:
+        pof2 *= 2
+    rem = p - pof2
+    tag0 = _block_tag(comm)
+    acc = value
+
+    # Fold remainder ranks into their partners below pof2.
+    if comm.rank >= pof2:
+        yield from comm.send(acc, comm.rank - pof2, tag=tag0 - 1)
+    elif comm.rank < rem:
+        msg = yield from comm.recv(source=comm.rank + pof2, tag=tag0 - 1)
+        acc = combiner(acc, msg.payload)
+
+    if comm.rank < pof2:
+        mask = 1
+        k = 2
+        while mask < pof2:
+            partner = comm.rank ^ mask
+            yield from comm.send(acc, partner, tag=tag0 - k)
+            msg = yield from comm.recv(source=partner, tag=tag0 - k)
+            acc = combiner(acc, msg.payload)
+            mask <<= 1
+            k += 1
+
+    # Hand results back to the folded remainder ranks.
+    if comm.rank < rem:
+        yield from comm.send(acc, comm.rank + pof2, tag=tag0 - 60)
+    elif comm.rank >= pof2:
+        msg = yield from comm.recv(source=comm.rank - pof2, tag=tag0 - 60)
+        acc = msg.payload
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# gather / allgather / scatter / alltoall
+# ---------------------------------------------------------------------------
+
+def gather(comm, value: Any, root: int = 0, algorithm: str = "tree") -> Generator:
+    """Collect one value per rank onto ``root`` (rank-ordered list)."""
+    if not 0 <= root < comm.size:
+        raise CommunicationError(f"gather root {root} out of range")
+    if algorithm == "tree":
+        return (yield from _gather_binomial(comm, value, root))
+    if algorithm == "flat":
+        return (yield from _gather_flat(comm, value, root))
+    raise CommunicationError(f"unknown gather algorithm {algorithm!r}")
+
+
+def _gather_binomial(comm, value: Any, root: int) -> Generator:
+    p = comm.size
+    if p == 1:
+        return [value]
+    tag = _block_tag(comm)
+    vr = (comm.rank - root) % p
+    bucket = {comm.rank: value}
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            yield from comm.send(bucket, ((vr - mask) + root) % p, tag=tag)
+            return None
+        partner = vr + mask
+        if partner < p:
+            msg = yield from comm.recv(source=(partner + root) % p, tag=tag)
+            bucket.update(msg.payload)
+        mask <<= 1
+    if comm.rank == root:
+        return [bucket[r] for r in range(p)]
+    return None
+
+
+def _gather_flat(comm, value: Any, root: int) -> Generator:
+    p = comm.size
+    tag = _block_tag(comm)
+    if comm.rank != root:
+        yield from comm.send(value, root, tag=tag)
+        return None
+    out = [None] * p
+    out[root] = value
+    for _ in range(p - 1):
+        msg = yield from comm.recv(tag=tag)
+        out[msg.source] = msg.payload
+    return out
+
+
+def allgather(comm, value: Any, algorithm: str = "ring") -> Generator:
+    """Every rank ends with the rank-ordered list of all values."""
+    p = comm.size
+    if p == 1:
+        return [value]
+    if algorithm == "ring":
+        tag0 = _block_tag(comm)
+        out: list = [None] * p
+        out[comm.rank] = value
+        right = (comm.rank + 1) % p
+        left = (comm.rank - 1) % p
+        carry_rank = comm.rank
+        for step in range(p - 1):
+            yield from comm.send((carry_rank, out[carry_rank]), right, tag=tag0 - step)
+            msg = yield from comm.recv(source=left, tag=tag0 - step)
+            carry_rank, payload = msg.payload
+            out[carry_rank] = payload
+        return out
+    if algorithm == "gather_bcast":
+        collected = yield from gather(comm, value, root=0)
+        return (yield from bcast(comm, collected, root=0))
+    raise CommunicationError(f"unknown allgather algorithm {algorithm!r}")
+
+
+def scatter(
+    comm, values: Optional[Sequence[Any]], root: int = 0, algorithm: str = "tree"
+) -> Generator:
+    """Rank ``i`` receives ``values[i]`` from ``root``."""
+    if not 0 <= root < comm.size:
+        raise CommunicationError(f"scatter root {root} out of range")
+    p = comm.size
+    if comm.rank == root:
+        if values is None or len(values) != p:
+            raise CommunicationError(
+                f"scatter root needs exactly {p} values, got "
+                f"{None if values is None else len(values)}"
+            )
+    if algorithm == "tree":
+        return (yield from _scatter_binomial(comm, values, root))
+    if algorithm == "flat":
+        return (yield from _scatter_flat(comm, values, root))
+    raise CommunicationError(f"unknown scatter algorithm {algorithm!r}")
+
+
+def _scatter_binomial(comm, values, root: int) -> Generator:
+    p = comm.size
+    if p == 1:
+        return values[0]
+    tag = _block_tag(comm)
+    vr = (comm.rank - root) % p
+    if vr == 0:
+        bucket = {i: values[(i + root) % p] for i in range(p)}
+        span = _ceil_pow2(p)
+    else:
+        span = vr & -vr  # lowest set bit: subtree width
+        parent = ((vr - span) + root) % p
+        msg = yield from comm.recv(source=parent, tag=tag)
+        bucket = msg.payload
+    mask = span >> 1
+    while mask >= 1:
+        child = vr + mask
+        if child < p:
+            sub = {k: bucket.pop(k) for k in list(bucket) if k >= child}
+            yield from comm.send(sub, (child + root) % p, tag=tag)
+        mask >>= 1
+    return bucket[vr]
+
+
+def _scatter_flat(comm, values, root: int) -> Generator:
+    tag = _block_tag(comm)
+    if comm.rank == root:
+        for dst in range(comm.size):
+            if dst != root:
+                yield from comm.send(values[dst], dst, tag=tag)
+        return values[root]
+    msg = yield from comm.recv(source=root, tag=tag)
+    return msg.payload
+
+
+def scan(comm, value: Any, op: Union[str, Callable] = "sum") -> Generator:
+    """Inclusive prefix reduction (Hillis-Steele, ceil(log2 p) rounds).
+
+    Rank ``r`` returns the combination of values from ranks ``0..r``.
+    The combiner must be associative; commutativity is not required
+    because partials are always combined as ``earlier op later``.
+    """
+    combiner = resolve_op(op)
+    p = comm.size
+    if p == 1:
+        return value
+    tag0 = _block_tag(comm)
+    acc = value
+    dist = 1
+    k = 0
+    while dist < p:
+        if comm.rank + dist < p:
+            yield from comm.send(acc, comm.rank + dist, tag=tag0 - k)
+        if comm.rank - dist >= 0:
+            msg = yield from comm.recv(source=comm.rank - dist, tag=tag0 - k)
+            acc = combiner(msg.payload, acc)
+        dist <<= 1
+        k += 1
+    return acc
+
+
+def reduce_scatter(
+    comm, values: Sequence[Any], op: Union[str, Callable] = "sum"
+) -> Generator:
+    """Reduce element j across all ranks; rank j keeps the result.
+
+    Implemented as a personalised exchange followed by a local
+    reduction: simple, correct for any p, and bandwidth-equivalent to
+    the pairwise-halving algorithm for the small rank counts simulated
+    here (each rank still moves (p-1)/p of its data once).
+    """
+    combiner = resolve_op(op)
+    p = comm.size
+    if values is None or len(values) != p:
+        raise CommunicationError(
+            f"reduce_scatter needs exactly {p} values per rank, got "
+            f"{None if values is None else len(values)}"
+        )
+    contributions = yield from alltoall(comm, list(values))
+    acc = contributions[0]
+    for item in contributions[1:]:
+        acc = combiner(acc, item)
+    return acc
+
+
+def alltoall(comm, values: Sequence[Any]) -> Generator:
+    """Personalised all-to-all via p-1 cyclic shifts (pairwise pattern)."""
+    p = comm.size
+    if values is None or len(values) != p:
+        raise CommunicationError(
+            f"alltoall needs exactly {p} values per rank, got "
+            f"{None if values is None else len(values)}"
+        )
+    out: list = [None] * p
+    out[comm.rank] = values[comm.rank]
+    if p == 1:
+        return out
+    tag0 = _block_tag(comm)
+    for shift in range(1, p):
+        dst = (comm.rank + shift) % p
+        src = (comm.rank - shift) % p
+        yield from comm.send(values[dst], dst, tag=tag0 - (shift % _TAG_STRIDE))
+        msg = yield from comm.recv(source=src, tag=tag0 - (shift % _TAG_STRIDE))
+        out[src] = msg.payload
+    return out

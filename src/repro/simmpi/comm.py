@@ -1,0 +1,218 @@
+"""Rank-side communication facade.
+
+Each rank program receives a :class:`Comm`.  Every operation is a
+generator to be driven with ``yield from``::
+
+    def program(comm):
+        data = np.full(4, comm.rank, dtype=float)
+        total = yield from comm.allreduce(data)
+        yield from comm.compute(flops=1e6)
+        if comm.rank == 0:
+            yield from comm.send(total, dest=1, tag=7)
+        elif comm.rank == 1:
+            msg = yield from comm.recv(source=0, tag=7)
+        return total.sum()
+
+The facade is deliberately close to MPI's lowercase (pickle-object)
+interface from mpi4py, which is what the ASTA software-tools effort the
+paper describes eventually standardised into.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.simmpi import collectives as _coll
+from repro.simmpi.requests import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ComputeReq,
+    IrecvReq,
+    Message,
+    RecvReq,
+    SendReq,
+    WaitReq,
+)
+from repro.util.errors import CommunicationError
+
+
+class Comm:
+    """Communicator bound to one rank of a simulated machine."""
+
+    def __init__(self, rank: int, size: int, machine, rng: np.random.Generator):
+        self.rank = rank
+        self.size = size
+        self.machine = machine
+        #: Independent per-rank random stream.
+        self.rng = rng
+        # Collective sequence number: gives every collective invocation
+        # a distinct internal tag space so that back-to-back collectives
+        # can never cross-match (sense reversal, generalised).
+        self._coll_seq = 0
+
+    # -- identity helpers ---------------------------------------------------
+
+    def is_root(self, root: int = 0) -> bool:
+        """True on the designated root rank."""
+        return self.rank == root
+
+    def next_tag_block(self) -> int:
+        """Reserve a fresh block of internal tags for one collective.
+
+        All ranks execute the same sequence of collectives on a given
+        communicator (an MPI correctness requirement), so the per-rank
+        counters stay aligned and every rank derives the same block.
+        """
+        self._coll_seq += 1
+        from repro.simmpi.collectives import _TAG_STRIDE
+        from repro.simmpi.requests import COLLECTIVE_TAG_BASE
+
+        return COLLECTIVE_TAG_BASE - self._coll_seq * _TAG_STRIDE
+
+    def group(self, members: Sequence[int]) -> "GroupComm":
+        """A sub-communicator over ``members`` (global ranks).
+
+        Purely local construction: every member must compute the same
+        ``members`` list deterministically (e.g. the rows of a process
+        grid).  The calling rank must be a member.
+        """
+        from repro.simmpi.group import GroupComm
+
+        return GroupComm(self, members)
+
+    # -- primitive operations -------------------------------------------------
+
+    def send(
+        self,
+        payload: Any,
+        dest: int,
+        tag: int = 0,
+        nbytes: Optional[float] = None,
+    ) -> Generator:
+        """Eager buffered send; completes after the startup overhead."""
+        if not 0 <= dest < self.size:
+            raise CommunicationError(
+                f"send dest {dest} out of range for size {self.size}"
+            )
+        yield SendReq(dest=dest, payload=payload, tag=tag, nbytes=nbytes)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns the :class:`Message`."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicationError(
+                f"recv source {source} out of range for size {self.size}"
+            )
+        msg = yield RecvReq(source=source, tag=tag)
+        return msg
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Non-blocking receive: returns a handle for :meth:`wait`.
+
+        Posting is free; the message (if already queued) is bound to the
+        handle immediately, enabling communication/computation overlap::
+
+            handle = yield from comm.irecv(source=left)
+            yield from comm.compute(flops=...)      # overlap
+            msg = yield from comm.wait(handle)
+        """
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicationError(
+                f"irecv source {source} out of range for size {self.size}"
+            )
+        handle = yield IrecvReq(source=source, tag=tag)
+        return handle
+
+    def wait(self, handle: int) -> Generator:
+        """Complete a posted receive; returns its :class:`Message`."""
+        msg = yield WaitReq(handle=handle)
+        return msg
+
+    def waitall(self, handles) -> Generator:
+        """Complete several posted receives; returns their messages in
+        handle order."""
+        out = []
+        for handle in handles:
+            msg = yield WaitReq(handle=handle)
+            out.append(msg)
+        return out
+
+    def sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        nbytes: Optional[float] = None,
+    ) -> Generator:
+        """Combined shift operation (safe under eager sends)."""
+        yield from self.send(payload, dest, sendtag, nbytes)
+        msg = yield from self.recv(source, recvtag)
+        return msg
+
+    def compute(
+        self,
+        flops: Optional[float] = None,
+        seconds: Optional[float] = None,
+        efficiency: Optional[float] = None,
+    ) -> Generator:
+        """Charge local work to the rank's virtual clock."""
+        yield ComputeReq(flops=flops, seconds=seconds, efficiency=efficiency)
+
+    # -- collectives (delegated to repro.simmpi.collectives) -----------------
+
+    def barrier(self) -> Generator:
+        """Dissemination barrier: all ranks synchronise."""
+        return _coll.barrier(self)
+
+    def bcast(self, value: Any, root: int = 0, algorithm: str = "tree") -> Generator:
+        """Broadcast ``value`` from ``root``; every rank returns it."""
+        return _coll.bcast(self, value, root, algorithm)
+
+    def reduce(
+        self,
+        value: Any,
+        op: Union[str, Callable] = "sum",
+        root: int = 0,
+    ) -> Generator:
+        """Combine values onto ``root`` (others return None)."""
+        return _coll.reduce(self, value, op, root)
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Union[str, Callable] = "sum",
+        algorithm: str = "reduce_bcast",
+    ) -> Generator:
+        """Combine values; every rank returns the result."""
+        return _coll.allreduce(self, value, op, algorithm)
+
+    def gather(self, value: Any, root: int = 0, algorithm: str = "tree") -> Generator:
+        """Collect one value per rank onto ``root`` as a rank-ordered list."""
+        return _coll.gather(self, value, root, algorithm)
+
+    def allgather(self, value: Any, algorithm: str = "ring") -> Generator:
+        """Collect one value per rank onto every rank."""
+        return _coll.allgather(self, value, algorithm)
+
+    def scatter(
+        self, values: Optional[Sequence[Any]], root: int = 0, algorithm: str = "tree"
+    ) -> Generator:
+        """Distribute ``values[i]`` from ``root`` to rank ``i``."""
+        return _coll.scatter(self, values, root, algorithm)
+
+    def alltoall(self, values: Sequence[Any]) -> Generator:
+        """Personalised exchange: rank i's ``values[j]`` goes to rank j."""
+        return _coll.alltoall(self, values)
+
+    def scan(self, value: Any, op: Union[str, Callable] = "sum") -> Generator:
+        """Inclusive prefix reduction: rank r returns op(v_0 .. v_r)."""
+        return _coll.scan(self, value, op)
+
+    def reduce_scatter(
+        self, values: Sequence[Any], op: Union[str, Callable] = "sum"
+    ) -> Generator:
+        """Reduce ``values[j]`` across ranks; rank j keeps element j."""
+        return _coll.reduce_scatter(self, values, op)

@@ -1,0 +1,575 @@
+"""Discrete-event engine executing rank programs on a machine model.
+
+A *rank program* is a generator function ``program(comm, *args)`` that
+yields primitive requests (:mod:`repro.simmpi.requests`).  The engine
+runs one generator per rank, keeps a virtual clock per rank, and
+interprets requests against the machine's cost model:
+
+* ``ComputeReq`` advances the rank's clock by the modelled compute time.
+* ``SendReq`` charges the sender the link startup latency (the CPU is
+  busy in the message layer), then places the message in flight; it
+  becomes available at the destination after the routed alpha-beta
+  delay.  Sends are eager/buffered and never block.
+* ``RecvReq`` blocks the rank until a matching message's arrival time.
+* ``IrecvReq``/``WaitReq`` split the receive into post and completion,
+  allowing communication/computation overlap exactly as MPI's
+  ``MPI_Irecv``/``MPI_Wait`` do.
+
+Receive matching follows MPI: posted receives match in post order; per
+source-destination pair, delivery is FIFO (wormhole channels do not
+reorder), enforced by clamping arrival times to be monotone per pair.
+``ANY_SOURCE`` receives resolve deterministically in message post
+order, a legal refinement of MPI's nondeterminism.
+
+Numerics are real: payloads are actual NumPy arrays and the algorithms
+running on the engine produce bit-identical results to their serial
+references -- virtual time is accounted on the side.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.machine.machine import Machine
+from repro.simmpi.comm import Comm
+from repro.simmpi.requests import (
+    ComputeReq,
+    InFlight,
+    IrecvReq,
+    Message,
+    RecvReq,
+    SendReq,
+    WaitReq,
+    copy_payload,
+)
+from repro.simmpi.trace import MessageRecord, RankStats, Tracer
+from repro.util.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DeadlockError,
+    SimulationError,
+)
+from repro.util.rng import spawn
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    #: Per-rank generator return values.
+    returns: List[Any]
+    #: Virtual makespan: the latest rank finish time, seconds.
+    time: float
+    #: Per-rank accounting.
+    stats: List[RankStats]
+    #: Message log (populated only when tracing was enabled).
+    tracer: Tracer = field(default_factory=Tracer)
+    #: Ranks killed by fault injection (empty in normal runs).
+    failed_ranks: List[int] = field(default_factory=list)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.stats)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(s.bytes_sent for s in self.stats)
+
+    @property
+    def total_compute_time(self) -> float:
+        return sum(s.compute_time for s in self.stats)
+
+    @property
+    def total_comm_time(self) -> float:
+        return sum(s.comm_time for s in self.stats)
+
+    def parallel_efficiency(self, serial_time: float) -> float:
+        """Speedup over ``serial_time`` divided by rank count."""
+        if self.time <= 0:
+            return 1.0
+        return (serial_time / self.time) / self.n_ranks
+
+
+@dataclass
+class _ParkedSend:
+    """A rendezvous send waiting for its matching receive to be posted."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: float
+    seq: int
+    park_time: float
+
+
+@dataclass
+class _Slot:
+    """One outstanding posted receive."""
+
+    slot_id: int
+    source: int
+    tag: int
+    msg: Optional[InFlight] = None
+    #: True while the owning rank is blocked in a wait on this slot.
+    waiting: bool = False
+    blocked_since: float = 0.0
+
+    def matches(self, msg: InFlight) -> bool:
+        if self.source != -1 and self.source != msg.source:
+            return False
+        if self.tag != -1 and self.tag != msg.tag:
+            return False
+        return True
+
+
+class Engine:
+    """Runs rank programs over a :class:`~repro.machine.machine.Machine`.
+
+    Parameters
+    ----------
+    machine:
+        Cost model supplier.  Ranks map one-to-one onto machine nodes.
+    n_ranks:
+        Number of ranks; defaults to every node of the machine.
+    rank_map:
+        Optional rank -> node placement (default identity).  Placement
+        changes hop counts, hence communication time.
+    seed:
+        Master seed; each rank receives an independent child stream.
+    trace:
+        Record every message (memory-bounded) for analysis.
+    max_events:
+        Safety valve: abort with :class:`SimulationError` after this
+        many processed requests (default 50 million).
+    fail_at:
+        Fault injection: rank -> virtual time at which that node dies.
+        A dead rank stops executing; its in-flight messages still
+        deliver (they were on the wire), but nothing further is sent.
+        Survivors blocked on it surface as a :class:`DeadlockError`
+        naming the failure; survivors that never needed it complete
+        normally and the failure is reported in
+        :attr:`SimResult.failed_ranks`.
+    eager_threshold_bytes:
+        Messages up to this size use the eager/buffered protocol
+        (default: everything).  Larger sends use **rendezvous**: the
+        sender blocks until the receiver posts a matching receive, then
+        the transfer starts.  This reproduces real MPI semantics --
+        including the classic symmetric-blocking-send deadlock -- and
+        enables the eager-vs-rendezvous ablation.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        n_ranks: Optional[int] = None,
+        *,
+        rank_map: Optional[Sequence[int]] = None,
+        seed: int = 0,
+        trace: bool = False,
+        max_events: int = 50_000_000,
+        fail_at: Optional[Dict[int, float]] = None,
+        eager_threshold_bytes: float = float("inf"),
+    ):
+        self.machine = machine
+        self.n_ranks = machine.n_nodes if n_ranks is None else n_ranks
+        if not 1 <= self.n_ranks <= machine.n_nodes:
+            raise ConfigurationError(
+                f"n_ranks {self.n_ranks} not in [1, {machine.n_nodes}]"
+            )
+        if rank_map is None:
+            self.rank_map = list(range(self.n_ranks))
+        else:
+            self.rank_map = list(rank_map)
+            if len(self.rank_map) != self.n_ranks:
+                raise ConfigurationError(
+                    f"rank_map has {len(self.rank_map)} entries for {self.n_ranks} ranks"
+                )
+            if len(set(self.rank_map)) != self.n_ranks:
+                raise ConfigurationError("rank_map must place each rank on a distinct node")
+            for node in self.rank_map:
+                machine.topology.check_node(node)
+        self.seed = seed
+        self.trace = trace
+        self.max_events = max_events
+        if eager_threshold_bytes < 0:
+            raise ConfigurationError(
+                f"eager threshold must be >= 0, got {eager_threshold_bytes}"
+            )
+        self.eager_threshold_bytes = eager_threshold_bytes
+        self.fail_at = dict(fail_at) if fail_at else {}
+        for rank, when in self.fail_at.items():
+            if not 0 <= rank < self.n_ranks:
+                raise ConfigurationError(
+                    f"fail_at rank {rank} outside [0, {self.n_ranks})"
+                )
+            if when < 0:
+                raise ConfigurationError(
+                    f"fail_at time must be >= 0, got {when} for rank {rank}"
+                )
+        # Hop counts between mapped ranks are looked up constantly; memoise.
+        self._hops_cache: Dict[tuple, int] = {}
+
+    # -- cost helpers ------------------------------------------------------
+
+    def _hops(self, src_rank: int, dst_rank: int) -> int:
+        key = (src_rank, dst_rank)
+        cached = self._hops_cache.get(key)
+        if cached is None:
+            cached = self.machine.topology.hops(
+                self.rank_map[src_rank], self.rank_map[dst_rank]
+            )
+            self._hops_cache[key] = cached
+        return cached
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, program: Callable, *args: Any, **kwargs: Any) -> SimResult:
+        """Execute ``program(comm, *args, **kwargs)`` on every rank.
+
+        Returns a :class:`SimResult`; rank return values appear in
+        ``result.returns`` in rank order.
+        """
+        p = self.n_ranks
+        rngs = spawn(self.seed, p)
+        comms = [Comm(rank, p, self.machine, rngs[rank]) for rank in range(p)]
+        gens = []
+        for rank in range(p):
+            gen = program(comms[rank], *args, **kwargs)
+            if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+                raise SimulationError(
+                    "rank program must be a generator function "
+                    "(write communication as 'yield from comm....')"
+                )
+            gens.append(gen)
+
+        clocks = [0.0] * p
+        stats = [RankStats(rank=r) for r in range(p)]
+        returns: List[Any] = [None] * p
+        tracer = Tracer(enabled=self.trace)
+
+        # Unmatched messages per destination, in post (seq) order.
+        pending: List[List[InFlight]] = [[] for _ in range(p)]
+        # Rendezvous senders parked per destination, in post order.
+        parked: List[List[_ParkedSend]] = [[] for _ in range(p)]
+        # Outstanding posted receives per rank, in post order.
+        slots: List[List[_Slot]] = [[] for _ in range(p)]
+        finished = [False] * p
+        blocked = [False] * p  # rank is inside a blocking wait
+        next_slot_id = [0] * p
+        # FIFO clamp: latest arrival so far per (src, dst).
+        last_arrival: Dict[tuple, float] = {}
+
+        seq = 0  # global tiebreaker / message post order
+        ready: List[tuple] = []  # (time, seq, rank, resume_value)
+
+        def schedule(time: float, rank: int, value: Any) -> None:
+            nonlocal seq
+            seq += 1
+            heapq.heappush(ready, (time, seq, rank, value))
+
+        def complete_wait(rank: int, slot: _Slot) -> None:
+            """The blocked rank's slot got its message: deliver."""
+            msg = slot.msg
+            completion = max(slot.blocked_since, msg.arrival_time)
+            stats[rank].comm_time += completion - slot.blocked_since
+            stats[rank].messages_received += 1
+            stats[rank].bytes_received += msg.nbytes
+            clocks[rank] = completion
+            blocked[rank] = False
+            slots[rank].remove(slot)
+            tracer.record(
+                MessageRecord(
+                    source=msg.source,
+                    dest=msg.dest,
+                    tag=msg.tag,
+                    nbytes=msg.nbytes,
+                    send_time=msg.arrival_time,
+                    arrival_time=msg.arrival_time,
+                    recv_time=completion,
+                )
+            )
+            schedule(
+                completion,
+                rank,
+                Message(msg.payload, msg.source, msg.tag, msg.arrival_time),
+            )
+
+        def post_message(msg: InFlight) -> None:
+            """Bind an in-flight message to the earliest matching posted
+            receive, or queue it."""
+            dst = msg.dest
+            for slot in slots[dst]:
+                if slot.msg is None and slot.matches(msg):
+                    slot.msg = msg
+                    if slot.waiting:
+                        complete_wait(dst, slot)
+                    return
+            pending[dst].append(msg)
+
+        def complete_rendezvous(ps: _ParkedSend, handshake: float) -> InFlight:
+            """A parked sender's receive arrived: start the transfer and
+            release the sender."""
+            hops = self._hops(ps.source, ps.dest)
+            arrival = handshake + self.machine.link.message_time(ps.nbytes, hops)
+            key = (ps.source, ps.dest)
+            arrival = max(arrival, last_arrival.get(key, 0.0))
+            last_arrival[key] = arrival
+            overhead = self.machine.link.latency_s if ps.dest != ps.source else 0.0
+            # The sender was blocked from park_time to handshake, then
+            # pays its startup overhead.
+            sender_clock = handshake + overhead
+            stats[ps.source].comm_time += (handshake - ps.park_time) + overhead
+            stats[ps.source].messages_sent += 1
+            stats[ps.source].bytes_sent += ps.nbytes
+            clocks[ps.source] = sender_clock
+            schedule(sender_clock, ps.source, None)
+            return InFlight(
+                dest=ps.dest,
+                source=ps.source,
+                tag=ps.tag,
+                payload=ps.payload,
+                nbytes=ps.nbytes,
+                arrival_time=arrival,
+                seq=ps.seq,
+            )
+
+        def make_slot(rank: int, source: int, tag: int) -> _Slot:
+            """Post a receive; bind a queued eager message or wake a
+            parked rendezvous sender."""
+            slot = _Slot(slot_id=next_slot_id[rank], source=source, tag=tag)
+            next_slot_id[rank] += 1
+            queue = pending[rank]
+            for i, msg in enumerate(queue):
+                if slot.matches(msg):
+                    slot.msg = queue.pop(i)
+                    break
+            if slot.msg is None:
+                for i, ps in enumerate(parked[rank]):
+                    if (slot.source in (-1, ps.source)) and (slot.tag in (-1, ps.tag)):
+                        parked[rank].pop(i)
+                        handshake = max(clocks[rank], ps.park_time)
+                        slot.msg = complete_rendezvous(ps, handshake)
+                        break
+            slots[rank].append(slot)
+            return slot
+
+        def find_slot(rank: int, slot_id: int) -> _Slot:
+            for slot in slots[rank]:
+                if slot.slot_id == slot_id:
+                    return slot
+            raise CommunicationError(
+                f"rank {rank} waits on unknown or already-completed "
+                f"receive handle {slot_id}"
+            )
+
+        # Kick off every rank at t=0; arm fault-injection sentinels.
+        _FAIL = object()
+        failed = [False] * p
+        failed_ranks: List[int] = []
+        for rank in range(p):
+            schedule(0.0, rank, None)
+        for rank, when in self.fail_at.items():
+            schedule(when, rank, _FAIL)
+
+        events = 0
+        alive = p
+        while ready:
+            time, _, rank, value = heapq.heappop(ready)
+            if failed[rank]:
+                continue  # events for a dead node are dropped
+            if value is _FAIL:
+                if finished[rank]:
+                    continue  # died after finishing: no effect
+                failed[rank] = True
+                failed_ranks.append(rank)
+                finished[rank] = True
+                stats[rank].finish_time = time
+                clocks[rank] = max(clocks[rank], time)
+                slots[rank].clear()
+                blocked[rank] = False
+                # A dead node's parked rendezvous sends never start.
+                for dst in range(p):
+                    parked[dst] = [ps for ps in parked[dst] if ps.source != rank]
+                alive -= 1
+                continue
+            if finished[rank]:
+                raise SimulationError(f"finished rank {rank} rescheduled")
+            clocks[rank] = max(clocks[rank], time)
+
+            try:
+                request = gens[rank].send(value)
+            except StopIteration as stop:
+                returns[rank] = stop.value
+                finished[rank] = True
+                stats[rank].finish_time = clocks[rank]
+                alive -= 1
+                continue
+
+            events += 1
+            if events > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely an unbounded loop in a rank program"
+                )
+
+            now = clocks[rank]
+            if isinstance(request, ComputeReq):
+                if request.seconds is not None:
+                    dt = request.seconds
+                else:
+                    dt = self.machine.compute_time(request.flops, request.efficiency)
+                clocks[rank] = now + dt
+                stats[rank].compute_time += dt
+                schedule(clocks[rank], rank, None)
+
+            elif isinstance(request, SendReq):
+                dst = request.dest
+                if not 0 <= dst < p:
+                    raise CommunicationError(
+                        f"rank {rank} sent to invalid rank {dst} (size {p})"
+                    )
+                nbytes = request.wire_bytes()
+                if nbytes > self.eager_threshold_bytes:
+                    # Rendezvous: bind to an already-posted matching
+                    # receive, or park until one appears.
+                    ps = _ParkedSend(
+                        source=rank,
+                        dest=dst,
+                        tag=request.tag,
+                        payload=copy_payload(request.payload),
+                        nbytes=nbytes,
+                        seq=seq,
+                        park_time=now,
+                    )
+                    bound = False
+                    for slot in slots[dst]:
+                        if slot.msg is None and slot.matches(
+                            InFlight(dst, rank, request.tag, None, nbytes, 0.0)
+                        ):
+                            slot.msg = complete_rendezvous(ps, now)
+                            if slot.waiting:
+                                complete_wait(dst, slot)
+                            bound = True
+                            break
+                    if not bound:
+                        parked[dst].append(ps)  # sender blocks here
+                    continue
+                hops = self._hops(rank, dst)
+                arrival = now + self.machine.link.message_time(nbytes, hops)
+                key = (rank, dst)
+                arrival = max(arrival, last_arrival.get(key, 0.0))
+                last_arrival[key] = arrival
+                overhead = self.machine.link.latency_s if dst != rank else 0.0
+                clocks[rank] = now + overhead
+                stats[rank].comm_time += overhead
+                stats[rank].messages_sent += 1
+                stats[rank].bytes_sent += nbytes
+                post_message(
+                    InFlight(
+                        dest=dst,
+                        source=rank,
+                        tag=request.tag,
+                        payload=copy_payload(request.payload),
+                        nbytes=nbytes,
+                        arrival_time=arrival,
+                        seq=seq,
+                    )
+                )
+                schedule(clocks[rank], rank, None)
+
+            elif isinstance(request, (RecvReq, IrecvReq)):
+                if request.source != -1 and not 0 <= request.source < p:
+                    raise CommunicationError(
+                        f"rank {rank} receives from invalid rank {request.source}"
+                    )
+                slot = make_slot(rank, request.source, request.tag)
+                if isinstance(request, IrecvReq):
+                    # Posting is free; resume immediately with the handle.
+                    schedule(now, rank, slot.slot_id)
+                elif slot.msg is not None:
+                    slot.waiting = True
+                    slot.blocked_since = now
+                    complete_wait(rank, slot)
+                else:
+                    slot.waiting = True
+                    slot.blocked_since = now
+                    blocked[rank] = True  # a future send wakes us
+
+            elif isinstance(request, WaitReq):
+                slot = find_slot(rank, request.handle)
+                if slot.waiting:
+                    raise CommunicationError(
+                        f"rank {rank} waits twice on handle {request.handle}"
+                    )
+                slot.waiting = True
+                slot.blocked_since = now
+                if slot.msg is not None:
+                    complete_wait(rank, slot)
+                else:
+                    blocked[rank] = True
+
+            else:
+                raise CommunicationError(
+                    f"rank {rank} yielded unsupported request {request!r}"
+                )
+
+        if alive > 0:
+            parked_by_src: Dict[int, List[str]] = {}
+            for dst in range(p):
+                for ps in parked[dst]:
+                    parked_by_src.setdefault(ps.source, []).append(
+                        f"rendezvous send to {dst} (tag={ps.tag})"
+                    )
+            detail = ", ".join(
+                f"rank {r} blocked on "
+                + (
+                    ", ".join(
+                        [
+                            f"(source={s.source}, tag={s.tag})"
+                            for s in slots[r]
+                            if s.waiting and s.msg is None
+                        ]
+                        + parked_by_src.get(r, [])
+                    )
+                    or "nothing posted"
+                )
+                for r in range(p)
+                if not finished[r]
+            )
+            failure_note = (
+                f" (injected failures: ranks {sorted(failed_ranks)})"
+                if failed_ranks
+                else ""
+            )
+            raise DeadlockError(
+                f"{alive} rank(s) blocked with no matching sends: "
+                f"{detail}{failure_note}"
+            )
+
+        return SimResult(
+            returns=returns,
+            time=max(clocks) if clocks else 0.0,
+            stats=stats,
+            tracer=tracer,
+            failed_ranks=sorted(failed_ranks),
+        )
+
+
+def run_program(
+    machine: Machine,
+    n_ranks: int,
+    program: Callable,
+    *args: Any,
+    seed: int = 0,
+    trace: bool = False,
+    **kwargs: Any,
+) -> SimResult:
+    """One-shot convenience wrapper around :class:`Engine`."""
+    return Engine(machine, n_ranks, seed=seed, trace=trace).run(program, *args, **kwargs)

@@ -1,0 +1,143 @@
+"""Sub-communicators over subsets of ranks.
+
+A :class:`GroupComm` presents the same interface as
+:class:`~repro.simmpi.comm.Comm` but renumbers a subset of global ranks
+``members[i] -> i``.  It is what 2-D algorithms (SUMMA, process grids)
+use for row and column collectives.
+
+Construction is purely local -- no communication -- so every member must
+derive the identical member list (the usual process-grid situation).
+Isolation between different groups, and between group traffic and
+parent-communicator traffic, is achieved by salting all group tags with
+a hash of the member tuple: two different groups draw from disjoint tag
+ranges with overwhelming probability, and group tags are always far
+below user tag space.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from repro.simmpi import collectives as _coll
+from repro.simmpi.comm import Comm
+from repro.simmpi.requests import ANY_SOURCE, ANY_TAG
+from repro.util.errors import CommunicationError
+from repro.util.rng import stable_seed
+
+#: User tags on a group are shifted this far below the group's salt so
+#: they can never collide with the group's own collective tag blocks.
+_USER_TAG_OFFSET = 1 << 40
+
+
+class GroupComm:
+    """Communicator over ``members`` of a parent :class:`Comm`."""
+
+    def __init__(self, parent: Comm, members: Sequence[int]):
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise CommunicationError(f"duplicate ranks in group: {members}")
+        for m in members:
+            if not 0 <= m < parent.size:
+                raise CommunicationError(
+                    f"group member {m} outside parent size {parent.size}"
+                )
+        if parent.rank not in members:
+            raise CommunicationError(
+                f"rank {parent.rank} constructing a group it is not a member of"
+            )
+        self.parent = parent
+        self.members = members
+        self.rank = members.index(parent.rank)
+        self.size = len(members)
+        self.machine = parent.machine
+        self.rng = parent.rng
+        # Tag salt shared by construction across members (same tuple).
+        self._salt = stable_seed(*members)
+        self._coll_seq = 0
+
+    # -- tag management -------------------------------------------------------
+
+    def next_tag_block(self) -> int:
+        self._coll_seq += 1
+        return -(self._salt + self._coll_seq * _coll._TAG_STRIDE)
+
+    def _user_tag(self, tag: int) -> int:
+        return -(self._salt + _USER_TAG_OFFSET + tag)
+
+    # -- identity -------------------------------------------------------------
+
+    def is_root(self, root: int = 0) -> bool:
+        return self.rank == root
+
+    def group(self, members: Sequence[int]) -> "GroupComm":
+        """Nested group: ``members`` are ranks *within this group*."""
+        return GroupComm(self.parent, [self.members[m] for m in members])
+
+    # -- primitives (rank/tag translated onto the parent) ---------------------
+
+    def send(
+        self, payload: Any, dest: int, tag: int = 0, nbytes: Optional[float] = None
+    ) -> Generator:
+        if not 0 <= dest < self.size:
+            raise CommunicationError(f"group send dest {dest} out of range")
+        yield from self.parent.send(
+            payload, self.members[dest], tag=self._user_tag(tag), nbytes=nbytes
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicationError(f"group recv source {source} out of range")
+        gsource = ANY_SOURCE if source == ANY_SOURCE else self.members[source]
+        gtag = ANY_TAG if tag == ANY_TAG else self._user_tag(tag)
+        msg = yield from self.parent.recv(source=gsource, tag=gtag)
+        # Translate metadata back into group coordinates.
+        local_source = self.members.index(msg.source) if msg.source in self.members else msg.source
+        return type(msg)(msg.payload, local_source, tag, msg.arrival_time)
+
+    def sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        nbytes: Optional[float] = None,
+    ) -> Generator:
+        yield from self.send(payload, dest, sendtag, nbytes)
+        msg = yield from self.recv(source, recvtag)
+        return msg
+
+    def compute(self, flops=None, seconds=None, efficiency=None) -> Generator:
+        yield from self.parent.compute(flops=flops, seconds=seconds, efficiency=efficiency)
+
+    # -- collectives (same algorithm library, group-relative ranks) -----------
+
+    def barrier(self) -> Generator:
+        return _coll.barrier(self)
+
+    def bcast(self, value: Any, root: int = 0, algorithm: str = "tree") -> Generator:
+        return _coll.bcast(self, value, root, algorithm)
+
+    def reduce(self, value: Any, op="sum", root: int = 0) -> Generator:
+        return _coll.reduce(self, value, op, root)
+
+    def allreduce(self, value: Any, op="sum", algorithm: str = "reduce_bcast") -> Generator:
+        return _coll.allreduce(self, value, op, algorithm)
+
+    def gather(self, value: Any, root: int = 0, algorithm: str = "tree") -> Generator:
+        return _coll.gather(self, value, root, algorithm)
+
+    def allgather(self, value: Any, algorithm: str = "ring") -> Generator:
+        return _coll.allgather(self, value, algorithm)
+
+    def scatter(self, values, root: int = 0, algorithm: str = "tree") -> Generator:
+        return _coll.scatter(self, values, root, algorithm)
+
+    def alltoall(self, values) -> Generator:
+        return _coll.alltoall(self, values)
+
+    def scan(self, value: Any, op="sum") -> Generator:
+        return _coll.scan(self, value, op)
+
+    def reduce_scatter(self, values, op="sum") -> Generator:
+        return _coll.reduce_scatter(self, values, op)

@@ -1,0 +1,165 @@
+"""Primitive requests rank programs yield to the simulator engine.
+
+A rank program is a generator.  It communicates by yielding request
+objects; the engine interprets each request, advances virtual time, and
+resumes the generator with the request's result (e.g. the received
+message).  User code goes through the :class:`~repro.simmpi.comm.Comm`
+facade rather than constructing these directly.
+
+Semantics follow the NX/MPI eager-buffered model of the era's
+machines: a send copies its payload, charges the sender the software
+startup cost, and completes without waiting for the receiver -- the
+message then arrives at the destination after the routed network delay.
+This is why classic ring shifts written with blocking ``send`` do not
+deadlock, exactly as on the real Delta for messages under the eager
+threshold.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.util.errors import CommunicationError
+
+#: Wildcard source rank for receives.
+ANY_SOURCE = -1
+#: Wildcard message tag for receives.
+ANY_TAG = -1
+
+#: Tags >= 0 are user tags; the collective library uses this negative
+#: base so its internal traffic can never match a user receive.
+COLLECTIVE_TAG_BASE = -1000
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Wire size of a payload in bytes.
+
+    NumPy arrays report their true buffer size; Python scalars count as
+    one 8-byte word; ``bytes`` count their length; containers sum their
+    elements plus a small per-element header.  ``None`` (a pure
+    synchronisation token) is free.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, np.generic):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (int, float, complex, bool)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(p) + 8 for p in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) + 16 for k, v in payload.items())
+    # Conservative default for opaque objects.
+    return 64
+
+
+def copy_payload(payload: Any) -> Any:
+    """Buffered-send copy: the sender may overwrite its buffer after the
+    send returns, so the in-flight message must be independent."""
+    if payload is None or isinstance(payload, (int, float, complex, bool, str, bytes)):
+        return payload
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return copy.deepcopy(payload)
+
+
+@dataclass(frozen=True)
+class SendReq:
+    """Eager buffered send of ``payload`` to ``dest`` with ``tag``."""
+
+    dest: int
+    payload: Any
+    tag: int = 0
+    #: Override the modelled wire size (bytes); None = measure payload.
+    nbytes: Optional[float] = None
+
+    def wire_bytes(self) -> float:
+        return payload_nbytes(self.payload) if self.nbytes is None else self.nbytes
+
+
+@dataclass(frozen=True)
+class RecvReq:
+    """Blocking receive matching ``source`` and ``tag`` (wildcards allowed)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True)
+class IrecvReq:
+    """Non-blocking receive: posts a matching slot and returns a handle
+    immediately.  Complete it with :class:`WaitReq`."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True)
+class WaitReq:
+    """Block until the posted receive identified by ``handle`` has a
+    message; resumes with that :class:`Message`."""
+
+    handle: int
+
+
+@dataclass(frozen=True)
+class ComputeReq:
+    """Charge local computation to the rank's clock.
+
+    Exactly one of ``flops`` or ``seconds`` must be set.  ``efficiency``
+    overrides the node's sustained fraction for flops-based charging.
+    """
+
+    flops: Optional[float] = None
+    seconds: Optional[float] = None
+    efficiency: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.flops is None) == (self.seconds is None):
+            raise CommunicationError(
+                "ComputeReq needs exactly one of flops= or seconds="
+            )
+        value = self.flops if self.flops is not None else self.seconds
+        if value < 0:
+            raise CommunicationError(f"compute amount must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message, returned to the receiving rank."""
+
+    payload: Any
+    source: int
+    tag: int
+    #: Virtual time the message became available at the destination.
+    arrival_time: float = 0.0
+
+
+@dataclass
+class InFlight:
+    """Engine-internal record of a posted, not-yet-consumed message."""
+
+    dest: int
+    source: int
+    tag: int
+    payload: Any
+    nbytes: float
+    arrival_time: float
+    seq: int = field(default=0)
+
+    def matches(self, req: RecvReq) -> bool:
+        if req.source != ANY_SOURCE and req.source != self.source:
+            return False
+        if req.tag != ANY_TAG and req.tag != self.tag:
+            return False
+        return True

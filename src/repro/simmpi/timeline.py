@@ -1,0 +1,111 @@
+"""Post-run analysis: utilisation tables and ASCII timelines.
+
+The Delta's application teams lived off exactly two post-mortem views:
+per-node utilisation (who idled?) and message timelines (where did the
+wave of work stall?).  This module derives both from a
+:class:`~repro.simmpi.engine.SimResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.simmpi.engine import SimResult
+from repro.util.errors import SimulationError
+from repro.util.tables import render_table
+from repro.util.units import format_time
+
+
+@dataclass(frozen=True)
+class RankUtilisation:
+    """Busy-time breakdown for one rank."""
+
+    rank: int
+    compute_fraction: float
+    comm_fraction: float
+    idle_fraction: float
+
+
+def utilisation(result: SimResult) -> List[RankUtilisation]:
+    """Per-rank busy breakdown against the run's makespan.
+
+    Idle is whatever the makespan minus compute minus communication
+    leaves: time a rank spent finished (or unaccounted overlap).
+    """
+    makespan = result.time
+    out = []
+    for stats in result.stats:
+        if makespan <= 0:
+            out.append(RankUtilisation(stats.rank, 0.0, 0.0, 1.0))
+            continue
+        comp = stats.compute_time / makespan
+        comm = stats.comm_time / makespan
+        out.append(
+            RankUtilisation(
+                rank=stats.rank,
+                compute_fraction=comp,
+                comm_fraction=comm,
+                idle_fraction=max(0.0, 1.0 - comp - comm),
+            )
+        )
+    return out
+
+
+def utilisation_table(result: SimResult) -> str:
+    """Text table of the per-rank breakdown."""
+    rows = [
+        [u.rank, 100.0 * u.compute_fraction, 100.0 * u.comm_fraction,
+         100.0 * u.idle_fraction]
+        for u in utilisation(result)
+    ]
+    return render_table(
+        ["Rank", "Compute %", "Comm %", "Idle %"],
+        rows,
+        title=f"Utilisation over {format_time(result.time)} makespan",
+        float_fmt=",.1f",
+    )
+
+
+def load_balance(result: SimResult) -> float:
+    """Max over mean busy time across ranks (1.0 = perfectly balanced).
+
+    The standard imbalance metric: the makespan penalty attributable to
+    uneven work distribution.
+    """
+    busy = [s.busy_time for s in result.stats]
+    mean = sum(busy) / len(busy)
+    if mean == 0:
+        return 1.0
+    return max(busy) / mean
+
+
+def message_timeline(result: SimResult, *, width: int = 60) -> str:
+    """ASCII send/receive timeline from the message trace.
+
+    Requires the run to have been executed with ``trace=True``; each
+    traced message prints as a row with its wire interval marked.
+    """
+    records = result.tracer.records
+    if not records:
+        raise SimulationError(
+            "no message trace: run the engine with trace=True"
+        )
+    t_end = max(r.recv_time for r in records) or 1.0
+    lines = [f"timeline over {format_time(t_end)} ({len(records)} messages)"]
+    for rec in records:
+        start = int(width * rec.arrival_time / t_end)
+        stop = max(start + 1, int(width * rec.recv_time / t_end))
+        stop = min(stop, width)
+        bar = " " * start + "#" * (stop - start)
+        lines.append(
+            f"{rec.source:>4} ->{rec.dest:>4} tag {rec.tag:>5} |{bar:<{width}}|"
+        )
+    return "\n".join(lines)
+
+
+def hottest_pairs(result: SimResult, top: int = 5) -> List[tuple]:
+    """(source, dest, count) for the most-trafficked rank pairs."""
+    counts = result.tracer.by_pair()
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [(src, dst, n) for (src, dst), n in ranked[:top]]

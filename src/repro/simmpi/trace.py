@@ -1,0 +1,75 @@
+"""Per-rank statistics and optional message tracing.
+
+The simulator always accumulates cheap aggregate statistics; full
+message logs are opt-in because a 512-rank LU run generates hundreds of
+thousands of messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class RankStats:
+    """Aggregate accounting for one rank."""
+
+    rank: int
+    compute_time: float = 0.0
+    #: Sender-side startup overhead plus receiver-side blocked time.
+    comm_time: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: float = 0.0
+    messages_received: int = 0
+    bytes_received: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def busy_time(self) -> float:
+        """Compute plus communication time (excludes pure idling that
+        was not attributable to a blocked receive)."""
+        return self.compute_time + self.comm_time
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One traced message (opt-in)."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: float
+    send_time: float
+    arrival_time: float
+    recv_time: float
+
+
+@dataclass
+class Tracer:
+    """Collects message records when enabled; bounded to avoid runaway
+    memory on large runs."""
+
+    enabled: bool = False
+    max_records: int = 200_000
+    records: List[MessageRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, rec: MessageRecord) -> None:
+        if not self.enabled:
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(rec)
+
+    def total_bytes(self) -> float:
+        return sum(r.nbytes for r in self.records)
+
+    def by_pair(self) -> dict:
+        """Message counts keyed by (source, dest)."""
+        out: dict = {}
+        for r in self.records:
+            key = (r.source, r.dest)
+            out[key] = out.get(key, 0) + 1
+        return out

@@ -1,0 +1,50 @@
+"""Shared utilities: units, table rendering, RNG discipline, errors."""
+
+from repro.util.errors import (
+    CommunicationError,
+    ConfigurationError,
+    ConvergenceError,
+    DeadlockError,
+    DecompositionError,
+    NetworkError,
+    ProgramModelError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.util.rng import resolve_rng, spawn, stable_seed
+from repro.util.tables import render_matrix, render_table
+from repro.util.units import (
+    format_bandwidth,
+    format_bytes,
+    format_rate,
+    format_time,
+    gflops,
+    mflops,
+    tflops,
+)
+
+__all__ = [
+    "CommunicationError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "DeadlockError",
+    "DecompositionError",
+    "NetworkError",
+    "ProgramModelError",
+    "ReproError",
+    "SimulationError",
+    "TopologyError",
+    "resolve_rng",
+    "spawn",
+    "stable_seed",
+    "render_matrix",
+    "render_table",
+    "format_bandwidth",
+    "format_bytes",
+    "format_rate",
+    "format_time",
+    "gflops",
+    "mflops",
+    "tflops",
+]

@@ -1,0 +1,57 @@
+"""Exception hierarchy shared across the ``repro`` library.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library-level failures without also swallowing programming errors
+(``TypeError``, ``KeyError`` from unrelated code, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, network, or program model was built with invalid
+    parameters (non-positive counts, unknown presets, inconsistent
+    shapes)."""
+
+
+class TopologyError(ConfigurationError):
+    """An interconnect topology was asked about a node it does not
+    contain, or was constructed with an impossible shape."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All live ranks are blocked on communication that can never
+    complete (e.g. a receive with no matching send)."""
+
+
+class CommunicationError(SimulationError):
+    """A point-to-point or collective call was issued with invalid
+    arguments (bad rank, mismatched collective participation, ...)."""
+
+
+class DecompositionError(ReproError):
+    """A data decomposition request cannot be satisfied (e.g. more
+    processes than elements with a zero-padding-forbidden layout)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance within the
+    allowed number of iterations."""
+
+
+class NetworkError(ReproError):
+    """A wide-area network query referenced unknown sites or an
+    unreachable destination."""
+
+
+class ProgramModelError(ReproError):
+    """The HPCC program model was queried with unknown agencies,
+    components, or fiscal years."""

@@ -1,0 +1,53 @@
+"""Deterministic random-number helpers.
+
+Simulation components never call ``np.random`` module-level functions;
+they take an explicit ``numpy.random.Generator`` (or a seed) so runs are
+reproducible and tests are stable.  ``spawn`` derives independent child
+streams, mirroring how each simulated rank gets its own stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a Generator from a seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Child streams are derived via ``SeedSequence.spawn`` when a plain
+    seed is given, and via ``Generator.spawn`` for an existing
+    generator, so both paths give independence guarantees.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(n))
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]
+
+
+def stable_seed(*parts: Union[int, str], base: Optional[int] = None) -> int:
+    """Hash heterogeneous identifiers into a stable 63-bit seed.
+
+    Used to give named entities (a rank, a site, a workload) seeds that
+    do not depend on iteration order.  Python's builtin ``hash`` is
+    salted per-process for strings, so we use a small explicit FNV-1a.
+    """
+    acc = 0xCBF29CE484222325 if base is None else (base & 0xFFFFFFFFFFFFFFFF)
+    for part in parts:
+        data = str(part).encode("utf-8")
+        for byte in data:
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc & 0x7FFFFFFFFFFFFFFF

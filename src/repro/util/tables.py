@@ -1,0 +1,91 @@
+"""Plain-text table rendering used by reports and benchmark output.
+
+The paper's exhibits are slides full of tables; every benchmark in
+``benchmarks/`` regenerates one of them as text.  This module provides a
+single, dependency-free renderer so all output is uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+    float_fmt: str = ",.1f",
+    align_right_from: int = 1,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)``
+        cells.  Floats are formatted with ``float_fmt``.
+    title:
+        Optional heading printed above the table with an underline.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    align_right_from:
+        Column index from which cells are right-aligned (numeric columns
+        conventionally follow a left-aligned label column).
+    """
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        str_rows.append([_format_cell(c, float_fmt) for c in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i >= align_right_from:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def render_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+    corner: str = "",
+) -> str:
+    """Render a labelled matrix (used for the responsibilities exhibit)."""
+    headers = [corner, *col_labels]
+    rows = [[label, *row] for label, row in zip(row_labels, cells)]
+    return render_table(headers, rows, title=title)

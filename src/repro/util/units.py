@@ -1,0 +1,172 @@
+"""Unit helpers for performance quantities.
+
+The library works internally in SI base units: seconds, bytes,
+flops (floating-point operations), flop/s, and bit/s for wide-area
+links.  These helpers exist so that module code and tests never embed
+bare magic multipliers like ``1e9``; a reader can always tell whether a
+number is "32 GFLOPS" or "32e9 flop/s".
+
+The 1992-era machines the paper describes are quoted in MFLOPS/GFLOPS
+and network links in kbps/Mbps, so both decimal scales are provided.
+"""
+
+from __future__ import annotations
+
+# --- decimal scale factors -------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+# Binary scales for memory sizes (a 16 MB i860 node means 16 * 2**20 bytes).
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+# --- flop rates ------------------------------------------------------------
+
+def mflops(x: float) -> float:
+    """Convert MFLOPS to flop/s."""
+    return x * MEGA
+
+
+def gflops(x: float) -> float:
+    """Convert GFLOPS to flop/s."""
+    return x * GIGA
+
+
+def tflops(x: float) -> float:
+    """Convert TFLOPS to flop/s."""
+    return x * TERA
+
+
+def as_gflops(rate: float) -> float:
+    """Express a flop/s rate in GFLOPS (for reporting)."""
+    return rate / GIGA
+
+
+def as_mflops(rate: float) -> float:
+    """Express a flop/s rate in MFLOPS (for reporting)."""
+    return rate / MEGA
+
+
+# --- byte counts -----------------------------------------------------------
+
+def kib(x: float) -> float:
+    """Convert KiB to bytes."""
+    return x * KIB
+
+
+def mib(x: float) -> float:
+    """Convert MiB to bytes."""
+    return x * MIB
+
+
+def gib(x: float) -> float:
+    """Convert GiB to bytes."""
+    return x * GIB
+
+
+def megabytes(x: float) -> float:
+    """Convert decimal MB to bytes (network payload convention)."""
+    return x * MEGA
+
+
+# --- link rates (bits per second, the WAN convention) ----------------------
+
+def kbps(x: float) -> float:
+    """Convert kbit/s to bit/s."""
+    return x * KILO
+
+
+def mbps(x: float) -> float:
+    """Convert Mbit/s to bit/s."""
+    return x * MEGA
+
+
+def gbps(x: float) -> float:
+    """Convert Gbit/s to bit/s."""
+    return x * GIGA
+
+
+def bits_to_bytes_per_second(rate_bps: float) -> float:
+    """Convert a bit/s link rate to byte/s throughput."""
+    return rate_bps / 8.0
+
+
+# --- bandwidths (bytes per second, the interconnect convention) ------------
+
+def mb_per_s(x: float) -> float:
+    """Convert MB/s to byte/s."""
+    return x * MEGA
+
+
+# --- times -----------------------------------------------------------------
+
+def microseconds(x: float) -> float:
+    """Convert microseconds to seconds."""
+    return x * 1e-6
+
+def milliseconds(x: float) -> float:
+    """Convert milliseconds to seconds."""
+    return x * 1e-3
+
+
+def as_microseconds(t: float) -> float:
+    """Express seconds in microseconds (for reporting)."""
+    return t * 1e6
+
+
+# --- human-readable formatting ---------------------------------------------
+
+_TIME_STEPS = (
+    (1.0, "s"),
+    (1e-3, "ms"),
+    (1e-6, "us"),
+    (1e-9, "ns"),
+)
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with a sensible unit, e.g. ``'72.0 us'``.
+
+    Durations of a minute or more are rendered as ``h:mm:ss`` because
+    wide-area transfer times in the paper span microseconds to hours.
+    """
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds >= 60.0:
+        whole = int(round(seconds))
+        hours, rem = divmod(whole, 3600)
+        minutes, secs = divmod(rem, 60)
+        return f"{hours:d}:{minutes:02d}:{secs:02d}"
+    for scale, suffix in _TIME_STEPS:
+        if seconds >= scale:
+            return f"{seconds / scale:.3g} {suffix}"
+    return "0 s" if seconds == 0 else f"{seconds:.3g} s"
+
+
+def format_rate(flops_per_s: float) -> str:
+    """Render a flop rate, e.g. ``'32.0 GFLOPS'``."""
+    for scale, suffix in ((TERA, "TFLOPS"), (GIGA, "GFLOPS"), (MEGA, "MFLOPS"), (KILO, "kFLOPS")):
+        if flops_per_s >= scale:
+            return f"{flops_per_s / scale:.4g} {suffix}"
+    return f"{flops_per_s:.4g} FLOPS"
+
+
+def format_bandwidth(bits_per_s: float) -> str:
+    """Render a WAN link rate, e.g. ``'45 Mbps'``."""
+    for scale, suffix in ((GIGA, "Gbps"), (MEGA, "Mbps"), (KILO, "kbps")):
+        if bits_per_s >= scale:
+            return f"{bits_per_s / scale:.4g} {suffix}"
+    return f"{bits_per_s:.4g} bps"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Render a byte count, e.g. ``'1.5 GB'`` (decimal, WAN convention)."""
+    for scale, suffix in ((TERA, "TB"), (GIGA, "GB"), (MEGA, "MB"), (KILO, "kB")):
+        if nbytes >= scale:
+            return f"{nbytes / scale:.4g} {suffix}"
+    return f"{nbytes:.4g} B"

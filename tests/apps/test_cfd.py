@@ -1,0 +1,154 @@
+"""CFD kernel: physics sanity, conservation, serial/distributed identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cfd import (
+    CFDConfig,
+    cfd_program,
+    distributed_run,
+    gaussian_blob,
+    serial_run,
+    serial_step,
+    total_mass,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError
+
+
+def small_config(**overrides):
+    defaults = dict(nx=16, ny=16, dt=0.05, vel_x=1.0, vel_y=0.5, diffusivity=0.05)
+    defaults.update(overrides)
+    return CFDConfig(**defaults)
+
+
+class TestConfig:
+    def test_valid(self):
+        cfg = small_config()
+        assert cfg.cells == 256
+        assert cfg.flops_per_step() > 0
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CFDConfig(nx=2, ny=16)
+
+    def test_advective_cfl_enforced(self):
+        with pytest.raises(ConfigurationError, match="CFL"):
+            CFDConfig(nx=8, ny=8, dt=1.5, vel_x=1.0, vel_y=0.0, diffusivity=0.0)
+
+    def test_diffusive_limit_enforced(self):
+        with pytest.raises(ConfigurationError, match="diffusive"):
+            CFDConfig(nx=8, ny=8, dt=0.9, vel_x=0.0, vel_y=0.0, diffusivity=1.0)
+
+    def test_negative_velocity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CFDConfig(nx=8, ny=8, vel_x=-1.0)
+
+    def test_nonpositive_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CFDConfig(nx=8, ny=8, dx=0.0)
+
+
+class TestSerialPhysics:
+    def test_mass_conserved(self):
+        """Periodic upwind + central diffusion conserves the integral."""
+        cfg = small_config()
+        u0 = gaussian_blob(cfg)
+        u = serial_run(u0, cfg, 50)
+        assert total_mass(u, cfg) == pytest.approx(total_mass(u0, cfg), rel=1e-12)
+
+    def test_diffusion_decays_peak(self):
+        cfg = small_config(vel_x=0.0, vel_y=0.0)
+        u0 = gaussian_blob(cfg)
+        u = serial_run(u0, cfg, 30)
+        assert u.max() < u0.max()
+
+    def test_pure_advection_moves_blob(self):
+        cfg = small_config(vel_y=0.0, diffusivity=0.0)
+        u0 = gaussian_blob(cfg, center=(0.25, 0.5))
+        u = serial_run(u0, cfg, 20)
+        # Centroid (x) should have moved right by ~vel_x * t (in cells).
+        x_idx = np.arange(cfg.nx)
+        cx0 = (u0.sum(axis=0) * x_idx).sum() / u0.sum()
+        cx1 = (u.sum(axis=0) * x_idx).sum() / u.sum()
+        assert cx1 > cx0 + 0.5
+
+    def test_constant_field_is_fixed_point(self):
+        cfg = small_config()
+        u0 = np.full((cfg.ny, cfg.nx), 3.7)
+        u = serial_step(u0, cfg)
+        assert np.allclose(u, u0, atol=1e-13)
+
+    def test_solution_stays_bounded(self):
+        cfg = small_config()
+        u = serial_run(gaussian_blob(cfg), cfg, 100)
+        assert np.isfinite(u).all()
+        assert u.max() <= 1.01  # no spurious growth
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_bit_identical_to_serial(self, p):
+        cfg = small_config()
+        u0 = gaussian_blob(cfg)
+        serial = serial_run(u0, cfg, 12)
+        dist = distributed_run(touchstone_delta().subset(p), p, u0, cfg, 12)
+        assert np.array_equal(dist.field, serial)
+
+    def test_virtual_time_positive(self):
+        cfg = small_config()
+        run = distributed_run(touchstone_delta().subset(4), 4, gaussian_blob(cfg), cfg, 5)
+        assert run.virtual_time > 0
+
+    def test_halo_traffic_counted(self):
+        cfg = small_config()
+        run = distributed_run(touchstone_delta().subset(4), 4, gaussian_blob(cfg), cfg, 5)
+        # 4 ranks x 2 sends x 5 steps
+        assert run.sim.total_messages == 40
+        assert run.sim.total_bytes == 40 * cfg.nx * 8
+
+    def test_shape_mismatch_rejected(self):
+        cfg = small_config()
+        with pytest.raises(ConfigurationError):
+            distributed_run(
+                touchstone_delta().subset(2), 2, np.zeros((4, 4)), cfg, 1
+            )
+
+    def test_too_many_ranks_rejected(self):
+        cfg = small_config()
+        with pytest.raises(ConfigurationError):
+            distributed_run(
+                touchstone_delta().subset(32), 32, gaussian_blob(cfg), cfg, 1
+            )
+
+    def test_more_ranks_not_slower_at_large_grid(self):
+        """Strong scaling: 8 strips beat 2 strips on a big enough grid."""
+        cfg = CFDConfig(nx=64, ny=64, dt=0.05)
+        u0 = gaussian_blob(cfg)
+        machine = touchstone_delta()
+        t2 = distributed_run(machine.subset(2), 2, u0, cfg, 3).virtual_time
+        t8 = distributed_run(machine.subset(8), 8, u0, cfg, 3).virtual_time
+        assert t8 < t2
+
+
+@settings(max_examples=8, deadline=None)
+@given(p=st.sampled_from([1, 2, 4]), steps=st.integers(1, 8), seed=st.integers(0, 99))
+def test_property_distributed_identity(p, steps, seed):
+    cfg = small_config()
+    rng = np.random.default_rng(seed)
+    u0 = rng.random((cfg.ny, cfg.nx))
+    serial = serial_run(u0, cfg, steps)
+    dist = distributed_run(touchstone_delta().subset(p), p, u0, cfg, steps)
+    assert np.array_equal(dist.field, serial)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 99), steps=st.integers(1, 30))
+def test_property_mass_conservation(seed, steps):
+    cfg = small_config()
+    rng = np.random.default_rng(seed)
+    u0 = rng.random((cfg.ny, cfg.nx))
+    u = serial_run(u0, cfg, steps)
+    assert total_mass(u, cfg) == pytest.approx(total_mass(u0, cfg), rel=1e-10)

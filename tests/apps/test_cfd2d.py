@@ -1,0 +1,131 @@
+"""2-D block decomposition of the CFD kernel (strips-vs-blocks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cfd import (
+    CFDConfig,
+    distributed_run,
+    distributed_run_2d,
+    gaussian_blob,
+    serial_run,
+)
+from repro.linalg.decomp import ProcessGrid2D
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError
+
+
+def small_config():
+    return CFDConfig(nx=32, ny=32, dt=0.05)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("shape", [(1, 1), (2, 2), (4, 2), (2, 4), (1, 4), (4, 1), (4, 4)])
+    def test_bit_identical_to_serial(self, shape):
+        cfg = small_config()
+        u0 = gaussian_blob(cfg)
+        grid = ProcessGrid2D(*shape)
+        serial = serial_run(u0, cfg, 6)
+        dist = distributed_run_2d(
+            touchstone_delta().subset(grid.size), grid, u0, cfg, 6
+        )
+        assert np.array_equal(dist.field, serial)
+
+    def test_matches_strip_decomposition(self):
+        cfg = small_config()
+        u0 = gaussian_blob(cfg)
+        strips = distributed_run(touchstone_delta().subset(4), 4, u0, cfg, 5)
+        blocks = distributed_run_2d(
+            touchstone_delta().subset(4), ProcessGrid2D(2, 2), u0, cfg, 5
+        )
+        assert np.array_equal(strips.field, blocks.field)
+
+    def test_uneven_blocks(self):
+        cfg = CFDConfig(nx=13, ny=11, dt=0.05)
+        rng = np.random.default_rng(0)
+        u0 = rng.random((11, 13))
+        serial = serial_run(u0, cfg, 4)
+        dist = distributed_run_2d(
+            touchstone_delta().subset(6), ProcessGrid2D(2, 3), u0, cfg, 4
+        )
+        assert np.array_equal(dist.field, serial)
+
+
+class TestHaloTrade:
+    def test_blocks_move_fewer_bytes_than_strips(self):
+        """16 ranks on 32x32: 4x4 blocks halve the halo volume."""
+        cfg = small_config()
+        u0 = gaussian_blob(cfg)
+        strips = distributed_run(touchstone_delta().subset(16), 16, u0, cfg, 4)
+        blocks = distributed_run_2d(
+            touchstone_delta().subset(16), ProcessGrid2D(4, 4), u0, cfg, 4
+        )
+        assert blocks.sim.total_bytes < strips.sim.total_bytes
+
+    def test_blocks_send_more_messages(self):
+        """...at the price of twice the messages (four edges, not two)."""
+        cfg = small_config()
+        u0 = gaussian_blob(cfg)
+        strips = distributed_run(touchstone_delta().subset(16), 16, u0, cfg, 4)
+        blocks = distributed_run_2d(
+            touchstone_delta().subset(16), ProcessGrid2D(4, 4), u0, cfg, 4
+        )
+        assert blocks.sim.total_messages == 2 * strips.sim.total_messages
+
+    def test_on_latency_machine_strips_win_small_grids(self):
+        """With the Delta's 72 us startups and a small grid, the extra
+        messages cost more than the saved bytes."""
+        cfg = small_config()
+        u0 = gaussian_blob(cfg)
+        strips = distributed_run(touchstone_delta().subset(16), 16, u0, cfg, 4)
+        blocks = distributed_run_2d(
+            touchstone_delta().subset(16), ProcessGrid2D(4, 4), u0, cfg, 4
+        )
+        assert strips.virtual_time < blocks.virtual_time
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        cfg = small_config()
+        with pytest.raises(ConfigurationError):
+            distributed_run_2d(
+                touchstone_delta().subset(4), ProcessGrid2D(2, 2),
+                np.zeros((4, 4)), cfg, 1,
+            )
+
+    def test_grid_exceeds_machine(self):
+        cfg = small_config()
+        with pytest.raises(ConfigurationError):
+            distributed_run_2d(
+                touchstone_delta().subset(2), ProcessGrid2D(2, 2),
+                gaussian_blob(cfg), cfg, 1,
+            )
+
+    def test_grid_exceeds_field(self):
+        cfg = CFDConfig(nx=4, ny=4, dt=0.05)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            distributed_run_2d(
+                touchstone_delta().subset(8), ProcessGrid2D(8, 1),
+                rng.random((4, 4)), cfg, 1,
+            )
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    shape=st.sampled_from([(1, 2), (2, 2), (2, 3), (3, 2)]),
+    steps=st.integers(1, 5),
+    seed=st.integers(0, 99),
+)
+def test_property_block_decomposition_identity(shape, steps, seed):
+    cfg = small_config()
+    rng = np.random.default_rng(seed)
+    u0 = rng.random((cfg.ny, cfg.nx))
+    grid = ProcessGrid2D(*shape)
+    serial = serial_run(u0, cfg, steps)
+    dist = distributed_run_2d(
+        touchstone_delta().subset(grid.size), grid, u0, cfg, steps
+    )
+    assert np.array_equal(dist.field, serial)

@@ -1,0 +1,196 @@
+"""Molecular dynamics kernel: physics invariants and slab decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.md import (
+    MDConfig,
+    Particles,
+    distributed_run,
+    kinetic_energy,
+    lattice_fluid,
+    potential_energy,
+    serial_run,
+    serial_step,
+    total_momentum,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError, SimulationError
+
+
+def small_config(**overrides):
+    defaults = dict(box=10.0, cutoff=2.5, dt=0.005)
+    defaults.update(overrides)
+    return MDConfig(**defaults)
+
+
+class TestConfig:
+    def test_cutoff_vs_box(self):
+        with pytest.raises(ConfigurationError):
+            MDConfig(box=4.0, cutoff=2.5)
+
+    def test_positive_params(self):
+        with pytest.raises(ConfigurationError):
+            MDConfig(box=0.0)
+        with pytest.raises(ConfigurationError):
+            MDConfig(dt=-1.0)
+        with pytest.raises(ConfigurationError):
+            MDConfig(epsilon=0.0)
+
+
+class TestParticles:
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            Particles(np.arange(3), np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_lattice_zero_momentum(self):
+        parts = lattice_fluid(6, small_config(), seed=1)
+        assert np.abs(total_momentum(parts)).max() < 1e-12
+
+    def test_lattice_inside_box(self):
+        cfg = small_config()
+        parts = lattice_fluid(6, cfg, seed=2)
+        assert (parts.pos >= 0).all() and (parts.pos < cfg.box).all()
+
+    def test_sorted_by_id(self):
+        parts = Particles(
+            np.array([2, 0, 1]), np.arange(6.0).reshape(3, 2), np.zeros((3, 2))
+        )
+        s = parts.sorted_by_id()
+        assert list(s.ids) == [0, 1, 2]
+        assert s.pos[0, 0] == 2.0  # id 0's row followed its id
+
+    def test_bad_lattice(self):
+        with pytest.raises(ConfigurationError):
+            lattice_fluid(0, small_config())
+
+
+class TestSerialPhysics:
+    def test_momentum_conserved(self):
+        cfg = small_config()
+        parts = lattice_fluid(6, cfg, seed=3)
+        out = serial_run(parts, cfg, 20)
+        assert np.abs(total_momentum(out)).max() < 1e-12
+
+    def test_energy_nearly_conserved(self):
+        cfg = small_config()
+        parts = lattice_fluid(8, cfg, seed=2)
+        e0 = kinetic_energy(parts) + potential_energy(parts, cfg)
+        out = serial_run(parts, cfg, 30)
+        e1 = kinetic_energy(out) + potential_energy(out, cfg)
+        assert abs(e1 - e0) / abs(e0) < 0.02
+
+    def test_positions_stay_in_box(self):
+        cfg = small_config()
+        out = serial_run(lattice_fluid(6, cfg, seed=4), cfg, 30)
+        assert (out.pos >= 0).all() and (out.pos < cfg.box).all()
+
+    def test_two_particles_repel_inside_sigma(self):
+        cfg = small_config()
+        parts = Particles(
+            ids=np.arange(2),
+            pos=np.array([[5.0, 5.0], [5.9, 5.0]]),
+            vel=np.zeros((2, 2)),
+        )
+        out = serial_step(parts, cfg)
+        assert out.vel[0, 0] < 0 and out.vel[1, 0] > 0
+
+    def test_two_particles_attract_in_well(self):
+        cfg = small_config()
+        parts = Particles(
+            ids=np.arange(2),
+            pos=np.array([[5.0, 5.0], [6.5, 5.0]]),  # r=1.5: attractive well
+            vel=np.zeros((2, 2)),
+        )
+        out = serial_step(parts, cfg)
+        assert out.vel[0, 0] > 0 and out.vel[1, 0] < 0
+
+    def test_beyond_cutoff_no_force(self):
+        cfg = small_config()
+        parts = Particles(
+            ids=np.arange(2),
+            pos=np.array([[2.0, 5.0], [5.0, 5.0]]),  # r=3 > 2.5
+            vel=np.zeros((2, 2)),
+        )
+        out = serial_step(parts, cfg)
+        assert np.allclose(out.vel, 0.0)
+
+    def test_periodic_interaction_across_boundary(self):
+        cfg = small_config()
+        parts = Particles(
+            ids=np.arange(2),
+            pos=np.array([[0.2, 5.0], [9.8, 5.0]]),  # 0.4 apart via wrap
+            vel=np.zeros((2, 2)),
+        )
+        out = serial_step(parts, cfg)
+        # Strong repulsion pushes them apart through the boundary.
+        assert out.vel[0, 0] > 0 and out.vel[1, 0] < 0
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_matches_serial(self, p):
+        cfg = small_config()
+        parts = lattice_fluid(8, cfg, seed=5)
+        serial = serial_run(parts, cfg, 8).sorted_by_id()
+        dist = distributed_run(touchstone_delta().subset(p), p, parts, cfg, 8)
+        assert np.allclose(dist.particles.pos, serial.pos, atol=1e-12)
+        assert np.allclose(dist.particles.vel, serial.vel, atol=1e-12)
+
+    def test_particle_count_preserved_through_migration(self):
+        cfg = small_config(dt=0.01)
+        parts = lattice_fluid(8, cfg, seed=6, temperature=0.2)
+        dist = distributed_run(touchstone_delta().subset(4), 4, parts, cfg, 20)
+        assert dist.particles.n == parts.n
+        assert sorted(dist.particles.ids) == list(range(parts.n))
+
+    def test_momentum_conserved_distributed(self):
+        cfg = small_config()
+        parts = lattice_fluid(6, cfg, seed=7)
+        dist = distributed_run(touchstone_delta().subset(2), 2, parts, cfg, 15)
+        assert np.abs(total_momentum(dist.particles)).max() < 1e-11
+
+    def test_slab_width_limit(self):
+        cfg = small_config()  # box 10, cutoff 2.5 -> max 4 slabs
+        parts = lattice_fluid(4, cfg, seed=0)
+        with pytest.raises(ConfigurationError):
+            distributed_run(touchstone_delta().subset(5), 5, parts, cfg, 1)
+
+    def test_ghost_messages_counted(self):
+        cfg = small_config()
+        parts = lattice_fluid(6, cfg, seed=1)
+        dist = distributed_run(touchstone_delta().subset(2), 2, parts, cfg, 3)
+        # per step: 2 ghost exchanges x 2 sends + 1 migration x 2 sends,
+        # per rank.
+        assert dist.sim.total_messages == 2 * 3 * 6
+
+    def test_runaway_particle_detected(self):
+        cfg = small_config(dt=0.005)
+        parts = Particles(
+            ids=np.arange(2),
+            pos=np.array([[1.0, 5.0], [6.0, 5.0]]),
+            vel=np.array([[1200.0, 0.0], [0.0, 0.0]]),  # dx = 6 > slab width 5
+        )
+        with pytest.raises(SimulationError):
+            distributed_run(touchstone_delta().subset(2), 2, parts, cfg, 1)
+
+
+@settings(max_examples=5, deadline=None)
+@given(p=st.sampled_from([1, 2, 4]), seed=st.integers(0, 50), steps=st.integers(1, 6))
+def test_property_distributed_matches_serial(p, seed, steps):
+    cfg = small_config()
+    parts = lattice_fluid(6, cfg, seed=seed)
+    serial = serial_run(parts, cfg, steps).sorted_by_id()
+    dist = distributed_run(touchstone_delta().subset(p), p, parts, cfg, steps)
+    assert np.allclose(dist.particles.pos, serial.pos, atol=1e-11)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 100), steps=st.integers(1, 15))
+def test_property_momentum_invariant(seed, steps):
+    cfg = small_config()
+    parts = lattice_fluid(5, cfg, seed=seed)
+    out = serial_run(parts, cfg, steps)
+    assert np.abs(total_momentum(out) - total_momentum(parts)).max() < 1e-11

@@ -1,0 +1,157 @@
+"""N-body kernel: conservation laws, ring pipeline vs serial."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.nbody import (
+    Bodies,
+    accelerations_on,
+    distributed_run,
+    kinetic_energy,
+    potential_energy,
+    random_cluster,
+    serial_run,
+    serial_step,
+    total_momentum,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError
+
+
+class TestBodies:
+    def test_shapes_validated(self):
+        with pytest.raises(ConfigurationError):
+            Bodies(pos=np.zeros((3, 3)), vel=np.zeros((2, 3)), mass=np.zeros(3))
+
+    def test_random_cluster_zero_momentum(self):
+        b = random_cluster(30, seed=2)
+        assert np.abs(total_momentum(b)).max() < 1e-12
+
+    def test_random_cluster_deterministic(self):
+        a = random_cluster(10, seed=5)
+        b = random_cluster(10, seed=5)
+        assert np.array_equal(a.pos, b.pos)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_cluster(0)
+
+
+class TestAccelerations:
+    def test_two_body_symmetry(self):
+        """Equal masses accelerate toward each other equally."""
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        mass = np.array([1.0, 1.0])
+        acc = accelerations_on(pos, pos, mass, softening=0.01)
+        assert acc[0, 0] > 0 and acc[1, 0] < 0
+        assert np.allclose(acc[0], -acc[1])
+
+    def test_self_interaction_vanishes(self):
+        pos = np.array([[2.0, -1.0, 3.0]])
+        acc = accelerations_on(pos, pos, np.array([5.0]), softening=0.1)
+        assert np.allclose(acc, 0.0)
+
+    def test_inverse_square_falloff(self):
+        mass = np.array([1.0])
+        src = np.zeros((1, 3))
+        near = accelerations_on(np.array([[1.0, 0, 0]]), src, mass, softening=1e-9)
+        far = accelerations_on(np.array([[2.0, 0, 0]]), src, mass, softening=1e-9)
+        assert near[0, 0] / far[0, 0] == pytest.approx(4.0, rel=1e-6)
+
+
+class TestSerialIntegration:
+    def test_momentum_conserved(self):
+        b0 = random_cluster(24, seed=1)
+        b = serial_run(b0, dt=0.01, steps=20)
+        assert np.abs(total_momentum(b) - total_momentum(b0)).max() < 1e-12
+
+    def test_energy_nearly_conserved(self):
+        """Leapfrog: energy drift stays small over a short run."""
+        b0 = random_cluster(16, seed=3)
+        soft = 0.05
+        e0 = kinetic_energy(b0) + potential_energy(b0, soft)
+        b = serial_run(b0, dt=0.005, steps=50, softening=soft)
+        e1 = kinetic_energy(b) + potential_energy(b, soft)
+        assert abs(e1 - e0) / abs(e0) < 0.01
+
+    def test_two_body_attraction(self):
+        b0 = Bodies(
+            pos=np.array([[0.0, 0, 0], [1.0, 0, 0]]),
+            vel=np.zeros((2, 3)),
+            mass=np.array([1.0, 1.0]),
+        )
+        b = serial_step(b0, dt=0.01, softening=0.01)
+        assert b.pos[0, 0] > 0 and b.pos[1, 0] < 1.0
+
+    def test_isolated_body_inertial(self):
+        b0 = Bodies(
+            pos=np.zeros((1, 3)),
+            vel=np.array([[1.0, 0, 0]]),
+            mass=np.array([1.0]),
+        )
+        b = serial_run(b0, dt=0.1, steps=10)
+        assert b.pos[0, 0] == pytest.approx(1.0)
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_matches_serial(self, p):
+        b0 = random_cluster(20, seed=p)
+        serial = serial_run(b0, dt=0.01, steps=5)
+        dist = distributed_run(
+            touchstone_delta().subset(p), p, b0, dt=0.01, steps=5
+        )
+        assert np.allclose(dist.bodies.pos, serial.pos, atol=1e-10)
+        assert np.allclose(dist.bodies.vel, serial.vel, atol=1e-10)
+
+    def test_momentum_conserved_distributed(self):
+        b0 = random_cluster(20, seed=9)
+        dist = distributed_run(touchstone_delta().subset(4), 4, b0, dt=0.01, steps=10)
+        assert np.abs(total_momentum(dist.bodies)).max() < 1e-10
+
+    def test_ring_messages_counted(self):
+        b0 = random_cluster(16, seed=0)
+        run = distributed_run(touchstone_delta().subset(4), 4, b0, dt=0.01, steps=2)
+        # p ranks x (p-1) ring sends x 2 force phases x 2 steps
+        assert run.sim.total_messages == 4 * 3 * 2 * 2
+
+    def test_uneven_blocks(self):
+        b0 = random_cluster(10, seed=4)  # 10 bodies on 3 ranks: 4/3/3
+        serial = serial_run(b0, dt=0.01, steps=3)
+        dist = distributed_run(touchstone_delta().subset(3), 3, b0, dt=0.01, steps=3)
+        assert np.allclose(dist.bodies.pos, serial.pos, atol=1e-10)
+
+    def test_compute_dominates_at_scale(self):
+        """All-pairs is flop-bound: compute time >> comm time for big N."""
+        b0 = random_cluster(128, seed=7)
+        run = distributed_run(touchstone_delta().subset(4), 4, b0, dt=0.01, steps=1)
+        assert run.sim.total_compute_time > run.sim.total_comm_time
+
+    def test_validation(self):
+        b0 = random_cluster(4, seed=0)
+        machine = touchstone_delta().subset(2)
+        with pytest.raises(ConfigurationError):
+            distributed_run(machine, 2, b0, dt=-0.1)
+        with pytest.raises(ConfigurationError):
+            distributed_run(machine, 2, b0, softening=0.0)
+        with pytest.raises(ConfigurationError):
+            distributed_run(touchstone_delta().subset(8), 8, random_cluster(4))
+
+
+@settings(max_examples=6, deadline=None)
+@given(n=st.integers(4, 24), p=st.sampled_from([1, 2, 4]), seed=st.integers(0, 50))
+def test_property_distributed_matches_serial(n, p, seed):
+    b0 = random_cluster(n, seed=seed)
+    serial = serial_run(b0, dt=0.01, steps=2)
+    dist = distributed_run(touchstone_delta().subset(p), p, b0, dt=0.01, steps=2)
+    assert np.allclose(dist.bodies.pos, serial.pos, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(2, 20), seed=st.integers(0, 100), steps=st.integers(1, 10))
+def test_property_momentum_invariant(n, seed, steps):
+    b0 = random_cluster(n, seed=seed)
+    b = serial_run(b0, dt=0.01, steps=steps)
+    assert np.abs(total_momentum(b) - total_momentum(b0)).max() < 1e-10

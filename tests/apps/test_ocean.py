@@ -1,0 +1,161 @@
+"""Shallow-water kernel: conservation laws and distributed identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.ocean import (
+    OceanConfig,
+    OceanState,
+    distributed_run,
+    gaussian_bump,
+    serial_run,
+    serial_step,
+    total_energy,
+    total_mass,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError
+
+
+def small_config(**overrides):
+    defaults = dict(nx=16, ny=16, dt=10.0)
+    defaults.update(overrides)
+    return OceanConfig(**defaults)
+
+
+class TestConfig:
+    def test_wave_speed(self):
+        cfg = small_config()
+        assert cfg.wave_speed == pytest.approx(np.sqrt(9.81 * 100.0))
+
+    def test_cfl_enforced(self):
+        with pytest.raises(ConfigurationError, match="CFL"):
+            OceanConfig(nx=8, ny=8, dt=1000.0)
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OceanConfig(nx=1, ny=8)
+
+    def test_positive_depth_required(self):
+        with pytest.raises(ConfigurationError):
+            OceanConfig(nx=8, ny=8, depth=0.0)
+
+
+class TestSerialPhysics:
+    def test_mass_conserved(self):
+        cfg = small_config()
+        s0 = gaussian_bump(cfg)
+        s = serial_run(s0, cfg, 100)
+        assert total_mass(s, cfg) == pytest.approx(total_mass(s0, cfg), rel=1e-10)
+
+    def test_flat_ocean_at_rest_stays_at_rest(self):
+        cfg = small_config(coriolis=0.0)
+        s0 = OceanState(
+            h=np.zeros((16, 16)), u=np.zeros((16, 16)), v=np.zeros((16, 16))
+        )
+        s = serial_run(s0, cfg, 20)
+        assert np.allclose(s.h, 0) and np.allclose(s.u, 0) and np.allclose(s.v, 0)
+
+    def test_bump_radiates_waves(self):
+        """The initial bump collapses: peak height decreases, velocities
+        appear."""
+        cfg = small_config()
+        s0 = gaussian_bump(cfg)
+        s = serial_run(s0, cfg, 50)
+        assert s.h.max() < s0.h.max()
+        assert np.abs(s.u).max() > 0
+
+    def test_energy_bounded(self):
+        """Forward-backward is neutrally stable: energy stays within a
+        modest factor of its initial value."""
+        cfg = small_config()
+        s0 = gaussian_bump(cfg)
+        e0 = total_energy(s0, cfg)
+        s = serial_run(s0, cfg, 200)
+        assert total_energy(s, cfg) < 1.5 * e0
+
+    def test_solution_finite(self):
+        cfg = small_config()
+        s = serial_run(gaussian_bump(cfg), cfg, 300)
+        assert np.isfinite(s.h).all()
+
+    def test_coriolis_rotates_flow(self):
+        """With rotation, an initially x-directed current develops v."""
+        cfg = small_config(coriolis=1e-3)
+        s0 = OceanState(
+            h=np.zeros((16, 16)),
+            u=np.ones((16, 16)),
+            v=np.zeros((16, 16)),
+        )
+        s = serial_step(s0, cfg)
+        assert np.abs(s.v).max() > 0
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_bit_identical_to_serial(self, p):
+        cfg = small_config()
+        s0 = gaussian_bump(cfg)
+        serial = serial_run(s0, cfg, 10)
+        dist = distributed_run(touchstone_delta().subset(p), p, s0, cfg, 10)
+        assert np.array_equal(dist.state.h, serial.h)
+        assert np.array_equal(dist.state.u, serial.u)
+        assert np.array_equal(dist.state.v, serial.v)
+
+    def test_two_halos_per_step(self):
+        cfg = small_config()
+        run = distributed_run(touchstone_delta().subset(4), 4, gaussian_bump(cfg), cfg, 5)
+        # 4 ranks x (2 h-sends + 2 v-sends) x 5 steps
+        assert run.sim.total_messages == 80
+
+    def test_costlier_than_cfd_per_step(self):
+        """Double halo + more flops: ocean step time exceeds CFD's."""
+        from repro.apps.cfd import CFDConfig, distributed_run as cfd_run, gaussian_blob
+
+        machine = touchstone_delta().subset(4)
+        ocean_t = distributed_run(machine, 4, gaussian_bump(small_config()), small_config(), 5).virtual_time
+        cfd_cfg = CFDConfig(nx=16, ny=16, dt=0.05)
+        cfd_t = cfd_run(machine, 4, gaussian_blob(cfd_cfg), cfd_cfg, 5).virtual_time
+        assert ocean_t > cfd_t
+
+    def test_shape_mismatch_rejected(self):
+        cfg = small_config()
+        bad = OceanState(np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((4, 4)))
+        with pytest.raises(ConfigurationError):
+            distributed_run(touchstone_delta().subset(2), 2, bad, cfg, 1)
+
+    def test_too_many_ranks_rejected(self):
+        cfg = small_config()
+        with pytest.raises(ConfigurationError):
+            distributed_run(touchstone_delta().subset(32), 32, gaussian_bump(cfg), cfg, 1)
+
+
+@settings(max_examples=6, deadline=None)
+@given(p=st.sampled_from([1, 2, 4]), steps=st.integers(1, 6), seed=st.integers(0, 50))
+def test_property_distributed_identity(p, steps, seed):
+    cfg = small_config()
+    rng = np.random.default_rng(seed)
+    s0 = OceanState(
+        h=rng.normal(scale=0.1, size=(16, 16)),
+        u=rng.normal(scale=0.01, size=(16, 16)),
+        v=rng.normal(scale=0.01, size=(16, 16)),
+    )
+    serial = serial_run(s0, cfg, steps)
+    dist = distributed_run(touchstone_delta().subset(p), p, s0, cfg, steps)
+    assert np.array_equal(dist.state.h, serial.h)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100), steps=st.integers(1, 50))
+def test_property_mass_conserved(seed, steps):
+    cfg = small_config()
+    rng = np.random.default_rng(seed)
+    s0 = OceanState(
+        h=rng.normal(scale=0.1, size=(16, 16)),
+        u=np.zeros((16, 16)),
+        v=np.zeros((16, 16)),
+    )
+    s = serial_run(s0, cfg, steps)
+    assert total_mass(s, cfg) == pytest.approx(total_mass(s0, cfg), abs=1e-4)

@@ -1,0 +1,145 @@
+"""Poisson solver: convergence, correctness, method comparison."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.poisson import (
+    PoissonConfig,
+    distributed_solve,
+    point_source,
+    residual_norm,
+    serial_solve,
+    smooth_source,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError, ConvergenceError
+
+
+def small_config():
+    return PoissonConfig(nx=16, ny=16, h=1.0 / 17)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonConfig(nx=2, ny=8)
+        with pytest.raises(ConfigurationError):
+            PoissonConfig(nx=8, ny=8, h=0.0)
+
+    def test_sources(self):
+        cfg = small_config()
+        assert point_source(cfg).sum() != 0
+        assert smooth_source(cfg).max() <= 1.0
+
+
+class TestSerialSolve:
+    def test_jacobi_converges(self):
+        cfg = small_config()
+        result = serial_solve(smooth_source(cfg), cfg, method="jacobi", tol=1e-6)
+        assert result.residual < 1e-6
+
+    def test_redblack_converges_faster(self):
+        """Red-black needs about half the sweeps of Jacobi."""
+        cfg = small_config()
+        f = smooth_source(cfg)
+        jac = serial_solve(f, cfg, method="jacobi", tol=1e-6)
+        rb = serial_solve(f, cfg, method="redblack", tol=1e-6)
+        assert rb.sweeps < 0.7 * jac.sweeps
+
+    def test_matches_analytic_eigenfunction(self):
+        """sin*sin forcing: u = -f / lambda with the discrete eigenvalue."""
+        cfg = small_config()
+        f = smooth_source(cfg)
+        result = serial_solve(f, cfg, method="redblack", tol=1e-10)
+        lam = 2.0 * (2.0 - 2.0 * np.cos(np.pi * cfg.h / (1.0 / 17))) / cfg.h**2
+        # Grid spacing h = 1/17 over 16 interior points: the discrete
+        # eigenvalue of the 5-point operator for mode (1, 1).
+        lam = 4.0 * (np.sin(np.pi / (2 * 17)) ** 2) * 2 / cfg.h**2
+        expected = -f / lam
+        assert np.allclose(result.u, expected, atol=1e-4)
+
+    def test_point_source_negative_well(self):
+        """A positive point source of lap(u)=f digs a negative well."""
+        cfg = small_config()
+        result = serial_solve(point_source(cfg), cfg, method="redblack", tol=1e-6)
+        assert result.u.min() < 0
+        assert abs(result.u.min()) == abs(result.u).max()
+
+    def test_solution_symmetric(self):
+        cfg = small_config()
+        result = serial_solve(smooth_source(cfg), cfg, tol=1e-8)
+        assert np.allclose(result.u, result.u[::-1, :], atol=1e-6)
+        assert np.allclose(result.u, result.u[:, ::-1], atol=1e-6)
+
+    def test_nonconvergence_raises(self):
+        cfg = small_config()
+        with pytest.raises(ConvergenceError):
+            serial_solve(smooth_source(cfg), cfg, tol=1e-12, max_sweeps=5)
+
+    def test_unknown_method(self):
+        cfg = small_config()
+        with pytest.raises(ConfigurationError):
+            serial_solve(smooth_source(cfg), cfg, method="sor")
+
+    def test_residual_norm_of_exact_zero_rhs(self):
+        cfg = small_config()
+        assert residual_norm(np.zeros((16, 16)), np.zeros((16, 16)), cfg.h) == 0.0
+
+
+class TestDistributedSolve:
+    @pytest.mark.parametrize("method", ["jacobi", "redblack"])
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_bit_identical_to_serial(self, method, p):
+        cfg = small_config()
+        f = smooth_source(cfg)
+        serial = serial_solve(f, cfg, method=method, tol=1e-6)
+        dist = distributed_solve(
+            touchstone_delta().subset(p), p, f, cfg, method=method, tol=1e-6
+        )
+        assert np.array_equal(dist.u, serial.u)
+        assert dist.sweeps == serial.sweeps
+
+    def test_redblack_costs_more_halos_per_sweep(self):
+        """Two exchanges per sweep vs one: message count per sweep
+        doubles (plus the periodic residual checks)."""
+        cfg = small_config()
+        f = smooth_source(cfg)
+        machine = touchstone_delta().subset(4)
+        jac = distributed_solve(machine, 4, f, cfg, method="jacobi", tol=1e-6)
+        rb = distributed_solve(machine, 4, f, cfg, method="redblack", tol=1e-6)
+        jac_rate = jac.sim.total_messages / jac.sweeps
+        rb_rate = rb.sim.total_messages / rb.sweeps
+        assert rb_rate > 1.5 * jac_rate
+
+    def test_convergence_error_propagates(self):
+        cfg = small_config()
+        with pytest.raises(ConvergenceError):
+            distributed_solve(
+                touchstone_delta().subset(2), 2, smooth_source(cfg), cfg,
+                tol=1e-12, max_sweeps=5,
+            )
+
+    def test_validation(self):
+        cfg = small_config()
+        machine = touchstone_delta().subset(2)
+        with pytest.raises(ConfigurationError):
+            distributed_solve(machine, 2, np.zeros((4, 4)), cfg)
+        with pytest.raises(ConfigurationError):
+            distributed_solve(machine, 2, smooth_source(cfg), cfg, method="sor")
+        with pytest.raises(ConfigurationError):
+            distributed_solve(
+                touchstone_delta().subset(32), 32, smooth_source(cfg), cfg
+            )
+
+
+@settings(max_examples=5, deadline=None)
+@given(p=st.sampled_from([1, 2, 4]), seed=st.integers(0, 50))
+def test_property_distributed_identity(p, seed):
+    cfg = small_config()
+    rng = np.random.default_rng(seed)
+    f = rng.standard_normal((16, 16))
+    serial = serial_solve(f, cfg, tol=1e-4)
+    dist = distributed_solve(touchstone_delta().subset(p), p, f, cfg, tol=1e-4)
+    assert np.array_equal(dist.u, serial.u)

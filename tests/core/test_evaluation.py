@@ -1,0 +1,134 @@
+"""Scaling studies, machine comparisons, Amdahl fits, reports."""
+
+import pytest
+
+from repro.core import (
+    CFDWorkload,
+    NBodyWorkload,
+    amdahl_summary,
+    compare_machines,
+    comparison_table,
+    scaling_study,
+    scaling_table,
+)
+from repro.machine import cray_ymp, intel_paragon, touchstone_delta
+from repro.util.errors import ConfigurationError
+
+
+def small_cfd():
+    return CFDWorkload(nx=32, ny=32, steps=3)
+
+
+class TestScalingStudy:
+    def test_speedup_baseline_is_one(self):
+        study = scaling_study(small_cfd(), touchstone_delta(), [1, 2, 4])
+        assert study.points[0].speedup == pytest.approx(1.0)
+        assert study.points[0].efficiency == pytest.approx(1.0)
+
+    def test_speedup_increases_for_compute_bound(self):
+        study = scaling_study(
+            NBodyWorkload(n_bodies=96, steps=1), touchstone_delta(), [1, 2, 4, 8]
+        )
+        speedups = [pt.speedup for pt in study.points]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 3.0
+
+    def test_efficiency_nonincreasing_overall(self):
+        study = scaling_study(small_cfd(), touchstone_delta(), [1, 4, 16])
+        effs = [pt.efficiency for pt in study.points]
+        assert effs[-1] <= effs[0] + 1e-9
+
+    def test_points_sorted_and_deduped(self):
+        study = scaling_study(small_cfd(), touchstone_delta(), [4, 1, 4, 2])
+        assert [pt.n_ranks for pt in study.points] == [1, 2, 4]
+
+    def test_amdahl_fraction_in_range(self):
+        study = scaling_study(small_cfd(), touchstone_delta(), [1, 2, 4, 8])
+        f = study.amdahl_serial_fraction()
+        assert 0.0 <= f <= 1.0
+
+    def test_amdahl_single_point(self):
+        study = scaling_study(small_cfd(), touchstone_delta(), [1])
+        assert study.amdahl_serial_fraction() == 0.0
+
+    def test_best_speedup(self):
+        study = scaling_study(
+            NBodyWorkload(n_bodies=64, steps=1), touchstone_delta(), [1, 2, 8]
+        )
+        assert study.best_speedup().n_ranks == 8
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaling_study(small_cfd(), touchstone_delta(), [])
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaling_study(small_cfd(), touchstone_delta(), [0, 2])
+
+
+class TestCompareMachines:
+    def test_paragon_wins_halo_workload(self):
+        """The faster-mesh successor beats the Delta; both beat nothing:
+        the Y-MP's 16 huge CPUs win at this tiny scale (its vector nodes
+        are ~5x faster and the grid is small) -- the 1992 crossover
+        argument in miniature."""
+        cmp = compare_machines(
+            small_cfd(),
+            [touchstone_delta(), intel_paragon()],
+            8,
+        )
+        by_name = {r.machine: r.virtual_time for r in cmp.results}
+        assert by_name["Intel Paragon XP/S"] < by_name["Intel Touchstone Delta"]
+
+    def test_winner(self):
+        cmp = compare_machines(
+            small_cfd(), [touchstone_delta(), intel_paragon()], 4
+        )
+        assert cmp.winner().machine == "Intel Paragon XP/S"
+
+    def test_speedup_over_baseline(self):
+        cmp = compare_machines(
+            small_cfd(), [touchstone_delta(), intel_paragon()], 4
+        )
+        speedups = cmp.speedup_over("Intel Touchstone Delta")
+        assert speedups["Intel Touchstone Delta"] == pytest.approx(1.0)
+        assert speedups["Intel Paragon XP/S"] > 1.0
+
+    def test_unknown_baseline(self):
+        cmp = compare_machines(small_cfd(), [touchstone_delta()], 4)
+        with pytest.raises(ConfigurationError):
+            cmp.speedup_over("ENIAC")
+
+    def test_empty_machines(self):
+        with pytest.raises(ConfigurationError):
+            compare_machines(small_cfd(), [], 4)
+
+    def test_ymp_competitive_at_small_scale(self):
+        """16 vector CPUs vs 16 i860s: the vector machine wins -- MPPs
+        only pay off at large node counts, which is the whole program
+        thesis."""
+        cmp = compare_machines(
+            small_cfd(), [touchstone_delta(), cray_ymp()], 16
+        )
+        by_name = {r.machine: r.virtual_time for r in cmp.results}
+        assert by_name["Cray Y-MP C90"] < by_name["Intel Touchstone Delta"]
+
+
+class TestReports:
+    def test_scaling_table(self):
+        study = scaling_study(small_cfd(), touchstone_delta(), [1, 2, 4])
+        text = scaling_table(study)
+        assert "Speedup" in text and "Ranks" in text
+        assert "Touchstone Delta" in text
+
+    def test_comparison_table(self):
+        cmp = compare_machines(
+            small_cfd(), [touchstone_delta(), intel_paragon()], 4
+        )
+        text = comparison_table(cmp)
+        assert "Slowdown" in text
+
+    def test_amdahl_summary(self):
+        study = scaling_study(small_cfd(), touchstone_delta(), [1, 2, 4])
+        text = amdahl_summary(study)
+        assert "serial fraction" in text

@@ -1,0 +1,123 @@
+"""Speedup laws and cross-checks against the simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NBodyWorkload,
+    amdahl_limit,
+    amdahl_speedup,
+    efficiency,
+    gustafson_speedup,
+    isoefficiency_problem_growth,
+    karp_flatt,
+    scaling_study,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError
+
+
+class TestAmdahl:
+    def test_no_serial_is_linear(self):
+        assert amdahl_speedup(0.0, 16) == pytest.approx(16.0)
+
+    def test_all_serial_is_one(self):
+        assert amdahl_speedup(1.0, 1000) == pytest.approx(1.0)
+
+    def test_classic_five_percent(self):
+        assert amdahl_speedup(0.05, 16) == pytest.approx(9.14, abs=0.01)
+
+    def test_limit(self):
+        assert amdahl_limit(0.05) == pytest.approx(20.0)
+        assert amdahl_limit(0.0) == float("inf")
+
+    def test_limit_is_supremum(self):
+        assert amdahl_speedup(0.1, 10_000) < amdahl_limit(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(-0.1, 4)
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(0.5, 0)
+
+
+class TestGustafson:
+    def test_no_serial_is_linear(self):
+        assert gustafson_speedup(0.0, 512) == pytest.approx(512.0)
+
+    def test_scaled_beats_fixed(self):
+        """The program's methodological argument: at 5% serial and 512
+        nodes, scaled speedup is ~487 vs Amdahl's ~20 ceiling."""
+        f, p = 0.05, 512
+        assert gustafson_speedup(f, p) > 20 * amdahl_speedup(f, p)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            gustafson_speedup(1.1, 4)
+
+
+class TestKarpFlatt:
+    def test_recovers_amdahl_fraction(self):
+        """Feeding Amdahl's own speedup back recovers f exactly."""
+        f, p = 0.07, 32
+        s = amdahl_speedup(f, p)
+        assert karp_flatt(s, p) == pytest.approx(f)
+
+    def test_undefined_at_one_rank(self):
+        with pytest.raises(ConfigurationError):
+            karp_flatt(1.0, 1)
+
+    def test_bad_speedup(self):
+        with pytest.raises(ConfigurationError):
+            karp_flatt(0.0, 4)
+
+    def test_rising_e_flags_overhead(self):
+        """On a measured latency-bound study, Karp-Flatt's e grows with
+        p -- the overhead diagnostic working as intended."""
+        study = scaling_study(
+            NBodyWorkload(n_bodies=64, steps=1), touchstone_delta(), [1, 4, 16]
+        )
+        e4 = karp_flatt(study.points[1].speedup, 4)
+        e16 = karp_flatt(study.points[2].speedup, 16)
+        assert e16 > e4
+
+
+class TestEfficiencyAndIso:
+    def test_efficiency(self):
+        assert efficiency(8.0, 16) == pytest.approx(0.5)
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ConfigurationError):
+            efficiency(-1.0, 4)
+        with pytest.raises(ConfigurationError):
+            efficiency(1.0, 0)
+
+    def test_isoefficiency_threshold(self):
+        sizes = [100, 400, 1600]
+        effs = [0.4, 0.7, 0.95]
+        assert isoefficiency_problem_growth(effs, sizes, 0.7) == 400
+
+    def test_isoefficiency_unreachable(self):
+        assert isoefficiency_problem_growth([0.5], [100], 0.9) == float("inf")
+
+    def test_isoefficiency_validation(self):
+        with pytest.raises(ConfigurationError):
+            isoefficiency_problem_growth([0.5], [1, 2], 0.7)
+        with pytest.raises(ConfigurationError):
+            isoefficiency_problem_growth([0.5], [100], 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(f=st.floats(0.0, 1.0), p=st.integers(1, 1024))
+def test_property_amdahl_bounds(f, p):
+    s = amdahl_speedup(f, p)
+    assert 1.0 <= s + 1e-12
+    assert s <= p + 1e-9
+    assert s <= amdahl_limit(f) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(f=st.floats(0.0, 1.0), p=st.integers(1, 1024))
+def test_property_gustafson_dominates_amdahl(f, p):
+    assert gustafson_speedup(f, p) >= amdahl_speedup(f, p) - 1e-9

@@ -1,0 +1,152 @@
+"""ASCII charts, the I/O subsystem model, and the goals exhibit."""
+
+import pytest
+
+from repro.core import (
+    CFDWorkload,
+    CheckpointPlan,
+    ascii_chart,
+    scaling_study,
+    speedup_chart,
+)
+from repro.machine import IOSubsystem, delta_cfs, paragon_pfs, touchstone_delta
+from repro.program import (
+    APPROACH,
+    APPROACH_IMPLEMENTATION,
+    HPC_ACT_QUOTE,
+    PROGRAM_GOALS,
+    validate_goals,
+)
+from repro.program.goals import render as render_goals
+from repro.util.errors import ConfigurationError
+
+
+class TestAsciiChart:
+    def test_dimensions(self):
+        text = ascii_chart([1, 2, 3], [1, 4, 9], width=30, height=8)
+        body = [l for l in text.split("\n") if "|" in l]
+        assert len(body) == 8
+        assert all(len(l.split("|")[1]) <= 30 for l in body)
+
+    def test_markers_present(self):
+        text = ascii_chart([1, 2, 3], [1, 4, 9], marker="#")
+        assert text.count("#") == 3
+
+    def test_title_and_labels(self):
+        text = ascii_chart([0, 10], [0, 5], title="T", y_label="things")
+        assert text.startswith("T")
+        assert "(things)" in text
+
+    def test_monotone_mapping(self):
+        """Higher y lands on a higher row."""
+        text = ascii_chart([1, 2], [0, 10], width=20, height=10, marker="*")
+        rows = [i for i, l in enumerate(text.split("\n")) if "*" in l]
+        first_col = text.split("\n")[rows[0]].index("*")
+        second_col = text.split("\n")[rows[1]].index("*")
+        assert rows[0] < rows[1]       # y=10 drawn above y=0
+        assert first_col > second_col  # x=2 drawn right of x=1
+
+    def test_constant_series_ok(self):
+        text = ascii_chart([1, 2, 3], [5, 5, 5])
+        assert text.count("*") == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], [1, 2])
+        with pytest.raises(ConfigurationError):
+            ascii_chart([], [])
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], [1], width=4)
+
+
+class TestSpeedupChart:
+    def test_contains_measured_and_ideal(self):
+        study = scaling_study(
+            CFDWorkload(nx=32, ny=32, steps=2), touchstone_delta(), [1, 2, 4]
+        )
+        text = speedup_chart(study)
+        assert "*" in text and "." in text
+        assert "cfd-32x32" in text
+
+
+class TestIOSubsystem:
+    def test_aggregate_bandwidth(self):
+        io = IOSubsystem(n_io_nodes=4, per_node_bandwidth_bytes_per_s=1e6,
+                         striping_efficiency=0.5)
+        assert io.aggregate_bandwidth_bytes_per_s == pytest.approx(2e6)
+
+    def test_write_time(self):
+        io = IOSubsystem(2, 1e6, startup_s=1.0, striping_efficiency=1.0)
+        assert io.write_time(2e6) == pytest.approx(2.0)
+        assert io.read_time(0) == pytest.approx(1.0)
+
+    def test_delta_cfs_order_of_magnitude(self):
+        """~10 MB/s aggregate, the published CFS figure."""
+        agg = delta_cfs().aggregate_bandwidth_bytes_per_s
+        assert 5e6 < agg < 15e6
+
+    def test_paragon_pfs_much_faster(self):
+        assert (
+            paragon_pfs().aggregate_bandwidth_bytes_per_s
+            > 10 * delta_cfs().aggregate_bandwidth_bytes_per_s
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IOSubsystem(0, 1e6)
+        with pytest.raises(ConfigurationError):
+            IOSubsystem(1, 0)
+        with pytest.raises(ConfigurationError):
+            IOSubsystem(1, 1e6, striping_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            IOSubsystem(1, 1e6).write_time(-1)
+
+
+class TestPlanForMachine:
+    def test_delta_with_cfs(self):
+        plan = CheckpointPlan.for_machine(
+            touchstone_delta(), delta_cfs(), work_s=7 * 86400
+        )
+        assert plan.n_nodes == 528
+        assert plan.state_bytes == pytest.approx(
+            0.5 * touchstone_delta().total_memory_bytes
+        )
+        assert plan.overhead_fraction > 0.2
+
+    def test_better_io_helps(self):
+        slow = CheckpointPlan.for_machine(
+            touchstone_delta(), delta_cfs(), work_s=7 * 86400
+        )
+        fast = CheckpointPlan.for_machine(
+            touchstone_delta(), paragon_pfs(), work_s=7 * 86400
+        )
+        assert fast.overhead_fraction < slow.overhead_fraction
+
+    def test_state_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPlan.for_machine(
+                touchstone_delta(), delta_cfs(), work_s=1.0, state_fraction=0.0
+            )
+
+
+class TestGoals:
+    def test_validates(self):
+        validate_goals()
+
+    def test_three_goals(self):
+        assert len(PROGRAM_GOALS) == 3
+        assert any("leadership" in g.lower() for g in PROGRAM_GOALS)
+        assert any("competitiveness" in g.lower() for g in PROGRAM_GOALS)
+
+    def test_act_quote_content(self):
+        assert "telephone, air travel" in HPC_ACT_QUOTE
+
+    def test_approach_lines_mapped(self):
+        assert len(APPROACH) == 4
+        assert {m.approach for m in APPROACH_IMPLEMENTATION} == set(APPROACH)
+
+    def test_render(self):
+        text = render_goals()
+        assert "FEDERAL PROGRAM GOAL" in text
+        assert "P.L. 102-194" in text
+        assert "repro.core" in text

@@ -1,0 +1,140 @@
+"""Checkpoint/restart economics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CheckpointPlan,
+    checkpoint_cost,
+    expected_runtime,
+    system_mtbf,
+    young_interval,
+)
+from repro.util.errors import ConfigurationError
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+class TestPrimitives:
+    def test_system_mtbf_scales_inversely(self):
+        assert system_mtbf(512 * HOUR, 512) == pytest.approx(HOUR)
+
+    def test_checkpoint_cost(self):
+        assert checkpoint_cost(4e9, 10e6) == pytest.approx(400.0)
+
+    def test_young_interval(self):
+        assert young_interval(400.0, HOUR) == pytest.approx(
+            math.sqrt(2 * 400 * HOUR)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            system_mtbf(0, 4)
+        with pytest.raises(ConfigurationError):
+            system_mtbf(HOUR, 0)
+        with pytest.raises(ConfigurationError):
+            checkpoint_cost(-1, 1)
+        with pytest.raises(ConfigurationError):
+            checkpoint_cost(1, 0)
+        with pytest.raises(ConfigurationError):
+            young_interval(0, HOUR)
+
+
+class TestExpectedRuntime:
+    def test_reliable_machine_pays_only_checkpoints(self):
+        """With MTBF effectively infinite, overhead = C / tau."""
+        t = expected_runtime(HOUR, interval_s=600, cost_s=60, mtbf_s=1e15)
+        assert t == pytest.approx(HOUR * (660 / 600))
+
+    def test_failures_inflate_runtime(self):
+        reliable = expected_runtime(HOUR, 600, 60, mtbf_s=1e15)
+        flaky = expected_runtime(HOUR, 600, 60, mtbf_s=2 * HOUR)
+        assert flaky > reliable
+
+    def test_young_interval_near_optimal(self):
+        """Young's tau beats much-shorter and much-longer intervals, and
+        sits within a few percent of this model's scanned optimum (the
+        closed form assumes tau << MTBF; ours keeps the full term)."""
+        cost, mtbf, work = 400.0, HOUR, DAY
+        tau = young_interval(cost, mtbf)
+        at_tau = expected_runtime(work, tau, cost, mtbf)
+        assert at_tau < expected_runtime(work, tau / 8, cost, mtbf)
+        assert at_tau < expected_runtime(work, tau * 2, cost, mtbf)
+        scanned = min(
+            expected_runtime(work, tau * f, cost, mtbf)
+            for f in (0.5, 0.7, 0.9, 1.0, 1.2, 1.5)
+        )
+        assert at_tau <= scanned * 1.05
+
+    def test_death_spiral_detected(self):
+        """Interval longer than recovery capacity raises."""
+        with pytest.raises(ConfigurationError):
+            expected_runtime(HOUR, interval_s=3 * HOUR, cost_s=60, mtbf_s=HOUR)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_runtime(-1, 600, 60, HOUR)
+        with pytest.raises(ConfigurationError):
+            expected_runtime(HOUR, 0, 60, HOUR)
+        with pytest.raises(ConfigurationError):
+            expected_runtime(HOUR, 600, -1, HOUR)
+
+
+class TestCheckpointPlan:
+    def plan(self, **overrides):
+        defaults = dict(
+            work_s=7 * DAY,
+            state_bytes=4e9,
+            io_bandwidth_bytes_per_s=10e6,
+            node_mtbf_s=30 * DAY,
+            n_nodes=512,
+        )
+        defaults.update(overrides)
+        return CheckpointPlan(**defaults)
+
+    def test_delta_scale_overhead_is_material(self):
+        """A week of work on 512 month-MTBF nodes: checkpointing costs
+        tens of percent -- why I/O bandwidth mattered."""
+        plan = self.plan()
+        assert 0.2 < plan.overhead_fraction < 1.0
+
+    def test_faster_io_cuts_overhead(self):
+        slow = self.plan()
+        fast = self.plan(io_bandwidth_bytes_per_s=100e6)
+        assert fast.overhead_fraction < slow.overhead_fraction
+
+    def test_fewer_nodes_lower_overhead(self):
+        big = self.plan()
+        small = self.plan(n_nodes=64)
+        assert small.overhead_fraction < big.overhead_fraction
+
+    def test_no_checkpoint_infeasible_at_scale(self):
+        assert not self.plan().naive_no_checkpoint_feasible()
+
+    def test_no_checkpoint_fine_for_short_jobs(self):
+        assert self.plan(work_s=600, n_nodes=16).naive_no_checkpoint_feasible()
+
+    def test_zero_work(self):
+        assert self.plan(work_s=0).overhead_fraction == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cost=st.floats(1.0, 1000.0),
+    mtbf=st.floats(600.0, 1e6),
+)
+def test_property_young_interval_near_optimal(cost, mtbf):
+    """Young's closed form stays within 10% of a scanned optimum of the
+    full runtime model wherever the model is valid."""
+    tau = young_interval(cost, mtbf)
+    factors = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0)
+    if any(tau * f / 2 >= mtbf for f in factors):
+        return  # outside the model's validity; skip
+    work = 10 * tau
+    at = expected_runtime(work, tau, cost, mtbf)
+    scanned = min(expected_runtime(work, tau * f, cost, mtbf) for f in factors)
+    assert at <= scanned * 1.10

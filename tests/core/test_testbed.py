@@ -1,0 +1,85 @@
+"""Testbed campaigns: machine + network end-to-end accounting."""
+
+import pytest
+
+from repro.core import CFDWorkload, Testbed
+from repro.machine import touchstone_delta
+from repro.network import DELTA_SITE, delta_consortium
+from repro.util.errors import ConfigurationError, NetworkError
+
+
+def small_cfd():
+    return CFDWorkload(nx=16, ny=16, steps=2)
+
+
+class TestConstruction:
+    def test_flagship_builder(self):
+        tb = Testbed.delta_at_caltech()
+        assert tb.machine.n_nodes == 528
+        assert tb.home_site == DELTA_SITE
+
+    def test_machine_only(self):
+        tb = Testbed(touchstone_delta())
+        assert tb.network is None
+
+    def test_network_requires_site(self):
+        with pytest.raises(ConfigurationError):
+            Testbed(touchstone_delta(), delta_consortium(), None)
+
+    def test_unknown_home_site(self):
+        with pytest.raises(Exception):
+            Testbed(touchstone_delta(), delta_consortium(), "Atlantis")
+
+
+class TestCampaigns:
+    def test_local_user_no_transfer(self):
+        tb = Testbed.delta_at_caltech()
+        result = tb.campaign(small_cfd(), 4, result_bytes=1e9)
+        assert result.transfer is None
+        assert result.end_to_end_s == result.run.virtual_time
+        assert result.network_fraction == 0.0
+
+    def test_home_site_user_is_local(self):
+        tb = Testbed.delta_at_caltech()
+        result = tb.campaign(small_cfd(), 4, user_site=DELTA_SITE, result_bytes=1e9)
+        assert result.transfer is None
+
+    def test_remote_user_pays_transfer(self):
+        tb = Testbed.delta_at_caltech()
+        result = tb.campaign(
+            small_cfd(), 4, user_site="CRPC (Rice)", result_bytes=1e8
+        )
+        assert result.transfer is not None
+        assert result.end_to_end_s > result.run.virtual_time
+        assert 0.0 < result.network_fraction < 1.0
+
+    def test_network_dominates_slow_links(self):
+        """A large dataset to a T1 partner: the WAN is the bottleneck --
+        the NREN motivation in one number."""
+        tb = Testbed.delta_at_caltech()
+        result = tb.campaign(
+            small_cfd(), 4, user_site="DOE laboratories", result_bytes=1e9
+        )
+        assert result.network_fraction > 0.99
+
+    def test_remote_user_without_network(self):
+        tb = Testbed(touchstone_delta())
+        with pytest.raises(NetworkError):
+            tb.campaign(small_cfd(), 4, user_site="JPL", result_bytes=1.0)
+
+    def test_negative_result_bytes(self):
+        tb = Testbed.delta_at_caltech()
+        with pytest.raises(ConfigurationError):
+            tb.campaign(small_cfd(), 4, result_bytes=-1.0)
+
+    def test_hippi_partner_orders_faster_than_t1(self):
+        """Same 100 MB result: the 800 Mbps CASA partner gets it in
+        seconds, the T1 partner waits minutes -- the gigabit-testbed
+        argument end to end."""
+        tb = Testbed.delta_at_caltech()
+        jpl = tb.campaign(small_cfd(), 4, user_site="JPL", result_bytes=1e8)
+        doe = tb.campaign(
+            small_cfd(), 4, user_site="DOE laboratories", result_bytes=1e8
+        )
+        assert jpl.end_to_end_s < 5.0
+        assert doe.end_to_end_s > 100 * jpl.end_to_end_s

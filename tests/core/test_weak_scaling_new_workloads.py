@@ -1,0 +1,102 @@
+"""Weak scaling studies and the Poisson/LINPACK workloads."""
+
+import pytest
+
+from repro.core import (
+    CFDWorkload,
+    LinpackWorkload,
+    NBodyWorkload,
+    PoissonWorkload,
+    WORKLOADS,
+    weak_scaling_study,
+    weak_scaling_table,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError
+
+MACHINE = touchstone_delta()
+
+
+class TestNewWorkloads:
+    def test_poisson_runs(self):
+        result = PoissonWorkload(nx=16, ny=16).run(MACHINE.subset(4), 4)
+        assert result.virtual_time > 0
+        assert result.total_messages > 0
+
+    def test_poisson_method_in_name(self):
+        assert "redblack" in PoissonWorkload(method="redblack").name
+
+    def test_poisson_bad_method(self):
+        with pytest.raises(ConfigurationError):
+            PoissonWorkload(method="sor")
+
+    def test_redblack_fewer_sweeps_more_halos(self):
+        """Red-black trades convergence for per-sweep communication."""
+        machine = MACHINE.subset(4)
+        jac = PoissonWorkload(nx=16, ny=16, method="jacobi").run(machine, 4)
+        rb = PoissonWorkload(nx=16, ny=16, method="redblack").run(machine, 4)
+        # Faster convergence => less total compute.
+        assert rb.compute_time < jac.compute_time
+
+    def test_linpack_runs_and_is_latency_bound(self):
+        result = LinpackWorkload(n=32).run(MACHINE.subset(4), 4)
+        assert result.comm_fraction > 0.5
+
+    def test_linpack_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            LinpackWorkload(n=0)
+
+    def test_registry_updated(self):
+        assert "poisson" in WORKLOADS and "linpack" in WORKLOADS
+        assert "md" in WORKLOADS
+        assert len(WORKLOADS) == 9
+
+
+class TestWeakScaling:
+    def test_cfd_holds_efficiency(self):
+        study = weak_scaling_study(
+            lambda p: CFDWorkload(nx=64, ny=64 * p, steps=2), MACHINE, [1, 2, 4, 8]
+        )
+        assert study.final_efficiency() > 0.85
+
+    def test_base_point_is_one(self):
+        study = weak_scaling_study(
+            lambda p: CFDWorkload(nx=32, ny=32 * p, steps=2), MACHINE, [1, 2]
+        )
+        assert study.points[0].efficiency == pytest.approx(1.0)
+
+    def test_weak_beats_strong_for_cfd(self):
+        from repro.core import scaling_study
+
+        strong = scaling_study(CFDWorkload(nx=64, ny=64, steps=2), MACHINE, [1, 16])
+        weak = weak_scaling_study(
+            lambda p: CFDWorkload(nx=64, ny=64 * p, steps=2), MACHINE, [1, 16]
+        )
+        assert weak.final_efficiency() > strong.points[-1].efficiency
+
+    def test_nbody_weak_scaling(self):
+        """O(N^2) work: doubling bodies with ranks doubles per-rank work,
+        so weak efficiency exceeds 1 is impossible but stays high when
+        per-rank work is held via sqrt scaling is not attempted here --
+        linear-N scaling halves efficiency per doubling instead."""
+        study = weak_scaling_study(
+            lambda p: NBodyWorkload(n_bodies=32 * p, steps=1), MACHINE, [1, 2, 4]
+        )
+        # Work per rank grows ~p for all-pairs, so times grow: eff < 1.
+        assert study.final_efficiency() < 0.8
+
+    def test_empty_counts(self):
+        with pytest.raises(ConfigurationError):
+            weak_scaling_study(lambda p: CFDWorkload(), MACHINE, [])
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            weak_scaling_study(lambda p: CFDWorkload(), MACHINE, [0])
+
+    def test_table_renders(self):
+        study = weak_scaling_study(
+            lambda p: CFDWorkload(nx=32, ny=32 * p, steps=2), MACHINE, [1, 2]
+        )
+        text = weak_scaling_table(study)
+        assert "Weak eff." in text
+        assert "cfd-32x32" in text

@@ -1,0 +1,96 @@
+"""Workload descriptors: uniform metrics, decomposition limits."""
+
+import pytest
+
+from repro.core import (
+    WORKLOADS,
+    CFDWorkload,
+    CGWorkload,
+    FFTWorkload,
+    LUWorkload,
+    NBodyWorkload,
+    OceanWorkload,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConfigurationError
+
+MACHINE4 = touchstone_delta().subset(4)
+
+
+class TestUniformInterface:
+    @pytest.mark.parametrize("factory", [
+        lambda: CFDWorkload(nx=16, ny=16, steps=2),
+        lambda: OceanWorkload(nx=16, ny=16, steps=2),
+        lambda: NBodyWorkload(n_bodies=16, steps=1),
+        lambda: LUWorkload(n=16),
+        lambda: FFTWorkload(n=256),
+        lambda: CGWorkload(n=16),
+    ])
+    def test_runs_and_reports(self, factory):
+        workload = factory()
+        result = workload.run(MACHINE4, 4, seed=1)
+        assert result.n_ranks == 4
+        assert result.virtual_time > 0
+        assert result.total_messages > 0
+        assert result.compute_time > 0
+        assert 0.0 <= result.comm_fraction <= 1.0
+        assert result.workload == workload.name
+
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {
+            "cfd", "ocean", "nbody", "lu", "fft", "cg", "poisson", "linpack",
+            "md",
+        }
+        for factory in WORKLOADS.values():
+            assert factory().name
+
+    def test_single_rank_runs(self):
+        result = CFDWorkload(nx=8, ny=8, steps=1).run(
+            touchstone_delta().subset(1), 1
+        )
+        assert result.total_messages == 0
+
+
+class TestLimits:
+    def test_cfd_rank_limit_is_rows(self):
+        assert CFDWorkload(nx=8, ny=8, steps=1).max_ranks() == 8
+
+    def test_nbody_rank_limit_is_bodies(self):
+        assert NBodyWorkload(n_bodies=6, steps=1).max_ranks() == 6
+
+    def test_exceeding_limit_raises(self):
+        workload = CFDWorkload(nx=8, ny=8, steps=1)
+        machine = touchstone_delta().subset(16)
+        with pytest.raises(ConfigurationError):
+            workload.run(machine, 16)
+
+    def test_exceeding_machine_raises(self):
+        workload = CFDWorkload(nx=64, ny=64, steps=1)
+        with pytest.raises(ConfigurationError):
+            workload.run(MACHINE4, 8)
+
+    def test_fft_rank_divisibility(self):
+        workload = FFTWorkload(n=256)  # factors 16 x 16
+        machine = touchstone_delta().subset(3)
+        with pytest.raises(ConfigurationError):
+            workload.run(machine, 3)
+
+    def test_fft_requires_pow2(self):
+        with pytest.raises(ConfigurationError):
+            FFTWorkload(n=100)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            NBodyWorkload(n_bodies=0)
+        with pytest.raises(ConfigurationError):
+            LUWorkload(n=0)
+        with pytest.raises(ConfigurationError):
+            CGWorkload(n=1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self):
+        w = NBodyWorkload(n_bodies=12, steps=1)
+        a = w.run(MACHINE4, 4, seed=7)
+        b = w.run(MACHINE4, 4, seed=7)
+        assert a == b

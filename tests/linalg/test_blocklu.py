@@ -1,0 +1,133 @@
+"""LU: serial reference vs SciPy, distributed vs serial, solve, timing."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    apply_pivots,
+    distributed_lu,
+    lu_flops,
+    lu_solve,
+    make_test_matrix,
+    residual_norm,
+    serial_lu,
+    split_lu,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import DecompositionError
+
+
+class TestSerialLU:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 16, 40])
+    def test_factorisation_residual(self, n):
+        a = make_test_matrix(n, seed=n)
+        lu, piv = serial_lu(a)
+        assert residual_norm(a, lu, piv) < 1e-12
+
+    def test_matches_scipy_factors(self):
+        a = make_test_matrix(20, seed=7)
+        lu, piv = serial_lu(a)
+        lu_sp, piv_sp = scipy.linalg.lu_factor(a)
+        assert np.allclose(lu, lu_sp)
+        assert np.array_equal(piv, piv_sp)
+
+    def test_pivoting_engages(self):
+        """A matrix needing row swaps factors correctly."""
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        lu, piv = serial_lu(a)
+        assert piv[0] == 1
+        assert residual_norm(a, lu, piv) < 1e-15
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DecompositionError):
+            serial_lu(np.zeros((3, 4)))
+
+    def test_split_lu(self):
+        a = make_test_matrix(6, seed=2)
+        lu, piv = serial_lu(a)
+        lower, upper = split_lu(lu)
+        assert np.allclose(np.diag(lower), 1.0)
+        assert np.allclose(np.tril(upper, -1), 0.0)
+        assert np.allclose(lower @ upper, apply_pivots(a, piv))
+
+    def test_input_not_mutated(self):
+        a = make_test_matrix(5, seed=1)
+        a0 = a.copy()
+        serial_lu(a)
+        assert np.array_equal(a, a0)
+
+
+class TestLuSolve:
+    @pytest.mark.parametrize("n", [1, 4, 25])
+    def test_solves_system(self, n):
+        a = make_test_matrix(n, seed=n + 100)
+        x_true = np.linspace(-1, 1, n)
+        b = a @ x_true
+        lu, piv = serial_lu(a)
+        x = lu_solve(lu, piv, b)
+        assert np.allclose(x, x_true, atol=1e-9)
+
+    def test_matches_numpy_solve(self):
+        a = make_test_matrix(12, seed=3)
+        b = np.arange(12.0)
+        lu, piv = serial_lu(a)
+        assert np.allclose(lu_solve(lu, piv, b), np.linalg.solve(a, b))
+
+
+class TestDistributedLU:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+    @pytest.mark.parametrize("n", [1, 2, 5, 12, 24])
+    def test_bit_identical_to_serial(self, p, n):
+        a = make_test_matrix(n, seed=n * 10 + p)
+        machine = touchstone_delta().subset(p)
+        result = distributed_lu(machine, p, a)
+        lu_ref, piv_ref = serial_lu(a)
+        assert np.array_equal(result.lu, lu_ref)
+        assert np.array_equal(result.piv, piv_ref)
+
+    def test_pivoting_in_distributed(self):
+        a = np.array([[0.0, 2.0, 1.0], [1.0, 0.0, 0.0], [3.0, 1.0, 1.0]])
+        machine = touchstone_delta().subset(3)
+        result = distributed_lu(machine, 3, a)
+        assert residual_norm(a, result.lu, result.piv) < 1e-14
+
+    def test_virtual_time_positive(self):
+        a = make_test_matrix(16, seed=0)
+        result = distributed_lu(touchstone_delta().subset(4), 4, a)
+        assert result.virtual_time > 0
+
+    def test_more_ranks_reduce_compute_imbalance(self):
+        """Cyclic layout: every rank does some update work."""
+        a = make_test_matrix(24, seed=5)
+        result = distributed_lu(touchstone_delta().subset(4), 4, a)
+        computes = [s.compute_time for s in result.sim.stats]
+        assert min(computes) > 0
+
+    def test_gflops_reporting(self):
+        a = make_test_matrix(16, seed=0)
+        result = distributed_lu(touchstone_delta().subset(4), 4, a)
+        assert result.gflops() == pytest.approx(
+            lu_flops(16) / result.sim.time / 1e9
+        )
+
+
+class TestLuFlops:
+    def test_leading_term(self):
+        assert lu_flops(1000) == pytest.approx(2e9 / 3, rel=0.01)
+
+    def test_small(self):
+        assert lu_flops(1) == pytest.approx(2.0 / 3.0 + 1.5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(2, 16), p=st.integers(1, 5), seed=st.integers(0, 1000))
+def test_property_distributed_matches_serial(n, p, seed):
+    a = make_test_matrix(n, seed=seed)
+    machine = touchstone_delta().subset(p)
+    result = distributed_lu(machine, p, a)
+    lu_ref, piv_ref = serial_lu(a)
+    assert np.array_equal(result.lu, lu_ref)
+    assert np.array_equal(result.piv, piv_ref)

@@ -1,0 +1,188 @@
+"""Decomposition partition laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.decomp import (
+    ProcessGrid2D,
+    block_cyclic_indices,
+    block_cyclic_owner,
+    block_owner,
+    block_range,
+    block_ranges,
+    cyclic_indices,
+    cyclic_local_index,
+    cyclic_owner,
+    near_square_grid,
+)
+from repro.util.errors import DecompositionError
+
+
+class TestBlockRanges:
+    def test_exact_division(self):
+        assert block_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        assert block_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_ranks_than_elements(self):
+        ranges = block_ranges(2, 4)
+        assert ranges == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_zero_elements(self):
+        assert block_ranges(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_single_rank(self):
+        assert block_ranges(7, 1) == [(0, 7)]
+
+    def test_invalid(self):
+        with pytest.raises(DecompositionError):
+            block_ranges(-1, 2)
+        with pytest.raises(DecompositionError):
+            block_ranges(4, 0)
+
+    def test_block_range_accessor(self):
+        assert block_range(10, 3, 1) == (4, 7)
+        with pytest.raises(DecompositionError):
+            block_range(10, 3, 3)
+
+    def test_block_owner(self):
+        for i in range(10):
+            lo, hi = block_range(10, 3, block_owner(10, 3, i))
+            assert lo <= i < hi
+
+    def test_block_owner_out_of_range(self):
+        with pytest.raises(DecompositionError):
+            block_owner(10, 3, 10)
+
+
+class TestCyclic:
+    def test_indices(self):
+        assert list(cyclic_indices(10, 3, 0)) == [0, 3, 6, 9]
+        assert list(cyclic_indices(10, 3, 2)) == [2, 5, 8]
+
+    def test_owner_roundtrip(self):
+        for i in range(20):
+            rank = cyclic_owner(i, 4)
+            assert i in cyclic_indices(20, 4, rank)
+
+    def test_local_index(self):
+        assert cyclic_local_index(7, 3) == 2
+        idx = cyclic_indices(20, 3, 1)
+        for local, g in enumerate(idx):
+            assert cyclic_local_index(int(g), 3) == local
+
+    def test_invalid(self):
+        with pytest.raises(DecompositionError):
+            cyclic_indices(5, 2, 2)
+        with pytest.raises(DecompositionError):
+            cyclic_owner(-1, 2)
+
+
+class TestBlockCyclic:
+    def test_block_of_two(self):
+        assert list(block_cyclic_indices(8, 2, 0, 2)) == [0, 1, 4, 5]
+        assert list(block_cyclic_indices(8, 2, 1, 2)) == [2, 3, 6, 7]
+
+    def test_block_one_equals_cyclic(self):
+        assert np.array_equal(
+            block_cyclic_indices(13, 3, 1, 1), cyclic_indices(13, 3, 1)
+        )
+
+    def test_large_block_equals_block_when_covering(self):
+        # Block size >= n/p with p=2, n=8, block=4: same as contiguous.
+        assert list(block_cyclic_indices(8, 2, 0, 4)) == [0, 1, 2, 3]
+
+    def test_owner_consistent(self):
+        for i in range(24):
+            rank = block_cyclic_owner(i, 3, 2)
+            assert i in block_cyclic_indices(24, 3, rank, 2)
+
+    def test_invalid(self):
+        with pytest.raises(DecompositionError):
+            block_cyclic_indices(8, 2, 0, 0)
+        with pytest.raises(DecompositionError):
+            block_cyclic_owner(-1, 2, 2)
+
+
+class TestProcessGrid:
+    def test_coords_roundtrip(self):
+        grid = ProcessGrid2D(3, 4)
+        for r in range(12):
+            pr, pc = grid.coords(r)
+            assert grid.rank_at(pr, pc) == r
+
+    def test_row_members(self):
+        grid = ProcessGrid2D(2, 3)
+        assert grid.row_members(1) == [3, 4, 5]
+
+    def test_col_members(self):
+        grid = ProcessGrid2D(2, 3)
+        assert grid.col_members(2) == [2, 5]
+
+    def test_rows_and_cols_partition(self):
+        grid = ProcessGrid2D(3, 5)
+        all_from_rows = sorted(r for i in range(3) for r in grid.row_members(i))
+        assert all_from_rows == list(range(15))
+        all_from_cols = sorted(r for j in range(5) for r in grid.col_members(j))
+        assert all_from_cols == list(range(15))
+
+    def test_invalid(self):
+        with pytest.raises(DecompositionError):
+            ProcessGrid2D(0, 3)
+        grid = ProcessGrid2D(2, 2)
+        with pytest.raises(DecompositionError):
+            grid.coords(4)
+        with pytest.raises(DecompositionError):
+            grid.rank_at(2, 0)
+
+
+class TestNearSquareGrid:
+    def test_perfect_square(self):
+        grid = near_square_grid(16)
+        assert (grid.prows, grid.pcols) == (4, 4)
+
+    def test_delta_partition(self):
+        grid = near_square_grid(512)
+        assert (grid.prows, grid.pcols) == (16, 32)
+
+    def test_prime(self):
+        grid = near_square_grid(7)
+        assert (grid.prows, grid.pcols) == (1, 7)
+
+    def test_invalid(self):
+        with pytest.raises(DecompositionError):
+            near_square_grid(0)
+
+
+# --- property-based partition laws -----------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(0, 200), p=st.integers(1, 17))
+def test_property_block_partition(n, p):
+    """Block ranges tile [0, n) exactly, sizes within 1 of each other."""
+    ranges = block_ranges(n, p)
+    assert ranges[0][0] == 0 and ranges[-1][1] == n
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 == b0
+    sizes = [hi - lo for lo, hi in ranges]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(0, 200), p=st.integers(1, 17))
+def test_property_cyclic_partition(n, p):
+    """Cyclic index sets partition range(n)."""
+    combined = np.concatenate([cyclic_indices(n, p, r) for r in range(p)])
+    assert sorted(combined.tolist()) == list(range(n))
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(0, 200), p=st.integers(1, 9), block=st.integers(1, 10))
+def test_property_block_cyclic_partition(n, p, block):
+    combined = np.concatenate(
+        [block_cyclic_indices(n, p, r, block) for r in range(p)]
+    )
+    assert sorted(combined.tolist()) == list(range(n))

@@ -1,0 +1,115 @@
+"""HPL analytic model: Delta calibration point and shape predictions."""
+
+import pytest
+
+from repro.linalg import HPLModel, ProcessGrid2D, delta_linpack, lu_flops
+from repro.machine import cray_ymp, intel_paragon, touchstone_delta
+from repro.util.errors import ConfigurationError
+
+
+class TestDeltaCalibration:
+    """Exhibit T4-4a: 13 GFLOPS LINPACK at n=25 000 vs 32 GFLOPS peak."""
+
+    def test_headline_linpack(self):
+        point = delta_linpack()
+        assert point["linpack_gflops"] == pytest.approx(13.0, abs=0.3)
+
+    def test_headline_peak(self):
+        assert delta_linpack()["peak_gflops"] == pytest.approx(32.0, rel=0.01)
+
+    def test_fraction_of_peak(self):
+        assert delta_linpack()["fraction_of_peak"] == pytest.approx(0.41, abs=0.02)
+
+    def test_partition_is_512(self):
+        point = delta_linpack()
+        assert point["grid_rows"] * point["grid_cols"] == 512
+
+    def test_order_fits_in_memory(self):
+        model = HPLModel(touchstone_delta())
+        assert model.max_order() >= 25_000
+
+
+class TestModelShape:
+    def test_rate_rises_with_order(self):
+        """The scaled-speedup story: bigger problems, higher efficiency."""
+        model = HPLModel(touchstone_delta())
+        sweep = model.sweep([1000, 5000, 10000, 25000])
+        rates = [p.gflops for p in sweep]
+        assert rates == sorted(rates)
+
+    def test_rate_below_asymptote(self):
+        model = HPLModel(touchstone_delta())
+        assert model.gflops(25_000) < model.asymptotic_gflops()
+
+    def test_rate_approaches_asymptote(self):
+        model = HPLModel(touchstone_delta())
+        assert model.gflops(200_000) > 0.9 * model.asymptotic_gflops()
+
+    def test_time_grows_cubically(self):
+        model = HPLModel(touchstone_delta())
+        t1, t2 = model.time(20_000), model.time(40_000)
+        assert 6 < t2 / t1 < 9  # ~8 for pure n^3
+
+    def test_more_nodes_faster(self):
+        model = HPLModel(touchstone_delta())
+        small = model.time(10_000, ProcessGrid2D(8, 16))
+        large = model.time(10_000, ProcessGrid2D(16, 32))
+        assert large < small
+
+    def test_paragon_beats_delta(self):
+        """The follow-on machine wins at the same order."""
+        delta_rate = HPLModel(touchstone_delta()).gflops(25_000)
+        paragon_rate = HPLModel(intel_paragon()).gflops(25_000)
+        assert paragon_rate > delta_rate
+
+    def test_mpp_beats_vector_machine_at_scale(self):
+        """The HPCC bet: a 512-node MPP out-runs a 16-CPU Y-MP."""
+        delta_rate = HPLModel(touchstone_delta()).gflops(25_000)
+        ymp = cray_ymp()
+        ymp_rate = HPLModel(ymp, kappa=0.1).gflops(25_000)
+        assert delta_rate > ymp_rate
+
+
+class TestModelInterface:
+    def test_default_grid_power_of_two(self):
+        model = HPLModel(touchstone_delta())
+        grid = model.default_grid()
+        assert grid.size == 512
+
+    def test_grid_too_large(self):
+        model = HPLModel(touchstone_delta())
+        with pytest.raises(ConfigurationError):
+            model.time(1000, ProcessGrid2D(32, 32))
+
+    def test_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            HPLModel(touchstone_delta()).time(0)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            HPLModel(touchstone_delta(), lu_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            HPLModel(touchstone_delta(), kappa=-1)
+        with pytest.raises(ConfigurationError):
+            HPLModel(touchstone_delta(), nb=0)
+
+    def test_point_consistency(self):
+        model = HPLModel(touchstone_delta())
+        point = model.point(10_000)
+        assert point.gflops == pytest.approx(
+            lu_flops(10_000) / point.time_s / 1e9
+        )
+
+    def test_sweep_length(self):
+        model = HPLModel(touchstone_delta())
+        assert len(model.sweep([1000, 2000])) == 2
+
+    def test_max_order_fraction_validation(self):
+        model = HPLModel(touchstone_delta())
+        with pytest.raises(ConfigurationError):
+            model.max_order(0.0)
+
+    def test_kappa_zero_is_upper_bound(self):
+        ideal = HPLModel(touchstone_delta(), kappa=0.0)
+        real = HPLModel(touchstone_delta())
+        assert ideal.gflops(25_000) > real.gflops(25_000)

@@ -1,0 +1,87 @@
+"""2-D block-cyclic LU vs the serial no-pivot reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    ProcessGrid2D,
+    distributed_lu,
+    lu2d,
+    make_test_matrix,
+    serial_lu_nopivot,
+    split_lu,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import DecompositionError
+
+
+class TestSerialNoPivot:
+    def test_reconstructs(self):
+        a = make_test_matrix(12, seed=0)
+        lu = serial_lu_nopivot(a)
+        lower, upper = split_lu(lu)
+        assert np.allclose(lower @ upper, a, atol=1e-12)
+
+    def test_zero_pivot_detected(self):
+        a = np.array([[0.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(DecompositionError):
+            serial_lu_nopivot(a)
+
+    def test_non_square(self):
+        with pytest.raises(DecompositionError):
+            serial_lu_nopivot(np.zeros((2, 3)))
+
+
+class TestLU2D:
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 4), (4, 1), (2, 2), (2, 3), (3, 2)])
+    @pytest.mark.parametrize("nb", [1, 2, 4])
+    def test_bit_identical_to_serial(self, shape, nb):
+        a = make_test_matrix(18, seed=nb)
+        grid = ProcessGrid2D(*shape)
+        result = lu2d(touchstone_delta().subset(grid.size), grid, a, nb=nb)
+        assert np.array_equal(result.lu, serial_lu_nopivot(a))
+
+    def test_moves_fewer_bytes_than_1d(self):
+        """The point of the 2-D layout: per-step traffic confined to one
+        process row + column instead of everyone."""
+        a = make_test_matrix(24, seed=3)
+        machine = touchstone_delta().subset(4)
+        one_d = distributed_lu(machine, 4, a)
+        two_d = lu2d(machine, ProcessGrid2D(2, 2), a, nb=2)
+        assert two_d.sim.total_bytes < one_d.sim.total_bytes
+
+    def test_zero_pivot_propagates(self):
+        a = np.eye(4)
+        a[0, 0] = 0.0
+        with pytest.raises(DecompositionError):
+            lu2d(touchstone_delta().subset(4), ProcessGrid2D(2, 2), a)
+
+    def test_validation(self):
+        machine = touchstone_delta().subset(4)
+        with pytest.raises(DecompositionError):
+            lu2d(machine, ProcessGrid2D(2, 2), np.zeros((3, 4)))
+        with pytest.raises(DecompositionError):
+            lu2d(machine, ProcessGrid2D(2, 2), np.eye(4), nb=0)
+        with pytest.raises(DecompositionError):
+            lu2d(touchstone_delta().subset(2), ProcessGrid2D(2, 2), np.eye(4))
+
+    def test_single_element(self):
+        result = lu2d(touchstone_delta().subset(1), ProcessGrid2D(1, 1),
+                      np.array([[5.0]]))
+        assert result.lu[0, 0] == 5.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(2, 16),
+    shape=st.sampled_from([(1, 2), (2, 2), (2, 3)]),
+    nb=st.integers(1, 4),
+    seed=st.integers(0, 99),
+)
+def test_property_lu2d_matches_serial(n, shape, nb, seed):
+    a = make_test_matrix(n, seed=seed)
+    grid = ProcessGrid2D(*shape)
+    result = lu2d(touchstone_delta().subset(grid.size), grid, a, nb=nb)
+    assert np.array_equal(result.lu, serial_lu_nopivot(a))

@@ -1,0 +1,189 @@
+"""SUMMA, distributed CG, and transpose FFT vs NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    ProcessGrid2D,
+    distributed_cg,
+    distributed_fft,
+    fft_flops,
+    make_spd_matrix,
+    matmul_flops,
+    serial_cg,
+    summa,
+)
+from repro.machine import touchstone_delta
+from repro.util.errors import ConvergenceError, DecompositionError
+
+
+class TestSumma:
+    @pytest.mark.parametrize("grid", [(1, 1), (1, 2), (2, 2), (2, 3), (3, 2)])
+    def test_matches_numpy(self, grid):
+        rng = np.random.default_rng(sum(grid))
+        a = rng.standard_normal((18, 14))
+        b = rng.standard_normal((14, 22))
+        pg = ProcessGrid2D(*grid)
+        result = summa(touchstone_delta().subset(pg.size), pg, a, b, panel=5)
+        assert np.allclose(result.c, a @ b, atol=1e-12)
+
+    def test_uneven_blocks(self):
+        """Dimensions that do not divide the grid evenly."""
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((7, 11))
+        b = rng.standard_normal((11, 5))
+        pg = ProcessGrid2D(2, 2)
+        result = summa(touchstone_delta().subset(4), pg, a, b, panel=3)
+        assert np.allclose(result.c, a @ b, atol=1e-12)
+
+    def test_panel_size_irrelevant_to_result(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((12, 12))
+        b = rng.standard_normal((12, 12))
+        pg = ProcessGrid2D(2, 2)
+        machine = touchstone_delta().subset(4)
+        r1 = summa(machine, pg, a, b, panel=1)
+        r2 = summa(machine, pg, a, b, panel=12)
+        assert np.allclose(r1.c, r2.c)
+
+    def test_larger_panels_fewer_messages(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        pg = ProcessGrid2D(2, 2)
+        machine = touchstone_delta().subset(4)
+        small = summa(machine, pg, a, b, panel=2)
+        big = summa(machine, pg, a, b, panel=8)
+        assert big.sim.total_messages < small.sim.total_messages
+
+    def test_grid_exceeding_machine(self):
+        with pytest.raises(DecompositionError):
+            summa(
+                touchstone_delta().subset(2),
+                ProcessGrid2D(2, 2),
+                np.eye(4),
+                np.eye(4),
+            )
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(DecompositionError):
+            summa(
+                touchstone_delta().subset(1),
+                ProcessGrid2D(1, 1),
+                np.eye(3),
+                np.eye(4),
+            )
+
+    def test_bad_panel(self):
+        with pytest.raises(DecompositionError):
+            summa(
+                touchstone_delta().subset(1),
+                ProcessGrid2D(1, 1),
+                np.eye(3),
+                np.eye(3),
+                panel=0,
+            )
+
+    def test_flops_count(self):
+        assert matmul_flops(2, 3, 4) == 48
+
+
+class TestSerialCG:
+    def test_solves(self):
+        a = make_spd_matrix(25, seed=0)
+        b = np.ones(25)
+        result = serial_cg(a, b)
+        assert np.allclose(a @ result.x, b, atol=1e-7)
+
+    def test_residual_reported(self):
+        a = make_spd_matrix(10, seed=1)
+        result = serial_cg(a, np.ones(10), tol=1e-8)
+        assert result.residual < 1e-8
+
+    def test_nonconvergence_raises(self):
+        a = make_spd_matrix(30, seed=2, condition_boost=0.01)
+        with pytest.raises(ConvergenceError):
+            serial_cg(a, np.ones(30), tol=1e-14, max_iter=2)
+
+
+class TestDistributedCG:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_matches_numpy_solve(self, p):
+        a = make_spd_matrix(20, seed=p)
+        b = np.linspace(1, 2, 20)
+        result = distributed_cg(touchstone_delta().subset(p), p, a, b)
+        assert np.allclose(result.x, np.linalg.solve(a, b), atol=1e-6)
+
+    def test_same_iteration_count_as_serial(self):
+        a = make_spd_matrix(24, seed=9)
+        b = np.ones(24)
+        serial = serial_cg(a, b, tol=1e-10)
+        dist = distributed_cg(touchstone_delta().subset(4), 4, a, b, tol=1e-10)
+        assert dist.iterations == serial.iterations
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DecompositionError):
+            distributed_cg(touchstone_delta().subset(2), 2, np.eye(3), np.ones(4))
+
+    def test_nonconvergence_propagates(self):
+        a = make_spd_matrix(16, seed=2, condition_boost=0.01)
+        with pytest.raises(ConvergenceError):
+            distributed_cg(
+                touchstone_delta().subset(2), 2, a, np.ones(16),
+                tol=1e-14, max_iter=2,
+            )
+
+    def test_comm_time_nonzero(self):
+        """CG's inner products make it latency-bound: comm time shows up."""
+        a = make_spd_matrix(16, seed=4)
+        result = distributed_cg(touchstone_delta().subset(4), 4, a, np.ones(16))
+        assert result.sim.total_comm_time > 0
+
+
+class TestDistributedFFT:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_matches_numpy(self, p, n):
+        rng = np.random.default_rng(n + p)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        result = distributed_fft(touchstone_delta().subset(p), p, x)
+        assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-9)
+
+    def test_real_input(self):
+        x = np.sin(np.linspace(0, 8 * np.pi, 64))
+        result = distributed_fft(touchstone_delta().subset(4), 4, x)
+        assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-9)
+
+    def test_explicit_factorisation(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(48)
+        result = distributed_fft(touchstone_delta().subset(2), 2, x, n1=4)
+        assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-9)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(DecompositionError):
+            distributed_fft(touchstone_delta().subset(3), 3, np.zeros(16))
+
+    def test_bad_n1(self):
+        with pytest.raises(DecompositionError):
+            distributed_fft(touchstone_delta().subset(2), 2, np.zeros(16), n1=5)
+
+    def test_flops_count(self):
+        assert fft_flops(8) == pytest.approx(5 * 8 * 3)
+        assert fft_flops(1) == 0.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    logn=st.integers(4, 8),
+    p=st.sampled_from([1, 2, 4]),
+    seed=st.integers(0, 100),
+)
+def test_property_fft_pow2(logn, p, seed):
+    n = 1 << logn
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    result = distributed_fft(touchstone_delta().subset(p), p, x)
+    assert np.allclose(result.spectrum, np.fft.fft(x), atol=1e-8)

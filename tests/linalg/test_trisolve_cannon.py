@@ -1,0 +1,123 @@
+"""Triangular solves, end-to-end LINPACK, and Cannon's algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import cannon, linpack_benchmark, make_test_matrix, summa
+from repro.linalg.decomp import ProcessGrid2D
+from repro.machine import touchstone_delta
+from repro.util.errors import DecompositionError
+
+
+class TestLinpackBenchmark:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+    @pytest.mark.parametrize("n", [1, 2, 8, 24])
+    def test_solves_to_ones(self, p, n):
+        """b = A @ 1 by construction, so x must be the ones vector."""
+        run = linpack_benchmark(touchstone_delta().subset(p), p, n, seed=n + p)
+        assert np.allclose(run.x, 1.0, atol=1e-7)
+
+    def test_residual_small(self):
+        run = linpack_benchmark(touchstone_delta().subset(4), 4, 32, seed=1)
+        assert run.residual < 1e-10 * 32
+
+    def test_matches_numpy_solve_custom_rhs(self):
+        n = 20
+        a = make_test_matrix(n, seed=3)
+        rng = np.random.default_rng(9)
+        b = rng.standard_normal(n)
+        run = linpack_benchmark(touchstone_delta().subset(3), 3, n, seed=3, b=b)
+        assert np.allclose(run.x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_gflops_positive(self):
+        run = linpack_benchmark(touchstone_delta().subset(2), 2, 16, seed=0)
+        assert 0 < run.gflops < 1  # tiny problems are latency-bound
+
+    def test_solve_is_latency_heavy(self):
+        """The fan-in solve's scalar reductions drive comm share up --
+        the classic triangular-solve complaint."""
+        run = linpack_benchmark(touchstone_delta().subset(4), 4, 32, seed=0)
+        assert run.sim.total_comm_time > run.sim.total_compute_time
+
+    def test_bad_order(self):
+        with pytest.raises(DecompositionError):
+            linpack_benchmark(touchstone_delta().subset(1), 1, 0)
+
+    def test_bad_rhs(self):
+        with pytest.raises(DecompositionError):
+            linpack_benchmark(
+                touchstone_delta().subset(1), 1, 4, b=np.ones(5)
+            )
+
+
+class TestCannon:
+    @pytest.mark.parametrize("q", [1, 2, 3, 4])
+    def test_matches_numpy(self, q):
+        n = 12 * q // q * q  # any multiple of q
+        n = 12 if 12 % q == 0 else q * 4
+        rng = np.random.default_rng(q)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        result = cannon(touchstone_delta().subset(q * q), q, a, b)
+        assert np.allclose(result.c, a @ b, atol=1e-10)
+
+    def test_identity(self):
+        n = 9
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((n, n))
+        result = cannon(touchstone_delta().subset(9), 3, a, np.eye(n))
+        assert np.allclose(result.c, a, atol=1e-12)
+
+    def test_message_count(self):
+        """q^2 ranks x 2 shifts x (q-1) steps."""
+        n, q = 12, 3
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        result = cannon(touchstone_delta().subset(9), 3, a, b)
+        assert result.sim.total_messages == q * q * 2 * (q - 1)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(DecompositionError):
+            cannon(touchstone_delta().subset(4), 2, np.eye(5), np.eye(5))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(DecompositionError):
+            cannon(touchstone_delta().subset(4), 2, np.zeros((4, 6)), np.zeros((6, 4)))
+
+    def test_grid_exceeds_machine(self):
+        with pytest.raises(DecompositionError):
+            cannon(touchstone_delta().subset(4), 3, np.eye(9), np.eye(9))
+
+    def test_fewer_messages_than_summa_small_panels(self):
+        """The ablation: Cannon's q-1 nearest-neighbour shifts vs
+        SUMMA's per-panel broadcasts."""
+        n, q = 16, 2
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        machine = touchstone_delta().subset(4)
+        c_res = cannon(machine, q, a, b)
+        s_res = summa(machine, ProcessGrid2D(q, q), a, b, panel=4)
+        assert np.allclose(c_res.c, s_res.c, atol=1e-10)
+        assert c_res.sim.total_messages < s_res.sim.total_messages
+
+
+@settings(max_examples=8, deadline=None)
+@given(q=st.sampled_from([1, 2, 3]), mult=st.integers(1, 4), seed=st.integers(0, 99))
+def test_property_cannon_matches_numpy(q, mult, seed):
+    n = q * mult
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    result = cannon(touchstone_delta().subset(q * q), q, a, b)
+    assert np.allclose(result.c, a @ b, atol=1e-9)
+
+
+@settings(max_examples=6, deadline=None)
+@given(n=st.integers(2, 20), p=st.sampled_from([1, 2, 4]), seed=st.integers(0, 99))
+def test_property_linpack_solves(n, p, seed):
+    run = linpack_benchmark(touchstone_delta().subset(p), p, n, seed=seed)
+    assert np.allclose(run.x, 1.0, atol=1e-6)

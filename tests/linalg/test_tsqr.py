@@ -1,0 +1,86 @@
+"""TSQR: distributed tall-skinny QR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import implicit_q, normalize_r, tsqr
+from repro.machine import touchstone_delta
+from repro.util.errors import DecompositionError
+
+
+class TestNormalizeR:
+    def test_makes_diagonal_nonnegative(self):
+        r = np.array([[-2.0, 1.0], [0.0, 3.0]])
+        out = normalize_r(r)
+        assert (np.diag(out) >= 0).all()
+        assert out[0, 1] == -1.0  # row flipped with its diagonal
+
+    def test_idempotent_on_positive(self):
+        r = np.triu(np.ones((3, 3)))
+        assert np.array_equal(normalize_r(r), r)
+
+
+class TestTSQR:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_matches_numpy_r(self, p):
+        rng = np.random.default_rng(p)
+        a = rng.standard_normal((96, 5))
+        result = tsqr(touchstone_delta().subset(p), p, a)
+        _, r_ref = np.linalg.qr(a)
+        assert np.allclose(result.r, normalize_r(r_ref), atol=1e-10)
+
+    def test_r_upper_triangular(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 4))
+        result = tsqr(touchstone_delta().subset(4), 4, a)
+        assert np.allclose(np.tril(result.r, -1), 0.0)
+
+    def test_implicit_q_orthonormal(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((80, 6))
+        result = tsqr(touchstone_delta().subset(4), 4, a)
+        q = implicit_q(a, result.r)
+        assert np.allclose(q.T @ q, np.eye(6), atol=1e-10)
+
+    def test_reconstruction(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((48, 3))
+        result = tsqr(touchstone_delta().subset(3), 3, a)
+        q = implicit_q(a, result.r)
+        assert np.allclose(q @ result.r, a, atol=1e-10)
+
+    def test_log_message_count(self):
+        """Binomial tree: p-1 R-factor messages total."""
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((64, 4))
+        result = tsqr(touchstone_delta().subset(8), 8, a)
+        assert result.sim.total_messages == 7
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(DecompositionError):
+            tsqr(touchstone_delta().subset(2), 2, np.zeros((3, 5)))
+
+    def test_vector_input_rejected(self):
+        with pytest.raises(DecompositionError):
+            tsqr(touchstone_delta().subset(1), 1, np.zeros(5))
+
+    def test_more_ranks_than_rows(self):
+        with pytest.raises(DecompositionError):
+            tsqr(touchstone_delta().subset(8), 8, np.zeros((4, 2)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    m=st.integers(20, 100),
+    n=st.integers(1, 6),
+    p=st.sampled_from([1, 2, 4]),
+    seed=st.integers(0, 99),
+)
+def test_property_tsqr_matches_numpy(m, n, p, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    result = tsqr(touchstone_delta().subset(p), p, a)
+    _, r_ref = np.linalg.qr(a)
+    assert np.allclose(result.r, normalize_r(r_ref), atol=1e-8)

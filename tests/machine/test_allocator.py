@@ -1,0 +1,190 @@
+"""Submesh allocation and FCFS scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Job, SubmeshAllocator, simulate_fcfs
+from repro.util.errors import ConfigurationError
+
+
+class TestAllocator:
+    def test_basic_allocate_release(self):
+        alloc = SubmeshAllocator(4, 4)
+        a = alloc.allocate(2, 2)
+        assert a is not None and a.n_nodes == 4
+        assert alloc.utilisation == pytest.approx(0.25)
+        alloc.release(a.alloc_id)
+        assert alloc.utilisation == 0.0
+
+    def test_first_fit_row_major(self):
+        alloc = SubmeshAllocator(4, 4)
+        a = alloc.allocate(2, 2)
+        b = alloc.allocate(2, 2)
+        assert (a.row0, a.col0) == (0, 0)
+        assert (b.row0, b.col0) == (0, 2)
+
+    def test_no_overlap(self):
+        alloc = SubmeshAllocator(6, 6)
+        grants = [alloc.allocate(2, 3) for _ in range(6)]
+        assert all(g is not None for g in grants)
+        seen = set()
+        for g in grants:
+            ids = set(alloc.node_ids(g))
+            assert not (seen & ids)
+            seen |= ids
+        assert len(seen) == 36
+
+    def test_rejects_when_full(self):
+        alloc = SubmeshAllocator(2, 2)
+        assert alloc.allocate(2, 2) is not None
+        assert alloc.allocate(1, 1) is None
+
+    def test_rejects_oversize(self):
+        alloc = SubmeshAllocator(4, 4)
+        assert alloc.allocate(5, 1) is None
+        assert not alloc.can_fit(1, 5)
+
+    def test_fragmentation_blocks_fitting_request(self):
+        """Free capacity can exceed a request that still cannot fit --
+        external fragmentation, the operator's complaint."""
+        alloc = SubmeshAllocator(4, 4)
+        alloc.allocate(4, 2)   # left half busy
+        top = alloc.allocate(2, 2)
+        assert (top.row0, top.col0) == (0, 2)
+        # 4 free nodes remain (bottom-right 2x2) but a 1x4 row cannot fit.
+        assert alloc.total_nodes - alloc.busy_nodes == 4
+        assert not alloc.can_fit(1, 4)
+
+    def test_largest_free_rectangle_matches_bruteforce(self):
+        rng = np.random.default_rng(7)
+
+        def brute(busy):
+            best = 0
+            rows, cols = busy.shape
+            for r0 in range(rows):
+                for c0 in range(cols):
+                    for r1 in range(r0, rows):
+                        for c1 in range(c0, cols):
+                            if not busy[r0:r1 + 1, c0:c1 + 1].any():
+                                best = max(best, (r1 - r0 + 1) * (c1 - c0 + 1))
+            return best
+
+        for _ in range(10):
+            alloc = SubmeshAllocator(5, 5)
+            alloc._busy = rng.random((5, 5)) < 0.35
+            assert alloc.largest_free_rectangle() == brute(alloc._busy)
+
+    def test_external_fragmentation_bounds(self):
+        alloc = SubmeshAllocator(4, 4)
+        assert alloc.external_fragmentation() == 0.0  # all free, one rect
+        alloc._busy[:, 1] = True  # split free space into two 4x... strips
+        frag = alloc.external_fragmentation()
+        assert 0.0 < frag < 1.0
+
+    def test_release_unknown(self):
+        with pytest.raises(ConfigurationError):
+            SubmeshAllocator(2, 2).release(99)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            SubmeshAllocator(0, 4)
+        with pytest.raises(ConfigurationError):
+            SubmeshAllocator(4, 4).allocate(0, 1)
+
+
+class TestFCFS:
+    def test_serial_when_machine_filled(self):
+        jobs = [
+            Job("a", 16, 33, 100, arrival_s=0),
+            Job("b", 16, 33, 100, arrival_s=0),
+        ]
+        result = simulate_fcfs(16, 33, jobs)
+        assert result.record_for("a").start_s == 0
+        assert result.record_for("b").start_s == 100
+        assert result.makespan_s == 200
+
+    def test_parallel_when_they_fit(self):
+        jobs = [
+            Job("a", 8, 16, 100, arrival_s=0),
+            Job("b", 8, 16, 100, arrival_s=0),
+        ]
+        result = simulate_fcfs(16, 33, jobs)
+        assert result.record_for("b").start_s == 0
+        assert result.makespan_s == 100
+
+    def test_head_of_line_blocking(self):
+        """A small job behind a blocked big job waits too -- FCFS's
+        signature pathology (what backfilling later fixed)."""
+        jobs = [
+            Job("running", 16, 20, 100, arrival_s=0),
+            Job("big", 16, 20, 50, arrival_s=1),    # cannot fit next to it
+            Job("tiny", 1, 1, 10, arrival_s=2),     # could fit, must wait
+        ]
+        result = simulate_fcfs(16, 33, jobs)
+        assert result.record_for("tiny").start_s >= 100
+
+    def test_arrival_times_respected(self):
+        jobs = [Job("late", 2, 2, 10, arrival_s=500)]
+        result = simulate_fcfs(4, 4, jobs)
+        assert result.record_for("late").start_s == 500
+
+    def test_utilisation_and_wait_stats(self):
+        jobs = [
+            Job("a", 16, 33, 100, arrival_s=0),
+            Job("b", 16, 33, 100, arrival_s=0),
+        ]
+        result = simulate_fcfs(16, 33, jobs)
+        assert result.utilisation == pytest.approx(1.0)
+        assert result.mean_wait_s() == pytest.approx(50.0)
+
+    def test_oversize_job_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_fcfs(4, 4, [Job("huge", 5, 5, 10)])
+
+    def test_empty_schedule(self):
+        result = simulate_fcfs(4, 4, [])
+        assert result.makespan_s == 0.0
+        assert result.records == []
+
+    def test_bad_job(self):
+        with pytest.raises(ConfigurationError):
+            Job("x", 0, 1, 10)
+        with pytest.raises(ConfigurationError):
+            Job("x", 1, 1, 0)
+        with pytest.raises(ConfigurationError):
+            Job("x", 1, 1, 10, arrival_s=-1)
+
+    def test_unknown_record(self):
+        result = simulate_fcfs(4, 4, [Job("a", 1, 1, 1)])
+        with pytest.raises(ConfigurationError):
+            result.record_for("ghost")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_jobs=st.integers(1, 8),
+    seed=st.integers(0, 1000),
+)
+def test_property_fcfs_conserves_jobs_and_order(n_jobs, seed):
+    rng = np.random.default_rng(seed)
+    jobs = [
+        Job(
+            name=f"j{i}",
+            rows=int(rng.integers(1, 5)),
+            cols=int(rng.integers(1, 5)),
+            duration_s=float(rng.integers(1, 100)),
+            arrival_s=float(rng.integers(0, 50)),
+        )
+        for i in range(n_jobs)
+    ]
+    result = simulate_fcfs(4, 4, jobs)
+    assert len(result.records) == n_jobs
+    for rec in result.records:
+        assert rec.start_s >= rec.job.arrival_s
+        assert rec.end_s == rec.start_s + rec.job.duration_s
+    # FCFS: start times respect arrival order among equal arrivals.
+    by_arrival = sorted(result.records, key=lambda r: (r.job.arrival_s, r.job.name))
+    starts = [r.start_s for r in by_arrival]
+    assert starts == sorted(starts)

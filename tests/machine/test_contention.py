@@ -1,0 +1,123 @@
+"""Static contention analysis."""
+
+import pytest
+
+from repro.machine import (
+    FullyConnected,
+    Hypercube,
+    LinkModel,
+    Machine,
+    Mesh2D,
+    NodeSpec,
+    all_to_all_pattern,
+    analyse,
+    link_byte_loads,
+    ring_shift_pattern,
+    transpose_pattern,
+)
+from repro.util.errors import ConfigurationError
+
+
+def machine_with(topology, bw=1e7):
+    return Machine(
+        name=f"test-{topology.kind}",
+        node=NodeSpec("n", peak_flops=1e8, memory_bytes=1e9),
+        topology=topology,
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=bw),
+    )
+
+
+class TestLinkByteLoads:
+    def test_line_accumulates(self):
+        mesh = Mesh2D(1, 3)
+        loads = link_byte_loads(mesh, [(0, 2, 100.0), (0, 1, 50.0)])
+        assert loads[(0, 1)] == 150.0
+        assert loads[(1, 2)] == 100.0
+
+    def test_self_messages_ignored(self):
+        assert link_byte_loads(Mesh2D(2, 2), [(1, 1, 100.0)]) == {}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            link_byte_loads(Mesh2D(2, 2), [(0, 1, -1.0)])
+
+
+class TestPatterns:
+    def test_all_to_all_count(self):
+        assert len(all_to_all_pattern(4, 8.0)) == 12
+
+    def test_ring_shift(self):
+        pattern = ring_shift_pattern(4, 8.0)
+        assert (3, 0, 8.0) in pattern
+        assert len(pattern) == 4
+
+    def test_ring_single(self):
+        assert ring_shift_pattern(1, 8.0) == []
+
+    def test_transpose_square_only(self):
+        with pytest.raises(ConfigurationError):
+            transpose_pattern(2, 3, 8.0)
+
+    def test_transpose_excludes_diagonal(self):
+        pattern = transpose_pattern(3, 3, 1.0)
+        assert len(pattern) == 6
+        assert all(s != d for s, d, _ in pattern)
+
+    def test_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            all_to_all_pattern(0, 1.0)
+
+
+class TestAnalyse:
+    def test_crossbar_has_no_hot_link(self):
+        machine = machine_with(FullyConnected(8))
+        report = analyse(machine, all_to_all_pattern(8, 1000.0))
+        # Every pair has a private link: max load is one message.
+        assert report.max_link_bytes == 1000.0 * 2  # both directions share
+
+    def test_mesh_alltoall_hotter_than_hypercube(self):
+        """The 1991 wiring argument: for all-to-all, the 8-node line
+        concentrates far more bytes on its middle link than the cube."""
+        line = machine_with(Mesh2D(1, 8))
+        cube = machine_with(Hypercube(3))
+        pattern = all_to_all_pattern(8, 1000.0)
+        assert (
+            analyse(line, pattern).max_link_bytes
+            > analyse(cube, pattern).max_link_bytes
+        )
+
+    def test_serialisation_bound_scales_with_bandwidth(self):
+        slow = machine_with(Mesh2D(1, 4), bw=1e6)
+        fast = machine_with(Mesh2D(1, 4), bw=1e8)
+        pattern = all_to_all_pattern(4, 1000.0)
+        assert (
+            analyse(slow, pattern).serialisation_bound_s
+            == pytest.approx(100 * analyse(fast, pattern).serialisation_bound_s)
+        )
+
+    def test_bisection_bound_counts_crossing_bytes(self):
+        machine = machine_with(Mesh2D(1, 4))  # bisection width 1
+        pattern = [(0, 3, 1000.0), (1, 2, 1000.0), (0, 1, 1000.0)]
+        report = analyse(machine, pattern)
+        # 2000 bytes cross the middle; one link of 1e7 B/s.
+        assert report.bisection_bound_s == pytest.approx(2000.0 / 1e7)
+
+    def test_binding_bound_is_max(self):
+        machine = machine_with(Mesh2D(1, 4))
+        report = analyse(machine, all_to_all_pattern(4, 1000.0))
+        assert report.binding_bound_s == max(
+            report.serialisation_bound_s, report.bisection_bound_s
+        )
+
+    def test_ring_on_ring_is_contention_free(self):
+        """Nearest-neighbour shifts put exactly one message per link."""
+        machine = machine_with(Mesh2D(1, 8))
+        pattern = ring_shift_pattern(8, 500.0)[:-1]  # drop the wrap (no link)
+        report = analyse(machine, pattern)
+        assert report.max_link_bytes == 500.0
+
+    def test_totals(self):
+        machine = machine_with(Mesh2D(2, 2))
+        report = analyse(machine, [(0, 1, 10.0), (2, 3, 30.0)])
+        assert report.n_messages == 2
+        assert report.total_bytes == 40.0

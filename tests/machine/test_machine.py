@@ -1,0 +1,148 @@
+"""Node, link, and machine assembly behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    LinkModel,
+    Machine,
+    Mesh2D,
+    NodeSpec,
+    touchstone_delta,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestNodeSpec:
+    def test_sustained_rate(self):
+        node = NodeSpec("x", peak_flops=100e6, memory_bytes=16e6, sustained_fraction=0.5)
+        assert node.sustained_flops == pytest.approx(50e6)
+
+    def test_compute_time_default_efficiency(self):
+        node = NodeSpec("x", peak_flops=100e6, memory_bytes=1e6, sustained_fraction=0.5)
+        assert node.compute_time(50e6) == pytest.approx(1.0)
+
+    def test_compute_time_override(self):
+        node = NodeSpec("x", peak_flops=100e6, memory_bytes=1e6)
+        assert node.compute_time(100e6, efficiency=1.0) == pytest.approx(1.0)
+
+    def test_zero_flops_zero_time(self):
+        node = NodeSpec("x", peak_flops=1e6, memory_bytes=1e6)
+        assert node.compute_time(0) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(peak_flops=0, memory_bytes=1e6),
+        dict(peak_flops=1e6, memory_bytes=0),
+        dict(peak_flops=1e6, memory_bytes=1e6, sustained_fraction=0.0),
+        dict(peak_flops=1e6, memory_bytes=1e6, sustained_fraction=1.5),
+    ])
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NodeSpec("bad", **kwargs)
+
+    def test_negative_flops_rejected(self):
+        node = NodeSpec("x", peak_flops=1e6, memory_bytes=1e6)
+        with pytest.raises(ConfigurationError):
+            node.compute_time(-1)
+
+
+class TestLinkModel:
+    def test_alpha_beta_decomposition(self):
+        link = LinkModel(latency_s=1e-4, bandwidth_bytes_per_s=1e7, per_hop_s=1e-6)
+        t = link.message_time(1e7, hops=3)
+        assert t == pytest.approx(1e-4 + 3e-6 + 1.0)
+
+    def test_zero_bytes_still_pays_latency(self):
+        link = LinkModel(latency_s=72e-6, bandwidth_bytes_per_s=12e6)
+        assert link.message_time(0, hops=1) == pytest.approx(72e-6)
+
+    def test_self_send_no_latency(self):
+        link = LinkModel(latency_s=72e-6, bandwidth_bytes_per_s=12e6)
+        assert link.message_time(12e6, hops=0) == pytest.approx(1.0)
+
+    def test_n_half(self):
+        link = LinkModel(latency_s=72e-6, bandwidth_bytes_per_s=12e6)
+        # At n_half the effective bandwidth is half of asymptotic.
+        nh = link.n_half
+        assert link.effective_bandwidth(nh) == pytest.approx(6e6, rel=1e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel(latency_s=-1, bandwidth_bytes_per_s=1)
+        with pytest.raises(ConfigurationError):
+            LinkModel(latency_s=0, bandwidth_bytes_per_s=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n1=st.floats(0, 1e9), n2=st.floats(0, 1e9))
+    def test_monotone_in_size(self, n1, n2):
+        link = LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e7)
+        lo, hi = sorted([n1, n2])
+        assert link.message_time(lo) <= link.message_time(hi)
+
+
+class TestMachine:
+    def test_delta_headline_numbers(self):
+        """The paper: 528 numeric processors, 32 GFLOPS peak."""
+        delta = touchstone_delta()
+        assert delta.n_nodes == 528
+        assert delta.peak_gflops == pytest.approx(32.0, rel=0.01)
+
+    def test_ptp_uses_hops(self):
+        delta = touchstone_delta()
+        near = delta.ptp_time(0, 1, 1024)
+        far = delta.ptp_time(0, 527, 1024)
+        assert far > near
+
+    def test_bisection_bandwidth(self):
+        delta = touchstone_delta()
+        assert delta.bisection_bandwidth_bytes_per_s == pytest.approx(16 * 12e6)
+
+    def test_total_memory(self):
+        delta = touchstone_delta()
+        assert delta.total_memory_bytes == 528 * 16 * 2**20
+
+    def test_describe_mentions_name_and_peak(self):
+        text = touchstone_delta().describe()
+        assert "Touchstone Delta" in text
+        assert "32 GFLOPS" in text
+
+    def test_invalid_rank_in_ptp(self):
+        delta = touchstone_delta()
+        with pytest.raises(Exception):
+            delta.ptp_time(0, 10_000, 8)
+
+
+class TestSubset:
+    def test_subset_node_count(self):
+        sub = touchstone_delta().subset(64)
+        assert sub.n_nodes == 64
+
+    def test_subset_near_square(self):
+        sub = touchstone_delta().subset(64)
+        assert sub.topology.kind == "mesh2d"
+        assert sub.topology.rows == 8 and sub.topology.cols == 8
+
+    def test_subset_prime_count(self):
+        sub = touchstone_delta().subset(13)
+        assert sub.n_nodes == 13
+
+    def test_subset_keeps_node_and_link(self):
+        base = touchstone_delta()
+        sub = base.subset(16)
+        assert sub.node == base.node
+        assert sub.link == base.link
+
+    def test_subset_explicit_topology(self):
+        sub = touchstone_delta().subset(16, topology=Mesh2D(2, 8))
+        assert sub.topology.rows == 2
+
+    def test_subset_topology_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            touchstone_delta().subset(16, topology=Mesh2D(3, 3))
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            touchstone_delta().subset(0)
+        with pytest.raises(ConfigurationError):
+            touchstone_delta().subset(529)

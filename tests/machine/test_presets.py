@@ -1,0 +1,100 @@
+"""Machine presets match the paper's and the era's published figures."""
+
+import pytest
+
+from repro.machine import (
+    PRESETS,
+    cm5,
+    cray_ymp,
+    darpa_mpp_series,
+    get_machine,
+    intel_ipsc860,
+    intel_paragon,
+    touchstone_delta,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestDelta:
+    def test_mesh_16x33(self):
+        delta = touchstone_delta()
+        assert delta.topology.rows == 16
+        assert delta.topology.cols == 33
+
+    def test_paper_peak(self):
+        assert touchstone_delta().peak_gflops == pytest.approx(32.0, rel=0.01)
+
+    def test_year(self):
+        assert touchstone_delta().year == 1991
+
+
+class TestIpsc860:
+    def test_default_128_nodes(self):
+        assert intel_ipsc860().n_nodes == 128
+
+    def test_hypercube(self):
+        assert intel_ipsc860().topology.kind == "hypercube"
+
+    def test_dimension_validation(self):
+        with pytest.raises(ConfigurationError):
+            intel_ipsc860(dimension=8)
+
+    def test_smaller_cube(self):
+        assert intel_ipsc860(dimension=5).n_nodes == 32
+
+
+class TestParagon:
+    def test_faster_links_than_delta(self):
+        assert (
+            intel_paragon().link.bandwidth_bytes_per_s
+            > touchstone_delta().link.bandwidth_bytes_per_s
+        )
+
+    def test_newer_than_delta(self):
+        assert intel_paragon().year >= touchstone_delta().year
+
+
+class TestCm5:
+    def test_default_size(self):
+        assert cm5().n_nodes == 512
+
+    def test_uniform_latency(self):
+        machine = cm5(64)
+        assert machine.ptp_time(0, 1, 1024) == pytest.approx(machine.ptp_time(0, 63, 1024))
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            cm5(0)
+
+
+class TestYmp:
+    def test_cpu_bounds(self):
+        with pytest.raises(ConfigurationError):
+            cray_ymp(17)
+
+    def test_much_lower_latency_than_mpp(self):
+        assert cray_ymp().link.latency_s < touchstone_delta().link.latency_s / 10
+
+    def test_vector_node_faster_than_i860(self):
+        assert cray_ymp().node.peak_flops > touchstone_delta().node.peak_flops
+
+
+class TestRegistry:
+    def test_all_presets_construct(self):
+        for name in PRESETS:
+            machine = get_machine(name)
+            assert machine.n_nodes >= 1
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            get_machine("connection-machine-6")
+
+    def test_series_chronological(self):
+        series = darpa_mpp_series()
+        years = [m.year for m in series]
+        assert years == sorted(years)
+        assert len(series) == 3
+
+    def test_series_peak_increases(self):
+        peaks = [m.peak_flops for m in darpa_mpp_series()]
+        assert peaks == sorted(peaks)

@@ -1,0 +1,248 @@
+"""Topology invariants: routing, hop counts, diameters, bisection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.topology import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Torus2D,
+    link_loads,
+)
+from repro.util.errors import TopologyError
+
+ALL_SMALL_TOPOLOGIES = [
+    Mesh2D(1, 1),
+    Mesh2D(4, 4),
+    Mesh2D(3, 5),
+    Torus2D(4, 4),
+    Torus2D(3, 5),
+    Hypercube(0),
+    Hypercube(4),
+    Ring(1),
+    Ring(2),
+    Ring(7),
+    FullyConnected(1),
+    FullyConnected(6),
+]
+
+
+@pytest.mark.parametrize("topo", ALL_SMALL_TOPOLOGIES, ids=lambda t: f"{t.kind}-{t.n_nodes}")
+class TestUniversalInvariants:
+    def test_route_endpoints(self, topo):
+        for s in range(topo.n_nodes):
+            for d in range(topo.n_nodes):
+                path = topo.route(s, d)
+                assert path[0] == s and path[-1] == d
+
+    def test_route_steps_are_links(self, topo):
+        for s in range(topo.n_nodes):
+            for d in range(topo.n_nodes):
+                path = topo.route(s, d)
+                for u, v in zip(path, path[1:]):
+                    assert v in topo.neighbors(u), f"{u}->{v} not a link"
+
+    def test_hops_match_route_length(self, topo):
+        for s in range(topo.n_nodes):
+            for d in range(topo.n_nodes):
+                assert topo.hops(s, d) == len(topo.route(s, d)) - 1
+
+    def test_hops_symmetric(self, topo):
+        for s in range(topo.n_nodes):
+            for d in range(topo.n_nodes):
+                assert topo.hops(s, d) == topo.hops(d, s)
+
+    def test_self_route_trivial(self, topo):
+        for s in range(topo.n_nodes):
+            assert topo.route(s, s) == [s]
+            assert topo.hops(s, s) == 0
+
+    def test_diameter_is_max_hops(self, topo):
+        observed = max(
+            topo.hops(s, d)
+            for s in range(topo.n_nodes)
+            for d in range(topo.n_nodes)
+        )
+        assert topo.diameter() == observed
+
+    def test_neighbors_symmetric(self, topo):
+        for u in range(topo.n_nodes):
+            for v in topo.neighbors(u):
+                assert u in topo.neighbors(v)
+
+    def test_neighbors_exclude_self(self, topo):
+        for u in range(topo.n_nodes):
+            assert u not in topo.neighbors(u)
+
+    def test_out_of_range_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.neighbors(topo.n_nodes)
+        with pytest.raises(TopologyError):
+            topo.route(0, -1)
+
+    def test_links_reported_once(self, topo):
+        links = list(topo.links())
+        assert len(links) == len(set(links))
+        assert all(u < v for u, v in links)
+
+
+class TestMesh2D:
+    def test_delta_shape(self):
+        mesh = Mesh2D(16, 33)
+        assert mesh.n_nodes == 528
+
+    def test_coords_roundtrip(self):
+        mesh = Mesh2D(4, 5)
+        for node in range(mesh.n_nodes):
+            r, c = mesh.coords(node)
+            assert mesh.node_at(r, c) == node
+
+    def test_dimension_ordered_routing_goes_x_first(self):
+        mesh = Mesh2D(4, 4)
+        path = mesh.route(mesh.node_at(0, 0), mesh.node_at(2, 3))
+        rows = [mesh.coords(p)[0] for p in path]
+        # Row stays constant until the column phase finishes.
+        assert rows[:4] == [0, 0, 0, 0]
+
+    def test_hops_is_manhattan(self):
+        mesh = Mesh2D(5, 5)
+        assert mesh.hops(mesh.node_at(0, 0), mesh.node_at(3, 4)) == 7
+
+    def test_diameter(self):
+        assert Mesh2D(16, 33).diameter() == 47
+
+    def test_bisection(self):
+        assert Mesh2D(16, 33).bisection_width() == 16
+        assert Mesh2D(4, 4).bisection_width() == 4
+
+    def test_corner_degree(self):
+        mesh = Mesh2D(3, 3)
+        assert len(mesh.neighbors(0)) == 2
+        assert len(mesh.neighbors(4)) == 4
+
+    def test_bad_shape(self):
+        with pytest.raises(TopologyError):
+            Mesh2D(0, 4)
+
+
+class TestTorus2D:
+    def test_wraparound_shortcut(self):
+        torus = Torus2D(1, 8)
+        assert torus.hops(0, 7) == 1
+
+    def test_diameter_half(self):
+        assert Torus2D(4, 4).diameter() == 4
+
+    def test_bisection_doubles_mesh(self):
+        assert Torus2D(4, 8).bisection_width() == 8
+
+    def test_degenerate_dimension(self):
+        torus = Torus2D(1, 4)
+        for u in range(4):
+            assert u not in torus.neighbors(u)
+
+
+class TestHypercube:
+    def test_size(self):
+        assert Hypercube(7).n_nodes == 128
+
+    def test_hops_is_hamming(self):
+        cube = Hypercube(4)
+        assert cube.hops(0b0000, 0b1011) == 3
+
+    def test_ecube_ascending_dimensions(self):
+        cube = Hypercube(3)
+        path = cube.route(0b000, 0b101)
+        assert path == [0b000, 0b001, 0b101]
+
+    def test_log_diameter(self):
+        assert Hypercube(6).diameter() == 6
+
+    def test_bisection_half_nodes(self):
+        assert Hypercube(5).bisection_width() == 16
+
+    def test_dimension_bounds(self):
+        with pytest.raises(TopologyError):
+            Hypercube(-1)
+        with pytest.raises(TopologyError):
+            Hypercube(21)
+
+
+class TestRing:
+    def test_shorter_arc(self):
+        ring = Ring(10)
+        assert ring.hops(0, 9) == 1
+        assert ring.hops(0, 5) == 5
+
+    def test_two_node_ring_single_link(self):
+        ring = Ring(2)
+        assert ring.neighbors(0) == [1]
+        assert len(list(ring.links())) == 1
+
+
+class TestFullyConnected:
+    def test_unit_hops(self):
+        full = FullyConnected(5)
+        assert all(full.hops(0, d) == 1 for d in range(1, 5))
+
+    def test_bisection(self):
+        assert FullyConnected(6).bisection_width() == 9
+
+
+class TestAverageHops:
+    def test_full_is_one(self):
+        assert FullyConnected(4).average_hops() == pytest.approx(1.0)
+
+    def test_single_node_zero(self):
+        assert Ring(1).average_hops() == 0.0
+
+    def test_mesh_lower_than_diameter(self):
+        mesh = Mesh2D(4, 4)
+        assert 0 < mesh.average_hops() < mesh.diameter()
+
+
+class TestLinkLoads:
+    def test_counts_paths(self):
+        mesh = Mesh2D(1, 3)  # line 0-1-2
+        loads = link_loads(mesh, [(0, 2), (0, 1)])
+        assert loads[(0, 1)] == 2
+        assert loads[(1, 2)] == 1
+
+    def test_empty(self):
+        assert link_loads(Mesh2D(2, 2), []) == {}
+
+
+# --- property-based checks on random shapes --------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.integers(1, 6), cols=st.integers(1, 6),
+       data=st.data())
+def test_mesh_route_length_equals_manhattan(rows, cols, data):
+    mesh = Mesh2D(rows, cols)
+    s = data.draw(st.integers(0, mesh.n_nodes - 1))
+    d = data.draw(st.integers(0, mesh.n_nodes - 1))
+    r0, c0 = mesh.coords(s)
+    r1, c1 = mesh.coords(d)
+    assert len(mesh.route(s, d)) - 1 == abs(r0 - r1) + abs(c0 - c1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dim=st.integers(0, 6), data=st.data())
+def test_hypercube_route_is_shortest(dim, data):
+    cube = Hypercube(dim)
+    s = data.draw(st.integers(0, cube.n_nodes - 1))
+    d = data.draw(st.integers(0, cube.n_nodes - 1))
+    assert cube.hops(s, d) == bin(s ^ d).count("1")
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.integers(1, 6), cols=st.integers(1, 6), data=st.data())
+def test_torus_hops_never_exceed_mesh(rows, cols, data):
+    torus = Torus2D(rows, cols)
+    mesh = Mesh2D(rows, cols)
+    s = data.draw(st.integers(0, mesh.n_nodes - 1))
+    d = data.draw(st.integers(0, mesh.n_nodes - 1))
+    assert torus.hops(s, d) <= mesh.hops(s, d)

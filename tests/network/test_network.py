@@ -1,0 +1,157 @@
+"""WAN graph, link classes, routing."""
+
+import pytest
+
+from repro.network import (
+    GIGABIT,
+    HIPPI_SONET,
+    REGIONAL_56K,
+    T1,
+    T3,
+    LinkClass,
+    Site,
+    WanLink,
+    WideAreaNetwork,
+    get_link_class,
+)
+from repro.util.errors import ConfigurationError, NetworkError
+
+
+def line_network():
+    """A -- T1 -- B -- T3 -- C, plus a 56k shortcut A -- C."""
+    net = WideAreaNetwork("test")
+    for name in "ABC":
+        net.add_site(Site(name))
+    net.connect("A", "B", T1, distance_km=100)
+    net.connect("B", "C", T3, distance_km=100)
+    net.connect("A", "C", REGIONAL_56K, distance_km=100)
+    return net
+
+
+class TestLinkClasses:
+    def test_paper_rates(self):
+        """Exhibit T4-5's annotations."""
+        assert T1.rate_bps == pytest.approx(1.5e6)
+        assert T3.rate_bps == pytest.approx(45e6)
+        assert HIPPI_SONET.rate_bps == pytest.approx(800e6)
+        assert REGIONAL_56K.rate_bps == pytest.approx(56e3)
+
+    def test_hippi_to_t1_ratio(self):
+        assert HIPPI_SONET.rate_bps / T1.rate_bps == pytest.approx(533.3, rel=0.01)
+
+    def test_throughput_below_line_rate(self):
+        assert T1.throughput_bytes_per_s < T1.rate_bps / 8.0
+
+    def test_registry(self):
+        assert get_link_class("t3") is T3
+        with pytest.raises(ConfigurationError):
+            get_link_class("oc48")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkClass("bad", rate_bps=0)
+        with pytest.raises(ConfigurationError):
+            LinkClass("bad", rate_bps=1e6, efficiency=0.0)
+
+    def test_describe(self):
+        assert "800 Mbps" in HIPPI_SONET.describe()
+
+
+class TestSiteAndLink:
+    def test_bad_kind(self):
+        with pytest.raises(NetworkError):
+            Site("X", kind="alien")
+
+    def test_propagation(self):
+        link = WanLink("A", "B", T1, distance_km=2000)
+        assert link.propagation_s == pytest.approx(0.01)
+        assert link.latency_s == pytest.approx(0.01 + T1.setup_latency_s)
+
+
+class TestGraphConstruction:
+    def test_duplicate_site(self):
+        net = WideAreaNetwork()
+        net.add_site(Site("A"))
+        with pytest.raises(NetworkError):
+            net.add_site(Site("A"))
+
+    def test_link_requires_sites(self):
+        net = WideAreaNetwork()
+        net.add_site(Site("A"))
+        with pytest.raises(NetworkError):
+            net.connect("A", "B", T1)
+
+    def test_self_link_rejected(self):
+        net = WideAreaNetwork()
+        net.add_site(Site("A"))
+        with pytest.raises(NetworkError):
+            net.connect("A", "A", T1)
+
+    def test_duplicate_link_rejected(self):
+        net = line_network()
+        with pytest.raises(NetworkError):
+            net.connect("A", "B", T3)
+
+    def test_degree_and_links(self):
+        net = line_network()
+        assert net.degree("A") == 2
+        assert len(net.links) == 3
+
+    def test_link_between(self):
+        net = line_network()
+        assert net.link_between("A", "B").link_class is T1
+        with pytest.raises(NetworkError):
+            net.link_between("A", "Z")
+
+    def test_connectivity(self):
+        net = line_network()
+        assert net.is_connected()
+        net.add_site(Site("isolated"))
+        assert not net.is_connected()
+
+
+class TestRouting:
+    def test_shortest_path_prefers_low_latency(self):
+        """The 56 kbps hop's setup latency (50 ms) exceeds the combined
+        T1+T3 two-hop latency, so the interactive route goes around."""
+        net = line_network()
+        path = net.shortest_path("A", "C")
+        assert path == ["A", "B", "C"]
+        assert net.path_latency(path) < net.path_latency(["A", "C"])
+
+    def test_widest_path_prefers_bandwidth(self):
+        """Bulk route avoids the 56k shortcut."""
+        net = line_network()
+        assert net.widest_path("A", "C") == ["A", "B", "C"]
+
+    def test_bottleneck(self):
+        net = line_network()
+        path = net.widest_path("A", "C")
+        assert net.bottleneck_throughput(path) == pytest.approx(
+            T1.throughput_bytes_per_s
+        )
+
+    def test_path_latency_sums_links(self):
+        net = line_network()
+        lat = net.path_latency(["A", "B", "C"])
+        expected = net.link_between("A", "B").latency_s + net.link_between("B", "C").latency_s
+        assert lat == pytest.approx(expected)
+
+    def test_unknown_site(self):
+        net = line_network()
+        with pytest.raises(NetworkError):
+            net.shortest_path("A", "Z")
+
+    def test_unreachable(self):
+        net = line_network()
+        net.add_site(Site("island"))
+        with pytest.raises(NetworkError):
+            net.shortest_path("A", "island")
+
+    def test_trivial_path(self):
+        net = line_network()
+        assert net.shortest_path("A", "A") == ["A"]
+        assert net.path_latency(["A"]) == 0.0
+
+    def test_gigabit_outranks_hippi(self):
+        assert GIGABIT.rate_bps > HIPPI_SONET.rate_bps

@@ -1,0 +1,143 @@
+"""M/M/1 congestion model and capacity planning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    DELTA_SITE,
+    GIGABIT,
+    T1,
+    T3,
+    Site,
+    WideAreaNetwork,
+    best_single_upgrade,
+    bottleneck,
+    congestion_sweep,
+    delta_consortium,
+    loaded_transfer_time,
+    mm1_delay_factor,
+    route_demands,
+)
+from repro.util.errors import NetworkError
+
+
+class TestMM1:
+    def test_idle_factor_is_one(self):
+        assert mm1_delay_factor(0.0) == 1.0
+
+    def test_half_load_doubles(self):
+        assert mm1_delay_factor(0.5) == pytest.approx(2.0)
+
+    def test_ninety_percent_tenfold(self):
+        assert mm1_delay_factor(0.9) == pytest.approx(10.0)
+
+    def test_saturation_rejected(self):
+        with pytest.raises(NetworkError):
+            mm1_delay_factor(1.0)
+        with pytest.raises(NetworkError):
+            mm1_delay_factor(-0.1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rho=st.floats(0.0, 0.99))
+    def test_property_factor_monotone(self, rho):
+        assert mm1_delay_factor(rho) >= 1.0
+        if rho > 1e-9:  # below this, 1/(1-rho) rounds to exactly 1.0
+            assert mm1_delay_factor(rho) > mm1_delay_factor(rho * 0.5)
+
+
+class TestLoadedTransfer:
+    def test_idle_matches_dedicated(self):
+        from repro.network import transfer_time
+
+        net = delta_consortium()
+        loaded = loaded_transfer_time(net, DELTA_SITE, "JPL", 1e9, 0.0)
+        dedicated = transfer_time(net, DELTA_SITE, "JPL", 1e9).time_s
+        assert loaded == pytest.approx(dedicated)
+
+    def test_hockey_stick(self):
+        net = delta_consortium()
+        sweep = congestion_sweep(net, DELTA_SITE, "JPL", 1e9,
+                                 (0.0, 0.5, 0.9, 0.95))
+        slowdowns = [p.slowdown for p in sweep]
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[-1] == pytest.approx(20.0, rel=0.01)
+
+    def test_negative_bytes(self):
+        with pytest.raises(NetworkError):
+            loaded_transfer_time(delta_consortium(), DELTA_SITE, "JPL", -1, 0.0)
+
+
+def star_network():
+    """Hub with one T3 spoke and two T1 spokes."""
+    net = WideAreaNetwork("star")
+    for name in ("hub", "fast", "slow1", "slow2"):
+        net.add_site(Site(name))
+    net.connect("hub", "fast", T3, distance_km=100)
+    net.connect("hub", "slow1", T1, distance_km=100)
+    net.connect("hub", "slow2", T1, distance_km=100)
+    return net
+
+
+class TestCapacityPlanning:
+    def test_route_demands_accumulates(self):
+        net = star_network()
+        demands = {("slow1", "fast"): 1e4, ("slow1", "slow2"): 1e4}
+        loads = route_demands(net, demands)
+        by_link = {(l.a, l.b): l.offered_bytes_per_s for l in loads}
+        assert by_link[("hub", "slow1")] == pytest.approx(2e4)
+        assert by_link[("fast", "hub")] == pytest.approx(1e4)
+
+    def test_bottleneck_is_hottest(self):
+        net = star_network()
+        demands = {("slow1", "fast"): 1e5}
+        hot = bottleneck(net, demands)
+        assert {hot.a, hot.b} == {"hub", "slow1"}
+        assert hot.utilisation == pytest.approx(1e5 / T1.throughput_bytes_per_s)
+
+    def test_saturation_flag(self):
+        net = star_network()
+        demands = {("slow1", "hub"): 2 * T1.throughput_bytes_per_s}
+        assert bottleneck(net, demands).saturated
+
+    def test_zero_and_self_demands_ignored(self):
+        net = star_network()
+        loads = route_demands(net, {("slow1", "slow1"): 1e6, ("hub", "fast"): 0.0})
+        assert all(l.offered_bytes_per_s == 0 for l in loads)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(NetworkError):
+            route_demands(star_network(), {("hub", "fast"): -1.0})
+
+    def test_best_single_upgrade_picks_hot_link(self):
+        net = star_network()
+        demands = {("slow1", "hub"): 1e5}  # only slow1's T1 is hot
+        plan = best_single_upgrade(net, demands, GIGABIT)
+        assert plan.link == tuple(sorted(("hub", "slow1")))
+        assert plan.after_peak_utilisation < plan.before_peak_utilisation
+        assert plan.headroom_gain > 0
+
+    def test_upgrade_rerouting_accounted(self):
+        """Traffic shifts onto an upgraded link; the plan reflects the
+        re-routed utilisation."""
+        net = star_network()
+        demands = {("slow1", "fast"): 1e5}
+        plan = best_single_upgrade(net, demands, GIGABIT)
+        # The hot T1 spoke gets the upgrade; the T3 spoke then caps
+        # utilisation.
+        assert plan.link == tuple(sorted(("hub", "slow1")))
+        assert plan.after_peak_utilisation == pytest.approx(
+            1e5 / T3.throughput_bytes_per_s
+        )
+
+    def test_consortium_demands(self):
+        net = delta_consortium()
+        demands = {
+            (DELTA_SITE, "CRPC (Rice)"): 1e4,
+            (DELTA_SITE, "JPL"): 1e7,
+        }
+        loads = route_demands(net, demands)
+        assert loads[0].utilisation > 0
+        # HIPPI absorbs 10 MB/s without breaking a sweat.
+        hippi = next(l for l in loads if {l.a, l.b} == {DELTA_SITE, "JPL"})
+        assert hippi.utilisation < 0.2

@@ -1,0 +1,202 @@
+"""Transfer models, consortium network, upgrade analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    DELTA_SITE,
+    GIGABIT,
+    HIPPI_SONET,
+    T1,
+    T3,
+    Site,
+    WideAreaNetwork,
+    compare_transfer,
+    delta_consortium,
+    feasibility_frontier,
+    remote_session,
+    transfer_time,
+    upgrade_all_below,
+    upgraded_network,
+)
+from repro.util.errors import NetworkError
+from repro.util.units import megabytes
+
+
+class TestConsortiumNetwork:
+    def test_builds_and_connected(self):
+        net = delta_consortium()
+        assert net.is_connected()
+        assert len(net.sites) == 14
+
+    def test_hippi_to_jpl(self):
+        net = delta_consortium()
+        assert net.link_between(DELTA_SITE, "JPL").link_class is HIPPI_SONET
+
+    def test_site_kinds_cover_sectors(self):
+        """Partners span government, industry and academia, as the
+        paper stresses."""
+        kinds = {s.kind for s in delta_consortium().sites}
+        assert {"government", "industry", "academia"} <= kinds
+
+    def test_rice_reaches_delta(self):
+        net = delta_consortium()
+        path = net.widest_path("CRPC (Rice)", DELTA_SITE)
+        assert path[0] == "CRPC (Rice)" and path[-1] == DELTA_SITE
+
+
+class TestTransferTime:
+    def test_hippi_moves_gigabyte_in_seconds(self):
+        net = delta_consortium()
+        est = transfer_time(net, DELTA_SITE, "JPL", 1e9)
+        assert est.time_s < 20.0
+
+    def test_t1_takes_hours_for_gigabyte(self):
+        net = delta_consortium()
+        est = transfer_time(net, DELTA_SITE, "DOE laboratories", 1e9)
+        assert est.time_s > 3600.0
+
+    def test_hippi_vs_t1_shape(self):
+        """The headline ratio: HIPPI ~533x T1 line rate shows up as a
+        similar transfer-time ratio for large payloads."""
+        net = delta_consortium()
+        hippi = transfer_time(net, DELTA_SITE, "JPL", 1e9)
+        t1 = transfer_time(net, DELTA_SITE, "DOE laboratories", 1e9)
+        ratio = t1.time_s / hippi.time_s
+        assert 300 < ratio < 800
+
+    def test_store_and_forward_slower_multihop(self):
+        net = delta_consortium()
+        cut = transfer_time(net, DELTA_SITE, "CRPC (Rice)", megabytes(100))
+        snf = transfer_time(
+            net, DELTA_SITE, "CRPC (Rice)", megabytes(100), mode="store_and_forward"
+        )
+        assert snf.time_s > cut.time_s
+
+    def test_zero_bytes_pure_latency(self):
+        net = delta_consortium()
+        est = transfer_time(net, DELTA_SITE, "JPL", 0)
+        assert est.time_s == pytest.approx(
+            net.path_latency(net.widest_path(DELTA_SITE, "JPL"))
+        )
+
+    def test_pinned_path(self):
+        net = delta_consortium()
+        path = [DELTA_SITE, "Regional network", "Intel SSD"]
+        est = transfer_time(net, DELTA_SITE, "Intel SSD", 1e6, path=path)
+        assert est.path == path
+
+    def test_pinned_path_must_join_endpoints(self):
+        net = delta_consortium()
+        with pytest.raises(NetworkError):
+            transfer_time(net, DELTA_SITE, "JPL", 1e6,
+                          path=[DELTA_SITE, "Regional network"])
+
+    def test_bad_mode(self):
+        with pytest.raises(NetworkError):
+            transfer_time(delta_consortium(), DELTA_SITE, "JPL", 1, mode="teleport")
+
+    def test_negative_bytes(self):
+        with pytest.raises(NetworkError):
+            transfer_time(delta_consortium(), DELTA_SITE, "JPL", -1)
+
+    def test_effective_rate_below_line_rate(self):
+        net = delta_consortium()
+        est = transfer_time(net, DELTA_SITE, "JPL", 1e9)
+        assert est.effective_mbps < 800.0
+
+    def test_describe_readable(self):
+        est = transfer_time(delta_consortium(), DELTA_SITE, "JPL", 1e9)
+        text = est.describe()
+        assert "JPL" in text and "Mbps" in text
+
+
+class TestRemoteSession:
+    def test_hippi_supports_interactive_viz(self):
+        net = delta_consortium()
+        session = remote_session(net, DELTA_SITE, "JPL")
+        assert session.interactive
+        assert session.achievable_fps > 10
+
+    def test_56k_cannot(self):
+        net = delta_consortium()
+        session = remote_session(net, DELTA_SITE, "Regional members")
+        assert not session.interactive
+        assert session.achievable_fps < 1
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            remote_session(delta_consortium(), DELTA_SITE, "JPL", frame_bytes=0)
+
+
+class TestUpgrades:
+    def test_upgrade_all_below_t3(self):
+        net = delta_consortium()
+        upgraded = upgrade_all_below(net, T3.rate_bps, GIGABIT)
+        # Every former T1/56k link is now gigabit.
+        slow = [l for l in upgraded.links if l.link_class.rate_bps < T3.rate_bps]
+        assert slow == []
+
+    def test_original_untouched(self):
+        net = delta_consortium()
+        upgrade_all_below(net, T3.rate_bps, GIGABIT)
+        assert any(l.link_class is T1 for l in net.links)
+
+    def test_upgrade_speedup_large(self):
+        """NREN pitch: gigabit tails turn an hours-long transfer into
+        seconds -- two orders of magnitude or more."""
+        net = delta_consortium()
+        upgraded = upgrade_all_below(net, T3.rate_bps, GIGABIT)
+        cmp = compare_transfer(net, upgraded, DELTA_SITE, "DOE laboratories", 1e9)
+        assert cmp.speedup > 100
+
+    def test_predicate_upgrade(self):
+        net = delta_consortium()
+        upgraded = upgraded_network(
+            net, lambda l: "Regional network" in (l.a, l.b), GIGABIT
+        )
+        assert upgraded.link_between("Regional network", "Intel SSD").link_class.rate_bps >= T3.rate_bps
+
+    def test_threshold_validation(self):
+        with pytest.raises(NetworkError):
+            upgrade_all_below(delta_consortium(), 0, GIGABIT)
+
+
+class TestFeasibilityFrontier:
+    def test_overnight_dataset_grows_with_upgrade(self):
+        net = delta_consortium()
+        upgraded = upgrade_all_below(net, T3.rate_bps, GIGABIT)
+        before = feasibility_frontier(net, DELTA_SITE, "CRPC (Rice)")
+        after = feasibility_frontier(upgraded, DELTA_SITE, "CRPC (Rice)")
+        # The tail upgrade moves the bottleneck from T1 to the T3
+        # backbone hop: a 30x larger overnight dataset.
+        assert after > 25 * before
+
+    def test_deadline_validation(self):
+        with pytest.raises(NetworkError):
+            feasibility_frontier(delta_consortium(), DELTA_SITE, "JPL", deadline_s=0)
+
+    def test_scales_linearly_with_deadline(self):
+        net = delta_consortium()
+        one = feasibility_frontier(net, DELTA_SITE, "JPL", deadline_s=100)
+        two = feasibility_frontier(net, DELTA_SITE, "JPL", deadline_s=200)
+        assert two > 1.9 * one
+
+
+@settings(max_examples=20, deadline=None)
+@given(nbytes=st.floats(0, 1e12))
+def test_property_transfer_monotone_in_size(nbytes):
+    net = delta_consortium()
+    small = transfer_time(net, DELTA_SITE, "JPL", nbytes)
+    bigger = transfer_time(net, DELTA_SITE, "JPL", nbytes * 2 + 1)
+    assert bigger.time_s >= small.time_s
+
+
+@settings(max_examples=20, deadline=None)
+@given(nbytes=st.floats(1e3, 1e12))
+def test_property_cut_through_never_slower(nbytes):
+    net = delta_consortium()
+    cut = transfer_time(net, DELTA_SITE, "CRPC (Rice)", nbytes)
+    snf = transfer_time(net, DELTA_SITE, "CRPC (Rice)", nbytes, mode="store_and_forward")
+    assert cut.time_s <= snf.time_s + 1e-12

@@ -1,0 +1,115 @@
+"""Exhibit T4-3 invariants: the funding table."""
+
+import pytest
+
+from repro.program import (
+    AGENCIES,
+    agency_budget,
+    agency_share,
+    budget_lines,
+    component_budget_estimate,
+    growth_rate,
+    largest_agency,
+    total_budget,
+    validate_totals,
+)
+from repro.program.budget import COMPONENT_SHARE_ESTIMATE, render, render_component_estimate
+from repro.util.errors import ProgramModelError
+
+
+class TestPaperNumbers:
+    """Each cell matches the printed table."""
+
+    @pytest.mark.parametrize("code,fy92,fy93", [
+        ("DARPA", 232.2, 275.0),
+        ("NSF", 200.9, 261.9),
+        ("DOE", 92.3, 109.1),
+        ("NASA", 71.2, 89.1),
+        ("HHS/NIH", 41.3, 44.9),
+        ("DOC/NOAA", 9.8, 10.8),
+        ("EPA", 5.0, 8.0),
+        ("DOC/NIST", 2.1, 4.1),
+    ])
+    def test_agency_lines(self, code, fy92, fy93):
+        assert agency_budget(code, 1992) == pytest.approx(fy92)
+        assert agency_budget(code, 1993) == pytest.approx(fy93)
+
+    def test_totals_match_printed(self):
+        assert total_budget(1992) == pytest.approx(654.8)
+        assert total_budget(1993) == pytest.approx(802.9)
+
+    def test_validate_totals_passes(self):
+        validate_totals()
+
+    def test_program_growth(self):
+        """FY93 grew ~22.6% over FY92."""
+        assert growth_rate() == pytest.approx(0.226, abs=0.003)
+
+    def test_darpa_largest_both_years(self):
+        assert largest_agency(1992) == "DARPA"
+        assert largest_agency(1993) == "DARPA"
+
+    def test_every_agency_grew(self):
+        for line in budget_lines():
+            assert line.growth > 0
+
+    def test_nist_fastest_relative_growth(self):
+        growths = {a.code: growth_rate(a.code) for a in AGENCIES}
+        assert max(growths, key=growths.get) == "DOC/NIST"
+
+
+class TestDerived:
+    def test_shares_sum_to_one(self):
+        for fy in (1992, 1993):
+            assert sum(agency_share(a.code, fy) for a in AGENCIES) == pytest.approx(1.0)
+
+    def test_darpa_share_over_third(self):
+        assert agency_share("DARPA", 1992) > 0.33
+
+    def test_component_estimates_sum_to_total(self):
+        est = sum(
+            component_budget_estimate(c, 1993) for c in COMPONENT_SHARE_ESTIMATE
+        )
+        assert est == pytest.approx(total_budget(1993))
+
+    def test_component_shares_are_probabilities(self):
+        assert sum(COMPONENT_SHARE_ESTIMATE.values()) == pytest.approx(1.0)
+
+    def test_budget_lines_order_matches_paper(self):
+        assert [l.agency for l in budget_lines()] == [
+            "DARPA", "NSF", "DOE", "NASA", "HHS/NIH", "DOC/NOAA", "EPA", "DOC/NIST",
+        ]
+
+
+class TestValidation:
+    def test_unknown_agency(self):
+        with pytest.raises(ProgramModelError):
+            agency_budget("CIA", 1992)
+
+    def test_unknown_year(self):
+        with pytest.raises(ProgramModelError):
+            agency_budget("DARPA", 1991)
+        with pytest.raises(ProgramModelError):
+            total_budget(1994)
+
+    def test_unknown_component(self):
+        with pytest.raises(ProgramModelError):
+            component_budget_estimate("HPCX", 1992)
+
+
+class TestRendering:
+    def test_render_contains_table(self):
+        text = render()
+        assert "DARPA" in text
+        assert "232.2" in text
+        assert "654.8" in text
+        assert "802.9" in text
+
+    def test_render_without_growth(self):
+        text = render(include_growth=False)
+        assert "Growth" not in text
+
+    def test_component_render_labelled_estimate(self):
+        text = render_component_estimate(1993)
+        assert "est" in text.lower()
+        assert "ASTA" in text

@@ -1,0 +1,129 @@
+"""Bass diffusion model: invariants and the consortium acceleration claim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.program import (
+    BassDiffusion,
+    acceleration,
+    cas_consortium,
+    transfer_with_consortium,
+    transfer_without_consortium,
+)
+from repro.util.errors import ProgramModelError
+
+
+class TestBassBasics:
+    def test_monotone_nondecreasing(self):
+        model = BassDiffusion(market_size=100, p=0.02, q=0.3)
+        traj = model.trajectory(60)
+        assert (np.diff(traj) >= -1e-12).all()
+
+    def test_bounded_by_market(self):
+        model = BassDiffusion(market_size=100, p=0.05, q=0.5)
+        traj = model.trajectory(200)
+        assert (traj <= 100 + 1e-9).all()
+
+    def test_saturates(self):
+        model = BassDiffusion(market_size=100, p=0.02, q=0.4)
+        assert model.trajectory(500)[-1] == pytest.approx(100, abs=0.1)
+
+    def test_no_adoption_without_impulse(self):
+        model = BassDiffusion(market_size=100, p=0.0, q=0.5, seed_adopters=0.0)
+        assert model.trajectory(50)[-1] == 0.0
+
+    def test_seed_alone_spreads_via_imitation(self):
+        model = BassDiffusion(market_size=100, p=0.0, q=0.5, seed_adopters=5)
+        assert model.trajectory(50)[-1] > 90
+
+    def test_adoption_rate_is_bell(self):
+        """With q >> p the per-period rate rises then falls."""
+        model = BassDiffusion(market_size=1000, p=0.005, q=0.5)
+        rate = model.adoption_rate(80)
+        peak = int(np.argmax(rate))
+        assert 0 < peak < 79
+
+    def test_time_to_fraction_ordering(self):
+        model = BassDiffusion(market_size=100, p=0.02, q=0.3)
+        assert model.time_to_fraction(0.25) <= model.time_to_fraction(0.75)
+
+    def test_time_to_fraction_already_reached(self):
+        model = BassDiffusion(market_size=100, p=0.01, q=0.1, seed_adopters=60)
+        assert model.time_to_fraction(0.5) == 0
+
+    def test_never_reaching_raises(self):
+        model = BassDiffusion(market_size=100, p=0.0, q=0.5, seed_adopters=0)
+        with pytest.raises(ProgramModelError):
+            model.time_to_fraction(0.5, max_periods=100)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(market_size=0),
+        dict(market_size=10, p=-0.1),
+        dict(market_size=10, q=1.5),
+        dict(market_size=10, seed_adopters=11),
+    ])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ProgramModelError):
+            BassDiffusion(**kwargs)
+
+    def test_bad_periods(self):
+        with pytest.raises(ProgramModelError):
+            BassDiffusion(market_size=10).trajectory(-1)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ProgramModelError):
+            BassDiffusion(market_size=10).time_to_fraction(0.0)
+
+
+class TestConsortiumTransfer:
+    def test_consortium_accelerates_adoption(self):
+        """Exhibit T4-6's claim, quantified: participation shaves years
+        off 50% adoption."""
+        cas = cas_consortium()
+        saved = acceleration(cas, market_size=200, fraction=0.5)
+        assert saved > 0
+
+    def test_with_consortium_dominates_everywhere(self):
+        cas = cas_consortium()
+        with_c = transfer_with_consortium(cas, 200).trajectory(40)
+        without = transfer_without_consortium(200).trajectory(40)
+        assert (with_c >= without - 1e-9).all()
+
+    def test_seeding_matches_membership(self):
+        cas = cas_consortium()
+        model = transfer_with_consortium(cas, 200)
+        assert model.seed_adopters == cas.n_members
+
+    def test_market_smaller_than_consortium(self):
+        with pytest.raises(ProgramModelError):
+            transfer_with_consortium(cas_consortium(), market_size=3)
+
+    def test_boost_below_one_rejected(self):
+        with pytest.raises(ProgramModelError):
+            transfer_with_consortium(
+                cas_consortium(), 200, participation_boost=0.5
+            )
+
+    def test_boost_caps_at_probability_one(self):
+        model = transfer_with_consortium(
+            cas_consortium(), 200, base_p=0.5, participation_boost=4.0
+        )
+        assert model.p == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(10, 500),
+    p=st.floats(0.001, 0.2),
+    q=st.floats(0.0, 0.8),
+    periods=st.integers(1, 100),
+)
+def test_property_trajectory_monotone_bounded(m, p, q, periods):
+    model = BassDiffusion(market_size=m, p=p, q=q)
+    traj = model.trajectory(periods)
+    assert (np.diff(traj) >= -1e-9).all()
+    assert traj[-1] <= m + 1e-6

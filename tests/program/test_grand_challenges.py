@@ -1,0 +1,57 @@
+"""Grand Challenge registry cross-checks."""
+
+import pytest
+
+from repro.program import (
+    GRAND_CHALLENGES,
+    challenges_for_agency,
+    proxy_coverage,
+    validate_registry,
+)
+from repro.util.errors import ProgramModelError
+
+
+class TestRegistry:
+    def test_validates(self):
+        validate_registry()
+
+    def test_canonical_areas_present(self):
+        names = {gc.name for gc in GRAND_CHALLENGES}
+        assert "Computational aerosciences" in names
+        assert "Climate and global change" in names
+        assert "Structural biology and drug design" in names
+
+    def test_every_proxy_is_runnable(self):
+        from repro.core.workload import WORKLOADS
+
+        for gc in GRAND_CHALLENGES:
+            assert gc.proxy_workload in WORKLOADS
+
+    def test_cas_sponsored_by_nasa(self):
+        cas = next(
+            gc for gc in GRAND_CHALLENGES if gc.name == "Computational aerosciences"
+        )
+        assert "NASA" in cas.agencies
+
+    def test_climate_sponsored_by_noaa(self):
+        climate = next(
+            gc for gc in GRAND_CHALLENGES if "Climate" in gc.name
+        )
+        assert "DOC/NOAA" in climate.agencies
+
+    def test_agency_query(self):
+        doe = challenges_for_agency("DOE")
+        assert len(doe) >= 3  # DOE's energy portfolio is broad
+
+    def test_unknown_agency(self):
+        with pytest.raises(ProgramModelError):
+            challenges_for_agency("USDA")
+
+    def test_proxy_coverage_totals(self):
+        coverage = proxy_coverage()
+        assert sum(coverage.values()) == len(GRAND_CHALLENGES)
+        # Grid codes dominate the list, as they did historically.
+        assert coverage.get("cfd", 0) + coverage.get("poisson", 0) >= 3
+
+    def test_patterns_annotated(self):
+        assert all(gc.pattern for gc in GRAND_CHALLENGES)

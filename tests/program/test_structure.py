@@ -1,0 +1,142 @@
+"""Agencies, components, responsibilities matrix, consortia."""
+
+import pytest
+
+from repro.program import (
+    AGENCIES,
+    COMPONENTS,
+    RESPONSIBILITIES,
+    agencies_covering,
+    cas_consortium,
+    coverage_matrix,
+    delta_csc,
+    get_agency,
+    get_component,
+    responsibilities_of,
+    validate_matrix,
+)
+from repro.program.consortium import Consortium, Member
+from repro.program.responsibilities import render
+from repro.util.errors import ProgramModelError
+
+
+class TestAgencies:
+    def test_eight_agencies(self):
+        assert len(AGENCIES) == 8
+
+    def test_lookup(self):
+        assert get_agency("DARPA").name.startswith("Defense")
+        assert get_agency("DOC/NIST").department == "DOC"
+
+    def test_unknown(self):
+        with pytest.raises(ProgramModelError):
+            get_agency("FBI")
+
+
+class TestComponents:
+    def test_four_components(self):
+        assert [c.code for c in COMPONENTS] == ["HPCS", "ASTA", "NREN", "BRHR"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_component("nren").title.startswith("National Research")
+
+    def test_unknown(self):
+        with pytest.raises(ProgramModelError):
+            get_component("GPU")
+
+
+class TestResponsibilities:
+    def test_matrix_validates(self):
+        validate_matrix()
+
+    def test_darpa_leads_systems_and_networks(self):
+        darpa = responsibilities_of("DARPA")
+        assert any("teraops" in e for e in darpa["HPCS"])
+        assert any("gigabit" in e for e in darpa["NREN"])
+
+    def test_nasa_aerosciences(self):
+        nasa = responsibilities_of("NASA")
+        assert any("aerosciences" in e.lower() for e in nasa["ASTA"])
+
+    def test_asta_covered_by_all_eight(self):
+        """Every agency has an applications/software role."""
+        assert len(agencies_covering("ASTA")) == 8
+
+    def test_hpcs_is_selective(self):
+        """Only the technology agencies appear under HPCS."""
+        covering = agencies_covering("HPCS")
+        assert "DARPA" in covering and "EPA" not in covering
+
+    def test_noaa_is_mission_focused(self):
+        noaa = responsibilities_of("DOC/NOAA")
+        assert noaa["HPCS"] == [] and noaa["BRHR"] == []
+        assert noaa["ASTA"]
+
+    def test_coverage_matrix_shape(self):
+        matrix = coverage_matrix()
+        assert len(matrix) == 8
+        assert all(len(row) == 4 for row in matrix)
+
+    def test_coverage_counts_match_dict(self):
+        matrix = coverage_matrix()
+        for i, agency in enumerate(AGENCIES):
+            for j, comp in enumerate(COMPONENTS):
+                expected = len(RESPONSIBILITIES.get((agency.code, comp.code), []))
+                assert matrix[i][j] == expected
+
+    def test_render(self):
+        text = render()
+        assert "DARPA" in text and "BRHR" in text
+
+    def test_unknown_queries(self):
+        with pytest.raises(ProgramModelError):
+            responsibilities_of("KGB")
+        with pytest.raises(ProgramModelError):
+            agencies_covering("XXXX")
+
+
+class TestConsortia:
+    def test_delta_csc_over_14_partners(self):
+        """'Partners include over 14 government, industry and academia
+        organizations.'"""
+        csc = delta_csc()
+        assert csc.n_members >= 14
+        assert csc.spans_all_sectors()
+
+    def test_delta_csc_names_core_partners(self):
+        names = {m.name for m in delta_csc().members}
+        assert "California Institute of Technology" in names
+        assert "Intel Corporation" in names
+        assert "Jet Propulsion Laboratory" in names
+
+    def test_cas_industry_roster(self):
+        """The twelve private-sector participants the paper lists."""
+        cas = cas_consortium()
+        industry = {m.name for m in cas.by_sector("industry")}
+        assert len(industry) == 12
+        assert {"Boeing", "General Motors", "Motorola"} <= industry
+
+    def test_cas_academia_roster(self):
+        academia = {m.name for m in cas_consortium().by_sector("academia")}
+        assert "Syracuse University" in academia
+        assert len(academia) == 4
+
+    def test_cas_purposes_cover_tech_transfer(self):
+        purposes = " ".join(cas_consortium().purposes).lower()
+        assert "transfer" in purposes and "commercialize" in purposes
+
+    def test_sector_counts(self):
+        counts = delta_csc().sector_counts()
+        assert sum(counts.values()) == delta_csc().n_members
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ProgramModelError):
+            Consortium("x", [], [Member("A", "industry"), Member("A", "industry")])
+
+    def test_bad_sector(self):
+        with pytest.raises(ProgramModelError):
+            Member("A", "aliens")
+
+    def test_bad_sector_query(self):
+        with pytest.raises(ProgramModelError):
+            delta_csc().by_sector("aliens")

@@ -1,0 +1,83 @@
+"""Teraops trajectory projection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine, LinkModel, Mesh2D, NodeSpec, darpa_mpp_series
+from repro.program import (
+    fit_machines,
+    fit_peak_growth,
+    teraflops_year,
+    trajectory_table,
+)
+from repro.util.errors import ProgramModelError
+
+
+class TestFit:
+    def test_exact_exponential_recovered(self):
+        points = [(1990, 1e9), (1991, 2e9), (1992, 4e9)]
+        fit = fit_peak_growth(points)
+        assert fit.annual_growth == pytest.approx(2.0)
+        assert fit.peak_at(1993) == pytest.approx(8e9)
+
+    def test_year_reaching(self):
+        fit = fit_peak_growth([(1990, 1e9), (1991, 2e9)])
+        assert fit.year_reaching(8e9) == pytest.approx(1993.0)
+
+    def test_two_point_minimum(self):
+        with pytest.raises(ProgramModelError):
+            fit_peak_growth([(1990, 1e9)])
+
+    def test_same_year_rejected(self):
+        with pytest.raises(ProgramModelError):
+            fit_peak_growth([(1990, 1e9), (1990, 2e9)])
+
+    def test_nonpositive_peak_rejected(self):
+        with pytest.raises(ProgramModelError):
+            fit_peak_growth([(1990, 0.0), (1991, 1e9)])
+
+    def test_flat_growth_never_reaches(self):
+        fit = fit_peak_growth([(1990, 1e9), (1991, 1e9)])
+        with pytest.raises(ProgramModelError):
+            fit.year_reaching(2e9)
+
+    def test_bad_target(self):
+        fit = fit_peak_growth([(1990, 1e9), (1991, 2e9)])
+        with pytest.raises(ProgramModelError):
+            fit.year_reaching(0.0)
+
+
+class TestDarpaSeries:
+    def test_rapid_growth(self):
+        """The MPP series grew ~3x/year in peak."""
+        fit = fit_machines(darpa_mpp_series())
+        assert 2.0 < fit.annual_growth < 4.5
+
+    def test_teraflops_mid_decade(self):
+        """The HPCS 'teraops systems' goal projects to the mid-1990s --
+        historically on the money (ASCI Red, 1996-97)."""
+        year = teraflops_year(darpa_mpp_series())
+        assert 1993 < year < 1997
+
+    def test_trajectory_table(self):
+        rows = trajectory_table(darpa_mpp_series(), horizon=1996)
+        years = [r[0] for r in rows]
+        assert years == list(range(1990, 1997))
+        projections = [r[1] for r in rows]
+        assert projections == sorted(projections)
+        # Installed points appear in their years.
+        installed_1991 = next(r[2] for r in rows if r[0] == 1991)
+        assert installed_1991 == pytest.approx(32.0, rel=0.01)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    base=st.floats(1e6, 1e12),
+    growth=st.floats(1.2, 5.0),
+    n=st.integers(2, 6),
+)
+def test_property_fit_recovers_generated_series(base, growth, n):
+    points = [(1990 + i, base * growth**i) for i in range(n)]
+    fit = fit_peak_growth(points)
+    assert fit.annual_growth == pytest.approx(growth, rel=1e-6)

@@ -1,0 +1,90 @@
+"""Collective cost models vs the simulator."""
+
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import (
+    allgather_ring_time,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    validate_model,
+)
+from repro.simmpi.cost_models import MODELS
+from repro.util.errors import ConfigurationError
+
+
+def crossbar(n):
+    return Machine(
+        name="xbar",
+        node=NodeSpec("n", peak_flops=1e8, memory_bytes=1e9),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=72e-6, bandwidth_bytes_per_s=12e6),
+    )
+
+
+LINK = crossbar(2).link
+
+
+class TestClosedForms:
+    def test_single_rank_free(self):
+        assert bcast_time(1, 1e6, LINK) == 0.0
+        assert allgather_ring_time(1, 1e6, LINK) == 0.0
+        assert alltoall_time(1, 1e6, LINK) == 0.0
+        assert barrier_time(1, LINK) == 0.0
+
+    def test_bcast_log_rounds(self):
+        t8 = bcast_time(8, 1024, LINK)
+        t16 = bcast_time(16, 1024, LINK)
+        assert t16 / t8 == pytest.approx(4 / 3)
+
+    def test_allgather_linear_rounds(self):
+        t4 = allgather_ring_time(4, 1024, LINK)
+        t8 = allgather_ring_time(8, 1024, LINK)
+        assert t8 / t4 == pytest.approx(7 / 3)
+
+    def test_alltoall_exceeds_allgather(self):
+        assert alltoall_time(8, 1024, LINK) > allgather_ring_time(8, 1024, LINK)
+
+    def test_allreduce_exceeds_bcast(self):
+        assert allreduce_time(8, 1024, LINK) > bcast_time(8, 1024, LINK)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bcast_time(0, 1024, LINK)
+        with pytest.raises(ConfigurationError):
+            bcast_time(4, -1, LINK)
+
+
+class TestModelVsSimulator:
+    @pytest.mark.parametrize("collective", sorted(MODELS))
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_within_fifty_percent(self, collective, p):
+        """First-order models stay within 50% of the executed
+        algorithms on a crossbar -- good enough to choose with."""
+        v = validate_model(collective, crossbar(p), p, 8192)
+        assert v.relative_error < 0.5, (
+            f"{collective} p={p}: model {v.modelled_s:.6f}s vs "
+            f"sim {v.simulated_s:.6f}s"
+        )
+
+    def test_models_rank_algorithms_correctly(self):
+        """The model ordering matches the simulated ordering:
+        allgather/alltoall (linear rounds) cost more than bcast/
+        allreduce (log rounds) at p=16."""
+        p, nbytes = 16, 8192
+        machine = crossbar(p)
+        sims = {c: validate_model(c, machine, p, nbytes).simulated_s
+                for c in MODELS}
+        models = {c: MODELS[c](p, nbytes, machine.link) for c in MODELS}
+        assert (models["allgather"] > models["bcast"]) == (
+            sims["allgather"] > sims["bcast"]
+        )
+        assert (models["alltoall"] > models["allreduce"]) == (
+            sims["alltoall"] > sims["allreduce"]
+        )
+
+    def test_unknown_collective(self):
+        with pytest.raises(ConfigurationError):
+            validate_model("allfoo", crossbar(2), 2, 8)

@@ -1,0 +1,142 @@
+"""Edge-path coverage: tracer bounds, barrier model, error propagation."""
+
+import numpy as np
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import Engine, barrier_time, run_program
+from repro.simmpi.trace import MessageRecord, Tracer
+from repro.util.errors import ConvergenceError
+
+
+def toy_machine(n):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=72e-6, bandwidth_bytes_per_s=12e6),
+    )
+
+
+class TestTracerBounds:
+    def make_record(self, i):
+        return MessageRecord(
+            source=0, dest=1, tag=i, nbytes=8.0,
+            send_time=float(i), arrival_time=float(i), recv_time=float(i),
+        )
+
+    def test_cap_enforced(self):
+        tracer = Tracer(enabled=True, max_records=5)
+        for i in range(8):
+            tracer.record(self.make_record(i))
+        assert len(tracer.records) == 5
+        assert tracer.dropped == 3
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(self.make_record(0))
+        assert tracer.records == [] and tracer.dropped == 0
+
+    def test_aggregates(self):
+        tracer = Tracer(enabled=True)
+        for i in range(3):
+            tracer.record(self.make_record(i))
+        assert tracer.total_bytes() == 24.0
+        assert tracer.by_pair() == {(0, 1): 3}
+
+
+class TestBarrierModel:
+    def test_matches_simulated_barrier_exactly(self):
+        """Zero-byte rounds pipeline: the model is exact on a crossbar."""
+
+        def program(comm):
+            yield from comm.barrier()
+
+        for p in (2, 8, 16):
+            machine = toy_machine(p)
+            sim = run_program(machine, p, program).time
+            model = barrier_time(p, machine.link)
+            assert model == pytest.approx(sim, rel=1e-9), (p, model, sim)
+
+    def test_log_scaling(self):
+        link = toy_machine(2).link
+        assert barrier_time(16, link) / barrier_time(4, link) == pytest.approx(2.0)
+
+
+class TestExceptionPropagation:
+    def test_rank_exception_reaches_caller(self):
+        class AppError(Exception):
+            pass
+
+        def program(comm):
+            yield from comm.compute(seconds=0.1)
+            if comm.rank == 1:
+                raise AppError("boom on rank 1")
+
+        with pytest.raises(AppError, match="boom on rank 1"):
+            run_program(toy_machine(3), 3, program)
+
+    def test_convergence_error_type_preserved(self):
+        def program(comm):
+            yield from comm.compute(seconds=0.0)
+            raise ConvergenceError("did not converge")
+
+        with pytest.raises(ConvergenceError):
+            run_program(toy_machine(1), 1, program)
+
+
+class TestPaperConstantsCrossCheck:
+    def test_link_speed_table_matches_catalogue(self):
+        """The paper-quoted speeds in the consortium module agree with
+        the link-class catalogue."""
+        from repro.network import LINK_CLASSES, PAPER_LINK_SPEEDS_MBPS
+
+        assert PAPER_LINK_SPEEDS_MBPS["NSFnet T1"] == pytest.approx(
+            LINK_CLASSES["t1"].rate_bps / 1e6
+        )
+        assert PAPER_LINK_SPEEDS_MBPS["NSFnet T3"] == pytest.approx(
+            LINK_CLASSES["t3"].rate_bps / 1e6
+        )
+        assert PAPER_LINK_SPEEDS_MBPS["CASA HIPPI/SONET"] == pytest.approx(
+            LINK_CLASSES["hippi"].rate_bps / 1e6
+        )
+        assert PAPER_LINK_SPEEDS_MBPS["Regional"] == pytest.approx(
+            LINK_CLASSES["56k"].rate_bps / 1e6
+        )
+
+    def test_delta_node_count_cross_modules(self):
+        """528 numeric processors everywhere it matters."""
+        from repro.core import Testbed
+        from repro.machine import touchstone_delta
+
+        assert touchstone_delta().n_nodes == 528
+        assert Testbed.delta_at_caltech().machine.n_nodes == 528
+        assert touchstone_delta().topology.rows * \
+            touchstone_delta().topology.cols == 528
+
+    def test_paper_quotes_in_consortium_purposes(self):
+        from repro.program import delta_csc
+
+        purposes = " ".join(delta_csc().purposes)
+        assert "32 GFLOPS" in purposes and "13 GFLOPS" in purposes
+
+
+class TestSendrecvUnderLoad:
+    def test_many_outstanding_messages(self):
+        """A rank can queue hundreds of eager messages without limit
+        (the model assumes sufficient buffer memory, as documented)."""
+
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(300):
+                    yield from comm.send(i, dest=1, tag=0)
+                return None
+            yield from comm.compute(seconds=1.0)
+            got = []
+            for _ in range(300):
+                msg = yield from comm.recv(source=0, tag=0)
+                got.append(msg.payload)
+            return got
+
+        result = run_program(toy_machine(2), 2, program)
+        assert result.returns[1] == list(range(300))

@@ -1,0 +1,146 @@
+"""Cross-cutting engine invariants, property-tested over random
+communication patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import FullyConnected, LinkModel, Machine, Mesh2D, NodeSpec
+from repro.simmpi import run_program
+
+
+def toy_machine(n, topology=None):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0),
+        topology=topology or FullyConnected(n),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8),
+    )
+
+
+def random_traffic_program(plan):
+    """Build a program executing a deterministic random plan.
+
+    ``plan[rank]`` is a list of ("send", dest, nbytes) / ("compute",
+    seconds) actions followed by the receives needed to drain inbound
+    messages (computed by the caller).
+    """
+
+    def program(comm):
+        sends, recv_count = plan[comm.rank]
+        for action in sends:
+            if action[0] == "send":
+                _, dest, nbytes = action
+                yield from comm.send(None, dest, tag=0, nbytes=nbytes)
+            else:
+                yield from comm.compute(seconds=action[1])
+        for _ in range(recv_count):
+            yield from comm.recv(tag=0)
+        return comm.rank
+
+    return program
+
+
+def build_plan(rng, p):
+    """Random sends + compute, with matching receive counts."""
+    inbound = [0] * p
+    plan = []
+    for rank in range(p):
+        actions = []
+        for _ in range(rng.integers(0, 5)):
+            if rng.random() < 0.6:
+                dest = int(rng.integers(0, p))
+                if dest == rank:
+                    continue
+                nbytes = float(rng.integers(0, 10_000))
+                actions.append(("send", dest, nbytes))
+                inbound[dest] += 1
+            else:
+                actions.append(("compute", float(rng.random()) * 1e-3))
+        plan.append(actions)
+    return [(plan[r], inbound[r]) for r in range(p)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=st.integers(2, 8), seed=st.integers(0, 10_000))
+def test_property_accounting_conservation(p, seed):
+    """Bytes/messages sent equal bytes/messages received; clocks are
+    non-negative; makespan bounds every rank's busy time."""
+    rng = np.random.default_rng(seed)
+    plan = build_plan(rng, p)
+    result = run_program(toy_machine(p), p, random_traffic_program(plan))
+
+    sent = sum(s.messages_sent for s in result.stats)
+    received = sum(s.messages_received for s in result.stats)
+    assert sent == received
+    assert sum(s.bytes_sent for s in result.stats) == pytest.approx(
+        sum(s.bytes_received for s in result.stats)
+    )
+    assert result.time >= 0
+    for s in result.stats:
+        assert s.compute_time >= 0 and s.comm_time >= 0
+        assert s.finish_time <= result.time + 1e-12
+        assert s.busy_time <= result.time + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=st.integers(2, 8), seed=st.integers(0, 10_000))
+def test_property_determinism(p, seed):
+    """Identical seeds and plans give identical outcomes."""
+    rng = np.random.default_rng(seed)
+    plan = build_plan(rng, p)
+    a = run_program(toy_machine(p), p, random_traffic_program(plan), seed=seed)
+    b = run_program(toy_machine(p), p, random_traffic_program(plan), seed=seed)
+    assert a.time == b.time
+    assert a.returns == b.returns
+    for sa, sb in zip(a.stats, b.stats):
+        assert sa == sb
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=st.integers(2, 8), seed=st.integers(0, 10_000))
+def test_property_topology_only_slows(p, seed):
+    """The same traffic on a mesh (multi-hop) never beats the crossbar
+    when per-hop latency is charged."""
+    rng = np.random.default_rng(seed)
+    plan = build_plan(rng, p)
+    crossbar = Machine(
+        name="xbar",
+        node=NodeSpec("n", peak_flops=1e8, memory_bytes=1e9),
+        topology=FullyConnected(p),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8, per_hop_s=1e-6),
+    )
+    mesh = Machine(
+        name="mesh",
+        node=NodeSpec("n", peak_flops=1e8, memory_bytes=1e9),
+        topology=Mesh2D(1, p),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8, per_hop_s=1e-6),
+    )
+    fast = run_program(crossbar, p, random_traffic_program(plan))
+    slow = run_program(mesh, p, random_traffic_program(plan))
+    assert slow.time >= fast.time - 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.integers(2, 6),
+    latency=st.floats(1e-6, 1e-3),
+    seed=st.integers(0, 1000),
+)
+def test_property_latency_monotone(p, latency, seed):
+    """Doubling the link latency never speeds a run up."""
+    rng = np.random.default_rng(seed)
+    plan = build_plan(rng, p)
+
+    def machine(lat):
+        return Machine(
+            name="m",
+            node=NodeSpec("n", peak_flops=1e8, memory_bytes=1e9),
+            topology=FullyConnected(p),
+            link=LinkModel(latency_s=lat, bandwidth_bytes_per_s=1e8),
+        )
+
+    base = run_program(machine(latency), p, random_traffic_program(plan))
+    slower = run_program(machine(2 * latency), p, random_traffic_program(plan))
+    assert slower.time >= base.time - 1e-12

@@ -1,0 +1,167 @@
+"""Sub-communicator (GroupComm) behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import run_program
+from repro.util.errors import CommunicationError
+
+
+def toy_machine(n):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8),
+    )
+
+
+class TestConstruction:
+    def test_rank_renumbering(self):
+        def program(comm):
+            if comm.rank in (1, 3, 5):
+                sub = comm.group([1, 3, 5])
+                return (sub.rank, sub.size)
+            return None
+            yield  # pragma: no cover
+
+        result = run_program(toy_machine(6), 6, program)
+        assert result.returns[1] == (0, 3)
+        assert result.returns[3] == (1, 3)
+        assert result.returns[5] == (2, 3)
+
+    def test_nonmember_rejected(self):
+        def program(comm):
+            comm.group([1, 2])
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(CommunicationError):
+            run_program(toy_machine(3), 3, program)
+
+    def test_duplicate_member_rejected(self):
+        def program(comm):
+            comm.group([0, 0])
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(CommunicationError):
+            run_program(toy_machine(1), 1, program)
+
+    def test_out_of_range_member(self):
+        def program(comm):
+            comm.group([0, 99])
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(CommunicationError):
+            run_program(toy_machine(1), 1, program)
+
+
+class TestGroupMessaging:
+    def test_send_recv_local_ranks(self):
+        def program(comm):
+            members = [2, 0]  # group rank 0 = global 2, group rank 1 = global 0
+            if comm.rank not in members:
+                return None
+            sub = comm.group(members)
+            if sub.rank == 0:
+                yield from sub.send("from-global-2", dest=1, tag=4)
+                return None
+            msg = yield from sub.recv(source=0, tag=4)
+            return (msg.payload, msg.source, msg.tag)
+
+        result = run_program(toy_machine(3), 3, program)
+        assert result.returns[0] == ("from-global-2", 0, 4)
+
+    def test_group_traffic_isolated_from_parent(self):
+        """Same user tag on parent and group must not cross-match."""
+
+        def program(comm):
+            sub = comm.group([0, 1])
+            if comm.rank == 0:
+                yield from comm.send("parent", dest=1, tag=7)
+                yield from sub.send("group", dest=1, tag=7)
+                return None
+            pmsg = yield from comm.recv(source=0, tag=7)
+            gmsg = yield from sub.recv(source=0, tag=7)
+            return (pmsg.payload, gmsg.payload)
+
+        result = run_program(toy_machine(2), 2, program)
+        assert result.returns[1] == ("parent", "group")
+
+
+class TestGroupCollectives:
+    def test_row_column_allreduce(self):
+        """2x3 process grid: row sums and column sums simultaneously."""
+
+        def program(comm):
+            prow, pcol = divmod(comm.rank, 3)
+            row_comm = comm.group([prow * 3 + j for j in range(3)])
+            col_comm = comm.group([i * 3 + pcol for i in range(2)])
+            row_sum = yield from row_comm.allreduce(comm.rank)
+            col_sum = yield from col_comm.allreduce(comm.rank)
+            return (row_sum, col_sum)
+
+        result = run_program(toy_machine(6), 6, program)
+        # rows: {0,1,2}=3, {3,4,5}=12; cols: {0,3}=3, {1,4}=5, {2,5}=7
+        assert result.returns[0] == (3, 3)
+        assert result.returns[4] == (12, 5)
+        assert result.returns[5] == (12, 7)
+
+    def test_group_bcast(self):
+        def program(comm):
+            members = [3, 1]
+            if comm.rank not in members:
+                return None
+            sub = comm.group(members)
+            value = "hi" if sub.rank == 0 else None
+            return (yield from sub.bcast(value, root=0))
+
+        result = run_program(toy_machine(4), 4, program)
+        assert result.returns[1] == "hi"
+        assert result.returns[3] == "hi"
+
+    def test_group_gather_scatter(self):
+        def program(comm):
+            sub = comm.group([0, 1, 2])
+            mine = yield from sub.scatter([10, 20, 30] if sub.rank == 0 else None)
+            return (yield from sub.gather(mine + 1, root=0))
+
+        result = run_program(toy_machine(3), 3, program)
+        assert result.returns[0] == [11, 21, 31]
+
+    def test_disjoint_groups_concurrent(self):
+        """Two disjoint groups reduce independently without crosstalk."""
+
+        def program(comm):
+            half = comm.size // 2
+            members = list(range(half)) if comm.rank < half else list(range(half, comm.size))
+            sub = comm.group(members)
+            return (yield from sub.allreduce(comm.rank))
+
+        result = run_program(toy_machine(8), 8, program)
+        assert result.returns[:4] == [6] * 4
+        assert result.returns[4:] == [22] * 4
+
+    def test_nested_group(self):
+        def program(comm):
+            sub = comm.group([0, 1, 2, 3])
+            if comm.rank in (0, 2):
+                subsub = sub.group([0, 2])  # global ranks 0 and 2
+                return (yield from subsub.allreduce(comm.rank + 1))
+            return None
+
+        result = run_program(toy_machine(4), 4, program)
+        assert result.returns[0] == 4
+        assert result.returns[2] == 4
+
+    def test_group_arrays(self):
+        def program(comm):
+            sub = comm.group([1, 0])
+            total = yield from sub.allreduce(np.full(3, float(comm.rank + 1)))
+            return total
+
+        result = run_program(toy_machine(2), 2, program)
+        assert np.array_equal(result.returns[0], np.full(3, 3.0))

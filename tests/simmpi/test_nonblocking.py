@@ -1,0 +1,267 @@
+"""Non-blocking receives (irecv/wait) and the new collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import run_program
+from repro.util.errors import CommunicationError, DeadlockError
+
+
+def toy_machine(n, latency=1e-4, bandwidth=1e7):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=latency, bandwidth_bytes_per_s=bandwidth),
+    )
+
+
+class TestIrecvSemantics:
+    def test_basic_roundtrip(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send("payload", dest=1, tag=3)
+                return None
+            handle = yield from comm.irecv(source=0, tag=3)
+            msg = yield from comm.wait(handle)
+            return (msg.payload, msg.source, msg.tag)
+
+        result = run_program(toy_machine(2), 2, program)
+        assert result.returns[1] == ("payload", 0, 3)
+
+    def test_post_before_send(self):
+        """Posting early then waiting works (pre-posted receive)."""
+
+        def program(comm):
+            if comm.rank == 1:
+                handle = yield from comm.irecv(source=0)
+                msg = yield from comm.wait(handle)
+                return msg.payload
+            yield from comm.compute(seconds=1.0)
+            yield from comm.send(42, dest=1)
+
+        result = run_program(toy_machine(2), 2, program)
+        assert result.returns[1] == 42
+
+    def test_matching_in_post_order(self):
+        """Two posted irecvs match two same-tag messages in post order."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send("first", dest=1, tag=1)
+                yield from comm.send("second", dest=1, tag=1)
+                return None
+            h1 = yield from comm.irecv(source=0, tag=1)
+            h2 = yield from comm.irecv(source=0, tag=1)
+            # Wait out of order: bindings are fixed by post order.
+            m2 = yield from comm.wait(h2)
+            m1 = yield from comm.wait(h1)
+            return (m1.payload, m2.payload)
+
+        result = run_program(toy_machine(2), 2, program)
+        assert result.returns[1] == ("first", "second")
+
+    def test_waitall(self):
+        def program(comm):
+            if comm.rank == 0:
+                for tag in range(3):
+                    yield from comm.send(tag * 10, dest=1, tag=tag)
+                return None
+            handles = []
+            for tag in range(3):
+                h = yield from comm.irecv(source=0, tag=tag)
+                handles.append(h)
+            msgs = yield from comm.waitall(handles)
+            return [m.payload for m in msgs]
+
+        result = run_program(toy_machine(2), 2, program)
+        assert result.returns[1] == [0, 10, 20]
+
+    def test_wait_unknown_handle(self):
+        def program(comm):
+            yield from comm.wait(999)
+
+        with pytest.raises(CommunicationError):
+            run_program(toy_machine(1), 1, program)
+
+    def test_double_wait_rejected(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, dest=1)
+                yield from comm.send(2, dest=1)
+                return None
+            h = yield from comm.irecv(source=0)
+            yield from comm.wait(h)
+            yield from comm.wait(h)  # handle already consumed
+
+        with pytest.raises(CommunicationError):
+            run_program(toy_machine(2), 2, program)
+
+    def test_unmatched_wait_deadlocks(self):
+        def program(comm):
+            if comm.rank == 1:
+                h = yield from comm.irecv(source=0, tag=7)
+                yield from comm.wait(h)
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(DeadlockError):
+            run_program(toy_machine(2), 2, program)
+
+    def test_invalid_source(self):
+        def program(comm):
+            yield from comm.irecv(source=42)
+
+        with pytest.raises(CommunicationError):
+            run_program(toy_machine(2), 2, program)
+
+
+class TestOverlap:
+    """The reason irecv exists: communication/computation overlap."""
+
+    def test_overlap_hides_transfer(self):
+        nbytes = 1e7  # 1 second on the toy link
+
+        def overlapped(comm):
+            if comm.rank == 0:
+                yield from comm.send(None, dest=1, nbytes=nbytes)
+                return None
+            handle = yield from comm.irecv(source=0)
+            yield from comm.compute(seconds=1.0)  # overlaps the wire time
+            yield from comm.wait(handle)
+
+        def sequential(comm):
+            if comm.rank == 0:
+                yield from comm.send(None, dest=1, nbytes=nbytes)
+                return None
+            yield from comm.recv(source=0)
+            yield from comm.compute(seconds=1.0)
+
+        machine = toy_machine(2)
+        t_overlap = run_program(machine, 2, overlapped).time
+        t_seq = run_program(machine, 2, sequential).time
+        # Overlapped: max(compute, wire) ~= 1s; sequential ~= 2s.
+        assert t_overlap == pytest.approx(1.0 + 1e-4, rel=1e-3)
+        assert t_seq == pytest.approx(2.0 + 1e-4, rel=1e-3)
+
+    def test_blocked_wait_time_accounted_as_comm(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(seconds=2.0)
+                yield from comm.send(None, dest=1, nbytes=0)
+                return None
+            handle = yield from comm.irecv(source=0)
+            yield from comm.wait(handle)
+
+        result = run_program(toy_machine(2), 2, program)
+        assert result.stats[1].comm_time == pytest.approx(2.0 + 1e-4, rel=1e-3)
+
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestScan:
+    def test_inclusive_prefix_sum(self, p):
+        def program(comm):
+            return (yield from comm.scan(comm.rank + 1))
+
+        result = run_program(toy_machine(p), p, program)
+        assert result.returns == [sum(range(1, r + 2)) for r in range(p)]
+
+    def test_scan_max(self, p):
+        def program(comm):
+            values = [3, 1, 4, 1, 5, 9, 2, 6][: comm.size]
+            return (yield from comm.scan(values[comm.rank], op="max"))
+
+        result = run_program(toy_machine(p), p, program)
+        values = [3, 1, 4, 1, 5, 9, 2, 6][:p]
+        assert result.returns == [max(values[: r + 1]) for r in range(p)]
+
+    def test_scan_arrays(self, p):
+        def program(comm):
+            return (yield from comm.scan(np.full(2, float(comm.rank))))
+
+        result = run_program(toy_machine(p), p, program)
+        for r, out in enumerate(result.returns):
+            assert np.array_equal(out, np.full(2, float(sum(range(r + 1)))))
+
+    def test_scan_noncommutative_order(self, p):
+        """String concatenation: prefix order must be rank order."""
+
+        def program(comm):
+            return (yield from comm.scan(str(comm.rank), op=lambda a, b: a + b))
+
+        result = run_program(toy_machine(p), p, program)
+        assert result.returns == ["".join(str(i) for i in range(r + 1)) for r in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestReduceScatter:
+    def test_matches_reduce_plus_scatter(self, p):
+        def program(comm):
+            values = [float(comm.rank * comm.size + j) for j in range(comm.size)]
+            return (yield from comm.reduce_scatter(values))
+
+        result = run_program(toy_machine(p), p, program)
+        for j in range(p):
+            expected = sum(r * p + j for r in range(p))
+            assert result.returns[j] == pytest.approx(expected)
+
+    def test_arrays(self, p):
+        def program(comm):
+            values = [np.full(3, float(comm.rank + j)) for j in range(comm.size)]
+            return (yield from comm.reduce_scatter(values))
+
+        result = run_program(toy_machine(p), p, program)
+        for j in range(p):
+            expected = np.full(3, float(sum(r + j for r in range(p))))
+            assert np.array_equal(result.returns[j], expected)
+
+    def test_wrong_count(self, p):
+        def program(comm):
+            return (yield from comm.reduce_scatter([0.0] * (comm.size + 1)))
+
+        with pytest.raises(CommunicationError):
+            run_program(toy_machine(p), p, program)
+
+
+class TestGroupNewCollectives:
+    def test_group_scan(self):
+        def program(comm):
+            sub = comm.group([2, 0, 1])  # scrambled order
+            return (yield from sub.scan(10))
+
+        result = run_program(toy_machine(3), 3, program)
+        # group rank order: global 2 -> 0, global 0 -> 1, global 1 -> 2
+        assert result.returns[2] == 10
+        assert result.returns[0] == 20
+        assert result.returns[1] == 30
+
+    def test_group_reduce_scatter(self):
+        def program(comm):
+            sub = comm.group([0, 1])
+            return (yield from sub.reduce_scatter([comm.rank + 1, comm.rank + 2]))
+
+        result = run_program(toy_machine(2), 2, program)
+        assert result.returns[0] == (1 + 2)   # element 0: ranks contribute 1, 2
+        assert result.returns[1] == (2 + 3)   # element 1: ranks contribute 2, 3
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=st.integers(1, 10), seed=st.integers(0, 1000))
+def test_property_scan_last_rank_equals_allreduce(p, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 100, size=p)
+
+    def program(comm):
+        prefix = yield from comm.scan(int(values[comm.rank]))
+        total = yield from comm.allreduce(int(values[comm.rank]))
+        return (prefix, total)
+
+    result = run_program(toy_machine(p), p, program)
+    prefix_last, total = result.returns[-1]
+    assert prefix_last == total == int(values.sum())

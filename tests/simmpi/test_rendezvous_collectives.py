@@ -1,0 +1,132 @@
+"""Collective algorithms under the rendezvous protocol.
+
+Historically important interplay: collective implementations written
+against eager semantics (send-then-receive rings) deadlock when
+payloads cross the rendezvous threshold, while tree algorithms whose
+senders never wait on their receivers keep working.  The simulator
+reproduces both behaviours.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import Engine
+from repro.util.errors import DeadlockError
+
+THRESHOLD = 512.0
+BIG = np.zeros(1024)  # 8 KiB, far over the threshold
+SMALL = 1.0
+
+
+def toy_machine(n):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8),
+    )
+
+
+def engine(n):
+    return Engine(toy_machine(n), n, eager_threshold_bytes=THRESHOLD)
+
+
+class TestTreeCollectivesSurvive:
+    """Tree algorithms: every rank receives before (or without) sending
+    toward its own data source -- rendezvous-safe."""
+
+    def test_bcast_tree_large_payload(self):
+        def program(comm):
+            value = BIG.copy() if comm.rank == 0 else None
+            out = yield from comm.bcast(value)
+            return float(out.sum())
+
+        result = engine(8).run(program)
+        assert all(r == 0.0 for r in result.returns)
+
+    def test_reduce_tree_large_payload(self):
+        def program(comm):
+            return (yield from comm.reduce(np.full(1024, 1.0), root=0))
+
+        result = engine(8).run(program)
+        assert result.returns[0].sum() == pytest.approx(8 * 1024)
+
+    def test_gather_tree_large_payload(self):
+        def program(comm):
+            return (yield from comm.gather(np.full(256, float(comm.rank))))
+
+        result = engine(4).run(program)
+        assert result.returns[0][3][0] == 3.0
+
+    def test_scatter_tree_large_payload(self):
+        def program(comm):
+            values = (
+                [np.full(512, float(i)) for i in range(comm.size)]
+                if comm.rank == 0 else None
+            )
+            out = yield from comm.scatter(values)
+            return float(out[0])
+
+        result = engine(4).run(program)
+        assert result.returns == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRingCollectivesDeadlock:
+    """Ring/pairwise algorithms begin with a symmetric send -- exactly
+    the pattern rendezvous turns into a deadlock."""
+
+    def test_ring_allgather_large_payload_deadlocks(self):
+        def program(comm):
+            return (yield from comm.allgather(BIG.copy(), algorithm="ring"))
+
+        with pytest.raises(DeadlockError):
+            engine(4).run(program)
+
+    def test_ring_allgather_small_payload_fine(self):
+        def program(comm):
+            return (yield from comm.allgather(SMALL, algorithm="ring"))
+
+        result = engine(4).run(program)
+        assert result.returns[0] == [1.0] * 4
+
+    def test_gather_bcast_allgather_survives_large(self):
+        """The tree-based alternative handles the same payload."""
+
+        def program(comm):
+            out = yield from comm.allgather(
+                np.full(512, float(comm.rank)), algorithm="gather_bcast"
+            )
+            return float(out[2][0])
+
+        result = engine(4).run(program)
+        assert all(r == 2.0 for r in result.returns)
+
+    def test_alltoall_large_payload_deadlocks(self):
+        def program(comm):
+            values = [BIG.copy() for _ in range(comm.size)]
+            return (yield from comm.alltoall(values))
+
+        with pytest.raises(DeadlockError):
+            engine(4).run(program)
+
+    def test_recursive_doubling_large_payload_deadlocks(self):
+        """Butterfly exchange is also symmetric send-first."""
+
+        def program(comm):
+            return (yield from comm.allreduce(
+                BIG.copy(), algorithm="recursive_doubling"
+            ))
+
+        with pytest.raises(DeadlockError):
+            engine(4).run(program)
+
+    def test_reduce_bcast_allreduce_survives_large(self):
+        def program(comm):
+            out = yield from comm.allreduce(
+                np.full(1024, 1.0), algorithm="reduce_bcast"
+            )
+            return float(out[0])
+
+        result = engine(4).run(program)
+        assert all(r == 4.0 for r in result.returns)

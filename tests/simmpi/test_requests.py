@@ -1,0 +1,128 @@
+"""Request primitives: payload sizing, copying, matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.requests import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ComputeReq,
+    InFlight,
+    RecvReq,
+    SendReq,
+    copy_payload,
+    payload_nbytes,
+)
+from repro.util.errors import CommunicationError
+
+
+class TestPayloadNbytes:
+    def test_none_is_free(self):
+        assert payload_nbytes(None) == 0
+
+    def test_float64_array(self):
+        assert payload_nbytes(np.zeros(100)) == 800
+
+    def test_float32_array(self):
+        assert payload_nbytes(np.zeros(100, dtype=np.float32)) == 400
+
+    def test_numpy_scalar(self):
+        assert payload_nbytes(np.float64(1.0)) == 8
+
+    def test_python_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(3.5) == 8
+        assert payload_nbytes(True) == 8
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_str_utf8(self):
+        assert payload_nbytes("abc") == 3
+
+    def test_list_includes_headers(self):
+        assert payload_nbytes([np.zeros(10), np.zeros(10)]) == 80 + 80 + 16
+
+    def test_dict(self):
+        size = payload_nbytes({0: np.zeros(10)})
+        assert size == 8 + 80 + 16
+
+    def test_opaque_default(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64
+
+
+class TestCopyPayload:
+    def test_array_copied(self):
+        a = np.ones(3)
+        b = copy_payload(a)
+        b[0] = -1
+        assert a[0] == 1.0
+
+    def test_immutable_passthrough(self):
+        s = "hello"
+        assert copy_payload(s) is s
+
+    def test_nested_deepcopy(self):
+        d = {"x": [1, 2]}
+        c = copy_payload(d)
+        c["x"].append(3)
+        assert d["x"] == [1, 2]
+
+
+class TestSendReq:
+    def test_wire_bytes_measured(self):
+        req = SendReq(dest=0, payload=np.zeros(10))
+        assert req.wire_bytes() == 80
+
+    def test_wire_bytes_override(self):
+        req = SendReq(dest=0, payload=np.zeros(10), nbytes=1234.0)
+        assert req.wire_bytes() == 1234.0
+
+
+class TestComputeReq:
+    def test_requires_exactly_one(self):
+        with pytest.raises(CommunicationError):
+            ComputeReq()
+        with pytest.raises(CommunicationError):
+            ComputeReq(flops=1, seconds=1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CommunicationError):
+            ComputeReq(flops=-1)
+        with pytest.raises(CommunicationError):
+            ComputeReq(seconds=-0.5)
+
+
+class TestMatching:
+    def make(self, source=3, tag=7):
+        return InFlight(dest=0, source=source, tag=tag, payload=None,
+                        nbytes=0, arrival_time=0.0)
+
+    def test_exact_match(self):
+        assert self.make().matches(RecvReq(source=3, tag=7))
+
+    def test_source_mismatch(self):
+        assert not self.make().matches(RecvReq(source=4, tag=7))
+
+    def test_tag_mismatch(self):
+        assert not self.make().matches(RecvReq(source=3, tag=8))
+
+    def test_any_source(self):
+        assert self.make().matches(RecvReq(source=ANY_SOURCE, tag=7))
+
+    def test_any_tag(self):
+        assert self.make().matches(RecvReq(source=3, tag=ANY_TAG))
+
+    def test_full_wildcard(self):
+        assert self.make().matches(RecvReq())
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(0, 10_000))
+def test_property_array_bytes_linear(n):
+    assert payload_nbytes(np.zeros(n)) == 8 * n

@@ -1,0 +1,110 @@
+"""Utilisation, load balance, and timeline analysis."""
+
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import (
+    Engine,
+    hottest_pairs,
+    load_balance,
+    message_timeline,
+    run_program,
+    utilisation,
+    utilisation_table,
+)
+from repro.util.errors import SimulationError
+
+
+def toy_machine(n):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=1e-4, bandwidth_bytes_per_s=1e7),
+    )
+
+
+def balanced_program(comm):
+    yield from comm.compute(seconds=1.0)
+
+
+def skewed_program(comm):
+    yield from comm.compute(seconds=1.0 if comm.rank == 0 else 0.25)
+
+
+def chatty_program(comm):
+    if comm.rank == 0:
+        for _ in range(3):
+            yield from comm.send(None, dest=1, tag=0)
+        yield from comm.send(None, dest=2, tag=0)
+        return
+    count = 3 if comm.rank == 1 else 1
+    for _ in range(count):
+        yield from comm.recv(source=0)
+
+
+class TestUtilisation:
+    def test_pure_compute_fully_busy(self):
+        result = run_program(toy_machine(2), 2, balanced_program)
+        for u in utilisation(result):
+            assert u.compute_fraction == pytest.approx(1.0)
+            assert u.idle_fraction == pytest.approx(0.0)
+
+    def test_skew_shows_idle(self):
+        result = run_program(toy_machine(2), 2, skewed_program)
+        us = utilisation(result)
+        assert us[0].idle_fraction == pytest.approx(0.0)
+        assert us[1].idle_fraction == pytest.approx(0.75)
+
+    def test_fractions_sum_to_one(self):
+        result = run_program(toy_machine(3), 3, skewed_program)
+        for u in utilisation(result):
+            total = u.compute_fraction + u.comm_fraction + u.idle_fraction
+            assert total == pytest.approx(1.0)
+
+    def test_table_renders(self):
+        result = run_program(toy_machine(2), 2, balanced_program)
+        text = utilisation_table(result)
+        assert "Compute %" in text and "Idle %" in text
+
+
+class TestLoadBalance:
+    def test_balanced_is_one(self):
+        result = run_program(toy_machine(4), 4, balanced_program)
+        assert load_balance(result) == pytest.approx(1.0)
+
+    def test_skew_detected(self):
+        result = run_program(toy_machine(2), 2, skewed_program)
+        # busy: [1.0, 0.25]; max/mean = 1.0/0.625 = 1.6
+        assert load_balance(result) == pytest.approx(1.6)
+
+    def test_all_idle(self):
+        def idle(comm):
+            return None
+            yield  # pragma: no cover
+
+        result = run_program(toy_machine(2), 2, idle)
+        assert load_balance(result) == 1.0
+
+
+class TestTimeline:
+    def test_requires_trace(self):
+        result = run_program(toy_machine(3), 3, chatty_program)
+        with pytest.raises(SimulationError):
+            message_timeline(result)
+
+    def test_renders_all_messages(self):
+        result = Engine(toy_machine(3), 3, trace=True).run(chatty_program)
+        text = message_timeline(result)
+        assert text.count("->") == 4
+        assert "#" in text
+
+    def test_hottest_pairs(self):
+        result = Engine(toy_machine(3), 3, trace=True).run(chatty_program)
+        pairs = hottest_pairs(result, top=2)
+        assert pairs[0] == (0, 1, 3)
+        assert pairs[1] == (0, 2, 1)
+
+    def test_hottest_pairs_empty_without_trace(self):
+        result = run_program(toy_machine(3), 3, chatty_program)
+        assert hottest_pairs(result) == []

@@ -1,0 +1,98 @@
+"""CLI subcommands produce the exhibits."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def run_cli(capsys):
+    def invoke(argv):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    return invoke
+
+
+class TestSubcommands:
+    def test_machines(self, run_cli):
+        code, out, _ = run_cli(["machines"])
+        assert code == 0
+        assert "Touchstone Delta" in out
+        assert "32 GFLOPS" in out
+
+    def test_linpack_default(self, run_cli):
+        code, out, _ = run_cli(["linpack"])
+        assert code == 0
+        assert "13.00 GFLOPS" in out
+
+    def test_linpack_custom_order(self, run_cli):
+        code, out, _ = run_cli(["linpack", "--order", "10000"])
+        assert code == 0
+        assert "n=10000" in out
+
+    def test_funding(self, run_cli):
+        code, out, _ = run_cli(["funding"])
+        assert code == 0
+        assert "654.8" in out and "802.9" in out
+
+    def test_responsibilities(self, run_cli):
+        code, out, _ = run_cli(["responsibilities"])
+        assert code == 0
+        assert "DARPA" in out and "BRHR" in out
+
+    def test_network(self, run_cli):
+        code, out, _ = run_cli(["network", "--gigabytes", "2"])
+        assert code == 0
+        assert "JPL" in out and "2 GB" in out
+
+    def test_trajectory(self, run_cli):
+        code, out, _ = run_cli(["trajectory"])
+        assert code == 0
+        assert "1 TFLOPS projected" in out
+
+    def test_scaling(self, run_cli):
+        code, out, _ = run_cli(
+            ["scaling", "--workload", "nbody", "--ranks", "1,2", "--machine", "delta"]
+        )
+        assert code == 0
+        assert "Speedup" in out
+
+    def test_challenges(self, run_cli):
+        code, out, _ = run_cli(["challenges"])
+        assert code == 0
+        assert "Computational aerosciences" in out
+
+    def test_goals(self, run_cli):
+        code, out, _ = run_cli(["goals"])
+        assert code == 0
+        assert "FEDERAL PROGRAM GOAL" in out
+        assert "P.L. 102-194" in out
+
+    def test_all_report(self, run_cli):
+        code, out, _ = run_cli(["all"])
+        assert code == 0
+        # Every exhibit section appears once.
+        for marker in (
+            "FEDERAL PROGRAM GOAL", "DARPA", "654.8",
+            "Touchstone Delta", "JPL", "1 TFLOPS projected",
+            "Computational aerosciences",
+        ):
+            assert marker in out, marker
+
+
+class TestErrors:
+    def test_unknown_workload_reports_cleanly(self, run_cli):
+        code, out, err = run_cli(["scaling", "--workload", "quantum"])
+        assert code == 1
+        assert "unknown workload" in err
+
+    def test_unknown_machine_reports_cleanly(self, run_cli):
+        code, out, err = run_cli(["scaling", "--machine", "cray-3"])
+        assert code == 1
+        assert "error" in err
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,118 @@
+"""Cross-subsystem integration: scenarios spanning the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CFDWorkload,
+    CheckpointPlan,
+    LUWorkload,
+    Testbed,
+    karp_flatt,
+    scaling_study,
+)
+from repro.linalg import HPLModel
+from repro.machine import (
+    Job,
+    blocked,
+    delta_cfs,
+    simulate_fcfs,
+    touchstone_delta,
+)
+from repro.network import DELTA_SITE, delta_consortium, transfer_time
+from repro.program import GRAND_CHALLENGES, agency_budget
+from repro.simmpi import Engine, load_balance
+
+
+class TestDayInTheLife:
+    """One Grand Challenge team's full workflow, end to end."""
+
+    def test_cas_team_workflow(self):
+        # 1. The team's problem is a registered Grand Challenge with a
+        #    NASA sponsorship and a funded agency behind it.
+        cas = next(
+            gc for gc in GRAND_CHALLENGES
+            if gc.name == "Computational aerosciences"
+        )
+        assert agency_budget("NASA", 1992) > 0
+
+        # 2. They get a submesh through the day's schedule.
+        schedule = simulate_fcfs(16, 33, [
+            Job("other-team", 8, 16, 3600, arrival_s=0),
+            Job("cas-team", 8, 16, 7200, arrival_s=100),
+        ])
+        cas_slot = schedule.record_for("cas-team")
+        assert cas_slot.start_s == 100  # fits beside the other team
+
+        # 3. They run their proxy workload on a matching partition.
+        workload = CFDWorkload(nx=64, ny=64, steps=3)
+        assert cas.proxy_workload == "cfd"
+        result = workload.run(touchstone_delta().subset(16), 16)
+        assert result.virtual_time > 0
+
+        # 4. Results ship home over the consortium network.
+        est = transfer_time(
+            delta_consortium(), DELTA_SITE, "NASA centers", 64 * 64 * 8
+        )
+        assert est.time_s < 60
+
+    def test_campaign_plus_checkpointing_budget(self):
+        """The testbed campaign and the resilience plan agree on the
+        same machine description."""
+        testbed = Testbed.delta_at_caltech()
+        campaign = testbed.campaign(
+            CFDWorkload(nx=32, ny=32, steps=2), 8,
+            user_site="CRPC (Rice)", result_bytes=1e7,
+        )
+        plan = CheckpointPlan.for_machine(
+            testbed.machine, delta_cfs(), work_s=86400.0
+        )
+        assert campaign.end_to_end_s > 0
+        assert plan.n_nodes == testbed.machine.n_nodes
+
+
+class TestModelsAgreeWithSimulation:
+    def test_karp_flatt_on_simulated_study(self):
+        """The measured study's Karp-Flatt fraction matches the study's
+        own Amdahl fit to first order."""
+        study = scaling_study(
+            CFDWorkload(nx=64, ny=64, steps=3), touchstone_delta(), [1, 4, 16]
+        )
+        amdahl_f = study.amdahl_serial_fraction()
+        kf = karp_flatt(study.points[-1].speedup, 16)
+        assert kf == pytest.approx(amdahl_f, abs=0.05)
+
+    def test_hpl_model_vs_executable_lu_ordering(self):
+        """The analytic model and the executable code agree on machine
+        ordering (Delta slower than Paragon) at matched size."""
+        from repro.machine import intel_paragon
+
+        delta, paragon = touchstone_delta(), intel_paragon()
+        model_says = HPLModel(delta).time(5000) > HPLModel(paragon).time(5000)
+        workload = LUWorkload(n=32)
+        exec_says = (
+            workload.run(delta.subset(4), 4).virtual_time
+            > workload.run(paragon.subset(4), 4).virtual_time
+        )
+        assert model_says and exec_says
+
+
+class TestPlacementOnRealMachine:
+    def test_blocked_placement_runs_summa_on_delta_mesh(self):
+        """A 2-D algorithm placed as a contiguous submesh on the real
+        16x33 Delta topology runs and balances."""
+        from repro.linalg import ProcessGrid2D, summa_program
+
+        delta = touchstone_delta()
+        grid = ProcessGrid2D(4, 4)
+        rank_map = blocked(4, 4, delta.topology)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((24, 24))
+        b = rng.standard_normal((24, 24))
+        engine = Engine(delta, 16, rank_map=rank_map)
+        sim = engine.run(summa_program, grid, a, b, 6)
+        c = np.zeros((24, 24))
+        for (r0, r1), (c0, c1), block in sim.returns:
+            c[r0:r1, c0:c1] = block
+        assert np.allclose(c, a @ b, atol=1e-10)
+        assert load_balance(sim) < 1.5

@@ -1,0 +1,66 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.util.errors import (
+    CommunicationError,
+    ConfigurationError,
+    ConvergenceError,
+    DeadlockError,
+    DecompositionError,
+    NetworkError,
+    ProgramModelError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    TopologyError,
+    SimulationError,
+    DeadlockError,
+    CommunicationError,
+    DecompositionError,
+    ConvergenceError,
+    NetworkError,
+    ProgramModelError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_are_repro_errors(self, exc):
+        """One except-clause catches every library failure."""
+        assert issubclass(exc, ReproError)
+
+    def test_topology_is_configuration(self):
+        assert issubclass(TopologyError, ConfigurationError)
+
+    def test_deadlock_is_simulation(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_communication_is_simulation(self):
+        assert issubclass(CommunicationError, SimulationError)
+
+    def test_library_errors_are_not_builtin_value_errors(self):
+        """Callers distinguishing programming errors from library
+        failures rely on the hierarchies staying separate."""
+        for exc in ALL_ERRORS:
+            assert not issubclass(exc, (ValueError, TypeError, KeyError))
+
+    def test_catchable_end_to_end(self):
+        """A representative failure from each subsystem lands under
+        ReproError."""
+        from repro.machine import Mesh2D, get_machine
+        from repro.network import delta_consortium, transfer_time
+        from repro.program import get_agency
+
+        with pytest.raises(ReproError):
+            get_machine("eniac")
+        with pytest.raises(ReproError):
+            Mesh2D(0, 1)
+        with pytest.raises(ReproError):
+            get_agency("MI6")
+        with pytest.raises(ReproError):
+            transfer_time(delta_consortium(), "Atlantis", "JPL", 1.0)

@@ -1,0 +1,62 @@
+"""Table renderer behaviour."""
+
+import pytest
+
+from repro.util.tables import render_matrix, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["Agency", "FY92"], [["DARPA", 232.2], ["NSF", 200.9]])
+        lines = out.splitlines()
+        assert lines[0].startswith("Agency")
+        assert "232.2" in out
+        assert "200.9" in out
+
+    def test_title_underline(self):
+        out = render_table(["A"], [["x"]], title="Funding")
+        lines = out.splitlines()
+        assert lines[0] == "Funding"
+        assert lines[1] == "======="
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_float_format_respected(self):
+        out = render_table(["n", "v"], [["x", 1234.5]], float_fmt=",.2f")
+        assert "1,234.50" in out
+
+    def test_int_cells_unformatted(self):
+        out = render_table(["n", "v"], [["x", 528]])
+        assert "528" in out
+
+    def test_bool_cells(self):
+        out = render_table(["n", "v"], [["x", True], ["y", False]])
+        assert "yes" in out and "no" in out
+
+    def test_right_alignment_of_numeric_columns(self):
+        out = render_table(["k", "v"], [["a", 1.0], ["b", 10000.0]])
+        rows = out.splitlines()[2:]
+        # Short number ends at same column as long number
+        assert rows[0].rstrip().endswith("1.0")
+        assert len(rows[0].rstrip()) == len(rows[1].rstrip())
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestRenderMatrix:
+    def test_labels_present(self):
+        out = render_matrix(
+            ["DARPA", "NSF"],
+            ["HPCS", "ASTA"],
+            [["x", ""], ["x", "x"]],
+            title="Responsibilities",
+        )
+        assert "DARPA" in out and "ASTA" in out and "Responsibilities" in out
+
+    def test_corner_label(self):
+        out = render_matrix(["r"], ["c"], [["v"]], corner="Agency")
+        assert out.splitlines()[0].startswith("Agency")

@@ -1,0 +1,119 @@
+"""Unit conversions and formatting."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestRates:
+    def test_mflops(self):
+        assert units.mflops(60.6) == pytest.approx(60.6e6)
+
+    def test_gflops(self):
+        assert units.gflops(32) == pytest.approx(32e9)
+
+    def test_tflops(self):
+        assert units.tflops(1) == pytest.approx(1e12)
+
+    def test_roundtrip_gflops(self):
+        assert units.as_gflops(units.gflops(13.0)) == pytest.approx(13.0)
+
+    def test_roundtrip_mflops(self):
+        assert units.as_mflops(units.mflops(60.6)) == pytest.approx(60.6)
+
+
+class TestBytes:
+    def test_mib_binary(self):
+        assert units.mib(16) == 16 * 1024 * 1024
+
+    def test_gib_binary(self):
+        assert units.gib(1) == 1024**3
+
+    def test_megabytes_decimal(self):
+        assert units.megabytes(1.5) == 1.5e6
+
+
+class TestLinkRates:
+    def test_t1(self):
+        assert units.mbps(1.5) == pytest.approx(1.5e6)
+
+    def test_56k(self):
+        assert units.kbps(56) == pytest.approx(56e3)
+
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes_per_second(units.mbps(8)) == pytest.approx(1e6)
+
+
+class TestTimes:
+    def test_microseconds(self):
+        assert units.microseconds(72) == pytest.approx(72e-6)
+
+    def test_milliseconds(self):
+        assert units.milliseconds(3) == pytest.approx(3e-3)
+
+    def test_as_microseconds(self):
+        assert units.as_microseconds(72e-6) == pytest.approx(72.0)
+
+
+class TestFormatTime:
+    def test_microsecond_range(self):
+        assert units.format_time(72e-6) == "72 us"
+
+    def test_millisecond_range(self):
+        assert "ms" in units.format_time(3.2e-3)
+
+    def test_second_range(self):
+        assert units.format_time(2.0) == "2 s"
+
+    def test_hours(self):
+        assert units.format_time(3661) == "1:01:01"
+
+    def test_minutes(self):
+        assert units.format_time(90) == "0:01:30"
+
+    def test_zero(self):
+        assert units.format_time(0.0) == "0 s"
+
+    def test_negative(self):
+        assert units.format_time(-2.0) == "-2 s"
+
+    def test_nanoseconds(self):
+        assert "ns" in units.format_time(5e-9)
+
+
+class TestFormatRate:
+    def test_gflops(self):
+        assert units.format_rate(32e9) == "32 GFLOPS"
+
+    def test_mflops(self):
+        assert units.format_rate(60.6e6) == "60.6 MFLOPS"
+
+    def test_tflops(self):
+        assert units.format_rate(1e12) == "1 TFLOPS"
+
+    def test_sub_kilo(self):
+        assert units.format_rate(42.0) == "42 FLOPS"
+
+
+class TestFormatBandwidth:
+    def test_t3(self):
+        assert units.format_bandwidth(45e6) == "45 Mbps"
+
+    def test_hippi(self):
+        assert units.format_bandwidth(800e6) == "800 Mbps"
+
+    def test_56k(self):
+        assert units.format_bandwidth(56e3) == "56 kbps"
+
+    def test_gigabit(self):
+        assert units.format_bandwidth(2.4e9) == "2.4 Gbps"
+
+
+class TestFormatBytes:
+    def test_gb(self):
+        assert units.format_bytes(1.5e9) == "1.5 GB"
+
+    def test_small(self):
+        assert units.format_bytes(12) == "12 B"
