@@ -55,6 +55,45 @@ def test_bench_collective_throughput(benchmark):
     assert result.returns[0] == result.returns[31]
 
 
+def mesh(rows, cols):
+    from repro.machine import Mesh2D
+
+    return Machine(
+        name="mesh",
+        node=NodeSpec("n", peak_flops=1e8, memory_bytes=1e9),
+        topology=Mesh2D(rows, cols),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8, per_hop_s=5e-8),
+    )
+
+
+def alltoall_storm_program(comm):
+    """16 ranks, 10 personalised exchanges: the contention-heavy path."""
+    out = None
+    for _ in range(10):
+        out = yield from comm.alltoall(
+            [float(comm.rank * comm.size + j) for j in range(comm.size)],
+            algorithm="nonblocking",
+        )
+    return out
+
+
+def test_bench_contention_tracking_overhead(benchmark):
+    """Contention-on vs contention-off ablation: the link-occupancy
+    timeline is consulted per transfer, so the contention model pays a
+    real-time cost on top of alpha-beta.  The benchmark records the
+    contention-on wall time; the assertions pin the simulated-physics
+    relationship between the two models (identical data, higher or
+    equal virtual time under contention)."""
+    machine = mesh(4, 4)
+    result = benchmark(
+        lambda: run_program(machine, 16, alltoall_storm_program, delivery="contention")
+    )
+    baseline = run_program(machine, 16, alltoall_storm_program, delivery="alphabeta")
+    assert result.returns == baseline.returns
+    assert result.total_messages == baseline.total_messages
+    assert result.time >= baseline.time  # shared wires can only slow delivery
+
+
 def test_bench_engine_scales_linearly_in_events(benchmark):
     """Event cost is roughly flat: 4x the exchanges ~ 4x the wall time
     (sanity-checked loosely; the benchmark records the numbers)."""

@@ -80,13 +80,20 @@ def cg_program(
     b_full: np.ndarray,
     tol: float,
     max_iter: int,
+    overlap: bool = False,
 ) -> Generator:
     """Rank program: block-row CG over the simulator.
+
+    ``overlap`` switches the search-direction allgather to the
+    non-blocking ring ("ring_nb"): identical data movement (so
+    identical iterates), but each step posts its receive before
+    sending, which also makes it safe above the rendezvous threshold.
 
     Returns ``(row_range, x_local, iterations, residual)``; raising
     inside a rank program propagates out of the engine, so convergence
     failure surfaces exactly as in the serial code.
     """
+    algo = "ring_nb" if overlap else "ring"
     n = len(b_full)
     lo, hi = block_range(n, comm.size, comm.rank)
     a_loc = np.array(a_full[lo:hi, :], copy=True)
@@ -102,7 +109,7 @@ def cg_program(
 
     for it in range(1, max_iter + 1):
         # Refresh the full search direction, then local mat-vec.
-        parts = yield from comm.allgather(p_loc)
+        parts = yield from comm.allgather(p_loc, algorithm=algo)
         p_full = np.concatenate(parts)
         ap_loc = a_loc @ p_full
         yield from comm.compute(flops=2.0 * a_loc.shape[0] * a_loc.shape[1])
@@ -133,16 +140,29 @@ def distributed_cg(
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
     seed: int = 0,
+    overlap: bool = False,
+    eager_threshold_bytes: float = float("inf"),
+    delivery="alphabeta",
 ) -> CGResult:
-    """Solve A x = b on a simulated machine; reassemble x."""
+    """Solve A x = b on a simulated machine; reassemble x.
+
+    ``overlap``, ``eager_threshold_bytes`` and ``delivery`` tune the
+    simulated communication without changing the numerics.
+    """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
     n = len(b)
     if a.shape != (n, n):
         raise DecompositionError(f"A shape {a.shape} does not match b of length {n}")
     max_iter = 2 * n if max_iter is None else max_iter
-    engine = Engine(machine, n_ranks, seed=seed)
-    sim = engine.run(cg_program, a, b, tol, max_iter)
+    engine = Engine(
+        machine,
+        n_ranks,
+        seed=seed,
+        eager_threshold_bytes=eager_threshold_bytes,
+        delivery=delivery,
+    )
+    sim = engine.run(cg_program, a, b, tol, max_iter, overlap)
     x = np.zeros(n)
     iterations = 0
     residual = 0.0

@@ -49,11 +49,19 @@ def serial_lu_nopivot(a: np.ndarray) -> np.ndarray:
     return a
 
 
-def lu2d_program(comm, grid: ProcessGrid2D, a_full: np.ndarray, nb: int) -> Generator:
+def lu2d_program(
+    comm, grid: ProcessGrid2D, a_full: np.ndarray, nb: int, overlap: bool = False
+) -> Generator:
     """Rank program: unblocked updates over a block-cyclic 2-D layout.
+
+    With ``overlap`` the row/column broadcasts use the non-blocking
+    binomial tree ("tree_nb"): identical messages and bit-identical
+    numerics, but internal tree nodes do not serialise their children
+    behind rendezvous handshakes.
 
     Returns ``(rows_mine, cols_mine, local)``.
     """
+    algo = "tree_nb" if overlap else "tree"
     n = a_full.shape[0]
     pr, pc = grid.prows, grid.pcols
     my_r, my_c = grid.coords(comm.rank)
@@ -86,7 +94,7 @@ def lu2d_program(comm, grid: ProcessGrid2D, a_full: np.ndarray, nb: int) -> Gene
             mult_packet = local[below, lk].copy()
         else:
             mult_packet = None
-        multipliers = yield from row_comm.bcast(mult_packet, root=owner_c)
+        multipliers = yield from row_comm.bcast(mult_packet, root=owner_c, algorithm=algo)
 
         # --- pivot-row segment: from grid row owner_r, sent down columns.
         right = cols_mine > k
@@ -94,7 +102,7 @@ def lu2d_program(comm, grid: ProcessGrid2D, a_full: np.ndarray, nb: int) -> Gene
             urow_packet = local[row_pos[k], right].copy()
         else:
             urow_packet = None
-        urow = yield from col_comm.bcast(urow_packet, root=owner_r)
+        urow = yield from col_comm.bcast(urow_packet, root=owner_r, algorithm=algo)
 
         # --- trailing update on the local intersection.
         if multipliers.size and urow.size:
@@ -123,8 +131,16 @@ def lu2d(
     *,
     nb: int = 2,
     seed: int = 0,
+    overlap: bool = False,
+    eager_threshold_bytes: float = float("inf"),
+    delivery="alphabeta",
 ) -> LU2DResult:
-    """Factor ``a`` on a process grid; reassemble the packed factor."""
+    """Factor ``a`` on a process grid; reassemble the packed factor.
+
+    ``overlap``, ``eager_threshold_bytes`` and ``delivery`` tune the
+    simulated communication (non-blocking broadcasts, rendezvous
+    threshold, wire-contention model) without changing the numerics.
+    """
     a = np.asarray(a, dtype=float)
     n = a.shape[0]
     if a.shape != (n, n):
@@ -135,8 +151,14 @@ def lu2d(
         raise DecompositionError(
             f"grid of {grid.size} ranks exceeds machine of {machine.n_nodes} nodes"
         )
-    engine = Engine(machine, grid.size, seed=seed)
-    sim = engine.run(lu2d_program, grid, a, nb)
+    engine = Engine(
+        machine,
+        grid.size,
+        seed=seed,
+        eager_threshold_bytes=eager_threshold_bytes,
+        delivery=delivery,
+    )
+    sim = engine.run(lu2d_program, grid, a, nb, overlap)
     lu = np.zeros((n, n))
     for rows_mine, cols_mine, local in sim.returns:
         lu[np.ix_(rows_mine, cols_mine)] = local

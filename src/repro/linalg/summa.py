@@ -44,13 +44,17 @@ def summa_program(
     a_full: np.ndarray,
     b_full: np.ndarray,
     panel: int,
+    overlap: bool = False,
 ) -> Generator:
     """Rank program: SUMMA over the simulator.
 
     Each rank slices its own blocks from the replicated inputs (tests
     build them from a shared seed) and returns its C block with its
-    global row/column ranges.
+    global row/column ranges.  ``overlap`` switches the panel
+    broadcasts to the non-blocking tree (same data, pipelined
+    handshakes under rendezvous).
     """
+    algo = "tree_nb" if overlap else "tree"
     m, k_dim = a_full.shape
     k2, n = b_full.shape
     if k_dim != k2:
@@ -89,13 +93,13 @@ def summa_program(
             a_panel = a_local[:, k - ak0:kk - ak0]
         else:
             a_panel = None
-        a_panel = yield from row_comm.bcast(a_panel, root=a_owner)
+        a_panel = yield from row_comm.bcast(a_panel, root=a_owner, algorithm=algo)
 
         if prow == b_owner:
             b_panel = b_local[k - bk0:kk - bk0, :]
         else:
             b_panel = None
-        b_panel = yield from col_comm.bcast(b_panel, root=b_owner)
+        b_panel = yield from col_comm.bcast(b_panel, root=b_owner, algorithm=algo)
 
         c_local += a_panel @ b_panel
         yield from comm.compute(
@@ -114,21 +118,35 @@ def summa(
     *,
     panel: int = 32,
     seed: int = 0,
+    overlap: bool = False,
+    eager_threshold_bytes: float = float("inf"),
+    delivery="alphabeta",
 ) -> DistributedMatmul:
-    """Multiply on a simulated machine and reassemble the result."""
+    """Multiply on a simulated machine and reassemble the result.
+
+    ``overlap``, ``eager_threshold_bytes`` and ``delivery`` tune the
+    simulated communication without changing the numerics.
+    """
     if grid.size > machine.n_nodes:
         raise DecompositionError(
             f"grid of {grid.size} ranks exceeds machine of {machine.n_nodes} nodes"
         )
     if panel < 1:
         raise DecompositionError(f"panel must be >= 1, got {panel}")
-    engine = Engine(machine, grid.size, seed=seed)
+    engine = Engine(
+        machine,
+        grid.size,
+        seed=seed,
+        eager_threshold_bytes=eager_threshold_bytes,
+        delivery=delivery,
+    )
     sim = engine.run(
         summa_program,
         grid,
         np.asarray(a, dtype=float),
         np.asarray(b, dtype=float),
         panel,
+        overlap,
     )
     m, n = a.shape[0], b.shape[1]
     c = np.zeros((m, n))

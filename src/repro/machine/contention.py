@@ -29,6 +29,16 @@ from repro.util.errors import ConfigurationError
 Pattern = Sequence[Tuple[int, int, float]]
 
 
+def path_links(path: Sequence[int]) -> List[tuple]:
+    """Undirected (low, high) link keys along a routed path.
+
+    The shared link-key convention between this static analyzer and the
+    simulator's contention-aware delivery model -- both must count the
+    same wires or the simulated makespan could undercut the bound.
+    """
+    return [(u, v) if u < v else (v, u) for u, v in zip(path, path[1:])]
+
+
 def link_byte_loads(topology: Topology, pattern: Pattern) -> Dict[tuple, float]:
     """Bytes traversing each undirected link under deterministic routing."""
     loads: Dict[tuple, float] = {}
@@ -37,9 +47,7 @@ def link_byte_loads(topology: Topology, pattern: Pattern) -> Dict[tuple, float]:
             raise ConfigurationError(f"negative message size {nbytes}")
         if src == dst:
             continue
-        path = topology.route(src, dst)
-        for u, v in zip(path, path[1:]):
-            key = (u, v) if u < v else (v, u)
+        for key in path_links(topology.route(src, dst)):
             loads[key] = loads.get(key, 0.0) + nbytes
     return loads
 

@@ -16,17 +16,30 @@ Typical use::
 """
 
 from repro.simmpi.comm import Comm
+from repro.simmpi.delivery import (
+    DELIVERY_MODELS,
+    AlphaBetaDelivery,
+    ContentionAwareDelivery,
+    DeliveryModel,
+    resolve_delivery,
+)
 from repro.simmpi.engine import Engine, SimResult, run_program
 from repro.simmpi.group import GroupComm
+from repro.simmpi.protocol import EagerProtocol, Protocol, RendezvousProtocol
 from repro.simmpi.requests import (
     ANY_SOURCE,
     ANY_TAG,
     ComputeReq,
+    IrecvReq,
+    IsendReq,
     Message,
     RecvReq,
     SendReq,
+    WaitanyReq,
+    WaitReq,
     payload_nbytes,
 )
+from repro.simmpi.state import RankState, ReceiveSlot, SendHandle
 from repro.simmpi.cost_models import (
     MODELS,
     ModelValidation,
@@ -57,10 +70,25 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "ComputeReq",
+    "IrecvReq",
+    "IsendReq",
     "Message",
     "RecvReq",
     "SendReq",
+    "WaitReq",
+    "WaitanyReq",
     "payload_nbytes",
+    "DELIVERY_MODELS",
+    "DeliveryModel",
+    "AlphaBetaDelivery",
+    "ContentionAwareDelivery",
+    "resolve_delivery",
+    "Protocol",
+    "EagerProtocol",
+    "RendezvousProtocol",
+    "RankState",
+    "ReceiveSlot",
+    "SendHandle",
     "MODELS",
     "ModelValidation",
     "allgather_ring_time",

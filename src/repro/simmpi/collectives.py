@@ -84,6 +84,8 @@ def bcast(comm, value: Any, root: int = 0, algorithm: str = "tree") -> Generator
         raise CommunicationError(f"bcast root {root} out of range")
     if algorithm == "tree":
         return (yield from _bcast_binomial(comm, value, root))
+    if algorithm == "tree_nb":
+        return (yield from _bcast_binomial_nb(comm, value, root))
     if algorithm == "ring":
         return (yield from _bcast_ring(comm, value, root))
     if algorithm == "flat":
@@ -108,6 +110,36 @@ def _bcast_binomial(comm, value: Any, root: int) -> Generator:
             msg = yield from comm.recv(source=(vr - mask + root) % p, tag=tag)
             value = msg.payload
         mask <<= 1
+    return value
+
+
+def _bcast_binomial_nb(comm, value: Any, root: int) -> Generator:
+    """Binomial tree with non-blocking child sends.
+
+    Moves exactly the same messages as ``tree`` -- the returned values
+    are bit-identical -- but each internal node isends to all its
+    children and completes the handles at the end, so above the
+    rendezvous threshold a node's second child is not serialised behind
+    the first child's handshake.
+    """
+    p = comm.size
+    if p == 1:
+        return value
+    tag = _block_tag(comm)
+    vr = (comm.rank - root) % p
+    handles = []
+    mask = 1
+    while mask < p:
+        if vr < mask:
+            partner = vr + mask
+            if partner < p:
+                h = yield from comm.isend(value, (partner + root) % p, tag=tag)
+                handles.append(h)
+        elif vr < 2 * mask:
+            msg = yield from comm.recv(source=(vr - mask + root) % p, tag=tag)
+            value = msg.payload
+        mask <<= 1
+    yield from comm.waitall(handles)
     return value
 
 
@@ -302,6 +334,24 @@ def allgather(comm, value: Any, algorithm: str = "ring") -> Generator:
             carry_rank, payload = msg.payload
             out[carry_rank] = payload
         return out
+    if algorithm == "ring_nb":
+        # Same ring, but each step posts its receive before sending, so
+        # the step never deadlocks under rendezvous (the blocking ring
+        # does: every rank sends first and nobody has posted a receive).
+        tag0 = _block_tag(comm)
+        out = [None] * p
+        out[comm.rank] = value
+        right = (comm.rank + 1) % p
+        left = (comm.rank - 1) % p
+        carry_rank = comm.rank
+        for step in range(p - 1):
+            rh = yield from comm.irecv(source=left, tag=tag0 - step)
+            sh = yield from comm.isend((carry_rank, out[carry_rank]), right, tag=tag0 - step)
+            msg = yield from comm.wait(rh)
+            yield from comm.wait(sh)
+            carry_rank, payload = msg.payload
+            out[carry_rank] = payload
+        return out
     if algorithm == "gather_bcast":
         collected = yield from gather(comm, value, root=0)
         return (yield from bcast(comm, collected, root=0))
@@ -413,8 +463,14 @@ def reduce_scatter(
     return acc
 
 
-def alltoall(comm, values: Sequence[Any]) -> Generator:
-    """Personalised all-to-all via p-1 cyclic shifts (pairwise pattern)."""
+def alltoall(comm, values: Sequence[Any], algorithm: str = "cyclic") -> Generator:
+    """Personalised all-to-all exchange.
+
+    ``cyclic`` walks p-1 shifts send-then-recv (pairwise pattern);
+    ``nonblocking`` posts every receive, isends every block, then
+    completes -- same data, and all p-1 transfers per rank are in
+    flight at once, the pattern that exposes link contention.
+    """
     p = comm.size
     if values is None or len(values) != p:
         raise CommunicationError(
@@ -426,10 +482,28 @@ def alltoall(comm, values: Sequence[Any]) -> Generator:
     if p == 1:
         return out
     tag0 = _block_tag(comm)
-    for shift in range(1, p):
-        dst = (comm.rank + shift) % p
-        src = (comm.rank - shift) % p
-        yield from comm.send(values[dst], dst, tag=tag0 - (shift % _TAG_STRIDE))
-        msg = yield from comm.recv(source=src, tag=tag0 - (shift % _TAG_STRIDE))
-        out[src] = msg.payload
-    return out
+    if algorithm == "cyclic":
+        for shift in range(1, p):
+            dst = (comm.rank + shift) % p
+            src = (comm.rank - shift) % p
+            yield from comm.send(values[dst], dst, tag=tag0 - (shift % _TAG_STRIDE))
+            msg = yield from comm.recv(source=src, tag=tag0 - (shift % _TAG_STRIDE))
+            out[src] = msg.payload
+        return out
+    if algorithm == "nonblocking":
+        recv_handles = []
+        for shift in range(1, p):
+            src = (comm.rank - shift) % p
+            h = yield from comm.irecv(source=src, tag=tag0 - (shift % _TAG_STRIDE))
+            recv_handles.append((src, h))
+        send_handles = []
+        for shift in range(1, p):
+            dst = (comm.rank + shift) % p
+            h = yield from comm.isend(values[dst], dst, tag=tag0 - (shift % _TAG_STRIDE))
+            send_handles.append(h)
+        for src, h in recv_handles:
+            msg = yield from comm.wait(h)
+            out[src] = msg.payload
+        yield from comm.waitall(send_handles)
+        return out
+    raise CommunicationError(f"unknown alltoall algorithm {algorithm!r}")

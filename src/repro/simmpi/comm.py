@@ -30,9 +30,11 @@ from repro.simmpi.requests import (
     ANY_TAG,
     ComputeReq,
     IrecvReq,
+    IsendReq,
     Message,
     RecvReq,
     SendReq,
+    WaitanyReq,
     WaitReq,
 )
 from repro.util.errors import CommunicationError
@@ -107,6 +109,33 @@ class Comm:
         msg = yield RecvReq(source=source, tag=tag)
         return msg
 
+    def isend(
+        self,
+        payload: Any,
+        dest: int,
+        tag: int = 0,
+        nbytes: Optional[float] = None,
+    ) -> Generator:
+        """Non-blocking send: returns a handle for :meth:`wait`.
+
+        An eager isend costs the same as :meth:`send` (the CPU still
+        injects the message) and its handle is immediately complete.
+        The benefit appears above the rendezvous threshold: where a
+        blocking send stalls until the receiver posts, an isend returns
+        at once and only the :meth:`wait` synchronises with the
+        handshake, so independent work overlaps the wait::
+
+            h = yield from comm.isend(big_block, dest=right)
+            yield from comm.compute(flops=...)      # overlap
+            yield from comm.wait(h)
+        """
+        if not 0 <= dest < self.size:
+            raise CommunicationError(
+                f"isend dest {dest} out of range for size {self.size}"
+            )
+        handle = yield IsendReq(dest=dest, payload=payload, tag=tag, nbytes=nbytes)
+        return handle
+
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Non-blocking receive: returns a handle for :meth:`wait`.
 
@@ -125,18 +154,34 @@ class Comm:
         return handle
 
     def wait(self, handle: int) -> Generator:
-        """Complete a posted receive; returns its :class:`Message`."""
+        """Complete one outstanding request.
+
+        Returns the :class:`Message` for a receive handle, ``None`` for
+        a send handle.
+        """
         msg = yield WaitReq(handle=handle)
         return msg
 
     def waitall(self, handles) -> Generator:
-        """Complete several posted receives; returns their messages in
-        handle order."""
+        """Complete several outstanding requests; returns their results
+        (messages for receives, ``None`` for sends) in handle order."""
         out = []
         for handle in handles:
             msg = yield WaitReq(handle=handle)
             out.append(msg)
         return out
+
+    def waitany(self, handles) -> Generator:
+        """Complete exactly one of several outstanding requests.
+
+        Returns ``(index, result)`` where ``index`` is the position in
+        ``handles`` of the request that finished first (earliest known
+        completion, ties by list order -- a deterministic refinement of
+        ``MPI_Waitany``) and ``result`` is its message (``None`` for a
+        send handle).  The remaining handles stay outstanding.
+        """
+        result = yield WaitanyReq(handles=tuple(handles))
+        return result
 
     def sendrecv(
         self,
@@ -203,9 +248,9 @@ class Comm:
         """Distribute ``values[i]`` from ``root`` to rank ``i``."""
         return _coll.scatter(self, values, root, algorithm)
 
-    def alltoall(self, values: Sequence[Any]) -> Generator:
+    def alltoall(self, values: Sequence[Any], algorithm: str = "cyclic") -> Generator:
         """Personalised exchange: rank i's ``values[j]`` goes to rank j."""
-        return _coll.alltoall(self, values)
+        return _coll.alltoall(self, values, algorithm)
 
     def scan(self, value: Any, op: Union[str, Callable] = "sum") -> Generator:
         """Inclusive prefix reduction: rank r returns op(v_0 .. v_r)."""

@@ -1,0 +1,162 @@
+"""Delivery models: how the engine charges a message's wire time.
+
+The engine asks one question per transfer -- *given a start time, when
+does this message become available at its destination?* -- and a
+:class:`DeliveryModel` answers it.  Two answers ship:
+
+* :class:`AlphaBetaDelivery` charges every message independently along
+  its routed hop count: ``start + alpha + hops * tau + nbytes / beta``.
+  This is the classic Hockney accounting the simulator has always used.
+
+* :class:`ContentionAwareDelivery` routes each message with
+  ``topology.route()`` (dimension-ordered on meshes, e-cube on
+  hypercubes) and keeps a **busy-until timeline per physical link**.  A
+  transfer holds every link on its path for its full byte time --
+  wormhole routing pipelines the flits across the path, so the message
+  occupies the whole path for one serialisation window -- and a
+  transfer whose links are busy waits for them.  On an idle network it
+  reproduces the alpha-beta time exactly; under load it reproduces the
+  shared-wire serialisation the Touchstone Delta's mesh-vs-hypercube
+  wiring decision turned on, and its makespans respect the
+  :class:`~repro.machine.contention.ContentionReport` lower bounds by
+  construction (both count the same links via
+  :func:`~repro.machine.contention.path_links`).
+
+Plugging in a new model means subclassing :class:`DeliveryModel` and
+implementing :meth:`arrival`; the engine accepts an instance or a
+registered name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.machine.contention import path_links
+from repro.machine.machine import Machine
+from repro.util.errors import ConfigurationError
+
+
+class DeliveryModel(ABC):
+    """Strategy answering "when does this transfer arrive?".
+
+    A model is bound to a machine and rank placement at the start of
+    every run via :meth:`bind`, which also resets any per-run state
+    (link occupancy, caches), so one instance can serve repeated runs.
+    """
+
+    #: Registry name; also used in reports.
+    name: str = "abstract"
+
+    def bind(self, machine: Machine, rank_map: Sequence[int]) -> None:
+        self.machine = machine
+        self.rank_map = list(rank_map)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear per-run mutable state (called by :meth:`bind`)."""
+
+    @abstractmethod
+    def arrival(self, src_rank: int, dst_rank: int, nbytes: float, start: float) -> float:
+        """Virtual time ``nbytes`` from ``src_rank`` becomes available
+        at ``dst_rank`` for a transfer starting at ``start``."""
+
+    def overhead(self, src_rank: int, dst_rank: int) -> float:
+        """Sender-side CPU cost of injecting one message."""
+        return self.machine.link.latency_s if src_rank != dst_rank else 0.0
+
+
+class AlphaBetaDelivery(DeliveryModel):
+    """Independent per-message alpha-beta charging (the seed model)."""
+
+    name = "alphabeta"
+
+    def reset(self) -> None:
+        # Hop counts between mapped ranks are looked up constantly; memoise.
+        self._hops: Dict[Tuple[int, int], int] = {}
+
+    def hops(self, src_rank: int, dst_rank: int) -> int:
+        key = (src_rank, dst_rank)
+        cached = self._hops.get(key)
+        if cached is None:
+            cached = self.machine.topology.hops(
+                self.rank_map[src_rank], self.rank_map[dst_rank]
+            )
+            self._hops[key] = cached
+        return cached
+
+    def arrival(self, src_rank: int, dst_rank: int, nbytes: float, start: float) -> float:
+        return start + self.machine.link.message_time(
+            nbytes, self.hops(src_rank, dst_rank)
+        )
+
+
+class ContentionAwareDelivery(DeliveryModel):
+    """Serialise concurrent transfers on shared link occupancy.
+
+    Per transfer: the header reaches the destination at
+    ``start + alpha + hops * tau``; the payload then needs every link on
+    the routed path for ``nbytes / beta`` seconds, starting no earlier
+    than the moment all of them are free.  Transfers are granted links
+    in event order (deterministic), and a completed transfer marks its
+    links busy until its end time.  With no competing traffic this
+    degenerates to exactly the alpha-beta time.
+    """
+
+    name = "contention"
+
+    def reset(self) -> None:
+        #: (low, high) link -> virtual time the link becomes free.
+        self._free: Dict[Tuple[int, int], float] = {}
+        self._routes: Dict[Tuple[int, int], List[tuple]] = {}
+
+    def _links(self, src_rank: int, dst_rank: int) -> List[tuple]:
+        key = (src_rank, dst_rank)
+        cached = self._routes.get(key)
+        if cached is None:
+            cached = path_links(
+                self.machine.topology.route(
+                    self.rank_map[src_rank], self.rank_map[dst_rank]
+                )
+            )
+            self._routes[key] = cached
+        return cached
+
+    def link_occupancy(self) -> Dict[Tuple[int, int], float]:
+        """Busy-until time per link (inspection/reporting aid)."""
+        return dict(self._free)
+
+    def arrival(self, src_rank: int, dst_rank: int, nbytes: float, start: float) -> float:
+        link = self.machine.link
+        links = self._links(src_rank, dst_rank)
+        if not links:  # self-send: local memcpy, no wires involved
+            return start + link.message_time(nbytes, 0)
+        begin = start + link.latency_s + len(links) * link.per_hop_s
+        for key in links:
+            occupied = self._free.get(key, 0.0)
+            if occupied > begin:
+                begin = occupied
+        end = begin + nbytes / link.bandwidth_bytes_per_s
+        for key in links:
+            self._free[key] = end
+        return end
+
+
+#: Name -> class registry consumed by :func:`resolve_delivery`.
+DELIVERY_MODELS = {
+    AlphaBetaDelivery.name: AlphaBetaDelivery,
+    ContentionAwareDelivery.name: ContentionAwareDelivery,
+}
+
+
+def resolve_delivery(spec: Union[str, DeliveryModel]) -> DeliveryModel:
+    """Accept a model instance or a registered name."""
+    if isinstance(spec, DeliveryModel):
+        return spec
+    try:
+        return DELIVERY_MODELS[spec]()
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown delivery model {spec!r}; expected one of "
+            f"{sorted(DELIVERY_MODELS)} or a DeliveryModel instance"
+        ) from None

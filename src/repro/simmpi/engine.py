@@ -8,18 +8,34 @@ interprets requests against the machine's cost model:
 * ``ComputeReq`` advances the rank's clock by the modelled compute time.
 * ``SendReq`` charges the sender the link startup latency (the CPU is
   busy in the message layer), then places the message in flight; it
-  becomes available at the destination after the routed alpha-beta
-  delay.  Sends are eager/buffered and never block.
+  becomes available at the destination after the delivery model's
+  routed delay.  Small sends are eager/buffered and never block; sends
+  above the eager threshold use the rendezvous protocol and block until
+  the matching receive is posted.
+* ``IsendReq`` is the non-blocking send: eager isends complete at post;
+  rendezvous isends park only the *transfer* while the sender keeps
+  running, and synchronise through their handle.
 * ``RecvReq`` blocks the rank until a matching message's arrival time.
-* ``IrecvReq``/``WaitReq`` split the receive into post and completion,
-  allowing communication/computation overlap exactly as MPI's
-  ``MPI_Irecv``/``MPI_Wait`` do.
+* ``IrecvReq``/``WaitReq``/``WaitanyReq`` split receives (and isends)
+  into post and completion, allowing communication/computation overlap
+  exactly as MPI's ``MPI_Irecv``/``MPI_Wait``/``MPI_Waitany`` do.
 
 Receive matching follows MPI: posted receives match in post order; per
 source-destination pair, delivery is FIFO (wormhole channels do not
 reorder), enforced by clamping arrival times to be monotone per pair.
 ``ANY_SOURCE`` receives resolve deterministically in message post
 order, a legal refinement of MPI's nondeterminism.
+
+The engine itself is a thin event loop over three swappable layers:
+
+* :class:`~repro.simmpi.state.RankState` -- per-rank clocks, queues,
+  and the unified request-handle table;
+* :class:`~repro.simmpi.protocol.Protocol` -- eager and rendezvous
+  matching strategies, selected per message by size;
+* :class:`~repro.simmpi.delivery.DeliveryModel` -- wire-time charging;
+  ``"alphabeta"`` charges messages independently, ``"contention"``
+  serialises transfers on shared-link occupancy along
+  ``topology.route()`` paths.
 
 Numerics are real: payloads are actual NumPy arrays and the algorithms
 running on the engine produce bit-identical results to their serial
@@ -30,20 +46,24 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.machine.machine import Machine
 from repro.simmpi.comm import Comm
+from repro.simmpi.delivery import DeliveryModel, resolve_delivery
+from repro.simmpi.protocol import EagerProtocol, Protocol, RendezvousProtocol
 from repro.simmpi.requests import (
     ComputeReq,
     InFlight,
     IrecvReq,
+    IsendReq,
     Message,
     RecvReq,
     SendReq,
+    WaitanyReq,
     WaitReq,
-    copy_payload,
 )
+from repro.simmpi.state import RankState, ReceiveSlot, SendHandle
 from repro.simmpi.trace import MessageRecord, RankStats, Tracer
 from repro.util.errors import (
     CommunicationError,
@@ -96,39 +116,6 @@ class SimResult:
         return (serial_time / self.time) / self.n_ranks
 
 
-@dataclass
-class _ParkedSend:
-    """A rendezvous send waiting for its matching receive to be posted."""
-
-    source: int
-    dest: int
-    tag: int
-    payload: Any
-    nbytes: float
-    seq: int
-    park_time: float
-
-
-@dataclass
-class _Slot:
-    """One outstanding posted receive."""
-
-    slot_id: int
-    source: int
-    tag: int
-    msg: Optional[InFlight] = None
-    #: True while the owning rank is blocked in a wait on this slot.
-    waiting: bool = False
-    blocked_since: float = 0.0
-
-    def matches(self, msg: InFlight) -> bool:
-        if self.source != -1 and self.source != msg.source:
-            return False
-        if self.tag != -1 and self.tag != msg.tag:
-            return False
-        return True
-
-
 class Engine:
     """Runs rank programs over a :class:`~repro.machine.machine.Machine`.
 
@@ -163,6 +150,11 @@ class Engine:
         the transfer starts.  This reproduces real MPI semantics --
         including the classic symmetric-blocking-send deadlock -- and
         enables the eager-vs-rendezvous ablation.
+    delivery:
+        Wire-time model: ``"alphabeta"`` (independent per-message
+        charging, the default), ``"contention"`` (transfers serialise
+        on shared-link occupancy along routed paths), or any
+        :class:`~repro.simmpi.delivery.DeliveryModel` instance.
     """
 
     def __init__(
@@ -176,6 +168,7 @@ class Engine:
         max_events: int = 50_000_000,
         fail_at: Optional[Dict[int, float]] = None,
         eager_threshold_bytes: float = float("inf"),
+        delivery: Union[str, DeliveryModel] = "alphabeta",
     ):
         self.machine = machine
         self.n_ranks = machine.n_nodes if n_ranks is None else n_ranks
@@ -203,6 +196,7 @@ class Engine:
                 f"eager threshold must be >= 0, got {eager_threshold_bytes}"
             )
         self.eager_threshold_bytes = eager_threshold_bytes
+        self.delivery = resolve_delivery(delivery)
         self.fail_at = dict(fail_at) if fail_at else {}
         for rank, when in self.fail_at.items():
             if not 0 <= rank < self.n_ranks:
@@ -213,22 +207,6 @@ class Engine:
                 raise ConfigurationError(
                     f"fail_at time must be >= 0, got {when} for rank {rank}"
                 )
-        # Hop counts between mapped ranks are looked up constantly; memoise.
-        self._hops_cache: Dict[tuple, int] = {}
-
-    # -- cost helpers ------------------------------------------------------
-
-    def _hops(self, src_rank: int, dst_rank: int) -> int:
-        key = (src_rank, dst_rank)
-        cached = self._hops_cache.get(key)
-        if cached is None:
-            cached = self.machine.topology.hops(
-                self.rank_map[src_rank], self.rank_map[dst_rank]
-            )
-            self._hops_cache[key] = cached
-        return cached
-
-    # -- main loop -----------------------------------------------------------
 
     def run(self, program: Callable, *args: Any, **kwargs: Any) -> SimResult:
         """Execute ``program(comm, *args, **kwargs)`` on every rank.
@@ -236,8 +214,297 @@ class Engine:
         Returns a :class:`SimResult`; rank return values appear in
         ``result.returns`` in rank order.
         """
-        p = self.n_ranks
-        rngs = spawn(self.seed, p)
+        return _Run(self).execute(program, args, kwargs)
+
+
+#: Fault-injection sentinel circulated through the event heap.
+_FAIL = object()
+
+
+class _Run:
+    """One execution: the event loop plus the context protocols and
+    delivery models operate through."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.machine = engine.machine
+        self.tracer = Tracer(enabled=engine.trace)
+        self.delivery = engine.delivery
+        self.delivery.bind(self.machine, engine.rank_map)
+        self.eager: Protocol = EagerProtocol()
+        self.rendezvous: Protocol = RendezvousProtocol()
+        #: Receive-post matching order: eager queue first, then parked
+        #: rendezvous senders (the seed engine's semantics).
+        self.protocols = (self.eager, self.rendezvous)
+        self.ranks = [
+            RankState(rank=r, stats=RankStats(rank=r))
+            for r in range(engine.n_ranks)
+        ]
+        # FIFO clamp: latest arrival so far per (src, dst).
+        self._last_arrival: Dict[tuple, float] = {}
+        self.seq = 0  # global tiebreaker / message post order
+        self._heap: List[tuple] = []  # (time, seq, rank, resume_value)
+
+    # -- context interface used by protocols -------------------------------
+
+    def arrival(self, src_rank: int, dst_rank: int, nbytes: float, start: float) -> float:
+        """Delivery-model arrival with the per-pair FIFO clamp applied."""
+        arrival = self.delivery.arrival(src_rank, dst_rank, nbytes, start)
+        key = (src_rank, dst_rank)
+        arrival = max(arrival, self._last_arrival.get(key, 0.0))
+        self._last_arrival[key] = arrival
+        return arrival
+
+    def schedule(self, time: float, rank: int, value: Any) -> None:
+        self.seq += 1
+        heapq.heappush(self._heap, (time, self.seq, rank, value))
+
+    def post_message(self, msg: InFlight) -> None:
+        """Bind an in-flight message to the earliest matching posted
+        receive, or queue it."""
+        dst = self.ranks[msg.dest]
+        for slot in dst.receive_slots():
+            if slot.msg is None and slot.matches(msg):
+                slot.msg = msg
+                if slot.waiting:
+                    self.complete_receive(dst, slot)
+                return
+        dst.pending.append(msg)
+
+    def complete_receive(self, state: RankState, slot: ReceiveSlot) -> None:
+        """The blocked rank's slot got its message: deliver."""
+        if state.anywait is not None:
+            self._complete_anywait(state, slot.handle_id)
+            return
+        msg = slot.msg
+        completion = max(slot.blocked_since, msg.arrival_time)
+        self._deliver(state, slot, completion)
+        state.clock = completion
+        state.blocked = False
+        self.schedule(
+            completion,
+            state.rank,
+            Message(msg.payload, msg.source, msg.tag, msg.arrival_time),
+        )
+
+    def complete_send(self, state: RankState, handle: SendHandle) -> None:
+        """A waited-on isend handle finished (eager: instantly;
+        rendezvous: at its handshake)."""
+        if state.anywait is not None:
+            self._complete_anywait(state, handle.handle_id)
+            return
+        completion = max(handle.blocked_since, handle.complete_at)
+        state.stats.comm_time += completion - handle.blocked_since
+        state.clock = completion
+        state.blocked = False
+        state.pop_handle(handle.handle_id)
+        self.schedule(completion, state.rank, None)
+
+    # -- completion helpers -------------------------------------------------
+
+    def _deliver(self, state: RankState, slot: ReceiveSlot, completion: float) -> None:
+        """Account and trace one delivered message; drops the handle."""
+        msg = slot.msg
+        state.stats.comm_time += completion - slot.blocked_since
+        state.stats.messages_received += 1
+        state.stats.bytes_received += msg.nbytes
+        state.pop_handle(slot.handle_id)
+        self.tracer.record(
+            MessageRecord(
+                source=msg.source,
+                dest=msg.dest,
+                tag=msg.tag,
+                nbytes=msg.nbytes,
+                send_time=msg.send_time,
+                arrival_time=msg.arrival_time,
+                recv_time=completion,
+            )
+        )
+
+    def _complete_anywait(self, state: RankState, handle_id: int) -> None:
+        """One member of a waitany group became ready: finish the wait."""
+        index = state.anywait.index(handle_id)
+        handle = state.handles[handle_id]
+        for hid in state.anywait:
+            other = state.handles.get(hid)
+            if other is not None:
+                other.waiting = False
+        state.anywait = None
+        state.blocked = False
+        if isinstance(handle, ReceiveSlot):
+            msg = handle.msg
+            completion = max(handle.blocked_since, msg.arrival_time)
+            self._deliver(state, handle, completion)
+            value = (index, Message(msg.payload, msg.source, msg.tag, msg.arrival_time))
+        else:
+            completion = max(handle.blocked_since, handle.complete_at)
+            state.stats.comm_time += completion - handle.blocked_since
+            state.pop_handle(handle_id)
+            value = (index, None)
+        state.clock = completion
+        self.schedule(completion, state.rank, value)
+
+    def post_receive(self, state: RankState, source: int, tag: int) -> ReceiveSlot:
+        """Post a receive; bind a queued eager message or wake a parked
+        rendezvous sender."""
+        slot = ReceiveSlot(handle_id=state.new_handle_id(), source=source, tag=tag)
+        for protocol in self.protocols:
+            if protocol.match_posted_receive(self, state, slot):
+                break
+        state.add_handle(slot)
+        return slot
+
+    # -- request handlers ----------------------------------------------------
+
+    def _handle_compute(self, state: RankState, request: ComputeReq) -> None:
+        if request.seconds is not None:
+            dt = request.seconds
+        else:
+            dt = self.machine.compute_time(request.flops, request.efficiency)
+        state.clock += dt
+        state.stats.compute_time += dt
+        self.schedule(state.clock, state.rank, None)
+
+    def _protocol_for(self, nbytes: float) -> Protocol:
+        if nbytes > self.engine.eager_threshold_bytes:
+            return self.rendezvous
+        return self.eager
+
+    def _handle_send(self, state: RankState, request: SendReq) -> None:
+        self._check_dest(state, request.dest)
+        nbytes = request.wire_bytes()
+        self._protocol_for(nbytes).send(self, state, request, nbytes)
+
+    def _handle_isend(self, state: RankState, request: IsendReq) -> None:
+        self._check_dest(state, request.dest)
+        nbytes = request.wire_bytes()
+        handle = SendHandle(
+            handle_id=state.new_handle_id(),
+            dest=request.dest,
+            tag=request.tag,
+            nbytes=nbytes,
+        )
+        state.add_handle(handle)
+        self._protocol_for(nbytes).send(self, state, request, nbytes, handle)
+
+    def _handle_recv(self, state: RankState, request) -> None:
+        if request.source != -1 and not 0 <= request.source < len(self.ranks):
+            raise CommunicationError(
+                f"rank {state.rank} receives from invalid rank {request.source}"
+            )
+        now = state.clock
+        slot = self.post_receive(state, request.source, request.tag)
+        if isinstance(request, IrecvReq):
+            # Posting is free; resume immediately with the handle.
+            self.schedule(now, state.rank, slot.handle_id)
+        elif slot.msg is not None:
+            slot.waiting = True
+            slot.blocked_since = now
+            self.complete_receive(state, slot)
+        else:
+            slot.waiting = True
+            slot.blocked_since = now
+            state.blocked = True  # a future send wakes us
+
+    def _handle_wait(self, state: RankState, request: WaitReq) -> None:
+        handle = state.require_handle(request.handle)
+        if handle.waiting:
+            raise CommunicationError(
+                f"rank {state.rank} waits twice on handle {request.handle}"
+            )
+        handle.waiting = True
+        handle.blocked_since = state.clock
+        if handle.ready:
+            if isinstance(handle, ReceiveSlot):
+                self.complete_receive(state, handle)
+            else:
+                self.complete_send(state, handle)
+        else:
+            state.blocked = True
+
+    def _handle_waitany(self, state: RankState, request: WaitanyReq) -> None:
+        now = state.clock
+        handles = [state.require_handle(hid) for hid in request.handles]
+        for handle in handles:
+            if handle.waiting:
+                raise CommunicationError(
+                    f"rank {state.rank} waits twice on handle {handle.handle_id} "
+                    "(duplicate in waitany or concurrent wait)"
+                )
+            handle.waiting = True
+            handle.blocked_since = now
+        state.anywait = list(request.handles)
+        ready = [
+            (handle.completion_time(now), i)
+            for i, handle in enumerate(handles)
+            if handle.ready
+        ]
+        if ready:
+            _, index = min(ready)
+            self._complete_anywait(state, request.handles[index])
+        else:
+            state.blocked = True
+
+    def _check_dest(self, state: RankState, dest: int) -> None:
+        if not 0 <= dest < len(self.ranks):
+            raise CommunicationError(
+                f"rank {state.rank} sent to invalid rank {dest} "
+                f"(size {len(self.ranks)})"
+            )
+
+    # -- failure and deadlock -----------------------------------------------
+
+    def _fail_rank(self, state: RankState, time: float) -> None:
+        state.fail(time)
+        # A dead node's parked rendezvous sends never start.
+        for other in self.ranks:
+            other.parked = [ps for ps in other.parked if ps.source != state.rank]
+
+    def _deadlock_detail(self, failed_ranks: List[int]) -> str:
+        parts = []
+        for state in self.ranks:
+            if state.finished:
+                continue
+            items = []
+            for handle in state.handles.values():
+                if not handle.waiting or handle.ready:
+                    continue
+                if isinstance(handle, ReceiveSlot):
+                    items.append(f"(source={handle.source}, tag={handle.tag})")
+                else:
+                    items.append(f"isend to {handle.dest} (tag={handle.tag})")
+            for other in self.ranks:
+                for ps in other.parked:
+                    if ps.source == state.rank and ps.handle is None:
+                        items.append(f"rendezvous send to {ps.dest} (tag={ps.tag})")
+            parts.append(
+                f"rank {state.rank} blocked on "
+                + (", ".join(items) or "nothing posted")
+            )
+        detail = ", ".join(parts)
+        failure_note = (
+            f" (injected failures: ranks {sorted(failed_ranks)})"
+            if failed_ranks
+            else ""
+        )
+        return detail + failure_note
+
+    # -- main loop -----------------------------------------------------------
+
+    _HANDLERS = {
+        ComputeReq: _handle_compute,
+        SendReq: _handle_send,
+        IsendReq: _handle_isend,
+        RecvReq: _handle_recv,
+        IrecvReq: _handle_recv,
+        WaitReq: _handle_wait,
+        WaitanyReq: _handle_waitany,
+    }
+
+    def execute(self, program: Callable, args: tuple, kwargs: dict) -> SimResult:
+        engine = self.engine
+        p = engine.n_ranks
+        rngs = spawn(engine.seed, p)
         comms = [Comm(rank, p, self.machine, rngs[rank]) for rank in range(p)]
         gens = []
         for rank in range(p):
@@ -249,315 +516,67 @@ class Engine:
                 )
             gens.append(gen)
 
-        clocks = [0.0] * p
-        stats = [RankStats(rank=r) for r in range(p)]
         returns: List[Any] = [None] * p
-        tracer = Tracer(enabled=self.trace)
-
-        # Unmatched messages per destination, in post (seq) order.
-        pending: List[List[InFlight]] = [[] for _ in range(p)]
-        # Rendezvous senders parked per destination, in post order.
-        parked: List[List[_ParkedSend]] = [[] for _ in range(p)]
-        # Outstanding posted receives per rank, in post order.
-        slots: List[List[_Slot]] = [[] for _ in range(p)]
-        finished = [False] * p
-        blocked = [False] * p  # rank is inside a blocking wait
-        next_slot_id = [0] * p
-        # FIFO clamp: latest arrival so far per (src, dst).
-        last_arrival: Dict[tuple, float] = {}
-
-        seq = 0  # global tiebreaker / message post order
-        ready: List[tuple] = []  # (time, seq, rank, resume_value)
-
-        def schedule(time: float, rank: int, value: Any) -> None:
-            nonlocal seq
-            seq += 1
-            heapq.heappush(ready, (time, seq, rank, value))
-
-        def complete_wait(rank: int, slot: _Slot) -> None:
-            """The blocked rank's slot got its message: deliver."""
-            msg = slot.msg
-            completion = max(slot.blocked_since, msg.arrival_time)
-            stats[rank].comm_time += completion - slot.blocked_since
-            stats[rank].messages_received += 1
-            stats[rank].bytes_received += msg.nbytes
-            clocks[rank] = completion
-            blocked[rank] = False
-            slots[rank].remove(slot)
-            tracer.record(
-                MessageRecord(
-                    source=msg.source,
-                    dest=msg.dest,
-                    tag=msg.tag,
-                    nbytes=msg.nbytes,
-                    send_time=msg.arrival_time,
-                    arrival_time=msg.arrival_time,
-                    recv_time=completion,
-                )
-            )
-            schedule(
-                completion,
-                rank,
-                Message(msg.payload, msg.source, msg.tag, msg.arrival_time),
-            )
-
-        def post_message(msg: InFlight) -> None:
-            """Bind an in-flight message to the earliest matching posted
-            receive, or queue it."""
-            dst = msg.dest
-            for slot in slots[dst]:
-                if slot.msg is None and slot.matches(msg):
-                    slot.msg = msg
-                    if slot.waiting:
-                        complete_wait(dst, slot)
-                    return
-            pending[dst].append(msg)
-
-        def complete_rendezvous(ps: _ParkedSend, handshake: float) -> InFlight:
-            """A parked sender's receive arrived: start the transfer and
-            release the sender."""
-            hops = self._hops(ps.source, ps.dest)
-            arrival = handshake + self.machine.link.message_time(ps.nbytes, hops)
-            key = (ps.source, ps.dest)
-            arrival = max(arrival, last_arrival.get(key, 0.0))
-            last_arrival[key] = arrival
-            overhead = self.machine.link.latency_s if ps.dest != ps.source else 0.0
-            # The sender was blocked from park_time to handshake, then
-            # pays its startup overhead.
-            sender_clock = handshake + overhead
-            stats[ps.source].comm_time += (handshake - ps.park_time) + overhead
-            stats[ps.source].messages_sent += 1
-            stats[ps.source].bytes_sent += ps.nbytes
-            clocks[ps.source] = sender_clock
-            schedule(sender_clock, ps.source, None)
-            return InFlight(
-                dest=ps.dest,
-                source=ps.source,
-                tag=ps.tag,
-                payload=ps.payload,
-                nbytes=ps.nbytes,
-                arrival_time=arrival,
-                seq=ps.seq,
-            )
-
-        def make_slot(rank: int, source: int, tag: int) -> _Slot:
-            """Post a receive; bind a queued eager message or wake a
-            parked rendezvous sender."""
-            slot = _Slot(slot_id=next_slot_id[rank], source=source, tag=tag)
-            next_slot_id[rank] += 1
-            queue = pending[rank]
-            for i, msg in enumerate(queue):
-                if slot.matches(msg):
-                    slot.msg = queue.pop(i)
-                    break
-            if slot.msg is None:
-                for i, ps in enumerate(parked[rank]):
-                    if (slot.source in (-1, ps.source)) and (slot.tag in (-1, ps.tag)):
-                        parked[rank].pop(i)
-                        handshake = max(clocks[rank], ps.park_time)
-                        slot.msg = complete_rendezvous(ps, handshake)
-                        break
-            slots[rank].append(slot)
-            return slot
-
-        def find_slot(rank: int, slot_id: int) -> _Slot:
-            for slot in slots[rank]:
-                if slot.slot_id == slot_id:
-                    return slot
-            raise CommunicationError(
-                f"rank {rank} waits on unknown or already-completed "
-                f"receive handle {slot_id}"
-            )
+        failed_ranks: List[int] = []
 
         # Kick off every rank at t=0; arm fault-injection sentinels.
-        _FAIL = object()
-        failed = [False] * p
-        failed_ranks: List[int] = []
         for rank in range(p):
-            schedule(0.0, rank, None)
-        for rank, when in self.fail_at.items():
-            schedule(when, rank, _FAIL)
+            self.schedule(0.0, rank, None)
+        for rank, when in engine.fail_at.items():
+            self.schedule(when, rank, _FAIL)
 
         events = 0
         alive = p
-        while ready:
-            time, _, rank, value = heapq.heappop(ready)
-            if failed[rank]:
+        while self._heap:
+            time, _, rank, value = heapq.heappop(self._heap)
+            state = self.ranks[rank]
+            if state.failed:
                 continue  # events for a dead node are dropped
             if value is _FAIL:
-                if finished[rank]:
+                if state.finished:
                     continue  # died after finishing: no effect
-                failed[rank] = True
                 failed_ranks.append(rank)
-                finished[rank] = True
-                stats[rank].finish_time = time
-                clocks[rank] = max(clocks[rank], time)
-                slots[rank].clear()
-                blocked[rank] = False
-                # A dead node's parked rendezvous sends never start.
-                for dst in range(p):
-                    parked[dst] = [ps for ps in parked[dst] if ps.source != rank]
+                self._fail_rank(state, time)
                 alive -= 1
                 continue
-            if finished[rank]:
+            if state.finished:
                 raise SimulationError(f"finished rank {rank} rescheduled")
-            clocks[rank] = max(clocks[rank], time)
+            state.clock = max(state.clock, time)
 
             try:
                 request = gens[rank].send(value)
             except StopIteration as stop:
                 returns[rank] = stop.value
-                finished[rank] = True
-                stats[rank].finish_time = clocks[rank]
+                state.finished = True
+                state.stats.finish_time = state.clock
                 alive -= 1
                 continue
 
             events += 1
-            if events > self.max_events:
+            if events > engine.max_events:
                 raise SimulationError(
-                    f"exceeded max_events={self.max_events}; "
+                    f"exceeded max_events={engine.max_events}; "
                     "likely an unbounded loop in a rank program"
                 )
 
-            now = clocks[rank]
-            if isinstance(request, ComputeReq):
-                if request.seconds is not None:
-                    dt = request.seconds
-                else:
-                    dt = self.machine.compute_time(request.flops, request.efficiency)
-                clocks[rank] = now + dt
-                stats[rank].compute_time += dt
-                schedule(clocks[rank], rank, None)
-
-            elif isinstance(request, SendReq):
-                dst = request.dest
-                if not 0 <= dst < p:
-                    raise CommunicationError(
-                        f"rank {rank} sent to invalid rank {dst} (size {p})"
-                    )
-                nbytes = request.wire_bytes()
-                if nbytes > self.eager_threshold_bytes:
-                    # Rendezvous: bind to an already-posted matching
-                    # receive, or park until one appears.
-                    ps = _ParkedSend(
-                        source=rank,
-                        dest=dst,
-                        tag=request.tag,
-                        payload=copy_payload(request.payload),
-                        nbytes=nbytes,
-                        seq=seq,
-                        park_time=now,
-                    )
-                    bound = False
-                    for slot in slots[dst]:
-                        if slot.msg is None and slot.matches(
-                            InFlight(dst, rank, request.tag, None, nbytes, 0.0)
-                        ):
-                            slot.msg = complete_rendezvous(ps, now)
-                            if slot.waiting:
-                                complete_wait(dst, slot)
-                            bound = True
-                            break
-                    if not bound:
-                        parked[dst].append(ps)  # sender blocks here
-                    continue
-                hops = self._hops(rank, dst)
-                arrival = now + self.machine.link.message_time(nbytes, hops)
-                key = (rank, dst)
-                arrival = max(arrival, last_arrival.get(key, 0.0))
-                last_arrival[key] = arrival
-                overhead = self.machine.link.latency_s if dst != rank else 0.0
-                clocks[rank] = now + overhead
-                stats[rank].comm_time += overhead
-                stats[rank].messages_sent += 1
-                stats[rank].bytes_sent += nbytes
-                post_message(
-                    InFlight(
-                        dest=dst,
-                        source=rank,
-                        tag=request.tag,
-                        payload=copy_payload(request.payload),
-                        nbytes=nbytes,
-                        arrival_time=arrival,
-                        seq=seq,
-                    )
-                )
-                schedule(clocks[rank], rank, None)
-
-            elif isinstance(request, (RecvReq, IrecvReq)):
-                if request.source != -1 and not 0 <= request.source < p:
-                    raise CommunicationError(
-                        f"rank {rank} receives from invalid rank {request.source}"
-                    )
-                slot = make_slot(rank, request.source, request.tag)
-                if isinstance(request, IrecvReq):
-                    # Posting is free; resume immediately with the handle.
-                    schedule(now, rank, slot.slot_id)
-                elif slot.msg is not None:
-                    slot.waiting = True
-                    slot.blocked_since = now
-                    complete_wait(rank, slot)
-                else:
-                    slot.waiting = True
-                    slot.blocked_since = now
-                    blocked[rank] = True  # a future send wakes us
-
-            elif isinstance(request, WaitReq):
-                slot = find_slot(rank, request.handle)
-                if slot.waiting:
-                    raise CommunicationError(
-                        f"rank {rank} waits twice on handle {request.handle}"
-                    )
-                slot.waiting = True
-                slot.blocked_since = now
-                if slot.msg is not None:
-                    complete_wait(rank, slot)
-                else:
-                    blocked[rank] = True
-
-            else:
+            handler = self._HANDLERS.get(type(request))
+            if handler is None:
                 raise CommunicationError(
                     f"rank {rank} yielded unsupported request {request!r}"
                 )
+            handler(self, state, request)
 
         if alive > 0:
-            parked_by_src: Dict[int, List[str]] = {}
-            for dst in range(p):
-                for ps in parked[dst]:
-                    parked_by_src.setdefault(ps.source, []).append(
-                        f"rendezvous send to {dst} (tag={ps.tag})"
-                    )
-            detail = ", ".join(
-                f"rank {r} blocked on "
-                + (
-                    ", ".join(
-                        [
-                            f"(source={s.source}, tag={s.tag})"
-                            for s in slots[r]
-                            if s.waiting and s.msg is None
-                        ]
-                        + parked_by_src.get(r, [])
-                    )
-                    or "nothing posted"
-                )
-                for r in range(p)
-                if not finished[r]
-            )
-            failure_note = (
-                f" (injected failures: ranks {sorted(failed_ranks)})"
-                if failed_ranks
-                else ""
-            )
             raise DeadlockError(
                 f"{alive} rank(s) blocked with no matching sends: "
-                f"{detail}{failure_note}"
+                f"{self._deadlock_detail(failed_ranks)}"
             )
 
         return SimResult(
             returns=returns,
-            time=max(clocks) if clocks else 0.0,
-            stats=stats,
-            tracer=tracer,
+            time=max(s.clock for s in self.ranks) if self.ranks else 0.0,
+            stats=[s.stats for s in self.ranks],
+            tracer=self.tracer,
             failed_ranks=sorted(failed_ranks),
         )
 
@@ -569,7 +588,16 @@ def run_program(
     *args: Any,
     seed: int = 0,
     trace: bool = False,
+    eager_threshold_bytes: float = float("inf"),
+    delivery: Union[str, DeliveryModel] = "alphabeta",
     **kwargs: Any,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Engine`."""
-    return Engine(machine, n_ranks, seed=seed, trace=trace).run(program, *args, **kwargs)
+    return Engine(
+        machine,
+        n_ranks,
+        seed=seed,
+        trace=trace,
+        eager_threshold_bytes=eager_threshold_bytes,
+        delivery=delivery,
+    ).run(program, *args, **kwargs)

@@ -64,6 +64,17 @@ class GroupComm:
     def _user_tag(self, tag: int) -> int:
         return -(self._salt + _USER_TAG_OFFSET + tag)
 
+    def _untag(self, gtag: int) -> int:
+        """Invert :meth:`_user_tag` for messages received in this group."""
+        return -gtag - self._salt - _USER_TAG_OFFSET
+
+    def _to_group(self, msg):
+        """Translate a delivered message's metadata to group coordinates."""
+        if msg is None:
+            return None
+        source = self.members.index(msg.source) if msg.source in self.members else msg.source
+        return type(msg)(msg.payload, source, self._untag(msg.tag), msg.arrival_time)
+
     # -- identity -------------------------------------------------------------
 
     def is_root(self, root: int = 0) -> bool:
@@ -90,9 +101,40 @@ class GroupComm:
         gsource = ANY_SOURCE if source == ANY_SOURCE else self.members[source]
         gtag = ANY_TAG if tag == ANY_TAG else self._user_tag(tag)
         msg = yield from self.parent.recv(source=gsource, tag=gtag)
-        # Translate metadata back into group coordinates.
-        local_source = self.members.index(msg.source) if msg.source in self.members else msg.source
-        return type(msg)(msg.payload, local_source, tag, msg.arrival_time)
+        return self._to_group(msg)
+
+    def isend(
+        self, payload: Any, dest: int, tag: int = 0, nbytes: Optional[float] = None
+    ) -> Generator:
+        if not 0 <= dest < self.size:
+            raise CommunicationError(f"group isend dest {dest} out of range")
+        handle = yield from self.parent.isend(
+            payload, self.members[dest], tag=self._user_tag(tag), nbytes=nbytes
+        )
+        return handle
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise CommunicationError(f"group irecv source {source} out of range")
+        gsource = ANY_SOURCE if source == ANY_SOURCE else self.members[source]
+        gtag = ANY_TAG if tag == ANY_TAG else self._user_tag(tag)
+        handle = yield from self.parent.irecv(source=gsource, tag=gtag)
+        return handle
+
+    def wait(self, handle: int) -> Generator:
+        msg = yield from self.parent.wait(handle)
+        return self._to_group(msg)
+
+    def waitall(self, handles) -> Generator:
+        out = []
+        for handle in handles:
+            msg = yield from self.wait(handle)
+            out.append(msg)
+        return out
+
+    def waitany(self, handles) -> Generator:
+        index, msg = yield from self.parent.waitany(handles)
+        return index, self._to_group(msg)
 
     def sendrecv(
         self,
@@ -133,8 +175,8 @@ class GroupComm:
     def scatter(self, values, root: int = 0, algorithm: str = "tree") -> Generator:
         return _coll.scatter(self, values, root, algorithm)
 
-    def alltoall(self, values) -> Generator:
-        return _coll.alltoall(self, values)
+    def alltoall(self, values, algorithm: str = "cyclic") -> Generator:
+        return _coll.alltoall(self, values, algorithm)
 
     def scan(self, value: Any, op="sum") -> Generator:
         return _coll.scan(self, value, op)

@@ -1,0 +1,178 @@
+"""Message protocols: how a send reaches a matching receive.
+
+The engine selects a protocol **per message** by size -- up to the
+eager threshold the :class:`EagerProtocol` buffers and forwards
+immediately; above it the :class:`RendezvousProtocol` holds the sender
+(or, for ``isend``, just the transfer) until the receiver posts a
+matching slot.  Both implement the same two-method interface:
+
+* :meth:`Protocol.send` -- interpret one send/isend request from a
+  running rank;
+* :meth:`Protocol.match_posted_receive` -- a receive was just posted;
+  bind a waiting message or parked sender to it if one matches.
+
+When a receive is posted the engine consults the protocols in a fixed
+order (eager queue first, then parked rendezvous senders), preserving
+the seed engine's matching semantics exactly.
+
+Protocols talk to the run through the small context interface the
+engine passes in (``arrival``/``overhead`` delegate to the active
+:class:`~repro.simmpi.delivery.DeliveryModel`, plus ``schedule`` and
+the completion callbacks), so protocol logic is independent of both the
+cost model and the event loop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Union
+
+from repro.simmpi.requests import ANY_SOURCE, ANY_TAG, InFlight, IsendReq, SendReq, copy_payload
+from repro.simmpi.state import ParkedSend, RankState, ReceiveSlot, SendHandle
+
+
+class Protocol(ABC):
+    """Strategy for delivering one message class (eager vs rendezvous)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def send(
+        self,
+        ctx,
+        src: RankState,
+        request: Union[SendReq, IsendReq],
+        nbytes: float,
+        handle: Optional[SendHandle] = None,
+    ) -> None:
+        """Interpret a send issued at ``src.clock``.
+
+        ``handle`` is None for a blocking :class:`SendReq`; for
+        :class:`IsendReq` it is the already-registered
+        :class:`SendHandle` the sender will wait on.
+        """
+
+    @abstractmethod
+    def match_posted_receive(self, ctx, dst: RankState, slot: ReceiveSlot) -> bool:
+        """A receive was posted at ``dst``: bind a queued message or
+        parked sender to ``slot``.  Returns True when bound."""
+
+
+class EagerProtocol(Protocol):
+    """Buffered sends: copy, charge the startup overhead, deliver after
+    the routed delay.  The sender never blocks."""
+
+    name = "eager"
+
+    def send(self, ctx, src, request, nbytes, handle=None):
+        now = src.clock
+        dst = request.dest
+        arrival = ctx.arrival(src.rank, dst, nbytes, now)
+        overhead = ctx.delivery.overhead(src.rank, dst)
+        src.clock = now + overhead
+        src.stats.comm_time += overhead
+        src.stats.messages_sent += 1
+        src.stats.bytes_sent += nbytes
+        ctx.post_message(
+            InFlight(
+                dest=dst,
+                source=src.rank,
+                tag=request.tag,
+                payload=copy_payload(request.payload),
+                nbytes=nbytes,
+                arrival_time=arrival,
+                seq=ctx.seq,
+                send_time=now,
+            )
+        )
+        if handle is not None:
+            # The CPU injected the message; the handle is already done.
+            handle.complete_at = src.clock
+            ctx.schedule(src.clock, src.rank, handle.handle_id)
+        else:
+            ctx.schedule(src.clock, src.rank, None)
+
+    def match_posted_receive(self, ctx, dst, slot):
+        for i, msg in enumerate(dst.pending):
+            if slot.matches(msg):
+                slot.msg = dst.pending.pop(i)
+                return True
+        return False
+
+
+class RendezvousProtocol(Protocol):
+    """Handshaking sends: the transfer starts only once a matching
+    receive exists.  A blocking send parks its rank; an isend parks only
+    the transfer and completes its handle at handshake time."""
+
+    name = "rendezvous"
+
+    def send(self, ctx, src, request, nbytes, handle=None):
+        now = src.clock
+        dst = ctx.ranks[request.dest]
+        ps = ParkedSend(
+            source=src.rank,
+            dest=request.dest,
+            tag=request.tag,
+            payload=copy_payload(request.payload),
+            nbytes=nbytes,
+            seq=ctx.seq,
+            park_time=now,
+            send_time=now,
+            handle=handle,
+        )
+        for slot in dst.receive_slots():
+            if slot.msg is None and self._slot_accepts(slot, ps):
+                if handle is not None:
+                    ctx.schedule(now, src.rank, handle.handle_id)
+                slot.msg = self.start_transfer(ctx, ps, handshake=now)
+                if slot.waiting:
+                    ctx.complete_receive(dst, slot)
+                return
+        dst.parked.append(ps)
+        if handle is not None:
+            ctx.schedule(now, src.rank, handle.handle_id)  # isend returns at once
+        # A blocking sender stays parked: no event until the handshake.
+
+    def match_posted_receive(self, ctx, dst, slot):
+        for i, ps in enumerate(dst.parked):
+            if self._slot_accepts(slot, ps):
+                dst.parked.pop(i)
+                handshake = max(dst.clock, ps.park_time)
+                slot.msg = self.start_transfer(ctx, ps, handshake)
+                return True
+        return False
+
+    @staticmethod
+    def _slot_accepts(slot: ReceiveSlot, ps: ParkedSend) -> bool:
+        return slot.source in (ANY_SOURCE, ps.source) and slot.tag in (ANY_TAG, ps.tag)
+
+    def start_transfer(self, ctx, ps: ParkedSend, handshake: float) -> InFlight:
+        """The handshake happened: start the wire transfer, release (or
+        complete the handle of) the sender."""
+        arrival = ctx.arrival(ps.source, ps.dest, ps.nbytes, handshake)
+        overhead = ctx.delivery.overhead(ps.source, ps.dest)
+        src = ctx.ranks[ps.source]
+        src.stats.messages_sent += 1
+        src.stats.bytes_sent += ps.nbytes
+        sender_clear = handshake + overhead
+        if ps.handle is None:
+            # The sender was blocked from park_time to the handshake,
+            # then pays its startup overhead.
+            src.stats.comm_time += (handshake - ps.park_time) + overhead
+            src.clock = sender_clear
+            ctx.schedule(sender_clear, src.rank, None)
+        else:
+            ps.handle.complete_at = sender_clear
+            if ps.handle.waiting:
+                ctx.complete_send(src, ps.handle)
+        return InFlight(
+            dest=ps.dest,
+            source=ps.source,
+            tag=ps.tag,
+            payload=ps.payload,
+            nbytes=ps.nbytes,
+            arrival_time=arrival,
+            seq=ps.seq,
+            send_time=ps.send_time,
+        )

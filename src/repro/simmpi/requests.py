@@ -88,6 +88,30 @@ class SendReq:
 
 
 @dataclass(frozen=True)
+class IsendReq:
+    """Non-blocking send: posts the transfer and returns a handle
+    immediately.  Complete it with :class:`WaitReq` (which yields
+    ``None`` for send handles).
+
+    Under the eager protocol the payload is buffered at post time, so
+    the handle is already complete when it is returned; the request
+    exists for symmetry and for the rendezvous protocol, where the
+    *sender does not block* on the handshake -- the transfer starts
+    whenever the receiver posts, and only :class:`WaitReq` synchronises.
+    This is exactly why ``MPI_Isend`` breaks the symmetric
+    blocking-send deadlock above the eager threshold.
+    """
+
+    dest: int
+    payload: Any
+    tag: int = 0
+    nbytes: Optional[float] = None
+
+    def wire_bytes(self) -> float:
+        return payload_nbytes(self.payload) if self.nbytes is None else self.nbytes
+
+
+@dataclass(frozen=True)
 class RecvReq:
     """Blocking receive matching ``source`` and ``tag`` (wildcards allowed)."""
 
@@ -106,10 +130,32 @@ class IrecvReq:
 
 @dataclass(frozen=True)
 class WaitReq:
-    """Block until the posted receive identified by ``handle`` has a
-    message; resumes with that :class:`Message`."""
+    """Block until the request identified by ``handle`` completes.
+
+    Resumes with the delivered :class:`Message` for receive handles and
+    with ``None`` for send handles.
+    """
 
     handle: int
+
+
+@dataclass(frozen=True)
+class WaitanyReq:
+    """Block until *any* of ``handles`` completes; resumes with
+    ``(index, message_or_None)`` where ``index`` is the position in
+    ``handles`` of the completed request.
+
+    When several requests are already completable, the one with the
+    earliest completion time wins (ties broken by list position) -- a
+    deterministic refinement of MPI's ``MPI_Waitany``, in the same
+    spirit as the engine's ``ANY_SOURCE`` resolution.
+    """
+
+    handles: tuple
+
+    def __post_init__(self) -> None:
+        if not self.handles:
+            raise CommunicationError("waitany needs at least one handle")
 
 
 @dataclass(frozen=True)
@@ -156,6 +202,9 @@ class InFlight:
     nbytes: float
     arrival_time: float
     seq: int = field(default=0)
+    #: Virtual time the sender issued the send (for rendezvous this is
+    #: the post time, not the handshake); threaded into trace records.
+    send_time: float = field(default=0.0)
 
     def matches(self, req: RecvReq) -> bool:
         if req.source != ANY_SOURCE and req.source != self.source:

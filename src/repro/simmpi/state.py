@@ -1,0 +1,153 @@
+"""Per-rank simulation state and the unified request-handle table.
+
+One :class:`RankState` consolidates everything the engine used to keep
+in parallel per-rank lists: the virtual clock, aggregate statistics,
+lifecycle flags, the queues of unmatched eager messages and parked
+rendezvous senders, and the **handle table** -- a dict keyed by handle
+id holding every outstanding non-blocking request (posted receives and
+in-progress sends alike).  The dict replaces the old linear
+``find_slot``/``slots.remove`` scans with O(1) lookup and removal, and
+its insertion order *is* MPI post order, which the matching rules rely
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.simmpi.requests import ANY_SOURCE, ANY_TAG, InFlight
+from repro.simmpi.trace import RankStats
+from repro.util.errors import CommunicationError
+
+
+@dataclass
+class ReceiveSlot:
+    """One outstanding posted receive."""
+
+    handle_id: int
+    source: int
+    tag: int
+    msg: Optional[InFlight] = None
+    #: True while the owning rank is blocked in a wait on this handle.
+    waiting: bool = False
+    blocked_since: float = 0.0
+
+    def matches(self, msg: InFlight) -> bool:
+        if self.source != ANY_SOURCE and self.source != msg.source:
+            return False
+        if self.tag != ANY_TAG and self.tag != msg.tag:
+            return False
+        return True
+
+    @property
+    def ready(self) -> bool:
+        """A message is bound: a wait on this handle can complete."""
+        return self.msg is not None
+
+    def completion_time(self, now: float) -> float:
+        return max(now, self.msg.arrival_time)
+
+
+@dataclass
+class SendHandle:
+    """One outstanding non-blocking send."""
+
+    handle_id: int
+    dest: int
+    tag: int
+    nbytes: float
+    #: Virtual time the sender's CPU is clear of this send; None while
+    #: a rendezvous isend is still parked awaiting its handshake.
+    complete_at: Optional[float] = None
+    waiting: bool = False
+    blocked_since: float = 0.0
+
+    @property
+    def ready(self) -> bool:
+        return self.complete_at is not None
+
+    def completion_time(self, now: float) -> float:
+        return max(now, self.complete_at)
+
+
+Handle = Union[ReceiveSlot, SendHandle]
+
+
+@dataclass
+class ParkedSend:
+    """A rendezvous send waiting for its matching receive to be posted.
+
+    ``handle`` is set for non-blocking sends (the sender keeps running
+    and synchronises via the handle); ``None`` means the sender is
+    blocked in the send itself.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: float
+    seq: int
+    park_time: float
+    send_time: float
+    handle: Optional[SendHandle] = None
+
+
+@dataclass
+class RankState:
+    """Everything the engine tracks for one rank."""
+
+    rank: int
+    stats: RankStats
+    clock: float = 0.0
+    finished: bool = False
+    failed: bool = False
+    #: Rank is inside a blocking wait (recv/wait/waitany or a parked
+    #: blocking rendezvous send).
+    blocked: bool = False
+    #: Unified handle table: handle id -> outstanding request.
+    handles: Dict[int, Handle] = field(default_factory=dict)
+    #: Unmatched eager arrivals addressed to this rank, in post order.
+    pending: List[InFlight] = field(default_factory=list)
+    #: Rendezvous senders parked *at this destination*, in post order.
+    parked: List[ParkedSend] = field(default_factory=list)
+    #: Handle ids of an in-progress waitany, or None.
+    anywait: Optional[List[int]] = None
+    _next_handle: int = 0
+
+    def new_handle_id(self) -> int:
+        hid = self._next_handle
+        self._next_handle += 1
+        return hid
+
+    def add_handle(self, handle: Handle) -> None:
+        self.handles[handle.handle_id] = handle
+
+    def require_handle(self, handle_id: int) -> Handle:
+        try:
+            return self.handles[handle_id]
+        except KeyError:
+            raise CommunicationError(
+                f"rank {self.rank} waits on unknown or already-completed "
+                f"request handle {handle_id}"
+            ) from None
+
+    def pop_handle(self, handle_id: int) -> Handle:
+        return self.handles.pop(handle_id)
+
+    def receive_slots(self) -> Iterator[ReceiveSlot]:
+        """Posted receives in post order (dict insertion order)."""
+        for handle in self.handles.values():
+            if isinstance(handle, ReceiveSlot):
+                yield handle
+
+    def fail(self, time: float) -> None:
+        """Node death: freeze the clock, drop all outstanding requests."""
+        self.failed = True
+        self.finished = True
+        self.blocked = False
+        self.stats.finish_time = time
+        self.clock = max(self.clock, time)
+        self.handles.clear()
+        self.anywait = None

@@ -1,0 +1,184 @@
+"""Delivery models: alpha-beta vs contention-aware wire time.
+
+The acceptance test for the contention model: on the all-pairs
+transpose the simulated mesh time must exceed the hypercube time (the
+static analyzer's ordering -- the Touchstone wiring argument), and both
+must respect the :class:`ContentionReport` serialisation lower bound.
+"""
+
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.machine.contention import all_to_all_pattern, analyse, path_links
+from repro.machine.topology import Hypercube, Mesh2D
+from repro.simmpi import (
+    AlphaBetaDelivery,
+    ContentionAwareDelivery,
+    DeliveryModel,
+    Engine,
+    resolve_delivery,
+    run_program,
+)
+from repro.util.errors import ConfigurationError
+
+LINK = LinkModel(latency_s=72e-6, bandwidth_bytes_per_s=12e6, per_hop_s=0.05e-6)
+NODE = NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0)
+
+
+def machine_with(topology):
+    return Machine(name="toy", node=NODE, topology=topology, link=LINK)
+
+
+def exchange_program(comm, pattern, nbytes):
+    """Drive a concurrent pattern: post all receives, isend all blocks."""
+    sources = [s for s, d, _ in pattern if d == comm.rank]
+    dests = [d for s, d, _ in pattern if s == comm.rank]
+    handles = []
+    for s in sources:
+        h = yield from comm.irecv(source=s, tag=1)
+        handles.append(h)
+    for d in dests:
+        h = yield from comm.isend(None, d, tag=1, nbytes=nbytes)
+        handles.append(h)
+    yield from comm.waitall(handles)
+
+
+class TestResolve:
+    def test_names_resolve(self):
+        assert isinstance(resolve_delivery("alphabeta"), AlphaBetaDelivery)
+        assert isinstance(resolve_delivery("contention"), ContentionAwareDelivery)
+
+    def test_instance_passes_through(self):
+        model = ContentionAwareDelivery()
+        assert resolve_delivery(model) is model
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="alphabeta"):
+            resolve_delivery("wormhole9000")
+
+    def test_engine_accepts_instance(self):
+        model = ContentionAwareDelivery()
+        engine = Engine(machine_with(FullyConnected(2)), 2, delivery=model)
+        assert engine.delivery is model
+
+    def test_custom_model_plugs_in(self):
+        class FixedDelay(DeliveryModel):
+            name = "fixed"
+
+            def arrival(self, src, dst, nbytes, start):
+                return start + 1.0
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(b"x", 1)
+            else:
+                msg = yield from comm.recv(source=0)
+                return msg.arrival_time
+
+        result = run_program(
+            machine_with(FullyConnected(2)), 2, program, delivery=FixedDelay()
+        )
+        assert result.returns[1] == pytest.approx(1.0)
+
+
+class TestUncontendedEquivalence:
+    """With no competing traffic, contention == alpha-beta exactly."""
+
+    @pytest.mark.parametrize("topology", [Mesh2D(4, 4), Hypercube(4)])
+    def test_single_transfer_identical(self, topology):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(None, comm.size - 1, nbytes=48_000)
+            elif comm.rank == comm.size - 1:
+                msg = yield from comm.recv(source=0)
+                return msg.arrival_time
+
+        mach = machine_with(topology)
+        ab = run_program(mach, 16, program, delivery="alphabeta")
+        con = run_program(mach, 16, program, delivery="contention")
+        assert con.returns[-1] == ab.returns[-1]
+        assert con.time == ab.time
+
+    def test_self_send_is_local_copy(self):
+        def program(comm):
+            yield from comm.send(None, comm.rank, tag=5, nbytes=1e6)
+            msg = yield from comm.recv(source=comm.rank, tag=5)
+            return msg.arrival_time
+
+        mach = machine_with(Mesh2D(2, 2))
+        ab = run_program(mach, 4, program, delivery="alphabeta")
+        con = run_program(mach, 4, program, delivery="contention")
+        assert con.returns == ab.returns
+
+
+class TestContentionOrdering:
+    """Acceptance: simulation reproduces the static analyzer's verdict."""
+
+    NBYTES = 64_000.0
+
+    def run_all_pairs(self, topology, delivery):
+        mach = machine_with(topology)
+        pattern = all_to_all_pattern(16, self.NBYTES)
+        return mach, pattern, run_program(
+            mach, 16, exchange_program, pattern, self.NBYTES, delivery=delivery
+        )
+
+    def test_mesh_slower_than_hypercube_under_contention(self):
+        _, _, mesh = self.run_all_pairs(Mesh2D(4, 4), "contention")
+        _, _, cube = self.run_all_pairs(Hypercube(4), "contention")
+        assert mesh.time > cube.time
+
+    def test_alphabeta_is_blind_to_the_difference(self):
+        # The independent model sees only hop counts; the gap it reports
+        # is a fraction of the contention gap.
+        _, _, mesh_ab = self.run_all_pairs(Mesh2D(4, 4), "alphabeta")
+        _, _, mesh_con = self.run_all_pairs(Mesh2D(4, 4), "contention")
+        assert mesh_con.time > 2 * mesh_ab.time
+
+    @pytest.mark.parametrize("topology", [Mesh2D(4, 4), Hypercube(4)])
+    def test_simulated_time_respects_serialisation_bound(self, topology):
+        mach, pattern, result = self.run_all_pairs(topology, "contention")
+        report = analyse(mach, pattern)
+        assert result.time >= report.serialisation_bound_s
+
+    def test_same_links_as_static_analyzer(self):
+        # The delivery model and the analyzer must count identical wires.
+        mach = machine_with(Mesh2D(4, 4))
+        model = ContentionAwareDelivery()
+        model.bind(mach, list(range(16)))
+        assert model._links(0, 5) == path_links(mach.topology.route(0, 5))
+
+
+class TestLinkOccupancy:
+    def test_two_transfers_on_shared_link_serialise(self):
+        # Ranks 0 and 1 both send to rank 3 on a 1x4 mesh: the (2, 3)
+        # link is shared, so the second payload waits for the first.
+        mach = machine_with(Mesh2D(1, 4))
+        nbytes = 120_000.0
+        byte_time = nbytes / LINK.bandwidth_bytes_per_s
+
+        def program(comm):
+            if comm.rank in (0, 1):
+                yield from comm.send(None, 3, tag=comm.rank, nbytes=nbytes)
+            elif comm.rank == 3:
+                a = yield from comm.recv(source=0, tag=0)
+                b = yield from comm.recv(source=1, tag=1)
+                return sorted([a.arrival_time, b.arrival_time])
+
+        result = run_program(mach, 4, program, delivery="contention")
+        first, second = result.returns[3]
+        assert second - first >= byte_time
+        ab = run_program(mach, 4, program, delivery="alphabeta")
+        ab_first, ab_second = ab.returns[3]
+        assert ab_second - ab_first < byte_time  # independent model overlaps
+
+    def test_occupancy_is_inspectable_and_reset(self):
+        model = ContentionAwareDelivery()
+        mach = machine_with(Mesh2D(1, 4))
+        model.bind(mach, list(range(4)))
+        model.arrival(0, 3, 1000.0, 0.0)
+        occ = model.link_occupancy()
+        assert set(occ) == {(0, 1), (1, 2), (2, 3)}
+        assert all(t > 0 for t in occ.values())
+        model.bind(mach, list(range(4)))  # rebinding clears the timeline
+        assert model.link_occupancy() == {}

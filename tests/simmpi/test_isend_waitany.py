@@ -1,0 +1,391 @@
+"""Non-blocking sends, waitany, and their failure modes.
+
+Also holds the three-way equivalence property (eager, rendezvous and
+contention-aware runs return bit-identical numerics) and the trace
+timestamp regression test (send_time must be the post time, not the
+arrival time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import Engine, run_program
+from repro.util.errors import CommunicationError, DeadlockError
+
+THRESHOLD = 1024.0
+
+
+def toy_machine(n):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=1e-4, bandwidth_bytes_per_s=1e7),
+    )
+
+
+def engine(n, **kwargs):
+    return Engine(toy_machine(n), n, **kwargs)
+
+
+class TestIsendEager:
+    def test_isend_costs_same_as_send(self):
+        """Below the threshold the CPU still injects the message, so an
+        eager isend+wait is exactly a blocking send."""
+
+        def blocking(comm):
+            if comm.rank == 0:
+                yield from comm.send(b"x" * 256, 1)
+            else:
+                yield from comm.recv(source=0)
+
+        def nonblocking(comm):
+            if comm.rank == 0:
+                h = yield from comm.isend(b"x" * 256, 1)
+                yield from comm.wait(h)
+            else:
+                yield from comm.recv(source=0)
+
+        assert engine(2).run(nonblocking).time == engine(2).run(blocking).time
+
+    def test_wait_on_send_handle_returns_none(self):
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.isend(1.5, 1)
+                out = yield from comm.wait(h)
+                return out
+            msg = yield from comm.recv(source=0)
+            return msg.payload
+
+        assert engine(2).run(program).returns == [None, 1.5]
+
+    def test_waitall_mixes_send_and_recv_handles(self):
+        def program(comm):
+            other = 1 - comm.rank
+            rh = yield from comm.irecv(source=other, tag=1)
+            sh = yield from comm.isend(comm.rank * 10, other, tag=1)
+            msg, none = yield from comm.waitall([rh, sh])
+            assert none is None
+            return msg.payload
+
+        assert engine(2).run(program).returns == [10, 0]
+
+    def test_payload_snapshot_at_post(self):
+        """The engine buffers at isend time; later mutation is invisible."""
+
+        def program(comm):
+            if comm.rank == 0:
+                data = np.ones(4)
+                h = yield from comm.isend(data, 1)
+                data[:] = 99.0
+                yield from comm.wait(h)
+            else:
+                msg = yield from comm.recv(source=0)
+                return msg.payload.tolist()
+
+        assert engine(2).run(program).returns[1] == [1.0, 1.0, 1.0, 1.0]
+
+
+class TestIsendRendezvous:
+    def test_isend_does_not_block_on_handshake(self):
+        """A blocking rendezvous send stalls until the receive is
+        posted; isend lets the sender compute through the stall."""
+
+        def blocking(comm):
+            if comm.rank == 0:
+                yield from comm.send(b"x" * 4096, 1)
+                yield from comm.compute(seconds=1.0)
+            else:
+                yield from comm.compute(seconds=1.0)
+                yield from comm.recv(source=0)
+
+        def overlapped(comm):
+            if comm.rank == 0:
+                h = yield from comm.isend(b"x" * 4096, 1)
+                yield from comm.compute(seconds=1.0)
+                yield from comm.wait(h)
+            else:
+                yield from comm.compute(seconds=1.0)
+                yield from comm.recv(source=0)
+
+        blocked = engine(2, eager_threshold_bytes=THRESHOLD).run(blocking)
+        overlap = engine(2, eager_threshold_bytes=THRESHOLD).run(overlapped)
+        assert overlap.time < blocked.time
+        assert overlap.time == pytest.approx(1.0, rel=1e-3)
+
+    def test_symmetric_isend_exchange_does_not_deadlock(self):
+        """isend removes the classic symmetric blocking-send deadlock."""
+
+        def program(comm):
+            other = 1 - comm.rank
+            h = yield from comm.isend(b"x" * 4096, other)
+            msg = yield from comm.recv(source=other)
+            yield from comm.wait(h)
+            return len(msg.payload)
+
+        result = engine(2, eager_threshold_bytes=THRESHOLD).run(program)
+        assert result.returns == [4096, 4096]
+
+    def test_unwaited_isend_to_missing_receiver_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.isend(b"x" * 4096, 1, tag=9)
+                yield from comm.wait(h)
+            # rank 1 never posts a receive
+
+        with pytest.raises(DeadlockError, match=r"isend to 1 \(tag=9\)"):
+            engine(2, eager_threshold_bytes=THRESHOLD).run(program)
+
+
+class TestWaitany:
+    def test_returns_earliest_completion(self):
+        def program(comm):
+            if comm.rank == 0:
+                h1 = yield from comm.irecv(source=1, tag=1)
+                h2 = yield from comm.irecv(source=2, tag=2)
+                index, msg = yield from comm.waitany([h1, h2])
+                later = yield from comm.wait(h1 if index == 1 else h2)
+                return (index, msg.source, later.source)
+            if comm.rank == 1:
+                yield from comm.compute(seconds=2.0)
+            yield from comm.send(None, 0, tag=comm.rank)
+
+        result = engine(3).run(program)
+        assert result.returns[0] == (1, 2, 1)  # rank 2's message wins
+
+    def test_tie_breaks_by_list_position(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(seconds=1.0)  # both already queued
+                h1 = yield from comm.irecv(source=1)
+                h2 = yield from comm.irecv(source=2)
+                index, _ = yield from comm.waitany([h2, h1])
+                return index
+            yield from comm.send(None, 0)
+
+        assert engine(3).run(program).returns[0] == 0
+
+    def test_waitany_with_send_handles(self):
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.isend(b"x" * 4096, 1)
+                index, result = yield from comm.waitany([h])
+                return (index, result)
+            yield from comm.compute(seconds=0.5)
+            yield from comm.recv(source=0)
+
+        result = engine(2, eager_threshold_bytes=THRESHOLD).run(program)
+        assert result.returns[0] == (0, None)
+
+    def test_empty_waitany_rejected(self):
+        def program(comm):
+            yield from comm.waitany([])
+
+        with pytest.raises(CommunicationError, match="at least one handle"):
+            engine(1).run(program)
+
+    def test_losing_handle_stays_outstanding(self):
+        def program(comm):
+            if comm.rank == 0:
+                h1 = yield from comm.irecv(source=1, tag=1)
+                h2 = yield from comm.irecv(source=2, tag=2)
+                index, _ = yield from comm.waitany([h1, h2])
+                loser = h1 if index == 1 else h2
+                index2, msg2 = yield from comm.waitany([loser])
+                return (index2, msg2.source)
+            if comm.rank == 1:
+                yield from comm.compute(seconds=2.0)
+            yield from comm.send(None, 0, tag=comm.rank)
+
+        assert engine(3).run(program).returns[0] == (0, 1)
+
+    def test_completed_handle_cannot_be_rewaited(self):
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.irecv(source=1)
+                yield from comm.waitany([h])
+                yield from comm.wait(h)
+            else:
+                yield from comm.send(None, 0)
+
+        with pytest.raises(CommunicationError, match="already-completed"):
+            engine(2).run(program)
+
+    def test_duplicate_handle_in_waitany_rejected(self):
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.irecv(source=1)
+                yield from comm.waitany([h, h])
+            else:
+                yield from comm.compute(seconds=1.0)
+                yield from comm.send(None, 0)
+
+        with pytest.raises(CommunicationError, match="waits twice"):
+            engine(2).run(program)
+
+
+class TestGroupNonblocking:
+    def test_group_isend_irecv_translate_ranks_and_tags(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(seconds=0.1)
+                return None
+            group = comm.group([1, 2])
+            if group.rank == 0:
+                h = yield from group.isend(7.0, 1, tag=3)
+                yield from group.wait(h)
+                return None
+            rh = yield from group.irecv(source=0, tag=3)
+            msg = yield from group.wait(rh)
+            return (msg.source, msg.tag, msg.payload)
+
+        result = engine(3).run(program)
+        assert result.returns[2] == (0, 3, 7.0)
+
+    def test_group_waitany_translates_metadata(self):
+        def program(comm):
+            group = comm.group(list(range(comm.size)))
+            if comm.rank == 0:
+                h1 = yield from group.irecv(source=1, tag=1)
+                h2 = yield from group.irecv(source=2, tag=2)
+                index, msg = yield from group.waitany([h1, h2])
+                return (index, msg.source, msg.tag)
+            if comm.rank == 1:
+                yield from comm.compute(seconds=2.0)
+            yield from group.send(None, 0, tag=group.rank)
+
+        assert engine(3).run(program).returns[0] == (1, 2, 2)
+
+
+class TestFaultsUnderNonblockingPaths:
+    def test_waitall_on_dead_sender_deadlocks_with_failure_note(self):
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.irecv(source=1, tag=4)
+                yield from comm.waitall([h])
+            else:
+                yield from comm.compute(seconds=5.0)
+                yield from comm.send(None, 0, tag=4)
+
+        with pytest.raises(DeadlockError, match=r"injected failures: ranks \[1\]"):
+            engine(2, fail_at={1: 1.0}).run(program)
+
+    def test_waitany_on_dead_sender_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.irecv(source=1, tag=4)
+                yield from comm.waitany([h])
+            else:
+                yield from comm.compute(seconds=5.0)
+                yield from comm.send(None, 0, tag=4)
+
+        with pytest.raises(DeadlockError, match=r"source=1, tag=4"):
+            engine(2, fail_at={1: 1.0}).run(program)
+
+    def test_rendezvous_isend_to_dead_rank_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.isend(b"x" * 4096, 1, tag=2)
+                yield from comm.wait(h)
+            else:
+                yield from comm.compute(seconds=5.0)
+                yield from comm.recv(source=0, tag=2)
+
+        with pytest.raises(DeadlockError, match="injected failures"):
+            engine(2, eager_threshold_bytes=THRESHOLD, fail_at={1: 1.0}).run(program)
+
+    def test_survivors_not_needing_dead_rank_complete(self):
+        def program(comm):
+            if comm.rank == 2:
+                yield from comm.compute(seconds=5.0)  # dies at t=1
+                return "unreachable"
+            other = 1 - comm.rank
+            h = yield from comm.isend(comm.rank, other, tag=1)
+            msg = yield from comm.recv(source=other, tag=1)
+            yield from comm.wait(h)
+            return msg.payload
+
+        result = engine(3, fail_at={2: 1.0}).run(program)
+        assert result.returns[:2] == [1, 0]
+        assert result.failed_ranks == [2]
+
+    def test_parked_send_from_dead_rank_is_purged(self):
+        """A rendezvous send parked by a rank that then dies must not
+        satisfy a later receive."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(b"x" * 4096, 1, tag=6)  # parks, then dies
+            else:
+                yield from comm.compute(seconds=5.0)
+                yield from comm.recv(source=0, tag=6)
+
+        with pytest.raises(DeadlockError, match="injected failures"):
+            engine(2, eager_threshold_bytes=THRESHOLD, fail_at={0: 1.0}).run(program)
+
+
+class TestThreeWayEquivalence:
+    """Eager, rendezvous and contention-aware runs of the same program
+    must return bit-identical numerics -- the cost model can only move
+    virtual time, never data."""
+
+    @staticmethod
+    def workload(comm):
+        rng = np.random.default_rng(100 + comm.rank)
+        v = rng.standard_normal(8)
+        total = yield from comm.allreduce(v)
+        parts = yield from comm.allgather(v * comm.rank, algorithm="ring_nb")
+        blocks = yield from comm.alltoall(
+            [v + j for j in range(comm.size)], algorithm="nonblocking"
+        )
+        root_view = yield from comm.bcast(
+            total if comm.rank == 0 else None, algorithm="tree_nb"
+        )
+        acc = total + root_view
+        for part in parts:
+            acc = acc + part
+        for block in blocks:
+            acc = acc + block
+        return acc.tobytes()
+
+    def test_bit_identical_across_protocol_and_delivery(self):
+        p = 8
+        configs = [
+            dict(),
+            dict(eager_threshold_bytes=16.0),
+            dict(delivery="contention"),
+            dict(eager_threshold_bytes=16.0, delivery="contention"),
+        ]
+        results = [engine(p, **cfg).run(self.workload).returns for cfg in configs]
+        for other in results[1:]:
+            assert other == results[0]
+
+
+class TestTraceSendTime:
+    def test_send_time_is_post_time_not_arrival(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(seconds=0.5)
+                yield from comm.send(b"x" * 100, 1)
+            else:
+                yield from comm.recv(source=0)
+
+        result = engine(2, trace=True).run(program)
+        [record] = result.tracer.records
+        assert record.send_time == pytest.approx(0.5)
+        assert record.arrival_time > record.send_time
+
+    def test_rendezvous_send_time_is_post_time_not_handshake(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(b"x" * 4096, 1)
+            else:
+                yield from comm.compute(seconds=1.0)
+                yield from comm.recv(source=0)
+
+        result = engine(2, trace=True, eager_threshold_bytes=THRESHOLD).run(program)
+        [record] = result.tracer.records
+        # The send was posted at t=0 and handshook at t=1.
+        assert record.send_time == pytest.approx(0.0)
+        assert record.arrival_time > 1.0
