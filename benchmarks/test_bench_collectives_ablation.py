@@ -10,7 +10,6 @@ out of the virtual clock rather than being asserted:
   debate in one table.
 """
 
-import pytest
 
 from benchmarks.conftest import print_exhibit
 from repro.machine import Hypercube, LinkModel, Machine, Mesh2D, NodeSpec, Torus2D

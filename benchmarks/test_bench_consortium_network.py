@@ -15,7 +15,6 @@ from repro.network import (
     DELTA_SITE,
     HIPPI_SONET,
     LINK_CLASSES,
-    REGIONAL_56K,
     T1,
     T3,
     delta_consortium,

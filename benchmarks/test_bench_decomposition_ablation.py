@@ -11,7 +11,6 @@ measured rather than asserted:
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_exhibit
 from repro.apps.cfd import CFDConfig, distributed_run, distributed_run_2d, gaussian_blob

@@ -9,7 +9,6 @@ classes on the Delta model and checks the textbook shape:
 * CG (latency-bound inner products) shows the worst efficiency.
 """
 
-import pytest
 
 from benchmarks.conftest import print_exhibit
 from repro.core import (

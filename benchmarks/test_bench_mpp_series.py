@@ -7,7 +7,6 @@ per generation.  Shape: each generation's peak and modelled LINPACK
 beat its predecessor's; the Delta's peak matches the paper's 32 GFLOPS.
 """
 
-import pytest
 
 from benchmarks.conftest import print_exhibit
 from repro.linalg import HPLModel

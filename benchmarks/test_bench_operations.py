@@ -10,7 +10,6 @@ here quantitatively:
   week-long Grand Challenge run on 512 failure-prone nodes.
 """
 
-import pytest
 
 from benchmarks.conftest import print_exhibit
 from repro.core import CheckpointPlan

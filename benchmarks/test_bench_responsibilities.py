@@ -5,7 +5,6 @@ Shape checks: all eight agencies appear, ASTA is the universally-covered
 component, HPCS is the selective one.
 """
 
-import pytest
 
 from benchmarks.conftest import print_exhibit
 from repro.program import (

@@ -6,7 +6,6 @@ engine sustains, and how a medium workload's wall time decomposes.
 A regression here inflates every other measurement.
 """
 
-import pytest
 
 from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
 from repro.simmpi import run_program

@@ -7,7 +7,6 @@ Shape: the consortium curve dominates everywhere and reaches 50%
 adoption years earlier.
 """
 
-import pytest
 
 from benchmarks.conftest import print_exhibit
 from repro.program import (

@@ -1,0 +1,42 @@
+"""Typed findings emitted by the communication-correctness linter.
+
+A :class:`Finding` is one diagnosed problem at one source location.
+Findings are plain frozen dataclasses so callers (tests, the CLI, CI
+scripts) can filter, count, and sort them without parsing text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+#: Severity levels, most severe first.  ``error`` marks code that is
+#: wrong on every execution (a dropped coroutine, a guaranteed
+#: deadlock); ``warning`` marks hazards that need specific runtime
+#: conditions (message size, timing) to bite.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed communication-correctness problem."""
+
+    #: Rule code, e.g. ``"W001"``.
+    rule: str
+    #: ``"error"`` or ``"warning"``.
+    severity: str
+    #: Path of the analysed file (or ``"<source>"`` for string input).
+    file: str
+    #: 1-based line of the offending call.
+    line: int
+    #: Human-readable explanation with a suggested fix.
+    message: str
+
+    def render(self) -> str:
+        """``file:line: CODE severity: message`` (editor-clickable)."""
+        return f"{self.file}:{self.line}: {self.rule} {self.severity}: {self.message}"
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: by file, then line, then rule."""
+    return sorted(findings, key=lambda f: (f.file, f.line, f.rule))

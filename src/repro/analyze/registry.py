@@ -1,0 +1,102 @@
+"""Rule registry and ``# repro: disable=...`` suppression handling.
+
+Rules self-register through the :func:`rule` decorator, which records
+their metadata (code, name, severity, one-line summary) in
+:data:`RULES` and their check function in :data:`CHECKS`.  The linter
+driver iterates the registry, so adding a rule is a single decorated
+function in :mod:`repro.analyze.rules`.
+
+Suppressions are line-scoped comments on the flagged line::
+
+    yield from comm.send(a, left, tag=0)  # repro: disable=W004
+    comm.send(x, 1)                       # repro: disable=all
+
+Multiple codes separate with commas: ``# repro: disable=W001,W004``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Set
+
+from repro.analyze.findings import SEVERITIES, Finding
+from repro.util.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one registered lint rule."""
+
+    code: str
+    name: str
+    severity: str
+    summary: str
+
+
+#: code -> rule metadata, in registration order.
+RULES: Dict[str, Rule] = {}
+#: code -> check function ``(model: ProgramModel) -> List[Finding]``.
+CHECKS: Dict[str, Callable] = {}
+
+
+def rule(code: str, name: str, severity: str, summary: str) -> Callable:
+    """Class decorator-style registrar for rule check functions."""
+    if severity not in SEVERITIES:
+        raise AnalysisError(
+            f"rule {code}: unknown severity {severity!r}; expected one of {SEVERITIES}"
+        )
+
+    def decorator(check: Callable) -> Callable:
+        if code in RULES:
+            raise AnalysisError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code=code, name=name, severity=severity, summary=summary)
+        CHECKS[code] = check
+        return check
+
+    return decorator
+
+
+def resolve_select(select: object) -> Set[str]:
+    """Normalise a rule selection (None, ``"W001,W004"``, or iterable)
+    to a set of registered codes; raises on unknown codes."""
+    if select is None:
+        return set(RULES)
+    if isinstance(select, str):
+        codes = {c.strip() for c in select.split(",") if c.strip()}
+    else:
+        codes = {str(c) for c in select}
+    unknown = codes - set(RULES)
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule code(s) {sorted(unknown)}; available: {sorted(RULES)}"
+        )
+    return codes
+
+
+_DISABLE_RE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def suppressed_lines(source: str, line_offset: int = 0) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers (plus ``line_offset``) to the set of
+    rule codes disabled on that line (``{"all"}`` disables every rule)."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(text)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            out[lineno + line_offset] = codes
+    return out
+
+
+def filter_suppressed(
+    findings: Iterable[Finding], suppressions: Dict[int, Set[str]]
+) -> List[Finding]:
+    """Drop findings whose line carries a matching disable comment."""
+    kept = []
+    for finding in findings:
+        codes = suppressions.get(finding.line)
+        if codes and ("all" in codes or finding.rule in codes):
+            continue
+        kept.append(finding)
+    return kept

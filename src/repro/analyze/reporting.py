@@ -1,0 +1,40 @@
+"""Render findings for terminals and CI logs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analyze.findings import Finding, sort_findings
+
+
+def summarize(findings: Iterable[Finding]) -> str:
+    """``"3 findings (2 errors, 1 warning) in 2 files"``."""
+    items: List[Finding] = list(findings)
+    if not items:
+        return "no issues found"
+    errors = sum(1 for f in items if f.severity == "error")
+    warnings = len(items) - errors
+    files = len({f.file for f in items})
+    plural = "s" if len(items) != 1 else ""
+    parts = []
+    if errors:
+        parts.append(f"{errors} error{'s' if errors != 1 else ''}")
+    if warnings:
+        parts.append(f"{warnings} warning{'s' if warnings != 1 else ''}")
+    file_plural = "s" if files != 1 else ""
+    return (
+        f"{len(items)} finding{plural} ({', '.join(parts)}) "
+        f"in {files} file{file_plural}"
+    )
+
+
+def format_findings(findings: Iterable[Finding], *, summary: bool = True) -> str:
+    """One ``file:line: CODE severity: message`` line per finding, in
+    deterministic order, plus a closing summary line."""
+    items = sort_findings(findings)
+    lines = [f.render() for f in items]
+    if summary:
+        if lines:
+            lines.append("")
+        lines.append(summarize(items))
+    return "\n".join(lines)

@@ -1,0 +1,323 @@
+"""The communication-correctness rules (W001-W006).
+
+Each rule is a function from a :class:`~repro.analyze.visitor.ProgramModel`
+to a list of :class:`~repro.analyze.findings.Finding`, registered through
+:func:`~repro.analyze.registry.rule`.  The rules are deliberately tuned
+for the repo's rank-program idiom: near-zero false positives on
+``src/repro/linalg`` and ``examples`` (enforced in CI), with the
+deliberately-buggy fixtures under ``tests/analyze/fixtures``
+documenting exactly what each rule does and does not flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import ast
+
+from repro.analyze.findings import Finding
+from repro.analyze.registry import RULES, rule
+from repro.analyze.visitor import (
+    COLLECTIVES,
+    CommCall,
+    ProgramModel,
+    constant_int,
+    is_rank_symmetric,
+    is_wildcard,
+)
+
+
+def _finding(code: str, model: ProgramModel, line: int, message: str) -> Finding:
+    return Finding(
+        rule=code,
+        severity=RULES[code].severity,
+        file=model.filename,
+        line=line,
+        message=f"{message} [in {model.name}()]",
+    )
+
+
+# ---------------------------------------------------------------------------
+# W001 -- dropped coroutine
+# ---------------------------------------------------------------------------
+
+@rule(
+    "W001",
+    name="dropped-coroutine",
+    severity="error",
+    summary="comm coroutine called without 'yield from': the operation never executes",
+)
+def check_dropped_coroutine(model: ProgramModel) -> List[Finding]:
+    findings = []
+    for call in model.calls:
+        if call.yielded:
+            continue
+        findings.append(
+            _finding(
+                "W001",
+                model,
+                call.line,
+                f"{call.comm_name}.{call.method}(...) called without 'yield from': "
+                "rank programs are generators, so the bare call builds a coroutine "
+                "and silently discards it -- the operation never executes",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W002 -- leaked nonblocking handle
+# ---------------------------------------------------------------------------
+
+def _waited_names(model: ProgramModel) -> Set[str]:
+    """Names that reach a wait/waitall/waitany argument."""
+    waited: Set[str] = set()
+    for call in model.calls:
+        if call.method in ("wait", "waitall", "waitany"):
+            for expr in call.args.values():
+                waited |= {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+    return waited
+
+
+@rule(
+    "W002",
+    name="leaked-handle",
+    severity="warning",
+    summary="isend/irecv handle never passed to wait/waitall/waitany",
+)
+def check_leaked_handle(model: ProgramModel) -> List[Finding]:
+    waited = _waited_names(model)
+    consumed = set(waited) | model.returned_names
+    findings = []
+    for call in model.calls:
+        if call.method not in ("isend", "irecv") or not call.yielded:
+            continue
+        names = set(call.targets)
+        if call.appended_to:
+            names.add(call.appended_to)
+        # A handle is consumed when it -- or any container it flows
+        # into (handles.append(h); waitall(handles)) -- is waited on
+        # or returned to the caller.
+        reachable = set(names)
+        for name in names:
+            reachable |= model.flows_into(name)
+        if names and reachable & consumed:
+            continue
+        what = "handle" if names else "unbound handle"
+        bound = f" '{', '.join(sorted(names))}'" if names else ""
+        findings.append(
+            _finding(
+                "W002",
+                model,
+                call.line,
+                f"{call.method} {what}{bound} is never passed to "
+                "wait/waitall/waitany: the request is leaked, so its "
+                "completion (and, for rendezvous isends, the transfer "
+                "itself) is never synchronised",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W003 -- rank-dependent collective
+# ---------------------------------------------------------------------------
+
+@rule(
+    "W003",
+    name="divergent-collective",
+    severity="error",
+    summary="collective called inside a comm.rank-conditional branch",
+)
+def check_divergent_collective(model: ProgramModel) -> List[Finding]:
+    findings = []
+    for call in model.calls:
+        if call.method not in COLLECTIVES or call.rank_cond_depth == 0:
+            continue
+        findings.append(
+            _finding(
+                "W003",
+                model,
+                call.line,
+                f"collective {call.comm_name}.{call.method}(...) inside a "
+                "comm.rank-dependent branch: ranks taking the other branch "
+                "never join, which deadlocks the collective (every rank of "
+                "the communicator must participate)",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W004 -- symmetric blocking-send exchange
+# ---------------------------------------------------------------------------
+
+@rule(
+    "W004",
+    name="symmetric-blocking-send",
+    severity="warning",
+    summary="unordered symmetric send/recv pair: deadlocks above the eager threshold",
+)
+def check_symmetric_blocking_send(model: ProgramModel) -> List[Finding]:
+    blocks: Dict[int, List[CommCall]] = {}
+    for call in model.calls:
+        blocks.setdefault(call.block_id, []).append(call)
+
+    findings = []
+    for block_calls in blocks.values():
+        block_calls.sort(key=lambda c: (c.block_index, c.line))
+        irecv_seen = False
+        flagged = False
+        for position, call in enumerate(block_calls):
+            if call.method == "irecv":
+                irecv_seen = True
+            if flagged or irecv_seen:
+                continue
+            if call.method != "send" or call.rank_cond_depth > 0:
+                # Sends ordered by a rank test (parity exchange) are the
+                # textbook-correct pattern.
+                continue
+            dest = call.args.get("dest")
+            if dest is None or not is_rank_symmetric(dest, model):
+                continue
+            for later in block_calls[position + 1:]:
+                source = later.args.get("source")
+                if (
+                    later.method == "recv"
+                    and source is not None
+                    and is_rank_symmetric(source, model)
+                ):
+                    findings.append(
+                        _finding(
+                            "W004",
+                            model,
+                            call.line,
+                            "every rank blocking-sends to a rank-symmetric peer "
+                            f"(line {call.line}) before receiving (line {later.line}): "
+                            "above the eager threshold all senders park in the "
+                            "rendezvous handshake and no receive is ever posted "
+                            "-- the classic Delta deadlock.  Pre-post an irecv "
+                            "or order the exchange by rank parity",
+                        )
+                    )
+                    flagged = True
+                    break
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W005 -- constant tag mismatch
+# ---------------------------------------------------------------------------
+
+def _constant_tag(call: CommCall, default: Optional[int]) -> Tuple[bool, Optional[int]]:
+    """``(is_analysable, tag)``: tag value when it is a literal int (or
+    the method's default when omitted); not analysable otherwise."""
+    expr = call.args.get("tag")
+    if expr is None:
+        return True, default
+    value = constant_int(expr)
+    if value is None:
+        if is_wildcard(expr, ("ANY_TAG",)):
+            return True, -1
+        return False, None
+    return True, value
+
+
+@rule(
+    "W005",
+    name="tag-mismatch",
+    severity="error",
+    summary="constant send tag has no matching recv tag (or vice versa)",
+)
+def check_tag_mismatch(model: ProgramModel) -> List[Finding]:
+    sends: List[Tuple[CommCall, Optional[int]]] = []
+    recvs: List[Tuple[CommCall, Optional[int]]] = []
+    for call in model.calls:
+        if call.method in ("send", "isend"):
+            ok, tag = _constant_tag(call, default=0)
+            if not ok:
+                return []  # a computed tag: the pairing is not decidable
+            sends.append((call, tag))
+        elif call.method in ("recv", "irecv"):
+            ok, tag = _constant_tag(call, default=-1)
+            if not ok:
+                return []
+            recvs.append((call, tag))
+    if not sends or not recvs:
+        return []  # one-sided program fragments pair with a caller we cannot see
+
+    send_tags = {tag for _, tag in sends}
+    recv_tags = {tag for _, tag in recvs}
+    wildcard_recv = -1 in recv_tags
+
+    findings = []
+    for call, tag in sends:
+        if not wildcard_recv and tag not in recv_tags:
+            findings.append(
+                _finding(
+                    "W005",
+                    model,
+                    call.line,
+                    f"{call.method} with tag={tag} never matches: the program's "
+                    f"receives listen on tag(s) {sorted(recv_tags)} only",
+                )
+            )
+    for call, tag in recvs:
+        if tag != -1 and tag not in send_tags:
+            findings.append(
+                _finding(
+                    "W005",
+                    model,
+                    call.line,
+                    f"{call.method} with tag={tag} never matches: the program's "
+                    f"sends use tag(s) {sorted(send_tags)} only",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W006 -- wildcard-source race
+# ---------------------------------------------------------------------------
+
+@rule(
+    "W006",
+    name="wildcard-race",
+    severity="warning",
+    summary="recv(ANY_SOURCE) races a source-specific recv in the same program",
+)
+def check_wildcard_race(model: ProgramModel) -> List[Finding]:
+    receives = [c for c in model.calls if c.method in ("recv", "irecv")]
+    wildcards = [c for c in receives if is_wildcard(c.args.get("source"), ("ANY_SOURCE",))]
+    specifics = [c for c in receives if not is_wildcard(c.args.get("source"), ("ANY_SOURCE",))]
+    if not wildcards or not specifics:
+        return []
+
+    def tags_overlap(a: CommCall, b: CommCall) -> bool:
+        tag_a = a.args.get("tag")
+        tag_b = b.args.get("tag")
+        if is_wildcard(tag_a, ("ANY_TAG",)) or is_wildcard(tag_b, ("ANY_TAG",)):
+            return True
+        const_a, const_b = constant_int(tag_a), constant_int(tag_b)
+        if const_a is None or const_b is None:
+            return True  # computed tags: assume they can collide
+        return const_a == const_b
+
+    findings = []
+    for wildcard in wildcards:
+        rivals = [s for s in specifics if tags_overlap(wildcard, s)]
+        if not rivals:
+            continue
+        lines = ", ".join(str(s.line) for s in rivals)
+        findings.append(
+            _finding(
+                "W006",
+                model,
+                wildcard.line,
+                "recv(ANY_SOURCE) can steal the message a source-specific "
+                f"recv (line {lines}) is waiting for: which receive matches "
+                "depends on arrival order, so results are timing-dependent. "
+                "Disambiguate with tags or name the source",
+            )
+        )
+    return findings

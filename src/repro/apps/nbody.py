@@ -16,7 +16,7 @@ because forces are antisymmetric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Tuple
+from typing import Generator
 
 import numpy as np
 

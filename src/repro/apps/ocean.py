@@ -23,7 +23,7 @@ update -- double the latency sensitivity, visible in the benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Tuple
+from typing import Generator
 
 import numpy as np
 

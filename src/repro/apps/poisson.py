@@ -21,7 +21,7 @@ allreduce (another latency cost the simulator makes visible).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Tuple
+from typing import Generator, Optional
 
 import numpy as np
 

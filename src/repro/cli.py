@@ -11,6 +11,7 @@ exhibits and evaluation tools::
     python -m repro trajectory               # the teraops projection
     python -m repro scaling --workload cfd --ranks 1,2,4,8
     python -m repro challenges               # Grand Challenge registry
+    python -m repro lint examples            # static rank-program checks
 """
 
 from __future__ import annotations
@@ -142,6 +143,20 @@ def _cmd_challenges(args) -> str:
     )
 
 
+def _cmd_lint(args):
+    from repro.analyze import RULES, analyze_paths, format_findings
+
+    if args.list_rules:
+        return "\n".join(
+            f"{r.code} {r.name} ({r.severity}): {r.summary}"
+            for r in RULES.values()
+        )
+    if not args.paths:
+        raise ReproError("lint: no paths given (or use --list-rules)")
+    findings = analyze_paths(args.paths, select=args.select)
+    return format_findings(findings), (1 if findings else 0)
+
+
 def _cmd_all(args) -> str:
     """Every exhibit, in paper order, as one report."""
     sections = [
@@ -203,6 +218,24 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--seed", type=int, default=0)
     scaling.set_defaults(func=_cmd_scaling)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static communication-correctness checks over rank programs",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="Python files or directories to analyse",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all), e.g. W001,W004",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
     sub.add_parser("challenges", help="Grand Challenge registry").set_defaults(
         func=_cmd_challenges
     )
@@ -222,11 +255,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        print(args.func(args))
+        result = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 0
+    # Commands that drive CI (lint) return (text, exit_code).
+    text, code = result if isinstance(result, tuple) else (result, 0)
+    print(text)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

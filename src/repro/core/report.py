@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
 
 from repro.core.evaluation import MachineComparison, ScalingStudy, WeakScalingStudy
 from repro.util.tables import render_table

@@ -23,7 +23,7 @@ model abstracts, bit-for-bit against the serial reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Tuple
+from typing import Generator, Tuple
 
 import numpy as np
 

@@ -77,11 +77,16 @@ def cannon_program(comm, q: int, a_full: np.ndarray, b_full: np.ndarray) -> Gene
         c += a @ b
         yield from comm.compute(flops=2.0 * nb * nb * nb)
         if step < q - 1:
-            # Shift A left, B up (eager sends; receives match by tag).
+            # Shift A left, B up.  Pre-posting the irecvs keeps the
+            # symmetric exchange deadlock-free above the eager
+            # threshold (every rank sends before anyone receives
+            # otherwise -- analyzer rule W004).
+            ha = yield from comm.irecv(source=right, tag=2 * step)
+            hb = yield from comm.irecv(source=down, tag=2 * step + 1)
             yield from comm.send(a, left, tag=2 * step)
             yield from comm.send(b, up, tag=2 * step + 1)
-            msg_a = yield from comm.recv(source=right, tag=2 * step)
-            msg_b = yield from comm.recv(source=down, tag=2 * step + 1)
+            msg_a = yield from comm.wait(ha)
+            msg_b = yield from comm.wait(hb)
             a, b = msg_a.payload, msg_b.payload
 
     return (i, j, c)

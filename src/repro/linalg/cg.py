@@ -19,7 +19,7 @@ as the serial reference, validated against ``np.linalg.solve``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Tuple
+from typing import Generator, Optional
 
 import numpy as np
 

@@ -17,7 +17,7 @@ use NumPy; the engine charges 5 N log2 N / P flops across the phases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Tuple
+from typing import Generator
 
 import numpy as np
 

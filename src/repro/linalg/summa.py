@@ -17,7 +17,7 @@ funded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Tuple
+from typing import Generator
 
 import numpy as np
 

@@ -19,12 +19,11 @@ at small order, verified against ``numpy.linalg.solve``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Tuple
+from typing import Generator, Optional
 
 import numpy as np
 
 from repro.linalg.blocklu import lu_flops, make_test_matrix
-from repro.linalg.decomp import cyclic_indices
 from repro.simmpi.engine import Engine, SimResult
 from repro.util.errors import DecompositionError
 

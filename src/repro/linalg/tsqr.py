@@ -15,7 +15,7 @@ and the implicit Q reconstructed as ``A @ inv(R)`` is orthonormal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Tuple
+from typing import Generator
 
 import numpy as np
 

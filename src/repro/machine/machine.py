@@ -9,7 +9,7 @@ grand-challenge codes scale on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.machine.links import LinkModel

@@ -21,7 +21,7 @@ from repro.machine.machine import Machine
 from repro.machine.node import NodeSpec
 from repro.machine.topology import FullyConnected, Hypercube, Mesh2D
 from repro.util.errors import ConfigurationError
-from repro.util.units import gflops, mflops, mib, microseconds, mb_per_s
+from repro.util.units import mflops, mib, microseconds, mb_per_s
 
 # The i860 XR at 40 MHz: one multiply-add pipe, 60 MFLOPS nominal double
 # precision.  528 numeric nodes x 60.6 MFLOPS = 32.0 GFLOPS, the paper's

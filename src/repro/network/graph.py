@@ -14,8 +14,8 @@ Built on :mod:`networkx` for the graph algorithms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import networkx as nx
 

@@ -9,7 +9,7 @@ and compares transfer estimates before and after.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable
 
 from repro.network.graph import WanLink, WideAreaNetwork
 from repro.network.links import LinkClass

@@ -22,7 +22,6 @@ without the consortium mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 import numpy as np
 

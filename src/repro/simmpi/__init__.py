@@ -60,6 +60,7 @@ from repro.simmpi.timeline import (
     utilisation_table,
 )
 from repro.simmpi.trace import MessageRecord, RankStats, Tracer
+from repro.simmpi.waitgraph import WaitEdge, WaitForGraph, build_wait_graph
 
 __all__ = [
     "Comm",
@@ -107,4 +108,7 @@ __all__ = [
     "MessageRecord",
     "RankStats",
     "Tracer",
+    "WaitEdge",
+    "WaitForGraph",
+    "build_wait_graph",
 ]

@@ -17,7 +17,6 @@ from typing import Any, Callable, Generator, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.simmpi.requests import COLLECTIVE_TAG_BASE
 from repro.util.errors import CommunicationError
 
 #: Rounds within one collective get distinct tags below the block tag.

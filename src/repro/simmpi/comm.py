@@ -31,7 +31,6 @@ from repro.simmpi.requests import (
     ComputeReq,
     IrecvReq,
     IsendReq,
-    Message,
     RecvReq,
     SendReq,
     WaitanyReq,

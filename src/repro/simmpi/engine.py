@@ -65,6 +65,7 @@ from repro.simmpi.requests import (
 )
 from repro.simmpi.state import RankState, ReceiveSlot, SendHandle
 from repro.simmpi.trace import MessageRecord, RankStats, Tracer
+from repro.simmpi.waitgraph import WaitForGraph, build_wait_graph
 from repro.util.errors import (
     CommunicationError,
     ConfigurationError,
@@ -460,34 +461,13 @@ class _Run:
         for other in self.ranks:
             other.parked = [ps for ps in other.parked if ps.source != state.rank]
 
+    def _wait_graph(self, failed_ranks: List[int]) -> WaitForGraph:
+        """The wait-for graph over the still-blocked ranks (see
+        :mod:`repro.simmpi.waitgraph`)."""
+        return build_wait_graph(self.ranks, failed_ranks)
+
     def _deadlock_detail(self, failed_ranks: List[int]) -> str:
-        parts = []
-        for state in self.ranks:
-            if state.finished:
-                continue
-            items = []
-            for handle in state.handles.values():
-                if not handle.waiting or handle.ready:
-                    continue
-                if isinstance(handle, ReceiveSlot):
-                    items.append(f"(source={handle.source}, tag={handle.tag})")
-                else:
-                    items.append(f"isend to {handle.dest} (tag={handle.tag})")
-            for other in self.ranks:
-                for ps in other.parked:
-                    if ps.source == state.rank and ps.handle is None:
-                        items.append(f"rendezvous send to {ps.dest} (tag={ps.tag})")
-            parts.append(
-                f"rank {state.rank} blocked on "
-                + (", ".join(items) or "nothing posted")
-            )
-        detail = ", ".join(parts)
-        failure_note = (
-            f" (injected failures: ranks {sorted(failed_ranks)})"
-            if failed_ranks
-            else ""
-        )
-        return detail + failure_note
+        return self._wait_graph(failed_ranks).describe()
 
     # -- main loop -----------------------------------------------------------
 
@@ -567,9 +547,13 @@ class _Run:
             handler(self, state, request)
 
         if alive > 0:
+            graph = self._wait_graph(failed_ranks)
             raise DeadlockError(
                 f"{alive} rank(s) blocked with no matching sends: "
-                f"{self._deadlock_detail(failed_ranks)}"
+                f"{graph.describe()}",
+                wait_for=graph.wait_for(),
+                cycle=graph.find_cycle(),
+                failed_ranks=sorted(failed_ranks),
             )
 
         return SimResult(

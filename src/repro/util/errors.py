@@ -29,7 +29,33 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """All live ranks are blocked on communication that can never
-    complete (e.g. a receive with no matching send)."""
+    complete (e.g. a receive with no matching send).
+
+    Carries the engine's wait-for-graph explanation of the deadlock:
+
+    ``wait_for``
+        ``{blocked_rank: [ranks it waits on]}`` -- the edges of the
+        wait-for graph at the moment of deadlock.
+    ``cycle``
+        The detected cycle as a rank list with the start repeated, e.g.
+        ``[0, 1, 0]`` for a symmetric exchange -- or ``None`` when the
+        deadlock is acyclic (a wait on a failed or finished rank).
+    ``failed_ranks``
+        Ranks removed by fault injection before the deadlock.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        wait_for=None,
+        cycle=None,
+        failed_ranks=None,
+    ) -> None:
+        super().__init__(message)
+        self.wait_for = {r: list(ts) for r, ts in wait_for.items()} if wait_for else {}
+        self.cycle = list(cycle) if cycle else None
+        self.failed_ranks = list(failed_ranks) if failed_ranks else []
 
 
 class CommunicationError(SimulationError):
@@ -55,3 +81,8 @@ class NetworkError(ReproError):
 class ProgramModelError(ReproError):
     """The HPCC program model was queried with unknown agencies,
     components, or fiscal years."""
+
+
+class AnalysisError(ReproError):
+    """The static analyzer was given input it cannot process (unparsable
+    source, an unknown rule code, a missing path)."""

@@ -1,0 +1,12 @@
+"""Fixture: W001 dropped-coroutine -- a comm call without ``yield from``
+builds a generator and silently discards it."""
+
+
+def bad_dropped_barrier(comm):
+    comm.barrier()  # BAD
+    yield from comm.compute(seconds=1.0)
+
+
+def good_yielded_barrier(comm):
+    yield from comm.barrier()
+    yield from comm.compute(seconds=1.0)

@@ -1,0 +1,28 @@
+"""Fixture: W002 leaked-handle -- an isend/irecv handle that never
+reaches wait/waitall/waitany is a request that is never synchronised."""
+
+
+def bad_leaked_irecv(comm):
+    h = yield from comm.irecv(source=0, tag=1)  # BAD
+    msg = yield from comm.recv(source=0, tag=1)
+    return msg.payload
+
+
+def good_waited_irecv(comm):
+    h = yield from comm.irecv(source=0, tag=1)
+    msg = yield from comm.wait(h)
+    return msg.payload
+
+
+def good_handle_flows_into_waitall(comm):
+    handles = []
+    for peer in range(comm.size):
+        h = yield from comm.irecv(source=peer, tag=0)
+        handles.append(h)
+    msgs = yield from comm.waitall(handles)
+    return msgs
+
+
+def good_handle_returned_to_caller(comm):
+    h = yield from comm.irecv(source=0, tag=1)
+    return h

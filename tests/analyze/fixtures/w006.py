@@ -1,0 +1,24 @@
+"""Fixture: W006 wildcard-race -- a ``recv(ANY_SOURCE)`` can steal the
+message a source-specific recv with an overlapping tag is waiting for,
+making results depend on arrival order."""
+
+
+def bad_wildcard_race(comm):
+    if comm.rank == 0:
+        first = yield from comm.recv(tag=0)  # BAD
+        second = yield from comm.recv(source=2, tag=0)
+        return first.payload, second.payload
+    yield from comm.send(comm.rank, 0, tag=0)
+    return None
+
+
+def good_disjoint_tags(comm):
+    if comm.rank == 0:
+        status = yield from comm.recv(tag=9)
+        data = yield from comm.recv(source=2, tag=0)
+        return status.payload, data.payload
+    if comm.rank == 2:
+        yield from comm.send(1.0, 0, tag=0)
+    else:
+        yield from comm.send(0.0, 0, tag=9)
+    return None

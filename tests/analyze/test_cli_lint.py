@@ -1,0 +1,87 @@
+"""``python -m repro lint``: paths, selection, exit codes."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+@pytest.fixture
+def run_cli(capsys):
+    def invoke(argv):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    return invoke
+
+
+class TestLintCommand:
+    def test_findings_exit_nonzero(self, run_cli):
+        code, out, _ = run_cli(["lint", FIXTURES])
+        assert code == 1
+        for rule in ("W001", "W002", "W003", "W004", "W005", "W006"):
+            assert rule in out
+        assert "findings" in out  # summary line
+
+    def test_clean_tree_exits_zero(self, run_cli, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text(
+            "def prog(comm):\n"
+            "    total = yield from comm.allreduce(comm.rank)\n"
+            "    return total\n"
+        )
+        code, out, _ = run_cli(["lint", str(tmp_path)])
+        assert code == 0
+        assert "no issues found" in out
+
+    def test_select_limits_rules(self, run_cli):
+        code, out, _ = run_cli(["lint", "--select", "W004", FIXTURES])
+        assert code == 1
+        assert "W004" in out and "W001" not in out
+
+    def test_unknown_rule_is_an_error(self, run_cli):
+        code, _, err = run_cli(["lint", "--select", "W042", FIXTURES])
+        assert code == 1
+        assert "unknown rule" in err
+
+    def test_missing_path_is_an_error(self, run_cli):
+        code, _, err = run_cli(["lint", os.path.join(FIXTURES, "absent.py")])
+        assert code == 1
+        assert "no such file" in err
+
+    def test_no_paths_is_an_error(self, run_cli):
+        code, _, err = run_cli(["lint"])
+        assert code == 1
+        assert "no paths" in err
+
+    def test_list_rules(self, run_cli):
+        code, out, _ = run_cli(["lint", "--list-rules"])
+        assert code == 0
+        assert "W001 dropped-coroutine (error)" in out
+        assert "W006 wildcard-race (warning)" in out
+
+
+class TestCIGate:
+    """What CI runs must stay green: the shipped rank programs and the
+    quickstart example lint clean."""
+
+    def test_examples_and_linalg_exit_zero(self, run_cli):
+        code, out, _ = run_cli(
+            ["lint",
+             os.path.join(REPO, "examples"),
+             os.path.join(REPO, "src", "repro", "linalg")]
+        )
+        assert code == 0
+        assert "no issues found" in out
+
+    def test_quickstart_example_exits_zero(self, run_cli):
+        quickstart = os.path.join(REPO, "examples", "quickstart.py")
+        assert os.path.exists(quickstart)
+        code, out, _ = run_cli(["lint", quickstart])
+        assert code == 0
+        assert "no issues found" in out

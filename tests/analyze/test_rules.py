@@ -1,0 +1,139 @@
+"""Rule-by-rule contracts, driven by the deliberately-buggy fixtures.
+
+Each ``tests/analyze/fixtures/w00N.py`` contains triggering cases whose
+flagged lines carry a ``# BAD`` marker, plus near-miss programs the rule
+must stay silent on.  The shared contract: analysing the fixture yields
+findings for exactly that rule, on exactly the marked lines.
+"""
+
+import os
+
+import pytest
+
+from repro.analyze import RULES, analyze_file, analyze_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture_path(code):
+    return os.path.join(FIXTURES, code.lower() + ".py")
+
+
+def bad_lines(path):
+    with open(path) as handle:
+        return [i + 1 for i, line in enumerate(handle) if "# BAD" in line]
+
+
+class TestFixtureContract:
+    @pytest.mark.parametrize("code", sorted(RULES))
+    def test_fixture_triggers_exactly_its_rule_on_marked_lines(self, code):
+        path = fixture_path(code)
+        findings = analyze_file(path)
+        assert sorted((f.rule, f.line) for f in findings) == sorted(
+            (code, line) for line in bad_lines(path)
+        )
+
+    @pytest.mark.parametrize("code", sorted(RULES))
+    def test_fixture_severity_matches_registry(self, code):
+        for finding in analyze_file(fixture_path(code)):
+            assert finding.severity == RULES[code].severity
+
+    @pytest.mark.parametrize("code", sorted(RULES))
+    def test_fixture_names_offending_program(self, code):
+        """Messages carry the enclosing program name -- multi-program
+        files need it to be actionable."""
+        for finding in analyze_file(fixture_path(code)):
+            assert finding.message.endswith("()]")
+            assert "[in bad_" in finding.message
+
+
+class TestW001Details:
+    def test_message_explains_discarded_generator(self):
+        (finding,) = analyze_file(fixture_path("W001"))
+        assert "yield from" in finding.message
+        assert "never executes" in finding.message
+
+
+class TestW002Details:
+    def test_names_the_leaked_handle(self):
+        (finding,) = analyze_file(fixture_path("W002"))
+        assert "'h'" in finding.message
+
+    def test_unbound_handle_flagged(self):
+        src = (
+            "def prog(comm):\n"
+            "    yield from comm.isend(1, 0, tag=0)\n"
+            "    msg = yield from comm.recv(source=0, tag=0)\n"
+            "    return msg\n"
+        )
+        findings = analyze_source(src, select="W002")
+        assert [f.rule for f in findings] == ["W002"]
+        assert "unbound handle" in findings[0].message
+
+
+class TestW004Details:
+    def test_one_finding_per_block_not_per_pair(self):
+        """Two symmetric sends before two recvs is one exchange bug,
+        not four pairings."""
+        src = (
+            "def prog(comm, a, b):\n"
+            "    other = 1 - comm.rank\n"
+            "    yield from comm.send(a, other, tag=0)\n"
+            "    yield from comm.send(b, other, tag=1)\n"
+            "    ma = yield from comm.recv(source=other, tag=0)\n"
+            "    mb = yield from comm.recv(source=other, tag=1)\n"
+            "    return ma, mb\n"
+        )
+        findings = analyze_source(src, select="W004")
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_constant_dest_not_symmetric(self):
+        """A send to a fixed rank (client/server) is not the symmetric
+        pattern."""
+        src = (
+            "def prog(comm, x):\n"
+            "    yield from comm.send(x, 0, tag=0)\n"
+            "    msg = yield from comm.recv(source=0, tag=0)\n"
+            "    return msg\n"
+        )
+        assert analyze_source(src, select="W004") == []
+
+
+class TestW005Details:
+    def test_computed_tag_disables_the_rule(self):
+        """Loop-carried tags (cannon's 2*step) are beyond constant
+        analysis: stay silent rather than guess."""
+        src = (
+            "def prog(comm, x):\n"
+            "    for step in range(4):\n"
+            "        yield from comm.send(x, 0, tag=2 * step)\n"
+            "    msg = yield from comm.recv(source=1, tag=9)\n"
+            "    return msg\n"
+        )
+        assert analyze_source(src, select="W005") == []
+
+    def test_one_sided_fragment_not_flagged(self):
+        """A send-only helper pairs with receives we cannot see."""
+        src = (
+            "def prog(comm, x):\n"
+            "    yield from comm.send(x, 0, tag=42)\n"
+        )
+        assert analyze_source(src, select="W005") == []
+
+
+class TestW006Details:
+    def test_finding_points_at_rival_line(self):
+        (finding,) = analyze_file(fixture_path("W006"))
+        assert "line 9" in finding.message  # the source-specific rival
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert sorted(RULES) == ["W001", "W002", "W003", "W004", "W005", "W006"]
+
+    def test_registry_metadata_complete(self):
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert rule.severity in ("error", "warning")
+            assert rule.name and rule.summary

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.apps.cfd import (
     CFDConfig,
-    cfd_program,
     distributed_run,
     gaussian_blob,
     serial_run,

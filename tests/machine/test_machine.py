@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.machine import (
     LinkModel,
-    Machine,
     Mesh2D,
     NodeSpec,
     touchstone_delta,

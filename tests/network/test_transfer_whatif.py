@@ -10,8 +10,6 @@ from repro.network import (
     HIPPI_SONET,
     T1,
     T3,
-    Site,
-    WideAreaNetwork,
     compare_transfer,
     delta_consortium,
     feasibility_frontier,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.machine import Machine, LinkModel, Mesh2D, NodeSpec, darpa_mpp_series
+from repro.machine import darpa_mpp_series
 from repro.program import (
     fit_machines,
     fit_peak_growth,

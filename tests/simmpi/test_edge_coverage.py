@@ -1,10 +1,9 @@
 """Edge-path coverage: tracer bounds, barrier model, error propagation."""
 
-import numpy as np
 import pytest
 
 from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
-from repro.simmpi import Engine, barrier_time, run_program
+from repro.simmpi import barrier_time, run_program
 from repro.simmpi.trace import MessageRecord, Tracer
 from repro.util.errors import ConvergenceError
 

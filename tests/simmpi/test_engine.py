@@ -9,7 +9,6 @@ from repro.machine import (
     Machine,
     Mesh2D,
     NodeSpec,
-    Ring,
 )
 from repro.simmpi import ANY_SOURCE, Engine, run_program
 from repro.util.errors import (

@@ -121,7 +121,7 @@ class TestCheckpointRestart:
     would."""
 
     def test_restart_reproduces_uninterrupted_run(self):
-        from repro.apps.cfd import CFDConfig, distributed_run, gaussian_blob, serial_run
+        from repro.apps.cfd import CFDConfig, distributed_run, gaussian_blob
 
         cfg = CFDConfig(nx=16, ny=16, dt=0.05)
         u0 = gaussian_blob(cfg)

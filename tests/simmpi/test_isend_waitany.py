@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
-from repro.simmpi import Engine, run_program
+from repro.simmpi import Engine
 from repro.util.errors import CommunicationError, DeadlockError
 
 THRESHOLD = 1024.0

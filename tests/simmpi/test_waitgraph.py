@@ -1,0 +1,226 @@
+"""The wait-for-graph deadlock explainer.
+
+Every deadlock the engine raises must now *explain itself*: the
+``DeadlockError`` carries the wait-for graph (``{blocked: [waited-on]}``),
+the detected cycle with the smallest member leading, and the injected
+failures -- and the message names the cycle in ``0 -> 1 -> 0`` form.
+"""
+
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import Engine, WaitEdge, WaitForGraph
+from repro.util.errors import DeadlockError
+
+THRESHOLD = 1024
+
+
+def toy_machine(n):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9,
+                      sustained_fraction=1.0),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=1e-4, bandwidth_bytes_per_s=1e7),
+    )
+
+
+def run_deadlock(program, n, **engine_kwargs):
+    engine = Engine(toy_machine(n), n,
+                    eager_threshold_bytes=THRESHOLD, **engine_kwargs)
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run(program)
+    return excinfo.value
+
+
+BIG = 4 * THRESHOLD
+
+
+class TestSymmetricSendCycle:
+    """The acceptance case: symmetric blocking sends above the eager
+    threshold must name the cycle 0 -> 1 -> 0."""
+
+    @staticmethod
+    def program(comm):
+        other = 1 - comm.rank
+        yield from comm.send(b"x" * BIG, other, tag=0, nbytes=BIG)
+        msg = yield from comm.recv(source=other, tag=0)
+        return msg.payload
+
+    def test_cycle_members(self):
+        err = run_deadlock(self.program, 2)
+        assert err.cycle == [0, 1, 0]
+
+    def test_wait_for_edges(self):
+        err = run_deadlock(self.program, 2)
+        assert err.wait_for == {0: [1], 1: [0]}
+        assert err.failed_ranks == []
+
+    def test_message_names_cycle(self):
+        err = run_deadlock(self.program, 2)
+        assert "wait-for cycle: 0 -> 1 -> 0" in str(err)
+
+    def test_message_keeps_blocking_detail(self):
+        err = run_deadlock(self.program, 2)
+        assert "rank 0 blocked on rendezvous send to 1 (tag=0)" in str(err)
+
+    def test_parked_send_reported_exactly_once(self):
+        """Regression: the old listing could attribute a parked
+        rendezvous send twice; the graph dedupes against the sender's
+        handle table."""
+        err = run_deadlock(self.program, 2)
+        assert str(err).count("rendezvous send to 1 (tag=0)") == 1
+        assert str(err).count("rendezvous send to 0 (tag=0)") == 1
+
+
+class TestRendezvousRingCycle:
+    def test_ring_names_all_members(self):
+        """A 3-rank blocking-send ring deadlocks as 0 -> 1 -> 2 -> 0."""
+
+        def program(comm):
+            dest = (comm.rank + 1) % comm.size
+            yield from comm.send(b"x" * BIG, dest, tag=7, nbytes=BIG)
+            msg = yield from comm.recv(source=(comm.rank - 1) % comm.size, tag=7)
+            return msg.payload
+
+        err = run_deadlock(program, 3)
+        assert err.cycle == [0, 1, 2, 0]
+        assert err.wait_for == {0: [1], 1: [2], 2: [0]}
+        assert "wait-for cycle: 0 -> 1 -> 2 -> 0" in str(err)
+
+    def test_cycle_rotation_is_normalised(self):
+        """Whatever order DFS finds the cycle in, the smallest rank
+        leads the reported form."""
+
+        def program(comm):
+            dest = (comm.rank - 1) % comm.size
+            yield from comm.send(b"x" * BIG, dest, tag=0, nbytes=BIG)
+            msg = yield from comm.recv(source=(comm.rank + 1) % comm.size, tag=0)
+            return msg.payload
+
+        err = run_deadlock(program, 4)
+        assert err.cycle[0] == 0 and err.cycle[-1] == 0
+        assert sorted(err.cycle[:-1]) == [0, 1, 2, 3]
+
+
+class TestFaultInjectionAcyclic:
+    def test_wait_on_dead_rank_has_no_cycle(self):
+        """A survivor waiting on a failed peer is an edge into a dead
+        node, not a cycle."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(seconds=5.0)
+                yield from comm.send("late", dest=1)
+                return None
+            msg = yield from comm.recv(source=0)
+            return msg.payload
+
+        err = run_deadlock(program, 2, fail_at={0: 1.0})
+        assert err.cycle is None
+        assert err.wait_for == {1: [0]}
+        assert err.failed_ranks == [0]
+        assert "injected failures: ranks [0]" in str(err)
+
+    def test_survivor_cycle_beside_unrelated_death(self):
+        """A genuine cycle among survivors is still found when an
+        unrelated rank died."""
+
+        def program(comm):
+            if comm.rank == 2:
+                yield from comm.compute(seconds=100.0)
+                return None
+            other = 1 - comm.rank
+            yield from comm.send(b"x" * BIG, other, tag=0, nbytes=BIG)
+            msg = yield from comm.recv(source=other, tag=0)
+            return msg.payload
+
+        err = run_deadlock(program, 3, fail_at={2: 1.0})
+        assert err.cycle == [0, 1, 0]
+        assert err.failed_ranks == [2]
+
+
+class TestOtherEdgeKinds:
+    def test_isend_wait_edge(self):
+        """A waited-on rendezvous isend contributes an edge to its
+        destination."""
+
+        def program(comm):
+            if comm.rank == 0:
+                h = yield from comm.isend(b"x" * BIG, 1, tag=3, nbytes=BIG)
+                yield from comm.wait(h)
+                return None
+            msg = yield from comm.recv(source=0, tag=99)  # wrong tag
+            return msg.payload
+
+        err = run_deadlock(program, 2)
+        assert err.wait_for == {0: [1], 1: [0]}
+        assert err.cycle == [0, 1, 0]
+        assert "isend to 1 (tag=3)" in str(err)
+
+    def test_any_source_recv_has_no_target(self):
+        """recv(ANY_SOURCE) with no live sender blocks on nobody in
+        particular: a node with no outgoing edge, hence no cycle."""
+
+        def program(comm):
+            if comm.rank == 1:
+                return None
+            msg = yield from comm.recv()
+            return msg.payload
+
+        err = run_deadlock(program, 2)
+        assert err.wait_for == {}
+        assert err.cycle is None
+        assert "(source=-1" in str(err)
+
+
+class TestGraphObject:
+    def test_find_cycle_on_synthetic_edges(self):
+        graph = WaitForGraph(
+            nodes=[0, 2, 5],
+            edges=[
+                WaitEdge(rank=5, target=2, reason="r"),
+                WaitEdge(rank=2, target=5, reason="r"),
+                WaitEdge(rank=0, target=2, reason="r"),
+            ],
+        )
+        assert graph.find_cycle() == [2, 5, 2]
+
+    def test_acyclic_chain(self):
+        graph = WaitForGraph(
+            nodes=[0, 1, 2],
+            edges=[
+                WaitEdge(rank=0, target=1, reason="r"),
+                WaitEdge(rank=1, target=2, reason="r"),
+            ],
+        )
+        assert graph.find_cycle() is None
+
+    def test_duplicate_targets_deduped(self):
+        graph = WaitForGraph(
+            nodes=[0],
+            edges=[
+                WaitEdge(rank=0, target=1, reason="a"),
+                WaitEdge(rank=0, target=1, reason="b"),
+            ],
+        )
+        assert graph.wait_for() == {0: [1]}
+
+    def test_as_dict_round_trip(self):
+        graph = WaitForGraph(
+            nodes=[0, 1],
+            edges=[
+                WaitEdge(rank=0, target=1, reason="send"),
+                WaitEdge(rank=1, target=0, reason="recv"),
+            ],
+            failed_ranks=[3],
+        )
+        snapshot = graph.as_dict()
+        assert snapshot["wait_for"] == {0: [1], 1: [0]}
+        assert snapshot["cycle"] == [0, 1, 0]
+        assert snapshot["failed_ranks"] == [3]
+        assert snapshot["blocked"] == {0: ["send"], 1: ["recv"]}
+
+    def test_nothing_posted_rank_still_described(self):
+        graph = WaitForGraph(nodes=[4], edges=[])
+        assert "rank 4 blocked on nothing posted" in graph.describe()

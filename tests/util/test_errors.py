@@ -3,6 +3,7 @@
 import pytest
 
 from repro.util.errors import (
+    AnalysisError,
     CommunicationError,
     ConfigurationError,
     ConvergenceError,
@@ -25,6 +26,7 @@ ALL_ERRORS = [
     ConvergenceError,
     NetworkError,
     ProgramModelError,
+    AnalysisError,
 ]
 
 
@@ -42,6 +44,18 @@ class TestHierarchy:
 
     def test_communication_is_simulation(self):
         assert issubclass(CommunicationError, SimulationError)
+
+    def test_deadlock_carries_wait_graph_attributes(self):
+        """The engine attaches its wait-for-graph explanation; a bare
+        raise still yields empty defaults."""
+        err = DeadlockError("boom")
+        assert err.wait_for == {} and err.cycle is None and err.failed_ranks == []
+        err = DeadlockError(
+            "cycle", wait_for={0: [1], 1: [0]}, cycle=[0, 1, 0], failed_ranks=[2]
+        )
+        assert err.wait_for == {0: [1], 1: [0]}
+        assert err.cycle == [0, 1, 0]
+        assert err.failed_ranks == [2]
 
     def test_library_errors_are_not_builtin_value_errors(self):
         """Callers distinguishing programming errors from library

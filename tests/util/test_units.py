@@ -1,6 +1,5 @@
 """Unit conversions and formatting."""
 
-import math
 
 import pytest
 
