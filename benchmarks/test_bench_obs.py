@@ -1,0 +1,68 @@
+"""Meta-benchmark: the cost of observability itself.
+
+Three wall-time figures gate the ``repro.obs`` subsystem: a traced run
+versus the identical untraced run (span recording must stay cheap), the
+critical-path walk over a dense trace, and the Chrome ``trace_event``
+serialisation.  Tracing is opt-in, so the untraced number is the one
+every other benchmark in this directory depends on.
+"""
+
+import numpy as np
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.obs import chrome_trace, critical_path
+from repro.simmpi import run_program
+
+
+def crossbar(n):
+    return Machine(
+        name="xbar",
+        node=NodeSpec("n", peak_flops=1e8, memory_bytes=1e9),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8),
+    )
+
+
+def halo_storm_program(comm):
+    """16 ranks, 50 rounds of neighbour exchange plus compute: a dense
+    mix of every span kind the engine records."""
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+    payload = np.zeros(256)
+    for step in range(50):
+        yield from comm.compute(seconds=2e-6)
+        h = yield from comm.isend(payload, dest=right, tag=step)
+        yield from comm.recv(source=left, tag=step)
+        yield from comm.wait(h)
+
+
+def test_bench_untraced_run(benchmark):
+    """The baseline every workload pays: tracing disabled (default)."""
+    result = benchmark(lambda: run_program(crossbar(16), 16, halo_storm_program))
+    assert result.tracer.spans == []
+    assert result.total_messages == 16 * 50
+
+
+def test_bench_traced_run(benchmark):
+    """Same workload with span recording on; compare against the
+    untraced benchmark to read the tracing overhead."""
+    result = benchmark(
+        lambda: run_program(crossbar(16), 16, halo_storm_program, trace=True)
+    )
+    assert len(result.tracer.spans) > 1000
+    assert result.tracer.dropped_spans == 0
+
+
+def test_bench_critical_path_walk(benchmark):
+    """Backward walk over a dense 16-rank trace."""
+    result = run_program(crossbar(16), 16, halo_storm_program, trace=True)
+    cp = benchmark(lambda: critical_path(result))
+    assert cp.complete
+    assert cp.length == result.time
+
+
+def test_bench_chrome_trace_build(benchmark):
+    """trace_event JSON object construction (serialisation excluded)."""
+    result = run_program(crossbar(16), 16, halo_storm_program, trace=True)
+    doc = benchmark(lambda: chrome_trace(result))
+    assert doc["otherData"]["spans"] == len(result.tracer.spans)

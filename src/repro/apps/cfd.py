@@ -164,13 +164,15 @@ def cfd_program(comm, u0: np.ndarray, config: CFDConfig, steps: int) -> Generato
             tag_up = 2 * step
             tag_down = 2 * step + 1
             # Send boundary rows, receive ghosts (periodic wrap).
-            yield from comm.send(local[:1, :], up_rank, tag=tag_up)
-            yield from comm.send(local[-1:, :], down_rank, tag=tag_down)
-            up_msg = yield from comm.recv(source=up_rank, tag=tag_down)
-            down_msg = yield from comm.recv(source=down_rank, tag=tag_up)
+            with comm.phase("halo"):
+                yield from comm.send(local[:1, :], up_rank, tag=tag_up)
+                yield from comm.send(local[-1:, :], down_rank, tag=tag_down)
+                up_msg = yield from comm.recv(source=up_rank, tag=tag_down)
+                down_msg = yield from comm.recv(source=down_rank, tag=tag_up)
             up_row, down_row = up_msg.payload, down_msg.payload
         local = _update(local, up_row, down_row, config)
-        yield from comm.compute(flops=FLOPS_PER_CELL * local.size)
+        with comm.phase("step"):
+            yield from comm.compute(flops=FLOPS_PER_CELL * local.size)
 
     return ((lo, hi), local)
 
@@ -183,6 +185,7 @@ def distributed_run(
     steps: int,
     *,
     seed: int = 0,
+    trace: bool = False,
 ) -> CFDRun:
     """Run the strip-decomposed solver; reassemble the global field."""
     u0 = np.asarray(u0, dtype=float)
@@ -195,7 +198,7 @@ def distributed_run(
         raise ConfigurationError(
             f"{n_ranks} ranks over {config.ny} rows leaves empty strips"
         )
-    engine = Engine(machine, n_ranks, seed=seed)
+    engine = Engine(machine, n_ranks, seed=seed, trace=trace)
     sim = engine.run(cfd_program, u0, config, steps)
     field = np.zeros_like(u0)
     for (lo, hi), rows in sim.returns:
@@ -266,26 +269,29 @@ def cfd_program_2d(comm, grid, u0: np.ndarray, config: CFDConfig, steps: int) ->
         if pr == 1:
             up_row, down_row = local[-1:, :], local[:1, :]
         else:
-            yield from comm.send(local[:1, :], up_rank, tag=base)
-            yield from comm.send(local[-1:, :], down_rank, tag=base + 1)
-            up_msg = yield from comm.recv(source=up_rank, tag=base + 1)
-            down_msg = yield from comm.recv(source=down_rank, tag=base)
+            with comm.phase("halo-rows"):
+                yield from comm.send(local[:1, :], up_rank, tag=base)
+                yield from comm.send(local[-1:, :], down_rank, tag=base + 1)
+                up_msg = yield from comm.recv(source=up_rank, tag=base + 1)
+                down_msg = yield from comm.recv(source=down_rank, tag=base)
             up_row, down_row = up_msg.payload, down_msg.payload
         if pc == 1:
             left_col, right_col = local[:, -1:], local[:, :1]
         else:
-            yield from comm.send(
-                np.ascontiguousarray(local[:, :1]), left_rank, tag=base + 2
-            )
-            yield from comm.send(
-                np.ascontiguousarray(local[:, -1:]), right_rank, tag=base + 3
-            )
-            left_msg = yield from comm.recv(source=left_rank, tag=base + 3)
-            right_msg = yield from comm.recv(source=right_rank, tag=base + 2)
+            with comm.phase("halo-cols"):
+                yield from comm.send(
+                    np.ascontiguousarray(local[:, :1]), left_rank, tag=base + 2
+                )
+                yield from comm.send(
+                    np.ascontiguousarray(local[:, -1:]), right_rank, tag=base + 3
+                )
+                left_msg = yield from comm.recv(source=left_rank, tag=base + 3)
+                right_msg = yield from comm.recv(source=right_rank, tag=base + 2)
             left_col, right_col = left_msg.payload, right_msg.payload
 
         local = _update_block(local, up_row, down_row, left_col, right_col, config)
-        yield from comm.compute(flops=FLOPS_PER_CELL * local.size)
+        with comm.phase("step"):
+            yield from comm.compute(flops=FLOPS_PER_CELL * local.size)
 
     return ((r0, r1), (c0, c1), local)
 
@@ -298,6 +304,7 @@ def distributed_run_2d(
     steps: int,
     *,
     seed: int = 0,
+    trace: bool = False,
 ) -> CFDRun:
     """Run the 2-D block-decomposed solver; reassemble the field."""
     u0 = np.asarray(u0, dtype=float)
@@ -315,7 +322,7 @@ def distributed_run_2d(
             f"{grid.prows}x{grid.pcols} grid over a "
             f"{config.ny}x{config.nx} field leaves empty blocks"
         )
-    engine = Engine(machine, grid.size, seed=seed)
+    engine = Engine(machine, grid.size, seed=seed, trace=trace)
     sim = engine.run(cfd_program_2d, grid, u0, config, steps)
     field = np.zeros_like(u0)
     for (r0, r1), (c0, c1), block in sim.returns:

@@ -220,10 +220,11 @@ def md_program(comm, particles0: Particles, config: MDConfig, steps: int) -> Gen
         out_right = pos_now[send_right].copy()
         if comm.rank == p - 1:
             out_right[:, 0] -= config.box
-        yield from comm.send(out_left, left, tag=tag0)
-        yield from comm.send(out_right, right, tag=tag0 + 1)
-        from_right = yield from comm.recv(source=right, tag=tag0)
-        from_left = yield from comm.recv(source=left, tag=tag0 + 1)
+        with comm.phase("ghosts"):
+            yield from comm.send(out_left, left, tag=tag0)
+            yield from comm.send(out_right, right, tag=tag0 + 1)
+            from_right = yield from comm.recv(source=right, tag=tag0)
+            from_left = yield from comm.recv(source=left, tag=tag0 + 1)
         return np.vstack([from_left.payload, from_right.payload])
 
     def forces(pos_now, ghosts) -> np.ndarray:
@@ -239,9 +240,10 @@ def md_program(comm, particles0: Particles, config: MDConfig, steps: int) -> Gen
         base = 8 * step
         ghosts = yield from exchange_ghosts(pos, base)
         acc = forces(pos, ghosts)
-        yield from comm.compute(
-            flops=FLOPS_PER_PAIR * len(pos) * (len(pos) + len(ghosts))
-        )
+        with comm.phase("forces"):
+            yield from comm.compute(
+                flops=FLOPS_PER_PAIR * len(pos) * (len(pos) + len(ghosts))
+            )
         vel = vel + 0.5 * config.dt * acc
         new_pos = pos + config.dt * vel
         if len(new_pos) and np.abs(new_pos[:, 0] - pos[:, 0]).max() >= width:
@@ -261,16 +263,17 @@ def md_program(comm, particles0: Particles, config: MDConfig, steps: int) -> Gen
             to_right = going_right & (rel < 2 * width)
             to_left = going_right & ~to_right
             keep = ~going_right
-            yield from comm.send(
-                _pack(ids[to_left], pos[to_left], vel[to_left]), left,
-                tag=base + 2,
-            )
-            yield from comm.send(
-                _pack(ids[to_right], pos[to_right], vel[to_right]), right,
-                tag=base + 3,
-            )
-            from_right = yield from comm.recv(source=right, tag=base + 2)
-            from_left = yield from comm.recv(source=left, tag=base + 3)
+            with comm.phase("migrate"):
+                yield from comm.send(
+                    _pack(ids[to_left], pos[to_left], vel[to_left]), left,
+                    tag=base + 2,
+                )
+                yield from comm.send(
+                    _pack(ids[to_right], pos[to_right], vel[to_right]), right,
+                    tag=base + 3,
+                )
+                from_right = yield from comm.recv(source=right, tag=base + 2)
+                from_left = yield from comm.recv(source=left, tag=base + 3)
             ids = np.concatenate([ids[keep], from_right.payload[0], from_left.payload[0]])
             pos = np.vstack([pos[keep], from_right.payload[1], from_left.payload[1]])
             vel = np.vstack([vel[keep], from_right.payload[2], from_left.payload[2]])
@@ -278,9 +281,10 @@ def md_program(comm, particles0: Particles, config: MDConfig, steps: int) -> Gen
         # Second half-kick with fresh ghosts at the new positions.
         ghosts = yield from exchange_ghosts(pos, base + 4)
         acc = forces(pos, ghosts)
-        yield from comm.compute(
-            flops=FLOPS_PER_PAIR * len(pos) * (len(pos) + len(ghosts))
-        )
+        with comm.phase("forces"):
+            yield from comm.compute(
+                flops=FLOPS_PER_PAIR * len(pos) * (len(pos) + len(ghosts))
+            )
         vel = vel + 0.5 * config.dt * acc
 
     return Particles(ids=ids, pos=pos, vel=vel)
@@ -294,6 +298,7 @@ def distributed_run(
     steps: int,
     *,
     seed: int = 0,
+    trace: bool = False,
 ) -> MDRun:
     """Run slab-decomposed MD; reassemble the global particle set
     (sorted by particle id)."""
@@ -303,7 +308,7 @@ def distributed_run(
             f"{n_ranks} ranks: slabs would be thinner than the cutoff "
             f"(max {max_ranks} for box {config.box}, cutoff {config.cutoff})"
         )
-    engine = Engine(machine, n_ranks, seed=seed)
+    engine = Engine(machine, n_ranks, seed=seed, trace=trace)
     sim = engine.run(md_program, particles0, config, steps)
     ids = np.concatenate([part.ids for part in sim.returns])
     pos = np.vstack([part.pos for part in sim.returns])

@@ -137,7 +137,8 @@ def _ring_accelerations(comm, pos_local, mass_local, softening) -> Generator:
     ring pipeline; returns the (n_local, 3) acceleration array."""
     p = comm.size
     acc = accelerations_on(pos_local, pos_local, mass_local, softening)
-    yield from comm.compute(flops=FLOPS_PER_PAIR * len(pos_local) * len(pos_local))
+    with comm.phase("forces"):
+        yield from comm.compute(flops=FLOPS_PER_PAIR * len(pos_local) * len(pos_local))
     if p == 1:
         return acc
 
@@ -145,12 +146,14 @@ def _ring_accelerations(comm, pos_local, mass_local, softening) -> Generator:
     left = (comm.rank - 1) % p
     visiting = (comm.rank, pos_local, mass_local)
     for step in range(p - 1):
-        yield from comm.send(visiting, right, tag=step)
-        msg = yield from comm.recv(source=left, tag=step)
+        with comm.phase("ring-shift"):
+            yield from comm.send(visiting, right, tag=step)
+            msg = yield from comm.recv(source=left, tag=step)
         visiting = msg.payload
         _, vpos, vmass = visiting
         acc += accelerations_on(pos_local, vpos, vmass, softening)
-        yield from comm.compute(flops=FLOPS_PER_PAIR * len(pos_local) * len(vpos))
+        with comm.phase("forces"):
+            yield from comm.compute(flops=FLOPS_PER_PAIR * len(pos_local) * len(vpos))
     return acc
 
 
@@ -171,7 +174,8 @@ def nbody_program(
         pos += dt * vel
         acc = yield from _ring_accelerations(comm, pos, mass, softening)
         vel += 0.5 * dt * acc
-        yield from comm.compute(flops=12.0 * len(pos))
+        with comm.phase("integrate"):
+            yield from comm.compute(flops=12.0 * len(pos))
 
     return ((lo, hi), Bodies(pos, vel, mass))
 
@@ -185,6 +189,7 @@ def distributed_run(
     steps: int = 1,
     softening: float = 0.05,
     seed: int = 0,
+    trace: bool = False,
 ) -> NBodyRun:
     """Run the ring-pipeline integrator; reassemble the particle set."""
     if dt <= 0:
@@ -195,7 +200,7 @@ def distributed_run(
         raise ConfigurationError(
             f"{n_ranks} ranks for {bodies0.n} bodies leaves idle ranks"
         )
-    engine = Engine(machine, n_ranks, seed=seed)
+    engine = Engine(machine, n_ranks, seed=seed, trace=trace)
     sim = engine.run(nbody_program, bodies0, dt, steps, softening)
     out = bodies0.copy()
     for (lo, hi), block in sim.returns:

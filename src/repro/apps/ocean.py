@@ -192,10 +192,11 @@ def ocean_program(comm, state0: OceanState, config: OceanConfig, steps: int) -> 
         if p == 1:
             h_up, h_down = local.h[-1:, :], local.h[:1, :]
         else:
-            yield from comm.send(local.h[:1, :], up_rank, tag=base)
-            yield from comm.send(local.h[-1:, :], down_rank, tag=base + 1)
-            up_msg = yield from comm.recv(source=up_rank, tag=base + 1)
-            down_msg = yield from comm.recv(source=down_rank, tag=base)
+            with comm.phase("halo-h"):
+                yield from comm.send(local.h[:1, :], up_rank, tag=base)
+                yield from comm.send(local.h[-1:, :], down_rank, tag=base + 1)
+                up_msg = yield from comm.recv(source=up_rank, tag=base + 1)
+                down_msg = yield from comm.recv(source=down_rank, tag=base)
             h_up, h_down = up_msg.payload, down_msg.payload
 
         # Same arithmetic as _step, split into two phases so the v halo
@@ -208,16 +209,18 @@ def ocean_program(comm, state0: OceanState, config: OceanConfig, steps: int) -> 
         if p == 1:
             v_up, v_down = v_new[-1:, :], v_new[:1, :]
         else:
-            yield from comm.send(v_new[:1, :], up_rank, tag=base + 2)
-            yield from comm.send(v_new[-1:, :], down_rank, tag=base + 3)
-            up_msg = yield from comm.recv(source=up_rank, tag=base + 3)
-            down_msg = yield from comm.recv(source=down_rank, tag=base + 2)
+            with comm.phase("halo-v"):
+                yield from comm.send(v_new[:1, :], up_rank, tag=base + 2)
+                yield from comm.send(v_new[-1:, :], down_rank, tag=base + 3)
+                up_msg = yield from comm.recv(source=up_rank, tag=base + 3)
+                down_msg = yield from comm.recv(source=down_rank, tag=base + 2)
             v_up, v_down = up_msg.payload, down_msg.payload
 
         v_ext = np.vstack([v_up, v_new, v_down])
         div = _dx(u_new, config.dx) + _dy_interior(v_ext, config.dy)
         local = OceanState(h=local.h - dt * big_h * div, u=u_new, v=v_new)
-        yield from comm.compute(flops=FLOPS_PER_CELL * local.h.size)
+        with comm.phase("step"):
+            yield from comm.compute(flops=FLOPS_PER_CELL * local.h.size)
 
     return ((lo, hi), local)
 
@@ -230,6 +233,7 @@ def distributed_run(
     steps: int,
     *,
     seed: int = 0,
+    trace: bool = False,
 ) -> OceanRun:
     """Run the decomposed model; reassemble the global state."""
     if state0.h.shape != (config.ny, config.nx):
@@ -241,7 +245,7 @@ def distributed_run(
         raise ConfigurationError(
             f"{n_ranks} ranks over {config.ny} rows leaves empty strips"
         )
-    engine = Engine(machine, n_ranks, seed=seed)
+    engine = Engine(machine, n_ranks, seed=seed, trace=trace)
     sim = engine.run(ocean_program, state0, config, steps)
     h = np.zeros_like(state0.h)
     u = np.zeros_like(state0.u)

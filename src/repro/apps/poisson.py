@@ -192,27 +192,29 @@ def poisson_program(
         """Trade boundary rows; Dirichlet zero at the domain edges."""
         halo_counter[0] += 1
         tag = halo_counter[0]
-        if comm.rank > 0:
-            yield from comm.send(cur[:1, :], up_rank, tag=2 * tag)
-        if comm.rank < p - 1:
-            yield from comm.send(cur[-1:, :], down_rank, tag=2 * tag + 1)
-        if comm.rank > 0:
-            msg = yield from comm.recv(source=up_rank, tag=2 * tag + 1)
-            up = msg.payload
-        else:
-            up = zero_row
-        if comm.rank < p - 1:
-            msg = yield from comm.recv(source=down_rank, tag=2 * tag)
-            down = msg.payload
-        else:
-            down = zero_row
+        with comm.phase("halo"):
+            if comm.rank > 0:
+                yield from comm.send(cur[:1, :], up_rank, tag=2 * tag)
+            if comm.rank < p - 1:
+                yield from comm.send(cur[-1:, :], down_rank, tag=2 * tag + 1)
+            if comm.rank > 0:
+                msg = yield from comm.recv(source=up_rank, tag=2 * tag + 1)
+                up = msg.payload
+            else:
+                up = zero_row
+            if comm.rank < p - 1:
+                msg = yield from comm.recv(source=down_rank, tag=2 * tag)
+                down = msg.payload
+            else:
+                down = zero_row
         return up, down
 
     for sweep in range(1, max_sweeps + 1):
         if method == "jacobi":
             up, down = yield from exchange(u)
             u = _jacobi_sweep(u, f, config.h, up, down)
-            yield from comm.compute(flops=FLOPS_PER_CELL * u.size)
+            with comm.phase("sweep"):
+                yield from comm.compute(flops=FLOPS_PER_CELL * u.size)
         else:
             # Red-black: a halo exchange before each colour.
             rows = (np.arange(hi - lo) + lo)[:, None]
@@ -227,7 +229,8 @@ def poisson_program(
                 )
                 mask = ((rows + cols) % 2) == colour
                 u = np.where(mask, stencil, u)
-                yield from comm.compute(flops=FLOPS_PER_CELL * u.size / 2.0)
+                with comm.phase("sweep"):
+                    yield from comm.compute(flops=FLOPS_PER_CELL * u.size / 2.0)
 
         if sweep % check_every == 0:
             up, down = yield from exchange(u)
@@ -237,7 +240,8 @@ def poisson_program(
                 - 4.0 * u
             ) / (config.h * config.h)
             local = float(((lap - f) ** 2).sum())
-            total = yield from comm.allreduce(local)
+            with comm.phase("residual"):
+                total = yield from comm.allreduce(local)
             res = np.sqrt(total) / fnorm
             if res < tol:
                 return ((lo, hi), u, sweep, res)
@@ -258,6 +262,7 @@ def distributed_solve(
     max_sweeps: int = 20_000,
     check_every: int = 10,
     seed: int = 0,
+    trace: bool = False,
 ) -> PoissonResult:
     """Solve on a simulated machine; reassemble the global field."""
     if method not in ("jacobi", "redblack"):
@@ -270,7 +275,7 @@ def distributed_solve(
         raise ConfigurationError(
             f"{n_ranks} ranks over {config.ny} rows leaves empty strips"
         )
-    engine = Engine(machine, n_ranks, seed=seed)
+    engine = Engine(machine, n_ranks, seed=seed, trace=trace)
     sim = engine.run(
         poisson_program, np.asarray(f, dtype=float), config, method,
         tol, max_sweeps, check_every,

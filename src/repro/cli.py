@@ -12,6 +12,7 @@ exhibits and evaluation tools::
     python -m repro scaling --workload cfd --ranks 1,2,4,8
     python -m repro challenges               # Grand Challenge registry
     python -m repro lint examples            # static rank-program checks
+    python -m repro profile lu --export trace.json   # critical path + trace
 """
 
 from __future__ import annotations
@@ -157,6 +158,43 @@ def _cmd_lint(args):
     return format_findings(findings), (1 if findings else 0)
 
 
+def _cmd_profile(args):
+    from repro.machine import get_machine
+    from repro.obs import PROFILES, profile_report, run_profile, write_chrome_trace
+
+    if args.list:
+        return "\n".join(sorted(PROFILES))
+    if not args.workload:
+        raise ReproError("profile: no workload given (or use --list)")
+    res = run_profile(
+        args.workload,
+        get_machine(args.machine),
+        ranks=args.ranks,
+        size=args.size,
+        overlap=args.overlap,
+        eager_threshold_bytes=args.eager_threshold,
+        delivery=args.delivery,
+        seed=args.seed,
+    )
+    out = profile_report(res, top=args.top, timeline=args.timeline)
+    if args.export:
+        write_chrome_trace(res, args.export)
+        out += (
+            f"\nwrote Chrome trace to {args.export} "
+            "(load in chrome://tracing or ui.perfetto.dev)"
+        )
+    return out
+
+
+def _cmd_profile_summary(args) -> str:
+    """One traced run, one line: the ``repro all`` teaser."""
+    from repro.machine import get_machine
+    from repro.obs import profile_summary_line, run_profile
+
+    res = run_profile("summa", get_machine("delta"), ranks=16, size=64)
+    return profile_summary_line("summa 4x4 on the Delta", res)
+
+
 def _cmd_all(args) -> str:
     """Every exhibit, in paper order, as one report."""
     sections = [
@@ -168,6 +206,7 @@ def _cmd_all(args) -> str:
         ("T4-5  CONSORTIUM NETWORK", _cmd_network),
         ("TERAOPS TRAJECTORY", _cmd_trajectory),
         ("GRAND CHALLENGES", _cmd_challenges),
+        ("PROFILE", _cmd_profile_summary),
     ]
     out = []
     for title, fn in sections:
@@ -235,6 +274,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered rules and exit",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    profile = sub.add_parser(
+        "profile",
+        help="trace a workload, report its critical path, export traces",
+    )
+    profile.add_argument(
+        "workload", nargs="?", default=None,
+        help="named workload (see --list), e.g. lu, summa, cg, ocean",
+    )
+    profile.add_argument("--machine", default="delta")
+    profile.add_argument(
+        "--ranks", type=int, default=0,
+        help="rank count (0 = workload default)",
+    )
+    profile.add_argument(
+        "--size", type=int, default=0,
+        help="problem size (0 = workload default)",
+    )
+    profile.add_argument(
+        "--overlap", action="store_true",
+        help="use the non-blocking (overlapped) communication variant",
+    )
+    profile.add_argument(
+        "--eager-threshold", type=float, default=float("inf"), metavar="BYTES",
+        help="rendezvous protocol above this message size",
+    )
+    profile.add_argument(
+        "--delivery", default="alphabeta", choices=["alphabeta", "contention"],
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--export", metavar="PATH",
+        help="write a Chrome trace_event JSON to PATH",
+    )
+    profile.add_argument(
+        "--timeline", action="store_true",
+        help="append the plain-text per-rank timeline",
+    )
+    profile.add_argument(
+        "--top", type=int, default=5,
+        help="entries in the elongation / phase reports",
+    )
+    profile.add_argument(
+        "--list", action="store_true", help="list available workloads"
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     sub.add_parser("challenges", help="Grand Challenge registry").set_defaults(
         func=_cmd_challenges

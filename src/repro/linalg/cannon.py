@@ -75,18 +75,20 @@ def cannon_program(comm, q: int, a_full: np.ndarray, b_full: np.ndarray) -> Gene
 
     for step in range(q):
         c += a @ b
-        yield from comm.compute(flops=2.0 * nb * nb * nb)
+        with comm.phase("gemm"):
+            yield from comm.compute(flops=2.0 * nb * nb * nb)
         if step < q - 1:
             # Shift A left, B up.  Pre-posting the irecvs keeps the
             # symmetric exchange deadlock-free above the eager
             # threshold (every rank sends before anyone receives
             # otherwise -- analyzer rule W004).
-            ha = yield from comm.irecv(source=right, tag=2 * step)
-            hb = yield from comm.irecv(source=down, tag=2 * step + 1)
-            yield from comm.send(a, left, tag=2 * step)
-            yield from comm.send(b, up, tag=2 * step + 1)
-            msg_a = yield from comm.wait(ha)
-            msg_b = yield from comm.wait(hb)
+            with comm.phase("shift"):
+                ha = yield from comm.irecv(source=right, tag=2 * step)
+                hb = yield from comm.irecv(source=down, tag=2 * step + 1)
+                yield from comm.send(a, left, tag=2 * step)
+                yield from comm.send(b, up, tag=2 * step + 1)
+                msg_a = yield from comm.wait(ha)
+                msg_b = yield from comm.wait(hb)
             a, b = msg_a.payload, msg_b.payload
 
     return (i, j, c)
@@ -99,6 +101,7 @@ def cannon(
     b: np.ndarray,
     *,
     seed: int = 0,
+    trace: bool = False,
 ) -> CannonResult:
     """Multiply square matrices on a q x q grid; reassemble C."""
     a = np.asarray(a, dtype=float)
@@ -114,7 +117,7 @@ def cannon(
         raise DecompositionError(
             f"{q}x{q} grid exceeds machine of {machine.n_nodes} nodes"
         )
-    engine = Engine(machine, q * q, seed=seed)
+    engine = Engine(machine, q * q, seed=seed, trace=trace)
     sim = engine.run(cannon_program, q, a, b)
     c = np.zeros((n, n))
     for i, j, block in sim.returns:

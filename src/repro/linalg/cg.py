@@ -109,18 +109,23 @@ def cg_program(
 
     for it in range(1, max_iter + 1):
         # Refresh the full search direction, then local mat-vec.
-        parts = yield from comm.allgather(p_loc, algorithm=algo)
+        with comm.phase("direction"):
+            parts = yield from comm.allgather(p_loc, algorithm=algo)
         p_full = np.concatenate(parts)
         ap_loc = a_loc @ p_full
-        yield from comm.compute(flops=2.0 * a_loc.shape[0] * a_loc.shape[1])
+        with comm.phase("matvec"):
+            yield from comm.compute(flops=2.0 * a_loc.shape[0] * a_loc.shape[1])
 
-        pap = yield from comm.allreduce(float(p_loc @ ap_loc))
+        with comm.phase("dots"):
+            pap = yield from comm.allreduce(float(p_loc @ ap_loc))
         alpha = rs / pap
         x_loc += alpha * p_loc
         r_loc -= alpha * ap_loc
-        yield from comm.compute(flops=6.0 * (hi - lo))
+        with comm.phase("axpy"):
+            yield from comm.compute(flops=6.0 * (hi - lo))
 
-        rs_new = yield from comm.allreduce(float(r_loc @ r_loc))
+        with comm.phase("dots"):
+            rs_new = yield from comm.allreduce(float(r_loc @ r_loc))
         if np.sqrt(rs_new) / bnorm < tol:
             return ((lo, hi), x_loc, it, np.sqrt(rs_new) / bnorm)
         p_loc = r_loc + (rs_new / rs) * p_loc
@@ -143,11 +148,13 @@ def distributed_cg(
     overlap: bool = False,
     eager_threshold_bytes: float = float("inf"),
     delivery="alphabeta",
+    trace: bool = False,
 ) -> CGResult:
     """Solve A x = b on a simulated machine; reassemble x.
 
     ``overlap``, ``eager_threshold_bytes`` and ``delivery`` tune the
-    simulated communication without changing the numerics.
+    simulated communication without changing the numerics; ``trace``
+    records spans for :mod:`repro.obs` analysis.
     """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
@@ -159,6 +166,7 @@ def distributed_cg(
         machine,
         n_ranks,
         seed=seed,
+        trace=trace,
         eager_threshold_bytes=eager_threshold_bytes,
         delivery=delivery,
     )

@@ -82,19 +82,21 @@ def lu2d_program(
         # --- multipliers: computed in grid column owner_c, sent across rows.
         below = rows_mine > k
         if my_c == owner_c:
-            lk = col_pos[k]
-            akk = local[row_pos[k], lk] if k in row_pos else None
-            akk = yield from col_comm.bcast(akk, root=owner_r)
-            if akk == 0.0:
-                raise DecompositionError(
-                    f"zero diagonal at step {k}: needs pivoting"
-                )
-            local[below, lk] /= akk
-            yield from comm.compute(flops=float(below.sum()))
-            mult_packet = local[below, lk].copy()
+            with comm.phase("panel"):
+                lk = col_pos[k]
+                akk = local[row_pos[k], lk] if k in row_pos else None
+                akk = yield from col_comm.bcast(akk, root=owner_r)
+                if akk == 0.0:
+                    raise DecompositionError(
+                        f"zero diagonal at step {k}: needs pivoting"
+                    )
+                local[below, lk] /= akk
+                yield from comm.compute(flops=float(below.sum()))
+                mult_packet = local[below, lk].copy()
         else:
             mult_packet = None
-        multipliers = yield from row_comm.bcast(mult_packet, root=owner_c, algorithm=algo)
+        with comm.phase("mult-bcast"):
+            multipliers = yield from row_comm.bcast(mult_packet, root=owner_c, algorithm=algo)
 
         # --- pivot-row segment: from grid row owner_r, sent down columns.
         right = cols_mine > k
@@ -102,12 +104,14 @@ def lu2d_program(
             urow_packet = local[row_pos[k], right].copy()
         else:
             urow_packet = None
-        urow = yield from col_comm.bcast(urow_packet, root=owner_r, algorithm=algo)
+        with comm.phase("urow-bcast"):
+            urow = yield from col_comm.bcast(urow_packet, root=owner_r, algorithm=algo)
 
         # --- trailing update on the local intersection.
         if multipliers.size and urow.size:
             local[np.ix_(below, right)] -= np.outer(multipliers, urow)
-            yield from comm.compute(flops=2.0 * multipliers.size * urow.size)
+            with comm.phase("update"):
+                yield from comm.compute(flops=2.0 * multipliers.size * urow.size)
 
     return (rows_mine, cols_mine, local)
 
@@ -134,12 +138,15 @@ def lu2d(
     overlap: bool = False,
     eager_threshold_bytes: float = float("inf"),
     delivery="alphabeta",
+    trace: bool = False,
 ) -> LU2DResult:
     """Factor ``a`` on a process grid; reassemble the packed factor.
 
     ``overlap``, ``eager_threshold_bytes`` and ``delivery`` tune the
     simulated communication (non-blocking broadcasts, rendezvous
     threshold, wire-contention model) without changing the numerics.
+    ``trace`` records message logs and activity spans for
+    :mod:`repro.obs` analysis.
     """
     a = np.asarray(a, dtype=float)
     n = a.shape[0]
@@ -155,6 +162,7 @@ def lu2d(
         machine,
         grid.size,
         seed=seed,
+        trace=trace,
         eager_threshold_bytes=eager_threshold_bytes,
         delivery=delivery,
     )

@@ -93,18 +93,21 @@ def summa_program(
             a_panel = a_local[:, k - ak0:kk - ak0]
         else:
             a_panel = None
-        a_panel = yield from row_comm.bcast(a_panel, root=a_owner, algorithm=algo)
+        with comm.phase("a-panel"):
+            a_panel = yield from row_comm.bcast(a_panel, root=a_owner, algorithm=algo)
 
         if prow == b_owner:
             b_panel = b_local[k - bk0:kk - bk0, :]
         else:
             b_panel = None
-        b_panel = yield from col_comm.bcast(b_panel, root=b_owner, algorithm=algo)
+        with comm.phase("b-panel"):
+            b_panel = yield from col_comm.bcast(b_panel, root=b_owner, algorithm=algo)
 
         c_local += a_panel @ b_panel
-        yield from comm.compute(
-            flops=2.0 * a_panel.shape[0] * a_panel.shape[1] * b_panel.shape[1]
-        )
+        with comm.phase("gemm"):
+            yield from comm.compute(
+                flops=2.0 * a_panel.shape[0] * a_panel.shape[1] * b_panel.shape[1]
+            )
         k = kk
 
     return ((r0, r1), (c0, c1), c_local)
@@ -121,11 +124,13 @@ def summa(
     overlap: bool = False,
     eager_threshold_bytes: float = float("inf"),
     delivery="alphabeta",
+    trace: bool = False,
 ) -> DistributedMatmul:
     """Multiply on a simulated machine and reassemble the result.
 
     ``overlap``, ``eager_threshold_bytes`` and ``delivery`` tune the
-    simulated communication without changing the numerics.
+    simulated communication without changing the numerics; ``trace``
+    records spans for :mod:`repro.obs` analysis.
     """
     if grid.size > machine.n_nodes:
         raise DecompositionError(
@@ -137,6 +142,7 @@ def summa(
         machine,
         grid.size,
         seed=seed,
+        trace=trace,
         eager_threshold_bytes=eager_threshold_bytes,
         delivery=delivery,
     )

@@ -1,0 +1,48 @@
+"""repro.obs: observability for simulated runs.
+
+Span tracing lives in the engine (:mod:`repro.simmpi.trace`); this
+package analyses and exports the traces:
+
+* :mod:`repro.obs.critical_path` -- walk the span/cause DAG backwards
+  from the last finish to the makespan-determining chain;
+* :mod:`repro.obs.chrome_trace` -- ``chrome://tracing`` / Perfetto
+  JSON export;
+* :mod:`repro.obs.timeline` -- plain-text per-rank activity strips;
+* :mod:`repro.obs.diff` -- critical-path diffing between two runs;
+* :mod:`repro.obs.profile` -- named traced workloads for the
+  ``repro profile`` CLI.
+"""
+
+from repro.obs.chrome_trace import chrome_trace, write_chrome_trace
+from repro.obs.critical_path import (
+    CONTENTION,
+    WIRE,
+    CriticalPath,
+    PathSegment,
+    critical_path,
+)
+from repro.obs.diff import RunDiff, diff_runs
+from repro.obs.profile import (
+    PROFILES,
+    profile_report,
+    profile_summary_line,
+    run_profile,
+)
+from repro.obs.timeline import span_timeline
+
+__all__ = [
+    "CONTENTION",
+    "WIRE",
+    "CriticalPath",
+    "PathSegment",
+    "PROFILES",
+    "RunDiff",
+    "chrome_trace",
+    "critical_path",
+    "diff_runs",
+    "profile_report",
+    "profile_summary_line",
+    "run_profile",
+    "span_timeline",
+    "write_chrome_trace",
+]

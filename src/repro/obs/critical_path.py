@@ -1,0 +1,262 @@
+"""Critical-path extraction from a traced simulation.
+
+The span trace of a run (``Engine(trace=True)``) gives, per rank, a
+chronological list of typed activity intervals tiling ``[0, finish]``,
+where every span whose end time was *decided by another rank* carries a
+binding :class:`~repro.simmpi.trace.SpanCause`.  The makespan of the
+run is therefore the end of one specific causal chain -- compute bursts,
+send startups, wire transfers, rendezvous handshakes -- threading
+through the ranks.  This module walks that chain backwards from the
+last finish to virtual time zero and reports where the makespan
+actually went: the classic critical-path analysis of parallel-program
+tracing tools (IPS, Paradyn-era), applied to simulated runs.
+
+Walk invariants
+---------------
+
+* The cursor starts at the makespan (the latest ``finish_time``; per
+  rank the last span ends exactly there because spans tile) and only
+  moves backwards along span boundaries and causal edges.
+* Every step attributes exactly ``old_cursor - new_cursor`` seconds to
+  one :class:`PathSegment`, so the total path length **telescopes**:
+  ``length == makespan - final_cursor``, float-exact, and the walk ends
+  at exactly 0.0 (rank timelines start at exactly 0.0).
+* A message edge splits its wire interval at the uncontended
+  alpha-beta arrival: time up to it is ``wire``, any excess is
+  ``contention-stall`` (shared links / FIFO ordering).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.simmpi.engine import SimResult
+from repro.simmpi.trace import COMPUTE, IDLE, Span
+from repro.util.errors import SimulationError
+
+#: Synthesized path categories (never recorded by the engine).
+WIRE = "wire"
+CONTENTION = "contention-stall"
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One stretch of the critical path.
+
+    For ``wire``/``contention-stall`` segments ``rank`` is the
+    receiving rank and ``peer`` the sender; for engine-recorded span
+    kinds they mirror the span's fields.
+    """
+
+    rank: int
+    kind: str
+    t0: float
+    t1: float
+    name: Optional[str] = None
+    peer: int = -1
+    nbytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class CriticalPath:
+    """The makespan-determining chain of one traced run."""
+
+    segments: List[PathSegment]
+    makespan: float
+    #: Telescoped path length; equals ``makespan`` when the walk
+    #: reached virtual time zero (``complete``).
+    length: float
+    complete: bool = True
+
+    def by_category(self) -> Dict[str, float]:
+        """Seconds of critical path per segment kind."""
+        out: Dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.kind] = out.get(seg.kind, 0.0) + seg.duration
+        return out
+
+    def by_rank(self) -> Dict[int, float]:
+        """Seconds of critical path per rank (wire time is attributed
+        to the receiving rank)."""
+        out: Dict[int, float] = {}
+        for seg in self.segments:
+            out[seg.rank] = out.get(seg.rank, 0.0) + seg.duration
+        return out
+
+    def by_phase(self) -> Dict[str, float]:
+        """Seconds of critical path per phase label (``"-"`` when the
+        activity ran outside any ``comm.phase`` block)."""
+        out: Dict[str, float] = {}
+        for seg in self.segments:
+            key = seg.name or "-"
+            out[key] = out.get(key, 0.0) + seg.duration
+        return out
+
+    def by_link(self) -> Dict[Tuple[int, int], float]:
+        """Wire + contention seconds per (src, dst) rank pair."""
+        out: Dict[Tuple[int, int], float] = {}
+        for seg in self.segments:
+            if seg.kind in (WIRE, CONTENTION):
+                key = (seg.peer, seg.rank)
+                out[key] = out.get(key, 0.0) + seg.duration
+        return out
+
+    def top_elongations(self, k: int = 10) -> List[PathSegment]:
+        """The ``k`` longest non-compute segments: the waits, wires and
+        stalls elongating the makespan beyond the compute chain."""
+        stretchers = [s for s in self.segments if s.kind != COMPUTE and s.duration > 0]
+        stretchers.sort(key=lambda s: (-s.duration, s.t0))
+        return stretchers[:k]
+
+    def describe(self, top: int = 5) -> str:
+        """Human-readable breakdown."""
+        lines = [
+            f"critical path: {self.length:.6g} s over {len(self.segments)} "
+            f"segments (makespan {self.makespan:.6g} s)"
+        ]
+        if not self.complete:
+            lines.append("  [walk incomplete: span trace was truncated]")
+        cats = sorted(self.by_category().items(), key=lambda kv: -kv[1])
+        for kind, secs in cats:
+            pct = 100.0 * secs / self.length if self.length > 0 else 0.0
+            lines.append(f"  {kind:<16} {secs:12.6g} s  {pct:5.1f}%")
+        phases = [(k, v) for k, v in self.by_phase().items() if k != "-"]
+        if phases:
+            lines.append("  by phase:")
+            for name, secs in sorted(phases, key=lambda kv: -kv[1])[:top]:
+                pct = 100.0 * secs / self.length if self.length > 0 else 0.0
+                lines.append(f"    {name:<20} {secs:12.6g} s  {pct:5.1f}%")
+        tops = self.top_elongations(top)
+        if tops:
+            lines.append(f"  top {len(tops)} elongations:")
+            for seg in tops:
+                where = f"rank {seg.rank}"
+                if seg.peer >= 0:
+                    where += f" <- {seg.peer}" if seg.kind in (WIRE, CONTENTION) else f" / {seg.peer}"
+                label = f" [{seg.name}]" if seg.name else ""
+                lines.append(
+                    f"    {seg.kind:<16} {seg.duration:10.6g} s  {where}"
+                    f" @ t={seg.t0:.6g}{label}"
+                )
+        return "\n".join(lines)
+
+
+@dataclass
+class _RankIndex:
+    """Per-rank span list with an end-time index for boundary lookup."""
+
+    spans: List[Span]
+    ends: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.ends = [s.t1 for s in self.spans]
+
+    def span_ending_at(self, cursor: float) -> Optional[Span]:
+        """The span occupying ``cursor`` from below: the first span
+        with ``t1 >= cursor`` (tiling makes its ``t0 <= cursor``;
+        zero-length spans exactly at the cursor are skipped naturally
+        because an earlier span shares their end time)."""
+        i = bisect_left(self.ends, cursor)
+        if i >= len(self.spans):
+            return None
+        return self.spans[i]
+
+
+def critical_path(result: SimResult) -> CriticalPath:
+    """Extract the makespan-determining chain from a traced run."""
+    tracer = result.tracer
+    if not tracer.enabled or not tracer.spans:
+        raise SimulationError(
+            "critical_path needs a span trace: run with Engine(trace=True)"
+        )
+    truncated = tracer.dropped_spans > 0
+    index = {
+        rank: _RankIndex(spans) for rank, spans in tracer.spans_by_rank().items()
+    }
+
+    makespan = result.time
+    # Start on the rank that finished last (its final span ends there).
+    rank = max(range(len(result.stats)), key=lambda r: result.stats[r].finish_time)
+    cursor = makespan
+    segments: List[PathSegment] = []
+    complete = True
+
+    def emit(seg_rank, kind, t0, t1, *, name=None, peer=-1, nbytes=0.0):
+        if t1 > t0:
+            segments.append(
+                PathSegment(
+                    rank=seg_rank, kind=kind, t0=t0, t1=t1,
+                    name=name, peer=peer, nbytes=nbytes,
+                )
+            )
+
+    # Generous step budget: each step either consumes a span or jumps a
+    # causal edge, both bounded by the trace size.
+    budget = 4 * len(tracer.spans) + 1000
+    while cursor > 0.0:
+        budget -= 1
+        if budget < 0:
+            complete = False
+            break
+        ri = index.get(rank)
+        span = ri.span_ending_at(cursor) if ri is not None else None
+        if span is None:
+            # Past the rank's recorded timeline (possible only on a
+            # truncated trace): close out as idle and stop.
+            last = ri.ends[-1] if ri is not None and ri.ends else 0.0
+            emit(rank, IDLE, last, cursor)
+            cursor = last
+            if cursor > 0.0:
+                complete = False
+                break
+            continue
+        cause = span.cause if span.t1 == cursor else None
+        if cause is None:
+            # Local step: the span itself carried the chain.
+            emit(
+                rank, span.kind, span.t0, cursor,
+                name=span.name, peer=span.peer, nbytes=span.nbytes,
+            )
+            cursor = span.t0
+        elif cause.kind == "msg":
+            # A message arrival ended this wait: cross the wire back to
+            # the sender, splitting contention excess from wire time.
+            ws = min(cause.wire_start, cursor)
+            split = min(cursor, max(ws, cause.wire_min_end))
+            emit(
+                rank, CONTENTION, split, cursor,
+                name=span.name, peer=cause.src_rank, nbytes=span.nbytes,
+            )
+            emit(
+                rank, WIRE, ws, split,
+                name=span.name, peer=cause.src_rank, nbytes=span.nbytes,
+            )
+            cursor = ws
+            rank = cause.src_rank
+        else:
+            # A remote rank's action (rendezvous handshake) ended this
+            # span; the stretch back to the handshake is protocol time
+            # charged to this span's kind, then the chain continues on
+            # the remote timeline.
+            src_time = min(cause.src_time, cursor)
+            emit(
+                rank, span.kind, src_time, cursor,
+                name=span.name, peer=span.peer, nbytes=span.nbytes,
+            )
+            cursor = src_time
+            rank = cause.src_rank
+
+    length = makespan - cursor
+    segments.reverse()
+    return CriticalPath(
+        segments=segments,
+        makespan=makespan,
+        length=length,
+        complete=complete and not truncated and cursor == 0.0,
+    )

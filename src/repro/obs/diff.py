@@ -1,0 +1,97 @@
+"""Run diffing: where did the time go between two configurations?
+
+Compares two traced runs of the same workload -- e.g. ``overlap=False``
+vs ``overlap=True`` SUMMA, or eager vs rendezvous LU -- through their
+critical paths and aggregate accounting, and reports the per-category
+deltas that explain the makespan change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.obs.critical_path import CriticalPath, critical_path
+from repro.simmpi.engine import SimResult
+
+
+@dataclass
+class RunDiff:
+    """Structured comparison of two traced runs."""
+
+    label_a: str
+    label_b: str
+    time_a: float
+    time_b: float
+    path_a: CriticalPath
+    path_b: CriticalPath
+    messages_a: int
+    messages_b: int
+    bytes_a: float
+    bytes_b: float
+
+    @property
+    def speedup(self) -> float:
+        """Makespan ratio a/b (> 1 means b is faster)."""
+        return self.time_a / self.time_b if self.time_b > 0 else float("inf")
+
+    def category_delta(self) -> Dict[str, float]:
+        """Critical-path seconds by category, b minus a (negative means
+        b spends less makespan on that category)."""
+        cat_a = self.path_a.by_category()
+        cat_b = self.path_b.by_category()
+        out: Dict[str, float] = {}
+        for kind in sorted(set(cat_a) | set(cat_b)):
+            out[kind] = cat_b.get(kind, 0.0) - cat_a.get(kind, 0.0)
+        return out
+
+    def describe(self) -> str:
+        a, b = self.label_a, self.label_b
+        lines = [
+            f"run diff: {a} vs {b}",
+            f"  makespan      {self.time_a:12.6g} s -> {self.time_b:12.6g} s"
+            f"  ({self.speedup:.3f}x)",
+            f"  messages      {self.messages_a:12d}   -> {self.messages_b:12d}",
+            f"  bytes         {self.bytes_a:12.6g}   -> {self.bytes_b:12.6g}",
+            "  critical path by category (delta = b - a):",
+        ]
+        cat_a = self.path_a.by_category()
+        cat_b = self.path_b.by_category()
+        deltas = self.category_delta()
+        for kind, delta in sorted(deltas.items(), key=lambda kv: kv[1]):
+            lines.append(
+                f"    {kind:<16} {cat_a.get(kind, 0.0):12.6g} -> "
+                f"{cat_b.get(kind, 0.0):12.6g}  ({delta:+.6g})"
+            )
+        return "\n".join(lines)
+
+
+def diff_runs(
+    a: SimResult,
+    b: SimResult,
+    *,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> RunDiff:
+    """Diff two traced runs via their critical paths."""
+    return RunDiff(
+        label_a=label_a,
+        label_b=label_b,
+        time_a=a.time,
+        time_b=b.time,
+        path_a=critical_path(a),
+        path_b=critical_path(b),
+        messages_a=a.total_messages,
+        messages_b=b.total_messages,
+        bytes_a=a.total_bytes,
+        bytes_b=b.total_bytes,
+    )
+
+
+def segments_summary(path: CriticalPath, top: int = 3) -> List[str]:
+    """Short per-category lines for embedding in reports."""
+    lines = []
+    for kind, secs in sorted(path.by_category().items(), key=lambda kv: -kv[1])[:top]:
+        pct = 100.0 * secs / path.length if path.length > 0 else 0.0
+        lines.append(f"{kind} {pct:.0f}%")
+    return lines

@@ -1,0 +1,205 @@
+"""Named, traced workloads for the ``repro profile`` CLI.
+
+Each profile runs one of the repository's distributed algorithms with
+span tracing enabled and returns the :class:`SimResult`; the CLI then
+feeds it to the critical-path analyser, the text timeline and the
+Chrome-trace exporter.  Sizes default to something that runs in well
+under a second -- profiling is about *where the virtual time goes*, not
+about large numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+from repro.simmpi.delivery import DeliveryModel
+from repro.simmpi.engine import SimResult
+from repro.util.errors import ConfigurationError
+
+_Delivery = Union[str, DeliveryModel]
+
+
+def _profile_lu(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    from repro.linalg.blocklu import make_test_matrix
+    from repro.linalg.decomp import near_square_grid
+    from repro.linalg.lu2d import lu2d
+
+    grid = near_square_grid(ranks)
+    res = lu2d(
+        machine, grid, make_test_matrix(size, seed=seed),
+        nb=max(1, size // (4 * grid.prows)), seed=seed, overlap=overlap,
+        eager_threshold_bytes=eager, delivery=delivery, trace=True,
+    )
+    return res.sim
+
+
+def _profile_summa(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    import numpy as np
+
+    from repro.linalg.decomp import near_square_grid
+    from repro.linalg.summa import summa
+
+    grid = near_square_grid(ranks)
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+    res = summa(
+        machine, grid, a, b, panel=max(1, size // (2 * grid.pcols)),
+        seed=seed, overlap=overlap, eager_threshold_bytes=eager,
+        delivery=delivery, trace=True,
+    )
+    return res.sim
+
+
+def _profile_cg(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    from repro.linalg.cg import distributed_cg, make_spd_matrix
+
+    import numpy as np
+
+    a = make_spd_matrix(size, seed=seed)
+    b = np.ones(size)
+    res = distributed_cg(
+        machine, ranks, a, b, tol=1e-8, seed=seed, overlap=overlap,
+        eager_threshold_bytes=eager, delivery=delivery, trace=True,
+    )
+    return res.sim
+
+
+def _profile_cannon(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    import math
+
+    import numpy as np
+
+    from repro.linalg.cannon import cannon
+
+    q = math.isqrt(ranks)
+    if q * q != ranks:
+        raise ConfigurationError(
+            f"cannon needs a square rank count, got {ranks}"
+        )
+    n = size - size % q if size % q else size
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    return cannon(machine, q, a, b, seed=seed, trace=True).sim
+
+
+def _profile_ocean(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    from repro.apps.ocean import OceanConfig, distributed_run, gaussian_bump
+
+    config = OceanConfig(nx=size, ny=size)
+    state = gaussian_bump(config)
+    return distributed_run(
+        machine, ranks, state, config, steps=8, seed=seed, trace=True
+    ).sim
+
+
+def _profile_nbody(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    from repro.apps.nbody import distributed_run, random_cluster
+
+    bodies = random_cluster(max(size, ranks), seed=seed)
+    return distributed_run(
+        machine, ranks, bodies, steps=2, seed=seed, trace=True
+    ).sim
+
+
+def _profile_poisson(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    from repro.apps.poisson import PoissonConfig, distributed_solve, smooth_source
+
+    config = PoissonConfig(nx=size, ny=size)
+    res = distributed_solve(
+        machine, ranks, smooth_source(config), config,
+        tol=1e-3, max_sweeps=2000, seed=seed, trace=True,
+    )
+    return res.sim
+
+
+def _profile_md(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    from repro.apps.md import MDConfig, distributed_run, lattice_fluid
+
+    config = MDConfig(box=float(max(ranks, 4)) * 2.5)
+    particles = lattice_fluid(size, config, seed=seed)
+    return distributed_run(
+        machine, ranks, particles, config, steps=3, seed=seed, trace=True
+    ).sim
+
+
+def _profile_cfd(machine, ranks, size, overlap, eager, delivery, seed) -> SimResult:
+    from repro.apps.cfd import CFDConfig, distributed_run, gaussian_blob
+
+    config = CFDConfig(nx=size, ny=size)
+    u0 = gaussian_blob(config)
+    return distributed_run(
+        machine, ranks, u0, config, steps=8, seed=seed, trace=True
+    ).sim
+
+
+#: name -> (runner, default ranks, default size)
+PROFILES: Dict[str, tuple] = {
+    "lu": (_profile_lu, 16, 96),
+    "summa": (_profile_summa, 16, 96),
+    "cg": (_profile_cg, 8, 96),
+    "cannon": (_profile_cannon, 16, 96),
+    "ocean": (_profile_ocean, 8, 48),
+    "nbody": (_profile_nbody, 8, 64),
+    "poisson": (_profile_poisson, 8, 32),
+    "md": (_profile_md, 4, 64),
+    "cfd": (_profile_cfd, 8, 48),
+}
+
+
+def run_profile(
+    name: str,
+    machine,
+    *,
+    ranks: int = 0,
+    size: int = 0,
+    overlap: bool = False,
+    eager_threshold_bytes: float = float("inf"),
+    delivery: _Delivery = "alphabeta",
+    seed: int = 0,
+) -> SimResult:
+    """Run one named workload traced; returns its :class:`SimResult`."""
+    try:
+        runner, default_ranks, default_size = PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None
+    ranks = ranks or default_ranks
+    size = size or default_size
+    return runner(
+        machine, ranks, size, overlap, eager_threshold_bytes, delivery, seed
+    )
+
+
+def profile_report(
+    result: SimResult,
+    *,
+    top: int = 5,
+    timeline: bool = False,
+    timeline_width: int = 72,
+) -> str:
+    """Full text report: critical path plus optional timeline."""
+    from repro.obs.critical_path import critical_path
+    from repro.obs.timeline import span_timeline
+
+    path = critical_path(result)
+    parts = [path.describe(top=top)]
+    if timeline:
+        parts.append("")
+        parts.append(span_timeline(result, width=timeline_width))
+    return "\n".join(parts)
+
+
+def profile_summary_line(name: str, result: SimResult) -> str:
+    """One-line summary for embedding in the ``repro all`` report."""
+    from repro.obs.critical_path import critical_path
+    from repro.obs.diff import segments_summary
+
+    path = critical_path(result)
+    cats = ", ".join(segments_summary(path, top=3))
+    return (
+        f"{name}: makespan {result.time:.6g} s on {result.n_ranks} ranks; "
+        f"critical path = {cats}"
+    )

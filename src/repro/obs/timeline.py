@@ -1,0 +1,90 @@
+"""Plain-text per-rank timeline rendering of a span trace.
+
+One row per rank, one character per time bucket, the bucket showing
+whichever activity kind dominated it.  Good enough to spot load
+imbalance, serialisation chains and communication storms directly in a
+terminal, without loading the Chrome trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.simmpi.engine import SimResult
+from repro.simmpi.trace import (
+    COMPUTE,
+    IDLE,
+    RECV_WAIT,
+    RNDV_WAIT,
+    SEND,
+    SEND_WAIT,
+)
+from repro.util.errors import SimulationError
+
+#: One glyph per span kind (dominant activity per bucket).
+GLYPHS = {
+    COMPUTE: "#",
+    SEND: "s",
+    RECV_WAIT: ".",
+    SEND_WAIT: "w",
+    RNDV_WAIT: "r",
+    IDLE: " ",
+}
+
+
+def span_timeline(
+    result: SimResult,
+    *,
+    width: int = 72,
+    max_ranks: int = 32,
+    legend: bool = True,
+) -> str:
+    """Render the traced run as per-rank activity strips."""
+    tracer = result.tracer
+    if not tracer.enabled or not tracer.spans:
+        raise SimulationError(
+            "span_timeline needs a span trace: run with Engine(trace=True)"
+        )
+    span_map = tracer.spans_by_rank()
+    makespan = result.time
+    if makespan <= 0:
+        return "(empty run: makespan is zero)"
+    n_ranks = len(result.stats)
+    shown = min(n_ranks, max_ranks)
+    dt = makespan / width
+
+    lines: List[str] = [
+        f"timeline: {n_ranks} ranks x {makespan:.6g} s "
+        f"({dt:.3g} s per column)"
+    ]
+    label_w = len(str(shown - 1))
+    for rank in range(shown):
+        # Per bucket, accumulate occupancy per kind; dominant kind wins.
+        buckets: List[Optional[Dict[str, float]]] = [None] * width
+        for span in span_map.get(rank, []):
+            if span.t1 <= span.t0:
+                continue
+            first = min(width - 1, int(span.t0 / dt))
+            last = min(width - 1, int(span.t1 / dt))
+            for b in range(first, last + 1):
+                b0, b1 = b * dt, (b + 1) * dt
+                overlap = min(span.t1, b1) - max(span.t0, b0)
+                if overlap <= 0:
+                    continue
+                cell = buckets[b]
+                if cell is None:
+                    cell = buckets[b] = {}
+                cell[span.kind] = cell.get(span.kind, 0.0) + overlap
+        row = "".join(
+            GLYPHS.get(max(cell, key=cell.get), "?") if cell else " "
+            for cell in buckets
+        )
+        lines.append(f"r{rank:<{label_w}} |{row}|")
+    if shown < n_ranks:
+        lines.append(f"... ({n_ranks - shown} more ranks not shown)")
+    if legend:
+        lines.append(
+            "legend: #=compute s=send .=recv-wait w=send-wait "
+            "r=rendezvous-wait (blank=idle)"
+        )
+    return "\n".join(lines)

@@ -62,15 +62,24 @@ def barrier(comm) -> Generator:
     if p == 1:
         return
     tag0 = _block_tag(comm)
-    k = 0
-    dist = 1
-    while dist < p:
-        dest = (comm.rank + dist) % p
-        source = (comm.rank - dist) % p
-        yield from comm.send(None, dest, tag=tag0 - k)
-        yield from comm.recv(source=source, tag=tag0 - k)
-        dist <<= 1
-        k += 1
+    # Collectives run on the untraced hot path, so phase labelling is a
+    # guarded push/pop rather than a context manager (here and below):
+    # untraced runs pay one flag check, not a scope object per call.
+    if comm._tracing:
+        comm._phases.append("barrier")
+    try:
+        k = 0
+        dist = 1
+        while dist < p:
+            dest = (comm.rank + dist) % p
+            source = (comm.rank - dist) % p
+            yield from comm.send(None, dest, tag=tag0 - k)
+            yield from comm.recv(source=source, tag=tag0 - k)
+            dist <<= 1
+            k += 1
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
 
 
 # ---------------------------------------------------------------------------
@@ -81,14 +90,20 @@ def bcast(comm, value: Any, root: int = 0, algorithm: str = "tree") -> Generator
     """Broadcast from ``root``; all ranks return the value."""
     if not 0 <= root < comm.size:
         raise CommunicationError(f"bcast root {root} out of range")
-    if algorithm == "tree":
-        return (yield from _bcast_binomial(comm, value, root))
-    if algorithm == "tree_nb":
-        return (yield from _bcast_binomial_nb(comm, value, root))
-    if algorithm == "ring":
-        return (yield from _bcast_ring(comm, value, root))
-    if algorithm == "flat":
-        return (yield from _bcast_flat(comm, value, root))
+    if comm._tracing:
+        comm._phases.append("bcast")
+    try:
+        if algorithm == "tree":
+            return (yield from _bcast_binomial(comm, value, root))
+        if algorithm == "tree_nb":
+            return (yield from _bcast_binomial_nb(comm, value, root))
+        if algorithm == "ring":
+            return (yield from _bcast_ring(comm, value, root))
+        if algorithm == "flat":
+            return (yield from _bcast_flat(comm, value, root))
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
     raise CommunicationError(f"unknown bcast algorithm {algorithm!r}")
 
 
@@ -189,19 +204,25 @@ def reduce(comm, value: Any, op: Union[str, Callable] = "sum", root: int = 0) ->
     if p == 1:
         return value
     tag = _block_tag(comm)
-    vr = (comm.rank - root) % p
-    acc = value
-    mask = 1
-    while mask < p:
-        if vr & mask:
-            yield from comm.send(acc, ((vr - mask) + root) % p, tag=tag)
-            return None
-        partner = vr + mask
-        if partner < p:
-            msg = yield from comm.recv(source=(partner + root) % p, tag=tag)
-            acc = combiner(acc, msg.payload)
-        mask <<= 1
-    return acc if comm.rank == root else None
+    if comm._tracing:
+        comm._phases.append("reduce")
+    try:
+        vr = (comm.rank - root) % p
+        acc = value
+        mask = 1
+        while mask < p:
+            if vr & mask:
+                yield from comm.send(acc, ((vr - mask) + root) % p, tag=tag)
+                return None
+            partner = vr + mask
+            if partner < p:
+                msg = yield from comm.recv(source=(partner + root) % p, tag=tag)
+                acc = combiner(acc, msg.payload)
+            mask <<= 1
+        return acc if comm.rank == root else None
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
 
 
 def allreduce(
@@ -211,11 +232,17 @@ def allreduce(
     algorithm: str = "reduce_bcast",
 ) -> Generator:
     """All ranks obtain the reduction of everyone's value."""
-    if algorithm == "reduce_bcast":
-        partial = yield from reduce(comm, value, op, root=0)
-        return (yield from bcast(comm, partial, root=0))
-    if algorithm == "recursive_doubling":
-        return (yield from _allreduce_recursive_doubling(comm, value, op))
+    if comm._tracing:
+        comm._phases.append("allreduce")
+    try:
+        if algorithm == "reduce_bcast":
+            partial = yield from reduce(comm, value, op, root=0)
+            return (yield from bcast(comm, partial, root=0))
+        if algorithm == "recursive_doubling":
+            return (yield from _allreduce_recursive_doubling(comm, value, op))
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
     raise CommunicationError(f"unknown allreduce algorithm {algorithm!r}")
 
 
@@ -272,10 +299,16 @@ def gather(comm, value: Any, root: int = 0, algorithm: str = "tree") -> Generato
     """Collect one value per rank onto ``root`` (rank-ordered list)."""
     if not 0 <= root < comm.size:
         raise CommunicationError(f"gather root {root} out of range")
-    if algorithm == "tree":
-        return (yield from _gather_binomial(comm, value, root))
-    if algorithm == "flat":
-        return (yield from _gather_flat(comm, value, root))
+    if comm._tracing:
+        comm._phases.append("gather")
+    try:
+        if algorithm == "tree":
+            return (yield from _gather_binomial(comm, value, root))
+        if algorithm == "flat":
+            return (yield from _gather_flat(comm, value, root))
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
     raise CommunicationError(f"unknown gather algorithm {algorithm!r}")
 
 
@@ -320,6 +353,17 @@ def allgather(comm, value: Any, algorithm: str = "ring") -> Generator:
     p = comm.size
     if p == 1:
         return [value]
+    if comm._tracing:
+        comm._phases.append("allgather")
+    try:
+        return (yield from _allgather_impl(comm, value, algorithm))
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
+
+
+def _allgather_impl(comm, value: Any, algorithm: str) -> Generator:
+    p = comm.size
     if algorithm == "ring":
         tag0 = _block_tag(comm)
         out: list = [None] * p
@@ -370,10 +414,16 @@ def scatter(
                 f"scatter root needs exactly {p} values, got "
                 f"{None if values is None else len(values)}"
             )
-    if algorithm == "tree":
-        return (yield from _scatter_binomial(comm, values, root))
-    if algorithm == "flat":
-        return (yield from _scatter_flat(comm, values, root))
+    if comm._tracing:
+        comm._phases.append("scatter")
+    try:
+        if algorithm == "tree":
+            return (yield from _scatter_binomial(comm, values, root))
+        if algorithm == "flat":
+            return (yield from _scatter_flat(comm, values, root))
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
     raise CommunicationError(f"unknown scatter algorithm {algorithm!r}")
 
 
@@ -424,18 +474,24 @@ def scan(comm, value: Any, op: Union[str, Callable] = "sum") -> Generator:
     if p == 1:
         return value
     tag0 = _block_tag(comm)
-    acc = value
-    dist = 1
-    k = 0
-    while dist < p:
-        if comm.rank + dist < p:
-            yield from comm.send(acc, comm.rank + dist, tag=tag0 - k)
-        if comm.rank - dist >= 0:
-            msg = yield from comm.recv(source=comm.rank - dist, tag=tag0 - k)
-            acc = combiner(msg.payload, acc)
-        dist <<= 1
-        k += 1
-    return acc
+    if comm._tracing:
+        comm._phases.append("scan")
+    try:
+        acc = value
+        dist = 1
+        k = 0
+        while dist < p:
+            if comm.rank + dist < p:
+                yield from comm.send(acc, comm.rank + dist, tag=tag0 - k)
+            if comm.rank - dist >= 0:
+                msg = yield from comm.recv(source=comm.rank - dist, tag=tag0 - k)
+                acc = combiner(msg.payload, acc)
+            dist <<= 1
+            k += 1
+        return acc
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
 
 
 def reduce_scatter(
@@ -455,7 +511,13 @@ def reduce_scatter(
             f"reduce_scatter needs exactly {p} values per rank, got "
             f"{None if values is None else len(values)}"
         )
-    contributions = yield from alltoall(comm, list(values))
+    if comm._tracing:
+        comm._phases.append("reduce_scatter")
+    try:
+        contributions = yield from alltoall(comm, list(values))
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
     acc = contributions[0]
     for item in contributions[1:]:
         acc = combiner(acc, item)
@@ -481,6 +543,17 @@ def alltoall(comm, values: Sequence[Any], algorithm: str = "cyclic") -> Generato
     if p == 1:
         return out
     tag0 = _block_tag(comm)
+    if comm._tracing:
+        comm._phases.append("alltoall")
+    try:
+        return (yield from _alltoall_impl(comm, values, algorithm, tag0, out))
+    finally:
+        if comm._tracing:
+            comm._phases.pop()
+
+
+def _alltoall_impl(comm, values, algorithm: str, tag0: int, out: list) -> Generator:
+    p = comm.size
     if algorithm == "cyclic":
         for shift in range(1, p):
             dst = (comm.rank + shift) % p

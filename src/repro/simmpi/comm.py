@@ -39,6 +39,38 @@ from repro.simmpi.requests import (
 from repro.util.errors import CommunicationError
 
 
+class _NullScope:
+    """Shared no-op context manager: ``comm.phase`` when not tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _PhaseScope:
+    """Pushes/pops one label on the comm's phase stack."""
+
+    __slots__ = ("_comm", "_name")
+
+    def __init__(self, comm: "Comm", name: str):
+        self._comm = comm
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._comm._phases.append(self._name)
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._comm._phases.pop()
+        return False
+
+
 class Comm:
     """Communicator bound to one rank of a simulated machine."""
 
@@ -52,6 +84,35 @@ class Comm:
         # a distinct internal tag space so that back-to-back collectives
         # can never cross-match (sense reversal, generalised).
         self._coll_seq = 0
+        # Phase-label stack consumed by span tracing (see phase()).
+        # The engine flips _tracing on before the rank programs start;
+        # untraced runs get the shared no-op scope.
+        self._phases: list = []
+        self._tracing = False
+
+    # -- phase labelling ------------------------------------------------------
+
+    def phase(self, name: str):
+        """Label the enclosed operations for span tracing.
+
+        Purely local bookkeeping -- no communication, and a shared no-op
+        when the engine is not tracing.  Nests: the effective label is
+        the ``/``-joined stack (``"panel/bcast"``), and the collective
+        library pushes its own labels, so a user phase around a
+        broadcast shows up as ``myphase/bcast``::
+
+            with comm.phase("halo"):
+                yield from comm.send(ghost, up, tag=0)
+        """
+        if not self._tracing:
+            return _NULL_SCOPE
+        return _PhaseScope(self, name)
+
+    def current_phase(self) -> Optional[str]:
+        """The effective phase label right now (None outside phases)."""
+        if not self._phases:
+            return None
+        return "/".join(self._phases)
 
     # -- identity helpers ---------------------------------------------------
 

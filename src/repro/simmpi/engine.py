@@ -64,7 +64,15 @@ from repro.simmpi.requests import (
     WaitReq,
 )
 from repro.simmpi.state import RankState, ReceiveSlot, SendHandle
-from repro.simmpi.trace import MessageRecord, RankStats, Tracer
+from repro.simmpi.trace import (
+    COMPUTE,
+    IDLE,
+    RECV_WAIT,
+    SEND_WAIT,
+    MessageRecord,
+    RankStats,
+    Tracer,
+)
 from repro.simmpi.waitgraph import WaitForGraph, build_wait_graph
 from repro.util.errors import (
     CommunicationError,
@@ -245,6 +253,33 @@ class _Run:
         self._last_arrival: Dict[tuple, float] = {}
         self.seq = 0  # global tiebreaker / message post order
         self._heap: List[tuple] = []  # (time, seq, rank, resume_value)
+        #: Rank-side communicators (set in execute); consulted for the
+        #: active phase label when recording spans.
+        self.comms: List[Comm] = []
+        # Hop-count memo for the uncontended alpha-beta reference used
+        # to split wire time from contention stall (tracing only).
+        self._ab_hops: Dict[tuple, int] = {}
+
+    # -- tracing helpers ----------------------------------------------------
+
+    def phase(self, rank: int) -> Optional[str]:
+        """Current phase label of ``rank`` (tracing only)."""
+        return self.comms[rank].current_phase()
+
+    def alphabeta_arrival(
+        self, src_rank: int, dst_rank: int, nbytes: float, start: float
+    ) -> float:
+        """Uncontended alpha-beta arrival time: the lower bound any
+        delivery model degenerates to on an idle network.  Used when
+        tracing to classify wire-time excess as contention stall."""
+        key = (src_rank, dst_rank)
+        hops = self._ab_hops.get(key)
+        if hops is None:
+            hops = self.machine.topology.hops(
+                self.engine.rank_map[src_rank], self.engine.rank_map[dst_rank]
+            )
+            self._ab_hops[key] = hops
+        return start + self.machine.link.message_time(nbytes, hops)
 
     # -- context interface used by protocols -------------------------------
 
@@ -296,6 +331,21 @@ class _Run:
             return
         completion = max(handle.blocked_since, handle.complete_at)
         state.stats.comm_time += completion - handle.blocked_since
+        if self.tracer.enabled and completion > handle.blocked_since:
+            # The handshake cause is binding only when the remote event
+            # (not our own blocking point) determined the completion.
+            cause = handle.hs_cause if handle.complete_at > handle.blocked_since else None
+            self.tracer.span(
+                state.rank,
+                SEND_WAIT,
+                handle.blocked_since,
+                completion,
+                name=self.phase(state.rank),
+                peer=handle.dest,
+                tag=handle.tag,
+                nbytes=handle.nbytes,
+                cause=cause,
+            )
         state.clock = completion
         state.blocked = False
         state.pop_handle(handle.handle_id)
@@ -309,6 +359,21 @@ class _Run:
         state.stats.comm_time += completion - slot.blocked_since
         state.stats.messages_received += 1
         state.stats.bytes_received += msg.nbytes
+        if self.tracer.enabled and completion > slot.blocked_since:
+            # The wire edge is binding only when the arrival (not our
+            # own blocking point) determined the completion time.
+            cause = msg.wire if msg.arrival_time > slot.blocked_since else None
+            self.tracer.span(
+                state.rank,
+                RECV_WAIT,
+                slot.blocked_since,
+                completion,
+                name=self.phase(state.rank),
+                peer=msg.source,
+                tag=msg.tag,
+                nbytes=msg.nbytes,
+                cause=cause,
+            )
         state.pop_handle(slot.handle_id)
         self.tracer.record(
             MessageRecord(
@@ -340,6 +405,19 @@ class _Run:
         else:
             completion = max(handle.blocked_since, handle.complete_at)
             state.stats.comm_time += completion - handle.blocked_since
+            if self.tracer.enabled and completion > handle.blocked_since:
+                cause = handle.hs_cause if handle.complete_at > handle.blocked_since else None
+                self.tracer.span(
+                    state.rank,
+                    SEND_WAIT,
+                    handle.blocked_since,
+                    completion,
+                    name=self.phase(state.rank),
+                    peer=handle.dest,
+                    tag=handle.tag,
+                    nbytes=handle.nbytes,
+                    cause=cause,
+                )
             state.pop_handle(handle_id)
             value = (index, None)
         state.clock = completion
@@ -362,8 +440,11 @@ class _Run:
             dt = request.seconds
         else:
             dt = self.machine.compute_time(request.flops, request.efficiency)
+        t0 = state.clock
         state.clock += dt
         state.stats.compute_time += dt
+        if self.tracer.enabled and dt > 0:
+            self.tracer.span(state.rank, COMPUTE, t0, state.clock, name=self.phase(state.rank))
         self.schedule(state.clock, state.rank, None)
 
     def _protocol_for(self, nbytes: float) -> Protocol:
@@ -486,6 +567,10 @@ class _Run:
         p = engine.n_ranks
         rngs = spawn(engine.seed, p)
         comms = [Comm(rank, p, self.machine, rngs[rank]) for rank in range(p)]
+        if self.tracer.enabled:
+            for comm in comms:
+                comm._tracing = True
+        self.comms = comms
         gens = []
         for rank in range(p):
             gen = program(comms[rank], *args, **kwargs)
@@ -521,7 +606,14 @@ class _Run:
                 continue
             if state.finished:
                 raise SimulationError(f"finished rank {rank} rescheduled")
-            state.clock = max(state.clock, time)
+            if time > state.clock:
+                # Unattributed gap: an event landed past the rank's
+                # clock.  Explicit so per-rank spans tile [0, finish]
+                # and compute + comm + idle == finish_time.
+                state.stats.idle_time += time - state.clock
+                if self.tracer.enabled:
+                    self.tracer.span(rank, IDLE, state.clock, time)
+                state.clock = time
 
             try:
                 request = gens[rank].send(value)

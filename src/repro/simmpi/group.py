@@ -54,6 +54,10 @@ class GroupComm:
         # Tag salt shared by construction across members (same tuple).
         self._salt = stable_seed(*members)
         self._coll_seq = 0
+        # Phase labelling shares the parent's stack (one stack per rank);
+        # groups are built after the engine sets the tracing flag.
+        self._tracing = parent._tracing
+        self._phases = parent._phases
 
     # -- tag management -------------------------------------------------------
 
@@ -79,6 +83,14 @@ class GroupComm:
 
     def is_root(self, root: int = 0) -> bool:
         return self.rank == root
+
+    def phase(self, name: str):
+        """Phase labelling delegates to the parent communicator, so the
+        engine sees one label stack per rank regardless of groups."""
+        return self.parent.phase(name)
+
+    def current_phase(self):
+        return self.parent.current_phase()
 
     def group(self, members: Sequence[int]) -> "GroupComm":
         """Nested group: ``members`` are ranks *within this group*."""

@@ -29,6 +29,7 @@ from typing import Optional, Union
 
 from repro.simmpi.requests import ANY_SOURCE, ANY_TAG, InFlight, IsendReq, SendReq, copy_payload
 from repro.simmpi.state import ParkedSend, RankState, ReceiveSlot, SendHandle
+from repro.simmpi.trace import RNDV_WAIT, SEND, SpanCause
 
 
 class Protocol(ABC):
@@ -73,6 +74,28 @@ class EagerProtocol(Protocol):
         src.stats.comm_time += overhead
         src.stats.messages_sent += 1
         src.stats.bytes_sent += nbytes
+        wire = None
+        if ctx.tracer.enabled:
+            # The injection span is recorded even when zero-length: it
+            # is the jump target for the message's wire edge.
+            sid = ctx.tracer.span(
+                src.rank,
+                SEND,
+                now,
+                src.clock,
+                name=ctx.phase(src.rank),
+                peer=dst,
+                tag=request.tag,
+                nbytes=nbytes,
+            )
+            wire = SpanCause(
+                kind="msg",
+                src_rank=src.rank,
+                src_time=src.clock,
+                src_sid=sid,
+                wire_start=src.clock,
+                wire_min_end=ctx.alphabeta_arrival(src.rank, dst, nbytes, now),
+            )
         ctx.post_message(
             InFlight(
                 dest=dst,
@@ -83,6 +106,7 @@ class EagerProtocol(Protocol):
                 arrival_time=arrival,
                 seq=ctx.seq,
                 send_time=now,
+                wire=wire,
             )
         )
         if handle is not None:
@@ -156,13 +180,70 @@ class RendezvousProtocol(Protocol):
         src.stats.messages_sent += 1
         src.stats.bytes_sent += ps.nbytes
         sender_clear = handshake + overhead
+        tracing = ctx.tracer.enabled
+        wire = None
+        # The handshake is *binding* when the receiver's post (not the
+        # sender's own park) released the transfer; the chain then
+        # continues on the receiver's timeline at the handshake.
+        binding = handshake > ps.park_time
         if ps.handle is None:
             # The sender was blocked from park_time to the handshake,
             # then pays its startup overhead.
             src.stats.comm_time += (handshake - ps.park_time) + overhead
+            if tracing:
+                phase = ctx.phase(src.rank)
+                if binding:
+                    ctx.tracer.span(
+                        src.rank,
+                        RNDV_WAIT,
+                        ps.park_time,
+                        handshake,
+                        name=phase,
+                        peer=ps.dest,
+                        tag=ps.tag,
+                        nbytes=ps.nbytes,
+                        cause=SpanCause(kind="rank", src_rank=ps.dest, src_time=handshake),
+                    )
+                sid = ctx.tracer.span(
+                    src.rank,
+                    SEND,
+                    handshake,
+                    sender_clear,
+                    name=phase,
+                    peer=ps.dest,
+                    tag=ps.tag,
+                    nbytes=ps.nbytes,
+                )
+                wire = SpanCause(
+                    kind="msg",
+                    src_rank=ps.source,
+                    src_time=sender_clear,
+                    src_sid=sid,
+                    wire_start=sender_clear,
+                    wire_min_end=ctx.alphabeta_arrival(ps.source, ps.dest, ps.nbytes, handshake),
+                )
             src.clock = sender_clear
             ctx.schedule(sender_clear, src.rank, None)
         else:
+            if tracing:
+                # No sender-side span: an isending rank kept running
+                # past the park, so recording here would break its
+                # chronological span order.  The chain instead jumps
+                # straight to whichever rank bound the handshake.
+                binder = SpanCause(
+                    kind="rank",
+                    src_rank=ps.dest if binding else ps.source,
+                    src_time=handshake if binding else ps.park_time,
+                )
+                ps.handle.hs_cause = binder
+                wire = SpanCause(
+                    kind="msg",
+                    src_rank=binder.src_rank,
+                    src_time=binder.src_time,
+                    src_sid=-1,
+                    wire_start=handshake,
+                    wire_min_end=ctx.alphabeta_arrival(ps.source, ps.dest, ps.nbytes, handshake),
+                )
             ps.handle.complete_at = sender_clear
             if ps.handle.waiting:
                 ctx.complete_send(src, ps.handle)
@@ -175,4 +256,5 @@ class RendezvousProtocol(Protocol):
             arrival_time=arrival,
             seq=ps.seq,
             send_time=ps.send_time,
+            wire=wire,
         )

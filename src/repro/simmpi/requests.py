@@ -205,6 +205,9 @@ class InFlight:
     #: Virtual time the sender issued the send (for rendezvous this is
     #: the post time, not the handshake); threaded into trace records.
     send_time: float = field(default=0.0)
+    #: Causal wire edge for span tracing (set only when tracing): what
+    #: preceded this message's transfer and when its wire began.
+    wire: Any = field(default=None)
 
     def matches(self, req: RecvReq) -> bool:
         if req.source != ANY_SOURCE and req.source != self.source:

@@ -62,6 +62,9 @@ class SendHandle:
     complete_at: Optional[float] = None
     waiting: bool = False
     blocked_since: float = 0.0
+    #: Causal edge for span tracing (set only when tracing): the
+    #: rendezvous handshake that completed this handle remotely.
+    hs_cause: Any = None
 
     @property
     def ready(self) -> bool:

@@ -1,14 +1,93 @@
-"""Per-rank statistics and optional message tracing.
+"""Per-rank statistics, message tracing, and typed activity spans.
 
 The simulator always accumulates cheap aggregate statistics; full
-message logs are opt-in because a 512-rank LU run generates hundreds of
-thousands of messages.
+message logs and **span traces** are opt-in (``Engine(trace=True)``)
+because a 512-rank LU run generates hundreds of thousands of events.
+
+A :class:`Span` is one typed, timestamped activity interval on one
+rank's virtual timeline: a compute burst, a send-startup window, a
+rendezvous park, a blocked receive.  Per rank the recorded spans tile
+``[0, finish_time]`` (gaps are explicit ``idle`` spans), and spans
+whose end time was *determined by another rank* carry a
+:class:`SpanCause` -- the causal edge (message wire, rendezvous
+handshake) that :mod:`repro.obs.critical_path` walks backwards to
+extract the makespan-determining chain.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
+
+# -- span kinds (engine-recorded categories) --------------------------------
+
+#: Local computation charged via ``ComputeReq``.
+COMPUTE = "compute"
+#: Sender-side injection overhead (eager post, or post-handshake).
+SEND = "send"
+#: Blocking rendezvous sender parked awaiting its handshake.
+RNDV_WAIT = "rendezvous-wait"
+#: Rank blocked in a receive (recv, or wait on a receive handle).
+RECV_WAIT = "recv-wait"
+#: Rank blocked in a wait on an isend handle.
+SEND_WAIT = "send-wait"
+#: Unattributed gap on a rank's timeline (explicit, so spans tile).
+IDLE = "idle"
+
+#: All engine-recorded span kinds.
+SPAN_KINDS = (COMPUTE, SEND, RNDV_WAIT, RECV_WAIT, SEND_WAIT, IDLE)
+
+
+@dataclass(frozen=True)
+class SpanCause:
+    """Why a span ended when it did, when another rank decided that.
+
+    Two kinds of causal edge exist:
+
+    * ``"msg"`` -- a message arrival ended the span (blocked receive).
+      The wire occupied ``[wire_start, span.t1]``; ``wire_min_end`` is
+      the uncontended alpha-beta arrival, so any excess is contention
+      (shared links, FIFO clamping).  ``src_sid`` is the sender-side
+      span that injected the message (or -1 when the sender never
+      blocked, i.e. a rendezvous isend).
+    * ``"rank"`` -- another rank's *action* ended the span (a
+      rendezvous handshake released a parked sender or completed an
+      isend handle).  The critical path continues on ``src_rank``'s
+      timeline at ``src_time``.
+
+    Causes are only attached when they were **binding** -- the remote
+    event strictly determined the span's end -- so the critical-path
+    walker never has to re-derive who won a ``max()``.
+    """
+
+    kind: str
+    src_rank: int
+    src_time: float
+    src_sid: int = -1
+    wire_start: float = 0.0
+    wire_min_end: float = 0.0
+
+
+@dataclass(frozen=True)
+class Span:
+    """One typed activity interval on one rank's virtual timeline."""
+
+    sid: int
+    rank: int
+    kind: str
+    t0: float
+    t1: float
+    #: Phase label active when the activity ran (``comm.phase(...)``).
+    name: Optional[str] = None
+    #: Peer rank for communication spans (-1 for local activity).
+    peer: int = -1
+    tag: int = 0
+    nbytes: float = 0.0
+    cause: Optional[SpanCause] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
 
 
 @dataclass
@@ -17,8 +96,11 @@ class RankStats:
 
     rank: int
     compute_time: float = 0.0
-    #: Sender-side startup overhead plus receiver-side blocked time.
+    #: Sender-side startup overhead plus blocked communication time.
     comm_time: float = 0.0
+    #: Gaps on the rank's timeline not attributable to compute or to a
+    #: blocked communication call (event scheduled past the clock).
+    idle_time: float = 0.0
     messages_sent: int = 0
     bytes_sent: float = 0.0
     messages_received: int = 0
@@ -27,9 +109,14 @@ class RankStats:
 
     @property
     def busy_time(self) -> float:
-        """Compute plus communication time (excludes pure idling that
-        was not attributable to a blocked receive)."""
+        """Compute plus communication time (excludes idle gaps)."""
         return self.compute_time + self.comm_time
+
+    @property
+    def accounted_time(self) -> float:
+        """Compute + comm + idle; equals ``finish_time`` per rank (up
+        to float accumulation error), asserted in tests."""
+        return self.compute_time + self.comm_time + self.idle_time
 
 
 @dataclass(frozen=True)
@@ -47,13 +134,17 @@ class MessageRecord:
 
 @dataclass
 class Tracer:
-    """Collects message records when enabled; bounded to avoid runaway
-    memory on large runs."""
+    """Collects message records and spans when enabled; bounded to
+    avoid runaway memory on large runs."""
 
     enabled: bool = False
     max_records: int = 200_000
     records: List[MessageRecord] = field(default_factory=list)
     dropped: int = 0
+    max_spans: int = 500_000
+    spans: List[Span] = field(default_factory=list)
+    dropped_spans: int = 0
+    _sid: int = 0
 
     def record(self, rec: MessageRecord) -> None:
         if not self.enabled:
@@ -62,6 +153,56 @@ class Tracer:
             self.dropped += 1
             return
         self.records.append(rec)
+
+    def span(
+        self,
+        rank: int,
+        kind: str,
+        t0: float,
+        t1: float,
+        *,
+        name: Optional[str] = None,
+        peer: int = -1,
+        tag: int = 0,
+        nbytes: float = 0.0,
+        cause: Optional[SpanCause] = None,
+    ) -> int:
+        """Record one span; returns its id (-1 if disabled/dropped).
+
+        Callers guard on :attr:`enabled` before computing arguments so
+        untraced runs pay only that attribute check.
+        """
+        if not self.enabled:
+            return -1
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return -1
+        sid = self._sid
+        self._sid += 1
+        self.spans.append(
+            Span(
+                sid=sid,
+                rank=rank,
+                kind=kind,
+                t0=t0,
+                t1=t1,
+                name=name,
+                peer=peer,
+                tag=tag,
+                nbytes=nbytes,
+                cause=cause,
+            )
+        )
+        return sid
+
+    def spans_by_rank(self) -> Dict[int, List[Span]]:
+        """Spans grouped per rank, preserving recording order (which is
+        chronological per rank: a rank's spans are appended only while
+        it is the active or completing rank)."""
+        out: Dict[int, List[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.rank, []).append(span)
+        return out
 
     def total_bytes(self) -> float:
         return sum(r.nbytes for r in self.records)

@@ -1,0 +1,120 @@
+"""Golden-file checks for the Chrome ``trace_event`` exporter.
+
+Exercised on a deterministic 4-rank ring so the schema assertions are
+stable: event keys, per-rank timestamp monotonicity, and flow-event
+(``s``/``f``) id pairing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.machine import touchstone_delta
+from repro.obs import chrome_trace, write_chrome_trace
+from repro.simmpi import run_program
+from repro.util.errors import SimulationError
+
+
+def ring_program(comm):
+    """Each rank computes, sends right, receives from the left."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    for _ in range(3):
+        yield from comm.compute(seconds=1e-5)
+        yield from comm.send(np.full(64, comm.rank, dtype=float), dest=right)
+        yield from comm.recv(source=left)
+    return comm.rank
+
+
+@pytest.fixture(scope="module")
+def trace():
+    res = run_program(touchstone_delta(), 4, ring_program, trace=True)
+    return res, chrome_trace(res)
+
+
+def test_toplevel_schema(trace):
+    res, doc = trace
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["displayTimeUnit"] == "ms"
+    other = doc["otherData"]
+    assert other["n_ranks"] == 4
+    assert other["makespan_s"] == res.time
+    assert other["spans"] == len(res.tracer.spans)
+    assert other["messages"] == len(res.tracer.records)
+    assert other["dropped_spans"] == 0 and other["dropped_messages"] == 0
+
+
+def test_event_schema_keys(trace):
+    _, doc = trace
+    events = doc["traceEvents"]
+    assert events
+    for ev in events:
+        assert {"ph", "pid", "tid"} <= set(ev)
+        assert ev["pid"] == 0
+        assert ev["ph"] in ("M", "X", "s", "f")
+        if ev["ph"] != "M":
+            assert "ts" in ev and "args" in ev
+            assert ev["ts"] >= 0.0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0.0
+            assert "kind" in ev["args"]
+
+
+def test_thread_metadata_per_rank(trace):
+    _, doc = trace
+    meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+    assert [ev["tid"] for ev in meta] == [0, 1, 2, 3]
+    assert all(ev["name"] == "thread_name" for ev in meta)
+    assert meta[2]["args"]["name"] == "rank 2"
+
+
+def test_span_timestamps_monotonic_per_rank(trace):
+    _, doc = trace
+    last = {}
+    for ev in doc["traceEvents"]:
+        if ev["ph"] != "X":
+            continue
+        tid = ev["tid"]
+        assert ev["ts"] >= last.get(tid, 0.0)
+        last[tid] = ev["ts"]
+    assert set(last) == {0, 1, 2, 3}
+
+
+def test_flow_events_pair_by_id(trace):
+    res, doc = trace
+    starts = {ev["id"]: ev for ev in doc["traceEvents"] if ev["ph"] == "s"}
+    finishes = {ev["id"]: ev for ev in doc["traceEvents"] if ev["ph"] == "f"}
+    assert set(starts) == set(finishes)
+    assert len(starts) == len(res.tracer.records)
+    for i, rec in enumerate(res.tracer.records):
+        s, f = starts[i], finishes[i]
+        assert s["tid"] == rec.source and f["tid"] == rec.dest
+        assert f["ts"] >= s["ts"]
+        assert f["bp"] == "e"
+        assert s["args"]["nbytes"] == rec.nbytes
+
+
+def test_timestamps_are_microseconds(trace):
+    res, doc = trace
+    xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+    assert max(ev["ts"] + ev["dur"] for ev in xs) == pytest.approx(
+        res.time * 1e6, rel=1e-9
+    )
+
+
+def test_write_round_trips(tmp_path, trace):
+    res, doc = trace
+    path = str(tmp_path / "trace.json")
+    assert write_chrome_trace(res, path) == path
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded == json.loads(json.dumps(doc))
+
+
+def test_requires_trace():
+    def program(comm):
+        yield from comm.compute(seconds=1e-6)
+
+    res = run_program(touchstone_delta(), 2, program)
+    with pytest.raises(SimulationError):
+        chrome_trace(res)

@@ -1,0 +1,139 @@
+"""Critical-path extraction: exactness, attribution, and run diffing.
+
+The acceptance bar is strict: on a traced 8x8 SUMMA the walked path
+length must equal the simulated makespan *exactly* (float equality, no
+tolerance) -- the walk telescopes along span boundaries, so any
+discrepancy means a broken causal edge.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.linalg.decomp import ProcessGrid2D
+from repro.linalg.summa import summa
+from repro.machine import touchstone_delta
+from repro.obs import (
+    CONTENTION,
+    WIRE,
+    critical_path,
+    diff_runs,
+)
+from repro.simmpi import run_program
+from repro.util.errors import SimulationError
+
+
+def traced_summa(overlap=False, eager=float("inf"), delivery="alphabeta",
+                 grid=(8, 8), n=64, panel=8):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    return summa(
+        touchstone_delta(), ProcessGrid2D(*grid), a, b, panel=panel,
+        overlap=overlap, eager_threshold_bytes=eager, delivery=delivery,
+        trace=True,
+    ).sim
+
+
+class TestExactness:
+    @pytest.mark.parametrize("overlap", [False, True])
+    @pytest.mark.parametrize("eager", [float("inf"), 0.0])
+    @pytest.mark.parametrize("delivery", ["alphabeta", "contention"])
+    def test_length_equals_makespan_exact_8x8(self, overlap, eager, delivery):
+        res = traced_summa(overlap=overlap, eager=eager, delivery=delivery)
+        cp = critical_path(res)
+        assert cp.complete
+        assert cp.length == res.time  # float-exact, by construction
+        assert cp.makespan == res.time
+
+    def test_categories_sum_to_length(self):
+        res = traced_summa()
+        cp = critical_path(res)
+        total = math.fsum(cp.by_category().values())
+        assert total == pytest.approx(cp.length, rel=1e-12)
+        assert math.fsum(cp.by_rank().values()) == pytest.approx(cp.length, rel=1e-12)
+        assert math.fsum(cp.by_phase().values()) == pytest.approx(cp.length, rel=1e-12)
+
+    def test_segments_are_contiguous_in_time(self):
+        res = traced_summa(eager=0.0, delivery="contention")
+        cp = critical_path(res)
+        cursor = 0.0
+        for seg in cp.segments:
+            assert seg.t0 == pytest.approx(cursor, abs=1e-15)
+            assert seg.duration > 0
+            cursor = seg.t1
+        assert cursor == res.time
+
+
+class TestAttribution:
+    def test_phases_appear_on_path(self):
+        cp = critical_path(traced_summa())
+        phases = cp.by_phase()
+        assert any(k.startswith(("a-panel", "b-panel", "gemm")) for k in phases)
+
+    def test_contention_only_under_contention_delivery(self):
+        cats_ab = critical_path(traced_summa(eager=0.0)).by_category()
+        assert cats_ab.get(CONTENTION, 0.0) == 0.0
+        # The contention model can put stall time on the path; the
+        # alpha-beta model never can.
+        cats_c = critical_path(
+            traced_summa(eager=0.0, delivery="contention")
+        ).by_category()
+        assert cats_c.get(CONTENTION, 0.0) >= 0.0
+
+    def test_by_link_covers_wire_time(self):
+        cp = critical_path(traced_summa(eager=0.0))
+        cats = cp.by_category()
+        wire_total = cats.get(WIRE, 0.0) + cats.get(CONTENTION, 0.0)
+        assert math.fsum(cp.by_link().values()) == pytest.approx(wire_total, rel=1e-12)
+        for (src, dst) in cp.by_link():
+            assert 0 <= src < 64 and 0 <= dst < 64
+
+    def test_top_elongations_sorted_noncompute(self):
+        cp = critical_path(traced_summa())
+        tops = cp.top_elongations(5)
+        assert len(tops) <= 5
+        durs = [s.duration for s in tops]
+        assert durs == sorted(durs, reverse=True)
+        assert all(s.kind != "compute" for s in tops)
+
+    def test_describe_mentions_makespan(self):
+        cp = critical_path(traced_summa())
+        text = cp.describe()
+        assert "critical path" in text
+        assert f"{cp.makespan:.6g}" in text
+
+
+class TestDiff:
+    def test_overlap_diff_on_summa(self):
+        """The headline use case: overlap=False vs True SUMMA."""
+        base = traced_summa(overlap=False, eager=0.0, grid=(4, 4), n=48)
+        over = traced_summa(overlap=True, eager=0.0, grid=(4, 4), n=48)
+        d = diff_runs(base, over, label_a="blocking", label_b="overlap")
+        assert d.time_a == base.time and d.time_b == over.time
+        assert d.speedup == pytest.approx(base.time / over.time)
+        deltas = d.category_delta()
+        assert deltas  # at least one category moved or exists
+        assert math.fsum(deltas.values()) == pytest.approx(
+            d.path_b.length - d.path_a.length, rel=1e-9, abs=1e-15
+        )
+        text = d.describe()
+        assert "blocking" in text and "overlap" in text
+        assert "makespan" in text
+
+    def test_diff_same_run_is_neutral(self):
+        res = traced_summa(grid=(2, 2), n=32)
+        d = diff_runs(res, res)
+        assert d.speedup == 1.0
+        assert all(v == 0.0 for v in d.category_delta().values())
+
+
+class TestErrors:
+    def test_requires_trace(self):
+        def program(comm):
+            yield from comm.compute(seconds=1e-6)
+
+        res = run_program(touchstone_delta(), 2, program)
+        with pytest.raises(SimulationError):
+            critical_path(res)

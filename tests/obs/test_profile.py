@@ -1,0 +1,80 @@
+"""Named profile workloads and the ``repro profile`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.machine import touchstone_delta
+from repro.obs import (
+    PROFILES,
+    critical_path,
+    profile_report,
+    profile_summary_line,
+    run_profile,
+)
+from repro.util.errors import ConfigurationError
+
+
+def test_registry_names():
+    assert {"lu", "summa", "cg", "ocean", "nbody", "poisson", "md", "cfd"} <= set(
+        PROFILES
+    )
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(ConfigurationError, match="unknown profile"):
+        run_profile("nope", touchstone_delta())
+
+
+@pytest.mark.parametrize("name", ["summa", "ocean", "poisson"])
+def test_profiles_produce_walkable_traces(name):
+    res = run_profile(name, touchstone_delta(), ranks=4, size=16)
+    assert res.tracer.enabled and res.tracer.spans
+    cp = critical_path(res)
+    assert cp.complete
+    assert cp.length == res.time
+
+
+def test_profile_report_and_summary_line():
+    res = run_profile("summa", touchstone_delta(), ranks=4, size=32)
+    report = profile_report(res, top=3, timeline=True)
+    assert "critical path" in report
+    assert "timeline:" in report
+    line = profile_summary_line("summa 2x2", res)
+    assert line.startswith("summa 2x2: makespan")
+    assert "critical path =" in line
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["profile", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "summa" in out and "lu" in out
+
+    def test_no_workload_errors(self, capsys):
+        assert main(["profile"]) == 1
+        assert "no workload" in capsys.readouterr().err
+
+    def test_profile_with_export(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(
+            [
+                "profile", "summa", "--ranks", "4", "--size", "32",
+                "--timeline", "--export", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "timeline:" in out
+        assert str(path) in out
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["n_ranks"] == 4
+        assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
+
+    def test_all_includes_profile_section(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "PROFILE" in out
+        assert "critical path =" in out

@@ -1,0 +1,107 @@
+"""Span-trace invariants: per-rank tiling and the time-accounting
+identity compute + comm + idle == finish_time."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.blocklu import make_test_matrix
+from repro.linalg.decomp import ProcessGrid2D
+from repro.linalg.lu2d import lu2d
+from repro.machine import touchstone_delta
+from repro.simmpi import run_program
+from repro.simmpi.trace import SPAN_KINDS
+
+
+def traced_lu(overlap=False, eager=float("inf"), delivery="alphabeta"):
+    return lu2d(
+        touchstone_delta(),
+        ProcessGrid2D(2, 2),
+        make_test_matrix(24, seed=0),
+        nb=4,
+        overlap=overlap,
+        eager_threshold_bytes=eager,
+        delivery=delivery,
+        trace=True,
+    ).sim
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+@pytest.mark.parametrize("eager", [float("inf"), 0.0])
+@pytest.mark.parametrize("delivery", ["alphabeta", "contention"])
+def test_spans_tile_each_rank_timeline(overlap, eager, delivery):
+    """Per rank: chronological spans with no gaps or overlaps, starting
+    at 0 and ending exactly at the rank's finish time."""
+    res = traced_lu(overlap=overlap, eager=eager, delivery=delivery)
+    span_map = res.tracer.spans_by_rank()
+    assert sorted(span_map) == list(range(res.n_ranks))
+    for rank, spans in span_map.items():
+        assert spans, f"rank {rank} recorded no spans"
+        cursor = 0.0
+        for span in spans:
+            assert span.kind in SPAN_KINDS
+            assert span.t0 == cursor, f"gap/overlap at rank {rank} t={cursor}"
+            assert span.t1 >= span.t0
+            cursor = span.t1
+        assert cursor == res.stats[rank].finish_time
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+@pytest.mark.parametrize("eager", [float("inf"), 0.0])
+def test_idle_identity_on_traced_lu(overlap, eager):
+    """compute_time + comm_time + idle_time == finish_time, per rank."""
+    res = traced_lu(overlap=overlap, eager=eager)
+    for st in res.stats:
+        assert st.accounted_time == pytest.approx(st.finish_time, rel=1e-9, abs=1e-12)
+        assert st.idle_time >= 0.0
+
+
+def test_idle_identity_holds_untraced():
+    """The accounting identity does not depend on tracing."""
+    res = lu2d(
+        touchstone_delta(), ProcessGrid2D(2, 2), make_test_matrix(24, seed=0), nb=4
+    ).sim
+    assert not res.tracer.enabled
+    assert res.tracer.spans == []
+    for st in res.stats:
+        assert st.accounted_time == pytest.approx(st.finish_time, rel=1e-9, abs=1e-12)
+
+
+def test_untraced_run_records_no_spans():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(8), dest=1)
+        else:
+            yield from comm.recv(source=0)
+        yield from comm.compute(seconds=1e-5)
+        return comm.rank
+
+    res = run_program(touchstone_delta(), 2, program)
+    assert res.tracer.spans == []
+    assert res.tracer.dropped_spans == 0
+
+
+def test_span_causes_point_backwards():
+    """Every causal edge references an earlier (or equal) point in
+    virtual time on a valid rank."""
+    res = traced_lu(eager=0.0)
+    for span in res.tracer.spans:
+        if span.cause is None:
+            continue
+        assert span.cause.kind in ("msg", "rank")
+        assert 0 <= span.cause.src_rank < res.n_ranks
+        assert span.cause.src_time <= span.t1
+        if span.cause.kind == "msg":
+            assert span.cause.wire_start <= span.t1
+
+
+def test_tracer_caps_spans():
+    """The span buffer is bounded; overflow counts drops instead of
+    growing without limit."""
+    from repro.simmpi.trace import Tracer
+
+    tr = Tracer(enabled=True, max_spans=4)
+    for i in range(10):
+        sid = tr.span(0, "compute", float(i), float(i + 1))
+        assert (sid >= 0) == (i < 4)
+    assert len(tr.spans) == 4
+    assert tr.dropped_spans == 6

@@ -1,0 +1,61 @@
+"""Plain-text per-rank timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.machine import touchstone_delta
+from repro.obs import span_timeline
+from repro.simmpi import run_program
+from repro.util.errors import SimulationError
+
+
+def pair_program(comm):
+    if comm.rank == 0:
+        yield from comm.compute(seconds=1e-3)
+        yield from comm.send(np.zeros(1024), dest=1)
+    else:
+        yield from comm.recv(source=0)
+        yield from comm.compute(seconds=1e-3)
+
+
+@pytest.fixture(scope="module")
+def traced_pair():
+    return run_program(touchstone_delta(), 2, pair_program, trace=True)
+
+
+def test_row_per_rank_fixed_width(traced_pair):
+    out = span_timeline(traced_pair, width=40)
+    lines = out.splitlines()
+    rows = [ln for ln in lines if ln.startswith("r")]
+    assert len(rows) == 2
+    for row in rows:
+        assert row.endswith("|")
+        assert len(row.split("|")[1]) == 40
+    assert lines[-1].startswith("legend:")
+
+
+def test_glyphs_reflect_activity(traced_pair):
+    out = span_timeline(traced_pair, width=40, legend=False)
+    r0, r1 = [ln.split("|")[1] for ln in out.splitlines() if ln.startswith("r")]
+    # Rank 0 computes first; rank 1 blocks in recv first.
+    assert r0[0] == "#"
+    assert r1[0] == "."
+    # Rank 1 computes at the end; rank 0 is idle (blank) there.
+    assert r1[-1] == "#"
+    assert r0[-1] == " "
+
+
+def test_max_ranks_elision():
+    def program(comm):
+        yield from comm.compute(seconds=1e-5 * (comm.rank + 1))
+
+    res = run_program(touchstone_delta(), 8, program, trace=True)
+    out = span_timeline(res, width=20, max_ranks=3)
+    assert "(5 more ranks not shown)" in out
+    assert len([ln for ln in out.splitlines() if ln.startswith("r")]) == 3
+
+
+def test_requires_trace(traced_pair):
+    res = run_program(touchstone_delta(), 2, pair_program)
+    with pytest.raises(SimulationError):
+        span_timeline(res)
