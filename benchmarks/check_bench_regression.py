@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Gate a fresh ``--bench-json`` run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_engine.json fresh.json \
+        [--key lu2d_512] [--threshold 0.30]
+
+Fails (exit 1) when the fresh events/sec for ``--key`` falls more than
+``--threshold`` below the committed baseline.  Faster-than-baseline
+runs always pass; CI hosts are noisy, so the threshold is generous and
+this is a smoke gate, not a profiler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_engine.json")
+    parser.add_argument("fresh", help="JSON written by a fresh --bench-json run")
+    parser.add_argument("--key", default="lu2d_512", help="record to compare")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="max fractional events/sec drop tolerated (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+
+    try:
+        base_eps = float(baseline[args.key]["events_per_sec"])
+    except KeyError:
+        print(f"baseline {args.baseline} has no record {args.key!r}")
+        return 1
+    try:
+        fresh_eps = float(fresh[args.key]["events_per_sec"])
+    except KeyError:
+        print(f"fresh run {args.fresh} has no record {args.key!r}")
+        return 1
+
+    floor = base_eps * (1.0 - args.threshold)
+    ratio = fresh_eps / base_eps if base_eps > 0 else 0.0
+    verdict = "OK" if fresh_eps >= floor else "REGRESSION"
+    print(
+        f"{args.key}: fresh {fresh_eps:,.0f} ev/s vs baseline "
+        f"{base_eps:,.0f} ev/s ({ratio:.2f}x, floor {floor:,.0f}) -> {verdict}"
+    )
+    return 0 if fresh_eps >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

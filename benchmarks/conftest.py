@@ -1,10 +1,76 @@
 """Benchmark bootstrap: make ``src/`` importable without installation
-and share the exhibit-printing helper."""
+and share the exhibit-printing helper.
 
+Also hosts the ``--bench-json`` hook: engine-throughput benchmarks
+record ``{events, wall_s, events_per_sec}`` per workload through the
+``bench_record`` fixture, and at session end the records are merged
+into a JSON file (``BENCH_engine.json`` when committed at the repo
+root).  Merging -- rather than overwriting -- preserves keys a partial
+run did not measure, such as the recorded pre-PR baseline.
+"""
+
+import json
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
+
+_BENCH_RECORDS = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write engine-throughput records (events/sec, wall time) "
+            "to PATH as JSON, merging with any existing file"
+        ),
+    )
+
+
+@pytest.fixture
+def bench_record():
+    """Record one named throughput measurement for ``--bench-json``.
+
+    ``bench_record(name, events=..., wall_s=..., **extra)`` -- the
+    events/sec ratio is derived here so every record is consistent.
+    Recording is unconditional; writing happens only when the option
+    was given.
+    """
+
+    def record(name, *, events, wall_s, **extra):
+        entry = {
+            "events": int(events),
+            "wall_s": round(float(wall_s), 4),
+            "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+        }
+        entry.update(extra)
+        _BENCH_RECORDS[name] = entry
+        return entry
+
+    return record
+
+
+def pytest_sessionfinish(session):
+    path = session.config.getoption("--bench-json")
+    if not path or not _BENCH_RECORDS:
+        return
+    merged = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(_BENCH_RECORDS)
+    with open(path, "w") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def print_exhibit(title: str, body: str) -> None:

@@ -1,0 +1,108 @@
+"""Engine throughput baseline: the numbers behind ``BENCH_engine.json``.
+
+Three workloads spanning the engine's hot paths -- a 512-rank
+block-cyclic LU (point-to-point heavy, the headline number), a 64-rank
+SUMMA (broadcast heavy), and a 32-rank collectives suite -- each timed
+best-of-N untraced and recorded through the ``bench_record`` fixture.
+Run with ``--bench-json BENCH_engine.json`` to refresh the committed
+baseline; the CI perf-smoke job compares a fresh run against it with
+``benchmarks/check_bench_regression.py``.
+
+The assertions pin the *simulated* outcomes (makespan, event count),
+which must be machine-independent: a drift there is a correctness bug,
+not a performance regression.
+"""
+
+import time
+
+from repro.linalg.blocklu import make_test_matrix
+from repro.linalg.decomp import ProcessGrid2D
+from repro.linalg.lu2d import lu2d
+from repro.linalg.summa import summa
+from repro.machine.presets import touchstone_delta
+from repro.simmpi import run_program
+
+BEST_OF = 3
+
+
+def _best_of(fn, repeats=BEST_OF):
+    """Run ``fn`` ``repeats`` times; return (result, best wall seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def test_bench_lu2d_512_throughput(bench_record):
+    """The headline number: untraced 512-rank LU on the Delta preset."""
+    machine = touchstone_delta()
+    a = make_test_matrix(192, seed=7)
+    grid = ProcessGrid2D(16, 32)
+    res, wall = _best_of(lambda: lu2d(machine, grid, a, nb=2, seed=7))
+    sim = res.sim
+    # Bit-identity guard: these values are invariant across engine
+    # optimisations (asserted exactly in the A/B equivalence tests).
+    assert sim.events == 462178
+    assert abs(sim.time - 0.179691431) < 1e-9
+    entry = bench_record(
+        "lu2d_512",
+        events=sim.events,
+        wall_s=wall,
+        ranks=512,
+        virtual_time_s=round(sim.time, 9),
+    )
+    assert entry["events_per_sec"] > 0
+
+
+def test_bench_summa_64_throughput(bench_record):
+    """Broadcast-dominated path: 64-rank SUMMA, panel 32."""
+    machine = touchstone_delta()
+    a = make_test_matrix(128, seed=3)
+    b = make_test_matrix(128, seed=4)
+    grid = ProcessGrid2D(8, 8)
+    res, wall = _best_of(lambda: summa(machine, grid, a, b, panel=32, seed=3))
+    sim = res.sim
+    assert sim.events > 0
+    bench_record(
+        "summa_64",
+        events=sim.events,
+        wall_s=wall,
+        ranks=64,
+        virtual_time_s=round(sim.time, 9),
+    )
+
+
+def _collectives_suite(comm):
+    """32 ranks x 10 rounds over the whole collective menu."""
+    acc = float(comm.rank)
+    for round_ in range(10):
+        acc = yield from comm.bcast(acc + round_, root=round_ % comm.size)
+        total = yield from comm.reduce(acc, root=0)
+        if total is not None:  # reduce only lands on the root
+            acc = total
+        acc = yield from comm.allreduce(acc % 1e6)
+        yield from comm.barrier()
+        parts = yield from comm.alltoall(
+            [float(comm.rank + j) for j in range(comm.size)]
+        )
+        acc += parts[0]
+    return acc
+
+
+def test_bench_collectives_suite_throughput(bench_record):
+    """The collective algorithms end-to-end on the Delta preset."""
+    machine = touchstone_delta()
+    res, wall = _best_of(lambda: run_program(machine, 32, _collectives_suite))
+    # The final alltoall leaves rank r holding rank 0's element 0 + r,
+    # so returns are rank-offset copies of a common collective value.
+    assert res.returns[31] - res.returns[0] == 31.0
+    bench_record(
+        "collectives_32",
+        events=res.events,
+        wall_s=wall,
+        ranks=32,
+        virtual_time_s=round(res.time, 9),
+    )

@@ -124,6 +124,63 @@ def _cmd_scaling(args) -> str:
     return scaling_table(study) + "\n\n" + amdahl_summary(study)
 
 
+def _cmd_sweep(args) -> str:
+    import json
+
+    from repro.sweep import Lu2dPoint, lu2d_point, run_sweep
+    from repro.util.tables import render_table
+
+    configs = []
+    for spec in args.grids.split(","):
+        try:
+            prows, pcols = (int(x) for x in spec.lower().split("x"))
+        except ValueError:
+            raise ReproError(
+                f"bad grid {spec!r}: expected PRxPC, e.g. 8x16"
+            ) from None
+        configs.append(
+            Lu2dPoint(
+                prows=prows,
+                pcols=pcols,
+                n=args.order,
+                nb=args.nb,
+                machine=args.machine,
+                overlap=args.overlap,
+            )
+        )
+    results = run_sweep(configs, lu2d_point, workers=args.workers, seed=args.seed)
+    rows = [
+        [
+            f"{c.prows}x{c.pcols}",
+            r["ranks"],
+            r["virtual_time_s"],
+            r["messages"],
+            r["events"],
+            r["wall_s"],
+            r["events_per_sec"],
+        ]
+        for c, r in zip(configs, results)
+    ]
+    table = render_table(
+        ["Grid", "Ranks", "Virtual (s)", "Messages", "Events", "Wall (s)", "Events/s"],
+        rows,
+        title=f"lu2d sweep: n={args.order}, nb={args.nb}, machine={args.machine}",
+        float_fmt=",.4f",
+    )
+    if not all(r["exact"] for r in results):
+        raise ReproError("sweep point diverged from the serial factorisation")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(
+                {f"{c.prows}x{c.pcols}": r for c, r in zip(configs, results)},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        table += f"\n\nwrote {args.json}"
+    return table
+
+
 def _cmd_goals(args) -> str:
     from repro.program.goals import render
 
@@ -320,6 +377,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list available workloads"
     )
     profile.set_defaults(func=_cmd_profile)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan an lu2d sweep over worker processes (deterministic)",
+    )
+    sweep.add_argument(
+        "--grids", default="4x4,8x8,8x16",
+        help="comma-separated process grids, e.g. 4x4,8x16,16x32",
+    )
+    sweep.add_argument(
+        "--order", type=int, default=96, help="matrix order per point"
+    )
+    sweep.add_argument("--nb", type=int, default=2, help="block size")
+    sweep.add_argument("--machine", default="delta")
+    sweep.add_argument(
+        "--overlap", action="store_true",
+        help="use the non-blocking broadcast variant",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="process count (default: all cores); results do not depend on it",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--json", metavar="PATH", help="also write results as JSON to PATH"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     sub.add_parser("challenges", help="Grand Challenge registry").set_defaults(
         func=_cmd_challenges

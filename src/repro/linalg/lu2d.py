@@ -24,7 +24,8 @@ from typing import Generator
 
 import numpy as np
 
-from repro.linalg.decomp import ProcessGrid2D, block_cyclic_indices, block_cyclic_owner
+from repro.linalg.decomp import ProcessGrid2D, block_cyclic_indices
+from repro.simmpi import collectives as _coll
 from repro.simmpi.engine import Engine, SimResult
 from repro.util.errors import DecompositionError
 
@@ -75,43 +76,90 @@ def lu2d_program(
     row_pos = {int(g): i for i, g in enumerate(rows_mine)}
     col_pos = {int(g): j for j, g in enumerate(cols_mine)}
 
+    n_rows = len(rows_mine)
+    # Per-step lookups, precomputed for the whole factorisation.
+    # Owners follow the block-cyclic formula (k // nb) % p (what
+    # block_cyclic_owner computes, vectorised); rows_mine/cols_mine are
+    # sorted, so "global index > k" is a suffix and searchsorted gives
+    # its start -- plain slices (views) then replace boolean fancy
+    # indexing, bit-identical values at a fraction of the cost.
+    steps = np.arange(n)
+    owner_c_of = ((steps // nb) % pc).tolist()
+    owner_r_of = ((steps // nb) % pr).tolist()
+    row_start = np.searchsorted(rows_mine, steps, side="right").tolist()
+    col_start = np.searchsorted(cols_mine, steps, side="right").tolist()
+
+    # Phase labels are pure tracing metadata; guarded push/pop (the
+    # collectives' own idiom) keeps the untraced hot loop free of
+    # context-manager overhead.  The only raise below pops explicitly.
+    tracing = comm._tracing
+    phases = comm._phases
+    # Untraced runs bind the broadcast algorithm once and call it
+    # directly: roots are valid by construction, so the dispatcher's
+    # per-call validation and tracing branch are pure overhead on the
+    # innermost communication of the factorisation.  Traced runs go
+    # through comm.bcast unchanged to keep the "bcast" span labels.
+    bcast_impl = _coll._BCAST_ALGORITHMS[algo]
+    tree_impl = _coll._BCAST_ALGORITHMS["tree"]
+
     for k in range(n - 1):
-        owner_c = block_cyclic_owner(k, pc, nb)  # grid column holding col k
-        owner_r = block_cyclic_owner(k, pr, nb)  # grid row holding row k
+        owner_c = owner_c_of[k]  # grid column holding col k
+        owner_r = owner_r_of[k]  # grid row holding row k
+        i0 = row_start[k]
+        j0 = col_start[k]
 
         # --- multipliers: computed in grid column owner_c, sent across rows.
-        below = rows_mine > k
         if my_c == owner_c:
-            with comm.phase("panel"):
-                lk = col_pos[k]
-                akk = local[row_pos[k], lk] if k in row_pos else None
+            if tracing:
+                phases.append("panel")
+            lk = col_pos[k]
+            akk = local[row_pos[k], lk] if k in row_pos else None
+            if tracing:
                 akk = yield from col_comm.bcast(akk, root=owner_r)
-                if akk == 0.0:
-                    raise DecompositionError(
-                        f"zero diagonal at step {k}: needs pivoting"
-                    )
-                local[below, lk] /= akk
-                yield from comm.compute(flops=float(below.sum()))
-                mult_packet = local[below, lk].copy()
+            else:
+                akk = yield from tree_impl(col_comm, akk, owner_r)
+            if akk == 0.0:
+                if tracing:
+                    phases.pop()
+                raise DecompositionError(
+                    f"zero diagonal at step {k}: needs pivoting"
+                )
+            local[i0:, lk] /= akk
+            yield comm._fill_compute(float(n_rows - i0))
+            mult_packet = local[i0:, lk].copy()
+            if tracing:
+                phases.pop()
         else:
             mult_packet = None
-        with comm.phase("mult-bcast"):
+        if tracing:
+            phases.append("mult-bcast")
             multipliers = yield from row_comm.bcast(mult_packet, root=owner_c, algorithm=algo)
+            phases.pop()
+        else:
+            multipliers = yield from bcast_impl(row_comm, mult_packet, owner_c)
 
         # --- pivot-row segment: from grid row owner_r, sent down columns.
-        right = cols_mine > k
         if my_r == owner_r:
-            urow_packet = local[row_pos[k], right].copy()
+            urow_packet = local[row_pos[k], j0:].copy()
         else:
             urow_packet = None
-        with comm.phase("urow-bcast"):
+        if tracing:
+            phases.append("urow-bcast")
             urow = yield from col_comm.bcast(urow_packet, root=owner_r, algorithm=algo)
+            phases.pop()
+        else:
+            urow = yield from bcast_impl(col_comm, urow_packet, owner_r)
 
         # --- trailing update on the local intersection.
         if multipliers.size and urow.size:
-            local[np.ix_(below, right)] -= np.outer(multipliers, urow)
-            with comm.phase("update"):
-                yield from comm.compute(flops=2.0 * multipliers.size * urow.size)
+            # Broadcast product == np.outer for 1-D operands (same
+            # ufunc, same element pairing) minus the wrapper's ravels.
+            local[i0:, j0:] -= multipliers[:, None] * urow
+            if tracing:
+                phases.append("update")
+            yield comm._fill_compute(2.0 * multipliers.size * urow.size)
+            if tracing:
+                phases.pop()
 
     return (rows_mine, cols_mine, local)
 

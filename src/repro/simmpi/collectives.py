@@ -52,34 +52,47 @@ def _ceil_pow2(p: int) -> int:
     return n
 
 
+def _phased(comm, label: str, gen: Generator) -> Generator:
+    """Drive ``gen`` with ``label`` pushed on the comm's phase stack.
+
+    Only interposed when tracing: the entry points below are plain
+    dispatchers that return the algorithm generator *directly* on the
+    untraced hot path, so an untraced collective pays no wrapper frame
+    per resume (collectives dominate resume counts in the throughput
+    benchmarks).
+    """
+    comm._phases.append(label)
+    try:
+        return (yield from gen)
+    finally:
+        comm._phases.pop()
+
+
 # ---------------------------------------------------------------------------
 # barrier
 # ---------------------------------------------------------------------------
 
 def barrier(comm) -> Generator:
     """Dissemination barrier: ceil(log2 p) rounds of shifted tokens."""
+    gen = _barrier_dissemination(comm)
+    if comm._tracing:
+        return _phased(comm, "barrier", gen)
+    return gen
+
+
+def _barrier_dissemination(comm) -> Generator:
     p = comm.size
     if p == 1:
         return
     tag0 = _block_tag(comm)
-    # Collectives run on the untraced hot path, so phase labelling is a
-    # guarded push/pop rather than a context manager (here and below):
-    # untraced runs pay one flag check, not a scope object per call.
-    if comm._tracing:
-        comm._phases.append("barrier")
-    try:
-        k = 0
-        dist = 1
-        while dist < p:
-            dest = (comm.rank + dist) % p
-            source = (comm.rank - dist) % p
-            yield from comm.send(None, dest, tag=tag0 - k)
-            yield from comm.recv(source=source, tag=tag0 - k)
-            dist <<= 1
-            k += 1
-    finally:
-        if comm._tracing:
-            comm._phases.pop()
+    rank = comm.rank
+    k = 0
+    dist = 1
+    while dist < p:
+        yield comm._fill_send(None, (rank + dist) % p, tag0 - k)
+        yield comm._fill_recv((rank - dist) % p, tag0 - k)
+        dist <<= 1
+        k += 1
 
 
 # ---------------------------------------------------------------------------
@@ -90,21 +103,14 @@ def bcast(comm, value: Any, root: int = 0, algorithm: str = "tree") -> Generator
     """Broadcast from ``root``; all ranks return the value."""
     if not 0 <= root < comm.size:
         raise CommunicationError(f"bcast root {root} out of range")
-    if comm._tracing:
-        comm._phases.append("bcast")
     try:
-        if algorithm == "tree":
-            return (yield from _bcast_binomial(comm, value, root))
-        if algorithm == "tree_nb":
-            return (yield from _bcast_binomial_nb(comm, value, root))
-        if algorithm == "ring":
-            return (yield from _bcast_ring(comm, value, root))
-        if algorithm == "flat":
-            return (yield from _bcast_flat(comm, value, root))
-    finally:
-        if comm._tracing:
-            comm._phases.pop()
-    raise CommunicationError(f"unknown bcast algorithm {algorithm!r}")
+        impl = _BCAST_ALGORITHMS[algorithm]
+    except KeyError:
+        raise CommunicationError(f"unknown bcast algorithm {algorithm!r}") from None
+    gen = impl(comm, value, root)
+    if comm._tracing:
+        return _phased(comm, "bcast", gen)
+    return gen
 
 
 def _bcast_binomial(comm, value: Any, root: int) -> Generator:
@@ -114,14 +120,20 @@ def _bcast_binomial(comm, value: Any, root: int) -> Generator:
         return value
     tag = _block_tag(comm)
     vr = (comm.rank - root) % p
-    mask = 1
+    fill_send = comm._fill_send
+    fill_recv = comm._fill_recv
+    # A non-root rank neither sends nor receives until mask reaches its
+    # top bit (vr < mask and mask <= vr < 2*mask are both false below
+    # it), so start the sweep there -- identical yields, fewer dead
+    # loop iterations.
+    mask = 1 if vr == 0 else 1 << (vr.bit_length() - 1)
     while mask < p:
         if vr < mask:
             partner = vr + mask
             if partner < p:
-                yield from comm.send(value, (partner + root) % p, tag=tag)
+                yield fill_send(value, (partner + root) % p, tag)
         elif vr < 2 * mask:
-            msg = yield from comm.recv(source=(vr - mask + root) % p, tag=tag)
+            msg = yield fill_recv((vr - mask + root) % p, tag)
             value = msg.payload
         mask <<= 1
     return value
@@ -147,13 +159,14 @@ def _bcast_binomial_nb(comm, value: Any, root: int) -> Generator:
         if vr < mask:
             partner = vr + mask
             if partner < p:
-                h = yield from comm.isend(value, (partner + root) % p, tag=tag)
+                h = yield comm._fill_isend(value, (partner + root) % p, tag)
                 handles.append(h)
         elif vr < 2 * mask:
-            msg = yield from comm.recv(source=(vr - mask + root) % p, tag=tag)
+            msg = yield comm._fill_recv((vr - mask + root) % p, tag)
             value = msg.payload
         mask <<= 1
-    yield from comm.waitall(handles)
+    for h in handles:
+        yield comm._fill_wait(h)
     return value
 
 
@@ -187,6 +200,15 @@ def _bcast_flat(comm, value: Any, root: int) -> Generator:
     return msg.payload
 
 
+#: Name -> implementation for :func:`bcast` dispatch.
+_BCAST_ALGORITHMS = {
+    "tree": _bcast_binomial,
+    "tree_nb": _bcast_binomial_nb,
+    "ring": _bcast_ring,
+    "flat": _bcast_flat,
+}
+
+
 # ---------------------------------------------------------------------------
 # reduce / allreduce
 # ---------------------------------------------------------------------------
@@ -199,30 +221,30 @@ def reduce(comm, value: Any, op: Union[str, Callable] = "sum", root: int = 0) ->
     """
     if not 0 <= root < comm.size:
         raise CommunicationError(f"reduce root {root} out of range")
-    combiner = resolve_op(op)
+    gen = _reduce_binomial(comm, value, resolve_op(op), root)
+    if comm._tracing:
+        return _phased(comm, "reduce", gen)
+    return gen
+
+
+def _reduce_binomial(comm, value: Any, combiner: Callable, root: int) -> Generator:
     p = comm.size
     if p == 1:
         return value
     tag = _block_tag(comm)
-    if comm._tracing:
-        comm._phases.append("reduce")
-    try:
-        vr = (comm.rank - root) % p
-        acc = value
-        mask = 1
-        while mask < p:
-            if vr & mask:
-                yield from comm.send(acc, ((vr - mask) + root) % p, tag=tag)
-                return None
-            partner = vr + mask
-            if partner < p:
-                msg = yield from comm.recv(source=(partner + root) % p, tag=tag)
-                acc = combiner(acc, msg.payload)
-            mask <<= 1
-        return acc if comm.rank == root else None
-    finally:
-        if comm._tracing:
-            comm._phases.pop()
+    vr = (comm.rank - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            yield comm._fill_send(acc, ((vr - mask) + root) % p, tag)
+            return None
+        partner = vr + mask
+        if partner < p:
+            msg = yield comm._fill_recv((partner + root) % p, tag)
+            acc = combiner(acc, msg.payload)
+        mask <<= 1
+    return acc if comm.rank == root else None
 
 
 def allreduce(
@@ -232,18 +254,20 @@ def allreduce(
     algorithm: str = "reduce_bcast",
 ) -> Generator:
     """All ranks obtain the reduction of everyone's value."""
+    if algorithm == "reduce_bcast":
+        gen = _allreduce_reduce_bcast(comm, value, op)
+    elif algorithm == "recursive_doubling":
+        gen = _allreduce_recursive_doubling(comm, value, op)
+    else:
+        raise CommunicationError(f"unknown allreduce algorithm {algorithm!r}")
     if comm._tracing:
-        comm._phases.append("allreduce")
-    try:
-        if algorithm == "reduce_bcast":
-            partial = yield from reduce(comm, value, op, root=0)
-            return (yield from bcast(comm, partial, root=0))
-        if algorithm == "recursive_doubling":
-            return (yield from _allreduce_recursive_doubling(comm, value, op))
-    finally:
-        if comm._tracing:
-            comm._phases.pop()
-    raise CommunicationError(f"unknown allreduce algorithm {algorithm!r}")
+        return _phased(comm, "allreduce", gen)
+    return gen
+
+
+def _allreduce_reduce_bcast(comm, value: Any, op) -> Generator:
+    partial = yield from reduce(comm, value, op, root=0)
+    return (yield from bcast(comm, partial, root=0))
 
 
 def _allreduce_recursive_doubling(comm, value: Any, op) -> Generator:
@@ -299,17 +323,15 @@ def gather(comm, value: Any, root: int = 0, algorithm: str = "tree") -> Generato
     """Collect one value per rank onto ``root`` (rank-ordered list)."""
     if not 0 <= root < comm.size:
         raise CommunicationError(f"gather root {root} out of range")
+    if algorithm == "tree":
+        gen = _gather_binomial(comm, value, root)
+    elif algorithm == "flat":
+        gen = _gather_flat(comm, value, root)
+    else:
+        raise CommunicationError(f"unknown gather algorithm {algorithm!r}")
     if comm._tracing:
-        comm._phases.append("gather")
-    try:
-        if algorithm == "tree":
-            return (yield from _gather_binomial(comm, value, root))
-        if algorithm == "flat":
-            return (yield from _gather_flat(comm, value, root))
-    finally:
-        if comm._tracing:
-            comm._phases.pop()
-    raise CommunicationError(f"unknown gather algorithm {algorithm!r}")
+        return _phased(comm, "gather", gen)
+    return gen
 
 
 def _gather_binomial(comm, value: Any, root: int) -> Generator:
@@ -350,20 +372,16 @@ def _gather_flat(comm, value: Any, root: int) -> Generator:
 
 def allgather(comm, value: Any, algorithm: str = "ring") -> Generator:
     """Every rank ends with the rank-ordered list of all values."""
-    p = comm.size
-    if p == 1:
-        return [value]
+    gen = _allgather_impl(comm, value, algorithm)
     if comm._tracing:
-        comm._phases.append("allgather")
-    try:
-        return (yield from _allgather_impl(comm, value, algorithm))
-    finally:
-        if comm._tracing:
-            comm._phases.pop()
+        return _phased(comm, "allgather", gen)
+    return gen
 
 
 def _allgather_impl(comm, value: Any, algorithm: str) -> Generator:
     p = comm.size
+    if p == 1:
+        return [value]
     if algorithm == "ring":
         tag0 = _block_tag(comm)
         out: list = [None] * p
@@ -414,17 +432,15 @@ def scatter(
                 f"scatter root needs exactly {p} values, got "
                 f"{None if values is None else len(values)}"
             )
+    if algorithm == "tree":
+        gen = _scatter_binomial(comm, values, root)
+    elif algorithm == "flat":
+        gen = _scatter_flat(comm, values, root)
+    else:
+        raise CommunicationError(f"unknown scatter algorithm {algorithm!r}")
     if comm._tracing:
-        comm._phases.append("scatter")
-    try:
-        if algorithm == "tree":
-            return (yield from _scatter_binomial(comm, values, root))
-        if algorithm == "flat":
-            return (yield from _scatter_flat(comm, values, root))
-    finally:
-        if comm._tracing:
-            comm._phases.pop()
-    raise CommunicationError(f"unknown scatter algorithm {algorithm!r}")
+        return _phased(comm, "scatter", gen)
+    return gen
 
 
 def _scatter_binomial(comm, values, root: int) -> Generator:

@@ -28,6 +28,7 @@ from repro.simmpi import collectives as _coll
 from repro.simmpi.requests import (
     ANY_SOURCE,
     ANY_TAG,
+    COLLECTIVE_TAG_BASE,
     ComputeReq,
     IrecvReq,
     IsendReq,
@@ -35,6 +36,7 @@ from repro.simmpi.requests import (
     SendReq,
     WaitanyReq,
     WaitReq,
+    validate_compute,
 )
 from repro.util.errors import CommunicationError
 
@@ -72,7 +74,21 @@ class _PhaseScope:
 
 
 class Comm:
-    """Communicator bound to one rank of a simulated machine."""
+    """Communicator bound to one rank of a simulated machine.
+
+    The primitive operations reuse one *scratch request* per request
+    type instead of allocating a fresh object per call: the engine
+    always consumes a request's fields before the yielding generator
+    resumes, so by the time the next operation refills the scratch the
+    previous use is complete.  Request allocation was the single
+    largest per-event cost in the engine's hot loop.
+    """
+
+    __slots__ = (
+        "rank", "size", "machine", "rng", "_coll_seq", "_phases", "_tracing",
+        "_send_req", "_isend_req", "_recv_req", "_irecv_req",
+        "_wait_req", "_compute_req",
+    )
 
     def __init__(self, rank: int, size: int, machine, rng: np.random.Generator):
         self.rank = rank
@@ -89,6 +105,13 @@ class Comm:
         # untraced runs get the shared no-op scope.
         self._phases: list = []
         self._tracing = False
+        # Per-rank scratch requests (see class docstring).
+        self._send_req = SendReq()
+        self._isend_req = IsendReq()
+        self._recv_req = RecvReq()
+        self._irecv_req = IrecvReq()
+        self._wait_req = WaitReq(0)
+        self._compute_req = ComputeReq(seconds=0.0)
 
     # -- phase labelling ------------------------------------------------------
 
@@ -128,10 +151,7 @@ class Comm:
         counters stay aligned and every rank derives the same block.
         """
         self._coll_seq += 1
-        from repro.simmpi.collectives import _TAG_STRIDE
-        from repro.simmpi.requests import COLLECTIVE_TAG_BASE
-
-        return COLLECTIVE_TAG_BASE - self._coll_seq * _TAG_STRIDE
+        return COLLECTIVE_TAG_BASE - self._coll_seq * _coll._TAG_STRIDE
 
     def group(self, members: Sequence[int]) -> "GroupComm":
         """A sub-communicator over ``members`` (global ranks).
@@ -143,6 +163,51 @@ class Comm:
         from repro.simmpi.group import GroupComm
 
         return GroupComm(self, members)
+
+    # -- collective-internal scratch access -----------------------------------
+    #
+    # The collective library yields these pre-filled scratch requests
+    # *directly* instead of delegating through send()/recv() generators:
+    # one less generator frame per resume, and no result translation
+    # when only the payload is consumed.  Coordinates are already wire
+    # coordinates (the GroupComm overrides translate), and nbytes is
+    # reset because the scratch may hold a stale user override.
+
+    def _fill_send(self, payload: Any, dest: int, tag: int) -> SendReq:
+        req = self._send_req
+        req.dest = dest
+        req.payload = payload
+        req.tag = tag
+        req.nbytes = None
+        return req
+
+    def _fill_isend(self, payload: Any, dest: int, tag: int) -> IsendReq:
+        req = self._isend_req
+        req.dest = dest
+        req.payload = payload
+        req.tag = tag
+        req.nbytes = None
+        return req
+
+    def _fill_recv(self, source: int, tag: int) -> RecvReq:
+        req = self._recv_req
+        req.source = source
+        req.tag = tag
+        return req
+
+    def _fill_wait(self, handle: int) -> WaitReq:
+        req = self._wait_req
+        req.handle = handle
+        return req
+
+    def _fill_compute(self, flops: float) -> ComputeReq:
+        """Scratch flops-charge for internal hot loops; callers own the
+        validation :meth:`compute` would do (``flops >= 0``)."""
+        req = self._compute_req
+        req.flops = flops
+        req.seconds = None
+        req.efficiency = None
+        return req
 
     # -- primitive operations -------------------------------------------------
 
@@ -158,7 +223,13 @@ class Comm:
             raise CommunicationError(
                 f"send dest {dest} out of range for size {self.size}"
             )
-        yield SendReq(dest=dest, payload=payload, tag=tag, nbytes=nbytes)
+        req = self._send_req
+        req.dest = dest
+        req.payload = payload
+        req.tag = tag
+        req.nbytes = nbytes
+        yield req
+        req.payload = None  # do not pin the buffer past the send
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Blocking receive; returns the :class:`Message`."""
@@ -166,7 +237,10 @@ class Comm:
             raise CommunicationError(
                 f"recv source {source} out of range for size {self.size}"
             )
-        msg = yield RecvReq(source=source, tag=tag)
+        req = self._recv_req
+        req.source = source
+        req.tag = tag
+        msg = yield req
         return msg
 
     def isend(
@@ -193,7 +267,13 @@ class Comm:
             raise CommunicationError(
                 f"isend dest {dest} out of range for size {self.size}"
             )
-        handle = yield IsendReq(dest=dest, payload=payload, tag=tag, nbytes=nbytes)
+        req = self._isend_req
+        req.dest = dest
+        req.payload = payload
+        req.tag = tag
+        req.nbytes = nbytes
+        handle = yield req
+        req.payload = None  # do not pin the buffer past the post
         return handle
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
@@ -210,7 +290,10 @@ class Comm:
             raise CommunicationError(
                 f"irecv source {source} out of range for size {self.size}"
             )
-        handle = yield IrecvReq(source=source, tag=tag)
+        req = self._irecv_req
+        req.source = source
+        req.tag = tag
+        handle = yield req
         return handle
 
     def wait(self, handle: int) -> Generator:
@@ -219,15 +302,19 @@ class Comm:
         Returns the :class:`Message` for a receive handle, ``None`` for
         a send handle.
         """
-        msg = yield WaitReq(handle=handle)
+        req = self._wait_req
+        req.handle = handle
+        msg = yield req
         return msg
 
     def waitall(self, handles) -> Generator:
         """Complete several outstanding requests; returns their results
         (messages for receives, ``None`` for sends) in handle order."""
         out = []
+        req = self._wait_req
         for handle in handles:
-            msg = yield WaitReq(handle=handle)
+            req.handle = handle
+            msg = yield req
             out.append(msg)
         return out
 
@@ -264,7 +351,12 @@ class Comm:
         efficiency: Optional[float] = None,
     ) -> Generator:
         """Charge local work to the rank's virtual clock."""
-        yield ComputeReq(flops=flops, seconds=seconds, efficiency=efficiency)
+        validate_compute(flops, seconds)
+        req = self._compute_req
+        req.flops = flops
+        req.seconds = seconds
+        req.efficiency = efficiency
+        yield req
 
     # -- collectives (delegated to repro.simmpi.collectives) -----------------
 

@@ -43,6 +43,12 @@ class DeliveryModel(ABC):
     A model is bound to a machine and rank placement at the start of
     every run via :meth:`bind`, which also resets any per-run state
     (link occupancy, caches), so one instance can serve repeated runs.
+
+    Per-pair memo dicts are keyed by the interned integer
+    ``src_rank * n_ranks + dst_rank`` (see :meth:`pair_key`) rather
+    than a ``(src, dst)`` tuple: the engine consults them once per
+    message, and integer hashing avoids allocating a key tuple per
+    lookup on the hot path.
     """
 
     #: Registry name; also used in reports.
@@ -51,7 +57,28 @@ class DeliveryModel(ABC):
     def bind(self, machine: Machine, rank_map: Sequence[int]) -> None:
         self.machine = machine
         self.rank_map = list(rank_map)
+        self._n_ranks = len(self.rank_map)
         self.reset()
+
+    def pair_key(self, src_rank: int, dst_rank: int) -> int:
+        """Interned (src, dst) key for per-pair memos (valid after bind)."""
+        return src_rank * self._n_ranks + dst_rank
+
+    def fresh(self) -> "DeliveryModel":
+        """A model instance safe to bind to a new concurrent run.
+
+        The engine calls this once per :meth:`Engine.run` so that two
+        interleaved runs of one :class:`Engine` never share mutable
+        per-run state (link occupancy timelines, memos).  The default
+        re-instantiates the class when it takes no constructor
+        arguments; stateful models with required arguments should
+        override this, and fall back to sharing ``self`` otherwise
+        (the pre-existing behaviour).
+        """
+        try:
+            return type(self)()
+        except TypeError:
+            return self
 
     def reset(self) -> None:
         """Clear per-run mutable state (called by :meth:`bind`)."""
@@ -67,16 +94,27 @@ class DeliveryModel(ABC):
 
 
 class AlphaBetaDelivery(DeliveryModel):
-    """Independent per-message alpha-beta charging (the seed model)."""
+    """Independent per-message alpha-beta charging (the seed model).
+
+    Per pair the fixed part of the Hockney cost
+    (``alpha + hops * tau``) is memoised, so a repeat transfer costs
+    one dict probe, one add and one divide -- float-identical to
+    calling :meth:`LinkModel.message_time` because the memo preserves
+    its evaluation order.
+    """
 
     name = "alphabeta"
 
     def reset(self) -> None:
         # Hop counts between mapped ranks are looked up constantly; memoise.
-        self._hops: Dict[Tuple[int, int], int] = {}
+        self._hops: Dict[int, int] = {}
+        # pair key -> alpha + hops * tau (0.0 for the 0-hop self-send,
+        # which LinkModel charges as a pure memcpy with no startup).
+        self._fixed: Dict[int, float] = {}
+        self._bw = self.machine.link.bandwidth_bytes_per_s
 
     def hops(self, src_rank: int, dst_rank: int) -> int:
-        key = (src_rank, dst_rank)
+        key = src_rank * self._n_ranks + dst_rank
         cached = self._hops.get(key)
         if cached is None:
             cached = self.machine.topology.hops(
@@ -86,9 +124,14 @@ class AlphaBetaDelivery(DeliveryModel):
         return cached
 
     def arrival(self, src_rank: int, dst_rank: int, nbytes: float, start: float) -> float:
-        return start + self.machine.link.message_time(
-            nbytes, self.hops(src_rank, dst_rank)
-        )
+        key = src_rank * self._n_ranks + dst_rank
+        fixed = self._fixed.get(key)
+        if fixed is None:
+            link = self.machine.link
+            hops = self.hops(src_rank, dst_rank)
+            fixed = 0.0 if hops == 0 else link.latency_s + hops * link.per_hop_s
+            self._fixed[key] = fixed
+        return start + (fixed + nbytes / self._bw)
 
 
 class ContentionAwareDelivery(DeliveryModel):
@@ -108,10 +151,10 @@ class ContentionAwareDelivery(DeliveryModel):
     def reset(self) -> None:
         #: (low, high) link -> virtual time the link becomes free.
         self._free: Dict[Tuple[int, int], float] = {}
-        self._routes: Dict[Tuple[int, int], List[tuple]] = {}
+        self._routes: Dict[int, List[tuple]] = {}
 
     def _links(self, src_rank: int, dst_rank: int) -> List[tuple]:
-        key = (src_rank, dst_rank)
+        key = src_rank * self._n_ranks + dst_rank
         cached = self._routes.get(key)
         if cached is None:
             cached = path_links(

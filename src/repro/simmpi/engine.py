@@ -40,17 +40,35 @@ The engine itself is a thin event loop over three swappable layers:
 Numerics are real: payloads are actual NumPy arrays and the algorithms
 running on the engine produce bit-identical results to their serial
 references -- virtual time is accounted on the side.
+
+**Run-until-block fast path.**  Most requests resume the same rank at
+its current virtual time (a compute burst, an eager send, an irecv
+post), so round-tripping each one through the global event heap is
+pure overhead.  When a handler's only scheduling action is to resume
+the *active* rank, the event is buffered instead of pushed, and the
+inner loop keeps driving that rank's generator directly -- but only
+while the buffered event would also have been the next heap pop
+(strictly earlier than the heap head; on a tie the heap entry's older
+sequence number wins, exactly as before).  Events that wake another
+rank, and any event that loses that race, go through the heap
+unchanged, so the processed event order -- and therefore makespans,
+statistics, and traced spans -- is bit-identical with the fast path on
+or off (``Engine(fast_path=False)`` forces every event through the
+heap; the equivalence is asserted in tests).
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
+
+import numpy as np
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.machine.machine import Machine
 from repro.simmpi.comm import Comm
-from repro.simmpi.delivery import DeliveryModel, resolve_delivery
+from repro.simmpi.delivery import AlphaBetaDelivery, DeliveryModel, resolve_delivery
 from repro.simmpi.protocol import EagerProtocol, Protocol, RendezvousProtocol
 from repro.simmpi.requests import (
     ComputeReq,
@@ -62,6 +80,8 @@ from repro.simmpi.requests import (
     SendReq,
     WaitanyReq,
     WaitReq,
+    copy_payload,
+    payload_nbytes,
 )
 from repro.simmpi.state import RankState, ReceiveSlot, SendHandle
 from repro.simmpi.trace import (
@@ -97,6 +117,9 @@ class SimResult:
     tracer: Tracer = field(default_factory=Tracer)
     #: Ranks killed by fault injection (empty in normal runs).
     failed_ranks: List[int] = field(default_factory=list)
+    #: Requests processed by the engine (the denominator of events/sec
+    #: in the throughput benchmarks).
+    events: int = 0
 
     @property
     def n_ranks(self) -> int:
@@ -163,7 +186,14 @@ class Engine:
         Wire-time model: ``"alphabeta"`` (independent per-message
         charging, the default), ``"contention"`` (transfers serialise
         on shared-link occupancy along routed paths), or any
-        :class:`~repro.simmpi.delivery.DeliveryModel` instance.
+        :class:`~repro.simmpi.delivery.DeliveryModel` instance.  Each
+        ``run()`` binds a fresh per-run model (via
+        :meth:`DeliveryModel.fresh`) so interleaved runs on one engine
+        never share contention state.
+    fast_path:
+        Enable the run-until-block inner loop (default on).  Purely a
+        scheduling shortcut -- results are bit-identical either way;
+        the flag exists for A/B equivalence tests and debugging.
     """
 
     def __init__(
@@ -178,6 +208,7 @@ class Engine:
         fail_at: Optional[Dict[int, float]] = None,
         eager_threshold_bytes: float = float("inf"),
         delivery: Union[str, DeliveryModel] = "alphabeta",
+        fast_path: bool = True,
     ):
         self.machine = machine
         self.n_ranks = machine.n_nodes if n_ranks is None else n_ranks
@@ -206,6 +237,7 @@ class Engine:
             )
         self.eager_threshold_bytes = eager_threshold_bytes
         self.delivery = resolve_delivery(delivery)
+        self.fast_path = fast_path
         self.fail_at = dict(fail_at) if fail_at else {}
         for rank, when in self.fail_at.items():
             if not 0 <= rank < self.n_ranks:
@@ -234,12 +266,32 @@ class _Run:
     """One execution: the event loop plus the context protocols and
     delivery models operate through."""
 
+    __slots__ = (
+        "engine", "machine", "tracer", "delivery", "eager", "rendezvous",
+        "protocols", "ranks", "_n", "_eager_max", "_last_arrival",
+        "_overhead", "seq", "_heap", "_active", "_fast", "_fast_enabled",
+        "comms", "_ab_hops", "_ab", "_tracing", "_flops_denom",
+    )
+
     def __init__(self, engine: Engine):
         self.engine = engine
         self.machine = engine.machine
         self.tracer = Tracer(enabled=engine.trace)
-        self.delivery = engine.delivery
+        # Cached copies of per-run constants the hot handlers consult
+        # on every event (tracer.enabled never changes mid-run; the
+        # machine is homogeneous, so the default flops rate is fixed).
+        self._tracing = engine.trace
+        node = engine.machine.node
+        self._flops_denom = node.peak_flops * node.sustained_fraction
+        # A fresh (or self-declared reentrant) model per run: two
+        # interleaved run() calls on one Engine must not share link
+        # occupancy or memo state.
+        self.delivery = engine.delivery.fresh()
         self.delivery.bind(self.machine, engine.rank_map)
+        # Exact-type check so the inlined send path only specialises the
+        # stock alpha-beta model; subclasses with overridden arrival()
+        # take the generic virtual call.
+        self._ab = self.delivery if type(self.delivery) is AlphaBetaDelivery else None
         self.eager: Protocol = EagerProtocol()
         self.rendezvous: Protocol = RendezvousProtocol()
         #: Receive-post matching order: eager queue first, then parked
@@ -249,16 +301,30 @@ class _Run:
             RankState(rank=r, stats=RankStats(rank=r))
             for r in range(engine.n_ranks)
         ]
-        # FIFO clamp: latest arrival so far per (src, dst).
-        self._last_arrival: Dict[tuple, float] = {}
+        #: Interned pair keys: src * n_ranks + dst (no tuple per lookup).
+        self._n = engine.n_ranks
+        self._eager_max = engine.eager_threshold_bytes
+        # FIFO clamp: latest arrival so far per interned (src, dst) key.
+        self._last_arrival: Dict[int, float] = {}
+        # Sender-side injection overhead per pair key (the model's
+        # overhead() takes no time argument, so it is stationary per
+        # pair within a run and safe to memoise).
+        self._overhead: Dict[int, float] = {}
         self.seq = 0  # global tiebreaker / message post order
         self._heap: List[tuple] = []  # (time, seq, rank, resume_value)
+        # Run-until-block state: the rank whose generator the event
+        # loop is currently driving, and the buffered resume event for
+        # it (None, or the (time, seq, rank, value) tuple schedule()
+        # held back from the heap).
+        self._active = -1
+        self._fast: Optional[tuple] = None
+        self._fast_enabled = engine.fast_path
         #: Rank-side communicators (set in execute); consulted for the
         #: active phase label when recording spans.
         self.comms: List[Comm] = []
         # Hop-count memo for the uncontended alpha-beta reference used
         # to split wire time from contention stall (tracing only).
-        self._ab_hops: Dict[tuple, int] = {}
+        self._ab_hops: Dict[int, int] = {}
 
     # -- tracing helpers ----------------------------------------------------
 
@@ -272,7 +338,7 @@ class _Run:
         """Uncontended alpha-beta arrival time: the lower bound any
         delivery model degenerates to on an idle network.  Used when
         tracing to classify wire-time excess as contention stall."""
-        key = (src_rank, dst_rank)
+        key = src_rank * self._n + dst_rank
         hops = self._ab_hops.get(key)
         if hops is None:
             hops = self.machine.topology.hops(
@@ -286,25 +352,52 @@ class _Run:
     def arrival(self, src_rank: int, dst_rank: int, nbytes: float, start: float) -> float:
         """Delivery-model arrival with the per-pair FIFO clamp applied."""
         arrival = self.delivery.arrival(src_rank, dst_rank, nbytes, start)
-        key = (src_rank, dst_rank)
-        arrival = max(arrival, self._last_arrival.get(key, 0.0))
-        self._last_arrival[key] = arrival
+        key = src_rank * self._n + dst_rank
+        last = self._last_arrival
+        prev = last.get(key)
+        if prev is not None and prev > arrival:
+            arrival = prev
+        last[key] = arrival
         return arrival
 
+    def overhead(self, src_rank: int, dst_rank: int) -> float:
+        """Memoised sender-side injection cost for one pair."""
+        key = src_rank * self._n + dst_rank
+        memo = self._overhead
+        cost = memo.get(key)
+        if cost is None:
+            cost = memo[key] = self.delivery.overhead(src_rank, dst_rank)
+        return cost
+
     def schedule(self, time: float, rank: int, value: Any) -> None:
+        """Queue a resume event.  A resume of the *active* rank is
+        buffered for the run-until-block inner loop instead of pushed;
+        the loop pushes it after all if an older heap event must run
+        first (see ``execute``).  Sequence numbers are assigned
+        identically either way, so event order never changes."""
         self.seq += 1
-        heapq.heappush(self._heap, (time, self.seq, rank, value))
+        if rank == self._active and self._fast is None:
+            self._fast = (time, self.seq, rank, value)
+        else:
+            heapq.heappush(self._heap, (time, self.seq, rank, value))
 
     def post_message(self, msg: InFlight) -> None:
         """Bind an in-flight message to the earliest matching posted
         receive, or queue it."""
         dst = self.ranks[msg.dest]
-        for slot in dst.receive_slots():
-            if slot.msg is None and slot.matches(msg):
-                slot.msg = msg
-                if slot.waiting:
-                    self.complete_receive(dst, slot)
-                return
+        if dst.rslots:
+            source = msg.source
+            tag = msg.tag
+            for slot in dst.rslots.values():
+                if slot.msg is None:
+                    s = slot.source
+                    if s == -1 or s == source:
+                        t = slot.tag
+                        if t == -1 or t == tag:
+                            slot.msg = msg
+                            if slot.waiting:
+                                self.complete_receive(dst, slot)
+                            return
         dst.pending.append(msg)
 
     def complete_receive(self, state: RankState, slot: ReceiveSlot) -> None:
@@ -313,15 +406,30 @@ class _Run:
             self._complete_anywait(state, slot.handle_id)
             return
         msg = slot.msg
-        completion = max(slot.blocked_since, msg.arrival_time)
-        self._deliver(state, slot, completion)
+        blocked_since = slot.blocked_since
+        arrival = msg.arrival_time
+        completion = arrival if arrival > blocked_since else blocked_since
+        # Inlined _deliver (one call per received message): account,
+        # trace when enabled, drop the handle.
+        stats = state.stats
+        stats.comm_time += completion - blocked_since
+        stats.messages_received += 1
+        stats.bytes_received += msg.nbytes
+        if self._tracing:
+            self._trace_delivery(state, slot, completion)
+        hid = slot.handle_id
+        state.rslots.pop(hid, None)
+        state.handles.pop(hid)
         state.clock = completion
         state.blocked = False
-        self.schedule(
-            completion,
-            state.rank,
-            Message(msg.payload, msg.source, msg.tag, msg.arrival_time),
-        )
+        rank = state.rank
+        value = Message(msg.payload, msg.source, msg.tag, arrival)
+        seq = self.seq + 1
+        self.seq = seq
+        if rank == self._active and self._fast is None:
+            self._fast = (completion, seq, rank, value)
+        else:
+            heapq.heappush(self._heap, (completion, seq, rank, value))
 
     def complete_send(self, state: RankState, handle: SendHandle) -> None:
         """A waited-on isend handle finished (eager: instantly;
@@ -359,9 +467,16 @@ class _Run:
         state.stats.comm_time += completion - slot.blocked_since
         state.stats.messages_received += 1
         state.stats.bytes_received += msg.nbytes
-        if self.tracer.enabled and completion > slot.blocked_since:
-            # The wire edge is binding only when the arrival (not our
-            # own blocking point) determined the completion time.
+        if self.tracer.enabled:
+            self._trace_delivery(state, slot, completion)
+        state.pop_handle(slot.handle_id)
+
+    def _trace_delivery(self, state: RankState, slot: ReceiveSlot, completion: float) -> None:
+        """Record the recv-wait span and message record (tracing only)."""
+        msg = slot.msg
+        if completion > slot.blocked_since:
+            # The wire edge is binding only when the arrival (not
+            # our own blocking point) determined the completion.
             cause = msg.wire if msg.arrival_time > slot.blocked_since else None
             self.tracer.span(
                 state.rank,
@@ -374,7 +489,6 @@ class _Run:
                 nbytes=msg.nbytes,
                 cause=cause,
             )
-        state.pop_handle(slot.handle_id)
         self.tracer.record(
             MessageRecord(
                 source=msg.source,
@@ -426,11 +540,16 @@ class _Run:
     def post_receive(self, state: RankState, source: int, tag: int) -> ReceiveSlot:
         """Post a receive; bind a queued eager message or wake a parked
         rendezvous sender."""
-        slot = ReceiveSlot(handle_id=state.new_handle_id(), source=source, tag=tag)
-        for protocol in self.protocols:
-            if protocol.match_posted_receive(self, state, slot):
-                break
-        state.add_handle(slot)
+        hid = state._next_handle
+        state._next_handle = hid + 1
+        slot = ReceiveSlot(hid, source, tag)
+        # Fast exit: nothing queued at this rank, nothing to match.
+        if state.pending or state.parked:
+            for protocol in self.protocols:
+                if protocol.match_posted_receive(self, state, slot):
+                    break
+        state.handles[hid] = slot
+        state.rslots[hid] = slot
         return slot
 
     # -- request handlers ----------------------------------------------------
@@ -438,47 +557,268 @@ class _Run:
     def _handle_compute(self, state: RankState, request: ComputeReq) -> None:
         if request.seconds is not None:
             dt = request.seconds
+        elif request.efficiency is None:
+            # flops / (peak * sustained), denominator precomputed: the
+            # same expression compute_time evaluates, minus two calls.
+            flops = request.flops
+            if flops < 0:
+                self.machine.compute_time(flops)  # raises the usual error
+            dt = flops / self._flops_denom
         else:
             dt = self.machine.compute_time(request.flops, request.efficiency)
         t0 = state.clock
-        state.clock += dt
+        clock = t0 + dt
+        state.clock = clock
         state.stats.compute_time += dt
-        if self.tracer.enabled and dt > 0:
-            self.tracer.span(state.rank, COMPUTE, t0, state.clock, name=self.phase(state.rank))
-        self.schedule(state.clock, state.rank, None)
+        if self._tracing and dt > 0:
+            self.tracer.span(state.rank, COMPUTE, t0, clock, name=self.phase(state.rank))
+        rank = state.rank
+        seq = self.seq + 1
+        self.seq = seq
+        if rank == self._active and self._fast is None:
+            self._fast = (clock, seq, rank, None)
+        else:
+            heapq.heappush(self._heap, (clock, seq, rank, None))
 
     def _protocol_for(self, nbytes: float) -> Protocol:
         if nbytes > self.engine.eager_threshold_bytes:
             return self.rendezvous
         return self.eager
 
+    def _eager_send_fast(
+        self, state: RankState, request, nbytes: float, handle: Optional[SendHandle]
+    ) -> None:
+        """Untraced eager send with the arrival/overhead memos, FIFO
+        clamp and scheduling inlined: one call on the simulator's
+        hottest path instead of six.  Float-identical to
+        :meth:`EagerProtocol.send` with tracing off (same memo contents,
+        same expression groupings, same sequence-number draws)."""
+        now = state.clock
+        dest = request.dest
+        src_rank = state.rank
+        key = src_rank * self._n + dest
+        ab = self._ab
+        if ab is not None:
+            fixed = ab._fixed.get(key)
+            if fixed is None:
+                arrival = ab.arrival(src_rank, dest, nbytes, now)
+            else:
+                arrival = now + (fixed + nbytes / ab._bw)
+        else:
+            arrival = self.delivery.arrival(src_rank, dest, nbytes, now)
+        last = self._last_arrival
+        prev = last.get(key)
+        if prev is not None and prev > arrival:
+            arrival = prev
+        last[key] = arrival
+        memo = self._overhead
+        overhead = memo.get(key)
+        if overhead is None:
+            overhead = memo[key] = self.delivery.overhead(src_rank, dest)
+        clear = now + overhead
+        state.clock = clear
+        stats = state.stats
+        stats.comm_time += overhead
+        stats.messages_sent += 1
+        stats.bytes_sent += nbytes
+        payload = request.payload
+        if type(payload) is np.ndarray:  # copy_payload's common case, inline
+            payload = payload.copy()
+        elif payload is not None:
+            payload = copy_payload(payload)
+        self.post_message(
+            InFlight(
+                dest,
+                src_rank,
+                request.tag,
+                payload,
+                nbytes,
+                arrival,
+                self.seq,
+                now,
+                None,
+            )
+        )
+        if handle is not None:
+            handle.complete_at = clear
+            value = handle.handle_id
+        else:
+            value = None
+        seq = self.seq + 1
+        self.seq = seq
+        if src_rank == self._active and self._fast is None:
+            self._fast = (clear, seq, src_rank, value)
+        else:
+            heapq.heappush(self._heap, (clear, seq, src_rank, value))
+
     def _handle_send(self, state: RankState, request: SendReq) -> None:
-        self._check_dest(state, request.dest)
-        nbytes = request.wire_bytes()
-        self._protocol_for(nbytes).send(self, state, request, nbytes)
+        """Blocking send.  The untraced eager case -- the hottest code
+        in the simulator -- is fully fused here: size measurement,
+        arrival/overhead memos, FIFO clamp, receiver matching and (when
+        the receiver is already blocked on a plain recv) the delivery
+        itself, without materialising an :class:`InFlight` at all.
+        Every step mirrors :meth:`EagerProtocol.send` +
+        :meth:`post_message` + :meth:`complete_receive` exactly, so
+        results are float- and event-order-identical."""
+        dest = request.dest
+        if not 0 <= dest < self._n:
+            self._check_dest(state, dest)
+        nbytes = request.nbytes
+        if nbytes is None:
+            payload = request.payload
+            if type(payload) is np.ndarray:  # payload_nbytes, common case
+                nbytes = payload.nbytes
+            elif payload is None:
+                nbytes = 0
+            else:
+                nbytes = payload_nbytes(payload)
+        elif nbytes < 0:
+            raise CommunicationError(
+                f"rank {state.rank} sent negative nbytes {nbytes}"
+            )
+        if nbytes > self._eager_max:
+            self.rendezvous.send(self, state, request, nbytes)
+            return
+        if self._tracing:
+            self.eager.send(self, state, request, nbytes)
+            return
+
+        now = state.clock
+        src_rank = state.rank
+        key = src_rank * self._n + dest
+        ab = self._ab
+        if ab is not None:
+            fixed = ab._fixed.get(key)
+            if fixed is None:
+                arrival = ab.arrival(src_rank, dest, nbytes, now)
+            else:
+                arrival = now + (fixed + nbytes / ab._bw)
+        else:
+            arrival = self.delivery.arrival(src_rank, dest, nbytes, now)
+        last = self._last_arrival
+        prev = last.get(key)
+        if prev is not None and prev > arrival:
+            arrival = prev
+        last[key] = arrival
+        memo = self._overhead
+        overhead = memo.get(key)
+        if overhead is None:
+            overhead = memo[key] = self.delivery.overhead(src_rank, dest)
+        clear = now + overhead
+        state.clock = clear
+        stats = state.stats
+        stats.comm_time += overhead
+        stats.messages_sent += 1
+        stats.bytes_sent += nbytes
+        payload = request.payload
+        if type(payload) is np.ndarray:  # copy_payload's common case
+            payload = payload.copy()
+        elif payload is not None:
+            payload = copy_payload(payload)
+        tag = request.tag
+
+        # post_message, fused.
+        dst = self.ranks[dest]
+        matched = None
+        if dst.rslots:
+            for slot in dst.rslots.values():
+                if slot.msg is None:
+                    s = slot.source
+                    if s == -1 or s == src_rank:
+                        t = slot.tag
+                        if t == -1 or t == tag:
+                            matched = slot
+                            break
+        if matched is None:
+            dst.pending.append(
+                InFlight(
+                    dest, src_rank, tag, payload, nbytes, arrival,
+                    self.seq, now, None,
+                )
+            )
+        elif matched.waiting and dst.anywait is None:
+            # complete_receive, fused: the receiver is parked on a
+            # plain recv/wait, so the message never needs an InFlight
+            # shell -- deliver straight out of locals.
+            blocked_since = matched.blocked_since
+            completion = arrival if arrival > blocked_since else blocked_since
+            dstats = dst.stats
+            dstats.comm_time += completion - blocked_since
+            dstats.messages_received += 1
+            dstats.bytes_received += nbytes
+            hid = matched.handle_id
+            dst.rslots.pop(hid, None)
+            dst.handles.pop(hid)
+            dst.clock = completion
+            dst.blocked = False
+            seq = self.seq + 1
+            self.seq = seq
+            # The receiver is never the active rank here (the sender
+            # is), so its wakeup always goes through the heap.
+            heapq.heappush(
+                self._heap,
+                (completion, seq, dest, Message(payload, src_rank, tag, arrival)),
+            )
+        else:
+            # irecv slot, or a waitany group: those paths want the full
+            # message object (and anywait completion logic).
+            matched.msg = InFlight(
+                dest, src_rank, tag, payload, nbytes, arrival,
+                self.seq, now, None,
+            )
+            if matched.waiting:
+                self.complete_receive(dst, matched)
+
+        seq = self.seq + 1
+        self.seq = seq
+        if src_rank == self._active and self._fast is None:
+            self._fast = (clear, seq, src_rank, None)
+        else:
+            heapq.heappush(self._heap, (clear, seq, src_rank, None))
 
     def _handle_isend(self, state: RankState, request: IsendReq) -> None:
-        self._check_dest(state, request.dest)
-        nbytes = request.wire_bytes()
-        handle = SendHandle(
-            handle_id=state.new_handle_id(),
-            dest=request.dest,
-            tag=request.tag,
-            nbytes=nbytes,
-        )
-        state.add_handle(handle)
-        self._protocol_for(nbytes).send(self, state, request, nbytes, handle)
+        dest = request.dest
+        if not 0 <= dest < self._n:
+            self._check_dest(state, dest)
+        nbytes = request.nbytes
+        if nbytes is None:
+            nbytes = payload_nbytes(request.payload)
+        elif nbytes < 0:
+            raise CommunicationError(
+                f"rank {state.rank} sent negative nbytes {nbytes}"
+            )
+        hid = state._next_handle
+        state._next_handle = hid + 1
+        handle = SendHandle(handle_id=hid, dest=dest, tag=request.tag, nbytes=nbytes)
+        state.handles[hid] = handle
+        if nbytes > self._eager_max:
+            self.rendezvous.send(self, state, request, nbytes, handle)
+        elif self._tracing:
+            self.eager.send(self, state, request, nbytes, handle)
+        else:
+            self._eager_send_fast(state, request, nbytes, handle)
 
     def _handle_recv(self, state: RankState, request) -> None:
-        if request.source != -1 and not 0 <= request.source < len(self.ranks):
+        source = request.source
+        if source != -1 and not 0 <= source < self._n:
             raise CommunicationError(
-                f"rank {state.rank} receives from invalid rank {request.source}"
+                f"rank {state.rank} receives from invalid rank {source}"
             )
         now = state.clock
-        slot = self.post_receive(state, request.source, request.tag)
-        if isinstance(request, IrecvReq):
+        # post_receive, inlined (this is its only engine-internal call
+        # site; the method remains the outward-facing entry point).
+        hid = state._next_handle
+        state._next_handle = hid + 1
+        slot = ReceiveSlot(hid, source, request.tag)
+        if state.pending or state.parked:
+            for protocol in self.protocols:
+                if protocol.match_posted_receive(self, state, slot):
+                    break
+        state.handles[hid] = slot
+        state.rslots[hid] = slot
+        if request.__class__ is IrecvReq:
             # Posting is free; resume immediately with the handle.
-            self.schedule(now, state.rank, slot.handle_id)
+            self.schedule(now, state.rank, hid)
         elif slot.msg is not None:
             slot.waiting = True
             slot.blocked_since = now
@@ -538,9 +878,23 @@ class _Run:
 
     def _fail_rank(self, state: RankState, time: float) -> None:
         state.fail(time)
-        # A dead node's parked rendezvous sends never start.
+        src = state.rank
+        # A dead node's parked rendezvous sends never start.  Only
+        # rebuild queues that actually hold a send from the dead rank;
+        # on a 512-rank machine almost every parked queue is empty or
+        # unrelated to the failure.
         for other in self.ranks:
-            other.parked = [ps for ps in other.parked if ps.source != state.rank]
+            parked = other.parked
+            if parked and any(ps.source == src for ps in parked):
+                other.parked = [ps for ps in parked if ps.source != src]
+        # Drop the dead sender's FIFO-clamp entries the same way:
+        # indexed by source, not by scanning every pair in the table.
+        # (Nothing will ever query these again -- a dead rank sends no
+        # further messages -- so this is purely memory hygiene.)
+        last = self._last_arrival
+        base = src * self._n
+        for key in range(base, base + self._n):
+            last.pop(key, None)
 
     def _wait_graph(self, failed_ranks: List[int]) -> WaitForGraph:
         """The wait-for graph over the still-blocked ranks (see
@@ -551,16 +905,6 @@ class _Run:
         return self._wait_graph(failed_ranks).describe()
 
     # -- main loop -----------------------------------------------------------
-
-    _HANDLERS = {
-        ComputeReq: _handle_compute,
-        SendReq: _handle_send,
-        IsendReq: _handle_isend,
-        RecvReq: _handle_recv,
-        IrecvReq: _handle_recv,
-        WaitReq: _handle_wait,
-        WaitanyReq: _handle_waitany,
-    }
 
     def execute(self, program: Callable, args: tuple, kwargs: dict) -> SimResult:
         engine = self.engine
@@ -580,6 +924,7 @@ class _Run:
                     "(write communication as 'yield from comm....')"
                 )
             gens.append(gen)
+        resumes = [gen.send for gen in gens]
 
         returns: List[Any] = [None] * p
         failed_ranks: List[int] = []
@@ -590,53 +935,128 @@ class _Run:
         for rank, when in engine.fail_at.items():
             self.schedule(when, rank, _FAIL)
 
+        # Exact-type dispatch, bound per run so the inner loop calls
+        # the handler without a second method lookup.
+        handlers: Dict[type, Callable] = {
+            ComputeReq: self._handle_compute,
+            SendReq: self._handle_send,
+            IsendReq: self._handle_isend,
+            RecvReq: self._handle_recv,
+            IrecvReq: self._handle_recv,
+            WaitReq: self._handle_wait,
+            WaitanyReq: self._handle_waitany,
+        }
+        handler_for = handlers.get
+        # The three request types below cover essentially every event
+        # of a typical run; exact-type pointer compares beat the dict
+        # probe for them, and everything else falls through to it.
+        handle_send = self._handle_send
+        handle_recv = self._handle_recv
+        handle_compute = self._handle_compute
+
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        ranks = self.ranks
+        tracer = self.tracer
+        tracing = tracer.enabled
+        max_events = engine.max_events
+        fast_enabled = self._fast_enabled
+
         events = 0
         alive = p
-        while self._heap:
-            time, _, rank, value = heapq.heappop(self._heap)
-            state = self.ranks[rank]
-            if state.failed:
-                continue  # events for a dead node are dropped
-            if value is _FAIL:
+        # The loop allocates heavily (event tuples, in-flight messages,
+        # resume values) but creates no reference cycles of its own, so
+        # the cyclic collector's periodic scans are pure overhead --
+        # pause it for the run and let the deferred collection happen
+        # once at the end.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                time, _, rank, value = heappop(heap)
+                state = ranks[rank]
+                if state.failed:
+                    continue  # events for a dead node are dropped
+                if value is _FAIL:
+                    if state.finished:
+                        continue  # died after finishing: no effect
+                    failed_ranks.append(rank)
+                    self._fail_rank(state, time)
+                    alive -= 1
+                    continue
                 if state.finished:
-                    continue  # died after finishing: no effect
-                failed_ranks.append(rank)
-                self._fail_rank(state, time)
-                alive -= 1
-                continue
-            if state.finished:
-                raise SimulationError(f"finished rank {rank} rescheduled")
-            if time > state.clock:
-                # Unattributed gap: an event landed past the rank's
-                # clock.  Explicit so per-rank spans tile [0, finish]
-                # and compute + comm + idle == finish_time.
-                state.stats.idle_time += time - state.clock
-                if self.tracer.enabled:
-                    self.tracer.span(rank, IDLE, state.clock, time)
-                state.clock = time
+                    raise SimulationError(f"finished rank {rank} rescheduled")
 
-            try:
-                request = gens[rank].send(value)
-            except StopIteration as stop:
-                returns[rank] = stop.value
-                state.finished = True
-                state.stats.finish_time = state.clock
-                alive -= 1
-                continue
+                # Run-until-block: drive this rank's generator directly
+                # for as long as each handler's only scheduling action
+                # resumes this same rank AND that resume is due strictly
+                # before the heap head (on a tie the heap entry's older
+                # seq wins, so it must go through the heap).  Cross-rank
+                # wakeups always go through the heap; event order is
+                # bit-identical to the one-event-per-heap-pop loop.
+                resume = resumes[rank]
+                if fast_enabled:
+                    self._active = rank
+                while True:
+                    if time > state.clock:
+                        # Unattributed gap: an event landed past the
+                        # rank's clock.  Explicit so per-rank spans tile
+                        # [0, finish] and compute + comm + idle == finish.
+                        state.stats.idle_time += time - state.clock
+                        if tracing:
+                            tracer.span(rank, IDLE, state.clock, time)
+                        state.clock = time
 
-            events += 1
-            if events > engine.max_events:
-                raise SimulationError(
-                    f"exceeded max_events={engine.max_events}; "
-                    "likely an unbounded loop in a rank program"
-                )
+                    try:
+                        request = resume(value)
+                    except StopIteration as stop:
+                        returns[rank] = stop.value
+                        state.finished = True
+                        state.stats.finish_time = state.clock
+                        alive -= 1
+                        break
 
-            handler = self._HANDLERS.get(type(request))
-            if handler is None:
-                raise CommunicationError(
-                    f"rank {rank} yielded unsupported request {request!r}"
-                )
-            handler(self, state, request)
+                    events += 1
+                    if events > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely an unbounded loop in a rank program"
+                        )
+
+                    cls = request.__class__
+                    if cls is SendReq:
+                        handle_send(state, request)
+                    elif cls is RecvReq:
+                        handle_recv(state, request)
+                    elif cls is ComputeReq:
+                        handle_compute(state, request)
+                    else:
+                        handler = handler_for(cls)
+                        if handler is None:
+                            raise CommunicationError(
+                                f"rank {rank} yielded unsupported request {request!r}"
+                            )
+                        handler(state, request)
+
+                    fast = self._fast
+                    if fast is None:
+                        break  # blocked, or resumed via the heap
+                    self._fast = None
+                    if heap and fast >= heap[0]:
+                        # An older event wins -- earlier time, or the
+                        # same time with a smaller sequence number (the
+                        # tuples compare (time, seq) exactly as the heap
+                        # would).
+                        heappush(heap, fast)
+                        break
+                    time = fast[0]
+                    value = fast[3]
+                self._active = -1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         if alive > 0:
             graph = self._wait_graph(failed_ranks)
@@ -654,6 +1074,7 @@ class _Run:
             stats=[s.stats for s in self.ranks],
             tracer=self.tracer,
             failed_ranks=sorted(failed_ranks),
+            events=events,
         )
 
 

@@ -32,6 +32,11 @@ _USER_TAG_OFFSET = 1 << 40
 class GroupComm:
     """Communicator over ``members`` of a parent :class:`Comm`."""
 
+    __slots__ = (
+        "parent", "members", "_member_pos", "rank", "size", "machine",
+        "rng", "_salt", "_user_tag_base", "_coll_seq", "_tracing", "_phases",
+    )
+
     def __init__(self, parent: Comm, members: Sequence[int]):
         members = list(members)
         if len(set(members)) != len(members):
@@ -47,12 +52,19 @@ class GroupComm:
             )
         self.parent = parent
         self.members = members
-        self.rank = members.index(parent.rank)
+        # Global rank -> group rank (message metadata translation runs
+        # once per received message; no linear scans there).
+        self._member_pos = {m: i for i, m in enumerate(members)}
+        self.rank = self._member_pos[parent.rank]
         self.size = len(members)
         self.machine = parent.machine
         self.rng = parent.rng
         # Tag salt shared by construction across members (same tuple).
         self._salt = stable_seed(*members)
+        # _user_tag(t) == base - t and _untag(g) == base - g (its own
+        # inverse); precomputed so the per-message hot path is one
+        # subtraction.
+        self._user_tag_base = -(self._salt + _USER_TAG_OFFSET)
         self._coll_seq = 0
         # Phase labelling shares the parent's stack (one stack per rank);
         # groups are built after the engine sets the tracing flag.
@@ -66,18 +78,25 @@ class GroupComm:
         return -(self._salt + self._coll_seq * _coll._TAG_STRIDE)
 
     def _user_tag(self, tag: int) -> int:
-        return -(self._salt + _USER_TAG_OFFSET + tag)
+        return self._user_tag_base - tag
 
     def _untag(self, gtag: int) -> int:
         """Invert :meth:`_user_tag` for messages received in this group."""
-        return -gtag - self._salt - _USER_TAG_OFFSET
+        return self._user_tag_base - gtag
 
     def _to_group(self, msg):
-        """Translate a delivered message's metadata to group coordinates."""
+        """Translate a delivered message's metadata to group coordinates.
+
+        Rewrites the message in place: the engine constructs a fresh
+        :class:`Message` per delivery and hands it to exactly one
+        receive, so the group owns it and saves a constructor call per
+        received message.
+        """
         if msg is None:
             return None
-        source = self.members.index(msg.source) if msg.source in self.members else msg.source
-        return type(msg)(msg.payload, source, self._untag(msg.tag), msg.arrival_time)
+        msg.source = self._member_pos.get(msg.source, msg.source)
+        msg.tag = self._user_tag_base - msg.tag
+        return msg
 
     # -- identity -------------------------------------------------------------
 
@@ -96,6 +115,35 @@ class GroupComm:
         """Nested group: ``members`` are ranks *within this group*."""
         return GroupComm(self.parent, [self.members[m] for m in members])
 
+    # -- collective-internal scratch access (see Comm._fill_send) -------------
+
+    def _fill_send(self, payload, dest: int, tag: int):
+        req = self.parent._send_req
+        req.dest = self.members[dest]
+        req.payload = payload
+        req.tag = self._user_tag_base - tag
+        req.nbytes = None
+        return req
+
+    def _fill_isend(self, payload, dest: int, tag: int):
+        req = self.parent._isend_req
+        req.dest = self.members[dest]
+        req.payload = payload
+        req.tag = self._user_tag_base - tag
+        req.nbytes = None
+        return req
+
+    def _fill_recv(self, source: int, tag: int):
+        req = self.parent._recv_req
+        req.source = self.members[source]
+        req.tag = self._user_tag_base - tag
+        return req
+
+    def _fill_wait(self, handle: int):
+        req = self.parent._wait_req
+        req.handle = handle
+        return req
+
     # -- primitives (rank/tag translated onto the parent) ---------------------
 
     def send(
@@ -103,16 +151,27 @@ class GroupComm:
     ) -> Generator:
         if not 0 <= dest < self.size:
             raise CommunicationError(f"group send dest {dest} out of range")
-        yield from self.parent.send(
-            payload, self.members[dest], tag=self._user_tag(tag), nbytes=nbytes
-        )
+        # Fill the parent's scratch request directly rather than
+        # delegating to parent.send: group traffic is the per-message
+        # hot path (2-D algorithms do all their point-to-point through
+        # row/column groups), and the extra generator frame per resume
+        # is measurable.  Members were validated at construction, so
+        # the parent-range check is already covered.
+        req = self.parent._send_req
+        req.dest = self.members[dest]
+        req.payload = payload
+        req.tag = self._user_tag_base - tag
+        req.nbytes = nbytes
+        yield req
+        req.payload = None  # do not pin the buffer past the send
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise CommunicationError(f"group recv source {source} out of range")
-        gsource = ANY_SOURCE if source == ANY_SOURCE else self.members[source]
-        gtag = ANY_TAG if tag == ANY_TAG else self._user_tag(tag)
-        msg = yield from self.parent.recv(source=gsource, tag=gtag)
+        req = self.parent._recv_req
+        req.source = ANY_SOURCE if source == ANY_SOURCE else self.members[source]
+        req.tag = ANY_TAG if tag == ANY_TAG else self._user_tag_base - tag
+        msg = yield req
         return self._to_group(msg)
 
     def isend(
@@ -120,17 +179,22 @@ class GroupComm:
     ) -> Generator:
         if not 0 <= dest < self.size:
             raise CommunicationError(f"group isend dest {dest} out of range")
-        handle = yield from self.parent.isend(
-            payload, self.members[dest], tag=self._user_tag(tag), nbytes=nbytes
-        )
+        req = self.parent._isend_req
+        req.dest = self.members[dest]
+        req.payload = payload
+        req.tag = self._user_tag_base - tag
+        req.nbytes = nbytes
+        handle = yield req
+        req.payload = None  # do not pin the buffer past the post
         return handle
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise CommunicationError(f"group irecv source {source} out of range")
-        gsource = ANY_SOURCE if source == ANY_SOURCE else self.members[source]
-        gtag = ANY_TAG if tag == ANY_TAG else self._user_tag(tag)
-        handle = yield from self.parent.irecv(source=gsource, tag=gtag)
+        req = self.parent._irecv_req
+        req.source = ANY_SOURCE if source == ANY_SOURCE else self.members[source]
+        req.tag = ANY_TAG if tag == ANY_TAG else self._user_tag_base - tag
+        handle = yield req
         return handle
 
     def wait(self, handle: int) -> Generator:

@@ -68,53 +68,56 @@ class EagerProtocol(Protocol):
     def send(self, ctx, src, request, nbytes, handle=None):
         now = src.clock
         dst = request.dest
-        arrival = ctx.arrival(src.rank, dst, nbytes, now)
-        overhead = ctx.delivery.overhead(src.rank, dst)
-        src.clock = now + overhead
-        src.stats.comm_time += overhead
-        src.stats.messages_sent += 1
-        src.stats.bytes_sent += nbytes
+        src_rank = src.rank
+        arrival = ctx.arrival(src_rank, dst, nbytes, now)
+        overhead = ctx.overhead(src_rank, dst)
+        clear = now + overhead
+        src.clock = clear
+        stats = src.stats
+        stats.comm_time += overhead
+        stats.messages_sent += 1
+        stats.bytes_sent += nbytes
         wire = None
         if ctx.tracer.enabled:
             # The injection span is recorded even when zero-length: it
             # is the jump target for the message's wire edge.
             sid = ctx.tracer.span(
-                src.rank,
+                src_rank,
                 SEND,
                 now,
-                src.clock,
-                name=ctx.phase(src.rank),
+                clear,
+                name=ctx.phase(src_rank),
                 peer=dst,
                 tag=request.tag,
                 nbytes=nbytes,
             )
             wire = SpanCause(
                 kind="msg",
-                src_rank=src.rank,
-                src_time=src.clock,
+                src_rank=src_rank,
+                src_time=clear,
                 src_sid=sid,
-                wire_start=src.clock,
-                wire_min_end=ctx.alphabeta_arrival(src.rank, dst, nbytes, now),
+                wire_start=clear,
+                wire_min_end=ctx.alphabeta_arrival(src_rank, dst, nbytes, now),
             )
         ctx.post_message(
             InFlight(
-                dest=dst,
-                source=src.rank,
-                tag=request.tag,
-                payload=copy_payload(request.payload),
-                nbytes=nbytes,
-                arrival_time=arrival,
-                seq=ctx.seq,
-                send_time=now,
-                wire=wire,
+                dst,
+                src_rank,
+                request.tag,
+                copy_payload(request.payload),
+                nbytes,
+                arrival,
+                ctx.seq,
+                now,
+                wire,
             )
         )
         if handle is not None:
             # The CPU injected the message; the handle is already done.
-            handle.complete_at = src.clock
-            ctx.schedule(src.clock, src.rank, handle.handle_id)
+            handle.complete_at = clear
+            ctx.schedule(clear, src_rank, handle.handle_id)
         else:
-            ctx.schedule(src.clock, src.rank, None)
+            ctx.schedule(clear, src_rank, None)
 
     def match_posted_receive(self, ctx, dst, slot):
         for i, msg in enumerate(dst.pending):
@@ -175,7 +178,7 @@ class RendezvousProtocol(Protocol):
         """The handshake happened: start the wire transfer, release (or
         complete the handle of) the sender."""
         arrival = ctx.arrival(ps.source, ps.dest, ps.nbytes, handshake)
-        overhead = ctx.delivery.overhead(ps.source, ps.dest)
+        overhead = ctx.overhead(ps.source, ps.dest)
         src = ctx.ranks[ps.source]
         src.stats.messages_sent += 1
         src.stats.bytes_sent += ps.nbytes

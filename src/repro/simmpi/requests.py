@@ -13,12 +13,21 @@ message then arrives at the destination after the routed network delay.
 This is why classic ring shifts written with blocking ``send`` do not
 deadlock, exactly as on the real Delta for messages under the eager
 threshold.
+
+The request types are deliberately *plain slotted classes* rather than
+dataclasses: requests and in-flight records are the single most
+frequently allocated objects in the simulator, and ``__slots__`` plus a
+hand-written ``__init__`` keeps both allocation and attribute access on
+the engine's fast path cheap.  They are also mutable on purpose -- the
+:class:`~repro.simmpi.comm.Comm` facade reuses one scratch instance per
+request type per rank, refilled per call, because the engine always
+consumes a request's fields before the yielding generator can run
+again.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
@@ -66,29 +75,45 @@ def payload_nbytes(payload: Any) -> int:
 def copy_payload(payload: Any) -> Any:
     """Buffered-send copy: the sender may overwrite its buffer after the
     send returns, so the in-flight message must be independent."""
+    if isinstance(payload, np.ndarray):  # by far the common case
+        return payload.copy()
     if payload is None or isinstance(payload, (int, float, complex, bool, str, bytes)):
         return payload
-    if isinstance(payload, np.ndarray):
-        return payload.copy()
     return copy.deepcopy(payload)
 
 
-@dataclass(frozen=True)
 class SendReq:
-    """Eager buffered send of ``payload`` to ``dest`` with ``tag``."""
+    """Eager buffered send of ``payload`` to ``dest`` with ``tag``.
 
-    dest: int
-    payload: Any
-    tag: int = 0
-    #: Override the modelled wire size (bytes); None = measure payload.
-    nbytes: Optional[float] = None
+    ``nbytes`` overrides the modelled wire size in bytes; ``None``
+    means measure the payload.
+    """
+
+    __slots__ = ("dest", "payload", "tag", "nbytes")
+
+    def __init__(
+        self,
+        dest: int = 0,
+        payload: Any = None,
+        tag: int = 0,
+        nbytes: Optional[float] = None,
+    ):
+        self.dest = dest
+        self.payload = payload
+        self.tag = tag
+        self.nbytes = nbytes
 
     def wire_bytes(self) -> float:
         return payload_nbytes(self.payload) if self.nbytes is None else self.nbytes
 
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(dest={self.dest}, payload={self.payload!r}, "
+            f"tag={self.tag}, nbytes={self.nbytes})"
+        )
 
-@dataclass(frozen=True)
-class IsendReq:
+
+class IsendReq(SendReq):
     """Non-blocking send: posts the transfer and returns a handle
     immediately.  Complete it with :class:`WaitReq` (which yields
     ``None`` for send handles).
@@ -102,33 +127,29 @@ class IsendReq:
     blocking-send deadlock above the eager threshold.
     """
 
-    dest: int
-    payload: Any
-    tag: int = 0
-    nbytes: Optional[float] = None
-
-    def wire_bytes(self) -> float:
-        return payload_nbytes(self.payload) if self.nbytes is None else self.nbytes
+    __slots__ = ()
 
 
-@dataclass(frozen=True)
 class RecvReq:
     """Blocking receive matching ``source`` and ``tag`` (wildcards allowed)."""
 
-    source: int = ANY_SOURCE
-    tag: int = ANY_TAG
+    __slots__ = ("source", "tag")
+
+    def __init__(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        self.source = source
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(source={self.source}, tag={self.tag})"
 
 
-@dataclass(frozen=True)
-class IrecvReq:
+class IrecvReq(RecvReq):
     """Non-blocking receive: posts a matching slot and returns a handle
     immediately.  Complete it with :class:`WaitReq`."""
 
-    source: int = ANY_SOURCE
-    tag: int = ANY_TAG
+    __slots__ = ()
 
 
-@dataclass(frozen=True)
 class WaitReq:
     """Block until the request identified by ``handle`` completes.
 
@@ -136,10 +157,15 @@ class WaitReq:
     with ``None`` for send handles.
     """
 
-    handle: int
+    __slots__ = ("handle",)
+
+    def __init__(self, handle: int):
+        self.handle = handle
+
+    def __repr__(self) -> str:
+        return f"WaitReq(handle={self.handle})"
 
 
-@dataclass(frozen=True)
 class WaitanyReq:
     """Block until *any* of ``handles`` completes; resumes with
     ``(index, message_or_None)`` where ``index`` is the position in
@@ -151,14 +177,17 @@ class WaitanyReq:
     spirit as the engine's ``ANY_SOURCE`` resolution.
     """
 
-    handles: tuple
+    __slots__ = ("handles",)
 
-    def __post_init__(self) -> None:
-        if not self.handles:
+    def __init__(self, handles: tuple):
+        if not handles:
             raise CommunicationError("waitany needs at least one handle")
+        self.handles = handles
+
+    def __repr__(self) -> str:
+        return f"WaitanyReq(handles={self.handles})"
 
 
-@dataclass(frozen=True)
 class ComputeReq:
     """Charge local computation to the rank's clock.
 
@@ -166,48 +195,96 @@ class ComputeReq:
     overrides the node's sustained fraction for flops-based charging.
     """
 
-    flops: Optional[float] = None
-    seconds: Optional[float] = None
-    efficiency: Optional[float] = None
+    __slots__ = ("flops", "seconds", "efficiency")
 
-    def __post_init__(self) -> None:
-        if (self.flops is None) == (self.seconds is None):
-            raise CommunicationError(
-                "ComputeReq needs exactly one of flops= or seconds="
-            )
-        value = self.flops if self.flops is not None else self.seconds
-        if value < 0:
-            raise CommunicationError(f"compute amount must be >= 0, got {value}")
+    def __init__(
+        self,
+        flops: Optional[float] = None,
+        seconds: Optional[float] = None,
+        efficiency: Optional[float] = None,
+    ):
+        validate_compute(flops, seconds)
+        self.flops = flops
+        self.seconds = seconds
+        self.efficiency = efficiency
+
+    def __repr__(self) -> str:
+        return (
+            f"ComputeReq(flops={self.flops}, seconds={self.seconds}, "
+            f"efficiency={self.efficiency})"
+        )
 
 
-@dataclass(frozen=True)
+def validate_compute(flops: Optional[float], seconds: Optional[float]) -> None:
+    """Shared argument check for compute charging (used both by
+    :class:`ComputeReq` and by the scratch-reusing ``Comm.compute``)."""
+    if (flops is None) == (seconds is None):
+        raise CommunicationError(
+            "ComputeReq needs exactly one of flops= or seconds="
+        )
+    value = flops if flops is not None else seconds
+    if value < 0:
+        raise CommunicationError(f"compute amount must be >= 0, got {value}")
+
+
 class Message:
-    """A delivered message, returned to the receiving rank."""
+    """A delivered message, returned to the receiving rank.
 
-    payload: Any
-    source: int
-    tag: int
-    #: Virtual time the message became available at the destination.
-    arrival_time: float = 0.0
+    ``arrival_time`` is the virtual time the message became available
+    at the destination.
+    """
+
+    __slots__ = ("payload", "source", "tag", "arrival_time")
+
+    def __init__(self, payload: Any, source: int, tag: int, arrival_time: float = 0.0):
+        self.payload = payload
+        self.source = source
+        self.tag = tag
+        self.arrival_time = arrival_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(payload={self.payload!r}, source={self.source}, "
+            f"tag={self.tag}, arrival_time={self.arrival_time})"
+        )
 
 
-@dataclass
 class InFlight:
-    """Engine-internal record of a posted, not-yet-consumed message."""
+    """Engine-internal record of a posted, not-yet-consumed message.
 
-    dest: int
-    source: int
-    tag: int
-    payload: Any
-    nbytes: float
-    arrival_time: float
-    seq: int = field(default=0)
-    #: Virtual time the sender issued the send (for rendezvous this is
-    #: the post time, not the handshake); threaded into trace records.
-    send_time: float = field(default=0.0)
-    #: Causal wire edge for span tracing (set only when tracing): what
-    #: preceded this message's transfer and when its wire began.
-    wire: Any = field(default=None)
+    ``send_time`` is the virtual time the sender issued the send (for
+    rendezvous this is the post time, not the handshake); it is
+    threaded into trace records.  ``wire`` is the causal wire edge for
+    span tracing (set only when tracing): what preceded this message's
+    transfer and when its wire began.
+    """
+
+    __slots__ = (
+        "dest", "source", "tag", "payload", "nbytes",
+        "arrival_time", "seq", "send_time", "wire",
+    )
+
+    def __init__(
+        self,
+        dest: int,
+        source: int,
+        tag: int,
+        payload: Any,
+        nbytes: float,
+        arrival_time: float,
+        seq: int = 0,
+        send_time: float = 0.0,
+        wire: Any = None,
+    ):
+        self.dest = dest
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.arrival_time = arrival_time
+        self.seq = seq
+        self.send_time = send_time
+        self.wire = wire
 
     def matches(self, req: RecvReq) -> bool:
         if req.source != ANY_SOURCE and req.source != self.source:

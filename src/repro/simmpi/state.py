@@ -9,29 +9,49 @@ in-progress sends alike).  The dict replaces the old linear
 ``find_slot``/``slots.remove`` scans with O(1) lookup and removal, and
 its insertion order *is* MPI post order, which the matching rules rely
 on.
+
+Alongside the unified table the state keeps ``rslots``, an
+insertion-ordered dict of just the posted receives.  Message matching
+scans only receives, and filtering them out of the mixed handle table
+with an ``isinstance`` per handle was one of the hottest lines in the
+engine; the second dict trades one extra O(1) insert/remove per handle
+for a scan over exactly the right objects.
+
+Everything here is a plain ``__slots__`` class: these objects are
+allocated per message and per posted receive, so they sit directly on
+the engine's fast path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.simmpi.requests import ANY_SOURCE, ANY_TAG, InFlight
 from repro.simmpi.trace import RankStats
 from repro.util.errors import CommunicationError
 
 
-@dataclass
 class ReceiveSlot:
     """One outstanding posted receive."""
 
-    handle_id: int
-    source: int
-    tag: int
-    msg: Optional[InFlight] = None
-    #: True while the owning rank is blocked in a wait on this handle.
-    waiting: bool = False
-    blocked_since: float = 0.0
+    __slots__ = ("handle_id", "source", "tag", "msg", "waiting", "blocked_since")
+
+    def __init__(
+        self,
+        handle_id: int,
+        source: int,
+        tag: int,
+        msg: Optional[InFlight] = None,
+        waiting: bool = False,
+        blocked_since: float = 0.0,
+    ):
+        self.handle_id = handle_id
+        self.source = source
+        self.tag = tag
+        self.msg = msg
+        #: True while the owning rank is blocked in a wait on this handle.
+        self.waiting = waiting
+        self.blocked_since = blocked_since
 
     def matches(self, msg: InFlight) -> bool:
         if self.source != ANY_SOURCE and self.source != msg.source:
@@ -48,23 +68,44 @@ class ReceiveSlot:
     def completion_time(self, now: float) -> float:
         return max(now, self.msg.arrival_time)
 
+    def __repr__(self) -> str:
+        return (
+            f"ReceiveSlot(handle_id={self.handle_id}, source={self.source}, "
+            f"tag={self.tag}, msg={self.msg!r}, waiting={self.waiting})"
+        )
 
-@dataclass
+
 class SendHandle:
     """One outstanding non-blocking send."""
 
-    handle_id: int
-    dest: int
-    tag: int
-    nbytes: float
-    #: Virtual time the sender's CPU is clear of this send; None while
-    #: a rendezvous isend is still parked awaiting its handshake.
-    complete_at: Optional[float] = None
-    waiting: bool = False
-    blocked_since: float = 0.0
-    #: Causal edge for span tracing (set only when tracing): the
-    #: rendezvous handshake that completed this handle remotely.
-    hs_cause: Any = None
+    __slots__ = (
+        "handle_id", "dest", "tag", "nbytes",
+        "complete_at", "waiting", "blocked_since", "hs_cause",
+    )
+
+    def __init__(
+        self,
+        handle_id: int,
+        dest: int,
+        tag: int,
+        nbytes: float,
+        complete_at: Optional[float] = None,
+        waiting: bool = False,
+        blocked_since: float = 0.0,
+        hs_cause: Any = None,
+    ):
+        self.handle_id = handle_id
+        self.dest = dest
+        self.tag = tag
+        self.nbytes = nbytes
+        #: Virtual time the sender's CPU is clear of this send; None while
+        #: a rendezvous isend is still parked awaiting its handshake.
+        self.complete_at = complete_at
+        self.waiting = waiting
+        self.blocked_since = blocked_since
+        #: Causal edge for span tracing (set only when tracing): the
+        #: rendezvous handshake that completed this handle remotely.
+        self.hs_cause = hs_cause
 
     @property
     def ready(self) -> bool:
@@ -73,11 +114,16 @@ class SendHandle:
     def completion_time(self, now: float) -> float:
         return max(now, self.complete_at)
 
+    def __repr__(self) -> str:
+        return (
+            f"SendHandle(handle_id={self.handle_id}, dest={self.dest}, "
+            f"tag={self.tag}, nbytes={self.nbytes}, complete_at={self.complete_at})"
+        )
+
 
 Handle = Union[ReceiveSlot, SendHandle]
 
 
-@dataclass
 class ParkedSend:
     """A rendezvous send waiting for its matching receive to be posted.
 
@@ -86,38 +132,69 @@ class ParkedSend:
     blocked in the send itself.
     """
 
-    source: int
-    dest: int
-    tag: int
-    payload: Any
-    nbytes: float
-    seq: int
-    park_time: float
-    send_time: float
-    handle: Optional[SendHandle] = None
+    __slots__ = (
+        "source", "dest", "tag", "payload", "nbytes",
+        "seq", "park_time", "send_time", "handle",
+    )
+
+    def __init__(
+        self,
+        source: int,
+        dest: int,
+        tag: int,
+        payload: Any,
+        nbytes: float,
+        seq: int,
+        park_time: float,
+        send_time: float,
+        handle: Optional[SendHandle] = None,
+    ):
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.seq = seq
+        self.park_time = park_time
+        self.send_time = send_time
+        self.handle = handle
+
+    def __repr__(self) -> str:
+        return (
+            f"ParkedSend(source={self.source}, dest={self.dest}, tag={self.tag}, "
+            f"nbytes={self.nbytes}, park_time={self.park_time})"
+        )
 
 
-@dataclass
 class RankState:
     """Everything the engine tracks for one rank."""
 
-    rank: int
-    stats: RankStats
-    clock: float = 0.0
-    finished: bool = False
-    failed: bool = False
-    #: Rank is inside a blocking wait (recv/wait/waitany or a parked
-    #: blocking rendezvous send).
-    blocked: bool = False
-    #: Unified handle table: handle id -> outstanding request.
-    handles: Dict[int, Handle] = field(default_factory=dict)
-    #: Unmatched eager arrivals addressed to this rank, in post order.
-    pending: List[InFlight] = field(default_factory=list)
-    #: Rendezvous senders parked *at this destination*, in post order.
-    parked: List[ParkedSend] = field(default_factory=list)
-    #: Handle ids of an in-progress waitany, or None.
-    anywait: Optional[List[int]] = None
-    _next_handle: int = 0
+    __slots__ = (
+        "rank", "stats", "clock", "finished", "failed", "blocked",
+        "handles", "rslots", "pending", "parked", "anywait", "_next_handle",
+    )
+
+    def __init__(self, rank: int, stats: RankStats):
+        self.rank = rank
+        self.stats = stats
+        self.clock = 0.0
+        self.finished = False
+        self.failed = False
+        #: Rank is inside a blocking wait (recv/wait/waitany or a parked
+        #: blocking rendezvous send).
+        self.blocked = False
+        #: Unified handle table: handle id -> outstanding request.
+        self.handles: Dict[int, Handle] = {}
+        #: Posted receives only, same insertion (= MPI post) order as
+        #: ``handles``; the message-matching scan reads this directly.
+        self.rslots: Dict[int, ReceiveSlot] = {}
+        #: Unmatched eager arrivals addressed to this rank, in post order.
+        self.pending: List[InFlight] = []
+        #: Rendezvous senders parked *at this destination*, in post order.
+        self.parked: List[ParkedSend] = []
+        #: Handle ids of an in-progress waitany, or None.
+        self.anywait: Optional[List[int]] = None
+        self._next_handle = 0
 
     def new_handle_id(self) -> int:
         hid = self._next_handle
@@ -126,6 +203,8 @@ class RankState:
 
     def add_handle(self, handle: Handle) -> None:
         self.handles[handle.handle_id] = handle
+        if type(handle) is ReceiveSlot:
+            self.rslots[handle.handle_id] = handle
 
     def require_handle(self, handle_id: int) -> Handle:
         try:
@@ -137,13 +216,12 @@ class RankState:
             ) from None
 
     def pop_handle(self, handle_id: int) -> Handle:
+        self.rslots.pop(handle_id, None)
         return self.handles.pop(handle_id)
 
-    def receive_slots(self) -> Iterator[ReceiveSlot]:
+    def receive_slots(self) -> Iterable[ReceiveSlot]:
         """Posted receives in post order (dict insertion order)."""
-        for handle in self.handles.values():
-            if isinstance(handle, ReceiveSlot):
-                yield handle
+        return self.rslots.values()
 
     def fail(self, time: float) -> None:
         """Node death: freeze the clock, drop all outstanding requests."""
@@ -153,4 +231,12 @@ class RankState:
         self.stats.finish_time = time
         self.clock = max(self.clock, time)
         self.handles.clear()
+        self.rslots.clear()
         self.anywait = None
+
+    def __repr__(self) -> str:
+        return (
+            f"RankState(rank={self.rank}, clock={self.clock}, "
+            f"finished={self.finished}, failed={self.failed}, "
+            f"blocked={self.blocked}, handles={len(self.handles)})"
+        )

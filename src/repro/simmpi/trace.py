@@ -90,7 +90,7 @@ class Span:
         return self.t1 - self.t0
 
 
-@dataclass
+@dataclass(slots=True)
 class RankStats:
     """Aggregate accounting for one rank."""
 

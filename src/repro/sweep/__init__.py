@@ -1,0 +1,16 @@
+"""Deterministic parallel parameter sweeps over simulated runs.
+
+The paper's exhibits are sweeps -- LINPACK over machine sizes,
+consortium links over bandwidths, collectives over algorithms -- and
+each point is an independent simulation, so the sweep layer is
+embarrassingly parallel.  :func:`run_sweep` fans a list of configs out
+over worker processes while keeping the one property ablation tooling
+cannot live without: **the results are a pure function of (configs,
+workload, seed)** -- independent of worker count, scheduling order, and
+whether multiprocessing was used at all.
+"""
+
+from repro.sweep.runner import run_sweep, sweep_seeds
+from repro.sweep.workloads import Lu2dPoint, lu2d_point
+
+__all__ = ["run_sweep", "sweep_seeds", "Lu2dPoint", "lu2d_point"]

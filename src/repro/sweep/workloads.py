@@ -1,0 +1,66 @@
+"""Module-level sweep workloads (picklable, so they run under workers).
+
+These are the stock points the ``repro sweep`` CLI and the throughput
+benchmarks fan out.  Each takes ``(config, seed)`` per the
+:func:`repro.sweep.runner.run_sweep` contract and returns a plain dict
+of floats/ints so results cross process boundaries cheaply.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Lu2dPoint:
+    """One lu2d sweep configuration (picklable and hashable)."""
+
+    prows: int
+    pcols: int
+    n: int
+    nb: int = 2
+    machine: str = "delta"
+    overlap: bool = False
+    eager_threshold_bytes: float = float("inf")
+    delivery: str = "alphabeta"
+
+
+def lu2d_point(config: Lu2dPoint, seed: int) -> dict:
+    """Factor one block-cyclic LU instance; report timing and traffic."""
+    import numpy as np
+
+    from repro.linalg.blocklu import make_test_matrix
+    from repro.linalg.decomp import ProcessGrid2D
+    from repro.linalg.lu2d import lu2d, serial_lu_nopivot
+    from repro.machine.presets import get_machine
+
+    machine = get_machine(config.machine)
+    a = make_test_matrix(config.n, seed=seed)
+    t0 = time.perf_counter()
+    res = lu2d(
+        machine,
+        ProcessGrid2D(config.prows, config.pcols),
+        a,
+        nb=config.nb,
+        seed=seed,
+        overlap=config.overlap,
+        eager_threshold_bytes=config.eager_threshold_bytes,
+        delivery=config.delivery,
+    )
+    wall = time.perf_counter() - t0
+    # Exactness is part of the result: a sweep point that drifted from
+    # the serial factorisation is a bug, not a data point.
+    exact = bool(np.array_equal(res.lu, serial_lu_nopivot(a)))
+    sim = res.sim
+    return {
+        "ranks": config.prows * config.pcols,
+        "n": config.n,
+        "virtual_time_s": sim.time,
+        "events": sim.events,
+        "messages": sim.total_messages,
+        "bytes": sim.total_bytes,
+        "wall_s": wall,
+        "events_per_sec": sim.events / wall if wall > 0 else 0.0,
+        "exact": exact,
+    }

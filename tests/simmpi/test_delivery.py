@@ -182,3 +182,48 @@ class TestLinkOccupancy:
         assert all(t > 0 for t in occ.values())
         model.bind(mach, list(range(4)))  # rebinding clears the timeline
         assert model.link_occupancy() == {}
+
+
+class TestPerRunDeliveryIsolation:
+    """``Engine.run`` binds a fresh delivery model per run, so repeated
+    or interleaved runs on one engine never see each other's wire
+    occupancy (regression: the contention timeline used to accumulate
+    across runs on a shared engine)."""
+
+    def _congested_program(self, comm):
+        nbytes = 120_000.0
+        if comm.rank == 0:
+            yield from comm.send(None, 3, tag=0, nbytes=nbytes)
+        elif comm.rank == 1:
+            yield from comm.send(None, 3, tag=1, nbytes=nbytes)
+        elif comm.rank == 3:
+            yield from comm.recv(source=0, tag=0)
+            yield from comm.recv(source=1, tag=1)
+
+    def test_repeated_runs_on_one_engine_are_identical(self):
+        engine = Engine(machine_with(Mesh2D(1, 4)), 4, delivery="contention")
+        first = engine.run(self._congested_program)
+        second = engine.run(self._congested_program)
+        third = engine.run(self._congested_program)
+        assert first.time == second.time == third.time
+        assert first.stats == second.stats == third.stats
+
+    def test_engine_matches_fresh_engine_after_prior_run(self):
+        mach = machine_with(Mesh2D(1, 4))
+        reused = Engine(mach, 4, delivery="contention")
+        reused.run(self._congested_program)  # would pollute a shared timeline
+        fresh = Engine(mach, 4, delivery="contention")
+        assert (
+            reused.run(self._congested_program).time
+            == fresh.run(self._congested_program).time
+        )
+
+    def test_user_supplied_model_instance_is_not_mutated_across_runs(self):
+        mach = machine_with(Mesh2D(1, 4))
+        model = ContentionAwareDelivery()
+        model.bind(mach, list(range(4)))
+        engine = Engine(mach, 4, delivery=model)
+        engine.run(self._congested_program)
+        # The engine ran on a fresh copy, so the user's instance still
+        # has an empty wire timeline.
+        assert model.link_occupancy() == {}

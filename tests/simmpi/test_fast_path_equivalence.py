@@ -1,0 +1,122 @@
+"""A/B equivalence: the fast path must be invisible in the results.
+
+``Engine(fast_path=False)`` forces every event through the global heap;
+``fast_path=True`` (the default) lets the active rank's resume skip it
+when nothing else can fire first.  The two schedules must be
+*bit-identical* -- same makespan, same per-rank stats, same returns,
+same traced span tilings -- across protocol, delivery-model, and
+overlap variations.  Any divergence means the run-until-block check
+admitted an event that was not actually safe to deliver early.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.linalg.blocklu import make_test_matrix
+from repro.linalg.decomp import ProcessGrid2D
+from repro.linalg.lu2d import lu2d_program
+from repro.machine.presets import touchstone_delta
+from repro.simmpi import Engine
+
+GRID = ProcessGrid2D(4, 4)
+
+# eager threshold inf = everything eager; 0 = everything rendezvous.
+MATRIX = list(
+    itertools.product(
+        [float("inf"), 0.0],
+        ["alphabeta", "contention"],
+        [False, True],
+    )
+)
+
+
+def _run_lu2d(fast, *, eager, delivery, overlap, trace=False):
+    a = make_test_matrix(48, seed=11)
+    engine = Engine(
+        touchstone_delta(),
+        GRID.size,
+        seed=11,
+        trace=trace,
+        eager_threshold_bytes=eager,
+        delivery=delivery,
+        fast_path=fast,
+    )
+    return engine.run(lu2d_program, GRID, a, 2, overlap)
+
+
+def _assert_identical(fast, ref):
+    """Every observable of the two runs matches exactly (no tolerance)."""
+    assert fast.time == ref.time
+    assert fast.events == ref.events
+    assert fast.stats == ref.stats
+    assert len(fast.returns) == len(ref.returns)
+    for got, want in zip(fast.returns, ref.returns):
+        rows_g, cols_g, local_g = got
+        rows_w, cols_w, local_w = want
+        assert np.array_equal(rows_g, rows_w)
+        assert np.array_equal(cols_g, cols_w)
+        assert np.array_equal(local_g, local_w)
+
+
+@pytest.mark.parametrize("eager,delivery,overlap", MATRIX)
+def test_lu2d_fast_path_bit_identical(eager, delivery, overlap):
+    ref = _run_lu2d(False, eager=eager, delivery=delivery, overlap=overlap)
+    fast = _run_lu2d(True, eager=eager, delivery=delivery, overlap=overlap)
+    _assert_identical(fast, ref)
+
+
+@pytest.mark.parametrize(
+    "eager,delivery,overlap",
+    [(float("inf"), "alphabeta", False), (0.0, "contention", True)],
+)
+def test_lu2d_fast_path_identical_span_tilings(eager, delivery, overlap):
+    """Traced runs: the span tilings (and message logs) match too."""
+    ref = _run_lu2d(False, eager=eager, delivery=delivery, overlap=overlap, trace=True)
+    fast = _run_lu2d(True, eager=eager, delivery=delivery, overlap=overlap, trace=True)
+    _assert_identical(fast, ref)
+    assert fast.tracer.records == ref.tracer.records
+    assert fast.tracer.spans_by_rank() == ref.tracer.spans_by_rank()
+
+
+def _mixed_program(comm):
+    """Point-to-point, nonblocking, compute, and collectives in one run."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    total = 0.0
+    for step in range(6):
+        h = yield from comm.isend(float(comm.rank * 100 + step), right, tag=step)
+        msg = yield from comm.recv(source=left, tag=step)
+        yield from comm.wait(h)
+        yield from comm.compute(flops=1e5 * (1 + comm.rank % 3))
+        total += msg.payload
+        total = yield from comm.allreduce(total)
+        yield from comm.barrier()
+    return total
+
+
+@pytest.mark.parametrize("eager,delivery", [(float("inf"), "alphabeta"), (0.0, "contention")])
+def test_mixed_program_fast_path_bit_identical(eager, delivery):
+    def run(fast):
+        return Engine(
+            touchstone_delta(),
+            8,
+            seed=5,
+            eager_threshold_bytes=eager,
+            delivery=delivery,
+            fast_path=fast,
+        ).run(_mixed_program)
+
+    ref = run(False)
+    fast = run(True)
+    assert fast.time == ref.time
+    assert fast.events == ref.events
+    assert fast.stats == ref.stats
+    assert fast.returns == ref.returns
+
+
+def test_fast_path_flag_round_trips():
+    engine = Engine(touchstone_delta(), 4, fast_path=False)
+    assert engine.fast_path is False
+    assert Engine(touchstone_delta(), 4).fast_path is True

@@ -96,3 +96,30 @@ class TestErrors:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweep:
+    def test_sweep_runs_and_tabulates(self, run_cli, tmp_path):
+        out_json = tmp_path / "sweep.json"
+        code, out, _ = run_cli(
+            [
+                "sweep",
+                "--grids", "2x2,2x4",
+                "--order", "32",
+                "--workers", "1",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        assert "2x2" in out and "2x4" in out
+        assert "Events/s" in out
+        import json
+
+        data = json.loads(out_json.read_text())
+        assert set(data) == {"2x2", "2x4"}
+        assert all(point["exact"] for point in data.values())
+
+    def test_sweep_rejects_bad_grid_spec(self, run_cli):
+        code, out, err = run_cli(["sweep", "--grids", "2xtwo"])
+        assert code == 1
+        assert "grid" in err

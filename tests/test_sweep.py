@@ -1,0 +1,87 @@
+"""The sweep runner's determinism contract, asserted.
+
+``run_sweep`` results must be a pure function of (configs, workload,
+seed): identical across worker counts, with per-config seeds derived
+from position only.  Worker processes fork, so the lu2d workload from
+``repro.sweep.workloads`` crosses the boundary unchanged.
+"""
+
+import pytest
+
+from repro.sweep import Lu2dPoint, lu2d_point, run_sweep, sweep_seeds
+from repro.util.errors import ConfigurationError
+
+CONFIGS = [
+    Lu2dPoint(2, 2, 32),
+    Lu2dPoint(2, 4, 32),
+    Lu2dPoint(4, 4, 32, overlap=True),
+]
+
+DETERMINISTIC_FIELDS = (
+    "ranks",
+    "n",
+    "virtual_time_s",
+    "events",
+    "messages",
+    "bytes",
+    "exact",
+)
+
+
+def _deterministic(results):
+    """Strip wall-clock fields, which legitimately vary run to run."""
+    return [{k: r[k] for k in DETERMINISTIC_FIELDS} for r in results]
+
+
+def test_sweep_seeds_stable_and_positional():
+    a = sweep_seeds(7, 5)
+    assert a == sweep_seeds(7, 5)
+    assert len(set(a)) == 5  # independent streams, no collisions
+    # Seeds are positional: a longer sweep keeps the same prefix.
+    assert sweep_seeds(7, 8)[:5] == a
+    assert sweep_seeds(8, 5) != a
+    assert all(0 <= s < 2**63 for s in a)
+
+
+def test_sweep_seeds_rejects_negative_count():
+    with pytest.raises(ConfigurationError):
+        sweep_seeds(0, -1)
+
+
+def test_run_sweep_results_independent_of_worker_count():
+    serial = run_sweep(CONFIGS, lu2d_point, workers=1, seed=3)
+    two = run_sweep(CONFIGS, lu2d_point, workers=2, seed=3)
+    four = run_sweep(CONFIGS, lu2d_point, workers=4, seed=3)
+    assert _deterministic(serial) == _deterministic(two) == _deterministic(four)
+    assert all(r["exact"] for r in serial)
+
+
+def test_run_sweep_lu2d_is_data_independent():
+    a = run_sweep(CONFIGS[:2], lu2d_point, workers=1, seed=0)
+    b = run_sweep(CONFIGS[:2], lu2d_point, workers=1, seed=1)
+    assert len(a) == len(b) == 2
+    # A different master seed changes the matrix *values*, but lu2d's
+    # message sizes and flop counts depend only on (n, nb, grid) -- so
+    # the simulated schedule is identical while exactness is re-proved
+    # against the new data.
+    assert _deterministic(a) == _deterministic(b)
+    assert all(r["exact"] for r in b)
+
+
+def test_run_sweep_preserves_config_order():
+    def workload(config, seed):
+        return (config, seed)
+
+    configs = ["c0", "c1", "c2", "c3"]
+    out = run_sweep(configs, workload, workers=1, seed=42)
+    assert [c for c, _ in out] == configs
+    assert [s for _, s in out] == sweep_seeds(42, 4)
+
+
+def test_run_sweep_rejects_nonpositive_workers():
+    with pytest.raises(ConfigurationError):
+        run_sweep(CONFIGS, lu2d_point, workers=0)
+
+
+def test_run_sweep_empty_configs():
+    assert run_sweep([], lu2d_point, workers=4) == []
