@@ -4,12 +4,15 @@
 Usage::
 
     python benchmarks/check_bench_regression.py BENCH_engine.json fresh.json \
-        [--key lu2d_512] [--threshold 0.30]
+        [--threshold 0.30]
 
-Fails (exit 1) when the fresh events/sec for ``--key`` falls more than
-``--threshold`` below the committed baseline.  Faster-than-baseline
-runs always pass; CI hosts are noisy, so the threshold is generous and
-this is a smoke gate, not a profiler.
+Every top-level record in the baseline is checked (``pre_pr`` history
+and records without an ``events_per_sec`` field are skipped): the run
+fails (exit 1) when any record's fresh events/sec falls more than
+``--threshold`` below its committed baseline, or when the fresh run is
+missing a baseline record entirely.  Faster-than-baseline runs always
+pass; CI hosts are noisy, so the threshold is generous and this is a
+smoke gate, not a profiler.
 """
 
 from __future__ import annotations
@@ -19,11 +22,21 @@ import json
 import sys
 
 
+def _gated_records(baseline: dict) -> dict:
+    """Baseline records that participate in the gate."""
+    return {
+        key: record
+        for key, record in baseline.items()
+        if key != "pre_pr"
+        and isinstance(record, dict)
+        and "events_per_sec" in record
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed BENCH_engine.json")
     parser.add_argument("fresh", help="JSON written by a fresh --bench-json run")
-    parser.add_argument("--key", default="lu2d_512", help="record to compare")
     parser.add_argument(
         "--threshold",
         type=float,
@@ -37,25 +50,33 @@ def main(argv=None) -> int:
     with open(args.fresh) as fh:
         fresh = json.load(fh)
 
-    try:
-        base_eps = float(baseline[args.key]["events_per_sec"])
-    except KeyError:
-        print(f"baseline {args.baseline} has no record {args.key!r}")
-        return 1
-    try:
-        fresh_eps = float(fresh[args.key]["events_per_sec"])
-    except KeyError:
-        print(f"fresh run {args.fresh} has no record {args.key!r}")
+    gated = _gated_records(baseline)
+    if not gated:
+        print(f"baseline {args.baseline} has no gatable records")
         return 1
 
-    floor = base_eps * (1.0 - args.threshold)
-    ratio = fresh_eps / base_eps if base_eps > 0 else 0.0
-    verdict = "OK" if fresh_eps >= floor else "REGRESSION"
-    print(
-        f"{args.key}: fresh {fresh_eps:,.0f} ev/s vs baseline "
-        f"{base_eps:,.0f} ev/s ({ratio:.2f}x, floor {floor:,.0f}) -> {verdict}"
-    )
-    return 0 if fresh_eps >= floor else 1
+    failures = 0
+    for key, record in sorted(gated.items()):
+        base_eps = float(record["events_per_sec"])
+        fresh_record = fresh.get(key)
+        if not isinstance(fresh_record, dict) or "events_per_sec" not in fresh_record:
+            print(f"{key}: MISSING from fresh run {args.fresh}")
+            failures += 1
+            continue
+        fresh_eps = float(fresh_record["events_per_sec"])
+        floor = base_eps * (1.0 - args.threshold)
+        ratio = fresh_eps / base_eps if base_eps > 0 else 0.0
+        verdict = "OK" if fresh_eps >= floor else "REGRESSION"
+        print(
+            f"{key}: fresh {fresh_eps:,.0f} ev/s vs baseline "
+            f"{base_eps:,.0f} ev/s ({ratio:.2f}x, floor {floor:,.0f}) -> {verdict}"
+        )
+        if fresh_eps < floor:
+            failures += 1
+
+    if failures:
+        print(f"{failures} of {len(gated)} gated record(s) failed")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -1,12 +1,18 @@
 """Engine throughput baseline: the numbers behind ``BENCH_engine.json``.
 
-Three workloads spanning the engine's hot paths -- a 512-rank
+Four workloads spanning the engine's hot paths -- a 512-rank
 block-cyclic LU (point-to-point heavy, the headline number), a 64-rank
-SUMMA (broadcast heavy), and a 32-rank collectives suite -- each timed
+SUMMA (broadcast heavy), a 32-rank collectives suite, and a 2048-rank
+collective run exercising the macro-op fast path -- each timed
 best-of-N untraced and recorded through the ``bench_record`` fixture.
 Run with ``--bench-json BENCH_engine.json`` to refresh the committed
 baseline; the CI perf-smoke job compares a fresh run against it with
 ``benchmarks/check_bench_regression.py``.
+
+The first three workloads pass ``macro_ops=False`` so their numbers
+keep measuring the per-message event cascade (and stay comparable with
+the committed history); the 2048-rank benchmark measures the macro
+path against that cascade and asserts the speedup.
 
 The assertions pin the *simulated* outcomes (makespan, event count),
 which must be machine-independent: a drift there is a correctness bug,
@@ -19,7 +25,7 @@ from repro.linalg.blocklu import make_test_matrix
 from repro.linalg.decomp import ProcessGrid2D
 from repro.linalg.lu2d import lu2d
 from repro.linalg.summa import summa
-from repro.machine.presets import touchstone_delta
+from repro.machine.presets import intel_paragon, touchstone_delta
 from repro.simmpi import run_program
 
 BEST_OF = 3
@@ -41,7 +47,7 @@ def test_bench_lu2d_512_throughput(bench_record):
     machine = touchstone_delta()
     a = make_test_matrix(192, seed=7)
     grid = ProcessGrid2D(16, 32)
-    res, wall = _best_of(lambda: lu2d(machine, grid, a, nb=2, seed=7))
+    res, wall = _best_of(lambda: lu2d(machine, grid, a, nb=2, seed=7, macro_ops=False))
     sim = res.sim
     # Bit-identity guard: these values are invariant across engine
     # optimisations (asserted exactly in the A/B equivalence tests).
@@ -63,7 +69,9 @@ def test_bench_summa_64_throughput(bench_record):
     a = make_test_matrix(128, seed=3)
     b = make_test_matrix(128, seed=4)
     grid = ProcessGrid2D(8, 8)
-    res, wall = _best_of(lambda: summa(machine, grid, a, b, panel=32, seed=3))
+    res, wall = _best_of(
+        lambda: summa(machine, grid, a, b, panel=32, seed=3, macro_ops=False)
+    )
     sim = res.sim
     assert sim.events > 0
     bench_record(
@@ -95,7 +103,9 @@ def _collectives_suite(comm):
 def test_bench_collectives_suite_throughput(bench_record):
     """The collective algorithms end-to-end on the Delta preset."""
     machine = touchstone_delta()
-    res, wall = _best_of(lambda: run_program(machine, 32, _collectives_suite))
+    res, wall = _best_of(
+        lambda: run_program(machine, 32, _collectives_suite, macro_ops=False)
+    )
     # The final alltoall leaves rank r holding rank 0's element 0 + r,
     # so returns are rank-offset copies of a common collective value.
     assert res.returns[31] - res.returns[0] == 31.0
@@ -105,4 +115,51 @@ def test_bench_collectives_suite_throughput(bench_record):
         wall_s=wall,
         ranks=32,
         virtual_time_s=round(res.time, 9),
+    )
+
+
+def _collectives_2048(comm):
+    """Dense log-p collectives at paper scale (2048-node Paragon).
+
+    Recursive-doubling allreduce and the dissemination barrier each
+    generate p*log2(p) messages per call -- the event cascades the
+    macro path collapses hardest (tree collectives, at p-1 messages,
+    gain far less; they are covered by ``_collectives_suite``).
+    """
+    acc = float(comm.rank)
+    for _ in range(3):
+        acc = yield from comm.allreduce(acc % 1e6, algorithm="recursive_doubling")
+        yield from comm.barrier()
+    return acc
+
+
+def test_bench_collectives_2048_macro(bench_record):
+    """The macro-op payoff: 2048-rank collectives, macro vs event path.
+
+    The event path runs once (it is the slow side being displaced); the
+    macro path is timed best-of-N.  Results must be bit-identical, and
+    the wall-time speedup is the number this PR exists for.
+    """
+    machine = intel_paragon(32, 64)
+    ref, ref_wall = _best_of(
+        lambda: run_program(machine, 2048, _collectives_2048, macro_ops=False),
+        repeats=1,
+    )
+    res, wall = _best_of(lambda: run_program(machine, 2048, _collectives_2048))
+    # Bit-identity guard: the macro path must be invisible in results.
+    assert res.time == ref.time
+    assert res.stats == ref.stats
+    assert res.returns == ref.returns
+    assert res.events < ref.events
+    speedup = ref_wall / wall
+    assert speedup >= 5.0, f"macro path speedup {speedup:.1f}x < 5x"
+    bench_record(
+        "collectives_2048",
+        events=ref.events,
+        wall_s=wall,
+        ranks=2048,
+        virtual_time_s=round(res.time, 9),
+        macro_events=res.events,
+        event_path_wall_s=round(ref_wall, 4),
+        macro_speedup=round(speedup, 1),
     )

@@ -127,7 +127,7 @@ def _cmd_scaling(args) -> str:
 def _cmd_sweep(args) -> str:
     import json
 
-    from repro.sweep import Lu2dPoint, lu2d_point, run_sweep
+    from repro.sweep import Lu2dPoint, RunCache, lu2d_point, run_sweep
     from repro.util.tables import render_table
 
     configs = []
@@ -148,7 +148,10 @@ def _cmd_sweep(args) -> str:
                 overlap=args.overlap,
             )
         )
-    results = run_sweep(configs, lu2d_point, workers=args.workers, seed=args.seed)
+    cache = RunCache(args.cache_dir) if args.cache else None
+    results = run_sweep(
+        configs, lu2d_point, workers=args.workers, seed=args.seed, cache=cache
+    )
     rows = [
         [
             f"{c.prows}x{c.pcols}",
@@ -169,10 +172,22 @@ def _cmd_sweep(args) -> str:
     )
     if not all(r["exact"] for r in results):
         raise ReproError("sweep point diverged from the serial factorisation")
+    cache_info = {"enabled": cache is not None}
+    if cache is not None:
+        cache_info.update(cache.stats())
+        table += (
+            f"\n\ncache {args.cache_dir}: "
+            f"{cache.hits} hit(s), {cache.misses} miss(es)"
+        )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(
-                {f"{c.prows}x{c.pcols}": r for c, r in zip(configs, results)},
+                {
+                    "results": {
+                        f"{c.prows}x{c.pcols}": r for c, r in zip(configs, results)
+                    },
+                    "cache": cache_info,
+                },
                 fh,
                 indent=2,
                 sort_keys=True,
@@ -402,6 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument(
         "--json", metavar="PATH", help="also write results as JSON to PATH"
+    )
+    sweep.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="serve identical (config, seed) points from the run cache "
+             "and store fresh ones (--no-cache disables)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="run-cache directory (default: .repro-cache)",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -187,6 +187,7 @@ def lu2d(
     eager_threshold_bytes: float = float("inf"),
     delivery="alphabeta",
     trace: bool = False,
+    macro_ops: bool = True,
 ) -> LU2DResult:
     """Factor ``a`` on a process grid; reassemble the packed factor.
 
@@ -194,7 +195,9 @@ def lu2d(
     simulated communication (non-blocking broadcasts, rendezvous
     threshold, wire-contention model) without changing the numerics.
     ``trace`` records message logs and activity spans for
-    :mod:`repro.obs` analysis.
+    :mod:`repro.obs` analysis.  ``macro_ops=False`` forces collectives
+    through the per-message event cascade (the benchmark baselines pin
+    event counts on that path).
     """
     a = np.asarray(a, dtype=float)
     n = a.shape[0]
@@ -213,6 +216,7 @@ def lu2d(
         trace=trace,
         eager_threshold_bytes=eager_threshold_bytes,
         delivery=delivery,
+        macro_ops=macro_ops,
     )
     sim = engine.run(lu2d_program, grid, a, nb, overlap)
     lu = np.zeros((n, n))

@@ -125,12 +125,14 @@ def summa(
     eager_threshold_bytes: float = float("inf"),
     delivery="alphabeta",
     trace: bool = False,
+    macro_ops: bool = True,
 ) -> DistributedMatmul:
     """Multiply on a simulated machine and reassemble the result.
 
     ``overlap``, ``eager_threshold_bytes`` and ``delivery`` tune the
     simulated communication without changing the numerics; ``trace``
-    records spans for :mod:`repro.obs` analysis.
+    records spans for :mod:`repro.obs` analysis; ``macro_ops=False``
+    forces collectives through the per-message event cascade.
     """
     if grid.size > machine.n_nodes:
         raise DecompositionError(
@@ -145,6 +147,7 @@ def summa(
         trace=trace,
         eager_threshold_bytes=eager_threshold_bytes,
         delivery=delivery,
+        macro_ops=macro_ops,
     )
     sim = engine.run(
         summa_program,

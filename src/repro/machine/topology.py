@@ -21,6 +21,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.util.errors import TopologyError
 
 
@@ -63,6 +65,21 @@ class Topology(ABC):
     def hops(self, src: int, dst: int) -> int:
         """Number of links on the routed path (0 for self)."""
         return len(self.route(src, dst)) - 1
+
+    def hops_array(self, srcs: "np.ndarray", dsts: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`hops` over parallel arrays of node ids.
+
+        The macro-op evaluator prices whole collective rounds at once
+        through this.  Node ids must be valid (callers hold ranks the
+        engine already validated); the regular topologies override the
+        generic loop with closed-form integer arithmetic that matches
+        :meth:`hops` exactly.
+        """
+        return np.fromiter(
+            (self.hops(int(s), int(d)) for s, d in zip(srcs, dsts)),
+            dtype=np.int64,
+            count=len(srcs),
+        )
 
     def links(self) -> Iterator[Tuple[int, int]]:
         """All undirected links, each reported once as (low, high)."""
@@ -156,6 +173,11 @@ class Mesh2D(Topology):
         r1, c1 = self.coords(dst)
         return abs(r0 - r1) + abs(c0 - c1)
 
+    def hops_array(self, srcs: "np.ndarray", dsts: "np.ndarray") -> "np.ndarray":
+        r0, c0 = np.divmod(np.asarray(srcs, dtype=np.int64), self.cols)
+        r1, c1 = np.divmod(np.asarray(dsts, dtype=np.int64), self.cols)
+        return np.abs(r0 - r1) + np.abs(c0 - c1)
+
     def diameter(self) -> int:
         return (self.rows - 1) + (self.cols - 1)
 
@@ -218,6 +240,13 @@ class Torus2D(Mesh2D):
         dr = min((r1 - r0) % self.rows, (r0 - r1) % self.rows)
         return dc + dr
 
+    def hops_array(self, srcs: "np.ndarray", dsts: "np.ndarray") -> "np.ndarray":
+        r0, c0 = np.divmod(np.asarray(srcs, dtype=np.int64), self.cols)
+        r1, c1 = np.divmod(np.asarray(dsts, dtype=np.int64), self.cols)
+        dc = np.minimum((c1 - c0) % self.cols, (c0 - c1) % self.cols)
+        dr = np.minimum((r1 - r0) % self.rows, (r0 - r1) % self.rows)
+        return dc + dr
+
     def diameter(self) -> int:
         return self.rows // 2 + self.cols // 2
 
@@ -269,6 +298,13 @@ class Hypercube(Topology):
         self.check_node(dst)
         return bin(src ^ dst).count("1")
 
+    def hops_array(self, srcs: "np.ndarray", dsts: "np.ndarray") -> "np.ndarray":
+        diff = np.asarray(srcs, dtype=np.int64) ^ np.asarray(dsts, dtype=np.int64)
+        total = np.zeros_like(diff)
+        for d in range(self.dimension):  # popcount, dimension <= 20
+            total += (diff >> d) & 1
+        return total
+
     def diameter(self) -> int:
         return self.dimension
 
@@ -317,6 +353,10 @@ class Ring(Topology):
         d = abs(src - dst)
         return min(d, self._n - d)
 
+    def hops_array(self, srcs: "np.ndarray", dsts: "np.ndarray") -> "np.ndarray":
+        d = np.abs(np.asarray(srcs, dtype=np.int64) - np.asarray(dsts, dtype=np.int64))
+        return np.minimum(d, self._n - d)
+
     def diameter(self) -> int:
         return self._n // 2
 
@@ -356,6 +396,11 @@ class FullyConnected(Topology):
         self.check_node(src)
         self.check_node(dst)
         return 0 if src == dst else 1
+
+    def hops_array(self, srcs: "np.ndarray", dsts: "np.ndarray") -> "np.ndarray":
+        return (
+            np.asarray(srcs, dtype=np.int64) != np.asarray(dsts, dtype=np.int64)
+        ).astype(np.int64)
 
     def diameter(self) -> int:
         return 1 if self._n > 1 else 0

@@ -29,6 +29,7 @@ from repro.simmpi.protocol import EagerProtocol, Protocol, RendezvousProtocol
 from repro.simmpi.requests import (
     ANY_SOURCE,
     ANY_TAG,
+    CollectiveReq,
     ComputeReq,
     IrecvReq,
     IsendReq,
@@ -70,6 +71,7 @@ __all__ = [
     "run_program",
     "ANY_SOURCE",
     "ANY_TAG",
+    "CollectiveReq",
     "ComputeReq",
     "IrecvReq",
     "IsendReq",

@@ -17,6 +17,7 @@ from typing import Any, Callable, Generator, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.simmpi.requests import MACRO_FALLBACK, CollectiveReq
 from repro.util.errors import CommunicationError
 
 #: Rounds within one collective get distinct tags below the block tag.
@@ -69,11 +70,55 @@ def _phased(comm, label: str, gen: Generator) -> Generator:
 
 
 # ---------------------------------------------------------------------------
+# macro-op dispatch
+# ---------------------------------------------------------------------------
+
+def _macro_collective(
+    comm, kind: str, algorithm: str, root: int, op, value: Any,
+    resolve: bool = False,
+) -> Generator:
+    """Park this rank on a :class:`CollectiveReq` macro event.
+
+    The engine gathers all members, then either resumes each with its
+    analytically computed result or with :data:`MACRO_FALLBACK`, in
+    which case the real message algorithm runs inline from the same
+    entry clock (all members fall back together, per invocation).
+    Exactly one collective-sequence draw happens here either way, so
+    fast and fallback invocations stay aligned across ranks -- the
+    fallback's own tag-block draw is then the same fresh block on every
+    member.
+    """
+    if resolve:
+        # Matches the event path, which resolves the op at the
+        # generator's first resume rather than at the dispatch call.
+        op = resolve_op(op)
+    comm._coll_seq += 1
+    members = getattr(comm, "members", None)
+    result = yield CollectiveReq(
+        None if members is None else tuple(members),
+        comm._coll_seq, kind, algorithm, root, op, value,
+        comm.rank, comm.size,
+    )
+    if result is MACRO_FALLBACK:
+        # The dispatch bump above already reserved this invocation's
+        # sequence slot; rewind so the impl's own ``next_tag_block``
+        # redraws the *same* block the event path would have used --
+        # every member falls back together, so the counters stay
+        # aligned across ranks and with the pure event path (visible
+        # in, e.g., the tags a DeadlockError reports).
+        comm._coll_seq -= 1
+        return (yield from _MACRO_FALLBACK_IMPLS[kind](comm, value, root, op, algorithm))
+    return result
+
+
+# ---------------------------------------------------------------------------
 # barrier
 # ---------------------------------------------------------------------------
 
 def barrier(comm) -> Generator:
     """Dissemination barrier: ceil(log2 p) rounds of shifted tokens."""
+    if comm._macro and comm.size > 1:
+        return _macro_collective(comm, "barrier", "dissemination", 0, None, None)
     gen = _barrier_dissemination(comm)
     if comm._tracing:
         return _phased(comm, "barrier", gen)
@@ -107,6 +152,8 @@ def bcast(comm, value: Any, root: int = 0, algorithm: str = "tree") -> Generator
         impl = _BCAST_ALGORITHMS[algorithm]
     except KeyError:
         raise CommunicationError(f"unknown bcast algorithm {algorithm!r}") from None
+    if comm._macro and comm.size > 1 and algorithm in _MACRO_BCAST:
+        return _macro_collective(comm, "bcast", algorithm, root, None, value)
     gen = impl(comm, value, root)
     if comm._tracing:
         return _phased(comm, "bcast", gen)
@@ -208,6 +255,11 @@ _BCAST_ALGORITHMS = {
     "flat": _bcast_flat,
 }
 
+#: Bcast algorithms the macro evaluator reproduces exactly (tree_nb's
+#: isend overlap is not modelled analytically, so it stays on the event
+#: path).
+_MACRO_BCAST = frozenset({"tree", "ring", "flat"})
+
 
 # ---------------------------------------------------------------------------
 # reduce / allreduce
@@ -221,7 +273,10 @@ def reduce(comm, value: Any, op: Union[str, Callable] = "sum", root: int = 0) ->
     """
     if not 0 <= root < comm.size:
         raise CommunicationError(f"reduce root {root} out of range")
-    gen = _reduce_binomial(comm, value, resolve_op(op), root)
+    combiner = resolve_op(op)
+    if comm._macro and comm.size > 1:
+        return _macro_collective(comm, "reduce", "binomial", root, combiner, value)
+    gen = _reduce_binomial(comm, value, combiner, root)
     if comm._tracing:
         return _phased(comm, "reduce", gen)
     return gen
@@ -255,8 +310,14 @@ def allreduce(
 ) -> Generator:
     """All ranks obtain the reduction of everyone's value."""
     if algorithm == "reduce_bcast":
+        # Composes reduce + bcast; each inner call macro-dispatches on
+        # its own, so no direct hook is needed here.
         gen = _allreduce_reduce_bcast(comm, value, op)
     elif algorithm == "recursive_doubling":
+        if comm._macro and comm.size > 1:
+            return _macro_collective(
+                comm, "allreduce", "recursive_doubling", 0, op, value, resolve=True
+            )
         gen = _allreduce_recursive_doubling(comm, value, op)
     else:
         raise CommunicationError(f"unknown allreduce algorithm {algorithm!r}")
@@ -372,6 +433,8 @@ def _gather_flat(comm, value: Any, root: int) -> Generator:
 
 def allgather(comm, value: Any, algorithm: str = "ring") -> Generator:
     """Every rank ends with the rank-ordered list of all values."""
+    if comm._macro and comm.size > 1 and algorithm == "ring":
+        return _macro_collective(comm, "allgather", "ring", 0, None, value)
     gen = _allgather_impl(comm, value, algorithm)
     if comm._tracing:
         return _phased(comm, "allgather", gen)
@@ -558,6 +621,10 @@ def alltoall(comm, values: Sequence[Any], algorithm: str = "cyclic") -> Generato
     out[comm.rank] = values[comm.rank]
     if p == 1:
         return out
+    if comm._macro and algorithm == "cyclic":
+        return (yield from _macro_collective(
+            comm, "alltoall", "cyclic", 0, None, list(values)
+        ))
     tag0 = _block_tag(comm)
     if comm._tracing:
         comm._phases.append("alltoall")
@@ -595,3 +662,23 @@ def _alltoall_impl(comm, values, algorithm: str, tag0: int, out: list) -> Genera
         yield from comm.waitall(send_handles)
         return out
     raise CommunicationError(f"unknown alltoall algorithm {algorithm!r}")
+
+
+def _alltoall_macro_fallback(comm, values) -> Generator:
+    out: list = [None] * comm.size
+    out[comm.rank] = values[comm.rank]
+    tag0 = _block_tag(comm)
+    return (yield from _alltoall_impl(comm, values, "cyclic", tag0, out))
+
+
+#: kind -> real algorithm generator, invoked when the engine answers a
+#: CollectiveReq with MACRO_FALLBACK.  ``op`` is already resolved by the
+#: dispatch layer (resolve_op is idempotent on callables).
+_MACRO_FALLBACK_IMPLS = {
+    "barrier": lambda comm, value, root, op, alg: _barrier_dissemination(comm),
+    "bcast": lambda comm, value, root, op, alg: _BCAST_ALGORITHMS[alg](comm, value, root),
+    "reduce": lambda comm, value, root, op, alg: _reduce_binomial(comm, value, op, root),
+    "allreduce": lambda comm, value, root, op, alg: _allreduce_recursive_doubling(comm, value, op),
+    "allgather": lambda comm, value, root, op, alg: _allgather_impl(comm, value, "ring"),
+    "alltoall": lambda comm, value, root, op, alg: _alltoall_macro_fallback(comm, value),
+}

@@ -86,7 +86,7 @@ class Comm:
 
     __slots__ = (
         "rank", "size", "machine", "rng", "_coll_seq", "_phases", "_tracing",
-        "_send_req", "_isend_req", "_recv_req", "_irecv_req",
+        "_macro", "_send_req", "_isend_req", "_recv_req", "_irecv_req",
         "_wait_req", "_compute_req",
     )
 
@@ -105,6 +105,10 @@ class Comm:
         # untraced runs get the shared no-op scope.
         self._phases: list = []
         self._tracing = False
+        # The engine flips _macro on when collectives may be evaluated
+        # as engine-level macro events (untraced, plain alpha-beta
+        # delivery, no fault injection); see repro.simmpi.macro.
+        self._macro = False
         # Per-rank scratch requests (see class docstring).
         self._send_req = SendReq()
         self._isend_req = IsendReq()

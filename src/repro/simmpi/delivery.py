@@ -53,6 +53,10 @@ class DeliveryModel(ABC):
 
     #: Registry name; also used in reports.
     name: str = "abstract"
+    #: True when arrival() is a pure function of (src, dst, nbytes,
+    #: start) -- no cross-message state (documentation flag; macro-op
+    #: eligibility itself is keyed on the exact AlphaBetaDelivery type).
+    analytic: bool = False
 
     def bind(self, machine: Machine, rank_map: Sequence[int]) -> None:
         self.machine = machine
@@ -101,9 +105,20 @@ class AlphaBetaDelivery(DeliveryModel):
     one dict probe, one add and one divide -- float-identical to
     calling :meth:`LinkModel.message_time` because the memo preserves
     its evaluation order.
+
+    This model is *analytic*: ``arrival()`` is a pure, stationary
+    function of ``(src, dst, nbytes, start)`` with no cross-message
+    state, which is exactly what lets the engine's collective macro-op
+    path (:mod:`repro.simmpi.macro`) evaluate whole collectives in
+    closed form.  The engine keys that eligibility on this *exact*
+    type: a subclass may override ``arrival()`` with history-dependent
+    behaviour (as the contention model does) and then macro-ops stay
+    off.
     """
 
     name = "alphabeta"
+    #: Arrival is history-free; see class docstring.
+    analytic = True
 
     def reset(self) -> None:
         # Hop counts between mapped ranks are looked up constantly; memoise.

@@ -70,7 +70,11 @@ from repro.machine.machine import Machine
 from repro.simmpi.comm import Comm
 from repro.simmpi.delivery import AlphaBetaDelivery, DeliveryModel, resolve_delivery
 from repro.simmpi.protocol import EagerProtocol, Protocol, RendezvousProtocol
+from repro.simmpi.macro import SUPPORTED as _MACRO_SUPPORTED
+from repro.simmpi.macro import evaluate as _macro_evaluate
 from repro.simmpi.requests import (
+    MACRO_FALLBACK,
+    CollectiveReq,
     ComputeReq,
     InFlight,
     IrecvReq,
@@ -194,6 +198,22 @@ class Engine:
         Enable the run-until-block inner loop (default on).  Purely a
         scheduling shortcut -- results are bit-identical either way;
         the flag exists for A/B equivalence tests and debugging.
+    macro_ops:
+        Evaluate eligible collectives as single engine-level macro
+        events using the closed-form schedules in
+        :mod:`repro.simmpi.macro` instead of replaying their
+        per-message event cascades (default on).  Like ``fast_path``
+        this is purely an execution shortcut: makespans, per-rank
+        stats, and return values are bit-identical (asserted in the
+        A/B equivalence suite); only :attr:`SimResult.events` shrinks.
+        Automatically disabled for the whole run when tracing is on,
+        the delivery model is not the plain alpha-beta one (e.g.
+        contention), or fault injection is armed -- in those cases
+        per-message semantics are observable.  Individual invocations
+        additionally fall back to the event path whenever analytic
+        exactness cannot be guaranteed (members with queued or parked
+        traffic, rendezvous messages inside cyclic patterns,
+        unsupported algorithms).
     """
 
     def __init__(
@@ -209,6 +229,7 @@ class Engine:
         eager_threshold_bytes: float = float("inf"),
         delivery: Union[str, DeliveryModel] = "alphabeta",
         fast_path: bool = True,
+        macro_ops: bool = True,
     ):
         self.machine = machine
         self.n_ranks = machine.n_nodes if n_ranks is None else n_ranks
@@ -238,6 +259,7 @@ class Engine:
         self.eager_threshold_bytes = eager_threshold_bytes
         self.delivery = resolve_delivery(delivery)
         self.fast_path = fast_path
+        self.macro_ops = macro_ops
         self.fail_at = dict(fail_at) if fail_at else {}
         for rank, when in self.fail_at.items():
             if not 0 <= rank < self.n_ranks:
@@ -271,6 +293,7 @@ class _Run:
         "protocols", "ranks", "_n", "_eager_max", "_last_arrival",
         "_overhead", "seq", "_heap", "_active", "_fast", "_fast_enabled",
         "comms", "_ab_hops", "_ab", "_tracing", "_flops_denom",
+        "_macro_enabled", "_macro_pending", "_world_members",
     )
 
     def __init__(self, engine: Engine):
@@ -325,6 +348,19 @@ class _Run:
         # Hop-count memo for the uncontended alpha-beta reference used
         # to split wire time from contention stall (tracing only).
         self._ab_hops: Dict[int, int] = {}
+        # Collective macro-ops: run-level eligibility (tracing, a
+        # non-stock delivery model, or armed faults make per-message
+        # semantics observable, so the whole run stays on the event
+        # path), plus the gather table of partially arrived
+        # invocations keyed by (members, seq, kind, algorithm, root).
+        self._macro_enabled = (
+            engine.macro_ops
+            and not engine.trace
+            and not engine.fail_at
+            and self._ab is not None
+        )
+        self._macro_pending: Dict[tuple, list] = {}
+        self._world_members = tuple(range(engine.n_ranks))
 
     # -- tracing helpers ----------------------------------------------------
 
@@ -579,6 +615,67 @@ class _Run:
             self._fast = (clock, seq, rank, None)
         else:
             heapq.heappush(self._heap, (clock, seq, rank, None))
+
+    def _handle_collective(self, state: RankState, request: CollectiveReq) -> None:
+        """One member arrived at a macro collective: park it until the
+        whole group is in, then evaluate the invocation analytically
+        (or fall everyone back to the event path)."""
+        key = (request.members, request.seq, request.kind,
+               request.algorithm, request.root)
+        pend = self._macro_pending
+        entry = pend.get(key)
+        if entry is None:
+            size = request.size
+            # [outstanding count, reqs by group rank, entry clocks]
+            entry = pend[key] = [size, [None] * size, [0.0] * size]
+        g = request.grank
+        entry[0] -= 1
+        entry[1][g] = request
+        entry[2][g] = state.clock
+        state.blocked = True
+        state.collective = key
+        if entry[0] == 0:
+            del pend[key]
+            self._run_macro(key, entry[1], entry[2])
+
+    def _run_macro(self, key: tuple, reqs: list, clocks: list) -> None:
+        """All members of one collective invocation are parked: commit
+        the closed-form schedule, or resume everyone with the fallback
+        sentinel so the real message algorithm runs from these same
+        entry clocks."""
+        members = key[0]
+        if members is None:
+            members = self._world_members
+        ranks = self.ranks
+        sound = (key[2], key[3]) in _MACRO_SUPPORTED
+        if sound:
+            for m in members:
+                st = ranks[m]
+                # Queued eager traffic, posted receive slots, or parked
+                # rendezvous senders targeting a member could interact
+                # with the collective's own messages; only the event
+                # path reproduces that exactly.
+                if st.rslots or st.pending or st.parked:
+                    sound = False
+                    break
+        result = _macro_evaluate(self, members, reqs, clocks) if sound else None
+        schedule = self.schedule
+        if result is None:
+            for m in members:
+                st = ranks[m]
+                st.blocked = False
+                st.collective = None
+                schedule(st.clock, m, MACRO_FALLBACK)
+            return
+        finishes, values = result
+        # evaluate() already committed clocks and stats; the resume
+        # events land exactly at each member's new clock, so no idle
+        # time is attributed.
+        for i, m in enumerate(members):
+            st = ranks[m]
+            st.blocked = False
+            st.collective = None
+            schedule(finishes[i], m, values[i])
 
     def _protocol_for(self, nbytes: float) -> Protocol:
         if nbytes > self.engine.eager_threshold_bytes:
@@ -914,6 +1011,9 @@ class _Run:
         if self.tracer.enabled:
             for comm in comms:
                 comm._tracing = True
+        if self._macro_enabled:
+            for comm in comms:
+                comm._macro = True
         self.comms = comms
         gens = []
         for rank in range(p):
@@ -945,6 +1045,7 @@ class _Run:
             IrecvReq: self._handle_recv,
             WaitReq: self._handle_wait,
             WaitanyReq: self._handle_waitany,
+            CollectiveReq: self._handle_collective,
         }
         handler_for = handlers.get
         # The three request types below cover essentially every event
@@ -1087,6 +1188,7 @@ def run_program(
     trace: bool = False,
     eager_threshold_bytes: float = float("inf"),
     delivery: Union[str, DeliveryModel] = "alphabeta",
+    macro_ops: bool = True,
     **kwargs: Any,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Engine`."""
@@ -1097,4 +1199,5 @@ def run_program(
         trace=trace,
         eager_threshold_bytes=eager_threshold_bytes,
         delivery=delivery,
+        macro_ops=macro_ops,
     ).run(program, *args, **kwargs)

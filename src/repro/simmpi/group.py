@@ -35,6 +35,7 @@ class GroupComm:
     __slots__ = (
         "parent", "members", "_member_pos", "rank", "size", "machine",
         "rng", "_salt", "_user_tag_base", "_coll_seq", "_tracing", "_phases",
+        "_macro",
     )
 
     def __init__(self, parent: Comm, members: Sequence[int]):
@@ -70,6 +71,8 @@ class GroupComm:
         # groups are built after the engine sets the tracing flag.
         self._tracing = parent._tracing
         self._phases = parent._phases
+        # Groups are built after the engine decides macro eligibility.
+        self._macro = parent._macro
 
     # -- tag management -------------------------------------------------------
 

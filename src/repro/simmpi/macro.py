@@ -1,0 +1,606 @@
+"""Closed-form (macro-op) evaluation of collective schedules.
+
+When a collective runs untraced under plain
+:class:`~repro.simmpi.delivery.AlphaBetaDelivery` with no fault
+injection pending, the per-message event cascade it would generate is a
+*deterministic closed-form function* of the members' entry clocks and
+the alpha-beta parameters: no outside event can alter a match, arrival,
+or handshake inside the collective.  This module replays that cascade
+analytically -- same messages, same arithmetic expressions, same
+floating-point evaluation order per rank -- without touching the event
+heap, so every member pays exactly one event per collective instead of
+O(log P)..O(P).
+
+Bit-exactness contract
+----------------------
+
+Every helper below mirrors the engine's fused eager-send handler and
+the protocols' rendezvous arithmetic *expression for expression*:
+
+* eager send:   ``arrival = ab.arrival(src, dst, nbytes, now)`` then the
+  per-pair FIFO clamp; ``clear = now + overhead``.
+* rendezvous:   ``handshake = max(recv_post, park)``; arrival computed
+  at the handshake; ``comm_time += (handshake - park) + overhead``.
+* blocking recv: ``completion = max(arrival, blocked_since)``.
+
+Per-rank statistics are accumulated on *local copies seeded from the
+live values* and committed absolutely, so the float addition order per
+rank is identical to the event path (each rank's stats are only ever
+touched by its own ops, in program order).
+
+Evaluation is transactional: local clocks, stats, and a
+``_last_arrival`` overlay are the only mutable state until
+:meth:`_Sched.commit`, so bailing out at any point (``_Bail``) is safe
+-- the engine then resumes every member with ``MACRO_FALLBACK`` and the
+real message algorithm runs from the same entry clocks.  The only
+side effects before commit are the delivery model's deterministic
+``_fixed`` / overhead memos, which cache pure functions of (src, dst).
+
+Supported schedules (anything else falls back): dissemination barrier,
+binomial-tree / ring / flat bcast, binomial reduce, recursive-doubling
+allreduce, ring allgather, cyclic alltoall.  Cyclic patterns
+(butterfly, rings, alltoall) are evaluated only when every message is
+eager; a rendezvous message there means the event path's behaviour
+(including its deadlock) must be reproduced for real, so we bail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simmpi.requests import CollectiveReq, copy_payload, payload_nbytes
+
+#: (kind, algorithm) pairs the evaluator can reproduce exactly.
+SUPPORTED = frozenset({
+    ("barrier", "dissemination"),
+    ("bcast", "tree"),
+    ("bcast", "ring"),
+    ("bcast", "flat"),
+    ("reduce", "binomial"),
+    ("allreduce", "recursive_doubling"),
+    ("allgather", "ring"),
+    ("alltoall", "cyclic"),
+})
+
+
+class _Bail(Exception):
+    """The schedule is not analytically exact here (rendezvous inside a
+    cyclic pattern); the caller replays the event path instead."""
+
+
+class _Sched:
+    """Transactional per-collective scheduler state.
+
+    Clocks and stats are local absolute copies; ``overlay`` shadows the
+    run's per-pair FIFO clamp table.  Nothing escapes until
+    :meth:`commit`.
+    """
+
+    __slots__ = (
+        "run", "members", "p", "clock", "comm_t", "sent_n", "sent_b",
+        "recv_n", "recv_b", "eager_max", "ab", "n", "overlay", "last",
+        "oh_memo", "members_arr", "nodes", "topo", "latency", "per_hop",
+        "bw", "fifo_cap",
+    )
+
+    def __init__(self, run: Any, members: Sequence[int], clocks: Sequence[float]):
+        self.run = run
+        self.members = members
+        p = len(members)
+        self.p = p
+        ranks = run.ranks
+        # Numpy storage: scalar helpers index element-wise (identical
+        # IEEE arithmetic to plain floats), vector helpers price a
+        # whole permutation round in a handful of array ops.
+        self.clock = np.array(clocks, dtype=np.float64)
+        self.comm_t = np.fromiter(
+            (ranks[m].stats.comm_time for m in members), np.float64, count=p
+        )
+        self.sent_n = np.fromiter(
+            (ranks[m].stats.messages_sent for m in members), np.int64, count=p
+        )
+        self.sent_b = np.fromiter(
+            (ranks[m].stats.bytes_sent for m in members), np.int64, count=p
+        )
+        self.recv_n = np.fromiter(
+            (ranks[m].stats.messages_received for m in members), np.int64, count=p
+        )
+        self.recv_b = np.fromiter(
+            (ranks[m].stats.bytes_received for m in members), np.int64, count=p
+        )
+        self.eager_max = run._eager_max
+        ab = run.delivery  # guaranteed AlphaBetaDelivery by the engine
+        self.ab = ab
+        self.n = run._n
+        self.overlay: dict = {}
+        last = run._last_arrival
+        self.last = last
+        # Upper bound on every arrival recorded in ``last`` + overlay:
+        # lets send_round prove "no FIFO clamp can fire this round" in
+        # O(1) and skip the per-pair dict probes entirely.
+        self.fifo_cap = max(last.values()) if last else float("-inf")
+        self.oh_memo = run._overhead
+        self.members_arr = np.asarray(members, dtype=np.int64)
+        self.nodes = np.asarray(ab.rank_map, dtype=np.int64)[self.members_arr]
+        machine = ab.machine
+        link = machine.link
+        self.topo = machine.topology
+        self.latency = link.latency_s
+        self.per_hop = link.per_hop_s
+        self.bw = ab._bw
+
+    # -- message primitives -------------------------------------------------
+
+    def send(self, gs: int, gd: int, nbytes: int) -> float:
+        """One send issued at ``gs``'s current clock toward ``gd``.
+
+        Valid only where ``gd``'s matching receive is posted at ``gd``'s
+        *current* local clock (true for every acyclic schedule below:
+        the receiver's recv is its next pending op).  Returns the
+        message's arrival time at the destination.
+        """
+        clock = self.clock
+        now = clock[gs]
+        rendezvous = nbytes > self.eager_max
+        if rendezvous:
+            post = clock[gd]
+            start = post if post > now else now  # handshake
+        else:
+            start = now
+        members = self.members
+        src = members[gs]
+        dst = members[gd]
+        key = src * self.n + dst
+        ab = self.ab
+        fixed = ab._fixed.get(key)
+        if fixed is None:
+            arrival = ab.arrival(src, dst, nbytes, start)
+        else:
+            arrival = start + (fixed + nbytes / ab._bw)
+        overlay = self.overlay
+        prev = overlay.get(key)
+        if prev is None:
+            prev = self.last.get(key)
+        if prev is not None and prev > arrival:
+            arrival = prev
+        overlay[key] = arrival
+        if arrival > self.fifo_cap:
+            self.fifo_cap = arrival
+        oh = self.oh_memo.get(key)
+        if oh is None:
+            oh = self.oh_memo[key] = ab.overhead(src, dst)
+        if rendezvous:
+            clock[gs] = start + oh
+            self.comm_t[gs] += (start - now) + oh
+        else:
+            clock[gs] = now + oh
+            self.comm_t[gs] += oh
+        self.sent_n[gs] += 1
+        self.sent_b[gs] += nbytes
+        return arrival
+
+    def send_eager(self, gs: int, gd: int, nbytes: int) -> float:
+        """Like :meth:`send` but refuses rendezvous -- used inside cyclic
+        schedules where a synchronous send means the event path must run
+        (it may legitimately deadlock there)."""
+        if nbytes > self.eager_max:
+            raise _Bail
+        return self.send(gs, gd, nbytes)
+
+    def recv(self, gd: int, arrival: float, nbytes: int) -> float:
+        """Complete a blocking receive posted at ``gd``'s current clock."""
+        clock = self.clock
+        blocked_since = clock[gd]
+        completion = arrival if arrival > blocked_since else blocked_since
+        self.comm_t[gd] += completion - blocked_since
+        self.recv_n[gd] += 1
+        self.recv_b[gd] += nbytes
+        clock[gd] = completion
+        return completion
+
+    # -- vectorised round primitives ----------------------------------------
+
+    def send_round(self, srcs, dsts, nbytes) -> "np.ndarray":
+        """Vectorised :meth:`send` for one permutation round.
+
+        Every listed source issues one send; (src, dst) pairs are
+        distinct, no pair is a self-send, and each destination's
+        matching receive is posted at its current clock (the acyclic /
+        round-phased precondition of :meth:`send`).  ``nbytes`` is a
+        scalar or per-pair array.  Element for element the float
+        expressions match :meth:`send` exactly; callers inside cyclic
+        schedules must reject rendezvous sizes *before* calling (see
+        :meth:`send`'s eager-only counterpart).
+        """
+        clock = self.clock
+        now = clock[srcs]
+        rdv = nbytes > self.eager_max
+        if np.any(rdv):
+            # Handshake: start no earlier than the posted receive.
+            starts = np.where(rdv, np.maximum(clock[dsts], now), now)
+        else:
+            starts = now
+        hops = self.topo.hops_array(self.nodes[srcs], self.nodes[dsts])
+        fixed = np.where(hops == 0, 0.0, self.latency + hops * self.per_hop)
+        arrivals = starts + (fixed + nbytes / self.bw)
+        # Per-pair FIFO clamp against the run's live table + overlay.
+        keys = (self.members_arr[srcs] * self.n + self.members_arr[dsts]).tolist()
+        overlay = self.overlay
+        cap = self.fifo_cap
+        if cap <= float(arrivals.min()):
+            # Every recorded arrival is <= every arrival this round, so
+            # no pair's clamp can fire: record the round in one bulk
+            # update instead of 2p dict probes.
+            overlay.update(zip(keys, arrivals.tolist()))
+        else:
+            last = self.last
+            alist = arrivals.tolist()
+            clamped = False
+            for i, key in enumerate(keys):
+                a = alist[i]
+                prev = overlay.get(key)
+                if prev is None:
+                    prev = last.get(key)
+                if prev is not None and prev > a:
+                    a = prev
+                    alist[i] = a
+                    clamped = True
+                overlay[key] = a
+            if clamped:
+                arrivals = np.asarray(alist)
+        new_max = float(arrivals.max())
+        if new_max > cap:
+            self.fifo_cap = new_max
+        # src != dst throughout, so the sender overhead is the constant
+        # the memo would hold for every pair.
+        oh = self.latency
+        clock[srcs] = starts + oh
+        # (starts - now) is exactly 0.0 for eager sends, so one fused
+        # expression reproduces both protocols' comm_time charges.
+        self.comm_t[srcs] += (starts - now) + oh
+        self.sent_n[srcs] += 1
+        self.sent_b[srcs] += nbytes
+        return arrivals
+
+    def recv_round(self, dsts, arrivals, nbytes) -> None:
+        """Vectorised :meth:`recv` over distinct destinations."""
+        clock = self.clock
+        blocked = clock[dsts]
+        completion = np.maximum(arrivals, blocked)
+        self.comm_t[dsts] += completion - blocked
+        self.recv_n[dsts] += 1
+        self.recv_b[dsts] += nbytes
+        clock[dsts] = completion
+
+    def commit(self) -> None:
+        ranks = self.run.ranks
+        # Hand plain Python floats/ints back to the engine: numerically
+        # the numpy scalars are identical, but the committed state (and
+        # the resume times the caller schedules) should not leak numpy
+        # types into the event loop.
+        clock = self.clock.tolist()
+        comm_t = self.comm_t.tolist()
+        sent_n = self.sent_n.tolist()
+        sent_b = self.sent_b.tolist()
+        recv_n = self.recv_n.tolist()
+        recv_b = self.recv_b.tolist()
+        for g, m in enumerate(self.members):
+            st = ranks[m]
+            st.clock = clock[g]
+            stats = st.stats
+            stats.comm_time = comm_t[g]
+            stats.messages_sent = sent_n[g]
+            stats.bytes_sent = sent_b[g]
+            stats.messages_received = recv_n[g]
+            stats.bytes_received = recv_b[g]
+        last = self.last
+        for key, arrival in self.overlay.items():
+            last[key] = float(arrival)
+        self.clock = clock
+
+
+def _round_sizes(values: Sequence[Any]) -> Tuple[Any, int, bool]:
+    """Wire sizes for one round's payloads: ``(nbytes, max, scalars)``.
+
+    Python floats/ints dominate collective payloads and are a constant
+    8 wire bytes (exactly what :func:`payload_nbytes` returns for
+    them), so the common case skips the per-payload call.  ``scalars``
+    additionally tells the caller that :func:`copy_payload` would be
+    the identity on every payload.
+    """
+    if all(type(v) is float or type(v) is int for v in values):
+        return 8, 8, True
+    arr = np.fromiter(
+        (payload_nbytes(v) for v in values), np.int64, count=len(values)
+    )
+    return arr, int(arr.max()) if len(values) else 0, False
+
+
+# -- per-algorithm schedules ------------------------------------------------
+#
+# Each function replays the message algorithm's sends/recvs in an order
+# consistent with the event path's causal order: round- or step-phased
+# for symmetric patterns (all sends of a phase, then all recvs), and in
+# dependency order for trees/rings/stars.  Within a phase, distinct
+# ranks and distinct (src, dst) pairs make evaluation order irrelevant.
+
+
+def _eval_barrier(s: _Sched) -> List[Any]:
+    p = s.p
+    if 0 > s.eager_max:
+        # An "everything rendezvous" configuration makes even the
+        # empty-payload dissemination shifts synchronous, and the
+        # pattern is cyclic: let the event path decide (it may
+        # legitimately deadlock).
+        raise _Bail
+    idx = np.arange(p, dtype=np.intp)
+    dist = 1
+    while dist < p:
+        dsts = idx + dist
+        dsts[dsts >= p] -= p
+        arrivals = s.send_round(idx, dsts, 0)  # nbytes 0: always eager
+        s.recv_round(dsts, arrivals, 0)
+        dist <<= 1
+    return [None] * p
+
+
+def _eval_bcast_tree(s: _Sched, root: int, value: Any) -> List[Any]:
+    """Binomial tree, round-phased: in round k every virtual rank
+    ``vr < 2**k`` that has its payload sends to ``vr + 2**k``.  Parent
+    and child sets are disjoint within a round and every (parent,
+    child) pair occurs exactly once in the whole tree, so the phased
+    evaluation is order-equivalent to walking ranks in increasing
+    virtual-rank order (each child's entry clock is untouched until its
+    first-op recv runs, each parent's sends happen in mask order)."""
+    p = s.p
+    vals: List[Any] = [None] * p     # delivered payloads, by virtual rank
+    vals[0] = value
+    out: List[Any] = [None] * p      # return values, by group rank
+    gr_of = np.arange(p, dtype=np.intp) + root  # virtual rank -> group rank
+    gr_of[gr_of >= p] -= p
+    mask = 1
+    while mask < p:
+        parents = np.arange(min(mask, p - mask), dtype=np.intp)
+        children = parents + mask
+        plist = parents.tolist()
+        nbytes, _, scalars = _round_sizes([vals[vp] for vp in plist])
+        arrivals = s.send_round(gr_of[parents], gr_of[children], nbytes)
+        s.recv_round(gr_of[children], arrivals, nbytes)
+        if scalars:
+            for vp, vc in zip(plist, children.tolist()):
+                vals[vc] = vals[vp]
+        else:
+            for vp, vc in zip(plist, children.tolist()):
+                vals[vc] = copy_payload(vals[vp])
+        mask <<= 1
+    for vr in range(p):
+        out[gr_of[vr]] = vals[vr]
+    return out
+
+
+def _eval_bcast_ring(s: _Sched, root: int, value: Any) -> List[Any]:
+    p = s.p
+    out: List[Any] = [None] * p
+    v = value
+    arrival = 0.0
+    nbytes = 0
+    nxt: Any = None
+    for vr in range(p):
+        g = vr + root
+        if g >= p:
+            g -= p
+        if vr > 0:
+            s.recv(g, arrival, nbytes)
+            v = nxt
+        if vr < p - 1:
+            right = g + 1
+            if right >= p:
+                right -= p
+            nbytes = payload_nbytes(v)
+            arrival = s.send(g, right, nbytes)
+            nxt = copy_payload(v)
+        out[g] = v
+    return out
+
+
+def _eval_bcast_flat(s: _Sched, root: int, value: Any) -> List[Any]:
+    p = s.p
+    out: List[Any] = [None] * p
+    out[root] = value
+    nbytes = payload_nbytes(value)
+    for dst in range(p):
+        if dst == root:
+            continue
+        arrival = s.send(root, dst, nbytes)
+        s.recv(dst, arrival, nbytes)
+        out[dst] = copy_payload(value)
+    return out
+
+
+def _eval_reduce(s: _Sched, root: int, reqs: Sequence[CollectiveReq]) -> List[Any]:
+    """Binomial reduction: round-phased by mask; pairs within a round
+    are disjoint.  Each receiver combines with *its own* resolved op,
+    as the event path does."""
+    p = s.p
+    accs: List[Any] = [None] * p  # by virtual rank
+    for g in range(p):
+        vr = g - root
+        if vr < 0:
+            vr += p
+        accs[vr] = reqs[g].value
+    gr_of = np.arange(p, dtype=np.intp) + root  # virtual rank -> group rank
+    gr_of[gr_of >= p] -= p
+    mask = 1
+    while mask < p:
+        step = mask << 1
+        vrs = np.arange(0, p, step, dtype=np.intp)
+        partners = vrs + mask
+        alive = partners < p
+        vrs = vrs[alive]
+        partners = partners[alive]
+        if len(vrs):
+            receivers = gr_of[vrs]
+            senders = gr_of[partners]
+            plist = partners.tolist()
+            nbytes, _, scalars = _round_sizes([accs[pt] for pt in plist])
+            arrivals = s.send_round(senders, receivers, nbytes)
+            s.recv_round(receivers, arrivals, nbytes)
+            if scalars:
+                for v, pt, g in zip(vrs.tolist(), plist, receivers.tolist()):
+                    accs[v] = reqs[g].op(accs[v], accs[pt])
+            else:
+                for v, pt, g in zip(vrs.tolist(), plist, receivers.tolist()):
+                    accs[v] = reqs[g].op(accs[v], copy_payload(accs[pt]))
+        mask = step
+    out: List[Any] = [None] * p
+    out[root] = accs[0]
+    return out
+
+
+def _eval_allreduce_rd(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
+    """Recursive doubling: acyclic fold of the non-power-of-two excess,
+    eager-only butterfly, acyclic hand-back."""
+    p = s.p
+    accs = [req.value for req in reqs]
+    pof2 = 1
+    while pof2 * 2 <= p:
+        pof2 *= 2
+    rem = p - pof2
+    for r in range(pof2, p):  # fold: r's send and (r - pof2)'s recv are first ops
+        payload = accs[r]
+        nbytes = payload_nbytes(payload)
+        arrival = s.send(r, r - pof2, nbytes)
+        s.recv(r - pof2, arrival, nbytes)
+        accs[r - pof2] = reqs[r - pof2].op(accs[r - pof2], copy_payload(payload))
+    idx = np.arange(pof2, dtype=np.intp)
+    mask = 1
+    while mask < pof2:
+        snapshot = accs[:pof2]  # payloads are the round-start accumulators
+        nbytes, nb_max, scalars = _round_sizes(snapshot)
+        if nb_max > s.eager_max:
+            raise _Bail  # rendezvous inside the butterfly: event path decides
+        partners = idx ^ mask
+        arrivals = s.send_round(idx, partners, nbytes)
+        s.recv_round(partners, arrivals, nbytes)
+        if scalars:
+            for r in range(pof2):
+                accs[r] = reqs[r].op(accs[r], snapshot[r ^ mask])
+        else:
+            for r in range(pof2):
+                accs[r] = reqs[r].op(accs[r], copy_payload(snapshot[r ^ mask]))
+        mask <<= 1
+    for r in range(rem):  # hand-back: receiver has been idle since the fold
+        payload = accs[r]
+        nbytes = payload_nbytes(payload)
+        arrival = s.send(r, r + pof2, nbytes)
+        s.recv(r + pof2, arrival, nbytes)
+        accs[r + pof2] = copy_payload(payload)
+    return accs
+
+
+def _eval_allgather_ring(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
+    p = s.p
+    outs: List[List[Any]] = [[None] * p for _ in range(p)]
+    carries = list(range(p))
+    for r in range(p):
+        outs[r][r] = reqs[r].value  # own slot keeps the original object
+    for _step in range(p - 1):
+        payloads: List[Any] = [None] * p
+        arrivals = [0.0] * p
+        nbv = [0] * p
+        for r in range(p):
+            c = carries[r]
+            payload = (c, outs[r][c])
+            nbytes = payload_nbytes(payload)
+            right = r + 1
+            if right >= p:
+                right -= p
+            arrivals[right] = s.send_eager(r, right, nbytes)
+            nbv[right] = nbytes
+            payloads[r] = payload
+        for r in range(p):
+            left = r - 1
+            if left < 0:
+                left += p
+            s.recv(r, arrivals[r], nbv[r])
+            c, payload = copy_payload(payloads[left])
+            outs[r][c] = payload
+            carries[r] = c
+    return outs
+
+
+def _eval_alltoall(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
+    p = s.p
+    vals = [req.value for req in reqs]  # each a length-p list of payloads
+    outs: List[List[Any]] = []
+    for r in range(p):
+        o: List[Any] = [None] * p
+        o[r] = vals[r][r]  # own slot keeps the original object
+        outs.append(o)
+    for shift in range(1, p):
+        arrivals = [0.0] * p
+        nbv = [0] * p
+        for r in range(p):
+            dst = r + shift
+            if dst >= p:
+                dst -= p
+            nbytes = payload_nbytes(vals[r][dst])
+            arrivals[dst] = s.send_eager(r, dst, nbytes)
+            nbv[dst] = nbytes
+        for r in range(p):
+            src = r - shift
+            if src < 0:
+                src += p
+            s.recv(r, arrivals[r], nbv[r])
+            outs[r][src] = copy_payload(vals[src][r])
+    return outs
+
+
+def evaluate(
+    run: Any,
+    members: Sequence[int],
+    reqs: Sequence[CollectiveReq],
+    clocks: Sequence[float],
+) -> Optional[Tuple[List[float], List[Any]]]:
+    """Evaluate one complete collective invocation analytically.
+
+    ``reqs``/``clocks`` are indexed by group rank; ``members`` maps
+    group rank to global rank.  Returns ``(finish_times, values)`` per
+    group rank with clocks/stats/clamp-state already committed, or
+    ``None`` when the schedule cannot be reproduced exactly (the caller
+    then falls back to the event path; nothing was mutated).
+    """
+    req0 = reqs[0]
+    kind = req0.kind
+    s = _Sched(run, members, clocks)
+    try:
+        if kind == "barrier":
+            out = _eval_barrier(s)
+        elif kind == "bcast":
+            root = req0.root
+            value = reqs[root].value
+            alg = req0.algorithm
+            if alg == "tree":
+                out = _eval_bcast_tree(s, root, value)
+            elif alg == "ring":
+                out = _eval_bcast_ring(s, root, value)
+            elif alg == "flat":
+                out = _eval_bcast_flat(s, root, value)
+            else:
+                return None
+        elif kind == "reduce":
+            out = _eval_reduce(s, req0.root, reqs)
+        elif kind == "allreduce":
+            out = _eval_allreduce_rd(s, reqs)
+        elif kind == "allgather":
+            out = _eval_allgather_ring(s, reqs)
+        elif kind == "alltoall":
+            out = _eval_alltoall(s, reqs)
+        else:
+            return None
+    except _Bail:
+        return None
+    s.commit()
+    return s.clock, out

@@ -188,6 +188,79 @@ class WaitanyReq:
         return f"WaitanyReq(handles={self.handles})"
 
 
+class CollectiveReq:
+    """One rank's entry into a macro-evaluated collective.
+
+    Yielded by the collective library's dispatch layer when the engine
+    enabled macro-ops (untraced, plain alpha-beta delivery, no fault
+    injection): instead of running the per-message algorithm, every
+    member parks on this request and the engine hands the whole
+    invocation to :mod:`repro.simmpi.macro`, which computes the same
+    schedule in closed form.  The engine matches invocations across
+    ranks by ``(members, seq, kind, algorithm, root)`` -- ``seq`` is the
+    communicator's collective sequence number, so back-to-back
+    collectives can never merge (the macro analogue of the tag-block
+    sense reversal).
+
+    Unlike the point-to-point requests this is *not* a reused scratch
+    object: the engine holds it until all members arrive, so each
+    invocation allocates a fresh one (collectives are rare relative to
+    the messages they replace).
+    """
+
+    __slots__ = (
+        "members", "seq", "kind", "algorithm", "root", "op", "value",
+        "grank", "size",
+    )
+
+    def __init__(
+        self,
+        members: Optional[tuple],
+        seq: int,
+        kind: str,
+        algorithm: str,
+        root: int,
+        op: Any,
+        value: Any,
+        grank: int,
+        size: int,
+    ):
+        #: Global ranks by group rank, or None for the world communicator.
+        self.members = members
+        self.seq = seq
+        self.kind = kind
+        self.algorithm = algorithm
+        self.root = root
+        #: Resolved combiner for reductions (None otherwise).
+        self.op = op
+        self.value = value
+        #: This rank's position within the group.
+        self.grank = grank
+        self.size = size
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectiveReq(kind={self.kind}, algorithm={self.algorithm}, "
+            f"seq={self.seq}, grank={self.grank}, size={self.size})"
+        )
+
+
+class _MacroFallback:
+    """Resume sentinel: the macro evaluator declined this invocation
+    (rendezvous cycle, non-empty queues, unsupported shape); the
+    yielding wrapper must re-run the real message algorithm inline."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MACRO_FALLBACK"
+
+
+#: Singleton handed back through CollectiveReq when the engine wants the
+#: event-path algorithm after all.
+MACRO_FALLBACK = _MacroFallback()
+
+
 class ComputeReq:
     """Charge local computation to the rank's clock.
 

@@ -171,7 +171,8 @@ class RankState:
 
     __slots__ = (
         "rank", "stats", "clock", "finished", "failed", "blocked",
-        "handles", "rslots", "pending", "parked", "anywait", "_next_handle",
+        "handles", "rslots", "pending", "parked", "anywait", "collective",
+        "_next_handle",
     )
 
     def __init__(self, rank: int, stats: RankStats):
@@ -194,6 +195,10 @@ class RankState:
         self.parked: List[ParkedSend] = []
         #: Handle ids of an in-progress waitany, or None.
         self.anywait: Optional[List[int]] = None
+        #: Key of the macro collective this rank is parked in (engine
+        #: gather key), or None; consulted by the wait-for graph so a
+        #: deadlock report can say *which* collective never completed.
+        self.collective: Optional[tuple] = None
         self._next_handle = 0
 
     def new_handle_id(self) -> int:
@@ -233,6 +238,7 @@ class RankState:
         self.handles.clear()
         self.rslots.clear()
         self.anywait = None
+        self.collective = None
 
     def __repr__(self) -> str:
         return (

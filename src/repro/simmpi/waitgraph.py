@@ -148,6 +148,21 @@ def build_wait_graph(
         if state.finished:
             continue
         nodes.append(state.rank)
+        if state.collective is not None:
+            # Parked in a macro collective whose other members never
+            # arrived (a divergent collective): name it rather than
+            # reporting "nothing posted".
+            _members, seq, kind, algorithm, _root = state.collective
+            edges.append(
+                WaitEdge(
+                    rank=state.rank,
+                    target=None,
+                    reason=(
+                        f"collective {kind}/{algorithm} #{seq} "
+                        "(waiting for other members)"
+                    ),
+                )
+            )
         for handle in state.handles.values():
             if not handle.waiting or handle.ready:
                 continue

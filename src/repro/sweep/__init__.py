@@ -10,7 +10,17 @@ workload, seed)** -- independent of worker count, scheduling order, and
 whether multiprocessing was used at all.
 """
 
+from repro.sweep.cache import SCHEMA_VERSION, RunCache, cache_key, workload_id
 from repro.sweep.runner import run_sweep, sweep_seeds
 from repro.sweep.workloads import Lu2dPoint, lu2d_point
 
-__all__ = ["run_sweep", "sweep_seeds", "Lu2dPoint", "lu2d_point"]
+__all__ = [
+    "run_sweep",
+    "sweep_seeds",
+    "Lu2dPoint",
+    "lu2d_point",
+    "RunCache",
+    "cache_key",
+    "workload_id",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,158 @@
+"""Content-addressed cache of sweep run results.
+
+A sweep point is fully determined by ``(workload, config, seed)``: the
+workload is a deterministic function, the config is a value object, and
+the seed pins every RNG stream the simulation spawns.  So a stable hash
+of those three identifies the *result* -- the same key on a later run
+(or in an overlapping sweep) can be served from disk instead of
+resimulated.
+
+Keys are SHA-256 over a canonical JSON encoding of:
+
+* a schema version (bump :data:`SCHEMA_VERSION` whenever the record
+  layout or key recipe changes -- old entries then simply miss);
+* the workload's identity (``module.qualname``, the importable name
+  that also makes it picklable for the process pool);
+* a canonical token of the config (dataclasses by field dict,
+  containers recursively, primitives as-is, anything else by ``repr``);
+* the integer seed.
+
+Records are one JSON file per key under ``<root>/<key[:2]>/<key>.json``
+(two-level fan-out keeps directories small), written atomically via
+temp-file rename so a crashed run never leaves a truncated record.
+Corrupt or unreadable entries are treated as misses and rewritten.
+
+The cache deliberately does **not** hash the code version: the schema
+version plus the deterministic engine (bit-identical results are an
+invariant the test suite enforces across refactors) make results
+stable, and `repro sweep --no-cache` or deleting ``.repro-cache/`` is
+the escape hatch after a model-changing commit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Callable, Dict, Optional
+
+#: Bump to invalidate every existing cache entry (key recipe or record
+#: layout changes).
+SCHEMA_VERSION = 1
+
+
+def _config_token(obj: Any) -> Any:
+    """A JSON-stable token for a sweep config.
+
+    Dataclasses flatten to ``{class_qualname, fields...}`` so two
+    different config types with equal field dicts cannot collide;
+    containers recurse; primitives pass through; everything else falls
+    back to ``repr`` (stable for the value objects used in sweeps).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        token: Dict[str, Any] = {
+            "__class__": f"{type(obj).__module__}.{type(obj).__qualname__}"
+        }
+        for field in dataclasses.fields(obj):
+            token[field.name] = _config_token(getattr(obj, field.name))
+        return token
+    if isinstance(obj, dict):
+        return {str(k): _config_token(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_config_token(v) for v in obj]
+    if isinstance(obj, float):
+        # repr() round-trips floats exactly and renders inf/nan, which
+        # plain JSON cannot.
+        return f"float:{obj!r}"
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    return f"repr:{obj!r}"
+
+
+def workload_id(workload: Callable) -> str:
+    """The importable identity of a workload callable."""
+    module = getattr(workload, "__module__", None) or "<unknown>"
+    qualname = getattr(workload, "__qualname__", None) or getattr(
+        workload, "__name__", repr(workload)
+    )
+    return f"{module}.{qualname}"
+
+
+def cache_key(workload: Callable, config: Any, seed: int) -> str:
+    """Content hash identifying one sweep point's result."""
+    payload = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "workload": workload_id(workload),
+            "config": _config_token(config),
+            "seed": seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """Directory-backed result cache with hit/miss accounting.
+
+    ``get``/``put`` never raise on cache trouble: a corrupt entry is a
+    miss, an unwritable or non-JSON result is silently not cached --
+    the sweep's correctness never depends on the cache.
+    """
+
+    def __init__(self, root: str = ".repro-cache"):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str, default: Any = None) -> Optional[Any]:
+        """The cached result for ``key``, or ``default`` (counted as a
+        miss).  Pass a sentinel default when cached ``None`` results
+        must be distinguishable from misses."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            if record.get("schema") != SCHEMA_VERSION or record.get("key") != key:
+                raise ValueError("stale or foreign cache record")
+            result = record["result"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return default
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        """Store ``result`` (must be JSON-serialisable; silently skipped
+        otherwise) atomically under ``key``."""
+        record = {"schema": SCHEMA_VERSION, "key": key, "result": result}
+        try:
+            encoded = json.dumps(record)
+        except (TypeError, ValueError):
+            return
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(encoded)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

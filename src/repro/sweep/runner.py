@@ -30,7 +30,11 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.sweep.cache import RunCache, cache_key
 from repro.util.errors import ConfigurationError
+
+#: Distinguishes "not in the cache" from a legitimately cached None.
+_MISS = object()
 
 
 def sweep_seeds(seed: int, n: int) -> List[int]:
@@ -59,6 +63,7 @@ def run_sweep(
     *,
     workers: Optional[int] = None,
     seed: int = 0,
+    cache: Optional["RunCache"] = None,
 ) -> List[Any]:
     """Run ``workload(config, seed_i)`` for every config; ordered results.
 
@@ -75,10 +80,46 @@ def run_sweep(
         changes the returned results, only the wall time.
     seed:
         Master seed for :func:`sweep_seeds`.
+    cache:
+        Optional :class:`~repro.sweep.cache.RunCache`.  Points whose
+        ``(workload, config, seed_i)`` content key is already stored
+        are served from disk; only the misses are simulated (with the
+        seeds their *original positions* would have received, so a
+        partially cached sweep returns the same results as an uncached
+        one) and then stored back.  Hit/miss counts accumulate on the
+        cache object.
     """
     configs = list(configs)
     n = len(configs)
     seeds = sweep_seeds(seed, n)
+
+    if cache is not None:
+        keys = [cache_key(workload, config, s) for config, s in zip(configs, seeds)]
+        results: List[Any] = [cache.get(key, _MISS) for key in keys]
+        miss_idx = [i for i, r in enumerate(results) if r is _MISS]
+        if miss_idx:
+            fresh = _run_all(
+                [configs[i] for i in miss_idx],
+                workload,
+                [seeds[i] for i in miss_idx],
+                workers,
+            )
+            for i, result in zip(miss_idx, fresh):
+                results[i] = result
+                cache.put(keys[i], result)
+        return results
+
+    return _run_all(configs, workload, seeds, workers)
+
+
+def _run_all(
+    configs: Sequence[Any],
+    workload: Callable[[Any, int], Any],
+    seeds: Sequence[int],
+    workers: Optional[int],
+) -> List[Any]:
+    """Execute every (config, seed) pair; ordered results."""
+    n = len(configs)
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:

@@ -1,5 +1,6 @@
 """Topology invariants: routing, hop counts, diameters, bisection."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -87,6 +88,18 @@ class TestUniversalInvariants:
         links = list(topo.links())
         assert len(links) == len(set(links))
         assert all(u < v for u, v in links)
+
+    def test_hops_array_matches_scalar(self, topo):
+        """The vectorised hop counts (macro-op fast path) agree with
+        the scalar ``hops`` for every (src, dst) pair."""
+        n = topo.n_nodes
+        srcs, dsts = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        srcs = srcs.ravel()
+        dsts = dsts.ravel()
+        got = topo.hops_array(srcs, dsts)
+        assert got.dtype == np.int64
+        expected = [topo.hops(int(s), int(d)) for s, d in zip(srcs, dsts)]
+        assert got.tolist() == expected
 
 
 class TestMesh2D:

@@ -1,0 +1,55 @@
+"""The engine's GC pause must be airtight.
+
+``Engine.execute`` disables the cyclic garbage collector for the
+duration of the event loop (a measurable win on event-dense runs) and
+re-enables it in a ``finally``.  If any exit path -- especially
+:class:`DeadlockError`, which unwinds mid-loop -- left GC off, every
+subsequent allocation in the host process would silently leak cycles.
+"""
+
+import gc
+
+import pytest
+
+from repro.machine.presets import touchstone_delta
+from repro.simmpi import Engine
+from repro.util.errors import DeadlockError
+
+
+def _deadlock(comm):
+    # Everyone blocks receiving from the left; nobody ever sends.
+    msg = yield from comm.recv(source=(comm.rank - 1) % comm.size)
+    return msg.payload
+
+
+def _ok(comm):
+    yield from comm.barrier()
+    return comm.rank
+
+
+@pytest.fixture(autouse=True)
+def _gc_enabled_around():
+    assert gc.isenabled(), "precondition: host GC on"
+    yield
+    gc.enable()  # never poison other tests, even on assertion failure
+
+
+def test_gc_reenabled_after_clean_run():
+    Engine(touchstone_delta(), 4, seed=0).run(_ok)
+    assert gc.isenabled()
+
+
+def test_gc_reenabled_after_deadlock_error():
+    with pytest.raises(DeadlockError):
+        Engine(touchstone_delta(), 4, seed=0).run(_deadlock)
+    assert gc.isenabled()
+
+
+def test_gc_reenabled_after_program_exception():
+    def boom(comm):
+        yield from comm.compute(seconds=1e-6)
+        raise RuntimeError("program bug")
+
+    with pytest.raises(RuntimeError, match="program bug"):
+        Engine(touchstone_delta(), 2, seed=0).run(boom)
+    assert gc.isenabled()

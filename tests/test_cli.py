@@ -116,10 +116,40 @@ class TestSweep:
         import json
 
         data = json.loads(out_json.read_text())
-        assert set(data) == {"2x2", "2x4"}
-        assert all(point["exact"] for point in data.values())
+        assert set(data) == {"results", "cache"}
+        assert set(data["results"]) == {"2x2", "2x4"}
+        assert all(point["exact"] for point in data["results"].values())
+        assert data["cache"] == {"enabled": False}
 
     def test_sweep_rejects_bad_grid_spec(self, run_cli):
         code, out, err = run_cli(["sweep", "--grids", "2xtwo"])
         assert code == 1
         assert "grid" in err
+
+    def test_sweep_cache_rerun_hits_everything(self, run_cli, tmp_path):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        out_json = tmp_path / "sweep.json"
+        argv = [
+            "sweep",
+            "--grids", "2x2,2x4",
+            "--order", "32",
+            "--workers", "1",
+            "--cache",
+            "--cache-dir", str(cache_dir),
+            "--json", str(out_json),
+        ]
+        code, out, _ = run_cli(argv)
+        assert code == 0
+        first = json.loads(out_json.read_text())
+        assert first["cache"] == {"enabled": True, "hits": 0, "misses": 2}
+
+        # Identical sweep again: every point served from the cache,
+        # with identical results.
+        code, out, _ = run_cli(argv)
+        assert code == 0
+        assert "2 hit(s), 0 miss(es)" in out
+        second = json.loads(out_json.read_text())
+        assert second["cache"] == {"enabled": True, "hits": 2, "misses": 0}
+        assert second["results"] == first["results"]

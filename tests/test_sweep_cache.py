@@ -1,0 +1,194 @@
+"""The sweep result cache: content addressing, hit/miss accounting,
+and the invariant that caching never changes what ``run_sweep``
+returns.
+
+The error-propagation tests at the bottom pin the other half of the
+runner's contract: a workload exception must surface to the caller
+with the original traceback text -- serially and through the process
+pool -- rather than hanging the sweep.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sweep import (
+    SCHEMA_VERSION,
+    Lu2dPoint,
+    RunCache,
+    cache_key,
+    lu2d_point,
+    run_sweep,
+    sweep_seeds,
+    workload_id,
+)
+
+CONFIGS = [Lu2dPoint(2, 2, 32), Lu2dPoint(2, 4, 32)]
+
+DETERMINISTIC_FIELDS = (
+    "ranks", "n", "virtual_time_s", "events", "messages", "bytes", "exact",
+)
+
+
+def _deterministic(results):
+    return [{k: r[k] for k in DETERMINISTIC_FIELDS} for r in results]
+
+
+def _echo(config, seed):
+    return {"config": config, "seed": seed}
+
+
+def _none_result(config, seed):
+    return None
+
+
+def _unpicklable_to_json(config, seed):
+    return object()  # not JSON-serialisable: must be skipped, not crash
+
+
+class _Marker(Exception):
+    pass
+
+
+def _explode(config, seed):
+    raise _Marker(f"workload exploded on {config!r}")
+
+
+class TestCacheKey:
+    def test_stable_and_sensitive(self):
+        base = cache_key(_echo, "c0", 1)
+        assert base == cache_key(_echo, "c0", 1)
+        assert base != cache_key(_echo, "c1", 1)  # config changes key
+        assert base != cache_key(_echo, "c0", 2)  # seed changes key
+        assert base != cache_key(_none_result, "c0", 1)  # workload too
+
+    def test_dataclass_configs_keyed_by_class_and_fields(self):
+        a = cache_key(_echo, Lu2dPoint(2, 2, 32), 0)
+        assert a == cache_key(_echo, Lu2dPoint(2, 2, 32), 0)
+        assert a != cache_key(_echo, Lu2dPoint(2, 2, 48), 0)
+        assert a != cache_key(_echo, Lu2dPoint(2, 2, 32, overlap=True), 0)
+
+    def test_float_fields_keyed_exactly(self):
+        assert cache_key(_echo, {"x": 0.1}, 0) != cache_key(_echo, {"x": 0.1 + 1e-17}, 0) or (
+            0.1 == 0.1 + 1e-17  # adjacent floats may round to the same value
+        )
+        assert cache_key(_echo, {"x": 1.0}, 0) != cache_key(_echo, {"x": 1}, 0)
+
+    def test_workload_id_is_importable_name(self):
+        assert workload_id(lu2d_point) == "repro.sweep.workloads.lu2d_point"
+
+
+class TestRunCache:
+    def test_round_trip_and_counters(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        key = cache_key(_echo, "c0", 5)
+        sentinel = object()
+        assert cache.get(key, sentinel) is sentinel
+        cache.put(key, {"value": 12})
+        assert cache.get(key) == {"value": 12}
+        assert cache.stats() == {"hits": 1, "misses": 1}
+
+    def test_cached_none_distinguished_from_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        key = cache_key(_none_result, "c0", 0)
+        cache.put(key, None)
+        sentinel = object()
+        assert cache.get(key, sentinel) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        key = cache_key(_echo, "c0", 0)
+        cache.put(key, 42)
+        path = os.path.join(cache.root, key[:2], f"{key}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{truncated")
+        sentinel = object()
+        assert cache.get(key, sentinel) is sentinel
+        # put() repairs it.
+        cache.put(key, 42)
+        assert cache.get(key) == 42
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        key = cache_key(_echo, "c0", 0)
+        cache.put(key, 42)
+        path = os.path.join(cache.root, key[:2], f"{key}.json")
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+        assert record["schema"] == SCHEMA_VERSION
+        record["schema"] = SCHEMA_VERSION - 1
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh)
+        sentinel = object()
+        assert cache.get(key, sentinel) is sentinel
+
+    def test_unserialisable_result_silently_skipped(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        key = cache_key(_unpicklable_to_json, "c0", 0)
+        cache.put(key, object())
+        sentinel = object()
+        assert cache.get(key, sentinel) is sentinel
+
+
+class TestRunSweepWithCache:
+    def test_cached_sweep_returns_identical_results(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        plain = run_sweep(CONFIGS, lu2d_point, workers=1, seed=3)
+        first = run_sweep(CONFIGS, lu2d_point, workers=1, seed=3, cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": len(CONFIGS)}
+        second = run_sweep(CONFIGS, lu2d_point, workers=1, seed=3, cache=cache)
+        assert cache.stats() == {"hits": len(CONFIGS), "misses": len(CONFIGS)}
+        assert _deterministic(plain) == _deterministic(first)
+        # The second pass is served verbatim from disk.
+        assert second == first
+
+    def test_partial_hits_use_original_positional_seeds(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        configs = ["c0", "c1", "c2", "c3"]
+        # Pre-populate only the middle two points.
+        seeds = sweep_seeds(9, 4)
+        for i in (1, 2):
+            cache.put(cache_key(_echo, configs[i], seeds[i]), "cached")
+        out = run_sweep(configs, _echo, workers=1, seed=9, cache=cache)
+        assert cache.stats() == {"hits": 2, "misses": 2}
+        assert out[1] == out[2] == "cached"
+        # The misses ran with the seeds their positions would have
+        # received in an uncached sweep -- order fully preserved.
+        assert out[0] == {"config": "c0", "seed": seeds[0]}
+        assert out[3] == {"config": "c3", "seed": seeds[3]}
+
+    def test_cached_none_results_round_trip(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        out1 = run_sweep(["a", "b"], _none_result, workers=1, cache=cache)
+        out2 = run_sweep(["a", "b"], _none_result, workers=1, cache=cache)
+        assert out1 == out2 == [None, None]
+        assert cache.stats() == {"hits": 2, "misses": 2}
+
+    def test_seed_change_misses(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        run_sweep(["a"], _echo, workers=1, seed=0, cache=cache)
+        run_sweep(["a"], _echo, workers=1, seed=1, cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 2}
+
+
+class TestErrorPropagation:
+    def test_serial_sweep_raises_original_exception(self):
+        with pytest.raises(_Marker, match="workload exploded on 'bad'"):
+            run_sweep(["ok", "bad"][1:], _explode, workers=1)
+
+    def test_parallel_sweep_surfaces_traceback_and_does_not_hang(self):
+        # Pool.map re-raises on the parent with the worker's formatted
+        # traceback chained on -- the sweep must fail fast, not hang.
+        with pytest.raises(Exception) as excinfo:
+            run_sweep(["c0", "c1"], _explode, workers=2)
+        text = "".join(
+            str(e) for e in (excinfo.value, excinfo.value.__cause__) if e is not None
+        )
+        assert "workload exploded on" in text
+
+    def test_parallel_sweep_with_cache_still_raises(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        with pytest.raises(Exception):
+            run_sweep(["c0", "c1"], _explode, workers=2, cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 2}
