@@ -13,6 +13,14 @@ fails (exit 1) when any record's fresh events/sec falls more than
 missing a baseline record entirely.  Faster-than-baseline runs always
 pass; CI hosts are noisy, so the threshold is generous and this is a
 smoke gate, not a profiler.
+
+Records do not share a uniform schema: macro-op workloads additionally
+carry ``macro_speedup`` (gated with the same threshold) and
+``macro_events`` (deterministic, compared exactly), while plain
+event-path workloads have neither.  Optional fields are gated only when
+*both* the baseline and the fresh record carry them, and skipped
+otherwise -- a record must never fail for lacking a field its workload
+does not produce.
 """
 
 from __future__ import annotations
@@ -31,6 +39,38 @@ def _gated_records(baseline: dict) -> dict:
         and isinstance(record, dict)
         and "events_per_sec" in record
     }
+
+
+def _check_optional_fields(
+    key: str, record: dict, fresh_record: dict, threshold: float
+) -> int:
+    """Gate the optional macro-op fields present in *both* records.
+
+    Returns the number of failures.  Fields absent from either side are
+    skipped: the schema is per-workload, not uniform.
+    """
+    failures = 0
+    if "macro_speedup" in record and "macro_speedup" in fresh_record:
+        base = float(record["macro_speedup"])
+        got = float(fresh_record["macro_speedup"])
+        floor = base * (1.0 - threshold)
+        verdict = "OK" if got >= floor else "REGRESSION"
+        print(
+            f"{key}: macro speedup {got:.1f}x vs baseline {base:.1f}x "
+            f"(floor {floor:.1f}x) -> {verdict}"
+        )
+        if got < floor:
+            failures += 1
+    if "macro_events" in record and "macro_events" in fresh_record:
+        base_ev = int(record["macro_events"])
+        got_ev = int(fresh_record["macro_events"])
+        if got_ev != base_ev:
+            print(
+                f"{key}: macro_events {got_ev} != baseline {base_ev} "
+                f"(deterministic count changed) -> REGRESSION"
+            )
+            failures += 1
+    return failures
 
 
 def main(argv=None) -> int:
@@ -73,6 +113,9 @@ def main(argv=None) -> int:
         )
         if fresh_eps < floor:
             failures += 1
+        failures += _check_optional_fields(
+            key, record, fresh_record, args.threshold
+        )
 
     if failures:
         print(f"{failures} of {len(gated)} gated record(s) failed")

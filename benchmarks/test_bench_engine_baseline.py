@@ -1,18 +1,20 @@
 """Engine throughput baseline: the numbers behind ``BENCH_engine.json``.
 
-Four workloads spanning the engine's hot paths -- a 512-rank
+Five workloads spanning the engine's hot paths -- a 512-rank
 block-cyclic LU (point-to-point heavy, the headline number), a 64-rank
-SUMMA (broadcast heavy), a 32-rank collectives suite, and a 2048-rank
-collective run exercising the macro-op fast path -- each timed
-best-of-N untraced and recorded through the ``bench_record`` fixture.
+SUMMA (broadcast heavy), a 32-rank collectives suite, a 2048-rank
+collective run exercising the collective macro-ops, and a 16384-rank
+halo epoch exercising the stencil macro-ops -- each timed best-of-N
+untraced and recorded through the ``bench_record`` fixture.
 Run with ``--bench-json BENCH_engine.json`` to refresh the committed
 baseline; the CI perf-smoke job compares a fresh run against it with
 ``benchmarks/check_bench_regression.py``.
 
 The first three workloads pass ``macro_ops=False`` so their numbers
 keep measuring the per-message event cascade (and stay comparable with
-the committed history); the 2048-rank benchmark measures the macro
-path against that cascade and asserts the speedup.
+the committed history); the 2048-rank collectives and 16384-rank halo
+benchmarks measure the macro path against that cascade and assert the
+speedup.
 
 The assertions pin the *simulated* outcomes (makespan, event count),
 which must be machine-independent: a drift there is a correctness bug,
@@ -27,6 +29,7 @@ from repro.linalg.lu2d import lu2d
 from repro.linalg.summa import summa
 from repro.machine.presets import intel_paragon, touchstone_delta
 from repro.simmpi import run_program
+from repro.simmpi.stencil import grid_halo
 
 BEST_OF = 3
 
@@ -158,6 +161,67 @@ def test_bench_collectives_2048_macro(bench_record):
         events=ref.events,
         wall_s=wall,
         ranks=2048,
+        virtual_time_s=round(res.time, 9),
+        macro_events=res.events,
+        event_path_wall_s=round(ref_wall, 4),
+        macro_speedup=round(speedup, 1),
+    )
+
+
+_HALO_STEPS = 5
+_HALO_SPEC = grid_halo(128, 128)
+
+
+def _halo_epoch(comm):
+    """Ocean-style halo epoch on the full 128x128 Paragon torus.
+
+    Two declared stencil phases per step -- the height ghosts, a local
+    update, then the velocity ghosts -- exactly the shape
+    ``apps.ocean`` runs, at the rank count the Grand Challenge
+    lattice machines were built for.  Compute is charged sparsely so
+    the measurement stays on the communication machinery.
+    """
+    h = float(comm.rank)
+    v = comm.rank + 0.5
+    for _ in range(_HALO_STEPS):
+        hn = yield from comm.exchange(_HALO_SPEC, [h, h + 1.0, h + 2.0, h + 3.0])
+        v = v + hn[0] - hn[1]
+        vn = yield from comm.exchange(_HALO_SPEC, [v, v + 1.0, v + 2.0, v + 3.0])
+        h = h + vn[2] - vn[3]
+        if comm.rank % 64 == 0:
+            yield from comm.compute(flops=1e5)
+    return h
+
+
+def test_bench_halo_16384_macro(bench_record):
+    """The stencil macro-op payoff: a 16384-rank halo epoch, closed-form
+    vs event path.
+
+    The event path runs once (it is the slow side being displaced); the
+    macro path is timed best-of-N.  Results must be bit-identical, and
+    the wall-time speedup is the number this PR exists for.
+    """
+    machine = intel_paragon(128, 128)
+    ref, ref_wall = _best_of(
+        lambda: run_program(machine, 16384, _halo_epoch, macro_ops=False),
+        repeats=1,
+    )
+    res, wall = _best_of(lambda: run_program(machine, 16384, _halo_epoch))
+    # Bit-identity guard: the macro path must be invisible in results.
+    assert res.time == ref.time
+    assert res.stats == ref.stats
+    assert res.returns == ref.returns
+    assert res.events < ref.events
+    # Simulated outcomes are machine-independent pins.
+    assert ref.events == 1312000
+    assert abs(ref.time - 0.0123578996006144) < 1e-9
+    speedup = ref_wall / wall
+    assert speedup >= 5.0, f"stencil macro speedup {speedup:.1f}x < 5x"
+    bench_record(
+        "halo_16384",
+        events=ref.events,
+        wall_s=wall,
+        ranks=16384,
         virtual_time_s=round(res.time, 9),
         macro_events=res.events,
         event_path_wall_s=round(ref_wall, 4),

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.linalg.decomp import block_range
 from repro.simmpi.engine import Engine, SimResult
+from repro.simmpi.stencil import grid_halo, strip_halo
 from repro.util.errors import ConfigurationError
 
 #: Per-cell flop estimate for one update (adds, mults of the stencil).
@@ -154,22 +155,17 @@ def cfd_program(comm, u0: np.ndarray, config: CFDConfig, steps: int) -> Generato
     p = comm.size
     lo, hi = block_range(config.ny, p, comm.rank)
     local = np.array(u0[lo:hi, :], dtype=float, copy=True)
-    up_rank = (comm.rank - 1) % p
-    down_rank = (comm.rank + 1) % p
+    halo = strip_halo(p) if p > 1 else None
 
     for step in range(steps):
         if p == 1:
             up_row, down_row = local[-1:, :], local[:1, :]
         else:
-            tag_up = 2 * step
-            tag_down = 2 * step + 1
             # Send boundary rows, receive ghosts (periodic wrap).
             with comm.phase("halo"):
-                yield from comm.send(local[:1, :], up_rank, tag=tag_up)
-                yield from comm.send(local[-1:, :], down_rank, tag=tag_down)
-                up_msg = yield from comm.recv(source=up_rank, tag=tag_down)
-                down_msg = yield from comm.recv(source=down_rank, tag=tag_up)
-            up_row, down_row = up_msg.payload, down_msg.payload
+                up_row, down_row = yield from comm.exchange(
+                    halo, [local[:1, :], local[-1:, :]]
+                )
         local = _update(local, up_row, down_row, config)
         with comm.phase("step"):
             yield from comm.compute(flops=FLOPS_PER_CELL * local.size)
@@ -186,6 +182,8 @@ def distributed_run(
     *,
     seed: int = 0,
     trace: bool = False,
+    macro_ops: bool = True,
+    columnar: bool = True,
 ) -> CFDRun:
     """Run the strip-decomposed solver; reassemble the global field."""
     u0 = np.asarray(u0, dtype=float)
@@ -198,7 +196,10 @@ def distributed_run(
         raise ConfigurationError(
             f"{n_ranks} ranks over {config.ny} rows leaves empty strips"
         )
-    engine = Engine(machine, n_ranks, seed=seed, trace=trace)
+    engine = Engine(
+        machine, n_ranks, seed=seed, trace=trace,
+        macro_ops=macro_ops, columnar=columnar,
+    )
     sim = engine.run(cfd_program, u0, config, steps)
     field = np.zeros_like(u0)
     for (lo, hi), rows in sim.returns:
@@ -259,35 +260,31 @@ def cfd_program_2d(comm, grid, u0: np.ndarray, config: CFDConfig, steps: int) ->
     c0, c1 = block_range(config.nx, pc, my_c)
     local = np.array(u0[r0:r1, c0:c1], dtype=float, copy=True)
 
-    up_rank = grid.rank_at((my_r - 1) % pr, my_c)
-    down_rank = grid.rank_at((my_r + 1) % pr, my_c)
-    left_rank = grid.rank_at(my_r, (my_c - 1) % pc)
-    right_rank = grid.rank_at(my_r, (my_c + 1) % pc)
+    # Ranks are laid out row-major on the process grid (rank_at), which
+    # is exactly the StencilSpec convention, so the declared phases pair
+    # the same neighbours as the explicit rank_at arithmetic did.
+    halo_rows = grid_halo(pr, pc, axis=0) if pr > 1 else None
+    halo_cols = grid_halo(pr, pc, axis=1) if pc > 1 else None
 
     for step in range(steps):
-        base = 4 * step
         if pr == 1:
             up_row, down_row = local[-1:, :], local[:1, :]
         else:
             with comm.phase("halo-rows"):
-                yield from comm.send(local[:1, :], up_rank, tag=base)
-                yield from comm.send(local[-1:, :], down_rank, tag=base + 1)
-                up_msg = yield from comm.recv(source=up_rank, tag=base + 1)
-                down_msg = yield from comm.recv(source=down_rank, tag=base)
-            up_row, down_row = up_msg.payload, down_msg.payload
+                up_row, down_row = yield from comm.exchange(
+                    halo_rows, [local[:1, :], local[-1:, :]]
+                )
         if pc == 1:
             left_col, right_col = local[:, -1:], local[:, :1]
         else:
             with comm.phase("halo-cols"):
-                yield from comm.send(
-                    np.ascontiguousarray(local[:, :1]), left_rank, tag=base + 2
+                left_col, right_col = yield from comm.exchange(
+                    halo_cols,
+                    [
+                        np.ascontiguousarray(local[:, :1]),
+                        np.ascontiguousarray(local[:, -1:]),
+                    ],
                 )
-                yield from comm.send(
-                    np.ascontiguousarray(local[:, -1:]), right_rank, tag=base + 3
-                )
-                left_msg = yield from comm.recv(source=left_rank, tag=base + 3)
-                right_msg = yield from comm.recv(source=right_rank, tag=base + 2)
-            left_col, right_col = left_msg.payload, right_msg.payload
 
         local = _update_block(local, up_row, down_row, left_col, right_col, config)
         with comm.phase("step"):
@@ -305,6 +302,8 @@ def distributed_run_2d(
     *,
     seed: int = 0,
     trace: bool = False,
+    macro_ops: bool = True,
+    columnar: bool = True,
 ) -> CFDRun:
     """Run the 2-D block-decomposed solver; reassemble the field."""
     u0 = np.asarray(u0, dtype=float)
@@ -322,7 +321,10 @@ def distributed_run_2d(
             f"{grid.prows}x{grid.pcols} grid over a "
             f"{config.ny}x{config.nx} field leaves empty blocks"
         )
-    engine = Engine(machine, grid.size, seed=seed, trace=trace)
+    engine = Engine(
+        machine, grid.size, seed=seed, trace=trace,
+        macro_ops=macro_ops, columnar=columnar,
+    )
     sim = engine.run(cfd_program_2d, grid, u0, config, steps)
     field = np.zeros_like(u0)
     for (r0, r1), (c0, c1), block in sim.returns:

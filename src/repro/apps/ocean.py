@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.linalg.decomp import block_range
 from repro.simmpi.engine import Engine, SimResult
+from repro.simmpi.stencil import strip_halo
 from repro.util.errors import ConfigurationError
 
 #: Per-cell flop estimate for one full (u, v, h) update.
@@ -184,20 +185,16 @@ def ocean_program(comm, state0: OceanState, config: OceanConfig, steps: int) -> 
         u=np.array(state0.u[lo:hi, :], copy=True),
         v=np.array(state0.v[lo:hi, :], copy=True),
     )
-    up_rank = (comm.rank - 1) % p
-    down_rank = (comm.rank + 1) % p
+    halo = strip_halo(p) if p > 1 else None
 
     for step in range(steps):
-        base = 4 * step
         if p == 1:
             h_up, h_down = local.h[-1:, :], local.h[:1, :]
         else:
             with comm.phase("halo-h"):
-                yield from comm.send(local.h[:1, :], up_rank, tag=base)
-                yield from comm.send(local.h[-1:, :], down_rank, tag=base + 1)
-                up_msg = yield from comm.recv(source=up_rank, tag=base + 1)
-                down_msg = yield from comm.recv(source=down_rank, tag=base)
-            h_up, h_down = up_msg.payload, down_msg.payload
+                h_up, h_down = yield from comm.exchange(
+                    halo, [local.h[:1, :], local.h[-1:, :]]
+                )
 
         # Same arithmetic as _step, split into two phases so the v halo
         # can be exchanged (a generator cannot yield from a closure).
@@ -210,11 +207,9 @@ def ocean_program(comm, state0: OceanState, config: OceanConfig, steps: int) -> 
             v_up, v_down = v_new[-1:, :], v_new[:1, :]
         else:
             with comm.phase("halo-v"):
-                yield from comm.send(v_new[:1, :], up_rank, tag=base + 2)
-                yield from comm.send(v_new[-1:, :], down_rank, tag=base + 3)
-                up_msg = yield from comm.recv(source=up_rank, tag=base + 3)
-                down_msg = yield from comm.recv(source=down_rank, tag=base + 2)
-            v_up, v_down = up_msg.payload, down_msg.payload
+                v_up, v_down = yield from comm.exchange(
+                    halo, [v_new[:1, :], v_new[-1:, :]]
+                )
 
         v_ext = np.vstack([v_up, v_new, v_down])
         div = _dx(u_new, config.dx) + _dy_interior(v_ext, config.dy)
@@ -234,6 +229,8 @@ def distributed_run(
     *,
     seed: int = 0,
     trace: bool = False,
+    macro_ops: bool = True,
+    columnar: bool = True,
 ) -> OceanRun:
     """Run the decomposed model; reassemble the global state."""
     if state0.h.shape != (config.ny, config.nx):
@@ -245,7 +242,10 @@ def distributed_run(
         raise ConfigurationError(
             f"{n_ranks} ranks over {config.ny} rows leaves empty strips"
         )
-    engine = Engine(machine, n_ranks, seed=seed, trace=trace)
+    engine = Engine(
+        machine, n_ranks, seed=seed, trace=trace,
+        macro_ops=macro_ops, columnar=columnar,
+    )
     sim = engine.run(ocean_program, state0, config, steps)
     h = np.zeros_like(state0.h)
     u = np.zeros_like(state0.u)

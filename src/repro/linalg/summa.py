@@ -126,13 +126,16 @@ def summa(
     delivery="alphabeta",
     trace: bool = False,
     macro_ops: bool = True,
+    columnar: bool = True,
 ) -> DistributedMatmul:
     """Multiply on a simulated machine and reassemble the result.
 
     ``overlap``, ``eager_threshold_bytes`` and ``delivery`` tune the
     simulated communication without changing the numerics; ``trace``
     records spans for :mod:`repro.obs` analysis; ``macro_ops=False``
-    forces collectives through the per-message event cascade.
+    forces collectives through the per-message event cascade;
+    ``columnar=False`` routes whole-machine state updates through
+    scalar per-rank loops instead of the vectorised columns.
     """
     if grid.size > machine.n_nodes:
         raise DecompositionError(
@@ -148,6 +151,7 @@ def summa(
         eager_threshold_bytes=eager_threshold_bytes,
         delivery=delivery,
         macro_ops=macro_ops,
+        columnar=columnar,
     )
     sim = engine.run(
         summa_program,

@@ -40,7 +40,14 @@ from repro.simmpi.requests import (
     WaitReq,
     payload_nbytes,
 )
-from repro.simmpi.state import RankState, ReceiveSlot, SendHandle
+from repro.simmpi.state import (
+    MachineState,
+    RankState,
+    RankStatsView,
+    ReceiveSlot,
+    SendHandle,
+)
+from repro.simmpi.stencil import StencilSpec, grid_halo, strip_halo
 from repro.simmpi.cost_models import (
     MODELS,
     ModelValidation,
@@ -89,9 +96,14 @@ __all__ = [
     "Protocol",
     "EagerProtocol",
     "RendezvousProtocol",
+    "MachineState",
     "RankState",
+    "RankStatsView",
     "ReceiveSlot",
     "SendHandle",
+    "StencilSpec",
+    "grid_halo",
+    "strip_halo",
     "MODELS",
     "ModelValidation",
     "allgather_ring_time",

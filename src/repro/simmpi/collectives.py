@@ -74,7 +74,7 @@ def _phased(comm, label: str, gen: Generator) -> Generator:
 # ---------------------------------------------------------------------------
 
 def _macro_collective(
-    comm, kind: str, algorithm: str, root: int, op, value: Any,
+    comm, kind: str, algorithm: Any, root: int, op, value: Any,
     resolve: bool = False,
 ) -> Generator:
     """Park this rank on a :class:`CollectiveReq` macro event.

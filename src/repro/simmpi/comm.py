@@ -25,6 +25,7 @@ from typing import Any, Callable, Generator, Optional, Sequence, Union
 import numpy as np
 
 from repro.simmpi import collectives as _coll
+from repro.simmpi import stencil as _stencil
 from repro.simmpi.requests import (
     ANY_SOURCE,
     ANY_TAG,
@@ -417,3 +418,16 @@ class Comm:
     ) -> Generator:
         """Reduce ``values[j]`` across ranks; rank j keeps element j."""
         return _coll.reduce_scatter(self, values, op)
+
+    # -- stencil phases (delegated to repro.simmpi.stencil) ------------------
+
+    def exchange(
+        self, spec: "_stencil.StencilSpec", payloads: Sequence[Any]
+    ) -> Generator:
+        """Declared neighbor-exchange stencil phase: send
+        ``payloads[j]`` toward ``spec.offsets[j]``, return the received
+        payloads per offset (``None`` where an open-grid offset has no
+        peer).  Collective in shape -- every rank calls it with the
+        same spec -- and priced in closed form under engine macro-ops
+        (see :mod:`repro.simmpi.stencil`)."""
+        return _stencil.exchange(self, spec, payloads)

@@ -87,7 +87,7 @@ from repro.simmpi.requests import (
     copy_payload,
     payload_nbytes,
 )
-from repro.simmpi.state import RankState, ReceiveSlot, SendHandle
+from repro.simmpi.state import MachineState, RankState, ReceiveSlot, SendHandle
 from repro.simmpi.trace import (
     COMPUTE,
     IDLE,
@@ -213,7 +213,18 @@ class Engine:
         additionally fall back to the event path whenever analytic
         exactness cannot be guaranteed (members with queued or parked
         traffic, rendezvous messages inside cyclic patterns,
-        unsupported algorithms).
+        unsupported algorithms).  Declared stencil phases
+        (:meth:`~repro.simmpi.comm.Comm.exchange`) follow the same
+        discipline via :mod:`repro.simmpi.stencil`.
+    columnar:
+        Route whole-machine updates (macro-op resume, stats
+        finalization, makespan reduction) through vectorized operations
+        on the columnar :class:`~repro.simmpi.state.MachineState`
+        arrays instead of per-rank Python loops (default on).  Storage
+        is columnar either way -- the flag only selects between the
+        vectorized and the per-rank update routes, which are
+        bit-identical (asserted in the A/B equivalence suite); it
+        exists for those tests and for debugging.
     """
 
     def __init__(
@@ -230,6 +241,7 @@ class Engine:
         delivery: Union[str, DeliveryModel] = "alphabeta",
         fast_path: bool = True,
         macro_ops: bool = True,
+        columnar: bool = True,
     ):
         self.machine = machine
         self.n_ranks = machine.n_nodes if n_ranks is None else n_ranks
@@ -260,6 +272,7 @@ class Engine:
         self.delivery = resolve_delivery(delivery)
         self.fast_path = fast_path
         self.macro_ops = macro_ops
+        self.columnar = columnar
         self.fail_at = dict(fail_at) if fail_at else {}
         for rank, when in self.fail_at.items():
             if not 0 <= rank < self.n_ranks:
@@ -294,6 +307,9 @@ class _Run:
         "_overhead", "seq", "_heap", "_active", "_fast", "_fast_enabled",
         "comms", "_ab_hops", "_ab", "_tracing", "_flops_denom",
         "_macro_enabled", "_macro_pending", "_world_members",
+        "ms", "_columnar", "_clk", "_blk", "_fin", "_fld",
+        "_cpu_t", "_comm_t", "_idle_t", "_fin_t",
+        "_sent_n", "_sent_b", "_recv_n", "_recv_b",
     )
 
     def __init__(self, engine: Engine):
@@ -320,10 +336,31 @@ class _Run:
         #: Receive-post matching order: eager queue first, then parked
         #: rendezvous senders (the seed engine's semantics).
         self.protocols = (self.eager, self.rendezvous)
-        self.ranks = [
-            RankState(rank=r, stats=RankStats(rank=r))
-            for r in range(engine.n_ranks)
-        ]
+        # Columnar hot state: one MachineState holds every rank's
+        # clock, lifecycle flags, and stats accumulators as parallel
+        # numpy arrays; the RankState objects are thin views over it.
+        # The fused handlers below bind the columns once and index them
+        # through memoryviews -- same storage the views and the
+        # vectorized routes see, but scalar get/set on a memoryview is
+        # ~2.5x faster than ndarray indexing, and reads hand back plain
+        # Python numbers (no numpy scalars leak into heap tuples).
+        # Array-at-a-time operations keep using the ms.* ndarrays.
+        ms = MachineState(engine.n_ranks)
+        self.ms = ms
+        self._columnar = engine.columnar
+        self._clk = memoryview(ms.clock)
+        self._blk = memoryview(ms.blocked)
+        self._fin = memoryview(ms.finished)
+        self._fld = memoryview(ms.failed)
+        self._cpu_t = memoryview(ms.compute_time)
+        self._comm_t = memoryview(ms.comm_time)
+        self._idle_t = memoryview(ms.idle_time)
+        self._fin_t = memoryview(ms.finish_time)
+        self._sent_n = memoryview(ms.messages_sent)
+        self._sent_b = memoryview(ms.bytes_sent)
+        self._recv_n = memoryview(ms.messages_received)
+        self._recv_b = memoryview(ms.bytes_received)
+        self.ranks = [RankState(r, ms) for r in range(engine.n_ranks)]
         #: Interned pair keys: src * n_ranks + dst (no tuple per lookup).
         self._n = engine.n_ranks
         self._eager_max = engine.eager_threshold_bytes
@@ -445,20 +482,23 @@ class _Run:
         blocked_since = slot.blocked_since
         arrival = msg.arrival_time
         completion = arrival if arrival > blocked_since else blocked_since
-        # Inlined _deliver (one call per received message): account,
-        # trace when enabled, drop the handle.
-        stats = state.stats
-        stats.comm_time += completion - blocked_since
-        stats.messages_received += 1
-        stats.bytes_received += msg.nbytes
+        # Inlined _deliver (one call per received message): account
+        # straight into the state columns, trace when enabled, drop the
+        # handle.
+        rank = state.rank
+        comm_t = self._comm_t
+        comm_t[rank] = comm_t[rank] + (completion - blocked_since)
+        recv_n = self._recv_n
+        recv_n[rank] = recv_n[rank] + 1
+        recv_b = self._recv_b
+        recv_b[rank] = recv_b[rank] + msg.nbytes
         if self._tracing:
             self._trace_delivery(state, slot, completion)
         hid = slot.handle_id
         state.rslots.pop(hid, None)
         state.handles.pop(hid)
-        state.clock = completion
-        state.blocked = False
-        rank = state.rank
+        self._clk[rank] = completion
+        self._blk[rank] = False
         value = Message(msg.payload, msg.source, msg.tag, arrival)
         seq = self.seq + 1
         self.seq = seq
@@ -474,7 +514,9 @@ class _Run:
             self._complete_anywait(state, handle.handle_id)
             return
         completion = max(handle.blocked_since, handle.complete_at)
-        state.stats.comm_time += completion - handle.blocked_since
+        rank = state.rank
+        comm_t = self._comm_t
+        comm_t[rank] = comm_t[rank] + (completion - handle.blocked_since)
         if self.tracer.enabled and completion > handle.blocked_since:
             # The handshake cause is binding only when the remote event
             # (not our own blocking point) determined the completion.
@@ -490,19 +532,23 @@ class _Run:
                 nbytes=handle.nbytes,
                 cause=cause,
             )
-        state.clock = completion
-        state.blocked = False
+        self._clk[rank] = completion
+        self._blk[rank] = False
         state.pop_handle(handle.handle_id)
-        self.schedule(completion, state.rank, None)
+        self.schedule(completion, rank, None)
 
     # -- completion helpers -------------------------------------------------
 
     def _deliver(self, state: RankState, slot: ReceiveSlot, completion: float) -> None:
         """Account and trace one delivered message; drops the handle."""
         msg = slot.msg
-        state.stats.comm_time += completion - slot.blocked_since
-        state.stats.messages_received += 1
-        state.stats.bytes_received += msg.nbytes
+        rank = state.rank
+        comm_t = self._comm_t
+        comm_t[rank] = comm_t[rank] + (completion - slot.blocked_since)
+        recv_n = self._recv_n
+        recv_n[rank] = recv_n[rank] + 1
+        recv_b = self._recv_b
+        recv_b[rank] = recv_b[rank] + msg.nbytes
         if self.tracer.enabled:
             self._trace_delivery(state, slot, completion)
         state.pop_handle(slot.handle_id)
@@ -546,7 +592,8 @@ class _Run:
             if other is not None:
                 other.waiting = False
         state.anywait = None
-        state.blocked = False
+        rank = state.rank
+        self._blk[rank] = False
         if isinstance(handle, ReceiveSlot):
             msg = handle.msg
             completion = max(handle.blocked_since, msg.arrival_time)
@@ -554,7 +601,8 @@ class _Run:
             value = (index, Message(msg.payload, msg.source, msg.tag, msg.arrival_time))
         else:
             completion = max(handle.blocked_since, handle.complete_at)
-            state.stats.comm_time += completion - handle.blocked_since
+            comm_t = self._comm_t
+            comm_t[rank] = comm_t[rank] + (completion - handle.blocked_since)
             if self.tracer.enabled and completion > handle.blocked_since:
                 cause = handle.hs_cause if handle.complete_at > handle.blocked_since else None
                 self.tracer.span(
@@ -570,8 +618,8 @@ class _Run:
                 )
             state.pop_handle(handle_id)
             value = (index, None)
-        state.clock = completion
-        self.schedule(completion, state.rank, value)
+        self._clk[rank] = completion
+        self.schedule(completion, rank, value)
 
     def post_receive(self, state: RankState, source: int, tag: int) -> ReceiveSlot:
         """Post a receive; bind a queued eager message or wake a parked
@@ -602,13 +650,15 @@ class _Run:
             dt = flops / self._flops_denom
         else:
             dt = self.machine.compute_time(request.flops, request.efficiency)
-        t0 = state.clock
-        clock = t0 + dt
-        state.clock = clock
-        state.stats.compute_time += dt
-        if self._tracing and dt > 0:
-            self.tracer.span(state.rank, COMPUTE, t0, clock, name=self.phase(state.rank))
         rank = state.rank
+        clk = self._clk
+        t0 = clk[rank]
+        clock = t0 + dt
+        clk[rank] = clock
+        cpu = self._cpu_t
+        cpu[rank] = cpu[rank] + dt
+        if self._tracing and dt > 0:
+            self.tracer.span(rank, COMPUTE, t0, clock, name=self.phase(rank))
         seq = self.seq + 1
         self.seq = seq
         if rank == self._active and self._fast is None:
@@ -631,8 +681,8 @@ class _Run:
         g = request.grank
         entry[0] -= 1
         entry[1][g] = request
-        entry[2][g] = state.clock
-        state.blocked = True
+        entry[2][g] = self._clk[state.rank]
+        self._blk[state.rank] = True
         state.collective = key
         if entry[0] == 0:
             del pend[key]
@@ -647,7 +697,10 @@ class _Run:
         if members is None:
             members = self._world_members
         ranks = self.ranks
-        sound = (key[2], key[3]) in _MACRO_SUPPORTED
+        # Stencil exchange phases carry their declared spec in the
+        # algorithm slot; collectives are checked against the evaluator
+        # registry.
+        sound = key[2] == "exchange" or (key[2], key[3]) in _MACRO_SUPPORTED
         if sound:
             for m in members:
                 st = ranks[m]
@@ -660,22 +713,37 @@ class _Run:
                     break
         result = _macro_evaluate(self, members, reqs, clocks) if sound else None
         schedule = self.schedule
+        blk = self._blk
         if result is None:
-            for m in members:
-                st = ranks[m]
-                st.blocked = False
-                st.collective = None
-                schedule(st.clock, m, MACRO_FALLBACK)
+            clk = self._clk
+            if self._columnar:
+                # Vectorized whole-group unblock (on the ndarray; the
+                # memoryview sees it); the loop below only rewires
+                # per-rank object state and resume events.
+                self.ms.blocked[np.fromiter(members, np.intp, count=len(members))] = False
+                for m in members:
+                    ranks[m].collective = None
+                    schedule(clk[m], m, MACRO_FALLBACK)
+            else:
+                for m in members:
+                    blk[m] = False
+                    ranks[m].collective = None
+                    schedule(clk[m], m, MACRO_FALLBACK)
             return
         finishes, values = result
         # evaluate() already committed clocks and stats; the resume
         # events land exactly at each member's new clock, so no idle
         # time is attributed.
-        for i, m in enumerate(members):
-            st = ranks[m]
-            st.blocked = False
-            st.collective = None
-            schedule(finishes[i], m, values[i])
+        if self._columnar:
+            self.ms.blocked[np.fromiter(members, np.intp, count=len(members))] = False
+            for i, m in enumerate(members):
+                ranks[m].collective = None
+                schedule(finishes[i], m, values[i])
+        else:
+            for i, m in enumerate(members):
+                blk[m] = False
+                ranks[m].collective = None
+                schedule(finishes[i], m, values[i])
 
     def _protocol_for(self, nbytes: float) -> Protocol:
         if nbytes > self.engine.eager_threshold_bytes:
@@ -690,9 +758,10 @@ class _Run:
         hottest path instead of six.  Float-identical to
         :meth:`EagerProtocol.send` with tracing off (same memo contents,
         same expression groupings, same sequence-number draws)."""
-        now = state.clock
-        dest = request.dest
         src_rank = state.rank
+        clk = self._clk
+        now = clk[src_rank]
+        dest = request.dest
         key = src_rank * self._n + dest
         ab = self._ab
         if ab is not None:
@@ -713,11 +782,13 @@ class _Run:
         if overhead is None:
             overhead = memo[key] = self.delivery.overhead(src_rank, dest)
         clear = now + overhead
-        state.clock = clear
-        stats = state.stats
-        stats.comm_time += overhead
-        stats.messages_sent += 1
-        stats.bytes_sent += nbytes
+        clk[src_rank] = clear
+        comm_t = self._comm_t
+        comm_t[src_rank] = comm_t[src_rank] + overhead
+        sent_n = self._sent_n
+        sent_n[src_rank] = sent_n[src_rank] + 1
+        sent_b = self._sent_b
+        sent_b[src_rank] = sent_b[src_rank] + nbytes
         payload = request.payload
         if type(payload) is np.ndarray:  # copy_payload's common case, inline
             payload = payload.copy()
@@ -780,8 +851,9 @@ class _Run:
             self.eager.send(self, state, request, nbytes)
             return
 
-        now = state.clock
         src_rank = state.rank
+        clk = self._clk
+        now = clk[src_rank]
         key = src_rank * self._n + dest
         ab = self._ab
         if ab is not None:
@@ -802,11 +874,13 @@ class _Run:
         if overhead is None:
             overhead = memo[key] = self.delivery.overhead(src_rank, dest)
         clear = now + overhead
-        state.clock = clear
-        stats = state.stats
-        stats.comm_time += overhead
-        stats.messages_sent += 1
-        stats.bytes_sent += nbytes
+        clk[src_rank] = clear
+        comm_t = self._comm_t
+        comm_t[src_rank] = comm_t[src_rank] + overhead
+        sent_n = self._sent_n
+        sent_n[src_rank] = sent_n[src_rank] + 1
+        sent_b = self._sent_b
+        sent_b[src_rank] = sent_b[src_rank] + nbytes
         payload = request.payload
         if type(payload) is np.ndarray:  # copy_payload's common case
             payload = payload.copy()
@@ -839,15 +913,16 @@ class _Run:
             # shell -- deliver straight out of locals.
             blocked_since = matched.blocked_since
             completion = arrival if arrival > blocked_since else blocked_since
-            dstats = dst.stats
-            dstats.comm_time += completion - blocked_since
-            dstats.messages_received += 1
-            dstats.bytes_received += nbytes
+            comm_t[dest] = comm_t[dest] + (completion - blocked_since)
+            recv_n = self._recv_n
+            recv_n[dest] = recv_n[dest] + 1
+            recv_b = self._recv_b
+            recv_b[dest] = recv_b[dest] + nbytes
             hid = matched.handle_id
             dst.rslots.pop(hid, None)
             dst.handles.pop(hid)
-            dst.clock = completion
-            dst.blocked = False
+            clk[dest] = completion
+            self._blk[dest] = False
             seq = self.seq + 1
             self.seq = seq
             # The receiver is never the active rank here (the sender
@@ -901,7 +976,7 @@ class _Run:
             raise CommunicationError(
                 f"rank {state.rank} receives from invalid rank {source}"
             )
-        now = state.clock
+        now = self._clk[state.rank]
         # post_receive, inlined (this is its only engine-internal call
         # site; the method remains the outward-facing entry point).
         hid = state._next_handle
@@ -923,7 +998,7 @@ class _Run:
         else:
             slot.waiting = True
             slot.blocked_since = now
-            state.blocked = True  # a future send wakes us
+            self._blk[state.rank] = True  # a future send wakes us
 
     def _handle_wait(self, state: RankState, request: WaitReq) -> None:
         handle = state.require_handle(request.handle)
@@ -932,17 +1007,17 @@ class _Run:
                 f"rank {state.rank} waits twice on handle {request.handle}"
             )
         handle.waiting = True
-        handle.blocked_since = state.clock
+        handle.blocked_since = self._clk[state.rank]
         if handle.ready:
             if isinstance(handle, ReceiveSlot):
                 self.complete_receive(state, handle)
             else:
                 self.complete_send(state, handle)
         else:
-            state.blocked = True
+            self._blk[state.rank] = True
 
     def _handle_waitany(self, state: RankState, request: WaitanyReq) -> None:
-        now = state.clock
+        now = self._clk[state.rank]
         handles = [state.require_handle(hid) for hid in request.handles]
         for handle in handles:
             if handle.waiting:
@@ -962,7 +1037,7 @@ class _Run:
             _, index = min(ready)
             self._complete_anywait(state, request.handles[index])
         else:
-            state.blocked = True
+            self._blk[state.rank] = True
 
     def _check_dest(self, state: RankState, dest: int) -> None:
         if not 0 <= dest < len(self.ranks):
@@ -1063,6 +1138,15 @@ class _Run:
         tracing = tracer.enabled
         max_events = engine.max_events
         fast_enabled = self._fast_enabled
+        # Bound column accessors: the loop reads lifecycle flags and
+        # clocks per popped event through the memoryviews, which hand
+        # back plain Python numbers (no numpy scalars leak into heap
+        # tuples).
+        clk = self._clk
+        fin = self._fin
+        fld = self._fld
+        idle_t = self._idle_t
+        fin_t = self._fin_t
 
         events = 0
         alive = p
@@ -1077,18 +1161,18 @@ class _Run:
         try:
             while heap:
                 time, _, rank, value = heappop(heap)
-                state = ranks[rank]
-                if state.failed:
+                if fld[rank]:
                     continue  # events for a dead node are dropped
                 if value is _FAIL:
-                    if state.finished:
+                    if fin[rank]:
                         continue  # died after finishing: no effect
                     failed_ranks.append(rank)
-                    self._fail_rank(state, time)
+                    self._fail_rank(ranks[rank], time)
                     alive -= 1
                     continue
-                if state.finished:
+                if fin[rank]:
                     raise SimulationError(f"finished rank {rank} rescheduled")
+                state = ranks[rank]
 
                 # Run-until-block: drive this rank's generator directly
                 # for as long as each handler's only scheduling action
@@ -1101,21 +1185,22 @@ class _Run:
                 if fast_enabled:
                     self._active = rank
                 while True:
-                    if time > state.clock:
+                    now = clk[rank]
+                    if time > now:
                         # Unattributed gap: an event landed past the
                         # rank's clock.  Explicit so per-rank spans tile
                         # [0, finish] and compute + comm + idle == finish.
-                        state.stats.idle_time += time - state.clock
+                        idle_t[rank] = idle_t[rank] + (time - now)
                         if tracing:
-                            tracer.span(rank, IDLE, state.clock, time)
-                        state.clock = time
+                            tracer.span(rank, IDLE, now, time)
+                        clk[rank] = time
 
                     try:
                         request = resume(value)
                     except StopIteration as stop:
                         returns[rank] = stop.value
-                        state.finished = True
-                        state.stats.finish_time = state.clock
+                        fin[rank] = True
+                        fin_t[rank] = clk[rank]
                         alive -= 1
                         break
 
@@ -1169,10 +1254,20 @@ class _Run:
                 failed_ranks=sorted(failed_ranks),
             )
 
+        # Finalization: the columnar route materialises stats and the
+        # makespan with whole-array operations; the per-rank route
+        # walks the views (bit-identical values, asserted in tests).
+        if self._columnar:
+            stats = self.ms.finalize_stats()
+            makespan = self.ms.makespan()
+        else:
+            stats = [st.stats.snapshot() for st in ranks]
+            makespan = max(clk[r] for r in range(p)) if p else 0.0
+
         return SimResult(
             returns=returns,
-            time=max(s.clock for s in self.ranks) if self.ranks else 0.0,
-            stats=[s.stats for s in self.ranks],
+            time=makespan,
+            stats=stats,
             tracer=self.tracer,
             failed_ranks=sorted(failed_ranks),
             events=events,
@@ -1189,6 +1284,7 @@ def run_program(
     eager_threshold_bytes: float = float("inf"),
     delivery: Union[str, DeliveryModel] = "alphabeta",
     macro_ops: bool = True,
+    columnar: bool = True,
     **kwargs: Any,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Engine`."""
@@ -1200,4 +1296,5 @@ def run_program(
         eager_threshold_bytes=eager_threshold_bytes,
         delivery=delivery,
         macro_ops=macro_ops,
+        columnar=columnar,
     ).run(program, *args, **kwargs)

@@ -42,6 +42,8 @@ allreduce, ring allgather, cyclic alltoall.  Cyclic patterns
 (butterfly, rings, alltoall) are evaluated only when every message is
 eager; a rendezvous message there means the event path's behaviour
 (including its deadlock) must be reproduced for real, so we bail.
+Declared neighbor-exchange stencil phases price through the same
+:class:`_Sched` machinery via :mod:`repro.simmpi.stencil`.
 """
 
 from __future__ import annotations
@@ -79,7 +81,7 @@ class _Sched:
     """
 
     __slots__ = (
-        "run", "members", "p", "clock", "comm_t", "sent_n", "sent_b",
+        "run", "members", "p", "idx", "clock", "comm_t", "sent_n", "sent_b",
         "recv_n", "recv_b", "eager_max", "ab", "n", "overlay", "last",
         "oh_memo", "members_arr", "nodes", "topo", "latency", "per_hop",
         "bw", "fifo_cap",
@@ -90,26 +92,40 @@ class _Sched:
         self.members = members
         p = len(members)
         self.p = p
-        ranks = run.ranks
         # Numpy storage: scalar helpers index element-wise (identical
         # IEEE arithmetic to plain floats), vector helpers price a
         # whole permutation round in a handful of array ops.
         self.clock = np.array(clocks, dtype=np.float64)
-        self.comm_t = np.fromiter(
-            (ranks[m].stats.comm_time for m in members), np.float64, count=p
-        )
-        self.sent_n = np.fromiter(
-            (ranks[m].stats.messages_sent for m in members), np.int64, count=p
-        )
-        self.sent_b = np.fromiter(
-            (ranks[m].stats.bytes_sent for m in members), np.int64, count=p
-        )
-        self.recv_n = np.fromiter(
-            (ranks[m].stats.messages_received for m in members), np.int64, count=p
-        )
-        self.recv_b = np.fromiter(
-            (ranks[m].stats.bytes_received for m in members), np.int64, count=p
-        )
+        if run._columnar:
+            # Columnar gather: one fancy-index copy per stats column
+            # out of the run's MachineState (the live values the
+            # per-rank reads below would see, bit for bit).
+            idx = np.fromiter(members, np.intp, count=p)
+            ms = run.ms
+            self.comm_t = ms.comm_time[idx]
+            self.sent_n = ms.messages_sent[idx]
+            self.sent_b = ms.bytes_sent[idx]
+            self.recv_n = ms.messages_received[idx]
+            self.recv_b = ms.bytes_received[idx]
+            self.idx: Any = idx
+        else:
+            ranks = run.ranks
+            self.comm_t = np.fromiter(
+                (ranks[m].stats.comm_time for m in members), np.float64, count=p
+            )
+            self.sent_n = np.fromiter(
+                (ranks[m].stats.messages_sent for m in members), np.int64, count=p
+            )
+            self.sent_b = np.fromiter(
+                (ranks[m].stats.bytes_sent for m in members), np.float64, count=p
+            )
+            self.recv_n = np.fromiter(
+                (ranks[m].stats.messages_received for m in members), np.int64, count=p
+            )
+            self.recv_b = np.fromiter(
+                (ranks[m].stats.bytes_received for m in members), np.float64, count=p
+            )
+            self.idx = None
         self.eager_max = run._eager_max
         ab = run.delivery  # guaranteed AlphaBetaDelivery by the engine
         self.ab = ab
@@ -275,26 +291,37 @@ class _Sched:
         clock[dsts] = completion
 
     def commit(self) -> None:
-        ranks = self.run.ranks
-        # Hand plain Python floats/ints back to the engine: numerically
-        # the numpy scalars are identical, but the committed state (and
-        # the resume times the caller schedules) should not leak numpy
-        # types into the event loop.
+        # The caller's resume times must be plain Python floats (no
+        # numpy scalars in the event loop's heap tuples); the committed
+        # columns hold the same float64 bits either way.
         clock = self.clock.tolist()
-        comm_t = self.comm_t.tolist()
-        sent_n = self.sent_n.tolist()
-        sent_b = self.sent_b.tolist()
-        recv_n = self.recv_n.tolist()
-        recv_b = self.recv_b.tolist()
-        for g, m in enumerate(self.members):
-            st = ranks[m]
-            st.clock = clock[g]
-            stats = st.stats
-            stats.comm_time = comm_t[g]
-            stats.messages_sent = sent_n[g]
-            stats.bytes_sent = sent_b[g]
-            stats.messages_received = recv_n[g]
-            stats.bytes_received = recv_b[g]
+        if self.idx is not None:
+            # Columnar commit: one fancy-index assignment per column
+            # writes the whole group back to the MachineState.
+            ms = self.run.ms
+            idx = self.idx
+            ms.clock[idx] = self.clock
+            ms.comm_time[idx] = self.comm_t
+            ms.messages_sent[idx] = self.sent_n
+            ms.bytes_sent[idx] = self.sent_b
+            ms.messages_received[idx] = self.recv_n
+            ms.bytes_received[idx] = self.recv_b
+        else:
+            ranks = self.run.ranks
+            comm_t = self.comm_t.tolist()
+            sent_n = self.sent_n.tolist()
+            sent_b = self.sent_b.tolist()
+            recv_n = self.recv_n.tolist()
+            recv_b = self.recv_b.tolist()
+            for g, m in enumerate(self.members):
+                st = ranks[m]
+                st.clock = clock[g]
+                stats = st.stats
+                stats.comm_time = comm_t[g]
+                stats.messages_sent = sent_n[g]
+                stats.bytes_sent = sent_b[g]
+                stats.messages_received = recv_n[g]
+                stats.bytes_received = recv_b[g]
         last = self.last
         for key, arrival in self.overlay.items():
             last[key] = float(arrival)
@@ -598,6 +625,12 @@ def evaluate(
             out = _eval_allgather_ring(s, reqs)
         elif kind == "alltoall":
             out = _eval_alltoall(s, reqs)
+        elif kind == "exchange":
+            # Stencil phase: the evaluator lives with its spec in
+            # stencil.py, which imports this module (local import keeps
+            # the dependency acyclic).
+            from repro.simmpi.stencil import eval_exchange
+            out = eval_exchange(s, reqs)
         else:
             return None
     except _Bail:

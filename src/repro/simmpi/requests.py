@@ -218,7 +218,7 @@ class CollectiveReq:
         members: Optional[tuple],
         seq: int,
         kind: str,
-        algorithm: str,
+        algorithm: Any,
         root: int,
         op: Any,
         value: Any,
@@ -229,6 +229,8 @@ class CollectiveReq:
         self.members = members
         self.seq = seq
         self.kind = kind
+        #: Algorithm name for collectives; the declared
+        #: :class:`~repro.simmpi.stencil.StencilSpec` for exchange phases.
         self.algorithm = algorithm
         self.root = root
         #: Resolved combiner for reductions (None otherwise).

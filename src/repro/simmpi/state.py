@@ -1,30 +1,40 @@
-"""Per-rank simulation state and the unified request-handle table.
+"""Columnar per-rank simulation state and the unified handle table.
 
-One :class:`RankState` consolidates everything the engine used to keep
-in parallel per-rank lists: the virtual clock, aggregate statistics,
-lifecycle flags, the queues of unmatched eager messages and parked
-rendezvous senders, and the **handle table** -- a dict keyed by handle
-id holding every outstanding non-blocking request (posted receives and
-in-progress sends alike).  The dict replaces the old linear
-``find_slot``/``slots.remove`` scans with O(1) lookup and removal, and
-its insertion order *is* MPI post order, which the matching rules rely
-on.
+The engine's numeric hot state -- virtual clocks, lifecycle flags, and
+the :class:`~repro.simmpi.trace.RankStats` accumulators -- lives in one
+:class:`MachineState`: parallel numpy arrays indexed by rank (structure
+of arrays, one column per field).  Whole-machine operations (macro-op
+commits, stats finalization, makespan reduction) become single array
+expressions instead of per-object loops, which is what lets the
+simulator hold its footprint at 10^4..10^6 ranks.
 
-Alongside the unified table the state keeps ``rslots``, an
-insertion-ordered dict of just the posted receives.  Message matching
-scans only receives, and filtering them out of the mixed handle table
-with an ``isinstance`` per handle was one of the hottest lines in the
-engine; the second dict trades one extra O(1) insert/remove per handle
-for a scan over exactly the right objects.
+:class:`RankState` is a thin per-rank **view** over those columns: its
+``clock``/``finished``/``failed``/``blocked`` properties and its
+``stats`` attribute (a :class:`RankStatsView`) read and write the
+shared arrays, so the protocol, waitgraph, fault, and obs layers keep
+working unchanged through the same attribute API the old per-object
+state exposed.  The engine's fused handlers bypass the properties and
+index the columns directly; both routes touch the same storage, so
+they can never disagree.
 
-Everything here is a plain ``__slots__`` class: these objects are
-allocated per message and per posted receive, so they sit directly on
-the engine's fast path.
+Alongside the columns each rank keeps genuinely per-rank *object*
+state: the **handle table** -- a dict keyed by handle id holding every
+outstanding non-blocking request (posted receives and in-progress
+sends alike) -- plus ``rslots`` (just the posted receives, in post
+order, so message matching scans exactly the right objects), the
+queues of unmatched eager messages and parked rendezvous senders, and
+the waitany/collective parking markers.
+
+Everything here is a plain ``__slots__`` class: slots and handle
+objects are allocated per message and per posted receive, so they sit
+directly on the engine's fast path.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Union
+
+import numpy as np
 
 from repro.simmpi.requests import ANY_SOURCE, ANY_TAG, InFlight
 from repro.simmpi.trace import RankStats
@@ -166,24 +176,205 @@ class ParkedSend:
         )
 
 
-class RankState:
-    """Everything the engine tracks for one rank."""
+class MachineState:
+    """Structure-of-arrays state for every rank of one run.
+
+    One float64/int64/bool column per field, indexed by rank.  Values
+    stored here are always *plain* Python numbers written through
+    ``arr[i] = v`` and read back with ``arr.item(i)`` (or ``tolist()``
+    in bulk), so nothing that leaves this class carries a numpy scalar
+    type into the event loop's heap tuples or float arithmetic --
+    float64 round-trips exactly, and int64 holds every count the
+    simulator can produce.
+    """
 
     __slots__ = (
-        "rank", "stats", "clock", "finished", "failed", "blocked",
+        "n", "clock", "finished", "failed", "blocked",
+        "compute_time", "comm_time", "idle_time",
+        "messages_sent", "bytes_sent", "messages_received",
+        "bytes_received", "finish_time",
+    )
+
+    def __init__(self, n: int):
+        self.n = n
+        self.clock = np.zeros(n, dtype=np.float64)
+        self.finished = np.zeros(n, dtype=np.bool_)
+        self.failed = np.zeros(n, dtype=np.bool_)
+        self.blocked = np.zeros(n, dtype=np.bool_)
+        self.compute_time = np.zeros(n, dtype=np.float64)
+        self.comm_time = np.zeros(n, dtype=np.float64)
+        self.idle_time = np.zeros(n, dtype=np.float64)
+        self.messages_sent = np.zeros(n, dtype=np.int64)
+        #: Bytes columns are float64 (RankStats declares bytes as float);
+        #: the values are exact -- payload sizes are integers well below
+        #: 2**53 -- so int and float comparisons agree everywhere.
+        self.bytes_sent = np.zeros(n, dtype=np.float64)
+        self.messages_received = np.zeros(n, dtype=np.int64)
+        self.bytes_received = np.zeros(n, dtype=np.float64)
+        self.finish_time = np.zeros(n, dtype=np.float64)
+
+    def makespan(self) -> float:
+        """Latest rank clock, as a plain float (one array reduction)."""
+        return float(self.clock.max()) if self.n else 0.0
+
+    def finalize_stats(self) -> List[RankStats]:
+        """Materialise per-rank :class:`RankStats` from the columns.
+
+        One ``tolist()`` per column (plain Python numbers out), then a
+        single zip -- the vectorised replacement for reading eight
+        attributes off every rank object.
+        """
+        rows = zip(
+            self.compute_time.tolist(),
+            self.comm_time.tolist(),
+            self.idle_time.tolist(),
+            self.messages_sent.tolist(),
+            self.bytes_sent.tolist(),
+            self.messages_received.tolist(),
+            self.bytes_received.tolist(),
+            self.finish_time.tolist(),
+        )
+        return [
+            RankStats(
+                rank=r,
+                compute_time=ct,
+                comm_time=cm,
+                idle_time=it,
+                messages_sent=ms,
+                bytes_sent=bs,
+                messages_received=mr,
+                bytes_received=br,
+                finish_time=ft,
+            )
+            for r, (ct, cm, it, ms, bs, mr, br, ft) in enumerate(rows)
+        ]
+
+
+class RankStatsView:
+    """Per-rank window onto the :class:`MachineState` stats columns.
+
+    Exposes the exact :class:`~repro.simmpi.trace.RankStats` attribute
+    API (including ``busy_time``/``accounted_time``) so the protocol
+    and obs layers keep accumulating through ``stats.comm_time += dt``
+    unchanged; every access reads or writes the shared arrays.
+    """
+
+    __slots__ = ("ms", "rank")
+
+    def __init__(self, ms: MachineState, rank: int):
+        self.ms = ms
+        self.rank = rank
+
+    @property
+    def compute_time(self) -> float:
+        return self.ms.compute_time.item(self.rank)
+
+    @compute_time.setter
+    def compute_time(self, v: float) -> None:
+        self.ms.compute_time[self.rank] = v
+
+    @property
+    def comm_time(self) -> float:
+        return self.ms.comm_time.item(self.rank)
+
+    @comm_time.setter
+    def comm_time(self, v: float) -> None:
+        self.ms.comm_time[self.rank] = v
+
+    @property
+    def idle_time(self) -> float:
+        return self.ms.idle_time.item(self.rank)
+
+    @idle_time.setter
+    def idle_time(self, v: float) -> None:
+        self.ms.idle_time[self.rank] = v
+
+    @property
+    def messages_sent(self) -> int:
+        return self.ms.messages_sent.item(self.rank)
+
+    @messages_sent.setter
+    def messages_sent(self, v: int) -> None:
+        self.ms.messages_sent[self.rank] = v
+
+    @property
+    def bytes_sent(self) -> float:
+        return self.ms.bytes_sent.item(self.rank)
+
+    @bytes_sent.setter
+    def bytes_sent(self, v: float) -> None:
+        self.ms.bytes_sent[self.rank] = v
+
+    @property
+    def messages_received(self) -> int:
+        return self.ms.messages_received.item(self.rank)
+
+    @messages_received.setter
+    def messages_received(self, v: int) -> None:
+        self.ms.messages_received[self.rank] = v
+
+    @property
+    def bytes_received(self) -> float:
+        return self.ms.bytes_received.item(self.rank)
+
+    @bytes_received.setter
+    def bytes_received(self, v: float) -> None:
+        self.ms.bytes_received[self.rank] = v
+
+    @property
+    def finish_time(self) -> float:
+        return self.ms.finish_time.item(self.rank)
+
+    @finish_time.setter
+    def finish_time(self, v: float) -> None:
+        self.ms.finish_time[self.rank] = v
+
+    @property
+    def busy_time(self) -> float:
+        """Compute plus communication time (excludes idle gaps)."""
+        return self.compute_time + self.comm_time
+
+    @property
+    def accounted_time(self) -> float:
+        """Compute + comm + idle; equals ``finish_time`` per rank (up
+        to float accumulation error), asserted in tests."""
+        return self.compute_time + self.comm_time + self.idle_time
+
+    def snapshot(self) -> RankStats:
+        """A detached :class:`RankStats` copy of this rank's row."""
+        return RankStats(
+            rank=self.rank,
+            compute_time=self.compute_time,
+            comm_time=self.comm_time,
+            idle_time=self.idle_time,
+            messages_sent=self.messages_sent,
+            bytes_sent=self.bytes_sent,
+            messages_received=self.messages_received,
+            bytes_received=self.bytes_received,
+            finish_time=self.finish_time,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RankStatsView(rank={self.rank}, compute={self.compute_time}, "
+            f"comm={self.comm_time}, idle={self.idle_time})"
+        )
+
+
+class RankState:
+    """Everything the engine tracks for one rank: a view over the
+    :class:`MachineState` columns plus the rank's own object state."""
+
+    __slots__ = (
+        "ms", "rank", "stats",
         "handles", "rslots", "pending", "parked", "anywait", "collective",
         "_next_handle",
     )
 
-    def __init__(self, rank: int, stats: RankStats):
+    def __init__(self, rank: int, ms: MachineState):
+        self.ms = ms
         self.rank = rank
-        self.stats = stats
-        self.clock = 0.0
-        self.finished = False
-        self.failed = False
-        #: Rank is inside a blocking wait (recv/wait/waitany or a parked
-        #: blocking rendezvous send).
-        self.blocked = False
+        self.stats = RankStatsView(ms, rank)
         #: Unified handle table: handle id -> outstanding request.
         self.handles: Dict[int, Handle] = {}
         #: Posted receives only, same insertion (= MPI post) order as
@@ -201,9 +392,46 @@ class RankState:
         self.collective: Optional[tuple] = None
         self._next_handle = 0
 
+    # Column-backed scalars.  The engine's fused handlers index the
+    # arrays directly; these properties serve every other layer.
+
+    @property
+    def clock(self) -> float:
+        return self.ms.clock.item(self.rank)
+
+    @clock.setter
+    def clock(self, v: float) -> None:
+        self.ms.clock[self.rank] = v
+
+    @property
+    def finished(self) -> bool:
+        return self.ms.finished.item(self.rank)
+
+    @finished.setter
+    def finished(self, v: bool) -> None:
+        self.ms.finished[self.rank] = v
+
+    @property
+    def failed(self) -> bool:
+        return self.ms.failed.item(self.rank)
+
+    @failed.setter
+    def failed(self, v: bool) -> None:
+        self.ms.failed[self.rank] = v
+
+    @property
+    def blocked(self) -> bool:
+        """Rank is inside a blocking wait (recv/wait/waitany or a
+        parked blocking rendezvous send)."""
+        return self.ms.blocked.item(self.rank)
+
+    @blocked.setter
+    def blocked(self, v: bool) -> None:
+        self.ms.blocked[self.rank] = v
+
     def new_handle_id(self) -> int:
         hid = self._next_handle
-        self._next_handle += 1
+        self._next_handle = hid + 1
         return hid
 
     def add_handle(self, handle: Handle) -> None:
@@ -230,13 +458,28 @@ class RankState:
 
     def fail(self, time: float) -> None:
         """Node death: freeze the clock, drop all outstanding requests."""
-        self.failed = True
-        self.finished = True
-        self.blocked = False
-        self.stats.finish_time = time
-        self.clock = max(self.clock, time)
+        ms = self.ms
+        r = self.rank
+        ms.failed[r] = True
+        ms.finished[r] = True
+        ms.blocked[r] = False
+        ms.finish_time[r] = time
+        if time > ms.clock.item(r):
+            ms.clock[r] = time
         self.handles.clear()
         self.rslots.clear()
+        # A dead rank posts no further receives, so eager messages
+        # already queued here can never match; drop them so no later
+        # matching scan (or memory) ever sees a dead rank's inbox.
+        self.pending.clear()
+        # ``parked`` is deliberately NOT cleared: the entries left after
+        # ``_fail_rank`` strips the dead rank's own sends belong to
+        # still-*live* senders blocked in rendezvous sends to this rank.
+        # They can never transfer (no receive will be posted), but the
+        # wait-for graph walks every destination's parked queue to
+        # explain the resulting deadlock -- clearing them here would
+        # turn "rank 3 blocked on rendezvous send to dead rank 1" into
+        # an unexplained hang.
         self.anywait = None
         self.collective = None
 

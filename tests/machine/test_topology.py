@@ -259,3 +259,83 @@ def test_torus_hops_never_exceed_mesh(rows, cols, data):
     s = data.draw(st.integers(0, mesh.n_nodes - 1))
     d = data.draw(st.integers(0, mesh.n_nodes - 1))
     assert torus.hops(s, d) <= mesh.hops(s, d)
+
+
+# -- vectorised/scalar hop parity, property-style -------------------------
+#
+# The class fixtures above check hops_array exhaustively on a handful of
+# small shapes; these drive randomized shapes and pair samples through
+# every topology class, pinning the wraparound and subset cases the
+# closed-form stencil/collective evaluators rely on.
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(1, 12), cols=st.integers(1, 12), data=st.data())
+def test_mesh_hops_array_parity_random(rows, cols, data):
+    topo = Mesh2D(rows, cols)
+    n = topo.n_nodes
+    pairs = data.draw(
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                 min_size=1, max_size=32)
+    )
+    srcs = np.array([p[0] for p in pairs])
+    dsts = np.array([p[1] for p in pairs])
+    assert topo.hops_array(srcs, dsts).tolist() == [
+        topo.hops(s, d) for s, d in pairs
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(1, 12), cols=st.integers(1, 12), data=st.data())
+def test_torus_hops_array_parity_random(rows, cols, data):
+    """Torus wraparound: include the opposite-edge pairs explicitly --
+    the cases where the modular distance beats the mesh distance."""
+    topo = Torus2D(rows, cols)
+    n = topo.n_nodes
+    pairs = data.draw(
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                 min_size=1, max_size=32)
+    )
+    # Opposite corners and edge-to-edge wraps on both axes.
+    pairs += [
+        (0, n - 1),
+        (0, topo.cols - 1),                     # full row wrap
+        (0, (topo.rows - 1) * topo.cols),       # full column wrap
+    ]
+    srcs = np.array([p[0] for p in pairs])
+    dsts = np.array([p[1] for p in pairs])
+    assert topo.hops_array(srcs, dsts).tolist() == [
+        topo.hops(s, d) for s, d in pairs
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(dim=st.integers(0, 10), data=st.data())
+def test_hypercube_hops_array_parity_subsets(dim, data):
+    """Hypercube parity on arbitrary member subsets -- including
+    non-power-of-two subset sizes, the shape group communicators take."""
+    topo = Hypercube(dim)
+    n = topo.n_nodes
+    k = data.draw(st.integers(1, min(n, 13)))   # deliberately allows odd sizes
+    members = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True)
+    )
+    srcs = np.array(members)
+    dsts = np.roll(srcs, 1)
+    assert topo.hops_array(srcs, dsts).tolist() == [
+        topo.hops(int(s), int(d)) for s, d in zip(srcs, dsts)
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 40), data=st.data())
+def test_ring_and_full_hops_array_parity_random(n, data):
+    pairs = data.draw(
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                 min_size=1, max_size=32)
+    )
+    srcs = np.array([p[0] for p in pairs])
+    dsts = np.array([p[1] for p in pairs])
+    for topo in (Ring(n), FullyConnected(n)):
+        assert topo.hops_array(srcs, dsts).tolist() == [
+            topo.hops(s, d) for s, d in pairs
+        ]

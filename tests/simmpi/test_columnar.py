@@ -1,0 +1,178 @@
+"""Columnar machine state: array invariants, views, and failure cleanup.
+
+The engine stores every rank's clock, lifecycle flags, and accounting in
+:class:`~repro.simmpi.state.MachineState` parallel arrays;
+:class:`~repro.simmpi.state.RankState` and
+:class:`~repro.simmpi.state.RankStatsView` are thin per-rank views over
+those columns.  These tests pin the contract the views promise the
+protocol/waitgraph/obs layers -- plus the failure-cleanup rule: a dead
+rank drops its queued eager arrivals (it can never post a matching
+receive) but keeps its parked rendezvous senders (they are *live* ranks
+whose blocked state the wait-for graph must still explain).
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import FullyConnected, LinkModel, Machine, NodeSpec
+from repro.simmpi import Engine, MachineState, RankState
+from repro.simmpi.requests import InFlight
+from repro.simmpi.state import ParkedSend
+from repro.simmpi.trace import RankStats
+from repro.util.errors import DeadlockError
+
+
+def toy_machine(n):
+    return Machine(
+        name="toy",
+        node=NodeSpec("toy", peak_flops=1e8, memory_bytes=1e9, sustained_fraction=1.0),
+        topology=FullyConnected(n),
+        link=LinkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e8),
+    )
+
+
+class TestMachineState:
+    def test_column_dtypes_and_shapes(self):
+        ms = MachineState(5)
+        assert ms.n == 5
+        for name in ("clock", "compute_time", "comm_time", "idle_time",
+                     "bytes_sent", "bytes_received", "finish_time"):
+            col = getattr(ms, name)
+            assert col.dtype == np.float64 and col.shape == (5,)
+        for name in ("messages_sent", "messages_received"):
+            col = getattr(ms, name)
+            assert col.dtype == np.int64 and col.shape == (5,)
+        for name in ("finished", "failed", "blocked"):
+            col = getattr(ms, name)
+            assert col.dtype == np.bool_ and col.shape == (5,)
+
+    def test_makespan_is_plain_float(self):
+        ms = MachineState(3)
+        ms.clock[1] = 2.5
+        span = ms.makespan()
+        assert span == 2.5
+        assert type(span) is float
+        assert MachineState(0).makespan() == 0.0
+
+    def test_finalize_stats_matches_snapshots(self):
+        ms = MachineState(4)
+        sts = [RankState(r, ms) for r in range(4)]
+        for r, st in enumerate(sts):
+            st.stats.compute_time = 1.0 * r
+            st.stats.comm_time = 0.5 * r
+            st.stats.messages_sent = r
+            st.stats.bytes_sent = 100.0 * r
+            st.stats.finish_time = 2.0 * r
+        stats = ms.finalize_stats()
+        assert stats == [st.stats.snapshot() for st in sts]
+        assert all(isinstance(s, RankStats) for s in stats)
+        # Materialised values are plain Python numbers, not numpy scalars.
+        assert type(stats[3].compute_time) is float
+        assert type(stats[3].messages_sent) is int
+
+    def test_view_roundtrip_and_column_sharing(self):
+        ms = MachineState(3)
+        st = RankState(1, ms)
+        st.clock = 4.0
+        st.blocked = True
+        st.stats.comm_time = 0.25
+        st.stats.messages_received = 7
+        assert ms.clock.item(1) == 4.0
+        assert bool(ms.blocked.item(1)) is True
+        assert ms.comm_time.item(1) == 0.25
+        assert ms.messages_received.item(1) == 7
+        # Neighbouring ranks are untouched.
+        assert ms.clock.item(0) == 0.0 and ms.clock.item(2) == 0.0
+        # Writes through the array are visible through the view.
+        ms.clock[1] = 9.0
+        assert st.clock == 9.0
+        assert type(st.clock) is float
+
+    def test_stats_view_derived_fields(self):
+        ms = MachineState(1)
+        st = RankState(0, ms)
+        st.stats.compute_time = 2.0
+        st.stats.comm_time = 1.0
+        st.stats.idle_time = 0.5
+        assert st.stats.busy_time == 3.0
+        assert st.stats.accounted_time == 3.5
+        snap = st.stats.snapshot()
+        assert snap.busy_time == 3.0
+        assert "rank" in repr(st.stats)
+
+
+class TestFailureCleanup:
+    def _inflight(self, dest, source):
+        return InFlight(dest=dest, source=source, tag=0, payload=1.0,
+                        nbytes=8, arrival_time=0.5)
+
+    def test_fail_drops_pending_keeps_parked(self):
+        """Regression: a dead rank's queued eager arrivals are dropped
+        (no receive can ever match them), while parked rendezvous
+        senders survive -- they are live ranks the wait-for graph must
+        still be able to explain."""
+        ms = MachineState(3)
+        st = RankState(1, ms)
+        st.pending.append(self._inflight(dest=1, source=0))
+        st.parked.append(
+            ParkedSend(source=2, dest=1, tag=0, payload=1.0, nbytes=8,
+                       seq=0, park_time=0.1, send_time=0.1)
+        )
+        st.clock = 0.4
+        st.fail(1.5)
+        assert st.pending == []
+        assert len(st.parked) == 1
+        assert st.failed and st.finished and not st.blocked
+        assert st.clock == 1.5            # clamped forward to fault time
+        assert ms.finish_time.item(1) == 1.5
+        assert st.rslots == {} and st.handles == {}
+        assert st.anywait is None and st.collective is None
+
+    def test_fail_never_rewinds_clock(self):
+        ms = MachineState(1)
+        st = RankState(0, ms)
+        st.clock = 3.0
+        st.fail(1.0)
+        assert st.clock == 3.0
+        assert ms.finish_time.item(0) == 1.0
+
+    def test_queued_eager_to_dead_rank_never_matches(self):
+        """End-to-end: an eager message sits unmatched in the victim's
+        queue when it dies; survivors complete and the message is gone."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send("doomed", dest=1, tag=7)
+                yield from comm.compute(seconds=3.0)
+                return "sender-done"
+            # Rank 1 burns past the fault time without posting a receive.
+            yield from comm.compute(seconds=5.0)
+            msg = yield from comm.recv(source=0, tag=7)
+            return msg.payload
+
+        result = Engine(toy_machine(2), 2, fail_at={1: 1.0}).run(program)
+        assert result.failed_ranks == [1]
+        assert result.returns == ["sender-done", None]
+        # The victim's stats freeze at the fault; the send was received
+        # by nobody.
+        assert result.stats[1].finish_time == pytest.approx(1.0)
+        assert result.stats[1].messages_received == 0
+
+    def test_parked_sender_to_dead_rank_is_explained(self):
+        """A live rank blocked in a rendezvous send to the victim must
+        surface in the deadlock report (the parked queue is the only
+        witness of that edge)."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(64), dest=1, tag=3)
+                return "unreachable"
+            yield from comm.compute(seconds=5.0)
+            return "victim"
+
+        engine = Engine(
+            toy_machine(2), 2, fail_at={1: 1.0}, eager_threshold_bytes=0.0
+        )
+        with pytest.raises(DeadlockError, match="rank 0 blocked") as err:
+            engine.run(program)
+        assert "injected failures" in str(err.value)

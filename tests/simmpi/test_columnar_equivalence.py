@@ -1,0 +1,162 @@
+"""A/B equivalence: the columnar update route must be invisible.
+
+Per-rank state always lives in the columnar
+:class:`~repro.simmpi.state.MachineState` arrays; ``Engine(columnar=)``
+selects only how *whole-machine* updates are applied -- vectorised array
+operations (default) versus scalar per-rank loops.  The two routes must
+be bit-identical -- same makespan, same per-rank stats, same returns,
+same traced span tilings -- across protocol, delivery-model, overlap,
+macro-op, and fault variations.  Any divergence means a vectorised
+update reordered or regrouped float arithmetic relative to the scalar
+path.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.linalg.blocklu import make_test_matrix
+from repro.linalg.decomp import ProcessGrid2D
+from repro.linalg.lu2d import lu2d_program
+from repro.machine.presets import touchstone_delta
+from repro.simmpi import Engine
+
+GRID = ProcessGrid2D(4, 4)
+
+# eager threshold inf = everything eager; 0 = everything rendezvous.
+MATRIX = list(
+    itertools.product(
+        [float("inf"), 0.0],
+        ["alphabeta", "contention"],
+        [False, True],
+    )
+)
+
+
+def _run_lu2d(columnar, *, eager, delivery, macro, trace=False):
+    a = make_test_matrix(48, seed=11)
+    engine = Engine(
+        touchstone_delta(),
+        GRID.size,
+        seed=11,
+        trace=trace,
+        eager_threshold_bytes=eager,
+        delivery=delivery,
+        macro_ops=macro,
+        columnar=columnar,
+    )
+    return engine.run(lu2d_program, GRID, a, 2, False)
+
+
+def _assert_identical(got, ref):
+    """Every observable of the two runs matches exactly (no tolerance)."""
+    assert got.time == ref.time
+    assert got.events == ref.events
+    assert got.stats == ref.stats
+    assert len(got.returns) == len(ref.returns)
+    for g, w in zip(got.returns, ref.returns):
+        rows_g, cols_g, local_g = g
+        rows_w, cols_w, local_w = w
+        assert np.array_equal(rows_g, rows_w)
+        assert np.array_equal(cols_g, cols_w)
+        assert np.array_equal(local_g, local_w)
+
+
+@pytest.mark.parametrize("eager,delivery,macro", MATRIX)
+def test_lu2d_columnar_bit_identical(eager, delivery, macro):
+    ref = _run_lu2d(False, eager=eager, delivery=delivery, macro=macro)
+    col = _run_lu2d(True, eager=eager, delivery=delivery, macro=macro)
+    _assert_identical(col, ref)
+
+
+@pytest.mark.parametrize(
+    "eager,delivery",
+    [(float("inf"), "alphabeta"), (0.0, "contention")],
+)
+def test_lu2d_columnar_identical_span_tilings(eager, delivery):
+    """Traced runs: the span tilings (and message logs) match too."""
+    ref = _run_lu2d(False, eager=eager, delivery=delivery, macro=True, trace=True)
+    col = _run_lu2d(True, eager=eager, delivery=delivery, macro=True, trace=True)
+    _assert_identical(col, ref)
+    assert col.tracer.records == ref.tracer.records
+    assert col.tracer.spans_by_rank() == ref.tracer.spans_by_rank()
+
+
+def _mixed_program(comm):
+    """Point-to-point, nonblocking, compute, and collectives in one run."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    total = 0.0
+    for step in range(6):
+        h = yield from comm.isend(float(comm.rank * 100 + step), right, tag=step)
+        msg = yield from comm.recv(source=left, tag=step)
+        yield from comm.wait(h)
+        yield from comm.compute(flops=1e5 * (1 + comm.rank % 3))
+        total += msg.payload
+        total = yield from comm.allreduce(total)
+        yield from comm.barrier()
+    return total
+
+
+@pytest.mark.parametrize(
+    "eager,delivery", [(float("inf"), "alphabeta"), (0.0, "contention")]
+)
+def test_mixed_program_columnar_bit_identical(eager, delivery):
+    def run(columnar):
+        return Engine(
+            touchstone_delta(),
+            8,
+            seed=5,
+            eager_threshold_bytes=eager,
+            delivery=delivery,
+            columnar=columnar,
+        ).run(_mixed_program)
+
+    ref = run(False)
+    col = run(True)
+    assert col.time == ref.time
+    assert col.events == ref.events
+    assert col.stats == ref.stats
+    assert col.returns == ref.returns
+
+
+def _faulty_program(comm):
+    """Ranks 0/1 trade messages; ranks 2/3 compute (2 dies mid-burn)."""
+    if comm.rank < 2:
+        peer = 1 - comm.rank
+        acc = 0.0
+        for step in range(6):
+            yield from comm.send(float(comm.rank + step), peer, tag=step)
+            msg = yield from comm.recv(source=peer, tag=step)
+            acc += msg.payload
+            yield from comm.compute(seconds=0.2)
+        return acc
+    yield from comm.compute(seconds=4.0)
+    return comm.rank
+
+
+def test_fault_freeze_columnar_bit_identical():
+    """Fault freezing (clock clamp, stat freeze) matches the scalar route."""
+
+    def run(columnar):
+        return Engine(
+            touchstone_delta(),
+            4,
+            seed=3,
+            fail_at={2: 1.0},
+            columnar=columnar,
+        ).run(_faulty_program)
+
+    ref = run(False)
+    col = run(True)
+    assert col.time == ref.time
+    assert col.events == ref.events
+    assert col.stats == ref.stats
+    assert col.failed_ranks == ref.failed_ranks
+
+
+def test_columnar_flag_round_trips():
+    engine = Engine(touchstone_delta(), 4, columnar=False)
+    assert engine.columnar is False
+    assert Engine(touchstone_delta(), 4).columnar is True

@@ -1,0 +1,131 @@
+"""The bench regression gate: per-workload schemas and thresholds.
+
+``benchmarks/check_bench_regression.py`` is the CI perf-smoke gate; its
+records do not share a uniform schema (macro-op workloads carry
+``macro_speedup``/``macro_events``, plain event-path workloads do not).
+These tests pin the skip/gate rules: optional fields are compared only
+when both sides carry them, ``pre_pr`` history never participates, and
+a missing fresh record is a failure rather than a silent skip.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _run(tmp_path, baseline, fresh, *extra):
+    return gate.main(
+        [
+            _write(tmp_path, "baseline.json", baseline),
+            _write(tmp_path, "fresh.json", fresh),
+            *extra,
+        ]
+    )
+
+
+BASE_PLAIN = {"events": 1000, "events_per_sec": 100.0, "wall_s": 10.0}
+BASE_MACRO = {
+    "events": 1000,
+    "events_per_sec": 100.0,
+    "wall_s": 10.0,
+    "macro_speedup": 8.0,
+    "macro_events": 120,
+}
+
+
+class TestEventsPerSecGate:
+    def test_identical_run_passes(self, tmp_path):
+        baseline = {"lu": dict(BASE_PLAIN), "halo": dict(BASE_MACRO)}
+        assert _run(tmp_path, baseline, baseline) == 0
+
+    def test_faster_fresh_passes(self, tmp_path):
+        fresh = {"lu": dict(BASE_PLAIN, events_per_sec=250.0)}
+        assert _run(tmp_path, {"lu": BASE_PLAIN}, fresh) == 0
+
+    def test_regression_below_threshold_fails(self, tmp_path):
+        fresh = {"lu": dict(BASE_PLAIN, events_per_sec=69.0)}
+        assert _run(tmp_path, {"lu": BASE_PLAIN}, fresh) == 1
+
+    def test_threshold_is_configurable(self, tmp_path):
+        fresh = {"lu": dict(BASE_PLAIN, events_per_sec=69.0)}
+        assert _run(tmp_path, {"lu": BASE_PLAIN}, fresh, "--threshold", "0.5") == 0
+
+    def test_missing_fresh_record_fails(self, tmp_path):
+        assert _run(tmp_path, {"lu": BASE_PLAIN}, {}) == 1
+
+    def test_pre_pr_history_is_skipped(self, tmp_path):
+        baseline = {
+            "lu": dict(BASE_PLAIN),
+            "pre_pr": {"commit": "abc", "lu": {"events_per_sec": 1e9}},
+        }
+        assert _run(tmp_path, baseline, {"lu": BASE_PLAIN}) == 0
+
+    def test_records_without_eps_are_not_gated(self, tmp_path):
+        baseline = {"lu": BASE_PLAIN, "note": {"wall_s": 1.0}}
+        assert _run(tmp_path, baseline, {"lu": BASE_PLAIN}) == 0
+
+    def test_empty_baseline_fails(self, tmp_path):
+        assert _run(tmp_path, {"pre_pr": {}}, {}) == 1
+
+
+class TestOptionalFieldGate:
+    def test_macro_fields_absent_from_fresh_are_skipped(self, tmp_path):
+        """A plain event-path rerun of a macro workload must not fail
+        just because its record lacks the macro-only fields."""
+        fresh = {"halo": dict(BASE_PLAIN)}
+        assert _run(tmp_path, {"halo": BASE_MACRO}, fresh) == 0
+
+    def test_macro_fields_absent_from_baseline_are_skipped(self, tmp_path):
+        fresh = {"halo": dict(BASE_MACRO)}
+        assert _run(tmp_path, {"halo": BASE_PLAIN}, fresh) == 0
+
+    def test_macro_speedup_regression_fails(self, tmp_path):
+        fresh = {"halo": dict(BASE_MACRO, macro_speedup=5.0)}
+        assert _run(tmp_path, {"halo": BASE_MACRO}, fresh) == 1
+
+    def test_macro_speedup_within_threshold_passes(self, tmp_path):
+        fresh = {"halo": dict(BASE_MACRO, macro_speedup=6.0)}
+        assert _run(tmp_path, {"halo": BASE_MACRO}, fresh) == 0
+
+    def test_macro_events_must_match_exactly(self, tmp_path):
+        """macro_events counts simulated events, which are deterministic:
+        any drift is a correctness change, not host noise."""
+        fresh = {"halo": dict(BASE_MACRO, macro_events=121)}
+        assert _run(tmp_path, {"halo": BASE_MACRO}, fresh) == 1
+
+    def test_failures_accumulate_across_fields(self, tmp_path, capsys):
+        fresh = {
+            "halo": dict(
+                BASE_MACRO, events_per_sec=1.0, macro_speedup=1.0, macro_events=7
+            )
+        }
+        assert _run(tmp_path, {"halo": BASE_MACRO}, fresh) == 1
+        out = capsys.readouterr().out
+        assert out.count("REGRESSION") == 3
+        assert "3 of 1 gated record(s) failed" in out
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_gates_itself(self):
+        """The repo's own BENCH_engine.json must be self-consistent."""
+        path = str(_SCRIPT.parents[1] / "BENCH_engine.json")
+        assert gate.main([path, path]) == 0
+
+    def test_committed_baseline_contains_halo_record(self):
+        with open(_SCRIPT.parents[1] / "BENCH_engine.json") as fh:
+            baseline = json.load(fh)
+        gated = gate._gated_records(baseline)
+        assert "halo_16384" in gated
+        assert gated["halo_16384"]["macro_speedup"] >= 5.0
+        assert "lu2d_512" in gated
