@@ -1,11 +1,13 @@
 """Engine throughput baseline: the numbers behind ``BENCH_engine.json``.
 
-Five workloads spanning the engine's hot paths -- a 512-rank
+Six workloads spanning the engine's hot paths -- a 512-rank
 block-cyclic LU (point-to-point heavy, the headline number), a 64-rank
 SUMMA (broadcast heavy), a 32-rank collectives suite, a 2048-rank
-collective run exercising the collective macro-ops, and a 16384-rank
-halo epoch exercising the stencil macro-ops -- each timed best-of-N
-untraced and recorded through the ``bench_record`` fixture.
+collective run exercising the collective macro-ops, a 16384-rank
+halo epoch exercising the stencil macro-ops, and a 1024-rank symbolic
+lint of the shipped programs exercising the static verifier -- each
+timed best-of-N untraced and recorded through the ``bench_record``
+fixture.
 Run with ``--bench-json BENCH_engine.json`` to refresh the committed
 baseline; the CI perf-smoke job compares a fresh run against it with
 ``benchmarks/check_bench_regression.py``.
@@ -21,8 +23,12 @@ which must be machine-independent: a drift there is a correctness bug,
 not a performance regression.
 """
 
+import ast
+import os
 import time
 
+from repro.analyze import analyze_paths
+from repro.analyze.visitor import iter_program_defs
 from repro.linalg.blocklu import make_test_matrix
 from repro.linalg.decomp import ProcessGrid2D
 from repro.linalg.lu2d import lu2d
@@ -165,6 +171,53 @@ def test_bench_collectives_2048_macro(bench_record):
         macro_events=res.events,
         event_path_wall_s=round(ref_wall, 4),
         macro_speedup=round(speedup, 1),
+    )
+
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_LINT_TREES = ["examples", "src/repro/linalg", "src/repro/apps"]
+
+
+def _count_rank_programs(trees):
+    count = 0
+    for tree in trees:
+        for root, _, files in os.walk(tree):
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                with open(os.path.join(root, name)) as handle:
+                    module = ast.parse(handle.read())
+                count += len(list(iter_program_defs(module)))
+    return count
+
+
+def test_bench_lint_1024_symbolic(bench_record):
+    """The verifier's throughput: whole-program symbolic lint of every
+    shipped rank program at a 1024-rank world.
+
+    Each program is partially evaluated once, then the cross-rank
+    matchers instantiate and check per-rank schedules, so the natural
+    event unit is rank-schedules (programs x ranks).  The shipped trees
+    must stay clean -- a finding here is a correctness bug, not a
+    performance regression.
+    """
+    cwd = os.getcwd()
+    os.chdir(_REPO_ROOT)
+    try:
+        n_programs = _count_rank_programs(_LINT_TREES)
+        assert n_programs >= 10
+        findings, wall = _best_of(
+            lambda: analyze_paths(_LINT_TREES, symbolic=True, n_ranks=1024)
+        )
+    finally:
+        os.chdir(cwd)
+    assert findings == []
+    bench_record(
+        "lint_1024",
+        events=n_programs * 1024,
+        wall_s=wall,
+        ranks=1024,
+        programs=n_programs,
     )
 
 

@@ -4,7 +4,7 @@ The ASTA software-tools thrust the paper describes funded exactly this
 class of tooling: correctness checkers that let application teams trust
 message-passing codes *before* burning machine time.  This package is
 that tool for the repo's simulator: an ``ast``-based linter that walks
-rank-program source and reports typed findings for six rule classes --
+rank-program source and reports typed findings for ten rule classes --
 
 ====  ========================  ===========================================
 code  name                      catches
@@ -16,18 +16,36 @@ W004  symmetric-blocking-send   unordered symmetric exchange (rendezvous
                                 deadlock above the eager threshold)
 W005  tag-mismatch              constant send tag no recv will match
 W006  wildcard-race             ``recv(ANY_SOURCE)`` racing a tagged recv
+W007  unmatched-send            cross-rank matching: a send no receive
+                                accepts, or a receive no send satisfies
+W008  collective-divergence     ranks provably issue different
+                                world-collective sequences
+W009  proved-deadlock           symbolic rendezvous replay proves a
+                                wait-for cycle (no dynamic run needed)
+W010  mirror-pairing            neighbor-exchange receive offsets are not
+                                the negated send offsets
 ====  ========================  ===========================================
+
+W001-W006 are per-program AST rules.  W007-W010 are *symbolic*: the
+abstract interpreter in :mod:`repro.analyze.symbolic` partially
+evaluates each program over a symbolic rank, and the matchers in
+:mod:`repro.analyze.schedule` instantiate the resulting parameterized
+schedule for every rank of an ``n_ranks``-rank world and cross-check
+the ranks against each other.  They run only when the symbolic pass is
+requested (``symbolic=True`` below, or ``repro lint --symbolic``).
 
 Programmatic use::
 
     from repro.analyze import analyze_program
 
     findings = analyze_program(my_rank_program)   # or a source string
+    findings = analyze_program(my_rank_program, symbolic=True, n_ranks=8)
     for f in findings:
         print(f.render())
 
 Command line: ``python -m repro lint <path>...`` (exit 1 on findings).
-Suppress a finding with ``# repro: disable=W004`` on the flagged line.
+Suppress a finding with ``# repro: disable=W004`` on the flagged line
+(multiple codes separate with commas: ``# repro: disable=W004,W009``).
 For hazards the static pass cannot prove, :func:`confirm_deadlock` runs
 the program under forced rendezvous and returns the resulting
 :class:`~repro.util.errors.DeadlockError` -- whose wait-for graph names
@@ -46,12 +64,14 @@ from repro.analyze.findings import SEVERITIES, Finding, sort_findings
 from repro.analyze.registry import (
     CHECKS,
     RULES,
+    SYMBOLIC_CHECKS,
     Rule,
     filter_suppressed,
     resolve_select,
     suppressed_lines,
+    validate_codes,
 )
-from repro.analyze.reporting import format_findings, summarize
+from repro.analyze.reporting import format_findings, format_findings_json, summarize
 from repro.analyze.visitor import ProgramModel, build_models
 from repro.analyze.dynamic import confirm_deadlock
 from repro.util.errors import AnalysisError
@@ -59,8 +79,12 @@ from repro.util.errors import AnalysisError
 # Importing the rules module populates the registry.
 from repro.analyze import rules as _rules  # noqa: F401
 
+#: World size the symbolic pass instantiates schedules for.
+DEFAULT_SYMBOLIC_RANKS = 8
+
 __all__ = [
     "AnalysisError",
+    "DEFAULT_SYMBOLIC_RANKS",
     "Finding",
     "ProgramModel",
     "Rule",
@@ -72,9 +96,22 @@ __all__ = [
     "analyze_source",
     "confirm_deadlock",
     "format_findings",
+    "format_findings_json",
     "sort_findings",
     "summarize",
+    "validate_codes",
 ]
+
+
+def _dedup(findings: Iterable[Finding], seen: set) -> List[Finding]:
+    out = []
+    for finding in findings:
+        key = (finding.rule, finding.file, finding.line, finding.col,
+               finding.message)
+        if key not in seen:  # nested defs can be walked twice
+            seen.add(key)
+            out.append(finding)
+    return out
 
 
 def _run_checks(
@@ -82,16 +119,30 @@ def _run_checks(
 ) -> List[Finding]:
     codes = resolve_select(select)
     findings: List[Finding] = []
-    seen = set()
+    seen: set = set()
     for model in models:
         for code in RULES:
-            if code not in codes:
+            if code not in codes or code not in CHECKS:
                 continue
-            for finding in CHECKS[code](model):
-                key = (finding.rule, finding.file, finding.line, finding.message)
-                if key not in seen:  # nested defs can be walked twice
-                    seen.add(key)
-                    findings.append(finding)
+            findings.extend(_dedup(CHECKS[code](model), seen))
+    return findings
+
+
+def _run_symbolic_checks(
+    tree: ast.Module, filename: str, select: Optional[object], n_ranks: int
+) -> List[Finding]:
+    from repro.analyze.symbolic import interpret_def
+    from repro.analyze.visitor import iter_program_defs
+
+    codes = resolve_select(select)
+    findings: List[Finding] = []
+    seen: set = set()
+    for fn in iter_program_defs(tree):
+        program = interpret_def(fn, n_ranks, filename)
+        for code in RULES:
+            if code not in codes or code not in SYMBOLIC_CHECKS:
+                continue
+            findings.extend(_dedup(SYMBOLIC_CHECKS[code](program), seen))
     return findings
 
 
@@ -101,8 +152,14 @@ def analyze_source(
     *,
     select: Optional[object] = None,
     line_offset: int = 0,
+    symbolic: bool = False,
+    n_ranks: int = DEFAULT_SYMBOLIC_RANKS,
 ) -> List[Finding]:
-    """Analyse a module or function body given as source text."""
+    """Analyse a module or function body given as source text.
+
+    ``symbolic=True`` additionally runs the cross-rank rules
+    (W007-W010) at world size ``n_ranks``.
+    """
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as exc:
@@ -111,6 +168,8 @@ def analyze_source(
         ast.increment_lineno(tree, line_offset)
     models = build_models(tree, filename)
     findings = _run_checks(models, select)
+    if symbolic:
+        findings.extend(_run_symbolic_checks(tree, filename, select, n_ranks))
     findings = filter_suppressed(findings, suppressed_lines(source, line_offset))
     return sort_findings(findings)
 
@@ -119,6 +178,8 @@ def analyze_program(
     fn_or_source: Union[Callable, str],
     *,
     select: Optional[object] = None,
+    symbolic: bool = False,
+    n_ranks: int = DEFAULT_SYMBOLIC_RANKS,
 ) -> List[Finding]:
     """Analyse one rank program.
 
@@ -127,7 +188,9 @@ def analyze_program(
     string containing one or more program definitions.
     """
     if isinstance(fn_or_source, str):
-        return analyze_source(fn_or_source, select=select)
+        return analyze_source(
+            fn_or_source, select=select, symbolic=symbolic, n_ranks=n_ranks
+        )
     if not callable(fn_or_source):
         raise AnalysisError(
             f"analyze_program expects a function or source string, "
@@ -146,21 +209,35 @@ def analyze_program(
         filename=filename,
         select=select,
         line_offset=first_line - 1,
+        symbolic=symbolic,
+        n_ranks=n_ranks,
     )
 
 
-def analyze_file(path: str, *, select: Optional[object] = None) -> List[Finding]:
+def analyze_file(
+    path: str,
+    *,
+    select: Optional[object] = None,
+    symbolic: bool = False,
+    n_ranks: int = DEFAULT_SYMBOLIC_RANKS,
+) -> List[Finding]:
     """Analyse one Python file."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
     except OSError as exc:
         raise AnalysisError(f"cannot read {path}: {exc}") from exc
-    return analyze_source(source, filename=path, select=select)
+    return analyze_source(
+        source, filename=path, select=select, symbolic=symbolic, n_ranks=n_ranks
+    )
 
 
 def analyze_paths(
-    paths: Iterable[str], *, select: Optional[object] = None
+    paths: Iterable[str],
+    *,
+    select: Optional[object] = None,
+    symbolic: bool = False,
+    n_ranks: int = DEFAULT_SYMBOLIC_RANKS,
 ) -> List[Finding]:
     """Analyse files and directory trees (``.py`` files, recursively)."""
     files: List[str] = []
@@ -177,5 +254,7 @@ def analyze_paths(
             raise AnalysisError(f"no such file or directory: {path}")
     findings: List[Finding] = []
     for path in files:
-        findings.extend(analyze_file(path, select=select))
+        findings.extend(
+            analyze_file(path, select=select, symbolic=symbolic, n_ranks=n_ranks)
+        )
     return sort_findings(findings)

@@ -8,7 +8,7 @@ scripts) can filter, count, and sort them without parsing text.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Union
 
 #: Severity levels, most severe first.  ``error`` marks code that is
 #: wrong on every execution (a dropped coroutine, a guaranteed
@@ -31,12 +31,25 @@ class Finding:
     line: int
     #: Human-readable explanation with a suggested fix.
     message: str
+    #: 0-based column of the offending call (0 when unknown).
+    col: int = 0
 
     def render(self) -> str:
         """``file:line: CODE severity: message`` (editor-clickable)."""
         return f"{self.file}:{self.line}: {self.rule} {self.severity}: {self.message}"
 
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready mapping (keys in stable order)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
 
 def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
-    """Deterministic report order: by file, then line, then rule."""
-    return sorted(findings, key=lambda f: (f.file, f.line, f.rule))
+    """Deterministic report order: by file, line, rule, then column."""
+    return sorted(findings, key=lambda f: (f.file, f.line, f.rule, f.col))

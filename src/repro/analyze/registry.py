@@ -32,15 +32,24 @@ class Rule:
     name: str
     severity: str
     summary: str
+    #: Symbolic rules run over the cross-rank schedule (built by
+    #: :mod:`repro.analyze.symbolic`), not the per-program AST model,
+    #: and only when the symbolic pass is enabled
+    #: (``analyze_source(..., symbolic=True)`` / ``repro lint --symbolic``).
+    symbolic: bool = False
 
 
 #: code -> rule metadata, in registration order.
 RULES: Dict[str, Rule] = {}
 #: code -> check function ``(model: ProgramModel) -> List[Finding]``.
 CHECKS: Dict[str, Callable] = {}
+#: code -> symbolic check ``(program: SymbolicProgram) -> List[Finding]``.
+SYMBOLIC_CHECKS: Dict[str, Callable] = {}
 
 
-def rule(code: str, name: str, severity: str, summary: str) -> Callable:
+def rule(
+    code: str, name: str, severity: str, summary: str, symbolic: bool = False
+) -> Callable:
     """Class decorator-style registrar for rule check functions."""
     if severity not in SEVERITIES:
         raise AnalysisError(
@@ -50,11 +59,28 @@ def rule(code: str, name: str, severity: str, summary: str) -> Callable:
     def decorator(check: Callable) -> Callable:
         if code in RULES:
             raise AnalysisError(f"duplicate rule code {code}")
-        RULES[code] = Rule(code=code, name=name, severity=severity, summary=summary)
-        CHECKS[code] = check
+        RULES[code] = Rule(
+            code=code, name=name, severity=severity, summary=summary, symbolic=symbolic
+        )
+        if symbolic:
+            SYMBOLIC_CHECKS[code] = check
+        else:
+            CHECKS[code] = check
         return check
 
     return decorator
+
+
+def validate_codes(codes: Iterable[str]) -> Set[str]:
+    """Check every code is registered; returns the set, raises
+    :class:`AnalysisError` naming the unknown codes otherwise."""
+    requested = {str(c) for c in codes}
+    unknown = requested - set(RULES)
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule code(s) {sorted(unknown)}; available: {sorted(RULES)}"
+        )
+    return requested
 
 
 def resolve_select(select: object) -> Set[str]:
@@ -66,12 +92,7 @@ def resolve_select(select: object) -> Set[str]:
         codes = {c.strip() for c in select.split(",") if c.strip()}
     else:
         codes = {str(c) for c in select}
-    unknown = codes - set(RULES)
-    if unknown:
-        raise AnalysisError(
-            f"unknown rule code(s) {sorted(unknown)}; available: {sorted(RULES)}"
-        )
-    return codes
+    return validate_codes(codes)
 
 
 _DISABLE_RE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\s]+)")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, List
 
 from repro.analyze.findings import Finding, sort_findings
@@ -38,3 +39,11 @@ def format_findings(findings: Iterable[Finding], *, summary: bool = True) -> str
             lines.append("")
         lines.append(summarize(items))
     return "\n".join(lines)
+
+
+def format_findings_json(findings: Iterable[Finding]) -> str:
+    """One JSON object per line (JSON-lines), in deterministic order,
+    so CI and ``repro.report`` can consume lint output without parsing
+    human-readable text.  Empty string when there are no findings."""
+    items = sort_findings(findings)
+    return "\n".join(json.dumps(f.to_dict(), sort_keys=False) for f in items)

@@ -1,12 +1,21 @@
-"""The communication-correctness rules (W001-W006).
+"""The communication-correctness rules (W001-W010).
 
-Each rule is a function from a :class:`~repro.analyze.visitor.ProgramModel`
-to a list of :class:`~repro.analyze.findings.Finding`, registered through
+W001-W006 are per-program AST rules: each is a function from a
+:class:`~repro.analyze.visitor.ProgramModel` to a list of
+:class:`~repro.analyze.findings.Finding`, registered through
 :func:`~repro.analyze.registry.rule`.  The rules are deliberately tuned
 for the repo's rank-program idiom: near-zero false positives on
-``src/repro/linalg`` and ``examples`` (enforced in CI), with the
-deliberately-buggy fixtures under ``tests/analyze/fixtures``
-documenting exactly what each rule does and does not flag.
+``src/repro/linalg``, ``src/repro/apps`` and ``examples`` (enforced in
+CI), with the deliberately-buggy fixtures under
+``tests/analyze/fixtures`` documenting exactly what each rule does and
+does not flag.
+
+W007-W010 are *symbolic* rules (``symbolic=True``): they run over the
+cross-rank schedule built by :mod:`repro.analyze.symbolic` and
+instantiated/matched by :mod:`repro.analyze.schedule`, so they see
+whole-program facts -- which rank's send pairs with which rank's
+receive -- that no single-rank AST walk can.  They only run when the
+symbolic pass is enabled (``repro lint --symbolic``).
 """
 
 from __future__ import annotations
@@ -15,8 +24,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import ast
 
+from repro.analyze import schedule as _schedule
 from repro.analyze.findings import Finding
 from repro.analyze.registry import RULES, rule
+from repro.analyze.schedule import SymbolicProgram
 from repro.analyze.visitor import (
     COLLECTIVES,
     CommCall,
@@ -27,13 +38,16 @@ from repro.analyze.visitor import (
 )
 
 
-def _finding(code: str, model: ProgramModel, line: int, message: str) -> Finding:
+def _finding(
+    code: str, model: ProgramModel, line: int, message: str, col: int = 0
+) -> Finding:
     return Finding(
         rule=code,
         severity=RULES[code].severity,
         file=model.filename,
         line=line,
         message=f"{message} [in {model.name}()]",
+        col=col,
     )
 
 
@@ -60,6 +74,7 @@ def check_dropped_coroutine(model: ProgramModel) -> List[Finding]:
                 f"{call.comm_name}.{call.method}(...) called without 'yield from': "
                 "rank programs are generators, so the bare call builds a coroutine "
                 "and silently discards it -- the operation never executes",
+                col=call.col,
             )
         )
     return findings
@@ -114,6 +129,7 @@ def check_leaked_handle(model: ProgramModel) -> List[Finding]:
                 "wait/waitall/waitany: the request is leaked, so its "
                 "completion (and, for rendezvous isends, the transfer "
                 "itself) is never synchronised",
+                col=call.col,
             )
         )
     return findings
@@ -143,6 +159,7 @@ def check_divergent_collective(model: ProgramModel) -> List[Finding]:
                 "comm.rank-dependent branch: ranks taking the other branch "
                 "never join, which deadlocks the collective (every rank of "
                 "the communicator must participate)",
+                col=call.col,
             )
         )
     return findings
@@ -198,6 +215,7 @@ def check_symmetric_blocking_send(model: ProgramModel) -> List[Finding]:
                             "rendezvous handshake and no receive is ever posted "
                             "-- the classic Delta deadlock.  Pre-post an irecv "
                             "or order the exchange by rank parity",
+                            col=call.col,
                         )
                     )
                     flagged = True
@@ -260,6 +278,7 @@ def check_tag_mismatch(model: ProgramModel) -> List[Finding]:
                     call.line,
                     f"{call.method} with tag={tag} never matches: the program's "
                     f"receives listen on tag(s) {sorted(recv_tags)} only",
+                    col=call.col,
                 )
             )
     for call, tag in recvs:
@@ -271,6 +290,7 @@ def check_tag_mismatch(model: ProgramModel) -> List[Finding]:
                     call.line,
                     f"{call.method} with tag={tag} never matches: the program's "
                     f"sends use tag(s) {sorted(send_tags)} only",
+                    col=call.col,
                 )
             )
     return findings
@@ -318,6 +338,77 @@ def check_wildcard_race(model: ProgramModel) -> List[Finding]:
                 f"recv (line {lines}) is waiting for: which receive matches "
                 "depends on arrival order, so results are timing-dependent. "
                 "Disambiguate with tags or name the source",
+                col=wildcard.col,
             )
         )
     return findings
+
+
+# ---------------------------------------------------------------------------
+# W007-W010 -- symbolic cross-rank rules
+# ---------------------------------------------------------------------------
+
+def _sym_finding(code: str, program: SymbolicProgram, line: int, message: str) -> Finding:
+    return Finding(
+        rule=code,
+        severity=RULES[code].severity,
+        file=program.filename,
+        line=line,
+        message=f"{message} [in {program.name}()]",
+    )
+
+
+@rule(
+    "W007",
+    name="unmatched-send",
+    severity="error",
+    summary="cross-rank matching finds a send no receive accepts (or vice versa)",
+    symbolic=True,
+)
+def check_unmatched_send(program: SymbolicProgram) -> List[Finding]:
+    return [
+        _sym_finding("W007", program, line, message)
+        for line, message in _schedule.match_point_to_point(program)
+    ]
+
+
+@rule(
+    "W008",
+    name="collective-divergence",
+    severity="error",
+    summary="ranks provably issue different world-collective sequences",
+    symbolic=True,
+)
+def check_collective_divergence(program: SymbolicProgram) -> List[Finding]:
+    return [
+        _sym_finding("W008", program, line, message)
+        for line, message in _schedule.collective_divergence(program)
+    ]
+
+
+@rule(
+    "W009",
+    name="proved-deadlock",
+    severity="warning",
+    summary="symbolic rendezvous replay proves a wait-for cycle (deadlock)",
+    symbolic=True,
+)
+def check_proved_deadlock(program: SymbolicProgram) -> List[Finding]:
+    return [
+        _sym_finding("W009", program, line, message)
+        for line, message in _schedule.prove_deadlock(program)
+    ]
+
+
+@rule(
+    "W010",
+    name="mirror-pairing",
+    severity="error",
+    summary="neighbor exchange receive offsets are not the negated send offsets",
+    symbolic=True,
+)
+def check_mirror_pairing(program: SymbolicProgram) -> List[Finding]:
+    return [
+        _sym_finding("W010", program, line, message)
+        for line, message in _schedule.mirror_pairing(program)
+    ]

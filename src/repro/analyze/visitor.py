@@ -96,6 +96,8 @@ class CommCall:
 
     method: str
     line: int
+    #: 0-based column offset of the call expression.
+    col: int
     comm_name: str
     #: Parameter name -> argument expression (positional args resolved
     #: through :data:`SIGNATURES`).
@@ -464,6 +466,7 @@ class _ModelBuilder:
                 CommCall(
                     method=method,
                     line=sub.lineno,
+                    col=sub.col_offset,
                     comm_name=comm_name,
                     args=_map_args(method, sub),
                     yielded=id(sub) in self._yielded_calls,

@@ -221,10 +221,14 @@ def md_program(comm, particles0: Particles, config: MDConfig, steps: int) -> Gen
         if comm.rank == p - 1:
             out_right[:, 0] -= config.box
         with comm.phase("ghosts"):
+            # Pre-post both receives before sending: symmetric blocking
+            # sends deadlock above the eager threshold (W004/W009).
+            r_right = yield from comm.irecv(source=right, tag=tag0)
+            r_left = yield from comm.irecv(source=left, tag=tag0 + 1)
             yield from comm.send(out_left, left, tag=tag0)
             yield from comm.send(out_right, right, tag=tag0 + 1)
-            from_right = yield from comm.recv(source=right, tag=tag0)
-            from_left = yield from comm.recv(source=left, tag=tag0 + 1)
+            from_right = yield from comm.wait(r_right)
+            from_left = yield from comm.wait(r_left)
         return np.vstack([from_left.payload, from_right.payload])
 
     def forces(pos_now, ghosts) -> np.ndarray:
@@ -264,6 +268,8 @@ def md_program(comm, particles0: Particles, config: MDConfig, steps: int) -> Gen
             to_left = going_right & ~to_right
             keep = ~going_right
             with comm.phase("migrate"):
+                r_right = yield from comm.irecv(source=right, tag=base + 2)
+                r_left = yield from comm.irecv(source=left, tag=base + 3)
                 yield from comm.send(
                     _pack(ids[to_left], pos[to_left], vel[to_left]), left,
                     tag=base + 2,
@@ -272,8 +278,8 @@ def md_program(comm, particles0: Particles, config: MDConfig, steps: int) -> Gen
                     _pack(ids[to_right], pos[to_right], vel[to_right]), right,
                     tag=base + 3,
                 )
-                from_right = yield from comm.recv(source=right, tag=base + 2)
-                from_left = yield from comm.recv(source=left, tag=base + 3)
+                from_right = yield from comm.wait(r_right)
+                from_left = yield from comm.wait(r_left)
             ids = np.concatenate([ids[keep], from_right.payload[0], from_left.payload[0]])
             pos = np.vstack([pos[keep], from_right.payload[1], from_left.payload[1]])
             vel = np.vstack([vel[keep], from_right.payload[2], from_left.payload[2]])

@@ -147,8 +147,11 @@ def _ring_accelerations(comm, pos_local, mass_local, softening) -> Generator:
     visiting = (comm.rank, pos_local, mass_local)
     for step in range(p - 1):
         with comm.phase("ring-shift"):
+            # Pre-post the receive: every rank blocking-sending around
+            # the ring deadlocks above the eager threshold (W004/W009).
+            handle = yield from comm.irecv(source=left, tag=step)
             yield from comm.send(visiting, right, tag=step)
-            msg = yield from comm.recv(source=left, tag=step)
+            msg = yield from comm.wait(handle)
         visiting = msg.payload
         _, vpos, vmass = visiting
         acc += accelerations_on(pos_local, vpos, vmass, softening)

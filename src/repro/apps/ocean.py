@@ -231,8 +231,15 @@ def distributed_run(
     trace: bool = False,
     macro_ops: bool = True,
     columnar: bool = True,
+    certificate=None,
 ) -> OceanRun:
-    """Run the decomposed model; reassemble the global state."""
+    """Run the decomposed model; reassemble the global state.
+
+    ``certificate`` passes a
+    :class:`~repro.analyze.certify.MacroCertificate` for
+    :func:`ocean_program` through to the engine, which then skips the
+    per-member macro probe on every halo exchange.
+    """
     if state0.h.shape != (config.ny, config.nx):
         raise ConfigurationError(
             f"state shape {state0.h.shape} does not match config "
@@ -245,6 +252,7 @@ def distributed_run(
     engine = Engine(
         machine, n_ranks, seed=seed, trace=trace,
         macro_ops=macro_ops, columnar=columnar,
+        certificate=certificate,
     )
     sim = engine.run(ocean_program, state0, config, steps)
     h = np.zeros_like(state0.h)

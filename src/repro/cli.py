@@ -217,17 +217,45 @@ def _cmd_challenges(args) -> str:
 
 
 def _cmd_lint(args):
-    from repro.analyze import RULES, analyze_paths, format_findings
+    from repro.analyze import (
+        RULES,
+        analyze_paths,
+        format_findings,
+        format_findings_json,
+    )
 
     if args.list_rules:
         return "\n".join(
             f"{r.code} {r.name} ({r.severity}): {r.summary}"
+            + (" [symbolic]" if r.symbolic else "")
             for r in RULES.values()
         )
     if not args.paths:
         raise ReproError("lint: no paths given (or use --list-rules)")
-    findings = analyze_paths(args.paths, select=args.select)
+    findings = analyze_paths(
+        args.paths, select=args.select,
+        symbolic=args.symbolic, n_ranks=args.ranks,
+    )
+    if args.json:
+        return format_findings_json(findings), (1 if findings else 0)
     return format_findings(findings), (1 if findings else 0)
+
+
+def _cmd_certify(args):
+    import json
+
+    from repro.analyze.certify import bundled_certificate, certify_macro
+
+    if args.program in ("ocean", "summa"):
+        certificate = bundled_certificate(args.program, args.ranks)
+    else:
+        try:
+            with open(args.program, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise ReproError(f"certify: cannot read {args.program}: {exc}") from None
+        certificate = certify_macro(source, args.ranks)
+    return json.dumps(certificate.to_dict(), indent=2, sort_keys=False)
 
 
 def _cmd_profile(args):
@@ -345,7 +373,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
     )
+    lint.add_argument(
+        "--symbolic", action="store_true",
+        help="also run the cross-rank symbolic rules (W007-W010)",
+    )
+    lint.add_argument(
+        "--ranks", type=int, default=8, metavar="N",
+        help="world size the symbolic pass instantiates (default 8)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON lines instead of human-readable text",
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    certify = sub.add_parser(
+        "certify",
+        help="prove a rank program macro-pure; print its certificate",
+    )
+    certify.add_argument(
+        "program",
+        help="a bundled program name (ocean, summa) or a Python file "
+             "containing one rank program",
+    )
+    certify.add_argument(
+        "--ranks", type=int, default=8, metavar="N",
+        help="world size to certify at (default 8)",
+    )
+    certify.set_defaults(func=_cmd_certify)
 
     profile = sub.add_parser(
         "profile",

@@ -127,6 +127,7 @@ def summa(
     trace: bool = False,
     macro_ops: bool = True,
     columnar: bool = True,
+    certificate=None,
 ) -> DistributedMatmul:
     """Multiply on a simulated machine and reassemble the result.
 
@@ -136,6 +137,10 @@ def summa(
     forces collectives through the per-message event cascade;
     ``columnar=False`` routes whole-machine state updates through
     scalar per-rank loops instead of the vectorised columns.
+    ``certificate`` passes a
+    :class:`~repro.analyze.certify.MacroCertificate` through to the
+    engine (the bundled SUMMA certificate assumes ``overlap=False``,
+    which pins the broadcast algorithm to the closed-form ``"tree"``).
     """
     if grid.size > machine.n_nodes:
         raise DecompositionError(
@@ -143,6 +148,11 @@ def summa(
         )
     if panel < 1:
         raise DecompositionError(f"panel must be >= 1, got {panel}")
+    if certificate is not None and overlap:
+        raise DecompositionError(
+            "the SUMMA macro certificate is proved under overlap=False "
+            "(tree broadcasts); certify separately for overlap=True"
+        )
     engine = Engine(
         machine,
         grid.size,
@@ -152,6 +162,7 @@ def summa(
         delivery=delivery,
         macro_ops=macro_ops,
         columnar=columnar,
+        certificate=certificate,
     )
     sim = engine.run(
         summa_program,

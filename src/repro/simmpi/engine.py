@@ -124,6 +124,10 @@ class SimResult:
     #: Requests processed by the engine (the denominator of events/sec
     #: in the throughput benchmarks).
     events: int = 0
+    #: Macro-op invocations that fell back to the per-message event
+    #: path (probe found queued/parked member traffic, or the analytic
+    #: evaluator bailed).  Certified runs assert this stays zero.
+    macro_fallbacks: int = 0
 
     @property
     def n_ranks(self) -> int:
@@ -225,6 +229,17 @@ class Engine:
         vectorized and the per-rank update routes, which are
         bit-identical (asserted in the A/B equivalence suite); it
         exists for those tests and for debugging.
+    certificate:
+        A :class:`~repro.analyze.certify.MacroCertificate` for the
+        program this engine will run.  The certificate's static proof
+        (no point-to-point traffic, every collective macro-eligible)
+        lets ``run()`` skip the per-member soundness probe on every
+        macro invocation.  Validated against the program's source hash
+        and the rank count at ``run()`` time: a stale or mismatched
+        certificate raises :class:`ConfigurationError` rather than
+        being silently trusted.  Ignored when macro-ops are disabled
+        for the run (tracing, contention, faults) -- the event path
+        needs no probe.
     """
 
     def __init__(
@@ -242,6 +257,7 @@ class Engine:
         fast_path: bool = True,
         macro_ops: bool = True,
         columnar: bool = True,
+        certificate: Optional[Any] = None,
     ):
         self.machine = machine
         self.n_ranks = machine.n_nodes if n_ranks is None else n_ranks
@@ -273,6 +289,7 @@ class Engine:
         self.fast_path = fast_path
         self.macro_ops = macro_ops
         self.columnar = columnar
+        self.certificate = certificate
         self.fail_at = dict(fail_at) if fail_at else {}
         for rank, when in self.fail_at.items():
             if not 0 <= rank < self.n_ranks:
@@ -307,6 +324,7 @@ class _Run:
         "_overhead", "seq", "_heap", "_active", "_fast", "_fast_enabled",
         "comms", "_ab_hops", "_ab", "_tracing", "_flops_denom",
         "_macro_enabled", "_macro_pending", "_world_members",
+        "_cert_pure", "_cert_uniform", "_fallbacks",
         "ms", "_columnar", "_clk", "_blk", "_fin", "_fld",
         "_cpu_t", "_comm_t", "_idle_t", "_fin_t",
         "_sent_n", "_sent_b", "_recv_n", "_recv_b",
@@ -398,6 +416,13 @@ class _Run:
         )
         self._macro_pending: Dict[tuple, list] = {}
         self._world_members = tuple(range(engine.n_ranks))
+        # Macro-eligibility certificate state (armed in execute() once
+        # the certificate is validated against the program): _cert_pure
+        # skips the per-member probe in _run_macro, _cert_uniform lets
+        # the stencil evaluator trust payload-size uniformity.
+        self._cert_pure = False
+        self._cert_uniform = False
+        self._fallbacks = 0
 
     # -- tracing helpers ----------------------------------------------------
 
@@ -701,7 +726,10 @@ class _Run:
         # algorithm slot; collectives are checked against the evaluator
         # registry.
         sound = key[2] == "exchange" or (key[2], key[3]) in _MACRO_SUPPORTED
-        if sound:
+        if sound and not self._cert_pure:
+            # A macro-eligibility certificate proves statically that no
+            # member can hold queued or parked traffic here; without
+            # one, probe every member at every invocation.
             for m in members:
                 st = ranks[m]
                 # Queued eager traffic, posted receive slots, or parked
@@ -715,6 +743,7 @@ class _Run:
         schedule = self.schedule
         blk = self._blk
         if result is None:
+            self._fallbacks += 1
             clk = self._clk
             if self._columnar:
                 # Vectorized whole-group unblock (on the ndarray; the
@@ -1081,6 +1110,18 @@ class _Run:
     def execute(self, program: Callable, args: tuple, kwargs: dict) -> SimResult:
         engine = self.engine
         p = engine.n_ranks
+        certificate = engine.certificate
+        if certificate is not None:
+            if not certificate.matches(program, p):
+                raise ConfigurationError(
+                    f"macro certificate for {certificate.program!r} "
+                    f"(n_ranks={certificate.n_ranks}) does not match this "
+                    f"run: program source or rank count changed since "
+                    "certification -- re-run certify_macro()"
+                )
+            if self._macro_enabled:
+                self._cert_pure = True
+                self._cert_uniform = certificate.uniform_exchange
         rngs = spawn(engine.seed, p)
         comms = [Comm(rank, p, self.machine, rngs[rank]) for rank in range(p)]
         if self.tracer.enabled:
@@ -1271,6 +1312,7 @@ class _Run:
             tracer=self.tracer,
             failed_ranks=sorted(failed_ranks),
             events=events,
+            macro_fallbacks=self._fallbacks,
         )
 
 
@@ -1285,6 +1327,7 @@ def run_program(
     delivery: Union[str, DeliveryModel] = "alphabeta",
     macro_ops: bool = True,
     columnar: bool = True,
+    certificate: Optional[Any] = None,
     **kwargs: Any,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Engine`."""
@@ -1297,4 +1340,5 @@ def run_program(
         delivery=delivery,
         macro_ops=macro_ops,
         columnar=columnar,
+        certificate=certificate,
     ).run(program, *args, **kwargs)

@@ -284,9 +284,13 @@ def eval_exchange(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
             imm = True
         else:
             n0 = payload_nbytes(x0)
-            for x in col:
-                if payload_nbytes(x) != n0:
-                    raise _Bail  # irregular sizes: not a uniform round
+            if not s.run._cert_uniform:
+                # A macro certificate with the uniform-exchange bit
+                # proves every rank's payload has the same shape; then
+                # element 0 prices the whole column.  Without it, scan.
+                for x in col:
+                    if payload_nbytes(x) != n0:
+                        raise _Bail  # irregular sizes: not a uniform round
             imm = False
         if n0 > s.eager_max:
             # Rendezvous payloads make the cyclic pattern synchronous;

@@ -100,8 +100,16 @@ class TestFilesAndPaths:
         findings = analyze_paths([FIXTURES])
         files = [f.file for f in findings]
         assert files == sorted(files)
+        # The per-rank rules; W007-W010 need the symbolic pass.
         assert {f.rule for f in findings} == {
             "W001", "W002", "W003", "W004", "W005", "W006"
+        }
+
+    def test_symbolic_walk_covers_all_rules(self):
+        findings = analyze_paths([FIXTURES], symbolic=True)
+        assert {f.rule for f in findings} == {
+            "W001", "W002", "W003", "W004", "W005",
+            "W006", "W007", "W008", "W009", "W010",
         }
 
     def test_missing_path_raises(self):
@@ -146,7 +154,16 @@ class TestCleanTrees:
     """The CI gate, pinned here too: the shipped rank programs lint
     clean."""
 
-    @pytest.mark.parametrize("tree", ["examples", "src/repro/linalg"])
+    @pytest.mark.parametrize(
+        "tree", ["examples", "src/repro/linalg", "src/repro/apps"]
+    )
     def test_shipped_programs_are_clean(self, tree):
         root = os.path.join(os.path.dirname(__file__), "..", "..", tree)
         assert analyze_paths([os.path.normpath(root)]) == []
+
+    @pytest.mark.parametrize(
+        "tree", ["examples", "src/repro/linalg", "src/repro/apps"]
+    )
+    def test_shipped_programs_are_clean_symbolically(self, tree):
+        root = os.path.join(os.path.dirname(__file__), "..", "..", tree)
+        assert analyze_paths([os.path.normpath(root)], symbolic=True) == []

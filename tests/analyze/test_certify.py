@@ -1,0 +1,302 @@
+"""Macro-eligibility certificates: proofs, refusals, and the A/B bar.
+
+The acceptance criterion pinned here: the bundled ocean and SUMMA
+programs certify, and a certified run is bit-identical to the
+uncertified run with zero ``MACRO_FALLBACK`` events on either side --
+the certificate removes the probe, never the protection.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analyze.certify import (
+    CertificationError,
+    MacroCertificate,
+    bundled_certificate,
+    certify_macro,
+    program_sha,
+)
+from repro.apps.ocean import OceanConfig, distributed_run, gaussian_bump
+from repro.cli import main
+from repro.linalg import ProcessGrid2D
+from repro.linalg.summa import summa
+from repro.machine.presets import touchstone_delta
+from repro.util.errors import AnalysisError, ConfigurationError, DecompositionError
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return touchstone_delta().subset(4)
+
+
+# ---------------------------------------------------------------------------
+# proving the bundled programs
+# ---------------------------------------------------------------------------
+
+class TestBundledCertificates:
+    def test_ocean_certifies_with_uniform_exchanges(self):
+        cert = bundled_certificate("ocean", 4)
+        assert cert.program == "ocean_program"
+        assert cert.n_ranks == 4
+        assert not cert.collectives
+        assert len(cert.exchanges) == 2
+        assert cert.uniform_exchange
+
+    def test_summa_certifies_tree_broadcasts(self):
+        cert = bundled_certificate("summa", 4)
+        assert cert.program == "summa_program"
+        assert {(kind, algo) for _, kind, algo in cert.collectives} == {
+            ("bcast", "tree")
+        }
+        assert ("overlap", "False") in cert.assume
+
+    def test_unknown_bundle_is_rejected(self):
+        with pytest.raises(AnalysisError, match="ocean"):
+            bundled_certificate("cannon", 4)
+
+    def test_to_dict_is_json_serializable(self):
+        cert = bundled_certificate("ocean", 4)
+        payload = json.loads(json.dumps(cert.to_dict()))
+        assert payload["program"] == "ocean_program"
+        assert payload["n_ranks"] == 4
+        assert payload["uniform_exchange"] is True
+
+
+# ---------------------------------------------------------------------------
+# A/B: certified == uncertified, zero fallbacks
+# ---------------------------------------------------------------------------
+
+class TestCertifiedRunsAreBitIdentical:
+    def test_ocean_ab(self, machine):
+        config = OceanConfig(nx=16, ny=16)
+        state0 = gaussian_bump(config)
+        cert = bundled_certificate("ocean", 4)
+
+        plain = distributed_run(machine, 4, state0, config, 5)
+        certified = distributed_run(
+            machine, 4, state0, config, 5, certificate=cert
+        )
+        assert certified.sim.time == plain.sim.time
+        for field in ("h", "u", "v"):
+            assert np.array_equal(
+                getattr(certified.state, field), getattr(plain.state, field)
+            )
+        assert plain.sim.macro_fallbacks == 0
+        assert certified.sim.macro_fallbacks == 0
+
+    def test_summa_ab(self, machine):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((32, 24))
+        b = rng.standard_normal((24, 20))
+        grid = ProcessGrid2D(2, 2)
+        cert = bundled_certificate("summa", 4)
+
+        plain = summa(machine, grid, a, b, panel=8)
+        certified = summa(machine, grid, a, b, panel=8, certificate=cert)
+        assert certified.sim.time == plain.sim.time
+        assert np.array_equal(certified.c, plain.c)
+        assert plain.sim.macro_fallbacks == 0
+        assert certified.sim.macro_fallbacks == 0
+
+    def test_summa_overlap_refuses_the_certificate(self, machine):
+        cert = bundled_certificate("summa", 4)
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        with pytest.raises(DecompositionError, match="overlap"):
+            summa(machine, ProcessGrid2D(2, 2), a, b,
+                  overlap=True, certificate=cert)
+
+
+# ---------------------------------------------------------------------------
+# staleness: the certificate must bind to source and world size
+# ---------------------------------------------------------------------------
+
+class TestStaleCertificates:
+    def test_wrong_rank_count_rejected_at_run(self, machine):
+        config = OceanConfig(nx=16, ny=16)
+        state0 = gaussian_bump(config)
+        cert = bundled_certificate("ocean", 2)  # proved at 2, run at 4
+        with pytest.raises(ConfigurationError, match="certificate"):
+            distributed_run(machine, 4, state0, config, 2, certificate=cert)
+
+    def test_changed_source_rejected_at_run(self, machine):
+        config = OceanConfig(nx=16, ny=16)
+        state0 = gaussian_bump(config)
+        cert = bundled_certificate("ocean", 4)
+        stale = MacroCertificate(
+            program=cert.program,
+            source_sha256="0" * 64,  # as if the program were edited
+            n_ranks=cert.n_ranks,
+            exchanges=cert.exchanges,
+            uniform_exchange=cert.uniform_exchange,
+        )
+        with pytest.raises(ConfigurationError, match="source or rank count"):
+            distributed_run(machine, 4, state0, config, 2, certificate=stale)
+
+    def test_matches_is_exact(self):
+        cert = bundled_certificate("ocean", 4)
+        from repro.apps.ocean import ocean_program
+
+        assert cert.matches(ocean_program, 4)
+        assert not cert.matches(ocean_program, 8)
+        assert not cert.matches("def other(comm):\n    yield\n", 4)
+
+    def test_program_sha_ignores_indentation_only(self):
+        flat = "def p(comm):\n    yield from comm.barrier()\n"
+        indented = "\n".join("    " + l for l in flat.splitlines()) + "\n"
+        assert program_sha(flat) == program_sha(indented)
+
+
+# ---------------------------------------------------------------------------
+# refusals: every soundness precondition names its violation
+# ---------------------------------------------------------------------------
+
+class TestRefusals:
+    def test_point_to_point_refused(self):
+        with pytest.raises(CertificationError, match="point-to-point"):
+            certify_macro(
+                "def p(comm):\n"
+                "    yield from comm.send(1.0, 0, tag=0)\n"
+                "    yield from comm.barrier()\n",
+                4,
+            )
+
+    def test_non_closed_form_collective_refused(self):
+        with pytest.raises(CertificationError, match="closed-form"):
+            certify_macro(
+                "def p(comm, x):\n"
+                "    parts = yield from comm.gather(x, root=0)\n"
+                "    return parts\n",
+                4,
+            )
+
+    def test_non_eligible_algorithm_refused(self):
+        with pytest.raises(CertificationError, match="closed-form"):
+            certify_macro(
+                "def p(comm, x):\n"
+                "    out = yield from comm.bcast(x, root=0,"
+                " algorithm='tree_nb')\n"
+                "    return out\n",
+                4,
+            )
+
+    def test_rank_conditional_collective_refused(self):
+        with pytest.raises(CertificationError, match="rank-dependent"):
+            certify_macro(
+                "def p(comm, x):\n"
+                "    if comm.rank % 2 == 0:\n"
+                "        yield from comm.barrier()\n"
+                "    out = yield from comm.allreduce(x)\n"
+                "    return out\n",
+                4,
+            )
+
+    def test_rank_dependent_trip_count_refused(self):
+        with pytest.raises(CertificationError, match="trip count"):
+            certify_macro(
+                "def p(comm):\n"
+                "    for _ in range(comm.rank):\n"
+                "        yield from comm.barrier()\n"
+                "    yield from comm.barrier()\n",
+                4,
+            )
+
+    def test_vacuous_program_refused(self):
+        with pytest.raises(CertificationError, match="vacuous"):
+            certify_macro(
+                "def p(comm):\n"
+                "    yield from comm.compute(seconds=1.0)\n",
+                4,
+            )
+
+    def test_uniform_loop_of_collectives_certifies(self):
+        cert = certify_macro(
+            "def p(comm, steps, x):\n"
+            "    for _ in range(steps):\n"
+            "        x = yield from comm.allreduce(x)\n"
+            "    return x\n",
+            4,
+        )
+        assert {kind for _, kind, _ in cert.collectives} == {"allreduce"}
+
+
+# ---------------------------------------------------------------------------
+# the one-shot wrapper forwards the certificate
+# ---------------------------------------------------------------------------
+
+def _relax(comm, x, steps):
+    for _ in range(steps):
+        x = yield from comm.allreduce(x, algorithm="recursive_doubling")
+        yield from comm.barrier()
+    return x
+
+
+class TestRunProgramPassthrough:
+    def test_certificate_reaches_the_engine(self, machine):
+        from repro.simmpi import run_program
+
+        cert = certify_macro(_relax, 4)
+        plain = run_program(machine, 4, _relax, 3.5, 3, macro_ops=False)
+        certified = run_program(machine, 4, _relax, 3.5, 3, certificate=cert)
+        assert certified.time == plain.time
+        assert certified.returns == plain.returns
+        assert certified.stats == plain.stats
+        assert certified.macro_fallbacks == 0
+        assert certified.events < plain.events
+
+    def test_stale_certificate_rejected_through_wrapper(self, machine):
+        from repro.simmpi import run_program
+
+        cert = certify_macro(_relax, 8)  # proved at 8, run at 4
+        with pytest.raises(ConfigurationError, match="certificate"):
+            run_program(machine, 4, _relax, 3.5, 3, certificate=cert)
+
+
+# ---------------------------------------------------------------------------
+# the CLI surface
+# ---------------------------------------------------------------------------
+
+class TestCertifyCommand:
+    @pytest.fixture
+    def run_cli(self, capsys):
+        def invoke(argv):
+            code = main(argv)
+            captured = capsys.readouterr()
+            return code, captured.out, captured.err
+
+        return invoke
+
+    def test_bundled_ocean(self, run_cli):
+        code, out, _ = run_cli(["certify", "ocean", "--ranks", "4"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["program"] == "ocean_program"
+        assert payload["uniform_exchange"] is True
+
+    def test_source_file(self, run_cli, tmp_path):
+        program = tmp_path / "prog.py"
+        program.write_text(
+            "def p(comm, x):\n"
+            "    total = yield from comm.allreduce(x)\n"
+            "    return total\n"
+        )
+        code, out, _ = run_cli(["certify", str(program), "--ranks", "8"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["n_ranks"] == 8
+        assert payload["collectives"]
+
+    def test_refusal_exits_nonzero(self, run_cli, tmp_path):
+        program = tmp_path / "p2p.py"
+        program.write_text(
+            "def p(comm, x):\n"
+            "    yield from comm.send(x, 0, tag=0)\n"
+            "    msg = yield from comm.recv(source=0, tag=0)\n"
+            "    return msg\n"
+        )
+        code, _, err = run_cli(["certify", str(program)])
+        assert code == 1
+        assert "point-to-point" in err

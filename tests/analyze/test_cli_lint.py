@@ -1,5 +1,6 @@
 """``python -m repro lint``: paths, selection, exit codes."""
 
+import json
 import os
 
 import pytest
@@ -79,9 +80,63 @@ class TestCIGate:
         assert code == 0
         assert "no issues found" in out
 
+    def test_shipped_trees_symbolic_exit_zero(self, run_cli):
+        code, out, _ = run_cli(
+            ["lint", "--symbolic",
+             os.path.join(REPO, "examples"),
+             os.path.join(REPO, "src", "repro", "linalg"),
+             os.path.join(REPO, "src", "repro", "apps")]
+        )
+        assert code == 0
+        assert "no issues found" in out
+
     def test_quickstart_example_exits_zero(self, run_cli):
         quickstart = os.path.join(REPO, "examples", "quickstart.py")
         assert os.path.exists(quickstart)
         code, out, _ = run_cli(["lint", quickstart])
         assert code == 0
         assert "no issues found" in out
+
+
+class TestLintJson:
+    """``--json`` emits one JSON object per finding (JSON lines), no
+    summary, so the output pipes straight into ``jq``/CI annotators."""
+
+    def test_json_lines_shape(self, run_cli):
+        code, out, _ = run_cli(
+            ["lint", "--json", os.path.join(FIXTURES, "w001.py")]
+        )
+        assert code == 1
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert records, "expected at least one finding"
+        for record in records:
+            assert set(record) >= {"rule", "severity", "file", "line", "message"}
+        assert {r["rule"] for r in records} == {"W001"}
+        assert "findings" not in out  # no prose summary in machine output
+
+    def test_json_clean_tree_emits_nothing(self, run_cli, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text(
+            "def prog(comm):\n"
+            "    total = yield from comm.allreduce(comm.rank)\n"
+            "    return total\n"
+        )
+        code, out, _ = run_cli(["lint", "--json", str(tmp_path)])
+        assert code == 0
+        assert out.strip() == ""
+
+    def test_json_symbolic_includes_cross_rank_rules(self, run_cli):
+        code, out, _ = run_cli(
+            ["lint", "--json", "--symbolic", "--select", "W009",
+             os.path.join(FIXTURES, "w009.py")]
+        )
+        assert code == 1
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert {r["rule"] for r in records} == {"W009"}
+
+    def test_list_rules_marks_symbolic(self, run_cli):
+        code, out, _ = run_cli(["lint", "--list-rules"])
+        assert code == 0
+        assert "W009 proved-deadlock (warning)" in out
+        w009_line = next(l for l in out.splitlines() if l.startswith("W009"))
+        assert w009_line.endswith("[symbolic]")
