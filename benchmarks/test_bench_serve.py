@@ -1,0 +1,64 @@
+"""Job-server throughput: cache-hit round trips per second.
+
+The service's promise is that a repeated question costs an HTTP round
+trip, not a simulation.  This benchmark measures exactly that price: a
+real :class:`JobServer` on loopback, one tiny lu2d point warmed into
+the content-addressed cache, then batches of submit+fetch round trips
+that must all be answered from disk.  The recorded ``events`` are
+*jobs served*, so ``events_per_sec`` is cache-hit jobs/sec -- the
+``serve_throughput`` entry in ``BENCH_engine.json``, gated by
+``check_bench_regression.py`` like every other engine number.
+
+Run with ``--bench-json BENCH_engine.json`` to refresh the baseline.
+"""
+
+import tempfile
+import time
+
+from repro.serve import InProcessBackend, serve_in_thread
+from repro.sweep import RunCache
+
+#: Jobs per timed batch; best batch of BEST_OF is recorded.
+BATCH = 40
+BEST_OF = 3
+
+CONFIG = {"prows": 2, "pcols": 2, "n": 32}
+
+
+def test_bench_serve_cache_hit_throughput(bench_record):
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        cache = RunCache(tmp)
+        with serve_in_thread(backend=InProcessBackend(workers=1), cache=cache) as handle:
+            client = handle.client()
+
+            # Warm the cache: the one and only simulation in this test.
+            warm = client.run("lu2d", [CONFIG], seed=3)
+            assert warm["state"] == "done"
+            assert warm["dedupe"]["scheduled"] == 1
+
+            best = float("inf")
+            for _ in range(BEST_OF):
+                t0 = time.perf_counter()
+                for _ in range(BATCH):
+                    payload = client.run("lu2d", [CONFIG], seed=3)
+                    assert payload["dedupe"] == {
+                        "cache_hits": 1, "coalesced": 0, "scheduled": 0,
+                    }
+                best = min(best, time.perf_counter() - t0)
+
+            stats = client.stats()
+
+    # Nothing beyond the warm-up point ever reached the backend.
+    assert stats["backend"]["completed"] == 1
+    assert stats["cache_hits"] == BEST_OF * BATCH
+
+    entry = bench_record(
+        "serve_throughput",
+        events=BATCH,
+        wall_s=best,
+        jobs=BATCH,
+        mode="cache_hit_http_round_trip",
+    )
+    # Sanity floor, far below any real machine: dozens of cache-hit
+    # round trips per second, not units.
+    assert entry["events_per_sec"] > 10.0

@@ -13,6 +13,8 @@ exhibits and evaluation tools::
     python -m repro challenges               # Grand Challenge registry
     python -m repro lint examples            # static rank-program checks
     python -m repro profile lu --export trace.json   # critical path + trace
+    python -m repro serve --port 8732        # simulation-as-a-service API
+    python -m repro cache stats              # run-cache management
 """
 
 from __future__ import annotations
@@ -127,34 +129,72 @@ def _cmd_scaling(args) -> str:
 def _cmd_sweep(args) -> str:
     import json
 
-    from repro.sweep import Lu2dPoint, RunCache, lu2d_point, run_sweep
+    from repro.sweep import (
+        Lu2dPoint,
+        RunCache,
+        config_from_dict,
+        get_workload,
+        run_sweep,
+    )
+    from repro.util.errors import ConfigurationError
     from repro.util.tables import render_table
 
-    configs = []
-    for spec in args.grids.split(","):
+    try:
+        entry = get_workload(args.workload)
+    except ConfigurationError as exc:
+        raise ReproError(str(exc)) from None
+
+    if args.points is not None:
         try:
-            prows, pcols = (int(x) for x in spec.lower().split("x"))
-        except ValueError:
-            raise ReproError(
-                f"bad grid {spec!r}: expected PRxPC, e.g. 8x16"
-            ) from None
-        configs.append(
-            Lu2dPoint(
-                prows=prows,
-                pcols=pcols,
-                n=args.order,
-                nb=args.nb,
-                machine=args.machine,
-                overlap=args.overlap,
+            raw_points = json.loads(args.points)
+        except ValueError as exc:
+            raise ReproError(f"--points is not valid JSON: {exc}") from None
+        if not isinstance(raw_points, list) or not raw_points:
+            raise ReproError("--points must be a non-empty JSON list of config objects")
+        try:
+            configs = [config_from_dict(entry.config_type, p) for p in raw_points]
+        except (ConfigurationError, TypeError) as exc:
+            raise ReproError(f"bad --points entry: {exc}") from None
+        labels = []
+        for p in raw_points:
+            text = json.dumps(p, sort_keys=True, separators=(",", ":"))
+            labels.append(text if len(text) <= 42 else text[:39] + "...")
+        title = f"{entry.name} sweep: {len(configs)} point(s)"
+    elif entry.name == "lu2d":
+        configs = []
+        for spec in args.grids.split(","):
+            try:
+                prows, pcols = (int(x) for x in spec.lower().split("x"))
+            except ValueError:
+                raise ReproError(
+                    f"bad grid {spec!r}: expected PRxPC, e.g. 8x16"
+                ) from None
+            configs.append(
+                Lu2dPoint(
+                    prows=prows,
+                    pcols=pcols,
+                    n=args.order,
+                    nb=args.nb,
+                    machine=args.machine,
+                    overlap=args.overlap,
+                )
             )
+        labels = [f"{c.prows}x{c.pcols}" for c in configs]
+        title = f"lu2d sweep: n={args.order}, nb={args.nb}, machine={args.machine}"
+    else:
+        raise ReproError(
+            f"workload {entry.name!r} needs --points (a JSON list of "
+            f"{entry.config_type.__name__} config objects); "
+            "--grids only shapes lu2d sweeps"
         )
+
     cache = RunCache(args.cache_dir) if args.cache else None
     results = run_sweep(
-        configs, lu2d_point, workers=args.workers, seed=args.seed, cache=cache
+        configs, entry.fn, workers=args.workers, seed=args.seed, cache=cache
     )
     rows = [
         [
-            f"{c.prows}x{c.pcols}",
+            label,
             r["ranks"],
             r["virtual_time_s"],
             r["messages"],
@@ -162,15 +202,15 @@ def _cmd_sweep(args) -> str:
             r["wall_s"],
             r["events_per_sec"],
         ]
-        for c, r in zip(configs, results)
+        for label, r in zip(labels, results)
     ]
     table = render_table(
-        ["Grid", "Ranks", "Virtual (s)", "Messages", "Events", "Wall (s)", "Events/s"],
+        ["Point", "Ranks", "Virtual (s)", "Messages", "Events", "Wall (s)", "Events/s"],
         rows,
-        title=f"lu2d sweep: n={args.order}, nb={args.nb}, machine={args.machine}",
+        title=title,
         float_fmt=",.4f",
     )
-    if not all(r["exact"] for r in results):
+    if not all(r.get("exact", True) for r in results):
         raise ReproError("sweep point diverged from the serial factorisation")
     cache_info = {"enabled": cache is not None}
     if cache is not None:
@@ -183,8 +223,9 @@ def _cmd_sweep(args) -> str:
         with open(args.json, "w") as fh:
             json.dump(
                 {
+                    "workload": entry.name,
                     "results": {
-                        f"{c.prows}x{c.pcols}": r for c, r in zip(configs, results)
+                        label: r for label, r in zip(labels, results)
                     },
                     "cache": cache_info,
                 },
@@ -194,6 +235,52 @@ def _cmd_sweep(args) -> str:
             )
         table += f"\n\nwrote {args.json}"
     return table
+
+
+def _cmd_serve(args) -> str:
+    from repro.serve import run_server
+
+    run_server(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    return ""
+
+
+def _cmd_cache(args) -> str:
+    import json
+
+    from repro.sweep import RunCache, parse_age
+    from repro.util.tables import render_table
+
+    cache = RunCache(args.cache_dir)
+    if args.cache_command == "stats":
+        info = cache.disk_stats()
+        if args.json:
+            return json.dumps(info, indent=2, sort_keys=True)
+        rows = [[schema, count] for schema, count in sorted(info["by_schema"].items())]
+        table = render_table(
+            ["Schema", "Entries"],
+            rows or [["-", 0]],
+            title=f"run cache {info['dir']}: {info['entries']} entr"
+                  f"{'y' if info['entries'] == 1 else 'ies'}, {info['bytes']:,} bytes",
+        )
+        return (
+            f"{table}\n\ncurrent schema {info['schema_version']}; "
+            f"{info['stale_entries']} stale entr"
+            f"{'y' if info['stale_entries'] == 1 else 'ies'}"
+        )
+    report = cache.prune(parse_age(args.older_than))
+    if args.json:
+        return json.dumps(report, indent=2, sort_keys=True)
+    return (
+        f"pruned {report['dir']}: removed {report['removed']} entr"
+        f"{'y' if report['removed'] == 1 else 'ies'} "
+        f"({report['bytes_freed']:,} bytes), kept {report['kept']}"
+    )
 
 
 def _cmd_goals(args) -> str:
@@ -450,11 +537,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep",
-        help="fan an lu2d sweep over worker processes (deterministic)",
+        help="fan a workload sweep over worker processes (deterministic)",
+    )
+    sweep.add_argument(
+        "--workload", default="lu2d",
+        help="registered workload name (lu2d, collectives, halo, ...)",
+    )
+    sweep.add_argument(
+        "--points", default=None, metavar="JSON",
+        help="JSON list of workload config objects, e.g. "
+             '\'[{"ranks": 16}, {"ranks": 32}]\' (overrides --grids; '
+             "required for non-lu2d workloads)",
     )
     sweep.add_argument(
         "--grids", default="4x4,8x8,8x16",
-        help="comma-separated process grids, e.g. 4x4,8x16,16x32",
+        help="comma-separated lu2d process grids, e.g. 4x4,8x16,16x32",
     )
     sweep.add_argument(
         "--order", type=int, default=96, help="matrix order per point"
@@ -483,6 +580,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-cache directory (default: .repro-cache)",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service job server (HTTP/JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8732)
+    serve.add_argument(
+        "--backend", default="pool", choices=["pool", "inprocess"],
+        help="execution backend: persistent process pool (default) or "
+             "in-process threads",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="backend worker count (default: all cores for pool, 1 for inprocess)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="run-cache directory identical submissions are answered from",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the run cache (in-flight coalescing still applies)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or prune the content-addressed run cache",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, bytes on disk, schema mix"
+    )
+    cache_prune = cache_sub.add_parser(
+        "prune", help="delete entries not touched within --older-than"
+    )
+    cache_prune.add_argument(
+        "--older-than", default="0s", metavar="AGE",
+        help="age like 3600, 30m, 12h, 7d (default 0s: everything)",
+    )
+    for sub_parser in (cache_stats, cache_prune):
+        sub_parser.add_argument(
+            "--cache-dir", default=".repro-cache", metavar="DIR",
+            help="run-cache directory (default: .repro-cache)",
+        )
+        sub_parser.add_argument(
+            "--json", action="store_true",
+            help="emit machine-readable JSON instead of a table",
+        )
+    cache.set_defaults(func=_cmd_cache)
 
     sub.add_parser("challenges", help="Grand Challenge registry").set_defaults(
         func=_cmd_challenges

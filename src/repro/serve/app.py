@@ -1,0 +1,277 @@
+"""The asyncio HTTP/JSON front-end: simulation as a service.
+
+A deliberately small HTTP/1.1 server over stdlib ``asyncio`` streams --
+no framework, no new dependencies.  One connection carries one request
+(``Connection: close``), which keeps the parser ~40 lines and is plenty
+for a job API whose unit of work is a whole simulation.
+
+Routes::
+
+    POST /jobs              submit a job spec; 201 + dedupe summary
+    GET  /jobs              job summaries, newest first
+    GET  /jobs/{id}         full status + results
+    GET  /jobs/{id}/events  NDJSON progress stream until terminal
+    GET  /healthz           liveness
+    GET  /stats             queue depth, dedupe counters, backend load
+
+Errors are structured JSON (``{"error": {"code", "message", ...}}``)
+with the status taken from the raised :class:`ServeError`; an
+unexpected exception is a 500 that never takes the server down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.serve.backends import Backend, InProcessBackend, make_backend
+from repro.serve.errors import JobNotFoundError, ProtocolError, ServeError
+from repro.serve.jobs import JobManager
+from repro.sweep import RunCache, WorkloadEntry, workload_names
+
+#: Largest request body accepted, to bound memory per connection.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Per-request header/body read timeout.
+READ_TIMEOUT_S = 30.0
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large", 500: "Internal Server Error",
+}
+
+
+class JobServer:
+    """The job server: routes + job manager + backend, one event loop."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: Optional[Backend] = None,
+        cache: Optional[RunCache] = None,
+        registry: Optional[Mapping[str, WorkloadEntry]] = None,
+    ):
+        self.host = host
+        self.port = port  # 0 = ephemeral; updated to the bound port on start()
+        self.backend = backend if backend is not None else InProcessBackend()
+        self.manager = JobManager(self.backend, cache=cache, registry=registry)
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closed = asyncio.Event()
+        self.requests_served = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`close` (used by the CLI entrypoint)."""
+        if self._server is None:
+            await self.start()
+        await self._closed.wait()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.backend.close()
+        self._closed.set()
+
+    # -- HTTP plumbing ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=READ_TIMEOUT_S
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+                return  # unparsable or abandoned connection: drop it
+            self.requests_served += 1
+            try:
+                await self._dispatch(method, path, body, writer)
+            except ServeError as exc:
+                await self._send_json(writer, exc.status, exc.to_payload())
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away mid-response
+            except Exception as exc:  # never let one request kill the server
+                await self._send_json(
+                    writer,
+                    500,
+                    {"error": {"code": "internal",
+                               "message": f"{type(exc).__name__}: {exc}"}},
+                )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(self, reader) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ValueError("empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ValueError(f"bad request line: {request_line!r}")
+        method, target, _version = parts
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ValueError("body too large")
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, body
+
+    async def _send_json(
+        self, writer, status: int, payload: Any, extra_headers: Dict[str, str] = None
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close",
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        writer.write(_head(status, headers) + body)
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes, writer) -> None:
+        segments = [s for s in path.split("/") if s]
+        if path == "/healthz" and method == "GET":
+            await self._send_json(
+                writer, 200,
+                {"status": "ok", "backend": self.backend.name,
+                 "workloads": workload_names()},
+            )
+        elif path == "/stats" and method == "GET":
+            stats = self.manager.stats()
+            stats["uptime_s"] = round(time.time() - (self.started_at or time.time()), 3)
+            stats["requests_served"] = self.requests_served
+            await self._send_json(writer, 200, stats)
+        elif path == "/jobs" and method == "POST":
+            await self._post_job(body, writer)
+        elif path == "/jobs" and method == "GET":
+            jobs = sorted(self.manager.jobs.values(), key=lambda j: j.id, reverse=True)
+            await self._send_json(writer, 200, {"jobs": [j.summary() for j in jobs]})
+        elif len(segments) == 2 and segments[0] == "jobs" and method == "GET":
+            job = self.manager.get(segments[1])
+            await self._send_json(writer, 200, job.to_payload())
+        elif (
+            len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "events"
+            and method == "GET"
+        ):
+            await self._stream_events(segments[1], writer)
+        elif path in ("/healthz", "/stats", "/jobs") or (
+            segments and segments[0] == "jobs"
+        ):
+            raise ServeErrorMethod(method, path)
+        else:
+            raise JobNotFoundError(f"no such route: {method} {path}")
+
+    async def _post_job(self, body: bytes, writer) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+        if payload is None:
+            raise ProtocolError("POST /jobs needs a JSON job spec body")
+        job = self.manager.submit_payload(payload)
+        response = job.summary()
+        response["location"] = f"/jobs/{job.id}"
+        await self._send_json(
+            writer, 201, response, extra_headers={"Location": f"/jobs/{job.id}"}
+        )
+
+    async def _stream_events(self, job_id: str, writer) -> None:
+        job = self.manager.get(job_id)  # 404 before headers, not mid-stream
+        writer.write(
+            _head(
+                200,
+                {"Content-Type": "application/x-ndjson", "Connection": "close"},
+            )
+        )
+        await writer.drain()
+        async for event in job.stream_events():
+            writer.write((json.dumps(event, sort_keys=True) + "\n").encode("utf-8"))
+            await writer.drain()
+
+
+class ServeErrorMethod(ServeError):
+    """Known path, wrong method (HTTP 405)."""
+
+    status = 405
+    code = "method-not-allowed"
+
+    def __init__(self, method: str, path: str):
+        super().__init__(f"{method} not allowed on {path}")
+
+
+def _head(status: int, headers: Dict[str, str]) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+    lines.extend(f"{k}: {v}" for k, v in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8732,
+    backend: str = "pool",
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = ".repro-cache",
+) -> None:
+    """Blocking entrypoint behind ``repro serve``: run until Ctrl-C."""
+    cache = RunCache(cache_dir) if cache_dir else None
+
+    async def _main() -> None:
+        server = JobServer(
+            host=host,
+            port=port,
+            backend=make_backend(backend, workers),
+            cache=cache,
+        )
+        await server.start()
+        print(
+            f"repro serve listening on http://{server.host}:{server.port} "
+            f"(backend={backend}, workers={server.backend.workers}, "
+            f"cache={'off' if cache is None else cache.root}, "
+            f"workloads: {', '.join(workload_names())})",
+            flush=True,
+        )
+        try:
+            await server.wait_closed()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro serve: shut down", flush=True)

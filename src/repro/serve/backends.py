@@ -1,0 +1,177 @@
+"""Pluggable execution backends for the job server.
+
+The front-end (routes, job table, dedupe) is one fixed piece; *where*
+sweep points actually execute is a backend decision -- the SHARP-style
+split between launcher and interchangeable execution engines.  A
+backend exposes one awaitable operation::
+
+    result = await backend.run_point(fn, config, seed, index)
+
+plus ``utilization()`` for ``/stats`` and ``close()`` for shutdown.
+Both shipped backends funnel the call through
+:func:`repro.sweep.call_sweep_point`, so workload failures surface as
+the same :class:`~repro.util.errors.SweepPointError` the sweep runner
+raises -- one failure vocabulary across CLI and service.
+
+``InProcessBackend``
+    A thread pool in the server process.  No pickling, so tests can run
+    closures and private workloads; simulation work holds the GIL, so
+    it is a correctness/test backend, not a throughput one.
+
+``PoolBackend``
+    A persistent ``concurrent.futures.ProcessPoolExecutor`` (a
+    multiprocessing worker pool with health detection).  Workload
+    functions and configs must be picklable -- exactly the registry
+    contract.  A dead worker (OOM-kill, segfault, ``os._exit``) breaks
+    the pool: the affected points fail with :class:`BackendError`, the
+    pool is replaced in place, and the server keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from repro.serve.errors import BackendError
+from repro.sweep import call_sweep_point
+from repro.util.errors import ConfigurationError
+
+
+class Backend:
+    """Interface: run one sweep point somewhere, asynchronously."""
+
+    name = "abstract"
+
+    async def run_point(
+        self, fn: Callable[[Any, int], Any], config: Any, seed: int, index: int = 0
+    ) -> Any:
+        raise NotImplementedError
+
+    def utilization(self) -> Dict[str, Any]:
+        """Point-in-time load for ``/stats``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers; idempotent."""
+
+
+class _ExecutorBackend(Backend):
+    """Shared machinery: dispatch to a concurrent.futures executor."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ConfigurationError(f"backend workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.busy = 0
+        self.completed = 0
+        self.failed = 0
+
+    def _executor(self):
+        raise NotImplementedError
+
+    async def run_point(self, fn, config, seed, index=0):
+        loop = asyncio.get_running_loop()
+        executor = self._executor()
+        self.busy += 1
+        try:
+            result = await loop.run_in_executor(
+                executor, call_sweep_point, fn, config, seed, index
+            )
+        except BrokenExecutor as exc:
+            self.failed += 1
+            self._on_broken(executor)
+            raise BackendError(
+                f"{self.name} backend lost a worker running point {index}; "
+                "the pool was replaced and the server stays up",
+                details={"point": index},
+            ) from exc
+        except Exception:
+            self.failed += 1
+            raise
+        else:
+            self.completed += 1
+            return result
+        finally:
+            self.busy -= 1
+
+    def _on_broken(self, executor) -> None:
+        """React to a broken executor (process backends replace it)."""
+
+    def utilization(self) -> Dict[str, Any]:
+        return {
+            "backend": self.name,
+            "workers": self.workers,
+            "busy": self.busy,
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+
+
+class InProcessBackend(_ExecutorBackend):
+    """Run points on server-process threads (tests, demos, tiny jobs)."""
+
+    name = "inprocess"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+
+    def _executor(self):
+        return self._pool
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+class PoolBackend(_ExecutorBackend):
+    """Run points on a persistent process pool; survives worker death."""
+
+    name = "pool"
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__(workers or os.cpu_count() or 1)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.restarts = 0
+
+    def _executor(self):
+        return self._pool
+
+    def _on_broken(self, executor) -> None:
+        # Several in-flight points can observe the same broken pool;
+        # only the first one swaps in a replacement.
+        if executor is self._pool:
+            self.restarts += 1
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            executor.shutdown(wait=False)
+
+    def utilization(self) -> Dict[str, Any]:
+        info = super().utilization()
+        info["restarts"] = self.restarts
+        return info
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: Backend factories by CLI name.
+BACKENDS: Dict[str, Callable[..., Backend]] = {
+    "inprocess": InProcessBackend,
+    "pool": PoolBackend,
+}
+
+
+def make_backend(name: str, workers: Optional[int] = None) -> Backend:
+    """Build a backend by registry name (``inprocess`` or ``pool``)."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    if workers is None:
+        return factory()
+    return factory(workers)

@@ -1,0 +1,223 @@
+"""A small synchronous client for the job server, plus a test harness.
+
+The client speaks plain stdlib ``http.client`` -- one connection per
+request, matching the server's ``Connection: close`` policy -- and is
+what the end-to-end tests, the benchmark, and ``examples/serve_demo.py``
+drive.  :func:`serve_in_thread` runs a :class:`JobServer` on its own
+event loop in a daemon thread, so synchronous code (pytest, demos) can
+exercise the full HTTP path without managing asyncio itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.serve.app import JobServer
+from repro.serve.errors import ServeClientError, ServeError
+
+
+class ServeClient:
+    """Talk to a running job server over HTTP/JSON."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8732, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> "tuple[int, Any]":
+        """One round trip; returns ``(status, decoded_json)`` raw.
+
+        Error statuses are returned, not raised -- tests assert on
+        them; the typed helpers below raise :class:`ServeClientError`.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+            decoded = json.loads(text) if text else None
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str, payload: Any = None) -> Any:
+        status, decoded = self.request(method, path, payload)
+        if status >= 400:
+            message = (
+                decoded.get("error", {}).get("message", "")
+                if isinstance(decoded, dict)
+                else str(decoded)
+            )
+            raise ServeClientError(
+                f"{method} {path} -> {status}: {message}",
+                status=status,
+                payload=decoded,
+            )
+        return decoded
+
+    # -- API ----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked("GET", "/stats")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._checked("GET", "/jobs")["jobs"]
+
+    def submit(
+        self,
+        workload: str,
+        configs: List[Dict[str, Any]],
+        seed: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns the submit summary (job_id, dedupe)."""
+        return self._checked(
+            "POST", "/jobs", {"workload": workload, "configs": configs, "seed": seed}
+        )
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll_s: float = 0.02
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its full payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"timed out after {timeout}s waiting for {job_id} "
+                    f"(state {payload['state']}, "
+                    f"{payload['settled']}/{payload['points']} settled)"
+                )
+            time.sleep(poll_s)
+
+    def run(
+        self,
+        workload: str,
+        configs: List[Dict[str, Any]],
+        seed: int = 0,
+        timeout: float = 60.0,
+    ) -> Dict[str, Any]:
+        """Submit and wait; the one-call path the demo and bench use."""
+        submitted = self.submit(workload, configs, seed=seed)
+        if submitted["state"] in ("done", "failed"):
+            # Fully deduped jobs settle inside the submit request.
+            payload = self.job(submitted["job_id"])
+        else:
+            payload = self.wait(submitted["job_id"], timeout=timeout)
+        payload["dedupe"] = submitted["dedupe"]
+        return payload
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON progress events until it finishes."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                text = response.read().decode("utf-8")
+                decoded = json.loads(text) if text else None
+                raise ServeClientError(
+                    f"GET /jobs/{job_id}/events -> {response.status}",
+                    status=response.status,
+                    payload=decoded,
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+
+class ServerHandle:
+    """What :func:`serve_in_thread` yields: address + a bound client."""
+
+    def __init__(self, server: JobServer, loop: asyncio.AbstractEventLoop):
+        self.server = server
+        self.loop = loop
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        return ServeClient(self.server.host, self.server.port, timeout=timeout)
+
+
+@contextlib.contextmanager
+def serve_in_thread(startup_timeout: float = 10.0, **server_kwargs):
+    """Run a :class:`JobServer` in a daemon thread; yield a handle.
+
+    The server (and its asyncio primitives) is constructed *inside* the
+    thread's event loop; shutdown is requested thread-safely and the
+    thread joined on exit.
+    """
+    started = threading.Event()
+    state: Dict[str, Any] = {}
+
+    async def _main() -> None:
+        server = JobServer(**server_kwargs)
+        try:
+            await server.start()
+        except Exception as exc:
+            state["error"] = exc
+            started.set()
+            return
+        state["server"] = server
+        state["loop"] = asyncio.get_running_loop()
+        started.set()
+        try:
+            await server.wait_closed()
+        finally:
+            await server.close()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_main()), name="repro-serve", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=startup_timeout):
+        raise ServeError("job server failed to start within the timeout")
+    if "error" in state:
+        raise state["error"]
+    server: JobServer = state["server"]
+    loop: asyncio.AbstractEventLoop = state["loop"]
+    try:
+        yield ServerHandle(server, loop)
+    finally:
+        def _shutdown() -> None:
+            asyncio.ensure_future(server.close())
+
+        try:
+            loop.call_soon_threadsafe(_shutdown)
+        except RuntimeError:
+            pass  # loop already gone
+        thread.join(timeout=startup_timeout)

@@ -1,0 +1,68 @@
+"""Error hierarchy for the job server.
+
+Every serve error maps to an HTTP status and a short machine-readable
+code, so the app layer can turn any raised :class:`ServeError` into a
+structured JSON error response without per-route handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.util.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for job-server failures (HTTP 500 unless narrowed)."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str = "", *, details: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.details = dict(details) if details else {}
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON body the server sends for this error."""
+        error: Dict[str, Any] = {"code": self.code, "message": str(self)}
+        if self.details:
+            error["details"] = self.details
+        return {"error": error}
+
+
+class ProtocolError(ServeError):
+    """The request body or parameters are malformed (HTTP 400)."""
+
+    status = 400
+    code = "bad-request"
+
+
+class UnknownWorkloadError(ProtocolError):
+    """The spec names a workload the registry does not know (HTTP 400)."""
+
+    code = "unknown-workload"
+
+
+class JobNotFoundError(ServeError):
+    """No job with the requested id (HTTP 404)."""
+
+    status = 404
+    code = "not-found"
+
+
+class BackendError(ServeError):
+    """The execution backend failed independent of the workload (e.g. a
+    pool worker died); the point is failed but the server stays up."""
+
+    status = 500
+    code = "backend"
+
+
+class ServeClientError(ServeError):
+    """Raised by :class:`repro.serve.client.ServeClient` on an error
+    response; carries the HTTP status and decoded payload."""
+
+    def __init__(self, message: str, *, status: int, payload: Any = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload

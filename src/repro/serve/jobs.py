@@ -1,0 +1,316 @@
+"""The job table: content-addressed dedupe, coalescing, progress.
+
+Every sweep point a job carries is identified by
+:func:`repro.sweep.cache.cache_key` over ``(workload, config,
+derived_seed)`` -- the same key the on-disk
+:class:`~repro.sweep.cache.RunCache` uses.  Submission classifies each
+point exactly once:
+
+``cache_hit``
+    The key is already on disk: the stored result is attached
+    immediately, no simulation, O(1).
+``coalesced``
+    An identical point is *in flight* for another job (or earlier in
+    this one): the point attaches to the existing future -- one
+    simulation feeds every waiter.
+``scheduled``
+    Genuinely new work: a future is registered in the in-flight map and
+    the point is dispatched to the backend; the result lands in the
+    cache before waiters are woken, so later duplicates hit disk.
+
+All bookkeeping runs on the event loop (single-threaded); only the
+simulation itself leaves it through the backend.  Progress is an
+append-only per-job event list; watchers (the ``/events`` stream)
+follow it with an :class:`asyncio.Event` edge trigger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.serve.errors import JobNotFoundError
+from repro.serve.protocol import JobSpec, parse_job_spec, registry_resolver
+from repro.sweep import RunCache, WorkloadEntry, cache_key, describe_config, sweep_seeds
+from repro.util.errors import SweepPointError
+
+#: Distinguishes "not in the cache" from a legitimately cached None.
+_MISS = object()
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+#: Point origins (how the submission classified the point).
+CACHE_HIT, COALESCED, SCHEDULED = "cache_hit", "coalesced", "scheduled"
+
+
+class Job:
+    """One submitted job: n points, their origins, results, events."""
+
+    def __init__(self, job_id: str, spec: JobSpec, keys: List[str]):
+        self.id = job_id
+        self.spec = spec
+        self.keys = keys
+        n = spec.points
+        self.origins: List[str] = [""] * n
+        self.results: List[Any] = [None] * n
+        self.point_done: List[bool] = [False] * n
+        self.errors: List[Optional[Dict[str, Any]]] = [None] * n
+        self.settled = 0
+        self.state = QUEUED
+        self.created_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.events: List[Dict[str, Any]] = []
+        self._changed = asyncio.Event()
+
+    @property
+    def dedupe(self) -> Dict[str, int]:
+        return {
+            "cache_hits": self.origins.count(CACHE_HIT),
+            "coalesced": self.origins.count(COALESCED),
+            "scheduled": self.origins.count(SCHEDULED),
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """The submit-response / job-list view."""
+        return {
+            "job_id": self.id,
+            "workload": self.spec.workload,
+            "state": self.state,
+            "points": self.spec.points,
+            "settled": self.settled,
+            "dedupe": self.dedupe,
+        }
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The full ``GET /jobs/{id}`` view."""
+        payload = self.summary()
+        payload["seed"] = self.spec.seed
+        payload["point_states"] = [
+            {
+                "origin": self.origins[i],
+                "state": (
+                    (FAILED if self.errors[i] else DONE)
+                    if self.point_done[i]
+                    else "pending"
+                ),
+            }
+            for i in range(self.spec.points)
+        ]
+        payload["results"] = list(self.results)
+        failures = [e for e in self.errors if e]
+        if failures:
+            payload["error"] = failures[0]
+            payload["failures"] = failures
+        if self.finished_at is not None:
+            payload["elapsed_s"] = round(self.finished_at - self.created_at, 6)
+        return payload
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+        self._changed.set()
+
+    async def stream_events(self):
+        """Yield events as they land; returns once the job is terminal.
+
+        Mutations happen on the same loop, so checking-then-waiting is
+        race-free: nothing can append between our check and ``wait()``.
+        """
+        cursor = 0
+        while True:
+            while cursor < len(self.events):
+                yield self.events[cursor]
+                cursor += 1
+            if self.state in (DONE, FAILED):
+                return
+            self._changed.clear()
+            await self._changed.wait()
+
+    async def wait(self) -> None:
+        """Block until the job is terminal."""
+        async for _ in self.stream_events():
+            pass
+
+
+class JobManager:
+    """Owns the job table, the in-flight map, and the counters."""
+
+    def __init__(
+        self,
+        backend,
+        cache: Optional[RunCache] = None,
+        registry: Optional[Mapping[str, WorkloadEntry]] = None,
+    ):
+        self.backend = backend
+        self.cache = cache
+        self.resolve: Callable[[str], WorkloadEntry] = registry_resolver(registry)
+        self.jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self.counters: Dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "points_total": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "scheduled": 0,
+            "points_done": 0,
+            "points_failed": 0,
+        }
+
+    # -- submission ---------------------------------------------------
+
+    def submit_payload(self, payload: Any) -> Job:
+        """Validate a decoded request body and submit it."""
+        entry, spec = parse_job_spec(payload, resolve=self.resolve)
+        return self.submit(entry, spec)
+
+    def submit(self, entry: WorkloadEntry, spec: JobSpec) -> Job:
+        """Classify and dispatch every point; returns the live job."""
+        n = spec.points
+        seeds = sweep_seeds(spec.seed, n)
+        keys = [
+            cache_key(entry.fn, config, s) for config, s in zip(spec.configs, seeds)
+        ]
+        job = Job(f"job-{next(self._ids)}", spec, keys)
+        self.jobs[job.id] = job
+        self.counters["jobs_submitted"] += 1
+        self.counters["points_total"] += n
+        job.state = RUNNING
+
+        for i, (config, seed, key) in enumerate(zip(spec.configs, seeds, keys)):
+            cached = self.cache.get(key, _MISS) if self.cache is not None else _MISS
+            if cached is not _MISS:
+                job.origins[i] = CACHE_HIT
+                self.counters["cache_hits"] += 1
+                self._settle_point(job, i, result=cached)
+                continue
+            fut = self._inflight.get(key)
+            if fut is None:
+                fut = asyncio.get_running_loop().create_future()
+                self._inflight[key] = fut
+                job.origins[i] = SCHEDULED
+                self.counters["scheduled"] += 1
+                asyncio.ensure_future(
+                    self._run_point(entry, config, seed, i, key, fut)
+                )
+            else:
+                job.origins[i] = COALESCED
+                self.counters["coalesced"] += 1
+            fut.add_done_callback(self._settle_callback(job, i, config))
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise JobNotFoundError(f"no such job: {job_id}") from None
+
+    # -- execution ----------------------------------------------------
+
+    async def _run_point(self, entry, config, seed, index, key, fut) -> None:
+        """Drive one scheduled point through the backend; resolve its
+        in-flight future, caching successes first so post-completion
+        duplicates are cache hits."""
+        try:
+            result = await self.backend.run_point(entry.fn, config, seed, index)
+        except Exception as exc:
+            self._inflight.pop(key, None)
+            if not fut.cancelled():
+                fut.set_exception(exc)
+        else:
+            if self.cache is not None:
+                self.cache.put(key, result)
+            self._inflight.pop(key, None)
+            if not fut.cancelled():
+                fut.set_result(result)
+
+    def _settle_callback(self, job: Job, index: int, config: Any):
+        def on_done(fut: asyncio.Future) -> None:
+            if fut.cancelled():
+                self._settle_point(
+                    job, index,
+                    error={"type": "CancelledError", "message": "point cancelled",
+                           "index": index, "config_token": describe_config(config)},
+                )
+                return
+            exc = fut.exception()
+            if exc is None:
+                self._settle_point(job, index, result=fut.result())
+            else:
+                error = {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "index": index,
+                    "config_token": describe_config(config),
+                }
+                if isinstance(exc, SweepPointError) and exc.config_token:
+                    error["config_token"] = exc.config_token
+                self._settle_point(job, index, error=error)
+
+        return on_done
+
+    def _settle_point(
+        self,
+        job: Job,
+        index: int,
+        result: Any = None,
+        error: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if job.point_done[index]:  # defensive: never settle twice
+            return
+        job.point_done[index] = True
+        job.results[index] = result
+        job.errors[index] = error
+        job.settled += 1
+        if error is None:
+            self.counters["points_done"] += 1
+        else:
+            self.counters["points_failed"] += 1
+        job._emit(
+            {
+                "event": "point",
+                "job_id": job.id,
+                "index": index,
+                "origin": job.origins[index],
+                "state": FAILED if error else DONE,
+                "settled": job.settled,
+                "points": job.spec.points,
+                **({"error": error} if error else {}),
+            }
+        )
+        if job.settled == job.spec.points:
+            job.state = FAILED if any(job.errors) else DONE
+            job.finished_at = time.time()
+            self.counters["jobs_failed" if job.state == FAILED else "jobs_done"] += 1
+            job._emit(
+                {
+                    "event": "job",
+                    "job_id": job.id,
+                    "state": job.state,
+                    "dedupe": job.dedupe,
+                }
+            )
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Distinct points currently in flight (scheduled, unsettled)."""
+        return len(self._inflight)
+
+    def stats(self) -> Dict[str, Any]:
+        active = sum(1 for j in self.jobs.values() if j.state in (QUEUED, RUNNING))
+        payload: Dict[str, Any] = dict(self.counters)
+        payload["jobs_active"] = active
+        payload["queue_depth"] = self.queue_depth
+        payload["cache"] = (
+            {"enabled": True, "dir": self.cache.root, **self.cache.stats()}
+            if self.cache is not None
+            else {"enabled": False}
+        )
+        payload["backend"] = self.backend.utilization()
+        return payload

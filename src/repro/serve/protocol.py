@@ -1,0 +1,139 @@
+"""The wire protocol: job-spec validation and JSON schemas.
+
+A job submission is a JSON object::
+
+    {
+      "workload": "lu2d",                 # a registered workload name
+      "configs": [{"prows": 2, ...}, ...] # 1..MAX_POINTS config objects
+      "seed": 0                           # optional master seed
+    }
+
+(``"config": {...}`` is accepted as sugar for a single-point
+``configs`` list.)  Validation resolves the workload through the
+registry (:func:`repro.sweep.get_workload`) and builds each config
+through the workload's dataclass -- unknown fields, missing required
+fields, and type-shaped mistakes come back as structured 400s naming
+the offending point, never as a half-submitted job.
+
+The seed semantics are exactly ``run_sweep``'s: point ``i`` runs with
+``sweep_seeds(seed, n)[i]``, so a served job is bit-identical to the
+same sweep run directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.serve.errors import ProtocolError, UnknownWorkloadError
+from repro.sweep import WorkloadEntry, config_from_dict, get_workload
+from repro.util.errors import ConfigurationError
+
+#: Upper bound on points per job: one request must not pin the whole
+#: backend indefinitely; split larger campaigns across jobs.
+MAX_POINTS = 4096
+
+#: Fields a submission may carry; anything else is a typo we reject.
+_ALLOWED_KEYS = frozenset({"workload", "config", "configs", "seed"})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated job submission."""
+
+    workload: str
+    configs: Sequence[Any]  # workload config dataclass instances
+    seed: int = 0
+    raw_configs: Sequence[Mapping[str, Any]] = field(default=(), compare=False)
+
+    @property
+    def points(self) -> int:
+        return len(self.configs)
+
+
+def parse_job_spec(
+    payload: Any,
+    resolve: Optional[Callable[[str], WorkloadEntry]] = None,
+) -> "tuple[WorkloadEntry, JobSpec]":
+    """Validate a decoded submission body into ``(entry, spec)``.
+
+    ``resolve`` defaults to the global workload registry; the server
+    passes its own resolver so tests can inject private workloads.
+    """
+    if resolve is None:
+        resolve = get_workload
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"job spec must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - _ALLOWED_KEYS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown job spec field(s): {', '.join(unknown)}",
+            details={"unknown": unknown, "allowed": sorted(_ALLOWED_KEYS)},
+        )
+
+    name = payload.get("workload")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("job spec needs a non-empty string 'workload'")
+    try:
+        entry = resolve(name)
+    except ConfigurationError as exc:
+        raise UnknownWorkloadError(str(exc), details={"workload": name}) from None
+
+    if "config" in payload and "configs" in payload:
+        raise ProtocolError("give either 'config' or 'configs', not both")
+    if "config" in payload:
+        raw_configs: Any = [payload["config"]]
+    else:
+        raw_configs = payload.get("configs")
+    if not isinstance(raw_configs, list) or not raw_configs:
+        raise ProtocolError(
+            "job spec needs 'configs' (a non-empty list of config objects) "
+            "or 'config' (a single config object)"
+        )
+    if len(raw_configs) > MAX_POINTS:
+        raise ProtocolError(
+            f"too many points: {len(raw_configs)} > {MAX_POINTS}; "
+            "split the campaign across jobs",
+            details={"max_points": MAX_POINTS},
+        )
+
+    seed = payload.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ProtocolError(f"seed must be an integer, got {seed!r}")
+
+    configs = []
+    for i, raw in enumerate(raw_configs):
+        try:
+            configs.append(config_from_dict(entry.config_type, raw))
+        except (ConfigurationError, TypeError) as exc:
+            raise ProtocolError(
+                f"bad config at point {i}: {exc}", details={"point": i}
+            ) from None
+
+    spec = JobSpec(
+        workload=name,
+        configs=tuple(configs),
+        seed=seed,
+        raw_configs=tuple(dict(r) for r in raw_configs),
+    )
+    return entry, spec
+
+
+def registry_resolver(
+    overrides: Optional[Mapping[str, WorkloadEntry]] = None,
+) -> Callable[[str], WorkloadEntry]:
+    """A resolver checking ``overrides`` first, then the global registry.
+
+    Servers are constructed with this so tests can mount private
+    workloads (sleepers, crashers) without touching global state.
+    """
+    table: Dict[str, WorkloadEntry] = dict(overrides or {})
+
+    def resolve(name: str) -> WorkloadEntry:
+        if name in table:
+            return table[name]
+        return get_workload(name)
+
+    return resolve

@@ -8,19 +8,57 @@ over worker processes while keeping the one property ablation tooling
 cannot live without: **the results are a pure function of (configs,
 workload, seed)** -- independent of worker count, scheduling order, and
 whether multiprocessing was used at all.
+
+Workloads are resolvable by name through the registry
+(:func:`register_workload` / :func:`get_workload`), which is what lets
+the ``repro sweep`` CLI and the ``repro serve`` job server accept
+workload specs as plain strings + JSON configs.
 """
 
-from repro.sweep.cache import SCHEMA_VERSION, RunCache, cache_key, workload_id
-from repro.sweep.runner import run_sweep, sweep_seeds
-from repro.sweep.workloads import Lu2dPoint, lu2d_point
+from repro.sweep.cache import (
+    SCHEMA_VERSION,
+    RunCache,
+    cache_key,
+    describe_config,
+    parse_age,
+    workload_id,
+)
+from repro.sweep.runner import call_sweep_point, run_sweep, sweep_seeds
+from repro.sweep.workloads import (
+    CollectivesPoint,
+    HaloPoint,
+    Lu2dPoint,
+    WorkloadEntry,
+    collectives_point,
+    config_from_dict,
+    get_workload,
+    halo_point,
+    lu2d_point,
+    register_workload,
+    workload_names,
+)
+from repro.util.errors import SweepPointError
 
 __all__ = [
     "run_sweep",
     "sweep_seeds",
+    "call_sweep_point",
+    "SweepPointError",
     "Lu2dPoint",
     "lu2d_point",
+    "CollectivesPoint",
+    "collectives_point",
+    "HaloPoint",
+    "halo_point",
+    "WorkloadEntry",
+    "register_workload",
+    "get_workload",
+    "workload_names",
+    "config_from_dict",
     "RunCache",
     "cache_key",
+    "describe_config",
+    "parse_age",
     "workload_id",
     "SCHEMA_VERSION",
 ]

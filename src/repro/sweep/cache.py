@@ -35,8 +35,12 @@ import dataclasses
 import hashlib
 import json
 import os
+import re
 import tempfile
-from typing import Any, Callable, Dict, Optional
+import time
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
 
 #: Bump to invalidate every existing cache entry (key recipe or record
 #: layout changes).
@@ -69,6 +73,36 @@ def _config_token(obj: Any) -> Any:
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     return f"repr:{obj!r}"
+
+
+def describe_config(config: Any, limit: int = 160) -> str:
+    """A compact, canonical one-line rendering of a sweep config.
+
+    The same token the cache key hashes, serialised and truncated --
+    used by :class:`~repro.util.errors.SweepPointError` and job-server
+    failure reports to name the failing point.
+    """
+    text = json.dumps(_config_token(config), sort_keys=True, separators=(",", ":"))
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
+
+
+_AGE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([smhdw]?)\s*$", re.IGNORECASE)
+
+_AGE_UNITS = {"": 1.0, "s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def parse_age(text: str) -> float:
+    """Parse a ``--older-than`` age like ``90``, ``30m``, ``12h``, ``7d``
+    into seconds (bare numbers are seconds)."""
+    match = _AGE_RE.match(str(text))
+    if not match:
+        raise ConfigurationError(
+            f"bad age {text!r}: expected NUMBER[s|m|h|d|w], e.g. 3600, 30m, 7d"
+        )
+    value, unit = match.groups()
+    return float(value) * _AGE_UNITS[unit.lower()]
 
 
 def workload_id(workload: Callable) -> str:
@@ -156,3 +190,103 @@ class RunCache:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}
+
+    def entries(self) -> Iterator[Tuple[str, int, float]]:
+        """Yield ``(path, size_bytes, mtime)`` for every stored record.
+
+        In-progress ``.tmp`` files are skipped; a missing root yields
+        nothing.  Entries that vanish mid-walk (a concurrent prune) are
+        silently dropped.
+        """
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for shard in shards:
+            directory = os.path.join(self.root, shard)
+            try:
+                names = sorted(os.listdir(directory))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                yield path, info.st_size, info.st_mtime
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """Summarise what is on disk: entry count, bytes, schema mix.
+
+        ``stale_entries`` counts records whose stored schema differs
+        from the current :data:`SCHEMA_VERSION` (they would miss on
+        read and are prime pruning candidates).
+        """
+        entries = 0
+        total_bytes = 0
+        by_schema: Dict[str, int] = {}
+        for path, size, _ in self.entries():
+            entries += 1
+            total_bytes += size
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    schema = json.load(fh).get("schema")
+            except (OSError, ValueError):
+                schema = "corrupt"
+            key = str(schema)
+            by_schema[key] = by_schema.get(key, 0) + 1
+        stale = sum(
+            count
+            for schema, count in by_schema.items()
+            if schema != str(SCHEMA_VERSION)
+        )
+        return {
+            "dir": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "schema_version": SCHEMA_VERSION,
+            "by_schema": by_schema,
+            "stale_entries": stale,
+        }
+
+    def prune(self, older_than_s: float = 0.0, now: Optional[float] = None) -> Dict[str, Any]:
+        """Delete records not touched in the last ``older_than_s``
+        seconds (``0`` empties the cache); returns removal counts.
+
+        Emptied shard directories are removed too, so a fully pruned
+        cache leaves only its root behind.
+        """
+        if now is None:
+            now = time.time()
+        cutoff = now - older_than_s
+        removed = kept = 0
+        bytes_freed = 0
+        for path, size, mtime in self.entries():
+            if mtime <= cutoff:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    kept += 1
+                    continue
+                removed += 1
+                bytes_freed += size
+            else:
+                kept += 1
+        try:
+            for shard in os.listdir(self.root):
+                directory = os.path.join(self.root, shard)
+                try:
+                    os.rmdir(directory)  # only succeeds when empty
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return {
+            "dir": self.root,
+            "removed": removed,
+            "kept": kept,
+            "bytes_freed": bytes_freed,
+        }

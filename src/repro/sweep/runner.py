@@ -30,8 +30,8 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.sweep.cache import RunCache, cache_key
-from repro.util.errors import ConfigurationError
+from repro.sweep.cache import RunCache, cache_key, describe_config
+from repro.util.errors import ConfigurationError, SweepPointError
 
 #: Distinguishes "not in the cache" from a legitimately cached None.
 _MISS = object()
@@ -51,10 +51,36 @@ def sweep_seeds(seed: int, n: int) -> List[int]:
     return [int(c.generate_state(1, dtype=np.uint64)[0] >> 1) for c in children]
 
 
+def call_sweep_point(
+    workload: Callable[[Any, int], Any], config: Any, seed: int, index: int = 0
+) -> Any:
+    """Run one sweep point; failures become :class:`SweepPointError`.
+
+    A raw worker exception names neither the point's position nor its
+    config, which is all a caller fanning out hundreds of points has to
+    go on.  The wrapper pins both (the original exception stays chained
+    as ``__cause__`` and summarised in the message, since causes do not
+    survive the process-pool pickle boundary).  The job server's
+    backends reuse this shim so per-job failure reports match
+    ``run_sweep``'s.
+    """
+    try:
+        return workload(config, seed)
+    except SweepPointError:
+        raise
+    except Exception as exc:
+        token = describe_config(config)
+        raise SweepPointError(
+            f"sweep point {index} ({token}) failed: {type(exc).__name__}: {exc}",
+            index=index,
+            config_token=token,
+        ) from exc
+
+
 def _invoke(task: tuple) -> Any:
-    """Worker-side shim: unpack one (workload, config, seed) task."""
-    workload, config, seed = task
-    return workload(config, seed)
+    """Worker-side shim: unpack one (workload, config, seed, index) task."""
+    workload, config, seed, index = task
+    return call_sweep_point(workload, config, seed, index)
 
 
 def run_sweep(
@@ -103,6 +129,7 @@ def run_sweep(
                 workload,
                 [seeds[i] for i in miss_idx],
                 workers,
+                indices=miss_idx,
             )
             for i, result in zip(miss_idx, fresh):
                 results[i] = result
@@ -117,17 +144,30 @@ def _run_all(
     workload: Callable[[Any, int], Any],
     seeds: Sequence[int],
     workers: Optional[int],
+    indices: Optional[Sequence[int]] = None,
 ) -> List[Any]:
-    """Execute every (config, seed) pair; ordered results."""
+    """Execute every (config, seed) pair; ordered results.
+
+    ``indices`` carries each point's *original* sweep position (a
+    partially cached sweep runs only the misses) so failure reports
+    name the position the caller sees.
+    """
     n = len(configs)
+    if indices is None:
+        indices = range(n)
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     workers = min(workers, n) if n else 1
     if workers <= 1:
-        return [workload(config, s) for config, s in zip(configs, seeds)]
-    tasks = [(workload, config, s) for config, s in zip(configs, seeds)]
+        return [
+            call_sweep_point(workload, config, s, i)
+            for config, s, i in zip(configs, seeds, indices)
+        ]
+    tasks = [
+        (workload, config, s, i) for config, s, i in zip(configs, seeds, indices)
+    ]
     # chunksize=1: sweep points are coarse (whole simulations), so
     # balance beats batching.  Pool.map preserves task order.
     with multiprocessing.Pool(processes=workers) as pool:

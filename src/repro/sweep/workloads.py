@@ -1,15 +1,29 @@
-"""Module-level sweep workloads (picklable, so they run under workers).
+"""Module-level sweep workloads and the named workload registry.
 
-These are the stock points the ``repro sweep`` CLI and the throughput
-benchmarks fan out.  Each takes ``(config, seed)`` per the
+These are the stock points the ``repro sweep`` CLI, the job server
+(``repro serve``), and the throughput benchmarks fan out.  Each
+workload takes ``(config, seed)`` per the
 :func:`repro.sweep.runner.run_sweep` contract and returns a plain dict
-of floats/ints so results cross process boundaries cheaply.
+of floats/ints so results cross process and wire boundaries cheaply.
+
+The registry maps string names to :class:`WorkloadEntry` records
+(workload callable + config dataclass + summary), so any front-end --
+CLI flag, HTTP payload, config file -- can resolve a workload without
+importing its module explicitly.  Workload callables must stay
+module-level (picklable) and configs must stay frozen dataclasses of
+JSON-representable fields: that is what makes them cacheable
+(:func:`repro.sweep.cache.cache_key`) and schedulable on process-pool
+backends.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.util.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -64,3 +78,213 @@ def lu2d_point(config: Lu2dPoint, seed: int) -> dict:
         "events_per_sec": sim.events / wall if wall > 0 else 0.0,
         "exact": exact,
     }
+
+
+@dataclass(frozen=True)
+class CollectivesPoint:
+    """One collectives-suite sweep configuration."""
+
+    ranks: int
+    rounds: int = 3
+    algorithm: str = "recursive_doubling"
+    machine: str = "delta"
+
+
+def _collectives_program(comm, rounds: int, algorithm: str):
+    """Allreduce + barrier rounds: the dense log-p collective cascade."""
+    acc = float(comm.rank)
+    for _ in range(rounds):
+        acc = yield from comm.allreduce(acc % 1e6, algorithm=algorithm)
+        yield from comm.barrier()
+    return acc
+
+
+def collectives_point(config: CollectivesPoint, seed: int) -> dict:
+    """Run the collectives suite; report timing and traffic."""
+    from repro.machine.presets import get_machine
+    from repro.simmpi import run_program
+
+    machine = get_machine(config.machine)
+    t0 = time.perf_counter()
+    res = run_program(
+        machine,
+        config.ranks,
+        _collectives_program,
+        config.rounds,
+        config.algorithm,
+        seed=seed,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "ranks": config.ranks,
+        "virtual_time_s": res.time,
+        "events": res.events,
+        "messages": res.total_messages,
+        "bytes": res.total_bytes,
+        "wall_s": wall,
+        "events_per_sec": res.events / wall if wall > 0 else 0.0,
+        "reduction": res.returns[0],
+    }
+
+
+@dataclass(frozen=True)
+class HaloPoint:
+    """One halo-exchange epoch on a ``rows x cols`` process torus."""
+
+    rows: int
+    cols: int
+    steps: int = 2
+    machine: str = "paragon"
+
+
+def _halo_program(comm, spec, steps: int):
+    """Ocean-style ghost exchange: one declared stencil phase per step."""
+    h = float(comm.rank)
+    for _ in range(steps):
+        hn = yield from comm.exchange(spec, [h, h + 1.0, h + 2.0, h + 3.0])
+        h = h + hn[0] - hn[1] + hn[2] - hn[3]
+    return h
+
+
+def halo_point(config: HaloPoint, seed: int) -> dict:
+    """Run a halo epoch; report timing and traffic."""
+    from repro.machine.presets import get_machine
+    from repro.simmpi import run_program
+    from repro.simmpi.stencil import grid_halo
+
+    machine = get_machine(config.machine)
+    spec = grid_halo(config.rows, config.cols)
+    t0 = time.perf_counter()
+    res = run_program(
+        machine,
+        config.rows * config.cols,
+        _halo_program,
+        spec,
+        config.steps,
+        seed=seed,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "ranks": config.rows * config.cols,
+        "virtual_time_s": res.time,
+        "events": res.events,
+        "messages": res.total_messages,
+        "bytes": res.total_bytes,
+        "wall_s": wall,
+        "events_per_sec": res.events / wall if wall > 0 else 0.0,
+        "corner": res.returns[0],
+    }
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """A named, front-end-resolvable sweep workload."""
+
+    name: str
+    fn: Callable[[Any, int], Any]
+    config_type: type
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, WorkloadEntry] = {}
+
+
+def register_workload(
+    name: str,
+    fn: Callable[[Any, int], Any],
+    config_type: type,
+    summary: str = "",
+) -> WorkloadEntry:
+    """Register ``fn`` under ``name``; returns the registry entry.
+
+    Re-registering a name replaces the entry (tests swap in fakes); the
+    config type must be a dataclass so configs can be built from JSON
+    dicts and content-addressed canonically.
+    """
+    if not dataclasses.is_dataclass(config_type):
+        raise ConfigurationError(
+            f"workload {name!r} config type {config_type!r} is not a dataclass"
+        )
+    entry = WorkloadEntry(name=name, fn=fn, config_type=config_type, summary=summary)
+    _REGISTRY[name] = entry
+    return entry
+
+
+def get_workload(name: str) -> WorkloadEntry:
+    """Resolve a registered workload by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None
+
+
+def workload_names() -> List[str]:
+    """The registered workload names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def config_from_dict(config_type: type, payload: Mapping[str, Any]) -> Any:
+    """Build a workload config dataclass from a JSON-style dict.
+
+    Unknown and missing required fields raise
+    :class:`~repro.util.errors.ConfigurationError` naming them;
+    integer values are coerced to float where the field is annotated
+    ``float`` so JSON payloads produce the same canonical cache token
+    as natively constructed configs.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"config for {config_type.__name__} must be an object, "
+            f"got {type(payload).__name__}"
+        )
+    fields = {f.name: f for f in dataclasses.fields(config_type)}
+    unknown = sorted(set(payload) - set(fields))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {config_type.__name__} field(s): {', '.join(unknown)}; "
+            f"known: {sorted(fields)}"
+        )
+    missing = sorted(
+        name
+        for name, f in fields.items()
+        if name not in payload
+        and f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    )
+    if missing:
+        raise ConfigurationError(
+            f"missing required {config_type.__name__} field(s): {', '.join(missing)}"
+        )
+    kwargs = {}
+    for name, value in payload.items():
+        # Annotations are strings here (PEP 563 via __future__ import).
+        if (
+            str(fields[name].type) == "float"
+            and isinstance(value, int)
+            and not isinstance(value, bool)
+        ):
+            value = float(value)
+        kwargs[name] = value
+    return config_type(**kwargs)
+
+
+register_workload(
+    "lu2d",
+    lu2d_point,
+    Lu2dPoint,
+    summary="block-cyclic LU factorisation on a 2-D process grid",
+)
+register_workload(
+    "collectives",
+    collectives_point,
+    CollectivesPoint,
+    summary="allreduce+barrier rounds over the collective algorithms",
+)
+register_workload(
+    "halo",
+    halo_point,
+    HaloPoint,
+    summary="declared stencil halo-exchange epoch on a process torus",
+)

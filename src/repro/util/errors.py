@@ -63,6 +63,41 @@ class CommunicationError(SimulationError):
     arguments (bad rank, mismatched collective participation, ...)."""
 
 
+class SweepPointError(ReproError):
+    """One sweep point's workload raised; the original exception is
+    chained as ``__cause__`` (serial runs) or summarised in the message
+    (process-pool runs, where causes do not cross the pickle boundary).
+
+    ``index``
+        The point's position in the sweep's config list -- the position
+        that also determined its derived seed.
+    ``config_token``
+        A compact canonical rendering of the failing config, so logs
+        and job reports name the point without the caller re-deriving
+        it.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        index: int = None,
+        config_token: str = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.config_token = config_token
+
+    def __reduce__(self):
+        # Exceptions pickle by (cls, args); carry the keyword-only
+        # attributes across process boundaries via the state dict.
+        return (
+            type(self),
+            (self.args[0] if self.args else "",),
+            {"index": self.index, "config_token": self.config_token},
+        )
+
+
 class DecompositionError(ReproError):
     """A data decomposition request cannot be satisfied (e.g. more
     processes than elements with a zero-padding-forbidden layout)."""

@@ -1,0 +1,40 @@
+"""Module-level test workloads for the serve suite.
+
+These live in an importable module (not inside a test function) so the
+``PoolBackend`` can pickle them across the process boundary -- the same
+contract real registered workloads obey.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SleepyConfig:
+    """A workload that just sleeps; used to hold points in flight."""
+
+    delay_ms: int = 200
+    tag: str = "a"
+
+
+def sleepy_point(config: SleepyConfig, seed: int) -> dict:
+    time.sleep(config.delay_ms / 1000.0)
+    return {"seed": seed, "delay_ms": config.delay_ms, "tag": config.tag}
+
+
+@dataclass(frozen=True)
+class CrashConfig:
+    """A workload that can kill its worker process or raise."""
+
+    mode: str = "exit"
+
+
+def crash_point(config: CrashConfig, seed: int) -> dict:
+    if config.mode == "exit":
+        os._exit(13)  # simulate a segfault/OOM-killed worker
+    if config.mode == "raise":
+        raise ValueError(f"workload rejected seed {seed}")
+    return {"seed": seed, "mode": config.mode}

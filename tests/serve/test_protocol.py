@@ -1,0 +1,113 @@
+"""Wire-protocol validation: job specs in, structured errors out."""
+
+import pytest
+
+from repro.serve import MAX_POINTS, parse_job_spec
+from repro.serve.errors import ProtocolError, UnknownWorkloadError
+from repro.serve.protocol import registry_resolver
+from repro.sweep import Lu2dPoint, WorkloadEntry
+
+from tests.serve._workloads import SleepyConfig, sleepy_point
+
+
+class TestParseJobSpec:
+    def test_happy_path_configs_list(self):
+        entry, spec = parse_job_spec(
+            {
+                "workload": "lu2d",
+                "configs": [{"prows": 2, "pcols": 2, "n": 32}, {"prows": 1, "pcols": 2, "n": 32}],
+                "seed": 7,
+            }
+        )
+        assert entry.name == "lu2d"
+        assert spec.points == 2
+        assert spec.seed == 7
+        assert spec.configs[0] == Lu2dPoint(2, 2, 32)
+        assert spec.raw_configs[0] == {"prows": 2, "pcols": 2, "n": 32}
+
+    def test_single_config_sugar(self):
+        _, spec = parse_job_spec(
+            {"workload": "lu2d", "config": {"prows": 2, "pcols": 2, "n": 32}}
+        )
+        assert spec.points == 1
+        assert spec.seed == 0
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_job_spec([1, 2, 3])
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ProtocolError, match="priority"):
+            parse_job_spec(
+                {"workload": "lu2d", "configs": [{}], "priority": "high"}
+            )
+
+    def test_rejects_missing_or_bad_workload(self):
+        with pytest.raises(ProtocolError, match="workload"):
+            parse_job_spec({"configs": [{}]})
+        with pytest.raises(ProtocolError, match="workload"):
+            parse_job_spec({"workload": 7, "configs": [{}]})
+
+    def test_unknown_workload_is_typed(self):
+        with pytest.raises(UnknownWorkloadError) as exc_info:
+            parse_job_spec({"workload": "qcd", "configs": [{}]})
+        assert exc_info.value.status == 400
+        assert exc_info.value.details == {"workload": "qcd"}
+
+    def test_rejects_config_and_configs_together(self):
+        with pytest.raises(ProtocolError, match="not both"):
+            parse_job_spec({"workload": "lu2d", "config": {}, "configs": [{}]})
+
+    def test_rejects_empty_or_non_list_configs(self):
+        with pytest.raises(ProtocolError, match="configs"):
+            parse_job_spec({"workload": "lu2d", "configs": []})
+        with pytest.raises(ProtocolError, match="configs"):
+            parse_job_spec({"workload": "lu2d", "configs": {"prows": 2}})
+        with pytest.raises(ProtocolError, match="configs"):
+            parse_job_spec({"workload": "lu2d"})
+
+    def test_rejects_too_many_points(self):
+        configs = [{"prows": 1, "pcols": 1, "n": 4}] * (MAX_POINTS + 1)
+        with pytest.raises(ProtocolError, match="too many points"):
+            parse_job_spec({"workload": "lu2d", "configs": configs})
+
+    def test_rejects_non_integer_seed(self):
+        for seed in ("0", 1.5, True):
+            with pytest.raises(ProtocolError, match="seed"):
+                parse_job_spec(
+                    {
+                        "workload": "lu2d",
+                        "configs": [{"prows": 2, "pcols": 2, "n": 32}],
+                        "seed": seed,
+                    }
+                )
+
+    def test_bad_config_names_the_point(self):
+        with pytest.raises(ProtocolError, match="point 1") as exc_info:
+            parse_job_spec(
+                {
+                    "workload": "lu2d",
+                    "configs": [
+                        {"prows": 2, "pcols": 2, "n": 32},
+                        {"prows": 2, "bogus": 1},
+                    ],
+                }
+            )
+        assert exc_info.value.details == {"point": 1}
+
+
+class TestRegistryResolver:
+    def test_overrides_shadow_then_fall_through(self):
+        entry = WorkloadEntry("sleepy", sleepy_point, SleepyConfig, "zzz")
+        resolve = registry_resolver({"sleepy": entry})
+        assert resolve("sleepy") is entry
+        assert resolve("lu2d").name == "lu2d"  # global registry fallback
+
+    def test_parse_with_private_workload(self):
+        entry = WorkloadEntry("sleepy", sleepy_point, SleepyConfig, "zzz")
+        resolve = registry_resolver({"sleepy": entry})
+        got, spec = parse_job_spec(
+            {"workload": "sleepy", "configs": [{"delay_ms": 5}]}, resolve=resolve
+        )
+        assert got is entry
+        assert spec.configs[0] == SleepyConfig(delay_ms=5)

@@ -1,0 +1,235 @@
+"""End-to-end: the job server over real HTTP loopback.
+
+Each test boots a real :class:`JobServer` on an ephemeral port in a
+daemon thread (:func:`serve_in_thread`) and drives it with the stdlib
+HTTP client -- the full wire path, no mocking.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.serve import InProcessBackend, PoolBackend, serve_in_thread
+from repro.sweep import Lu2dPoint, RunCache, WorkloadEntry, lu2d_point, run_sweep
+
+from tests.serve._workloads import (
+    CrashConfig,
+    SleepyConfig,
+    crash_point,
+    sleepy_point,
+)
+
+#: Tiny lu2d points: fast enough for a test, real enough to be exact.
+LU2D_CONFIGS = [
+    {"prows": 2, "pcols": 2, "n": 32},
+    {"prows": 1, "pcols": 2, "n": 32},
+]
+
+#: Result keys that must be bit-identical run to run (wall-clock
+#: timings are real time and legitimately vary).
+DETERMINISTIC_KEYS = ("ranks", "n", "virtual_time_s", "events", "messages", "bytes", "exact")
+
+
+def _deterministic(result):
+    return {k: result[k] for k in DETERMINISTIC_KEYS}
+
+
+def _sleepy_registry(delay_ms=500):
+    entry = WorkloadEntry("sleepy", sleepy_point, SleepyConfig, "sleeps")
+    return {"sleepy": entry}, delay_ms
+
+
+class TestServeEndToEnd:
+    def test_served_job_bit_identical_to_direct_run_sweep(self):
+        with serve_in_thread(backend=InProcessBackend(workers=2)) as handle:
+            payload = handle.client().run("lu2d", LU2D_CONFIGS, seed=3)
+        assert payload["state"] == "done"
+        assert payload["dedupe"] == {"cache_hits": 0, "coalesced": 0, "scheduled": 2}
+
+        direct = run_sweep(
+            [Lu2dPoint(**c) for c in LU2D_CONFIGS], lu2d_point, workers=1, seed=3
+        )
+        assert [_deterministic(r) for r in payload["results"]] == [
+            _deterministic(r) for r in direct
+        ]
+        assert all(r["exact"] for r in payload["results"])
+
+    def test_second_submit_is_all_cache_hits(self, tmp_path):
+        cache = RunCache(str(tmp_path / "cache"))
+        with serve_in_thread(backend=InProcessBackend(workers=2), cache=cache) as handle:
+            client = handle.client()
+            first = client.run("lu2d", LU2D_CONFIGS, seed=3)
+            second = client.run("lu2d", LU2D_CONFIGS, seed=3)
+            stats = client.stats()
+
+        assert first["dedupe"] == {"cache_hits": 0, "coalesced": 0, "scheduled": 2}
+        assert second["dedupe"] == {"cache_hits": 2, "coalesced": 0, "scheduled": 0}
+        # Cached replay is byte-for-byte the stored result -- including
+        # the original wall-clock fields.
+        assert second["results"] == first["results"]
+        # The counters prove nothing was recomputed: two points ever
+        # reached the backend, across four submitted.
+        assert stats["points_total"] == 4
+        assert stats["scheduled"] == 2
+        assert stats["cache_hits"] == 2
+        assert stats["backend"]["completed"] == 2
+
+    def test_different_seed_is_not_a_cache_hit(self, tmp_path):
+        cache = RunCache(str(tmp_path / "cache"))
+        with serve_in_thread(backend=InProcessBackend(workers=2), cache=cache) as handle:
+            client = handle.client()
+            client.run("lu2d", LU2D_CONFIGS[:1], seed=3)
+            other = client.run("lu2d", LU2D_CONFIGS[:1], seed=4)
+        assert other["dedupe"]["cache_hits"] == 0
+        assert other["dedupe"]["scheduled"] == 1
+
+    def test_concurrent_duplicate_submits_coalesce(self):
+        registry, delay_ms = _sleepy_registry()
+        with serve_in_thread(
+            backend=InProcessBackend(workers=1), registry=registry
+        ) as handle:
+            client = handle.client()
+            spec = [{"delay_ms": delay_ms}]
+            a = client.submit("sleepy", spec, seed=1)
+            b = client.submit("sleepy", spec, seed=1)  # identical, in flight
+            done_a = client.wait(a["job_id"])
+            done_b = client.wait(b["job_id"])
+            stats = client.stats()
+
+        assert a["dedupe"] == {"cache_hits": 0, "coalesced": 0, "scheduled": 1}
+        assert b["dedupe"] == {"cache_hits": 0, "coalesced": 1, "scheduled": 0}
+        assert done_a["results"] == done_b["results"]
+        # One simulation fed both jobs.
+        assert stats["scheduled"] == 1
+        assert stats["coalesced"] == 1
+        assert stats["backend"]["completed"] == 1
+
+    def test_events_stream_reports_progress_then_terminal(self):
+        registry, _ = _sleepy_registry(delay_ms=50)
+        with serve_in_thread(
+            backend=InProcessBackend(workers=1), registry=registry
+        ) as handle:
+            client = handle.client()
+            submitted = client.submit(
+                "sleepy", [{"delay_ms": 50, "tag": "x"}, {"delay_ms": 50, "tag": "y"}]
+            )
+            events = list(client.events(submitted["job_id"]))
+
+        point_events = [e for e in events if e["event"] == "point"]
+        assert len(point_events) == 2
+        assert [e["settled"] for e in point_events] == [1, 2]
+        assert all(e["state"] == "done" for e in point_events)
+        assert events[-1]["event"] == "job"
+        assert events[-1]["state"] == "done"
+
+    def test_job_listing_is_newest_first(self):
+        with serve_in_thread(backend=InProcessBackend(workers=1)) as handle:
+            client = handle.client()
+            first = client.run("lu2d", LU2D_CONFIGS[:1])
+            second = client.run("lu2d", LU2D_CONFIGS[1:])
+            listed = client.jobs()
+        assert [j["job_id"] for j in listed] == [second["job_id"], first["job_id"]]
+
+
+class TestServeErrors:
+    def test_malformed_specs_get_structured_4xx(self):
+        with serve_in_thread(backend=InProcessBackend(workers=1)) as handle:
+            client = handle.client()
+            cases = [
+                ({"workload": "qcd", "configs": [{}]}, "unknown-workload"),
+                ({"workload": "lu2d"}, "bad-request"),
+                ({"workload": "lu2d", "configs": [{"prows": 2}]}, "bad-request"),
+                ({"workload": "lu2d", "configs": [{}], "nope": 1}, "bad-request"),
+                ([1, 2], "bad-request"),
+            ]
+            for payload, code in cases:
+                status, decoded = client.request("POST", "/jobs", payload)
+                assert status == 400, payload
+                assert decoded["error"]["code"] == code, payload
+                assert decoded["error"]["message"]
+            # A malformed spec never half-submits a job.
+            assert client.jobs() == []
+
+    def test_non_json_body_is_a_400(self):
+        with serve_in_thread(backend=InProcessBackend(workers=1)) as handle:
+            conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+            try:
+                conn.request(
+                    "POST", "/jobs", body=b"{not json",
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                decoded = json.loads(response.read().decode("utf-8"))
+            finally:
+                conn.close()
+        assert response.status == 400
+        assert decoded["error"]["code"] == "bad-request"
+        assert "JSON" in decoded["error"]["message"]
+
+    def test_unknown_job_and_route_are_404_wrong_method_is_405(self):
+        with serve_in_thread(backend=InProcessBackend(workers=1)) as handle:
+            client = handle.client()
+            status, decoded = client.request("GET", "/jobs/job-999")
+            assert status == 404 and decoded["error"]["code"] == "not-found"
+            status, decoded = client.request("GET", "/nope")
+            assert status == 404
+            status, decoded = client.request("DELETE", "/jobs")
+            assert status == 405 and decoded["error"]["code"] == "method-not-allowed"
+
+    def test_workload_exception_fails_job_cleanly(self):
+        registry = {"crash": WorkloadEntry("crash", crash_point, CrashConfig, "boom")}
+        with serve_in_thread(
+            backend=InProcessBackend(workers=1), registry=registry
+        ) as handle:
+            client = handle.client()
+            payload = client.run("crash", [{"mode": "raise"}], seed=9)
+            # The server survives and keeps serving real work.
+            assert client.healthz()["status"] == "ok"
+            after = client.run("lu2d", LU2D_CONFIGS[:1])
+
+        assert payload["state"] == "failed"
+        assert payload["error"]["type"] == "SweepPointError"
+        assert "ValueError" in payload["error"]["message"]
+        assert payload["error"]["index"] == 0
+        assert payload["error"]["config_token"]
+        assert after["state"] == "done"
+
+
+class TestPoolBackend:
+    def test_worker_death_fails_job_and_server_recovers(self):
+        registry = {
+            "crash": WorkloadEntry("crash", crash_point, CrashConfig, "boom"),
+            "sleepy": WorkloadEntry("sleepy", sleepy_point, SleepyConfig, "zzz"),
+        }
+        with serve_in_thread(
+            backend=PoolBackend(workers=1), registry=registry
+        ) as handle:
+            client = handle.client()
+            dead = client.run("crash", [{"mode": "exit"}], timeout=120)
+            assert client.healthz()["status"] == "ok"
+            # The replaced pool serves the next job normally.
+            alive = client.run("sleepy", [{"delay_ms": 1}], timeout=120)
+            stats = client.stats()
+
+        assert dead["state"] == "failed"
+        assert dead["error"]["type"] == "BackendError"
+        assert "lost a worker" in dead["error"]["message"]
+        assert alive["state"] == "done"
+        assert alive["results"][0]["delay_ms"] == 1
+        assert stats["backend"]["restarts"] >= 1
+        assert stats["backend"]["failed"] == 1
+        assert stats["jobs_failed"] == 1 and stats["jobs_done"] == 1
+
+    def test_pool_results_match_inprocess(self):
+        with serve_in_thread(backend=PoolBackend(workers=2)) as handle:
+            pooled = handle.client().run("lu2d", LU2D_CONFIGS, seed=3, timeout=120)
+        with serve_in_thread(backend=InProcessBackend(workers=2)) as handle:
+            threaded = handle.client().run("lu2d", LU2D_CONFIGS, seed=3)
+        assert [_deterministic(r) for r in pooled["results"]] == [
+            _deterministic(r) for r in threaded["results"]
+        ]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -116,7 +116,8 @@ class TestSweep:
         import json
 
         data = json.loads(out_json.read_text())
-        assert set(data) == {"results", "cache"}
+        assert set(data) == {"workload", "results", "cache"}
+        assert data["workload"] == "lu2d"
         assert set(data["results"]) == {"2x2", "2x4"}
         assert all(point["exact"] for point in data["results"].values())
         assert data["cache"] == {"enabled": False}
@@ -125,6 +126,49 @@ class TestSweep:
         code, out, err = run_cli(["sweep", "--grids", "2xtwo"])
         assert code == 1
         assert "grid" in err
+
+    def test_sweep_named_workload_with_points(self, run_cli, tmp_path):
+        import json
+
+        out_json = tmp_path / "sweep.json"
+        code, out, _ = run_cli(
+            [
+                "sweep",
+                "--workload", "collectives",
+                "--points", '[{"ranks": 4}, {"ranks": 8, "rounds": 1}]',
+                "--workers", "1",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out_json.read_text())
+        assert data["workload"] == "collectives"
+        assert len(data["results"]) == 2
+        assert all(p["events"] > 0 for p in data["results"].values())
+
+    def test_sweep_unknown_workload_rejected(self, run_cli):
+        code, _, err = run_cli(["sweep", "--workload", "nope"])
+        assert code == 1
+        assert "unknown workload" in err
+
+    def test_sweep_non_lu2d_requires_points(self, run_cli):
+        code, _, err = run_cli(["sweep", "--workload", "halo"])
+        assert code == 1
+        assert "--points" in err
+
+    def test_sweep_rejects_bad_points_json(self, run_cli):
+        code, _, err = run_cli(
+            ["sweep", "--workload", "halo", "--points", "{not json"]
+        )
+        assert code == 1
+        assert "JSON" in err
+
+    def test_sweep_rejects_unknown_point_field(self, run_cli):
+        code, _, err = run_cli(
+            ["sweep", "--workload", "halo", "--points", '[{"rows": 2, "bogus": 1}]']
+        )
+        assert code == 1
+        assert "bogus" in err
 
     def test_sweep_cache_rerun_hits_everything(self, run_cli, tmp_path):
         import json
@@ -153,3 +197,69 @@ class TestSweep:
         second = json.loads(out_json.read_text())
         assert second["cache"] == {"enabled": True, "hits": 2, "misses": 0}
         assert second["results"] == first["results"]
+
+
+class TestCacheCommand:
+    def _seed_cache(self, run_cli, cache_dir):
+        code, _, _ = run_cli(
+            [
+                "sweep",
+                "--grids", "2x2,2x4",
+                "--order", "32",
+                "--workers", "1",
+                "--cache",
+                "--cache-dir", str(cache_dir),
+            ]
+        )
+        assert code == 0
+
+    def test_cache_stats_round_trip(self, run_cli, tmp_path):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        self._seed_cache(run_cli, cache_dir)
+        code, out, _ = run_cli(
+            ["cache", "stats", "--cache-dir", str(cache_dir), "--json"]
+        )
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["stale_entries"] == 0
+        # Human-readable variant mentions the totals too.
+        code, out, _ = run_cli(["cache", "stats", "--cache-dir", str(cache_dir)])
+        assert code == 0
+        assert "2 entries" in out
+
+    def test_cache_prune_then_stats_empty(self, run_cli, tmp_path):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        self._seed_cache(run_cli, cache_dir)
+        code, out, _ = run_cli(
+            ["cache", "prune", "--cache-dir", str(cache_dir), "--json"]
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["removed"] == 2 and report["kept"] == 0
+        code, out, _ = run_cli(
+            ["cache", "stats", "--cache-dir", str(cache_dir), "--json"]
+        )
+        assert json.loads(out)["entries"] == 0
+
+    def test_cache_prune_respects_age(self, run_cli, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._seed_cache(run_cli, cache_dir)
+        # Nothing is a week old yet.
+        code, out, _ = run_cli(
+            ["cache", "prune", "--older-than", "7d", "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        assert "removed 0" in out
+
+    def test_cache_prune_rejects_bad_age(self, run_cli, tmp_path):
+        code, _, err = run_cli(
+            ["cache", "prune", "--older-than", "soon", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "bad age" in err

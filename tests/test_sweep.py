@@ -85,3 +85,88 @@ def test_run_sweep_rejects_nonpositive_workers():
 
 def test_run_sweep_empty_configs():
     assert run_sweep([], lu2d_point, workers=4) == []
+
+
+class TestWorkloadRegistry:
+    def test_stock_workloads_registered(self):
+        from repro.sweep import get_workload, lu2d_point, workload_names
+
+        assert workload_names() == ["collectives", "halo", "lu2d"]
+        entry = get_workload("lu2d")
+        assert entry.fn is lu2d_point
+        assert entry.config_type is Lu2dPoint
+        assert entry.summary
+
+    def test_unknown_workload_names_alternatives(self):
+        from repro.sweep import get_workload
+
+        with pytest.raises(ConfigurationError, match="collectives"):
+            get_workload("qcd")
+
+    def test_register_requires_dataclass_config(self):
+        from repro.sweep import register_workload
+
+        with pytest.raises(ConfigurationError):
+            register_workload("bad", lu2d_point, dict)
+
+    def test_config_from_dict_round_trip(self):
+        from repro.sweep import config_from_dict
+
+        config = config_from_dict(Lu2dPoint, {"prows": 2, "pcols": 4, "n": 32})
+        assert config == Lu2dPoint(2, 4, 32)
+
+    def test_config_from_dict_coerces_int_to_float_field(self):
+        from repro.sweep import cache_key, config_from_dict
+
+        via_json = config_from_dict(
+            Lu2dPoint, {"prows": 2, "pcols": 2, "n": 32, "eager_threshold_bytes": 1024}
+        )
+        native = Lu2dPoint(2, 2, 32, eager_threshold_bytes=1024.0)
+        assert via_json == native
+        # Canonical content keys match, so JSON submissions share cache
+        # entries with native sweeps.
+        assert cache_key(lu2d_point, via_json, 0) == cache_key(lu2d_point, native, 0)
+
+    def test_config_from_dict_rejects_unknown_and_missing(self):
+        from repro.sweep import config_from_dict
+
+        with pytest.raises(ConfigurationError, match="bogus"):
+            config_from_dict(Lu2dPoint, {"prows": 2, "pcols": 2, "n": 32, "bogus": 7})
+        with pytest.raises(ConfigurationError, match="pcols"):
+            config_from_dict(Lu2dPoint, {"prows": 2, "n": 32})
+        with pytest.raises(ConfigurationError, match="object"):
+            config_from_dict(Lu2dPoint, [1, 2, 3])
+
+
+class TestNewWorkloads:
+    def test_collectives_point_runs_and_is_deterministic(self):
+        from repro.sweep import CollectivesPoint, collectives_point
+
+        config = CollectivesPoint(ranks=8, rounds=2)
+        a = collectives_point(config, seed=5)
+        b = collectives_point(config, seed=5)
+        for key in ("ranks", "virtual_time_s", "events", "messages", "bytes"):
+            assert a[key] == b[key]
+        assert a["ranks"] == 8 and a["events"] > 0
+
+    def test_halo_point_runs_and_is_deterministic(self):
+        from repro.sweep import HaloPoint, halo_point
+
+        config = HaloPoint(rows=2, cols=3, steps=2)
+        a = halo_point(config, seed=1)
+        b = halo_point(config, seed=1)
+        for key in ("ranks", "virtual_time_s", "events", "messages", "bytes"):
+            assert a[key] == b[key]
+        assert a["ranks"] == 6
+
+    def test_new_workloads_run_under_run_sweep_workers(self):
+        from repro.sweep import CollectivesPoint, collectives_point
+
+        configs = [CollectivesPoint(ranks=4, rounds=1), CollectivesPoint(ranks=8, rounds=1)]
+        serial = run_sweep(configs, collectives_point, workers=1, seed=2)
+        parallel = run_sweep(configs, collectives_point, workers=2, seed=2)
+        strip = lambda rs: [
+            {k: r[k] for k in ("ranks", "virtual_time_s", "events", "messages", "bytes")}
+            for r in rs
+        ]
+        assert strip(serial) == strip(parallel)

@@ -17,12 +17,15 @@ from repro.sweep import (
     SCHEMA_VERSION,
     Lu2dPoint,
     RunCache,
+    SweepPointError,
     cache_key,
     lu2d_point,
+    parse_age,
     run_sweep,
     sweep_seeds,
     workload_id,
 )
+from repro.util.errors import ConfigurationError
 
 CONFIGS = [Lu2dPoint(2, 2, 32), Lu2dPoint(2, 4, 32)]
 
@@ -131,6 +134,85 @@ class TestRunCache:
         assert cache.get(key, sentinel) is sentinel
 
 
+class TestCacheManagement:
+    def _populate(self, cache, n):
+        keys = [cache_key(_echo, f"c{i}", i) for i in range(n)]
+        for key in keys:
+            cache.put(key, {"value": key[:4]})
+        return keys
+
+    def test_disk_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        assert cache.disk_stats()["entries"] == 0
+        self._populate(cache, 3)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert stats["by_schema"] == {str(SCHEMA_VERSION): 3}
+        assert stats["stale_entries"] == 0
+
+    def test_disk_stats_flags_stale_and_corrupt(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        keys = self._populate(cache, 3)
+        stale_path = os.path.join(cache.root, keys[0][:2], f"{keys[0]}.json")
+        with open(stale_path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+        record["schema"] = SCHEMA_VERSION - 1
+        with open(stale_path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh)
+        corrupt_path = os.path.join(cache.root, keys[1][:2], f"{keys[1]}.json")
+        with open(corrupt_path, "w", encoding="utf-8") as fh:
+            fh.write("{nope")
+        stats = cache.disk_stats()
+        assert stats["entries"] == 3
+        assert stats["stale_entries"] == 2
+        assert stats["by_schema"]["corrupt"] == 1
+
+    def test_prune_all_then_empty(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        keys = self._populate(cache, 4)
+        report = cache.prune(older_than_s=0)
+        assert report["removed"] == 4 and report["kept"] == 0
+        assert report["bytes_freed"] > 0
+        assert cache.disk_stats()["entries"] == 0
+        # Shard dirs are cleaned up with their entries.
+        assert os.listdir(cache.root) == []
+        sentinel = object()
+        assert cache.get(keys[0], sentinel) is sentinel
+
+    def test_prune_respects_age_cutoff(self, tmp_path):
+        cache = RunCache(str(tmp_path / "rc"))
+        keys = self._populate(cache, 2)
+        old_path = os.path.join(cache.root, keys[0][:2], f"{keys[0]}.json")
+        os.utime(old_path, (1_000_000, 1_000_000))  # long ago
+        report = cache.prune(older_than_s=3600)
+        assert report == {
+            "dir": cache.root, "removed": 1, "kept": 1,
+            "bytes_freed": report["bytes_freed"],
+        }
+        assert cache.get(keys[1]) is not None
+
+    def test_prune_missing_root_is_noop(self, tmp_path):
+        cache = RunCache(str(tmp_path / "never-created"))
+        assert cache.prune(0)["removed"] == 0
+
+
+class TestParseAge:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [("90", 90.0), ("2.5", 2.5), ("30s", 30.0), ("30m", 1800.0),
+         ("12h", 43200.0), ("7d", 604800.0), ("1w", 604800.0), ("2D", 172800.0)],
+    )
+    def test_units(self, text, seconds):
+        assert parse_age(text) == seconds
+
+    @pytest.mark.parametrize("text", ["", "d7", "-3h", "3 hours", "h"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_age(text)
+
+
 class TestRunSweepWithCache:
     def test_cached_sweep_returns_identical_results(self, tmp_path):
         cache = RunCache(str(tmp_path / "rc"))
@@ -173,22 +255,47 @@ class TestRunSweepWithCache:
 
 
 class TestErrorPropagation:
-    def test_serial_sweep_raises_original_exception(self):
-        with pytest.raises(_Marker, match="workload exploded on 'bad'"):
-            run_sweep(["ok", "bad"][1:], _explode, workers=1)
+    def test_serial_sweep_wraps_in_sweep_point_error(self):
+        # The wrapper names the failing position and config; the
+        # original exception stays chained for debuggers.
+        with pytest.raises(SweepPointError, match="workload exploded on 'c0'") as excinfo:
+            run_sweep(["c0", "c1"], _explode, workers=1)
+        assert excinfo.value.index == 0
+        assert excinfo.value.config_token == '"c0"'
+        assert "sweep point 0" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, _Marker)
 
-    def test_parallel_sweep_surfaces_traceback_and_does_not_hang(self):
-        # Pool.map re-raises on the parent with the worker's formatted
-        # traceback chained on -- the sweep must fail fast, not hang.
-        with pytest.raises(Exception) as excinfo:
+    def test_parallel_sweep_surfaces_point_error_and_does_not_hang(self):
+        # Pool.map re-raises on the parent -- the sweep must fail fast,
+        # not hang, and the wrapper must survive the pickle round trip
+        # with its point attribution intact.
+        with pytest.raises(SweepPointError) as excinfo:
             run_sweep(["c0", "c1"], _explode, workers=2)
-        text = "".join(
-            str(e) for e in (excinfo.value, excinfo.value.__cause__) if e is not None
-        )
-        assert "workload exploded on" in text
+        assert "workload exploded on" in str(excinfo.value)
+        assert excinfo.value.index in (0, 1)
+        assert excinfo.value.config_token in ('"c0"', '"c1"')
+
+    def test_cached_miss_failure_names_original_position(self, tmp_path):
+        # Only point 1 misses; its error must still carry position 1,
+        # not its position within the miss batch.
+        cache = RunCache(str(tmp_path / "rc"))
+        seeds = sweep_seeds(0, 2)
+        cache.put(cache_key(_explode, "c0", seeds[0]), "cached")
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(["c0", "c1"], _explode, workers=1, seed=0, cache=cache)
+        assert excinfo.value.index == 1
 
     def test_parallel_sweep_with_cache_still_raises(self, tmp_path):
         cache = RunCache(str(tmp_path / "rc"))
-        with pytest.raises(Exception):
+        with pytest.raises(SweepPointError):
             run_sweep(["c0", "c1"], _explode, workers=2, cache=cache)
         assert cache.stats() == {"hits": 0, "misses": 2}
+
+    def test_sweep_point_error_pickle_round_trip(self):
+        import pickle
+
+        err = SweepPointError("boom", index=3, config_token='{"n":32}')
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == "boom"
+        assert clone.index == 3
+        assert clone.config_token == '{"n":32}'
