@@ -83,6 +83,16 @@ def main(argv=None) -> int:
         default=0.30,
         help="max fractional events/sec drop tolerated (default 0.30)",
     )
+    parser.add_argument(
+        "--only",
+        metavar="PREFIX",
+        default=None,
+        help=(
+            "gate only baseline records whose key starts with PREFIX "
+            "(lets a partial bench run check its own family without "
+            "reporting every other record as missing)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
@@ -91,6 +101,14 @@ def main(argv=None) -> int:
         fresh = json.load(fh)
 
     gated = _gated_records(baseline)
+    if args.only is not None:
+        gated = {k: v for k, v in gated.items() if k.startswith(args.only)}
+        if not gated:
+            print(
+                f"baseline {args.baseline} has no gatable records "
+                f"matching --only {args.only!r}"
+            )
+            return 1
     if not gated:
         print(f"baseline {args.baseline} has no gatable records")
         return 1

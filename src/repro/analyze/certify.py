@@ -228,17 +228,26 @@ def certify_macro(
 # bundled certificates
 # ---------------------------------------------------------------------------
 
-def bundled_certificate(name: str, n_ranks: int) -> MacroCertificate:
+def bundled_certificate(
+    name: str, n_ranks: int, *, overlap: bool = False
+) -> MacroCertificate:
     """Certificate for a bundled application program (``"ocean"`` or
-    ``"summa"``), computed on demand at the requested world size."""
+    ``"summa"``), computed on demand at the requested world size.
+
+    ``overlap`` (SUMMA only) certifies the pipelined variant: the panel
+    broadcasts concretize to ``"tree_nb"``, which the macro layer prices
+    in closed form in the all-eager regime and bails from otherwise.
+    """
     if name == "ocean":
+        if overlap:
+            raise AnalysisError("'ocean' has no overlap variant to certify")
         from repro.apps.ocean import ocean_program
 
         return certify_macro(ocean_program, n_ranks)
     if name == "summa":
         from repro.linalg.summa import summa_program
 
-        return certify_macro(summa_program, n_ranks, assume={"overlap": False})
+        return certify_macro(summa_program, n_ranks, assume={"overlap": overlap})
     raise AnalysisError(
         f"no bundled certificate for {name!r}; available: ['ocean', 'summa']"
     )

@@ -67,7 +67,7 @@ UNROLL_MAX = 64
 #: composition in collectives.allreduce).
 MACRO_ELIGIBLE: Dict[str, Optional[frozenset]] = {
     "barrier": None,
-    "bcast": frozenset({"tree", "ring", "flat"}),
+    "bcast": frozenset({"tree", "tree_nb", "ring", "flat"}),
     "reduce": None,
     "allreduce": frozenset({"recursive_doubling", "reduce_bcast"}),
     "allgather": frozenset({"ring"}),

@@ -99,8 +99,19 @@ def lu2d_program(
     # per-call validation and tracing branch are pure overhead on the
     # innermost communication of the factorisation.  Traced runs go
     # through comm.bcast unchanged to keep the "bcast" span labels.
-    bcast_impl = _coll._BCAST_ALGORITHMS[algo]
-    tree_impl = _coll._BCAST_ALGORITHMS["tree"]
+    # Macro-enabled runs must also take the dispatcher: both tree and
+    # tree_nb panel broadcasts are macro-eligible, and only the
+    # dispatch layer parks the group on a single CollectiveReq instead
+    # of replaying the message cascade per broadcast.
+    if comm._macro:
+        def bcast_impl(g, v, r, _a=algo):
+            return _coll.bcast(g, v, r, _a)
+
+        def tree_impl(g, v, r):
+            return _coll.bcast(g, v, r, "tree")
+    else:
+        bcast_impl = _coll._BCAST_ALGORITHMS[algo]
+        tree_impl = _coll._BCAST_ALGORITHMS["tree"]
 
     for k in range(n - 1):
         owner_c = owner_c_of[k]  # grid column holding col k

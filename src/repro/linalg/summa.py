@@ -139,8 +139,10 @@ def summa(
     scalar per-rank loops instead of the vectorised columns.
     ``certificate`` passes a
     :class:`~repro.analyze.certify.MacroCertificate` through to the
-    engine (the bundled SUMMA certificate assumes ``overlap=False``,
-    which pins the broadcast algorithm to the closed-form ``"tree"``).
+    engine; the certificate's recorded ``overlap`` assumption must
+    match this call's (``bundled_certificate("summa", p, overlap=...)``
+    proves either variant -- both ``"tree"`` and the pipelined
+    ``"tree_nb"`` broadcasts evaluate in closed form).
     """
     if grid.size > machine.n_nodes:
         raise DecompositionError(
@@ -148,11 +150,15 @@ def summa(
         )
     if panel < 1:
         raise DecompositionError(f"panel must be >= 1, got {panel}")
-    if certificate is not None and overlap:
-        raise DecompositionError(
-            "the SUMMA macro certificate is proved under overlap=False "
-            "(tree broadcasts); certify separately for overlap=True"
-        )
+    if certificate is not None:
+        assumed = dict(certificate.assume).get("overlap")
+        if assumed is not None and assumed != repr(overlap):
+            raise DecompositionError(
+                f"macro certificate was proved under overlap={assumed}; "
+                f"this run requests overlap={overlap!r} -- certify the "
+                "matching variant (bundled_certificate('summa', p, "
+                "overlap=...))"
+            )
     engine = Engine(
         machine,
         grid.size,

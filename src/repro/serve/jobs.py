@@ -160,6 +160,15 @@ class JobManager:
             "points_done": 0,
             "points_failed": 0,
         }
+        #: Wall seconds actually spent by this server's executed points
+        #: (origin SCHEDULED only -- cache hits and coalesced points
+        #: reuse another execution's work), split the way the engine
+        #: reports it: machine bring-up vs the event loop.  Workload
+        #: dicts carry ``setup_wall_s``/``execute_wall_s`` per point.
+        self.point_wall: Dict[str, float] = {
+            "setup_wall_s": 0.0,
+            "execute_wall_s": 0.0,
+        }
 
     # -- submission ---------------------------------------------------
 
@@ -268,6 +277,13 @@ class JobManager:
         job.settled += 1
         if error is None:
             self.counters["points_done"] += 1
+            if job.origins[index] == SCHEDULED and isinstance(result, dict):
+                self.point_wall["setup_wall_s"] += float(
+                    result.get("setup_wall_s", 0.0)
+                )
+                self.point_wall["execute_wall_s"] += float(
+                    result.get("execute_wall_s", 0.0)
+                )
         else:
             self.counters["points_failed"] += 1
         job._emit(
@@ -307,6 +323,9 @@ class JobManager:
         payload: Dict[str, Any] = dict(self.counters)
         payload["jobs_active"] = active
         payload["queue_depth"] = self.queue_depth
+        payload["point_wall"] = {
+            k: round(v, 6) for k, v in self.point_wall.items()
+        }
         payload["cache"] = (
             {"enabled": True, "dir": self.cache.root, **self.cache.stats()}
             if self.cache is not None

@@ -255,10 +255,11 @@ _BCAST_ALGORITHMS = {
     "flat": _bcast_flat,
 }
 
-#: Bcast algorithms the macro evaluator reproduces exactly (tree_nb's
-#: isend overlap is not modelled analytically, so it stays on the event
-#: path).
-_MACRO_BCAST = frozenset({"tree", "ring", "flat"})
+#: Bcast algorithms the macro evaluator reproduces exactly.  tree_nb
+#: qualifies only in the all-eager regime (its evaluator bails to the
+#: event path on any rendezvous-sized payload, where isend overlap is
+#: real and not modelled analytically).
+_MACRO_BCAST = frozenset({"tree", "tree_nb", "ring", "flat"})
 
 
 # ---------------------------------------------------------------------------

@@ -86,17 +86,29 @@ class Comm:
     """
 
     __slots__ = (
-        "rank", "size", "machine", "rng", "_coll_seq", "_phases", "_tracing",
-        "_macro", "_send_req", "_isend_req", "_recv_req", "_irecv_req",
-        "_wait_req", "_compute_req",
+        "rank", "size", "machine", "_rng", "_streams", "_coll_seq", "_phases",
+        "_tracing", "_macro", "_send_req", "_isend_req", "_recv_req",
+        "_irecv_req", "_wait_req", "_compute_req",
     )
 
-    def __init__(self, rank: int, size: int, machine, rng: np.random.Generator):
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        machine,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        streams=None,
+    ):
         self.rank = rank
         self.size = size
         self.machine = machine
-        #: Independent per-rank random stream.
-        self.rng = rng
+        # Independent per-rank random stream: either given concretely, or
+        # derived O(1) from a RankStreams source on first access (most
+        # rank programs never touch comm.rng, so lazy bring-up skips the
+        # PCG64 construction entirely).
+        self._rng = rng
+        self._streams = streams
         # Collective sequence number: gives every collective invocation
         # a distinct internal tag space so that back-to-back collectives
         # can never cross-match (sense reversal, generalised).
@@ -117,6 +129,24 @@ class Comm:
         self._irecv_req = IrecvReq()
         self._wait_req = WaitReq(0)
         self._compute_req = ComputeReq(seconds=0.0)
+
+    # -- per-rank random stream ----------------------------------------------
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Independent per-rank random stream (derived on first access)."""
+        rng = self._rng
+        if rng is None:
+            if self._streams is None:
+                raise CommunicationError(
+                    f"rank {self.rank} communicator has no random stream source"
+                )
+            rng = self._rng = self._streams[self.rank]
+        return rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self._rng = value
 
     # -- phase labelling ------------------------------------------------------
 
@@ -431,3 +461,66 @@ class Comm:
         same spec -- and priced in closed form under engine macro-ops
         (see :mod:`repro.simmpi.stencil`)."""
         return _stencil.exchange(self, spec, payloads)
+
+
+class CommTable:
+    """Lazy per-rank :class:`Comm` materialization for one run.
+
+    Bring-up registers only the table (O(1)); a rank's communicator is
+    built the first time that rank is resumed.  Engine-level flags set
+    before the run (tracing, macro-ops) are applied at materialization,
+    so a late-built Comm is indistinguishable from an eagerly-built one.
+    Under a macro certificate or a closed-form run, ranks that are never
+    resumed never get a Comm (or an rng, or a generator frame) at all --
+    their clocks and stats live in the columnar ``MachineState``.
+    """
+
+    __slots__ = ("size", "machine", "streams", "tracing", "macro", "_comms",
+                 "materialized")
+
+    def __init__(self, size: int, machine, streams):
+        self.size = size
+        self.machine = machine
+        #: RankStreams source shared by every materialized Comm.
+        self.streams = streams
+        self.tracing = False
+        self.macro = False
+        self._comms: list = [None] * size
+        #: How many ranks have materialized so far (observability).
+        self.materialized = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def peek(self, rank: int) -> Optional[Comm]:
+        """The rank's Comm if already materialized, else None."""
+        return self._comms[rank]
+
+    def __getitem__(self, rank: int) -> Comm:
+        comm = self._comms[rank]
+        if comm is None:
+            comm = Comm(rank, self.size, self.machine, streams=self.streams)
+            comm._tracing = self.tracing
+            comm._macro = self.macro
+            self._comms[rank] = comm
+            self.materialized += 1
+        return comm
+
+    def materialize_all(self) -> None:
+        """Eagerly build every rank's Comm with concrete rng streams.
+
+        This is the A/B reference path (``Engine(lazy=False)``): one
+        batched stream derivation, then p communicator objects up front,
+        exactly what the pre-lazy engine did at bring-up.
+        """
+        gens = self.streams.generators()
+        comms = self._comms
+        for rank in range(self.size):
+            if comms[rank] is None:
+                comm = Comm(rank, self.size, self.machine, gens[rank])
+                comm._tracing = self.tracing
+                comm._macro = self.macro
+                comms[rank] = comm
+                self.materialized += 1
+            elif comms[rank]._rng is None:
+                comms[rank]._rng = gens[rank]

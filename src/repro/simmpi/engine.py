@@ -61,13 +61,14 @@ from __future__ import annotations
 
 import gc
 import heapq
+from time import perf_counter
 
 import numpy as np
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.machine.machine import Machine
-from repro.simmpi.comm import Comm
+from repro.simmpi.comm import Comm, CommTable
 from repro.simmpi.delivery import AlphaBetaDelivery, DeliveryModel, resolve_delivery
 from repro.simmpi.protocol import EagerProtocol, Protocol, RendezvousProtocol
 from repro.simmpi.macro import SUPPORTED as _MACRO_SUPPORTED
@@ -87,7 +88,13 @@ from repro.simmpi.requests import (
     copy_payload,
     payload_nbytes,
 )
-from repro.simmpi.state import MachineState, RankState, ReceiveSlot, SendHandle
+from repro.simmpi.state import (
+    MachineState,
+    RankState,
+    RankStatsView,
+    ReceiveSlot,
+    SendHandle,
+)
 from repro.simmpi.trace import (
     COMPUTE,
     IDLE,
@@ -104,7 +111,7 @@ from repro.util.errors import (
     DeadlockError,
     SimulationError,
 )
-from repro.util.rng import spawn
+from repro.util.rng import RankStreams
 
 
 @dataclass
@@ -115,8 +122,11 @@ class SimResult:
     returns: List[Any]
     #: Virtual makespan: the latest rank finish time, seconds.
     time: float
-    #: Per-rank accounting.
-    stats: List[RankStats]
+    #: Per-rank accounting.  Event-path runs hold a real list; a lazy
+    #: closed-form run holds a column-backed
+    #: :class:`~repro.simmpi.state.LazyRankStats` (same len/index/``==``
+    #: behaviour, rows built on access).
+    stats: Sequence[RankStats]
     #: Message log (populated only when tracing was enabled).
     tracer: Tracer = field(default_factory=Tracer)
     #: Ranks killed by fault injection (empty in normal runs).
@@ -128,6 +138,18 @@ class SimResult:
     #: path (probe found queued/parked member traffic, or the analytic
     #: evaluator bailed).  Certified runs assert this stays zero.
     macro_fallbacks: int = 0
+    #: Wall-clock seconds of machine bring-up: everything ``run()`` did
+    #: before the first event (certificate validation, stream/comm
+    #: tables, columnar state, and -- on the eager path -- every rank's
+    #: Comm/rng/generator frame).
+    setup_wall_s: float = 0.0
+    #: Wall-clock seconds inside the event loop (or the closed-form
+    #: replay) plus result finalization.
+    execute_wall_s: float = 0.0
+    #: Ranks whose Comm/generator frame was actually constructed.  On
+    #: the eager path this equals ``n_ranks``; a lazy closed-form run
+    #: materializes only rank 0.
+    ranks_materialized: int = 0
 
     @property
     def n_ranks(self) -> int:
@@ -240,6 +262,35 @@ class Engine:
         being silently trusted.  Ignored when macro-ops are disabled
         for the run (tracing, contention, faults) -- the event path
         needs no probe.
+    lazy:
+        Defer per-rank object bring-up (default on).  With ``lazy=True``
+        ``run()`` registers only O(1) tables up front -- a
+        :class:`~repro.util.rng.RankStreams` view of the seed's spawn
+        children and a :class:`~repro.simmpi.comm.CommTable` -- and a
+        rank's :class:`RankState`, Comm, rng, and generator frame are
+        built the first time that rank is touched (resumed, or targeted
+        by a message).  ``lazy=False`` rebuilds everything eagerly at
+        bring-up, exactly as the pre-lazy engine did; both paths are
+        bit-identical in every observable (makespans, stats, traces,
+        event counts -- asserted in the A/B suite) because
+        materialization never touches clocks or statistics.
+    closed_form:
+        Run the whole program as a closed-form *ghost replay* (default
+        off): only rank 0's generator is driven, compute requests
+        charge every rank's clock in one vectorized operation, and each
+        world collective or declared stencil exchange is priced by the
+        macro evaluator from synthesized per-rank requests.  Requires a
+        validated ``certificate``, ``columnar=True``, and macro-ops
+        effectively enabled (untraced, alpha-beta delivery, no faults);
+        the program must be rank-symmetric -- every rank yields the
+        same request sequence with payloads of identical wire size (the
+        certificate's static proof covers the no-p2p part, and payload
+        synthesis from rank 0 makes virtual time exact whenever sizes
+        are uniform).  Point-to-point requests, group collectives, and
+        analytic-evaluation bailouts raise :class:`SimulationError`
+        instead of silently degrading.  ``returns`` carries rank 0's
+        value only; most ranks never materialize at all, which is what
+        makes 10^6-rank machines affordable.
     """
 
     def __init__(
@@ -258,6 +309,8 @@ class Engine:
         macro_ops: bool = True,
         columnar: bool = True,
         certificate: Optional[Any] = None,
+        lazy: bool = True,
+        closed_form: bool = False,
     ):
         self.machine = machine
         self.n_ranks = machine.n_nodes if n_ranks is None else n_ranks
@@ -290,6 +343,24 @@ class Engine:
         self.macro_ops = macro_ops
         self.columnar = columnar
         self.certificate = certificate
+        self.lazy = lazy
+        self.closed_form = closed_form
+        if closed_form:
+            if certificate is None:
+                raise ConfigurationError(
+                    "closed_form runs require a MacroCertificate "
+                    "(certify_macro() the program first)"
+                )
+            if not columnar:
+                raise ConfigurationError(
+                    "closed_form runs require columnar=True (all state "
+                    "lives in the MachineState columns)"
+                )
+            if trace or fail_at or not macro_ops:
+                raise ConfigurationError(
+                    "closed_form runs require macro-ops: no tracing, no "
+                    "fault injection, macro_ops=True"
+                )
         self.fail_at = dict(fail_at) if fail_at else {}
         for rank, when in self.fail_at.items():
             if not 0 <= rank < self.n_ranks:
@@ -328,6 +399,7 @@ class _Run:
         "ms", "_columnar", "_clk", "_blk", "_fin", "_fld",
         "_cpu_t", "_comm_t", "_idle_t", "_fin_t",
         "_sent_n", "_sent_b", "_recv_n", "_recv_b",
+        "streams", "resumes", "_program", "_args", "_kwargs",
     )
 
     def __init__(self, engine: Engine):
@@ -378,7 +450,14 @@ class _Run:
         self._sent_b = memoryview(ms.bytes_sent)
         self._recv_n = memoryview(ms.messages_received)
         self._recv_b = memoryview(ms.bytes_received)
-        self.ranks = [RankState(r, ms) for r in range(engine.n_ranks)]
+        # Per-rank object state materializes lazily (a rank's slot stays
+        # None until the rank is first resumed or targeted); the eager
+        # A/B path (Engine(lazy=False)) fills every slot in execute().
+        # Either way the columns above exist for all ranks from the
+        # start, so whole-machine operations never care.
+        self.ranks: List[Optional[RankState]] = [None] * engine.n_ranks
+        #: Lazily-built generator frames, parallel to ``ranks``.
+        self.resumes: List[Optional[Callable]] = [None] * engine.n_ranks
         #: Interned pair keys: src * n_ranks + dst (no tuple per lookup).
         self._n = engine.n_ranks
         self._eager_max = engine.eager_threshold_bytes
@@ -397,9 +476,15 @@ class _Run:
         self._active = -1
         self._fast: Optional[tuple] = None
         self._fast_enabled = engine.fast_path
-        #: Rank-side communicators (set in execute); consulted for the
-        #: active phase label when recording spans.
-        self.comms: List[Comm] = []
+        #: Rank-side communicator table (set in execute); materializes a
+        #: Comm per rank on demand and is consulted for the active phase
+        #: label when recording spans.
+        self.comms: Optional[CommTable] = None
+        #: RankStreams view of the seed's spawn children (set in execute).
+        self.streams: Optional[RankStreams] = None
+        self._program: Optional[Callable] = None
+        self._args: tuple = ()
+        self._kwargs: dict = {}
         # Hop-count memo for the uncontended alpha-beta reference used
         # to split wire time from contention stall (tracing only).
         self._ab_hops: Dict[int, int] = {}
@@ -415,7 +500,10 @@ class _Run:
             and self._ab is not None
         )
         self._macro_pending: Dict[tuple, list] = {}
-        self._world_members = tuple(range(engine.n_ranks))
+        # World member tuple, built on first use: O(p) to construct, so
+        # bring-up does not pay for it (closed-form runs build it once,
+        # pure point-to-point runs never do).
+        self._world_members: Optional[tuple] = None
         # Macro-eligibility certificate state (armed in execute() once
         # the certificate is validated against the program): _cert_pure
         # skips the per-member probe in _run_macro, _cert_uniform lets
@@ -429,6 +517,40 @@ class _Run:
     def phase(self, rank: int) -> Optional[str]:
         """Current phase label of ``rank`` (tracing only)."""
         return self.comms[rank].current_phase()
+
+    # -- lazy materialization -----------------------------------------------
+
+    def rank_state(self, rank: int) -> RankState:
+        """The rank's :class:`RankState`, built on first touch.
+
+        Materialization allocates only the per-rank *object* state
+        (handle table, queues); clocks and stats were always live in
+        the columns, so building the view late can never change a
+        number.
+        """
+        state = self.ranks[rank]
+        if state is None:
+            state = self.ranks[rank] = RankState(rank, self.ms)
+        return state
+
+    def world_members(self) -> tuple:
+        """``(0, 1, ..., n_ranks-1)``, built on first use."""
+        members = self._world_members
+        if members is None:
+            members = self._world_members = tuple(range(self._n))
+        return members
+
+    def _materialize_frame(self, rank: int) -> Callable:
+        """Build rank ``rank``'s generator frame (and its Comm, through
+        the table) and return the bound ``gen.send``."""
+        gen = self._program(self.comms[rank], *self._args, **self._kwargs)
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(
+                "rank program must be a generator function "
+                "(write communication as 'yield from comm....')"
+            )
+        resume = self.resumes[rank] = gen.send
+        return resume
 
     def alphabeta_arrival(
         self, src_rank: int, dst_rank: int, nbytes: float, start: float
@@ -483,6 +605,8 @@ class _Run:
         """Bind an in-flight message to the earliest matching posted
         receive, or queue it."""
         dst = self.ranks[msg.dest]
+        if dst is None:  # first touch of a not-yet-resumed receiver
+            dst = self.ranks[msg.dest] = RankState(msg.dest, self.ms)
         if dst.rslots:
             source = msg.source
             tag = msg.tag
@@ -720,7 +844,7 @@ class _Run:
         entry clocks."""
         members = key[0]
         if members is None:
-            members = self._world_members
+            members = self.world_members()
         ranks = self.ranks
         # Stencil exchange phases carry their declared spec in the
         # algorithm slot; collectives are checked against the evaluator
@@ -919,6 +1043,8 @@ class _Run:
 
         # post_message, fused.
         dst = self.ranks[dest]
+        if dst is None:  # first touch of a not-yet-resumed receiver
+            dst = self.ranks[dest] = RankState(dest, self.ms)
         matched = None
         if dst.rslots:
             for slot in dst.rslots.values():
@@ -1077,25 +1203,42 @@ class _Run:
 
     # -- failure and deadlock -----------------------------------------------
 
-    def _fail_rank(self, state: RankState, time: float) -> None:
+    def _fail_rank(self, src: int, time: float) -> None:
+        state = self.ranks[src]
+        if state is None:
+            # Killed before anything ever touched it: no queues exist
+            # anywhere that could reference this rank (it never sent,
+            # parked, or received), so record the death on the columns
+            # alone and leave the slot unmaterialized.
+            ms = self.ms
+            ms.failed[src] = True
+            ms.finished[src] = True
+            ms.finish_time[src] = time
+            if time > ms.clock.item(src):
+                ms.clock[src] = time
+            return
         state.fail(time)
-        src = state.rank
         # A dead node's parked rendezvous sends never start.  Only
         # rebuild queues that actually hold a send from the dead rank;
         # on a 512-rank machine almost every parked queue is empty or
         # unrelated to the failure.
         for other in self.ranks:
+            if other is None:
+                continue  # never touched: nothing parked there
             parked = other.parked
             if parked and any(ps.source == src for ps in parked):
                 other.parked = [ps for ps in parked if ps.source != src]
         # Drop the dead sender's FIFO-clamp entries the same way:
         # indexed by source, not by scanning every pair in the table.
         # (Nothing will ever query these again -- a dead rank sends no
-        # further messages -- so this is purely memory hygiene.)
+        # further messages -- so this is purely memory hygiene.)  An
+        # empty memo -- the usual startup-failure case on a large
+        # machine -- skips the O(n) key sweep outright.
         last = self._last_arrival
-        base = src * self._n
-        for key in range(base, base + self._n):
-            last.pop(key, None)
+        if last:
+            base = src * self._n
+            for key in range(base, base + self._n):
+                last.pop(key, None)
 
     def _wait_graph(self, failed_ranks: List[int]) -> WaitForGraph:
         """The wait-for graph over the still-blocked ranks (see
@@ -1108,6 +1251,7 @@ class _Run:
     # -- main loop -----------------------------------------------------------
 
     def execute(self, program: Callable, args: tuple, kwargs: dict) -> SimResult:
+        setup_t0 = perf_counter()
         engine = self.engine
         p = engine.n_ranks
         certificate = engine.certificate
@@ -1122,32 +1266,45 @@ class _Run:
             if self._macro_enabled:
                 self._cert_pure = True
                 self._cert_uniform = certificate.uniform_exchange
-        rngs = spawn(engine.seed, p)
-        comms = [Comm(rank, p, self.machine, rngs[rank]) for rank in range(p)]
-        if self.tracer.enabled:
-            for comm in comms:
-                comm._tracing = True
-        if self._macro_enabled:
-            for comm in comms:
-                comm._macro = True
-        self.comms = comms
-        gens = []
-        for rank in range(p):
-            gen = program(comms[rank], *args, **kwargs)
-            if not hasattr(gen, "send") or not hasattr(gen, "throw"):
-                raise SimulationError(
-                    "rank program must be a generator function "
-                    "(write communication as 'yield from comm....')"
+        # Bring-up is O(1) in the rank count: one lazy view of the
+        # seed's spawn children and one lazy communicator table.  A
+        # rank's Comm / rng / generator frame materializes the first
+        # time that rank is resumed (Engine(lazy=False) rebuilds the
+        # eager bring-up below for A/B tests).
+        self.streams = RankStreams(engine.seed, p)
+        table = CommTable(p, self.machine, self.streams)
+        table.tracing = self.tracer.enabled
+        table.macro = self._macro_enabled
+        self.comms = table
+        self._program = program
+        self._args = args
+        self._kwargs = kwargs
+        if engine.closed_form:
+            if not self._macro_enabled:
+                raise ConfigurationError(
+                    "closed_form run with macro-ops disabled: the "
+                    "delivery model must be plain alpha-beta"
                 )
-            gens.append(gen)
-        resumes = [gen.send for gen in gens]
+            return self._execute_closed_form(setup_t0)
+        if not engine.lazy:
+            self.ranks = [RankState(r, self.ms) for r in range(p)]
+            table.materialize_all()
+            for rank in range(p):
+                self._materialize_frame(rank)
+        resumes = self.resumes
 
         returns: List[Any] = [None] * p
         failed_ranks: List[int] = []
 
-        # Kick off every rank at t=0; arm fault-injection sentinels.
-        for rank in range(p):
-            self.schedule(0.0, rank, None)
+        # Every rank starts at t=0.  The eager loop pushed p events
+        # (0.0, seq 1..p, rank, None) here; those entries sort before
+        # anything else that can exist while they are pending (heap
+        # seqs start past p and no event lands before t=0), so the main
+        # loop below delivers them in rank order from a bare counter --
+        # "virtual starts" -- without building p tuples.  Reserving
+        # seqs 1..p keeps every later sequence number, and therefore
+        # the processed event order, bit-identical to the eager loop.
+        self.seq = p
         for rank, when in engine.fail_at.items():
             self.schedule(when, rank, _FAIL)
 
@@ -1191,6 +1348,11 @@ class _Run:
 
         events = 0
         alive = p
+        #: Virtual start events not yet delivered (see the seq note in
+        #: the setup above); rank ``p - starts`` starts next.
+        starts = p
+        setup_wall = perf_counter() - setup_t0
+        loop_t0 = perf_counter()
         # The loop allocates heavily (event tuples, in-flight messages,
         # resume values) but creates no reference cycles of its own, so
         # the cyclic collector's periodic scans are pure overhead --
@@ -1200,20 +1362,32 @@ class _Run:
         if gc_was_enabled:
             gc.disable()
         try:
-            while heap:
-                time, _, rank, value = heappop(heap)
+            while True:
+                if starts:
+                    # Pending virtual starts always beat the heap head
+                    # (smaller seq at t=0.0): deliver in rank order.
+                    rank = p - starts
+                    starts -= 1
+                    time = 0.0
+                    value = None
+                elif heap:
+                    time, _, rank, value = heappop(heap)
+                else:
+                    break
                 if fld[rank]:
                     continue  # events for a dead node are dropped
                 if value is _FAIL:
                     if fin[rank]:
                         continue  # died after finishing: no effect
                     failed_ranks.append(rank)
-                    self._fail_rank(ranks[rank], time)
+                    self._fail_rank(rank, time)
                     alive -= 1
                     continue
                 if fin[rank]:
                     raise SimulationError(f"finished rank {rank} rescheduled")
                 state = ranks[rank]
+                if state is None:  # lazy bring-up: first resume
+                    state = ranks[rank] = RankState(rank, self.ms)
 
                 # Run-until-block: drive this rank's generator directly
                 # for as long as each handler's only scheduling action
@@ -1223,6 +1397,8 @@ class _Run:
                 # wakeups always go through the heap; event order is
                 # bit-identical to the one-event-per-heap-pop loop.
                 resume = resumes[rank]
+                if resume is None:  # lazy bring-up: first resume
+                    resume = self._materialize_frame(rank)
                 if fast_enabled:
                     self._active = rank
                 while True:
@@ -1271,11 +1447,13 @@ class _Run:
                     if fast is None:
                         break  # blocked, or resumed via the heap
                     self._fast = None
-                    if heap and fast >= heap[0]:
+                    if starts or (heap and fast >= heap[0]):
                         # An older event wins -- earlier time, or the
                         # same time with a smaller sequence number (the
                         # tuples compare (time, seq) exactly as the heap
-                        # would).
+                        # would).  A pending virtual start always wins:
+                        # it sorts as (0.0, seq <= p) and every buffered
+                        # fast event carries a seq past p.
                         heappush(heap, fast)
                         break
                     time = fast[0]
@@ -1302,7 +1480,13 @@ class _Run:
             stats = self.ms.finalize_stats()
             makespan = self.ms.makespan()
         else:
-            stats = [st.stats.snapshot() for st in ranks]
+            # Every live rank materialized at its start; failed-early
+            # slots read their stats straight off the columns.
+            stats = [
+                st.stats.snapshot() if st is not None
+                else RankStatsView(self.ms, r).snapshot()
+                for r, st in enumerate(ranks)
+            ]
             makespan = max(clk[r] for r in range(p)) if p else 0.0
 
         return SimResult(
@@ -1313,6 +1497,122 @@ class _Run:
             failed_ranks=sorted(failed_ranks),
             events=events,
             macro_fallbacks=self._fallbacks,
+            setup_wall_s=setup_wall,
+            execute_wall_s=perf_counter() - loop_t0,
+            ranks_materialized=self.comms.materialized,
+        )
+
+    # -- closed-form ghost replay --------------------------------------------
+
+    def _execute_closed_form(self, setup_t0: float) -> SimResult:
+        """Drive rank 0's generator only; price every other rank through
+        the columns and the macro evaluator ("ghost replay").
+
+        The certificate proves the program is pure collective/compute
+        (no point-to-point, every collective macro-eligible); the
+        caller asserts the program is additionally *rank-symmetric* --
+        every rank yields the same request sequence with payloads of
+        identical wire size.  Under those conditions a compute burst is
+        one vectorized column charge (the same IEEE additions the
+        per-rank handler would make), and a collective's entry clocks
+        are exactly the clocks the previous macro commit left in the
+        columns, so makespans and per-rank stats are bit-identical to
+        the event path (asserted in the A/B suite).  Received payloads
+        are synthesized from rank 0's (sizes are what price the run),
+        and only rank 0's return value is observable.  p-1 ranks never
+        materialize a Comm, rng, RankState, or generator frame.
+        """
+        engine = self.engine
+        p = engine.n_ranks
+        ms = self.ms
+        gen = self._program(self.comms[0], *self._args, **self._kwargs)
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(
+                "rank program must be a generator function "
+                "(write communication as 'yield from comm....')"
+            )
+        send = gen.send
+        members = self.world_members()
+        evaluate = _macro_evaluate
+        max_events = engine.max_events
+        events = 0
+        value: Any = None
+        r0: Any = None
+        setup_wall = perf_counter() - setup_t0
+        loop_t0 = perf_counter()
+        while True:
+            try:
+                request = send(value)
+            except StopIteration as stop:
+                r0 = stop.value
+                break
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "likely an unbounded loop in a rank program"
+                )
+            cls = request.__class__
+            if cls is ComputeReq:
+                if request.seconds is not None:
+                    dt = request.seconds
+                elif request.efficiency is None:
+                    flops = request.flops
+                    if flops < 0:
+                        self.machine.compute_time(flops)  # raises
+                    dt = flops / self._flops_denom
+                else:
+                    dt = self.machine.compute_time(
+                        request.flops, request.efficiency
+                    )
+                ms.clock += dt
+                ms.compute_time += dt
+                value = None
+            elif cls is CollectiveReq:
+                if request.members is not None:
+                    raise SimulationError(
+                        "closed-form run yielded a group collective; only "
+                        "world collectives are rank-symmetric -- run this "
+                        "program without closed_form"
+                    )
+                # No evaluator reads the per-member request beyond its
+                # op/value/algorithm fields, which are identical across
+                # a symmetric invocation: one shared request prices all
+                # p members without synthesizing p objects, and ghost
+                # mode assembles only rank 0's observable result.
+                result = evaluate(
+                    self, members, [request] * p, ms.clock, ghost=True
+                )
+                if result is None:
+                    raise SimulationError(
+                        f"collective {request.kind}/{request.algorithm} is "
+                        "not analytically exact here (rendezvous inside a "
+                        "cyclic pattern, or an unsupported schedule) -- run "
+                        "without closed_form"
+                    )
+                value = result[1][0]
+            else:
+                raise SimulationError(
+                    f"closed-form run yielded {request!r}; only compute and "
+                    "world collectives are certifiable -- run without "
+                    "closed_form"
+                )
+        ms.finished[:] = True
+        np.copyto(ms.finish_time, ms.clock)
+        returns: List[Any] = [None] * p
+        returns[0] = r0
+        return SimResult(
+            returns=returns,
+            time=ms.makespan(),
+            # Column-backed lazy sequence: a 10^6-rank result should not
+            # pay for a million RankStats objects nobody may read.
+            stats=ms.lazy_stats(),
+            tracer=self.tracer,
+            events=events,
+            macro_fallbacks=self._fallbacks,
+            setup_wall_s=setup_wall,
+            execute_wall_s=perf_counter() - loop_t0,
+            ranks_materialized=self.comms.materialized,
         )
 
 

@@ -34,7 +34,7 @@ class GroupComm:
 
     __slots__ = (
         "parent", "members", "_member_pos", "rank", "size", "machine",
-        "rng", "_salt", "_user_tag_base", "_coll_seq", "_tracing", "_phases",
+        "_salt", "_user_tag_base", "_coll_seq", "_tracing", "_phases",
         "_macro",
     )
 
@@ -59,7 +59,6 @@ class GroupComm:
         self.rank = self._member_pos[parent.rank]
         self.size = len(members)
         self.machine = parent.machine
-        self.rng = parent.rng
         # Tag salt shared by construction across members (same tuple).
         self._salt = stable_seed(*members)
         # _user_tag(t) == base - t and _untag(g) == base - g (its own
@@ -105,6 +104,12 @@ class GroupComm:
 
     def is_root(self, root: int = 0) -> bool:
         return self.rank == root
+
+    @property
+    def rng(self):
+        """The parent rank's random stream (groups do not re-derive);
+        delegated lazily so constructing a group never forces it."""
+        return self.parent.rng
 
     def phase(self, name: str):
         """Phase labelling delegates to the parent communicator, so the

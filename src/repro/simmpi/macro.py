@@ -48,6 +48,7 @@ Declared neighbor-exchange stencil phases price through the same
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -58,6 +59,7 @@ from repro.simmpi.requests import CollectiveReq, copy_payload, payload_nbytes
 SUPPORTED = frozenset({
     ("barrier", "dissemination"),
     ("bcast", "tree"),
+    ("bcast", "tree_nb"),
     ("bcast", "ring"),
     ("bcast", "flat"),
     ("reduce", "binomial"),
@@ -181,6 +183,9 @@ class _Sched:
             prev = self.last.get(key)
         if prev is not None and prev > arrival:
             arrival = prev
+        # Plain float: commit bulk-merges the overlay into the run
+        # table, so no numpy scalar may be stored here.
+        arrival = float(arrival)
         overlay[key] = arrival
         if arrival > self.fifo_cap:
             self.fifo_cap = arrival
@@ -245,27 +250,37 @@ class _Sched:
         keys = (self.members_arr[srcs] * self.n + self.members_arr[dsts]).tolist()
         overlay = self.overlay
         cap = self.fifo_cap
-        if cap <= float(arrivals.min()):
-            # Every recorded arrival is <= every arrival this round, so
-            # no pair's clamp can fire: record the round in one bulk
-            # update instead of 2p dict probes.
-            overlay.update(zip(keys, arrivals.tolist()))
-        else:
-            last = self.last
-            alist = arrivals.tolist()
-            clamped = False
-            for i, key in enumerate(keys):
-                a = alist[i]
-                prev = overlay.get(key)
-                if prev is None:
-                    prev = last.get(key)
-                if prev is not None and prev > a:
-                    a = prev
-                    alist[i] = a
-                    clamped = True
-                overlay[key] = a
-            if clamped:
-                arrivals = np.asarray(alist)
+        if cap > float(arrivals.min()):
+            # Some recorded arrival could exceed one of this round's:
+            # probe both tables through C-level ``map(dict.get, ...)``
+            # and clamp vectorised (a Python per-pair loop here costs
+            # seconds per round at 10^5+ ranks).  An overlay entry is
+            # always >= the run-table entry for the same key (it was
+            # max-combined against it when stored), so taking the max
+            # of both probes equals the overlay-first lookup.
+            n_keys = len(keys)
+            sentinel = float("-inf")
+            prev = np.fromiter(
+                map(self.last.get, keys, repeat(sentinel)),
+                np.float64,
+                count=n_keys,
+            )
+            if overlay:
+                np.maximum(
+                    prev,
+                    np.fromiter(
+                        map(overlay.get, keys, repeat(sentinel)),
+                        np.float64,
+                        count=n_keys,
+                    ),
+                    out=prev,
+                )
+            if bool((prev > arrivals).any()):
+                arrivals = np.maximum(arrivals, prev)
+        # Record the round in one bulk update instead of p dict stores
+        # (tolist yields plain floats -- commit bulk-merges the overlay
+        # into the run table).
+        overlay.update(zip(keys, arrivals.tolist()))
         new_max = float(arrivals.max())
         if new_max > cap:
             self.fifo_cap = new_max
@@ -322,9 +337,10 @@ class _Sched:
                 stats.bytes_sent = sent_b[g]
                 stats.messages_received = recv_n[g]
                 stats.bytes_received = recv_b[g]
-        last = self.last
-        for key, arrival in self.overlay.items():
-            last[key] = float(arrival)
+        # Every overlay value is a plain Python float by construction
+        # (send coerces, the round primitives store tolist products), so
+        # the merge is one C-level bulk update.
+        self.last.update(self.overlay)
         self.clock = clock
 
 
@@ -354,7 +370,7 @@ def _round_sizes(values: Sequence[Any]) -> Tuple[Any, int, bool]:
 # ranks and distinct (src, dst) pairs make evaluation order irrelevant.
 
 
-def _eval_barrier(s: _Sched) -> List[Any]:
+def _eval_barrier(s: _Sched, ghost: bool = False) -> List[Any]:
     p = s.p
     if 0 > s.eager_max:
         # An "everything rendezvous" configuration makes even the
@@ -370,10 +386,12 @@ def _eval_barrier(s: _Sched) -> List[Any]:
         arrivals = s.send_round(idx, dsts, 0)  # nbytes 0: always eager
         s.recv_round(dsts, arrivals, 0)
         dist <<= 1
-    return [None] * p
+    return [None] if ghost else [None] * p
 
 
-def _eval_bcast_tree(s: _Sched, root: int, value: Any) -> List[Any]:
+def _eval_bcast_tree(
+    s: _Sched, root: int, value: Any, ghost: bool = False
+) -> List[Any]:
     """Binomial tree, round-phased: in round k every virtual rank
     ``vr < 2**k`` that has its payload sends to ``vr + 2**k``.  Parent
     and child sets are disjoint within a round and every (parent,
@@ -382,11 +400,26 @@ def _eval_bcast_tree(s: _Sched, root: int, value: Any) -> List[Any]:
     virtual-rank order (each child's entry clock is untouched until its
     first-op recv runs, each parent's sends happen in mask order)."""
     p = s.p
+    gr_of = np.arange(p, dtype=np.intp) + root  # virtual rank -> group rank
+    gr_of[gr_of >= p] -= p
+    if ghost:
+        # Delivery copies preserve wire size, so the root payload sizes
+        # every round; only group rank 0's delivery is observable, and
+        # it follows the event path's buffering (scalars pass through,
+        # anything else is a copy -- unless rank 0 *is* the root).
+        scalars = type(value) is float or type(value) is int
+        nbytes = 8 if scalars else payload_nbytes(value)
+        mask = 1
+        while mask < p:
+            parents = np.arange(min(mask, p - mask), dtype=np.intp)
+            children = parents + mask
+            arrivals = s.send_round(gr_of[parents], gr_of[children], nbytes)
+            s.recv_round(gr_of[children], arrivals, nbytes)
+            mask <<= 1
+        return [value if (root == 0 or scalars) else copy_payload(value)]
     vals: List[Any] = [None] * p     # delivered payloads, by virtual rank
     vals[0] = value
     out: List[Any] = [None] * p      # return values, by group rank
-    gr_of = np.arange(p, dtype=np.intp) + root  # virtual rank -> group rank
-    gr_of[gr_of >= p] -= p
     mask = 1
     while mask < p:
         parents = np.arange(min(mask, p - mask), dtype=np.intp)
@@ -405,6 +438,26 @@ def _eval_bcast_tree(s: _Sched, root: int, value: Any) -> List[Any]:
     for vr in range(p):
         out[gr_of[vr]] = vals[vr]
     return out
+
+
+def _eval_bcast_tree_nb(
+    s: _Sched, root: int, value: Any, ghost: bool = False
+) -> List[Any]:
+    """Non-blocking binomial tree (lu2d/summa's pipelined panel path).
+
+    With every message eager, ``tree_nb`` is expression-identical to
+    the blocking tree: an eager isend charges the same overhead at the
+    same clock as a blocking send and resumes at the same ``clear``,
+    and the trailing waits find ready handles (``complete_at`` is
+    always <= the waiter's clock), costing zero comm time and moving no
+    clock.  Payload size is invariant down the tree (delivery copies
+    preserve it), so one root-size check covers every round.  Any
+    rendezvous-sized message decouples the transfer from the sender's
+    progress -- real overlap only the event path reproduces -- so bail.
+    """
+    if payload_nbytes(value) > s.eager_max:
+        raise _Bail
+    return _eval_bcast_tree(s, root, value, ghost)
 
 
 def _eval_bcast_ring(s: _Sched, root: int, value: Any) -> List[Any]:
@@ -590,6 +643,7 @@ def evaluate(
     members: Sequence[int],
     reqs: Sequence[CollectiveReq],
     clocks: Sequence[float],
+    ghost: bool = False,
 ) -> Optional[Tuple[List[float], List[Any]]]:
     """Evaluate one complete collective invocation analytically.
 
@@ -598,19 +652,30 @@ def evaluate(
     group rank with clocks/stats/clamp-state already committed, or
     ``None`` when the schedule cannot be reproduced exactly (the caller
     then falls back to the event path; nothing was mutated).
+
+    ``ghost`` is the closed-form engine's contract: every entry of
+    ``reqs`` is the *same* request object (a rank-symmetric program
+    priced from rank 0's yields) and only group rank 0's result is
+    observable, so evaluators that would otherwise materialize one
+    delivered payload per member (exchange, tree broadcasts, barrier)
+    return a single-element list instead -- identical pricing, O(1)
+    result assembly.  The remaining evaluators ignore the flag and
+    return all p values.
     """
     req0 = reqs[0]
     kind = req0.kind
     s = _Sched(run, members, clocks)
     try:
         if kind == "barrier":
-            out = _eval_barrier(s)
+            out = _eval_barrier(s, ghost)
         elif kind == "bcast":
             root = req0.root
             value = reqs[root].value
             alg = req0.algorithm
             if alg == "tree":
-                out = _eval_bcast_tree(s, root, value)
+                out = _eval_bcast_tree(s, root, value, ghost)
+            elif alg == "tree_nb":
+                out = _eval_bcast_tree_nb(s, root, value, ghost)
             elif alg == "ring":
                 out = _eval_bcast_ring(s, root, value)
             elif alg == "flat":
@@ -630,7 +695,7 @@ def evaluate(
             # stencil.py, which imports this module (local import keeps
             # the dependency acyclic).
             from repro.simmpi.stencil import eval_exchange
-            out = eval_exchange(s, reqs)
+            out = eval_exchange(s, reqs, ghost)
         else:
             return None
     except _Bail:

@@ -136,7 +136,9 @@ class RendezvousProtocol(Protocol):
 
     def send(self, ctx, src, request, nbytes, handle=None):
         now = src.clock
-        dst = ctx.ranks[request.dest]
+        # rank_state materializes a not-yet-resumed receiver (lazy
+        # bring-up): its parked queue must exist to hold this sender.
+        dst = ctx.rank_state(request.dest)
         ps = ParkedSend(
             source=src.rank,
             dest=request.dest,
@@ -179,7 +181,7 @@ class RendezvousProtocol(Protocol):
         complete the handle of) the sender."""
         arrival = ctx.arrival(ps.source, ps.dest, ps.nbytes, handshake)
         overhead = ctx.overhead(ps.source, ps.dest)
-        src = ctx.ranks[ps.source]
+        src = ctx.rank_state(ps.source)
         src.stats.messages_sent += 1
         src.stats.bytes_sent += ps.nbytes
         sender_clear = handshake + overhead

@@ -249,6 +249,75 @@ class MachineState:
             for r, (ct, cm, it, ms, bs, mr, br, ft) in enumerate(rows)
         ]
 
+    def lazy_stats(self) -> "LazyRankStats":
+        """Column-backed stats sequence that defers materialisation.
+
+        Closed-form runs finish with 10^5..10^6 perfectly good stats
+        *columns*; building a million :class:`RankStats` objects to put
+        in the result would cost more time and memory than the whole
+        priced epoch.  The lazy sequence keeps the columns and builds a
+        ``RankStats`` row only when one is indexed.
+        """
+        return LazyRankStats(self)
+
+
+class LazyRankStats:
+    """Read-only sequence of :class:`RankStats` backed by the columns.
+
+    Behaves like the list :meth:`MachineState.finalize_stats` returns
+    -- ``len``, indexing, slicing, iteration, and elementwise ``==``
+    against any sequence -- but each row is constructed on access from
+    the :class:`MachineState` arrays, so holding the result of a
+    10^6-rank run costs thirteen arrays, not a million dataclasses.
+    """
+
+    __slots__ = ("_ms",)
+
+    def __init__(self, ms: MachineState):
+        self._ms = ms
+
+    def __len__(self) -> int:
+        return self._ms.n
+
+    def __getitem__(self, index):
+        ms = self._ms
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(ms.n))]
+        i = int(index)
+        if i < 0:
+            i += ms.n
+        if not 0 <= i < ms.n:
+            raise IndexError("rank index out of range")
+        return RankStats(
+            rank=i,
+            compute_time=ms.compute_time.item(i),
+            comm_time=ms.comm_time.item(i),
+            idle_time=ms.idle_time.item(i),
+            messages_sent=ms.messages_sent.item(i),
+            bytes_sent=ms.bytes_sent.item(i),
+            messages_received=ms.messages_received.item(i),
+            bytes_received=ms.bytes_received.item(i),
+            finish_time=ms.finish_time.item(i),
+        )
+
+    def __iter__(self):
+        for i in range(self._ms.n):
+            yield self[i]
+
+    def __eq__(self, other) -> bool:
+        try:
+            n = len(other)
+        except TypeError:
+            return NotImplemented
+        if n != len(self):
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"LazyRankStats(n={len(self)})"
+
 
 class RankStatsView:
     """Per-rank window onto the :class:`MachineState` stats columns.

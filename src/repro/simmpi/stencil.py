@@ -44,7 +44,7 @@ overhead form).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -241,7 +241,14 @@ def _exchange_event(comm: Any, spec: StencilSpec, payloads: Sequence[Any]) -> Ge
     return out
 
 
-def eval_exchange(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
+#: spec -> :meth:`StencilSpec.peer_columns` memo.  Bounded by the
+#: number of distinct phases a process declares (a handful).
+_PEER_COLUMNS: Dict[StencilSpec, List[np.ndarray]] = {}
+
+
+def eval_exchange(
+    s: _Sched, reqs: Sequence[CollectiveReq], ghost: bool = False
+) -> List[Any]:
     """Closed-form pricing of one exchange invocation (all members
     parked; clocks/stats live in the transactional ``s``).
 
@@ -252,6 +259,11 @@ def eval_exchange(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
     engine replays the event path -- on irregular payload sizes,
     rendezvous-sized payloads, self-peers, or a spec/communicator size
     mismatch.
+
+    ``ghost`` (closed-form engine): every entry of ``reqs`` is the same
+    request object, so rank 0's payloads size every column, and only
+    rank 0's delivered row is assembled -- the O(p) per-member column
+    scans and delivery copies collapse to O(offsets).
     """
     spec = reqs[0].algorithm
     p = s.p
@@ -267,16 +279,15 @@ def eval_exchange(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
                 # have zero injection overhead, which the constant-
                 # overhead round primitive cannot express.
                 raise _Bail
-    vals = [req.value for req in reqs]
+    vals: Optional[List[Any]] = None if ghost else [req.value for req in reqs]
+    v0 = reqs[0].value
     nb: List[int] = []
     immutable: List[bool] = []
     for j in range(k):
-        col = [v[j] for v in vals]
-        x0 = col[0]
+        x0 = v0[j]
         t0 = type(x0)
-        if (t0 is float or t0 is int or t0 is bool) and not any(
-            type(x) is not t0 for x in col
-        ):
+        scalar0 = t0 is float or t0 is int or t0 is bool
+        if scalar0 and (ghost or not any(type(v[j]) is not t0 for v in vals)):
             # Scalar column: 8 wire bytes each (payload_nbytes), and
             # nothing to copy on delivery -- the eager send path hands
             # immutable payloads through as-is too.
@@ -284,12 +295,12 @@ def eval_exchange(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
             imm = True
         else:
             n0 = payload_nbytes(x0)
-            if not s.run._cert_uniform:
+            if not ghost and not s.run._cert_uniform:
                 # A macro certificate with the uniform-exchange bit
                 # proves every rank's payload has the same shape; then
                 # element 0 prices the whole column.  Without it, scan.
-                for x in col:
-                    if payload_nbytes(x) != n0:
+                for v in vals:
+                    if payload_nbytes(v[j]) != n0:
                         raise _Bail  # irregular sizes: not a uniform round
             imm = False
         if n0 > s.eager_max:
@@ -299,7 +310,11 @@ def eval_exchange(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
         nb.append(n0)
         immutable.append(imm)
 
-    peers = spec.peer_columns()
+    peers = _PEER_COLUMNS.get(spec)
+    if peers is None:
+        # Specs are immutable and hashable; the columns are read-only
+        # here, so one derivation serves every epoch of the phase.
+        peers = _PEER_COLUMNS[spec] = spec.peer_columns()
     idx = np.arange(p, dtype=np.intp)
     arrivals: List[np.ndarray] = []
     for j in range(k):
@@ -329,6 +344,19 @@ def eval_exchange(s: _Sched, reqs: Sequence[CollectiveReq]) -> List[Any]:
     # per-offset delivery columns, then transpose: the column loops are
     # flat list comprehensions, which matters at 10^4+ ranks.
     cp = copy_payload
+    if ghost:
+        # Only rank 0's delivered row is observable; its peers' mirror
+        # payloads are rank 0's own (one shared request).
+        row0: List[Any] = []
+        for j in range(k):
+            m = mirrors[j]
+            if int(peers[j][0]) < 0:
+                row0.append(None)
+            elif immutable[m]:
+                row0.append(v0[m])
+            else:
+                row0.append(cp(v0[m]))
+        return [row0]
     delivered: List[List[Any]] = []
     for j in range(k):
         pl = peers[j].tolist()

@@ -131,7 +131,7 @@ class WaitForGraph:
 
 
 def build_wait_graph(
-    ranks: Sequence[RankState], failed_ranks: Iterable[int] = ()
+    ranks: Sequence[Optional[RankState]], failed_ranks: Iterable[int] = ()
 ) -> WaitForGraph:
     """Construct the wait-for graph from the engine's final rank state.
 
@@ -141,11 +141,17 @@ def build_wait_graph(
     which own no handle).  A parked send whose handle is still in the
     sender's table is skipped here -- the handle scan already reports
     it -- so no send is ever counted twice.
+
+    Under lazy bring-up a rank's slot may be ``None``: the rank was
+    never resumed or targeted, which can only happen when it finished
+    or failed without materializing (a live blocked rank always has
+    state).  ``None`` slots therefore contribute no node and hold no
+    queues to scan.
     """
     nodes: List[int] = []
     edges: List[WaitEdge] = []
     for state in ranks:
-        if state.finished:
+        if state is None or state.finished:
             continue
         nodes.append(state.rank)
         if state.collective is not None:
@@ -175,6 +181,8 @@ def build_wait_graph(
             edges.append(WaitEdge(rank=state.rank, target=target, reason=reason))
         seen_parked = set()
         for other in ranks:
+            if other is None:
+                continue
             for ps in other.parked:
                 if ps.source != state.rank or id(ps) in seen_parked:
                     continue

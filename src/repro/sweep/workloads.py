@@ -75,6 +75,8 @@ def lu2d_point(config: Lu2dPoint, seed: int) -> dict:
         "messages": sim.total_messages,
         "bytes": sim.total_bytes,
         "wall_s": wall,
+        "setup_wall_s": sim.setup_wall_s,
+        "execute_wall_s": sim.execute_wall_s,
         "events_per_sec": sim.events / wall if wall > 0 else 0.0,
         "exact": exact,
     }
@@ -122,6 +124,8 @@ def collectives_point(config: CollectivesPoint, seed: int) -> dict:
         "messages": res.total_messages,
         "bytes": res.total_bytes,
         "wall_s": wall,
+        "setup_wall_s": res.setup_wall_s,
+        "execute_wall_s": res.execute_wall_s,
         "events_per_sec": res.events / wall if wall > 0 else 0.0,
         "reduction": res.returns[0],
     }
@@ -171,6 +175,8 @@ def halo_point(config: HaloPoint, seed: int) -> dict:
         "messages": res.total_messages,
         "bytes": res.total_bytes,
         "wall_s": wall,
+        "setup_wall_s": res.setup_wall_s,
+        "execute_wall_s": res.execute_wall_s,
         "events_per_sec": res.events / wall if wall > 0 else 0.0,
         "corner": res.returns[0],
     }

@@ -4,15 +4,49 @@ Simulation components never call ``np.random`` module-level functions;
 they take an explicit ``numpy.random.Generator`` (or a seed) so runs are
 reproducible and tests are stable.  ``spawn`` derives independent child
 streams, mirroring how each simulated rank gets its own stream.
+
+Child derivation is the one per-rank setup cost that cannot be deferred
+by laziness alone -- a 10^6-rank machine needs 10^6 streams *available*
+even if almost none are drawn from.  Two facts make it O(1) per rank:
+
+* ``SeedSequence(entropy, spawn_key=(i,))`` is, by construction, the
+  i-th child of ``SeedSequence(entropy).spawn(n)`` -- the spawn index is
+  just one more entropy word, so any single child derives without
+  deriving its siblings.
+* The entropy-mixing hash's evolving multiplier depends only on *how
+  many* words were mixed, never on their values, so the pool state
+  after the shared words (seed entropy + parent spawn key) is common to
+  every child and the per-child tail (one ``uint32`` spawn word into a
+  4-word pool) vectorizes elementwise across all children.
+
+:class:`RankStreams` packages both: O(1) lazy access to any one rank's
+generator, and a batched path that expands the shared entropy once and
+derives every PCG64 seed state with a handful of numpy array ops.  Both
+are regression-tested bit-identical to the explicit
+``SeedSequence.spawn`` loop (``tests/util/test_rng_vectorized.py``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from numpy.random.bit_generator import ISeedSequence
 
 SeedLike = Union[int, np.random.Generator, None]
+
+# numpy's SeedSequence mixing constants (O'Neill's seed_seq_fe).  The
+# reimplementation below is pinned bit-for-bit against numpy in the
+# regression tests; these values have been stable since numpy 1.17.
+_M32 = 0xFFFFFFFF
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_L = 0xCA01F9DD
+_MIX_R = 0x4973F715
+_XSHIFT = 16
+_POOL_SIZE = 4
 
 
 def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -22,19 +56,243 @@ def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _uint32_words(value: int) -> List[int]:
+    """``value`` as little-endian uint32 words (numpy's int coercion)."""
+    if value < 0:
+        raise ValueError("expected a non-negative integer")
+    if value == 0:
+        return [0]
+    words = []
+    while value > 0:
+        words.append(value & _M32)
+        value >>= 32
+    return words
+
+
+def _entropy_words(entropy: Union[int, Sequence[int]]) -> List[int]:
+    """Entropy (int or sequence of ints) as uint32 words."""
+    if isinstance(entropy, (int, np.integer)):
+        return _uint32_words(int(entropy))
+    words: List[int] = []
+    for part in entropy:
+        words.extend(_uint32_words(int(part)))
+    return words
+
+
+class _EntropyMixer:
+    """Scalar reimplementation of ``SeedSequence.mix_entropy``.
+
+    Exposes the mixing state (pool + evolving hash multiplier) after an
+    arbitrary prefix of entropy words, which is what lets the batched
+    spawn hash the shared words once and vectorize only the per-child
+    spawn word.
+    """
+
+    __slots__ = ("pool", "_hash_const")
+
+    def __init__(self, prefix_words: Sequence[int]):
+        self._hash_const = _INIT_A
+        n = len(prefix_words)
+        pool = [
+            self._hash(prefix_words[i] if i < n else 0)
+            for i in range(_POOL_SIZE)
+        ]
+        self.pool = pool
+        for src in range(_POOL_SIZE):
+            for dst in range(_POOL_SIZE):
+                if src != dst:
+                    pool[dst] = _mix(pool[dst], self._hash(pool[src]))
+        for src in range(_POOL_SIZE, n):
+            for dst in range(_POOL_SIZE):
+                pool[dst] = _mix(pool[dst], self._hash(prefix_words[src]))
+
+    def _hash(self, value: int) -> int:
+        value = (value ^ self._hash_const) & _M32
+        self._hash_const = (self._hash_const * _MULT_A) & _M32
+        value = (value * self._hash_const) & _M32
+        value ^= value >> _XSHIFT
+        return value
+
+    def child_pools(self, child_words: np.ndarray) -> np.ndarray:
+        """Mix one per-child uint32 word into the shared pool, batched.
+
+        ``child_words`` is a uint32 array of n spawn words; the result is
+        an ``(n, POOL_SIZE)`` uint32 array of child pools, bit-identical
+        to constructing each child ``SeedSequence`` individually.
+        """
+        w = np.ascontiguousarray(child_words, dtype=np.uint32)
+        pools = np.empty((len(w), _POOL_SIZE), dtype=np.uint32)
+        hc = self._hash_const
+        for dst in range(_POOL_SIZE):
+            # hash(): the multiplier sequence is data-independent, so a
+            # single scalar constant serves every child in the batch.
+            v = w ^ np.uint32(hc)
+            hc = (hc * _MULT_A) & _M32
+            v = v * np.uint32(hc)
+            v ^= v >> np.uint32(_XSHIFT)
+            # mix(): elementwise over children against the shared word.
+            r = np.uint32((self.pool[dst] * _MIX_L) & _M32) - v * np.uint32(_MIX_R)
+            r ^= r >> np.uint32(_XSHIFT)
+            pools[:, dst] = r
+        return pools
+
+
+def _mix(x: int, y: int) -> int:
+    r = ((x * _MIX_L) - (y * _MIX_R)) & _M32
+    r ^= r >> _XSHIFT
+    return r
+
+
+def _generate_state_batch(pools: np.ndarray, n_words32: int) -> np.ndarray:
+    """``SeedSequence.generate_state`` over an ``(n, POOL_SIZE)`` batch.
+
+    Returns ``(n, n_words32)`` uint32.  The output multiplier sequence is
+    data-independent, so each word position is one vectorized expression
+    over the corresponding pool column.
+    """
+    n = pools.shape[0]
+    out = np.empty((n, n_words32), dtype=np.uint32)
+    hc = _INIT_B
+    for k in range(n_words32):
+        v = pools[:, k % _POOL_SIZE] ^ np.uint32(hc)
+        hc = (hc * _MULT_B) & _M32
+        v = v * np.uint32(hc)
+        v ^= v >> np.uint32(_XSHIFT)
+        out[:, k] = v
+    return out
+
+
+class _BatchDerivedSeed(ISeedSequence):
+    """An ``ISeedSequence`` carrying one batch-derived child's state.
+
+    PCG64 (and every numpy bit generator) seeds itself through
+    ``generate_state``; handing it the precomputed words skips the
+    per-child ``SeedSequence`` construction entirely.  Requests beyond
+    the precomputed width regenerate from the stored pool scalar-wise,
+    so the shim is a faithful stand-in, not a truncation.
+    """
+
+    __slots__ = ("_pool", "_state32")
+
+    def __init__(self, pool_row: np.ndarray, state_row: np.ndarray):
+        self._pool = pool_row
+        self._state32 = state_row
+
+    def generate_state(self, n_words: int, dtype=np.uint32) -> np.ndarray:
+        out_dtype = np.dtype(dtype)
+        if out_dtype == np.dtype(np.uint32):
+            n32 = n_words
+        elif out_dtype == np.dtype(np.uint64):
+            n32 = n_words * 2
+        else:
+            raise ValueError("only uint32 and uint64 supported")
+        if n32 <= len(self._state32):
+            state = self._state32[:n32].copy()
+        else:
+            state = _generate_state_batch(self._pool[None, :], n32)[0]
+        if out_dtype == np.dtype(np.uint64):
+            state = state.view(np.uint64)
+        return state
+
+
+class RankStreams:
+    """Lazy, O(1)-per-rank view of ``SeedSequence(seed).spawn(n)``.
+
+    ``streams[i]`` derives rank i's generator alone (one single-child
+    ``SeedSequence``, no sibling work); :meth:`generators` derives all n
+    through one vectorized entropy expansion.  Both are bit-identical to
+    the eager spawn loop.  ``Generator`` seeds fall back to
+    ``Generator.spawn`` eagerly (that path is stateful in the parent).
+    """
+
+    __slots__ = ("n", "entropy", "spawn_key", "_eager")
+
+    def __init__(self, seed: SeedLike, n: int):
+        if n < 0:
+            raise ValueError(f"cannot spawn {n} generators")
+        self.n = n
+        self._eager: Optional[List[np.random.Generator]] = None
+        if isinstance(seed, np.random.Generator):
+            self._eager = list(seed.spawn(n))
+            self.entropy: Union[int, Tuple[int, ...]] = 0
+            self.spawn_key: Tuple[int, ...] = ()
+            return
+        if isinstance(seed, np.random.SeedSequence):
+            base = seed
+        else:
+            base = np.random.SeedSequence(seed)
+        entropy = base.entropy
+        assert entropy is not None  # SeedSequence always assembles some
+        self.entropy = entropy if isinstance(entropy, int) else tuple(entropy)
+        self.spawn_key = tuple(base.spawn_key)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} outside {self.n} streams")
+
+    def child_sequence(self, rank: int) -> np.random.SeedSequence:
+        """Rank ``rank``'s ``SeedSequence``, derived without siblings."""
+        self._check(rank)
+        return np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=self.spawn_key + (rank,)
+        )
+
+    def __getitem__(self, rank: int) -> np.random.Generator:
+        if self._eager is not None:
+            self._check(rank)
+            return self._eager[rank]
+        return np.random.default_rng(self.child_sequence(rank))
+
+    def _prefix_words(self) -> List[int]:
+        words = _entropy_words(self.entropy)
+        # Children always carry a non-empty spawn key, which pins the
+        # key's word position by padding short entropy to the pool size
+        # (mirrors SeedSequence.get_assembled_entropy).
+        if len(words) < _POOL_SIZE:
+            words = words + [0] * (_POOL_SIZE - len(words))
+        for part in self.spawn_key:
+            words.extend(_uint32_words(part))
+        return words
+
+    def _batch_pools(self) -> np.ndarray:
+        if self.n > _M32 + 1:  # pragma: no cover - >2**32 children
+            raise ValueError("batched spawn supports at most 2**32 children")
+        mixer = _EntropyMixer(self._prefix_words())
+        return mixer.child_pools(np.arange(self.n, dtype=np.uint32))
+
+    def state_words(self) -> np.ndarray:
+        """PCG64 seed states for every rank, ``(n, 4)`` uint64, batched."""
+        return np.ascontiguousarray(
+            _generate_state_batch(self._batch_pools(), 8)
+        ).view(np.uint64)
+
+    def generators(self) -> List[np.random.Generator]:
+        """All n generators via the single vectorized derivation."""
+        if self._eager is not None:
+            return list(self._eager)
+        if self.n == 0:
+            return []
+        pools = self._batch_pools()
+        states = _generate_state_batch(pools, 8)
+        Generator, PCG64 = np.random.Generator, np.random.PCG64
+        return [
+            Generator(PCG64(_BatchDerivedSeed(pools[i], states[i])))
+            for i in range(self.n)
+        ]
+
+
 def spawn(seed: SeedLike, n: int) -> List[np.random.Generator]:
     """Derive ``n`` statistically independent child generators.
 
-    Child streams are derived via ``SeedSequence.spawn`` when a plain
-    seed is given, and via ``Generator.spawn`` for an existing
+    Child streams are bit-identical to ``SeedSequence.spawn`` children
+    (derived through one vectorized entropy expansion rather than n
+    per-child mixes), and come from ``Generator.spawn`` for an existing
     generator, so both paths give independence guarantees.
     """
-    if n < 0:
-        raise ValueError(f"cannot spawn {n} generators")
-    if isinstance(seed, np.random.Generator):
-        return list(seed.spawn(n))
-    seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(s) for s in seq.spawn(n)]
+    return RankStreams(seed, n).generators()
 
 
 def stable_seed(*parts: Union[int, str], base: Optional[int] = None) -> int:

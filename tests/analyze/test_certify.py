@@ -100,14 +100,36 @@ class TestCertifiedRunsAreBitIdentical:
         assert plain.sim.macro_fallbacks == 0
         assert certified.sim.macro_fallbacks == 0
 
-    def test_summa_overlap_refuses_the_certificate(self, machine):
-        cert = bundled_certificate("summa", 4)
+    def test_summa_overlap_refuses_the_mismatched_certificate(self, machine):
+        cert = bundled_certificate("summa", 4)  # proved under overlap=False
         rng = np.random.default_rng(7)
         a = rng.standard_normal((16, 16))
         b = rng.standard_normal((16, 16))
         with pytest.raises(DecompositionError, match="overlap"):
             summa(machine, ProcessGrid2D(2, 2), a, b,
                   overlap=True, certificate=cert)
+
+    def test_summa_overlap_certifies_tree_nb_and_matches(self, machine):
+        # The pipelined variant is now provable: tree_nb is in the
+        # closed-form set, so overlap=True gets its own certificate and
+        # the certified run stays bit-identical with zero fallbacks.
+        cert = bundled_certificate("summa", 4, overlap=True)
+        assert {(kind, algo) for _, kind, algo in cert.collectives} == {
+            ("bcast", "tree_nb")
+        }
+        assert ("overlap", "True") in cert.assume
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        plain = summa(machine, ProcessGrid2D(2, 2), a, b, panel=8, overlap=True)
+        certified = summa(
+            machine, ProcessGrid2D(2, 2), a, b, panel=8, overlap=True,
+            certificate=cert,
+        )
+        assert certified.sim.time == plain.sim.time
+        assert np.array_equal(certified.c, plain.c)
+        assert plain.sim.macro_fallbacks == 0
+        assert certified.sim.macro_fallbacks == 0
 
 
 # ---------------------------------------------------------------------------
@@ -177,11 +199,23 @@ class TestRefusals:
         with pytest.raises(CertificationError, match="closed-form"):
             certify_macro(
                 "def p(comm, x):\n"
-                "    out = yield from comm.bcast(x, root=0,"
-                " algorithm='tree_nb')\n"
+                "    out = yield from comm.allgather(x,"
+                " algorithm='ring_nb')\n"
                 "    return out\n",
                 4,
             )
+
+    def test_tree_nb_bcast_certifies(self):
+        # The pipelined binomial tree joined the closed-form set: under
+        # all-eager payloads it is event-for-event the blocking tree.
+        cert = certify_macro(
+            "def p(comm, x):\n"
+            "    out = yield from comm.bcast(x, root=0,"
+            " algorithm='tree_nb')\n"
+            "    return out\n",
+            4,
+        )
+        assert cert.collectives == ((2, "bcast", "tree_nb"),)
 
     def test_rank_conditional_collective_refused(self):
         with pytest.raises(CertificationError, match="rank-dependent"):

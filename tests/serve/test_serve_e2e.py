@@ -74,6 +74,11 @@ class TestServeEndToEnd:
         assert stats["scheduled"] == 2
         assert stats["cache_hits"] == 2
         assert stats["backend"]["completed"] == 2
+        # Executed points surface the engine's bring-up/event-loop
+        # split; cache hits replay stored results without adding work,
+        # so only the two scheduled points contribute.
+        assert stats["point_wall"]["setup_wall_s"] > 0.0
+        assert stats["point_wall"]["execute_wall_s"] > 0.0
 
     def test_different_seed_is_not_a_cache_hit(self, tmp_path):
         cache = RunCache(str(tmp_path / "cache"))

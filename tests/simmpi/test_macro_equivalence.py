@@ -245,3 +245,73 @@ class TestAutoDisable:
 def test_macro_ops_flag_round_trips():
     assert Engine(touchstone_delta(), 4).macro_ops is True
     assert Engine(touchstone_delta(), 4, macro_ops=False).macro_ops is False
+
+
+# ---------------------------------------------------------------------------
+# the pipelined binomial tree joins the macro set
+# ---------------------------------------------------------------------------
+
+def test_tree_nb_bcast_bit_identical_and_engages_when_eager():
+    program = _bcast_program_factory("tree_nb")
+    ref = _run(program, 33, False)
+    macro = _run(program, 33, True)
+    _assert_identical(macro, ref)
+    assert macro.events < ref.events
+    assert macro.macro_fallbacks == 0
+
+
+def test_tree_nb_bcast_bails_to_event_path_under_rendezvous():
+    # Above the eager threshold the pipelined tree's isend overlap is
+    # not the blocking tree's schedule, so the macro must refuse and
+    # replay the cascade -- identically.
+    program = _bcast_program_factory("tree_nb")
+    ref = _run(program, 17, False, eager=RENDEZVOUS)
+    macro = _run(program, 17, True, eager=RENDEZVOUS)
+    _assert_identical(macro, ref)
+    assert macro.macro_fallbacks > 0
+
+
+# ---------------------------------------------------------------------------
+# lu2d's panel broadcasts ride the macro dispatcher
+# ---------------------------------------------------------------------------
+
+def _lu2d_pair(*, overlap, eager=EAGER):
+    import numpy as np
+
+    from repro.linalg.decomp import ProcessGrid2D
+    from repro.linalg.lu2d import lu2d
+
+    machine = touchstone_delta().subset(16)
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((24, 24)) + 24.0 * np.eye(24)
+    grid = ProcessGrid2D(4, 4)
+    kw = dict(nb=2, seed=7, overlap=overlap, eager_threshold_bytes=eager)
+    ref = lu2d(machine, grid, a, macro_ops=False, **kw)
+    macro = lu2d(machine, grid, a, **kw)
+    return ref, macro
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+def test_lu2d_panel_broadcasts_collapse_to_macro_events(overlap):
+    ref, macro = _lu2d_pair(overlap=overlap)
+    assert macro.sim.time == ref.sim.time
+    assert macro.sim.stats == ref.sim.stats
+    import numpy as np
+
+    assert np.array_equal(macro.lu, ref.lu)
+    # The pivot/panel broadcasts went through the dispatcher and parked
+    # as single collective events: fewer engine events, no fallbacks.
+    assert macro.sim.events < ref.sim.events
+    assert macro.sim.macro_fallbacks == 0
+
+
+def test_lu2d_macro_survives_rendezvous_bail():
+    # A threshold small enough that some panel payloads exceed it: the
+    # tree_nb macro refuses those broadcasts and the event path replays
+    # them, still bit-identical.
+    ref, macro = _lu2d_pair(overlap=True, eager=16.0)
+    assert macro.sim.time == ref.sim.time
+    import numpy as np
+
+    assert np.array_equal(macro.lu, ref.lu)
+    assert macro.sim.macro_fallbacks > 0

@@ -148,6 +148,12 @@ class TestNewWorkloads:
         for key in ("ranks", "virtual_time_s", "events", "messages", "bytes"):
             assert a[key] == b[key]
         assert a["ranks"] == 8 and a["events"] > 0
+        # Every point surfaces the engine's bring-up/event-loop split
+        # alongside the total wall (flows through sweep --json and the
+        # job server unchanged).
+        assert a["setup_wall_s"] > 0.0
+        assert a["execute_wall_s"] > 0.0
+        assert a["setup_wall_s"] + a["execute_wall_s"] <= a["wall_s"] * 1.001
 
     def test_halo_point_runs_and_is_deterministic(self):
         from repro.sweep import HaloPoint, halo_point
@@ -158,6 +164,7 @@ class TestNewWorkloads:
         for key in ("ranks", "virtual_time_s", "events", "messages", "bytes"):
             assert a[key] == b[key]
         assert a["ranks"] == 6
+        assert a["setup_wall_s"] > 0.0 and a["execute_wall_s"] > 0.0
 
     def test_new_workloads_run_under_run_sweep_workers(self):
         from repro.sweep import CollectivesPoint, collectives_point
