@@ -1,22 +1,49 @@
 """Job-server throughput: cache-hit round trips per second.
 
 The service's promise is that a repeated question costs an HTTP round
-trip, not a simulation.  This benchmark measures exactly that price: a
-real :class:`JobServer` on loopback, one tiny lu2d point warmed into
-the content-addressed cache, then batches of submit+fetch round trips
-that must all be answered from disk.  The recorded ``events`` are
-*jobs served*, so ``events_per_sec`` is cache-hit jobs/sec -- the
-``serve_throughput`` entry in ``BENCH_engine.json``, gated by
-``check_bench_regression.py`` like every other engine number.
+trip, not a simulation.  These benchmarks measure exactly that price:
 
-Run with ``--bench-json BENCH_engine.json`` to refresh the baseline.
+``serve_throughput``
+    The v1 data plane -- one job per ``POST /jobs`` round trip on a
+    fresh connection each time.  Kept as the committed reference the
+    v2 plane must beat.
+
+``serve_throughput_v2``
+    The v2 data plane -- a pooled keep-alive client pushing
+    ``POST /jobs/batch`` requests of many cache-hit jobs each, so the
+    TCP setup and the per-request parse/probe cost are amortised across
+    a whole batch.  The test *asserts* v2 is at least 5x the committed
+    v1 baseline: the tentpole's claim, enforced on every perf-smoke.
+
+``serve_sharded``
+    Engine events/sec through a 2-shard pool backend: distinct
+    collectives points routed by consistent hash across two
+    single-worker pool servers, both shards verified busy.
+
+All records land in ``BENCH_engine.json`` via ``--bench-json`` and are
+gated by ``check_bench_regression.py`` like every other engine number.
 """
 
+import json
+import os
 import tempfile
 import time
 
-from repro.serve import InProcessBackend, serve_in_thread
+from repro.serve import InProcessBackend, PoolBackend, ShardedBackend, serve_in_thread
 from repro.sweep import RunCache
+
+#: The committed baseline the v2 plane is measured against.
+_BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_engine.json"
+)
+
+
+def _committed_v1_jobs_per_sec(default=633.0):
+    try:
+        with open(_BASELINE_PATH) as fh:
+            return float(json.load(fh)["serve_throughput"]["events_per_sec"])
+    except (OSError, ValueError, KeyError):
+        return default
 
 #: Jobs per timed batch; best batch of BEST_OF is recorded.
 BATCH = 40
@@ -29,7 +56,9 @@ def test_bench_serve_cache_hit_throughput(bench_record):
     with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
         cache = RunCache(tmp)
         with serve_in_thread(backend=InProcessBackend(workers=1), cache=cache) as handle:
-            client = handle.client()
+            # keep_alive=False pins this record to the v1 plane it has
+            # always measured: one connection per request.
+            client = handle.client(keep_alive=False)
 
             # Warm the cache: the one and only simulation in this test.
             warm = client.run("lu2d", [CONFIG], seed=3)
@@ -62,3 +91,105 @@ def test_bench_serve_cache_hit_throughput(bench_record):
     # Sanity floor, far below any real machine: dozens of cache-hit
     # round trips per second, not units.
     assert entry["events_per_sec"] > 10.0
+
+
+#: v2 plane: batch POSTs per timed round x jobs per batch.
+V2_POSTS = 5
+V2_JOBS_PER_POST = 64
+
+
+def test_bench_serve_batched_keepalive_throughput(bench_record):
+    """The tentpole number: batched submits over a pooled keep-alive
+    connection must serve cache-hit jobs at >= 5x the v1 baseline."""
+    spec = {"workload": "lu2d", "configs": [CONFIG], "seed": 3}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        cache = RunCache(tmp)
+        with serve_in_thread(backend=InProcessBackend(workers=1), cache=cache) as handle:
+            client = handle.client()  # keep-alive pooled connections
+
+            warm = client.run("lu2d", [CONFIG], seed=3)
+            assert warm["state"] == "done"
+            assert warm["dedupe"]["scheduled"] == 1
+
+            best = float("inf")
+            for _ in range(BEST_OF):
+                t0 = time.perf_counter()
+                for _ in range(V2_POSTS):
+                    batch = client.submit_batch([spec] * V2_JOBS_PER_POST)
+                    # Every job settles inside the submit: pure cache.
+                    assert batch["batch"]["dedupe"]["scheduled"] == 0
+                    assert all(j["state"] == "done" for j in batch["jobs"])
+                best = min(best, time.perf_counter() - t0)
+
+            stats = client.stats()
+
+    jobs = V2_POSTS * V2_JOBS_PER_POST
+    # Nothing beyond the warm-up point ever reached the backend, and
+    # the whole timed run reused kept-alive connections.
+    assert stats["backend"]["completed"] == 1
+    assert stats["http"]["requests_reused"] > 0
+
+    entry = bench_record(
+        "serve_throughput_v2",
+        events=jobs,
+        wall_s=best,
+        jobs=jobs,
+        posts_per_round=V2_POSTS,
+        jobs_per_post=V2_JOBS_PER_POST,
+        mode="cache_hit_batched_keepalive",
+    )
+    floor = 5.0 * _committed_v1_jobs_per_sec()
+    assert entry["events_per_sec"] >= floor, (
+        f"v2 data plane served {entry['events_per_sec']:.0f} jobs/s, "
+        f"below the 5x-v1 floor of {floor:.0f}"
+    )
+
+
+#: Distinct collectives points pushed through the sharded backend.
+SHARDED_POINTS = 12
+SHARDED_CONFIG = {"ranks": 16, "rounds": 2}
+
+
+def test_bench_serve_sharded_backend(bench_record):
+    """Engine events/sec through two consistent-hash pool shards."""
+    backend = ShardedBackend(shards=2, factory=lambda i: PoolBackend(workers=1))
+    with serve_in_thread(backend=backend) as handle:
+        client = handle.client()
+
+        # Warm-up: spawn both shards' pool workers off the clock.  The
+        # same configs at another seed route to (mostly) other keys but
+        # identical work.
+        warm = client.run(
+            "collectives", [SHARDED_CONFIG] * SHARDED_POINTS, seed=99, timeout=300
+        )
+        assert warm["state"] == "done"
+
+        best, best_events = float("inf"), 0
+        for round_seed in range(BEST_OF):
+            t0 = time.perf_counter()
+            payload = client.run(
+                "collectives", [SHARDED_CONFIG] * SHARDED_POINTS,
+                seed=round_seed, timeout=300,
+            )
+            wall = time.perf_counter() - t0
+            assert payload["state"] == "done"
+            events = sum(r["events"] for r in payload["results"])
+            if wall < best:
+                best, best_events = wall, events
+
+        stats = client.stats()
+
+    by_shard = stats["backend"]["points_by_shard"]
+    assert sum(by_shard) == SHARDED_POINTS * (BEST_OF + 1)
+    assert all(n > 0 for n in by_shard), f"a shard sat idle: {by_shard}"
+
+    entry = bench_record(
+        "serve_sharded",
+        events=best_events,
+        wall_s=best,
+        points=SHARDED_POINTS,
+        shards=2,
+        points_by_shard=by_shard,
+        mode="sharded_pool_collectives",
+    )
+    assert entry["events_per_sec"] > 0.0

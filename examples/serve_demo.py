@@ -7,7 +7,10 @@ result back, and never pay for the same question twice.  This demo
 boots a real server on an ephemeral loopback port, submits a tiny lu2d
 sweep twice, and proves the second submission is answered entirely
 from the content-addressed run cache -- bit-identical results, zero
-recomputation.
+recomputation.  It then brings up the v2 data plane: a **2-shard**
+backend behind consistent-hash routing, driven by the pooled
+keep-alive client pushing **batched** submissions -- and a DELETE
+cancelling a job mid-flight.
 
 It doubles as the CI smoke test: any assertion failure exits nonzero.
 
@@ -21,7 +24,7 @@ import tempfile
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.serve import InProcessBackend, serve_in_thread
+from repro.serve import InProcessBackend, ShardedBackend, serve_in_thread
 from repro.sweep import RunCache
 
 
@@ -72,6 +75,55 @@ def main() -> None:
             print(f"   points submitted: {stats['points_total']}, "
                   f"simulated: {stats['backend']['completed']}, "
                   f"cache hits: {stats['cache_hits']}")
+
+        print("=" * 70)
+        print("5. v2 data plane: 2 shards, keep-alive client, batched submits")
+        backend = ShardedBackend(
+            shards=2, factory=lambda i: InProcessBackend(workers=1)
+        )
+        cache2 = RunCache(os.path.join(tmp, "cache-sharded"))
+        with serve_in_thread(backend=backend, cache=cache2) as handle:
+            client = handle.client()  # pooled persistent connections
+
+            # One batch request carries several jobs; identical points
+            # coalesce onto one simulation within the batch itself.
+            specs = [
+                {"workload": "lu2d", "configs": [c], "seed": 3} for c in configs
+            ] + [{"workload": "lu2d", "configs": [configs[0]], "seed": 3}]
+            payloads = client.run_batch(specs)
+            assert [p["state"] for p in payloads] == ["done"] * 3
+            deterministic = ("ranks", "n", "virtual_time_s", "events",
+                             "messages", "bytes", "exact")
+            assert [
+                {k: r[k] for k in deterministic} for r in payloads[0]["results"]
+            ] == [
+                {k: r[k] for k in deterministic} for r in first["results"][:1]
+            ], "sharded result drifted from the unsharded run"
+            assert payloads[2]["dedupe"]["scheduled"] == 0, (
+                "duplicate job in the batch was re-simulated"
+            )
+
+            # Cancellation: a submitted job can be revoked mid-flight.
+            submitted = client.submit("lu2d", [{"prows": 4, "pcols": 1, "n": 48}])
+            report = client.cancel(submitted["job_id"])
+            final = client.wait(submitted["job_id"])
+            assert final["state"] in ("cancelled", "done"), final
+
+            stats = client.stats()
+            by_shard = stats["backend"]["points_by_shard"]
+            http = stats["http"]
+            assert stats["backend"]["shards"] == 2
+            assert sum(by_shard) >= 2
+            assert http["requests_reused"] > 0, "keep-alive never reused"
+            print(f"   batch of {len(specs)} jobs over one kept-alive "
+                  f"connection; dedupe: "
+                  f"{json.dumps(stats['batch'])}")
+            print(f"   points by shard: {by_shard}; connections accepted: "
+                  f"{http['connections_accepted']}, requests reused: "
+                  f"{http['requests_reused']}")
+            print(f"   cancelled {report['job_id']}: "
+                  f"{report['cancelled_points']} point(s) revoked, "
+                  f"final state: {final['state']}")
 
     print("=" * 70)
     print("serve demo OK")

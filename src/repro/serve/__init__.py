@@ -10,7 +10,8 @@ persistent process pool).
 
 Quickstart::
 
-    python -m repro serve --port 8732 --backend pool &
+    python -m repro serve --port 8732 --backend pool &   # add --shards 4
+                                                         # for N pool shards
     curl -d '{"workload": "lu2d", "config": {"prows": 2, "pcols": 2,
               "n": 32}}' http://127.0.0.1:8732/jobs
 
@@ -27,6 +28,7 @@ from repro.serve.backends import (
     Backend,
     InProcessBackend,
     PoolBackend,
+    ShardedBackend,
     make_backend,
 )
 from repro.serve.client import ServeClient, ServerHandle, serve_in_thread
@@ -36,10 +38,18 @@ from repro.serve.errors import (
     ProtocolError,
     ServeClientError,
     ServeError,
+    ServeTransportError,
     UnknownWorkloadError,
 )
 from repro.serve.jobs import Job, JobManager
-from repro.serve.protocol import MAX_POINTS, JobSpec, parse_job_spec
+from repro.serve.protocol import (
+    MAX_BATCH_JOBS,
+    MAX_BATCH_POINTS,
+    MAX_POINTS,
+    JobSpec,
+    parse_job_batch,
+    parse_job_spec,
+)
 
 __all__ = [
     "JobServer",
@@ -47,6 +57,7 @@ __all__ = [
     "Backend",
     "InProcessBackend",
     "PoolBackend",
+    "ShardedBackend",
     "BACKENDS",
     "make_backend",
     "ServeClient",
@@ -56,11 +67,15 @@ __all__ = [
     "JobManager",
     "JobSpec",
     "parse_job_spec",
+    "parse_job_batch",
     "MAX_POINTS",
+    "MAX_BATCH_JOBS",
+    "MAX_BATCH_POINTS",
     "ServeError",
     "ProtocolError",
     "UnknownWorkloadError",
     "JobNotFoundError",
     "BackendError",
     "ServeClientError",
+    "ServeTransportError",
 ]

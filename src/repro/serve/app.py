@@ -1,22 +1,28 @@
 """The asyncio HTTP/JSON front-end: simulation as a service.
 
 A deliberately small HTTP/1.1 server over stdlib ``asyncio`` streams --
-no framework, no new dependencies.  One connection carries one request
-(``Connection: close``), which keeps the parser ~40 lines and is plenty
-for a job API whose unit of work is a whole simulation.
+no framework, no new dependencies.  Connections are **persistent**:
+HTTP/1.1 keep-alive semantics (``Connection:`` headers honoured, close
+on request for HTTP/1.0), a bounded request count per connection, and
+an idle timeout between requests, so a high-rate client pays the TCP +
+handshake cost once per *session*, not once per job.
 
 Routes::
 
-    POST /jobs              submit a job spec; 201 + dedupe summary
-    GET  /jobs              job summaries, newest first
-    GET  /jobs/{id}         full status + results
-    GET  /jobs/{id}/events  NDJSON progress stream until terminal
-    GET  /healthz           liveness
-    GET  /stats             queue depth, dedupe counters, backend load
+    POST   /jobs              submit a job spec; 201 + dedupe summary
+    POST   /jobs/batch        submit many job specs in one body
+    GET    /jobs              job summaries, newest first
+    GET    /jobs/{id}         full status + results
+    DELETE /jobs/{id}         cancel the job's pending points
+    GET    /jobs/{id}/events  NDJSON progress stream until terminal
+    GET    /healthz           liveness
+    GET    /stats             queue depth, dedupe + data-plane counters
 
 Errors are structured JSON (``{"error": {"code", "message", ...}}``)
 with the status taken from the raised :class:`ServeError`; an
-unexpected exception is a 500 that never takes the server down.
+unexpected exception is a 500 that never takes the server down -- and,
+being framed with ``Content-Length``, never takes the connection down
+either.
 """
 
 from __future__ import annotations
@@ -29,13 +35,24 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from repro.serve.backends import Backend, InProcessBackend, make_backend
 from repro.serve.errors import JobNotFoundError, ProtocolError, ServeError
 from repro.serve.jobs import JobManager
+from repro.serve.protocol import parse_job_batch
 from repro.sweep import RunCache, WorkloadEntry, workload_names
 
 #: Largest request body accepted, to bound memory per connection.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
-#: Per-request header/body read timeout.
+#: Per-request header/body read timeout (first request on a
+#: connection; see ``keepalive_idle_s`` for the between-request clock).
 READ_TIMEOUT_S = 30.0
+
+#: Default idle window a kept-alive connection may sit between
+#: requests before the server closes it.
+KEEPALIVE_IDLE_S = 30.0
+
+#: Default cap on requests served over one connection -- a backstop
+#: against a single client pinning a connection (and its buffers)
+#: forever.
+MAX_REQUESTS_PER_CONNECTION = 1000
 
 _REASONS = {
     200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
@@ -54,15 +71,35 @@ class JobServer:
         backend: Optional[Backend] = None,
         cache: Optional[RunCache] = None,
         registry: Optional[Mapping[str, WorkloadEntry]] = None,
+        max_jobs: int = 1024,
+        keepalive_idle_s: float = KEEPALIVE_IDLE_S,
+        max_requests_per_connection: int = MAX_REQUESTS_PER_CONNECTION,
     ):
         self.host = host
         self.port = port  # 0 = ephemeral; updated to the bound port on start()
         self.backend = backend if backend is not None else InProcessBackend()
-        self.manager = JobManager(self.backend, cache=cache, registry=registry)
+        self.manager = JobManager(
+            self.backend, cache=cache, registry=registry, max_jobs=max_jobs
+        )
+        self.keepalive_idle_s = keepalive_idle_s
+        self.max_requests_per_connection = max_requests_per_connection
         self.started_at: Optional[float] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._closed = asyncio.Event()
+        #: Live connection state, so close() can retire kept-alive
+        #: connections instead of leaving them to be cancelled mid-read
+        #: at loop teardown.
+        self._conn_writers: set = set()
+        self._conn_tasks: set = set()
         self.requests_served = 0
+        self.connections_accepted = 0
+        self.connections_open = 0
+        #: Connections that served at least a second request -- the
+        #: keep-alive win existing at all.
+        self.connections_reused = 0
+        #: Requests beyond the first on their connection -- each one an
+        #: avoided TCP setup/teardown.
+        self.requests_reused = 0
 
     # -- lifecycle ----------------------------------------------------
 
@@ -87,6 +124,17 @@ class JobServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Retire open keep-alive connections: closing the transport
+        # EOFs the pending request read, so each handler returns
+        # through its normal exit path.  Stragglers (e.g. a watcher
+        # streaming a job that never finishes) are cancelled.
+        for writer in list(self._conn_writers):
+            writer.close()
+        pending = {t for t in self._conn_tasks if not t.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=2.0)
+            for task in pending:
+                task.cancel()
         self.backend.close()
         self._closed.set()
 
@@ -95,42 +143,87 @@ class JobServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve requests off one connection until it closes.
+
+        HTTP/1.1 keep-alive: the loop keeps reading requests until the
+        client asks to close (``Connection: close``, or an HTTP/1.0
+        client that never opted in), the per-connection request cap is
+        hit, the idle timeout expires between requests, or a response
+        without ``Content-Length`` framing (the NDJSON event stream)
+        has to close the connection to delimit itself.
+        """
+        self.connections_accepted += 1
+        self.connections_open += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
+        served = 0
         try:
-            try:
-                method, path, body = await asyncio.wait_for(
-                    self._read_request(reader), timeout=READ_TIMEOUT_S
+            while True:
+                timeout = READ_TIMEOUT_S if served == 0 else self.keepalive_idle_s
+                try:
+                    method, path, headers, version, body = await asyncio.wait_for(
+                        self._read_request(reader), timeout=timeout
+                    )
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+                    return  # unparsable, idle-expired, or closed: drop it
+                served += 1
+                self.requests_served += 1
+                if served == 2:
+                    self.connections_reused += 1
+                if served > 1:
+                    self.requests_reused += 1
+                keep_alive = (
+                    _wants_keepalive(version, headers)
+                    and served < self.max_requests_per_connection
                 )
-            except (asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
-                return  # unparsable or abandoned connection: drop it
-            self.requests_served += 1
-            try:
-                await self._dispatch(method, path, body, writer)
-            except ServeError as exc:
-                await self._send_json(writer, exc.status, exc.to_payload())
-            except (ConnectionResetError, BrokenPipeError):
-                pass  # client went away mid-response
-            except Exception as exc:  # never let one request kill the server
-                await self._send_json(
-                    writer,
-                    500,
-                    {"error": {"code": "internal",
-                               "message": f"{type(exc).__name__}: {exc}"}},
-                )
+                streamed = False
+                try:
+                    streamed = bool(
+                        await self._dispatch(
+                            method, path, body, writer, keep_alive=keep_alive
+                        )
+                    )
+                except ServeError as exc:
+                    await self._send_json(
+                        writer, exc.status, exc.to_payload(), keep_alive=keep_alive
+                    )
+                except (ConnectionResetError, BrokenPipeError):
+                    return  # client went away mid-response
+                except Exception as exc:  # never let one request kill the server
+                    await self._send_json(
+                        writer,
+                        500,
+                        {"error": {"code": "internal",
+                                   "message": f"{type(exc).__name__}: {exc}"}},
+                        keep_alive=keep_alive,
+                    )
+                if streamed or not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            return
         finally:
+            self.connections_open -= 1
+            self._conn_writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _read_request(self, reader) -> Tuple[str, str, bytes]:
+    async def _read_request(
+        self, reader
+    ) -> Tuple[str, str, Dict[str, str], str, bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise ValueError("empty request")
         parts = request_line.split()
         if len(parts) != 3:
             raise ValueError(f"bad request line: {request_line!r}")
-        method, target, _version = parts
+        method, target, version = parts
         headers = {}
         while True:
             line = await reader.readline()
@@ -143,16 +236,21 @@ class JobServer:
             raise ValueError("body too large")
         body = await reader.readexactly(length) if length else b""
         path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        return method.upper(), path, headers, version.upper(), body
 
     async def _send_json(
-        self, writer, status: int, payload: Any, extra_headers: Dict[str, str] = None
+        self,
+        writer,
+        status: int,
+        payload: Any,
+        extra_headers: Dict[str, str] = None,
+        keep_alive: bool = False,
     ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         headers = {
             "Content-Type": "application/json",
             "Content-Length": str(len(body)),
-            "Connection": "close",
+            "Connection": "keep-alive" if keep_alive else "close",
         }
         if extra_headers:
             headers.update(extra_headers)
@@ -161,27 +259,48 @@ class JobServer:
 
     # -- routing ------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes, writer) -> None:
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, writer, keep_alive: bool = False
+    ) -> Optional[bool]:
+        """Route one request; returns truthy when the response was a
+        close-delimited stream (the connection cannot be reused)."""
         segments = [s for s in path.split("/") if s]
         if path == "/healthz" and method == "GET":
             await self._send_json(
                 writer, 200,
                 {"status": "ok", "backend": self.backend.name,
                  "workloads": workload_names()},
+                keep_alive=keep_alive,
             )
         elif path == "/stats" and method == "GET":
             stats = self.manager.stats()
             stats["uptime_s"] = round(time.time() - (self.started_at or time.time()), 3)
             stats["requests_served"] = self.requests_served
-            await self._send_json(writer, 200, stats)
+            stats["http"] = {
+                "connections_accepted": self.connections_accepted,
+                "connections_open": self.connections_open,
+                "connections_reused": self.connections_reused,
+                "requests_reused": self.requests_reused,
+                "max_requests_per_connection": self.max_requests_per_connection,
+                "keepalive_idle_s": self.keepalive_idle_s,
+            }
+            await self._send_json(writer, 200, stats, keep_alive=keep_alive)
+        elif path == "/jobs/batch" and method == "POST":
+            await self._post_batch(body, writer, keep_alive)
         elif path == "/jobs" and method == "POST":
-            await self._post_job(body, writer)
+            await self._post_job(body, writer, keep_alive)
         elif path == "/jobs" and method == "GET":
             jobs = sorted(self.manager.jobs.values(), key=lambda j: j.id, reverse=True)
-            await self._send_json(writer, 200, {"jobs": [j.summary() for j in jobs]})
+            await self._send_json(
+                writer, 200, {"jobs": [j.summary() for j in jobs]},
+                keep_alive=keep_alive,
+            )
         elif len(segments) == 2 and segments[0] == "jobs" and method == "GET":
             job = self.manager.get(segments[1])
-            await self._send_json(writer, 200, job.to_payload())
+            await self._send_json(writer, 200, job.to_payload(), keep_alive=keep_alive)
+        elif len(segments) == 2 and segments[0] == "jobs" and method == "DELETE":
+            report = self.manager.cancel(segments[1])
+            await self._send_json(writer, 200, report, keep_alive=keep_alive)
         elif (
             len(segments) == 3
             and segments[0] == "jobs"
@@ -189,25 +308,61 @@ class JobServer:
             and method == "GET"
         ):
             await self._stream_events(segments[1], writer)
+            return True
         elif path in ("/healthz", "/stats", "/jobs") or (
             segments and segments[0] == "jobs"
         ):
             raise ServeErrorMethod(method, path)
         else:
             raise JobNotFoundError(f"no such route: {method} {path}")
+        return False
 
-    async def _post_job(self, body: bytes, writer) -> None:
+    @staticmethod
+    def _decode_body(body: bytes, what: str) -> Any:
         try:
             payload = json.loads(body.decode("utf-8")) if body else None
         except (ValueError, UnicodeDecodeError) as exc:
             raise ProtocolError(f"request body is not valid JSON: {exc}") from None
         if payload is None:
-            raise ProtocolError("POST /jobs needs a JSON job spec body")
+            raise ProtocolError(what)
+        return payload
+
+    async def _post_job(self, body: bytes, writer, keep_alive: bool) -> None:
+        payload = self._decode_body(body, "POST /jobs needs a JSON job spec body")
         job = self.manager.submit_payload(payload)
         response = job.summary()
         response["location"] = f"/jobs/{job.id}"
         await self._send_json(
-            writer, 201, response, extra_headers={"Location": f"/jobs/{job.id}"}
+            writer, 201, response,
+            extra_headers={"Location": f"/jobs/{job.id}"},
+            keep_alive=keep_alive,
+        )
+
+    async def _post_batch(self, body: bytes, writer, keep_alive: bool) -> None:
+        payload = self._decode_body(
+            body, "POST /jobs/batch needs a JSON body with a 'jobs' list"
+        )
+        parsed = parse_job_batch(payload, resolve=self.manager.resolve)
+        jobs = self.manager.submit_batch(parsed)
+        summaries = []
+        dedupe = {"cache_hits": 0, "coalesced": 0, "scheduled": 0}
+        for job in jobs:
+            summary = job.summary()
+            summary["location"] = f"/jobs/{job.id}"
+            summaries.append(summary)
+            for bucket, count in summary["dedupe"].items():
+                dedupe[bucket] += count
+        await self._send_json(
+            writer, 201,
+            {
+                "jobs": summaries,
+                "batch": {
+                    "jobs": len(jobs),
+                    "points": sum(s["points"] for s in summaries),
+                    "dedupe": dedupe,
+                },
+            },
+            keep_alive=keep_alive,
         )
 
     async def _stream_events(self, job_id: str, writer) -> None:
@@ -234,6 +389,17 @@ class ServeErrorMethod(ServeError):
         super().__init__(f"{method} not allowed on {path}")
 
 
+def _wants_keepalive(version: str, headers: Mapping[str, str]) -> bool:
+    """HTTP/1.1 defaults to keep-alive; ``Connection: close`` (or an
+    HTTP/1.0 client that never opted in) closes."""
+    connection = headers.get("connection", "").lower()
+    if "close" in connection:
+        return False
+    if version == "HTTP/1.0":
+        return "keep-alive" in connection
+    return True
+
+
 def _head(status: int, headers: Dict[str, str]) -> bytes:
     lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
     lines.extend(f"{k}: {v}" for k, v in headers.items())
@@ -247,6 +413,8 @@ def run_server(
     backend: str = "pool",
     workers: Optional[int] = None,
     cache_dir: Optional[str] = ".repro-cache",
+    shards: int = 0,
+    max_jobs: int = 1024,
 ) -> None:
     """Blocking entrypoint behind ``repro serve``: run until Ctrl-C."""
     cache = RunCache(cache_dir) if cache_dir else None
@@ -255,13 +423,15 @@ def run_server(
         server = JobServer(
             host=host,
             port=port,
-            backend=make_backend(backend, workers),
+            backend=make_backend(backend, workers, shards=shards),
             cache=cache,
+            max_jobs=max_jobs,
         )
         await server.start()
+        sharding = f", shards={shards}" if shards and shards >= 2 else ""
         print(
             f"repro serve listening on http://{server.host}:{server.port} "
-            f"(backend={backend}, workers={server.backend.workers}, "
+            f"(backend={backend}{sharding}, workers={server.backend.workers}, "
             f"cache={'off' if cache is None else cache.root}, "
             f"workloads: {', '.join(workload_names())})",
             flush=True,

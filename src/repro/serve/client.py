@@ -1,11 +1,19 @@
 """A small synchronous client for the job server, plus a test harness.
 
-The client speaks plain stdlib ``http.client`` -- one connection per
-request, matching the server's ``Connection: close`` policy -- and is
-what the end-to-end tests, the benchmark, and ``examples/serve_demo.py``
-drive.  :func:`serve_in_thread` runs a :class:`JobServer` on its own
-event loop in a daemon thread, so synchronous code (pytest, demos) can
-exercise the full HTTP path without managing asyncio itself.
+The client speaks plain stdlib ``http.client`` over a **pool of
+persistent connections**: the server's HTTP/1.1 keep-alive means a
+high-rate caller pays TCP setup once per connection, not once per
+request.  A pooled connection the server has since idle-closed is
+detected on use and transparently retried on a fresh one; a connection
+that dies *mid-response* surfaces as a typed
+:class:`~repro.serve.errors.ServeTransportError` carrying the request
+context (method, path, job id when identifiable, bytes/events read) --
+never a bare socket error.  ``keep_alive=False`` restores the old
+one-connection-per-request behaviour.
+
+:func:`serve_in_thread` runs a :class:`JobServer` on its own event loop
+in a daemon thread, so synchronous code (pytest, demos) can exercise
+the full HTTP path without managing asyncio itself.
 """
 
 from __future__ import annotations
@@ -16,19 +24,85 @@ import http.client
 import json
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.serve.app import JobServer
-from repro.serve.errors import ServeClientError, ServeError
+from repro.serve.errors import ServeClientError, ServeError, ServeTransportError
+
+#: Job states a poller treats as finished.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _job_id_from_path(path: str) -> Optional[str]:
+    """The job id named by a ``/jobs/{id}[...]`` path, if any."""
+    segments = [s for s in path.split("/") if s]
+    if len(segments) >= 2 and segments[0] == "jobs" and segments[1] != "batch":
+        return segments[1]
+    return None
 
 
 class ServeClient:
-    """Talk to a running job server over HTTP/JSON."""
+    """Talk to a running job server over HTTP/JSON.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8732, timeout: float = 30.0):
+    Thread-safe: the connection pool is guarded by a lock and each
+    in-flight request owns its connection exclusively.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8732,
+        timeout: float = 30.0,
+        keep_alive: bool = True,
+        pool_size: int = 4,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self.pool_size = pool_size
+        self._pool: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+
+    # -- connection pool ----------------------------------------------
+
+    def _fresh(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _acquire(self) -> "Tuple[http.client.HTTPConnection, bool]":
+        """A connection plus whether it was pooled (already used once).
+
+        Only pooled connections risk the stale-keep-alive race (the
+        server idle-closing between our requests), so only they earn a
+        retry on failure.
+        """
+        with self._lock:
+            if self._pool:
+                return self._pool.pop(), True
+        return self._fresh(), False
+
+    def _release(self, conn: http.client.HTTPConnection) -> None:
+        if not self.keep_alive:
+            conn.close()
+            return
+        with self._lock:
+            if len(self._pool) < self.pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        """Drop every pooled connection; the client stays usable."""
+        with self._lock:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- plumbing -----------------------------------------------------
 
@@ -39,21 +113,57 @@ class ServeClient:
 
         Error statuses are returned, not raised -- tests assert on
         them; the typed helpers below raise :class:`ServeClientError`.
+        Transport failures (server gone, connection closed before or
+        during the response) raise :class:`ServeTransportError`.
         """
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            text = response.read().decode("utf-8")
+        body = None
+        headers: Dict[str, str] = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if not self.keep_alive:
+            headers["Connection"] = "close"
+
+        for attempt in (0, 1):
+            if attempt == 0:
+                conn, pooled = self._acquire()
+            else:
+                conn, pooled = self._fresh(), False
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+            except (http.client.HTTPException, OSError) as exc:
+                conn.close()
+                if pooled:
+                    continue  # stale keep-alive connection: retry fresh
+                raise ServeTransportError(
+                    f"{method} {path}: no response from "
+                    f"{self.host}:{self.port} ({type(exc).__name__}: {exc})",
+                    method=method,
+                    path=path,
+                    job_id=_job_id_from_path(path),
+                ) from exc
+            try:
+                text = response.read().decode("utf-8")
+            except (http.client.HTTPException, OSError) as exc:
+                conn.close()
+                partial = getattr(exc, "partial", b"") or b""
+                raise ServeTransportError(
+                    f"{method} {path}: server closed the connection "
+                    f"mid-response (status {response.status}, "
+                    f"{len(partial)} bytes read)",
+                    method=method,
+                    path=path,
+                    job_id=_job_id_from_path(path),
+                    partial_bytes=len(partial),
+                ) from exc
+            if response.will_close:
+                conn.close()
+            else:
+                self._release(conn)
             decoded = json.loads(text) if text else None
             return response.status, decoded
-        finally:
-            conn.close()
+        raise AssertionError("unreachable: fresh-connection attempt raises")
 
     def _checked(self, method: str, path: str, payload: Any = None) -> Any:
         status, decoded = self.request(method, path, payload)
@@ -92,8 +202,21 @@ class ServeClient:
             "POST", "/jobs", {"workload": workload, "configs": configs, "seed": seed}
         )
 
+    def submit_batch(self, jobs: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit many job specs in one request (``POST /jobs/batch``).
+
+        Each element is a full job spec dict (``workload``, ``configs``
+        or ``config``, optional ``seed``).  Returns the batch summary:
+        per-job summaries (with ``location``) plus aggregated dedupe.
+        """
+        return self._checked("POST", "/jobs/batch", {"jobs": jobs})
+
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._checked("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a job's pending points (``DELETE /jobs/{id}``)."""
+        return self._checked("DELETE", f"/jobs/{job_id}")
 
     def wait(
         self, job_id: str, timeout: float = 60.0, poll_s: float = 0.02
@@ -102,7 +225,7 @@ class ServeClient:
         deadline = time.monotonic() + timeout
         while True:
             payload = self.job(job_id)
-            if payload["state"] in ("done", "failed"):
+            if payload["state"] in TERMINAL_STATES:
                 return payload
             if time.monotonic() >= deadline:
                 raise ServeError(
@@ -121,7 +244,7 @@ class ServeClient:
     ) -> Dict[str, Any]:
         """Submit and wait; the one-call path the demo and bench use."""
         submitted = self.submit(workload, configs, seed=seed)
-        if submitted["state"] in ("done", "failed"):
+        if submitted["state"] in TERMINAL_STATES:
             # Fully deduped jobs settle inside the submit request.
             payload = self.job(submitted["job_id"])
         else:
@@ -129,12 +252,41 @@ class ServeClient:
         payload["dedupe"] = submitted["dedupe"]
         return payload
 
+    def run_batch(
+        self, jobs: List[Dict[str, Any]], timeout: float = 60.0
+    ) -> List[Dict[str, Any]]:
+        """Submit a batch and wait for every job; full payloads in order."""
+        batch = self.submit_batch(jobs)
+        payloads = []
+        for summary in batch["jobs"]:
+            if summary["state"] in TERMINAL_STATES:
+                payload = self.job(summary["job_id"])
+            else:
+                payload = self.wait(summary["job_id"], timeout=timeout)
+            payload["dedupe"] = summary["dedupe"]
+            payloads.append(payload)
+        return payloads
+
     def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
-        """Stream the job's NDJSON progress events until it finishes."""
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        """Stream the job's NDJSON progress events until it finishes.
+
+        The stream is close-delimited, so it rides its own dedicated
+        connection, never a pooled one.
+        """
+        conn = self._fresh()
+        received = 0
         try:
-            conn.request("GET", f"/jobs/{job_id}/events")
-            response = conn.getresponse()
+            try:
+                conn.request("GET", f"/jobs/{job_id}/events")
+                response = conn.getresponse()
+            except (http.client.HTTPException, OSError) as exc:
+                raise ServeTransportError(
+                    f"GET /jobs/{job_id}/events: no response from "
+                    f"{self.host}:{self.port} ({type(exc).__name__}: {exc})",
+                    method="GET",
+                    path=f"/jobs/{job_id}/events",
+                    job_id=job_id,
+                ) from exc
             if response.status >= 400:
                 text = response.read().decode("utf-8")
                 decoded = json.loads(text) if text else None
@@ -144,11 +296,23 @@ class ServeClient:
                     payload=decoded,
                 )
             while True:
-                line = response.readline()
+                try:
+                    line = response.readline()
+                except (http.client.HTTPException, OSError) as exc:
+                    raise ServeTransportError(
+                        f"GET /jobs/{job_id}/events: server closed the "
+                        f"stream mid-flight after {received} events "
+                        f"({type(exc).__name__}: {exc})",
+                        method="GET",
+                        path=f"/jobs/{job_id}/events",
+                        job_id=job_id,
+                        events_received=received,
+                    ) from exc
                 if not line:
                     return
                 line = line.strip()
                 if line:
+                    received += 1
                     yield json.loads(line.decode("utf-8"))
         finally:
             conn.close()
@@ -169,8 +333,10 @@ class ServerHandle:
     def port(self) -> int:
         return self.server.port
 
-    def client(self, timeout: float = 30.0) -> ServeClient:
-        return ServeClient(self.server.host, self.server.port, timeout=timeout)
+    def client(self, timeout: float = 30.0, **kwargs) -> ServeClient:
+        return ServeClient(
+            self.server.host, self.server.port, timeout=timeout, **kwargs
+        )
 
 
 @contextlib.contextmanager

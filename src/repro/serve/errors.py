@@ -66,3 +66,42 @@ class ServeClientError(ServeError):
         super().__init__(message)
         self.status = status
         self.payload = payload
+
+
+class ServeTransportError(ServeError):
+    """The TCP conversation with the server failed: connection refused,
+    the server closed the socket before (or in the middle of) a
+    response, or an event stream broke mid-flight.  Carries the request
+    context -- method, path, the job id when one is identifiable, and
+    how much of the response had been read -- so a high-rate client can
+    tell a dead server from a half-answered question."""
+
+    code = "transport"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        method: Optional[str] = None,
+        path: Optional[str] = None,
+        job_id: Optional[str] = None,
+        partial_bytes: Optional[int] = None,
+        events_received: Optional[int] = None,
+    ):
+        details = {
+            key: value
+            for key, value in {
+                "method": method,
+                "path": path,
+                "job_id": job_id,
+                "partial_bytes": partial_bytes,
+                "events_received": events_received,
+            }.items()
+            if value is not None
+        }
+        super().__init__(message, details=details)
+        self.method = method
+        self.path = path
+        self.job_id = job_id
+        self.partial_bytes = partial_bytes
+        self.events_received = events_received

@@ -33,8 +33,18 @@ from repro.util.errors import ConfigurationError
 #: backend indefinitely; split larger campaigns across jobs.
 MAX_POINTS = 4096
 
+#: Upper bound on jobs per ``POST /jobs/batch`` request.
+MAX_BATCH_JOBS = 256
+
+#: Upper bound on total points across one batch request -- the same
+#: work bound a single maximal job carries.
+MAX_BATCH_POINTS = MAX_POINTS
+
 #: Fields a submission may carry; anything else is a typo we reject.
 _ALLOWED_KEYS = frozenset({"workload", "config", "configs", "seed"})
+
+#: Fields a batch envelope may carry.
+_BATCH_KEYS = frozenset({"jobs"})
 
 
 @dataclass(frozen=True)
@@ -119,6 +129,72 @@ def parse_job_spec(
         raw_configs=tuple(dict(r) for r in raw_configs),
     )
     return entry, spec
+
+
+def parse_job_batch(
+    payload: Any,
+    resolve: Optional[Callable[[str], WorkloadEntry]] = None,
+) -> "List[tuple[WorkloadEntry, JobSpec]]":
+    """Validate a ``POST /jobs/batch`` body into ``[(entry, spec), ...]``.
+
+    The envelope is ``{"jobs": [<job spec>, ...]}`` where each element
+    obeys :func:`parse_job_spec` exactly.  Validation is all-or-nothing
+    -- a bad job rejects the whole batch naming its index, never a
+    half-submitted batch -- and amortised: each workload name is
+    resolved through the registry once per batch, not once per job.
+    """
+    if resolve is None:
+        resolve = get_workload
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"batch body must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - _BATCH_KEYS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown batch field(s): {', '.join(unknown)}",
+            details={"unknown": unknown, "allowed": sorted(_BATCH_KEYS)},
+        )
+    jobs = payload.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise ProtocolError(
+            "batch body needs 'jobs' (a non-empty list of job specs)"
+        )
+    if len(jobs) > MAX_BATCH_JOBS:
+        raise ProtocolError(
+            f"too many jobs in one batch: {len(jobs)} > {MAX_BATCH_JOBS}; "
+            "split the submission across batches",
+            details={"max_batch_jobs": MAX_BATCH_JOBS},
+        )
+
+    # One registry resolution per distinct workload name in the batch.
+    memo: Dict[str, WorkloadEntry] = {}
+
+    def memo_resolve(name: str) -> WorkloadEntry:
+        entry = memo.get(name)
+        if entry is None:
+            entry = memo[name] = resolve(name)
+        return entry
+
+    parsed: List[tuple] = []
+    total_points = 0
+    for j, job_payload in enumerate(jobs):
+        try:
+            entry, spec = parse_job_spec(job_payload, resolve=memo_resolve)
+        except ProtocolError as exc:
+            raise ProtocolError(
+                f"bad job at index {j}: {exc}",
+                details={**exc.details, "job_index": j},
+            ) from None
+        total_points += spec.points
+        parsed.append((entry, spec))
+    if total_points > MAX_BATCH_POINTS:
+        raise ProtocolError(
+            f"too many points across the batch: {total_points} > "
+            f"{MAX_BATCH_POINTS}; split the campaign",
+            details={"max_batch_points": MAX_BATCH_POINTS},
+        )
+    return parsed
 
 
 def registry_resolver(

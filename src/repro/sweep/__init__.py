@@ -18,6 +18,7 @@ workload specs as plain strings + JSON configs.
 from repro.sweep.cache import (
     SCHEMA_VERSION,
     RunCache,
+    batch_cache_keys,
     cache_key,
     describe_config,
     parse_age,
@@ -56,6 +57,7 @@ __all__ = [
     "workload_names",
     "config_from_dict",
     "RunCache",
+    "batch_cache_keys",
     "cache_key",
     "describe_config",
     "parse_age",

@@ -231,6 +231,24 @@ def workload_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+_FIELD_MAPS: Dict[type, Dict[str, Any]] = {}
+
+
+def _field_map(config_type: type) -> Dict[str, Any]:
+    """``{name: Field}`` for a config dataclass, computed once per type.
+
+    ``dataclasses.fields`` rebuilds the tuple on every call; batched
+    submissions validate thousands of configs of a handful of types, so
+    the map is memoised on the (immutable) class.
+    """
+    fields = _FIELD_MAPS.get(config_type)
+    if fields is None:
+        fields = _FIELD_MAPS[config_type] = {
+            f.name: f for f in dataclasses.fields(config_type)
+        }
+    return fields
+
+
 def config_from_dict(config_type: type, payload: Mapping[str, Any]) -> Any:
     """Build a workload config dataclass from a JSON-style dict.
 
@@ -245,7 +263,7 @@ def config_from_dict(config_type: type, payload: Mapping[str, Any]) -> Any:
             f"config for {config_type.__name__} must be an object, "
             f"got {type(payload).__name__}"
         )
-    fields = {f.name: f for f in dataclasses.fields(config_type)}
+    fields = _field_map(config_type)
     unknown = sorted(set(payload) - set(fields))
     if unknown:
         raise ConfigurationError(

@@ -2,10 +2,15 @@
 
 import pytest
 
-from repro.serve import MAX_POINTS, parse_job_spec
+from repro.serve import (
+    MAX_BATCH_JOBS,
+    MAX_POINTS,
+    parse_job_batch,
+    parse_job_spec,
+)
 from repro.serve.errors import ProtocolError, UnknownWorkloadError
 from repro.serve.protocol import registry_resolver
-from repro.sweep import Lu2dPoint, WorkloadEntry
+from repro.sweep import Lu2dPoint, WorkloadEntry, get_workload
 
 from tests.serve._workloads import SleepyConfig, sleepy_point
 
@@ -94,6 +99,84 @@ class TestParseJobSpec:
                 }
             )
         assert exc_info.value.details == {"point": 1}
+
+
+class TestParseJobBatch:
+    def test_happy_path_mixed_workloads(self):
+        parsed = parse_job_batch(
+            {
+                "jobs": [
+                    {"workload": "lu2d", "configs": [{"prows": 2, "pcols": 2, "n": 32}]},
+                    {"workload": "halo", "config": {"rows": 2, "cols": 2}, "seed": 4},
+                ]
+            }
+        )
+        assert len(parsed) == 2
+        (entry_a, spec_a), (entry_b, spec_b) = parsed
+        assert entry_a.name == "lu2d" and spec_a.points == 1
+        assert entry_b.name == "halo" and spec_b.seed == 4
+
+    def test_workload_resolution_is_memoised_per_batch(self):
+        calls = []
+
+        def counting_resolve(name):
+            calls.append(name)
+            return get_workload(name)
+
+        parse_job_batch(
+            {
+                "jobs": [
+                    {"workload": "lu2d", "configs": [{"prows": 1, "pcols": 1, "n": 4}]}
+                    for _ in range(5)
+                ]
+            },
+            resolve=counting_resolve,
+        )
+        assert calls == ["lu2d"]  # five jobs, one registry lookup
+
+    def test_envelope_rejections(self):
+        for payload, match in [
+            ([1, 2], "JSON object"),
+            ({"jobs": []}, "non-empty list"),
+            ({"jobs": {"workload": "lu2d"}}, "non-empty list"),
+            ({"tasks": []}, "unknown batch field"),
+            ({}, "non-empty list"),
+        ]:
+            with pytest.raises(ProtocolError, match=match):
+                parse_job_batch(payload)
+
+    def test_bad_job_names_its_index(self):
+        with pytest.raises(ProtocolError, match="bad job at index 1") as exc_info:
+            parse_job_batch(
+                {
+                    "jobs": [
+                        {"workload": "lu2d", "configs": [{"prows": 2, "pcols": 2, "n": 32}]},
+                        {"workload": "lu2d", "configs": [{"prows": 2, "nope": 1}]},
+                    ]
+                }
+            )
+        assert exc_info.value.details["job_index"] == 1
+        # The inner point index survives alongside the job index.
+        assert exc_info.value.details["point"] == 0
+
+    def test_rejects_too_many_jobs(self):
+        jobs = [{"workload": "lu2d", "configs": [{"prows": 1, "pcols": 1, "n": 4}]}] * (
+            MAX_BATCH_JOBS + 1
+        )
+        with pytest.raises(ProtocolError, match="too many jobs") as exc_info:
+            parse_job_batch({"jobs": jobs})
+        assert exc_info.value.details == {"max_batch_jobs": MAX_BATCH_JOBS}
+
+    def test_rejects_too_many_points_across_the_batch(self, monkeypatch):
+        import repro.serve.protocol as protocol
+
+        monkeypatch.setattr(protocol, "MAX_BATCH_POINTS", 3)
+        jobs = [
+            {"workload": "lu2d", "configs": [{"prows": 1, "pcols": 1, "n": 4}] * 2}
+        ] * 2
+        with pytest.raises(ProtocolError, match="too many points across") as exc_info:
+            parse_job_batch({"jobs": jobs})
+        assert exc_info.value.details == {"max_batch_points": 3}
 
 
 class TestRegistryResolver:

@@ -18,6 +18,7 @@ from repro.sweep import (
     Lu2dPoint,
     RunCache,
     SweepPointError,
+    batch_cache_keys,
     cache_key,
     lu2d_point,
     parse_age,
@@ -80,6 +81,50 @@ class TestCacheKey:
 
     def test_workload_id_is_importable_name(self):
         assert workload_id(lu2d_point) == "repro.sweep.workloads.lu2d_point"
+
+
+class TestBatchCacheKeys:
+    """``batch_cache_keys`` must be bit-identical to ``cache_key`` --
+    the serving data plane's dedupe correctness hangs on it."""
+
+    def test_matches_cache_key_exactly(self):
+        # Hashable dataclass configs, including the default inf float
+        # field (the canonical payload must render inf identically) and
+        # repeats exercising the per-config memo.
+        configs = [
+            Lu2dPoint(2, 2, 32),
+            Lu2dPoint(2, 4, 32),
+            Lu2dPoint(2, 2, 32),  # repeated: served from the memo
+            Lu2dPoint(2, 2, 32, eager_threshold_bytes=1024.0),
+        ]
+        seeds = sweep_seeds(7, len(configs))
+        assert batch_cache_keys(lu2d_point, configs, seeds) == [
+            cache_key(lu2d_point, c, s) for c, s in zip(configs, seeds)
+        ]
+
+    def test_matches_for_unhashable_configs(self):
+        # Dict configs cannot be memoised; the fallback path must still
+        # produce identical keys.
+        configs = [{"x": 1, "y": [1, 2]}, {"x": float("inf")}, {"x": 1, "y": [1, 2]}]
+        seeds = [10, 11, 12]
+        assert batch_cache_keys(_echo, configs, seeds) == [
+            cache_key(_echo, c, s) for c, s in zip(configs, seeds)
+        ]
+
+    def test_sort_keys_ordering_is_pinned(self):
+        # The splice exploits the alphabetical payload ordering
+        # config < schema < seed < workload.  If cache_key ever gains a
+        # field that breaks that ordering, this must fail loudly.
+        keys = ["config", "schema", "seed", "workload"]
+        assert keys == sorted(keys)
+        assert batch_cache_keys(_echo, ["c0"], [1]) == [cache_key(_echo, "c0", 1)]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError, match="one seed per config"):
+            batch_cache_keys(_echo, ["c0", "c1"], [1])
+
+    def test_empty_batch_is_empty(self):
+        assert batch_cache_keys(_echo, [], []) == []
 
 
 class TestRunCache:
